@@ -1,0 +1,364 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§7), plus ablations of the design decisions DESIGN.md calls out. Each
+// figure has one Benchmark* target whose sub-benchmarks cover the paper's
+// (query template × system × selectivity) grid; cmd/benchrunner prints the
+// same data as the paper's tables. Run with:
+//
+//	go test -bench=. -benchmem
+package proteus_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"proteus"
+	"proteus/internal/bench"
+	"proteus/internal/engine"
+	"proteus/internal/exec"
+	"proteus/internal/expr"
+	"proteus/internal/plugin"
+	"proteus/internal/types"
+)
+
+// benchSF keeps the grid fast enough for -bench=. while preserving the
+// relative shapes; raise via cmd/benchrunner -sf for bigger runs.
+const benchSF = 0.002
+
+var (
+	fixtureOnce sync.Once
+	fixture     *bench.TPCHFixture
+	fixtureErr  error
+)
+
+func tpch(b *testing.B) *bench.TPCHFixture {
+	b.Helper()
+	fixtureOnce.Do(func() { fixture, fixtureErr = bench.NewTPCHFixture(benchSF) })
+	if fixtureErr != nil {
+		b.Fatalf("fixture: %v", fixtureErr)
+	}
+	return fixture
+}
+
+// runGrid executes one figure's experiment grid as sub-benchmarks.
+func runGrid(b *testing.B, f *bench.TPCHFixture, exp func(*bench.TPCHFixture) ([]bench.Row, error)) {
+	b.Helper()
+	// One warm pass validates the grid; the measured loop repeats it.
+	if _, err := exp(f); err != nil {
+		b.Fatalf("experiment: %v", err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp(f); err != nil {
+			b.Fatalf("experiment: %v", err)
+		}
+	}
+}
+
+// Figures 5–12 — the §7.1 synthetic grids.
+
+func BenchmarkFig5JSONProjections(b *testing.B)   { runGrid(b, tpch(b), bench.Fig5) }
+func BenchmarkFig6BinaryProjections(b *testing.B) { runGrid(b, tpch(b), bench.Fig6) }
+func BenchmarkFig7JSONSelections(b *testing.B)    { runGrid(b, tpch(b), bench.Fig7) }
+func BenchmarkFig8BinarySelections(b *testing.B)  { runGrid(b, tpch(b), bench.Fig8) }
+func BenchmarkFig9JSONJoins(b *testing.B)         { runGrid(b, tpch(b), bench.Fig9) }
+func BenchmarkFig10BinaryJoins(b *testing.B)      { runGrid(b, tpch(b), bench.Fig10) }
+func BenchmarkFig11JSONGroupBys(b *testing.B)     { runGrid(b, tpch(b), bench.Fig11) }
+func BenchmarkFig12BinaryGroupBys(b *testing.B)   { runGrid(b, tpch(b), bench.Fig12) }
+
+// BenchmarkFig13CacheSpeedup — the §7.1 caching study (baseline vs. cached
+// predicate over both templates).
+func BenchmarkFig13CacheSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig13(benchSF); err != nil {
+			b.Fatalf("fig13: %v", err)
+		}
+	}
+}
+
+// BenchmarkFig14SpamWorkload — the 50-query §7.2 workload on all three
+// stacks (also yields Table 3's phase totals).
+func BenchmarkFig14SpamWorkload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunSpam(1500); err != nil {
+			b.Fatalf("spam: %v", err)
+		}
+	}
+}
+
+// BenchmarkTable3PhaseTotals — Table 3 proper: the phase accounting of the
+// spam workload (load / middleware / Q39 / rest) is produced by the same
+// run; this target reports the three stacks' totals as custom metrics.
+func BenchmarkTable3PhaseTotals(b *testing.B) {
+	var rep *bench.SpamReport
+	var err error
+	for i := 0; i < b.N; i++ {
+		rep, err = bench.RunSpam(1500)
+		if err != nil {
+			b.Fatalf("spam: %v", err)
+		}
+	}
+	if rep != nil {
+		b.ReportMetric(rep.Total[bench.StackPG], "pg-total-s")
+		b.ReportMetric(rep.Total[bench.StackPolyglot], "poly-total-s")
+		b.ReportMetric(rep.Total[bench.StackProteus], "proteus-total-s")
+	}
+}
+
+// Per-system micro-benchmarks: one hot query per engine style, so
+// -benchmem exposes the per-tuple allocation behavior that separates the
+// compiled engine from the interpreted baselines.
+
+func BenchmarkMicroCountProteus(b *testing.B) {
+	f := tpch(b)
+	q := fmt.Sprintf("SELECT COUNT(*) FROM lineitem_bin WHERE l_orderkey < %d", f.Data.MaxOrderKey/2)
+	prep, err := f.PlanFor(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prep.Program.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicroCountVolcano(b *testing.B) {
+	f := tpch(b)
+	q := fmt.Sprintf("SELECT COUNT(*) FROM lineitem_bin WHERE l_orderkey < %d", f.Data.MaxOrderKey/2)
+	prep, err := f.PlanFor(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Volcano.RunPlan(prep.Plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicroCountColumnar(b *testing.B) {
+	f := tpch(b)
+	q := fmt.Sprintf("SELECT COUNT(*) FROM lineitem_bin WHERE l_orderkey < %d", f.Data.MaxOrderKey/2)
+	prep, err := f.PlanFor(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Columnar.RunPlan(prep.Plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablations — the design choices DESIGN.md calls out.
+
+// BenchmarkAblationExprEval compares the compiled expression path (closure
+// over typed registers) with the interpreted path (tree walk over boxed
+// values) on the same arithmetic predicate.
+func BenchmarkAblationExprEval(b *testing.B) {
+	pred := &expr.BinOp{
+		Op: expr.OpLt,
+		L: &expr.BinOp{Op: expr.OpAdd,
+			L: &expr.FieldAcc{Base: &expr.Ref{Name: "t"}, Name: "a"},
+			R: &expr.FieldAcc{Base: &expr.Ref{Name: "t"}, Name: "b"}},
+		R: &expr.Const{V: types.IntValue(100)},
+	}
+	b.Run("interpreted", func(b *testing.B) {
+		row := types.RecordValue([]string{"a", "b"}, []types.Value{types.IntValue(30), types.IntValue(60)})
+		env := expr.ValueEnv{"t": row}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := expr.Eval(pred, env); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("compiled", func(b *testing.B) {
+		// Drive the full compiled pipeline over a 1-row dataset so the
+		// closure path is measured end to end.
+		db := proteus.Open(proteus.Config{})
+		if err := db.RegisterInMemory("t", []byte("30,60\n"), "csv", &proteus.Schema{
+			Fields: []proteus.Field{{Name: "a", Type: proteus.Int}, {Name: "b", Type: proteus.Int}},
+		}); err != nil {
+			b.Fatal(err)
+		}
+		prep, err := db.Engine().PrepareSQL("SELECT COUNT(*) FROM t WHERE a + b < 100")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := prep.Program.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationJSONIndex compares the three JSON lookup modes: the
+// Level-0 associative index, the sequential-scan ablation (Level 0
+// disabled), and the deterministic compressed index.
+func BenchmarkAblationJSONIndex(b *testing.B) {
+	t := bench.GenTPCH(benchSF)
+	shapes := []struct {
+		name string
+		opts plugin.Options
+	}{
+		{"level0", plugin.Options{DisableDeterministic: true}},
+		{"sequential", plugin.Options{DisableLevel0: true}},
+		{"deterministic", plugin.Options{}},
+	}
+	for _, shape := range shapes {
+		b.Run(shape.name, func(b *testing.B) {
+			eng := engine.New(engine.Config{})
+			eng.Mem().PutFile("mem://li.json", t.LineitemJSON)
+			if err := eng.Register("li", "mem://li.json", "json", nil, shape.opts); err != nil {
+				b.Fatal(err)
+			}
+			q := fmt.Sprintf("SELECT MAX(l_extendedprice) FROM li WHERE l_orderkey < %d", t.MaxOrderKey/2)
+			prep, err := eng.PrepareSQL(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := prep.Program.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCSVIndexStride sweeps the every-Nth-field positional
+// index granularity. The generated CSV is variable-width, so the seek path
+// (not the fixed-width arithmetic path) is exercised.
+func BenchmarkAblationCSVIndexStride(b *testing.B) {
+	t := bench.GenTPCH(benchSF)
+	for _, stride := range []int{2, 4, 8, 32} {
+		b.Run(fmt.Sprintf("stride-%d", stride), func(b *testing.B) {
+			eng := engine.New(engine.Config{})
+			eng.Mem().PutFile("mem://li.csv", t.LineitemCSV)
+			if err := eng.Register("li", "mem://li.csv", "csv", t.LineitemSchema,
+				plugin.Options{IndexStride: stride}); err != nil {
+				b.Fatal(err)
+			}
+			// Touch a late column so the index jump matters.
+			prep, err := eng.PrepareSQL("SELECT MAX(l_tax) FROM li WHERE l_quantity < 100")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := prep.Program.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRadixJoin compares the radix-partitioned hash join with
+// the unpartitioned variant.
+func BenchmarkAblationRadixJoin(b *testing.B) {
+	f := tpch(b)
+	q := fmt.Sprintf(
+		"SELECT COUNT(*) FROM orders_bin o JOIN lineitem_bin l ON o.o_orderkey = l.l_orderkey WHERE l.l_orderkey < %d",
+		f.Data.MaxOrderKey)
+	for _, bits := range []int{0, 7} {
+		b.Run(fmt.Sprintf("radix-%d", bits), func(b *testing.B) {
+			exec.RadixBitsOverride = bits
+			defer func() { exec.RadixBitsOverride = -1 }()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				prep, err := f.PlanFor(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := prep.Program.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCache measures the same JSON aggregation with caching
+// off, cold (first, cache-building query), and warm (served from cache).
+func BenchmarkAblationCache(b *testing.B) {
+	t := bench.GenTPCH(benchSF)
+	q := fmt.Sprintf("SELECT MAX(l_extendedprice), MAX(l_discount) FROM li WHERE l_orderkey < %d", t.MaxOrderKey/2)
+	newEng := func(cache bool) *engine.Engine {
+		eng := engine.New(engine.Config{CacheEnabled: cache})
+		eng.Mem().PutFile("mem://li.json", t.LineitemJSON)
+		if err := eng.Register("li", "mem://li.json", "json", nil, plugin.Options{}); err != nil {
+			b.Fatal(err)
+		}
+		return eng
+	}
+	b.Run("off", func(b *testing.B) {
+		eng := newEng(false)
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.QuerySQL(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		eng := newEng(true)
+		if _, err := eng.QuerySQL(q); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.QuerySQL(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationJoinSideReuse measures the partial cache match: the
+// second query re-uses the first query's materialized hash-join side.
+func BenchmarkAblationJoinSideReuse(b *testing.B) {
+	t := bench.GenTPCH(benchSF)
+	q := fmt.Sprintf(
+		"SELECT COUNT(*) FROM lineitem_bin l JOIN orders_bin o ON l.l_orderkey = o.o_orderkey WHERE l.l_orderkey < %d",
+		t.MaxOrderKey/2)
+	mk := func(cache bool) *engine.Engine {
+		eng := engine.New(engine.Config{CacheEnabled: cache})
+		eng.Mem().PutFile("mem://li.bin", t.LineitemBin)
+		eng.Mem().PutFile("mem://o.bin", t.OrdersBin)
+		if err := eng.Register("lineitem_bin", "mem://li.bin", "bin", nil, plugin.Options{}); err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.Register("orders_bin", "mem://o.bin", "bin", nil, plugin.Options{}); err != nil {
+			b.Fatal(err)
+		}
+		return eng
+	}
+	b.Run("rebuild", func(b *testing.B) {
+		eng := mk(false)
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.QuerySQL(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reused", func(b *testing.B) {
+		eng := mk(true)
+		if _, err := eng.QuerySQL(q); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.QuerySQL(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

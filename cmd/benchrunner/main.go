@@ -1,0 +1,100 @@
+// Command benchrunner regenerates every table and figure of the paper's
+// evaluation (§7): Figures 5–12 (projection / selection / join / group-by
+// templates over JSON and binary data at 10–100% selectivity, against the
+// three baseline engines), Figure 13 (adaptive-caching speedup), and
+// Figure 14 + Table 3 (the 50-query spam workload on three system stacks).
+//
+//	benchrunner                      # everything, laptop scale
+//	benchrunner -exp fig9 -sf 0.05   # one figure, bigger data
+//	benchrunner -exp tab3 -spam 50000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"proteus/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig5..fig14, tab3, or all")
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor for fig5–fig13")
+	spam := flag.Int("spam", 10000, "spam scale (JSON objects) for fig14/tab3")
+	raw := flag.Bool("raw", false, "also print machine-readable rows")
+	flag.Parse()
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	var allRows []bench.Row
+
+	tpchFigs := []struct {
+		name  string
+		title string
+		run   func(*bench.TPCHFixture) ([]bench.Row, error)
+	}{
+		{"fig5", "Figure 5: projection-intensive queries over JSON data", bench.Fig5},
+		{"fig6", "Figure 6: projection-intensive queries over binary relational data", bench.Fig6},
+		{"fig7", "Figure 7: selection queries over JSON data", bench.Fig7},
+		{"fig8", "Figure 8: selection queries over binary relational data", bench.Fig8},
+		{"fig9", "Figure 9: join and unnest queries over JSON data", bench.Fig9},
+		{"fig10", "Figure 10: join queries over binary relational data", bench.Fig10},
+		{"fig11", "Figure 11: aggregate queries over JSON data", bench.Fig11},
+		{"fig12", "Figure 12: aggregate queries over binary relational data", bench.Fig12},
+	}
+	needTPCH := false
+	for _, f := range tpchFigs {
+		if want(f.name) {
+			needTPCH = true
+		}
+	}
+	if needTPCH {
+		fmt.Printf("generating TPC-H subset at SF %g ...\n", *sf)
+		fixture, err := bench.NewTPCHFixture(*sf)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("lineitem: %d rows, orders: %d rows\n\n",
+			fixture.Data.LineitemRows, fixture.Data.OrdersRows)
+		for _, f := range tpchFigs {
+			if !want(f.name) {
+				continue
+			}
+			rows, err := f.run(fixture)
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", f.name, err))
+			}
+			bench.PrintFigure(os.Stdout, f.title, rows)
+			allRows = append(allRows, rows...)
+		}
+	}
+
+	if want("fig13") {
+		rows, err := bench.Fig13(*sf)
+		if err != nil {
+			fatal(fmt.Errorf("fig13: %w", err))
+		}
+		bench.PrintFigure(os.Stdout, "Figure 13: effect of caching (seconds)", rows)
+		bench.PrintSpeedups(os.Stdout, rows)
+		allRows = append(allRows, rows...)
+	}
+
+	if want("fig14") || want("tab3") {
+		fmt.Printf("running spam workload (%d JSON objects) ...\n", *spam)
+		rep, err := bench.RunSpam(*spam)
+		if err != nil {
+			fatal(fmt.Errorf("spam workload: %w", err))
+		}
+		bench.PrintSpam(os.Stdout, rep)
+		allRows = append(allRows, rep.Rows...)
+	}
+
+	if *raw {
+		fmt.Println(strings.TrimSpace(bench.FormatRows(allRows)))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchrunner:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,68 @@
+// Command datagen writes the synthetic datasets of the evaluation to disk:
+// the TPC-H subset (CSV, JSON, denormalized JSON, binary columnar) and the
+// spam-telemetry workload stand-in (JSON feed, CSV classification output,
+// binary history table).
+//
+//	datagen -out data -sf 0.01            # TPC-H subset at SF 0.01
+//	datagen -out data -spam 20000         # spam datasets, 20k JSON objects
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"proteus/internal/bench"
+)
+
+func main() {
+	out := flag.String("out", "data", "output directory")
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor (1.0 = 6M lineitems); 0 skips")
+	spam := flag.Int("spam", 0, "spam workload scale (JSON object count); 0 skips")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	if *sf > 0 {
+		t := bench.GenTPCH(*sf)
+		files := map[string][]byte{
+			"lineitem.csv":       t.LineitemCSV,
+			"orders.csv":         t.OrdersCSV,
+			"lineitem.json":      t.LineitemJSON,
+			"orders.json":        t.OrdersJSON,
+			"orders_denorm.json": t.DenormJSON,
+			"lineitem.bin":       t.LineitemBin,
+			"orders.bin":         t.OrdersBin,
+		}
+		for name, data := range files {
+			if err := os.WriteFile(filepath.Join(*out, name), data, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s (%d bytes)\n", name, len(data))
+		}
+		fmt.Printf("TPC-H SF %g: %d lineitems, %d orders\n", *sf, t.LineitemRows, t.OrdersRows)
+	}
+	if *spam > 0 {
+		s := bench.GenSpam(*spam)
+		files := map[string][]byte{
+			"spam.json": s.JSON,
+			"spam.csv":  s.CSV,
+			"spam.bin":  s.Bin,
+		}
+		for name, data := range files {
+			if err := os.WriteFile(filepath.Join(*out, name), data, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s (%d bytes)\n", name, len(data))
+		}
+		fmt.Printf("spam: %d JSON objects, %d CSV rows, %d binary rows\n",
+			s.JSONObjs, s.CSVRows, s.BinRows)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	os.Exit(1)
+}

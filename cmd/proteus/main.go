@@ -1,0 +1,124 @@
+// Command proteus is an interactive / one-shot query runner: register
+// datasets with flags, then run SQL or comprehension queries against them.
+//
+// Usage:
+//
+//	proteus -csv sales=data/sales.csv -json events=data/events.json \
+//	        -q "SELECT COUNT(*) FROM sales s JOIN events e ON s.id = e.sid"
+//
+// Without -q it reads queries from stdin, one per line; lines starting with
+// "for" are parsed as comprehensions, ".explain <sql>" prints the plan, and
+// ".caches" prints cache statistics.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"proteus"
+)
+
+type pairs []string
+
+func (p *pairs) String() string     { return strings.Join(*p, ",") }
+func (p *pairs) Set(v string) error { *p = append(*p, v); return nil }
+
+func main() {
+	var csvs, jsons, bins pairs
+	flag.Var(&csvs, "csv", "register CSV dataset: name=path (repeatable)")
+	flag.Var(&jsons, "json", "register JSON dataset: name=path (repeatable)")
+	flag.Var(&bins, "bin", "register binary dataset: name=path (repeatable)")
+	query := flag.String("q", "", "one-shot query (SQL, or a comprehension starting with 'for')")
+	caching := flag.Bool("cache", true, "enable adaptive caching")
+	header := flag.Bool("header", false, "CSV files start with a header row")
+	flag.Parse()
+
+	db := proteus.Open(proteus.Config{CacheEnabled: *caching})
+	register := func(list pairs, kind string) {
+		for _, spec := range list {
+			name, path, ok := strings.Cut(spec, "=")
+			if !ok {
+				fatalf("bad -%s value %q, want name=path", kind, spec)
+			}
+			var err error
+			switch kind {
+			case "csv":
+				err = db.RegisterCSV(name, path, nil, proteus.CSVOptions{Header: *header})
+			case "json":
+				err = db.RegisterJSON(name, path)
+			case "bin":
+				err = db.RegisterBinary(name, path)
+			}
+			if err != nil {
+				fatalf("registering %s: %v", name, err)
+			}
+			fmt.Printf("registered %s (%s)\n", name, kind)
+		}
+	}
+	register(csvs, "csv")
+	register(jsons, "json")
+	register(bins, "bin")
+
+	if *query != "" {
+		runQuery(db, *query)
+		return
+	}
+	fmt.Println("proteus> enter queries (SQL or 'for {...} yield ...'); .explain <sql>, .caches, .quit")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("proteus> ")
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == ".quit" || line == ".exit":
+			return
+		case line == ".caches":
+			fmt.Printf("%+v\n", db.CacheStats())
+		case strings.HasPrefix(line, ".explain "):
+			plan, err := db.Explain(strings.TrimPrefix(line, ".explain "))
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Print(plan)
+		default:
+			runQuery(db, line)
+		}
+	}
+}
+
+func runQuery(db *proteus.DB, q string) {
+	start := time.Now()
+	var res *proteus.Result
+	var err error
+	if strings.HasPrefix(strings.TrimSpace(q), "for") {
+		res, err = db.QueryComprehension(q)
+	} else {
+		res, err = db.Query(q)
+	}
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for i, row := range res.Rows {
+		if i >= 25 {
+			fmt.Printf("... (%d rows total)\n", len(res.Rows))
+			break
+		}
+		fmt.Println(row)
+	}
+	fmt.Printf("-- %d row(s) in %v\n", len(res.Rows), time.Since(start).Round(time.Microsecond))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,98 @@
+// Quickstart: register a CSV file and a JSON file, then query them — and
+// join across them — through one interface, with no loading step.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"proteus"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "proteus-quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// A CSV file of products (machine-generated, no quoting).
+	productsCSV := filepath.Join(dir, "products.csv")
+	if err := os.WriteFile(productsCSV, []byte(
+		"1,widget,9.99\n"+
+			"2,gadget,24.50\n"+
+			"3,doohickey,3.75\n"+
+			"4,gizmo,149.00\n"), 0o644); err != nil {
+		log.Fatal(err)
+	}
+
+	// A JSON file of orders, with a nested array of line entries.
+	ordersJSON := filepath.Join(dir, "orders.json")
+	if err := os.WriteFile(ordersJSON, []byte(
+		`{"oid": 100, "product": 1, "qty": 3, "notes": [{"tag": "rush", "w": 2}]}
+{"oid": 101, "product": 4, "qty": 1, "notes": []}
+{"oid": 102, "product": 2, "qty": 5, "notes": [{"tag": "gift", "w": 1}, {"tag": "rush", "w": 3}]}
+`), 0o644); err != nil {
+		log.Fatal(err)
+	}
+
+	db := proteus.Open(proteus.Config{CacheEnabled: true})
+
+	// Declare the CSV schema (or pass nil to infer from the first row).
+	schema := &proteus.Schema{Fields: []proteus.Field{
+		{Name: "pid", Type: proteus.Int},
+		{Name: "name", Type: proteus.String},
+		{Name: "price", Type: proteus.Float},
+	}}
+	if err := db.RegisterCSV("products", productsCSV, schema); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.RegisterJSON("orders", ordersJSON); err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Plain SQL over the CSV file.
+	res, err := db.Query("SELECT name, price FROM products WHERE price < 25.0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("cheap products:")
+	for _, row := range res.Rows {
+		fmt.Println(" ", row)
+	}
+
+	// 2. A cross-format join: CSV × JSON, one engine, one query.
+	res, err = db.Query(`
+		SELECT o.oid, p.name, o.qty
+		FROM orders o JOIN products p ON o.product = p.pid
+		WHERE o.qty > 1`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("multi-unit orders with product names:")
+	for _, row := range res.Rows {
+		fmt.Println(" ", row)
+	}
+
+	// 3. A comprehension unnesting the JSON arrays.
+	res, err = db.QueryComprehension(`
+		for { o <- orders, n <- o.notes, n.w > 1 }
+		yield bag (o.oid, n.tag)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("heavily weighted order notes:")
+	for _, row := range res.Rows {
+		fmt.Println(" ", row)
+	}
+
+	// 4. EXPLAIN shows the optimized plan and compilation decisions.
+	plan, err := db.Explain("SELECT COUNT(*) FROM orders WHERE qty > 1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("plan:")
+	fmt.Print(plan)
+}

@@ -1,0 +1,73 @@
+// Spam analysis example: the paper's §7.2 scenario. A JSON feed of spam
+// observations, a CSV classification output, and a binary history table are
+// queried together — including three-way cross-format joins — while
+// adaptive caching reshapes storage under the workload.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"proteus"
+	"proteus/internal/bench"
+)
+
+func main() {
+	data := bench.GenSpam(5000)
+	fmt.Printf("generated spam telemetry: %d JSON objects, %d CSV rows, %d binary rows\n",
+		data.JSONObjs, data.CSVRows, data.BinRows)
+
+	db := proteus.Open(proteus.Config{CacheEnabled: true})
+	must(db.RegisterInMemory("feed", data.JSON, "json", nil))
+	must(db.RegisterInMemory("classes", data.CSV, "csv", data.CSVSchema))
+	must(db.RegisterInMemory("history", data.Bin, "bin", nil))
+
+	run := func(label, q string, comp bool) {
+		start := time.Now()
+		var res *proteus.Result
+		var err error
+		if comp {
+			res, err = db.QueryComprehension(q)
+		} else {
+			res, err = db.Query(q)
+		}
+		must(err)
+		out := "…"
+		if len(res.Rows) == 1 {
+			out = res.Rows[0].String()
+		} else {
+			out = fmt.Sprintf("%d rows", len(res.Rows))
+		}
+		fmt.Printf("%-34s %-28s %v\n", label, out, time.Since(start).Round(time.Microsecond))
+	}
+
+	// Single-dataset exploration.
+	run("low-score mails (JSON)", "SELECT COUNT(*) FROM feed WHERE score < 0.2", false)
+	run("mails per day (JSON group-by)", "SELECT day, COUNT(*) FROM feed WHERE body_len < 1000 GROUP BY day", false)
+	run("classifier agreement (CSV)", "SELECT class_id, AVG(confidence) FROM classes WHERE score < 0.5 GROUP BY class_id", false)
+
+	// Unnest the nested classifier assignments inside each JSON object.
+	run("strong class assignments", "for { m <- feed, c <- m.classes, c.w > 80 } yield count", true)
+
+	// Cross-format joins (the workload's later phases).
+	run("JSON ⋈ CSV", `SELECT COUNT(*) FROM feed m JOIN classes c ON m.mid = c.mid WHERE m.score < 0.1`, false)
+	run("JSON ⋈ BIN ⋈ CSV (3-way)", `
+		SELECT COUNT(*), MAX(h.volume)
+		FROM history h JOIN classes c ON h.mid = c.mid JOIN feed m ON h.mid = m.mid
+		WHERE m.body_len < 500 AND c.score < 0.5`, false)
+
+	// Re-run a JSON-heavy query: the adaptive caches built as a side-effect
+	// of the earlier queries now serve the raw-field accesses.
+	run("low-score mails again (cached)", "SELECT COUNT(*) FROM feed WHERE score < 0.2", false)
+
+	st := db.CacheStats()
+	fmt.Printf("\nadaptive caches: %d blocks, %d join sides, %d bytes (hits %d)\n",
+		st.Blocks, st.JoinSides, st.Bytes, st.Hits)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

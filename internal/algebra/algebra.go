@@ -1,0 +1,337 @@
+// Package algebra defines the nested relational algebra of the paper
+// (Table 1): Select, Join, OuterJoin, Unnest, OuterUnnest, Reduce, and Nest,
+// plus the leaf Scan. Plans are immutable trees produced from calculus
+// comprehensions, rewritten by the optimizer, matched against caches by
+// structural fingerprint, and finally compiled into a per-query engine.
+package algebra
+
+import (
+	"strings"
+
+	"proteus/internal/expr"
+	"proteus/internal/types"
+)
+
+// Node is any operator of the nested relational algebra.
+type Node interface {
+	// Children returns the operator's inputs (0 for Scan, 2 for joins).
+	Children() []Node
+	// Bindings returns the variable bindings visible above this operator,
+	// mapping binding name to the record (or element) type it carries.
+	Bindings() expr.Env
+	// Fingerprint renders a canonical structural form of the subtree. Two
+	// subtrees with the same fingerprint compute the same result; the cache
+	// manager uses fingerprints as matching keys (§6 "Cache Matching").
+	Fingerprint() string
+}
+
+// Scan reads a registered dataset and introduces one binding per object.
+type Scan struct {
+	Dataset string // catalog name of the dataset
+	Binding string // variable bound to each element
+	Type    *types.RecordType
+	// Fields lists the field paths (dotted) that the rest of the plan needs;
+	// the optimizer pushes projections down by filling this in so the input
+	// plug-in extracts only what is required. Empty means all fields.
+	Fields []string
+}
+
+// Children implements Node.
+func (s *Scan) Children() []Node { return nil }
+
+// Bindings implements Node.
+func (s *Scan) Bindings() expr.Env { return expr.Env{s.Binding: s.Type} }
+
+// Fingerprint implements Node.
+func (s *Scan) Fingerprint() string { return "scan(" + s.Dataset + " as " + s.Binding + ")" }
+
+// Select filters tuples by a boolean predicate: σp(X).
+type Select struct {
+	Pred  expr.Expr
+	Child Node
+}
+
+// Children implements Node.
+func (s *Select) Children() []Node { return []Node{s.Child} }
+
+// Bindings implements Node.
+func (s *Select) Bindings() expr.Env { return s.Child.Bindings() }
+
+// Fingerprint implements Node.
+func (s *Select) Fingerprint() string {
+	return "select[" + s.Pred.String() + "](" + s.Child.Fingerprint() + ")"
+}
+
+// Join combines two inputs on a predicate: X ⋈p Y. Outer marks the
+// left-outer variant (unmatched left tuples survive with nulls).
+type Join struct {
+	Pred  expr.Expr
+	Left  Node
+	Right Node
+	Outer bool
+}
+
+// Children implements Node.
+func (j *Join) Children() []Node { return []Node{j.Left, j.Right} }
+
+// Bindings implements Node.
+func (j *Join) Bindings() expr.Env {
+	env := expr.Env{}
+	for k, v := range j.Left.Bindings() {
+		env[k] = v
+	}
+	for k, v := range j.Right.Bindings() {
+		env[k] = v
+	}
+	return env
+}
+
+// Fingerprint implements Node.
+func (j *Join) Fingerprint() string {
+	op := "join"
+	if j.Outer {
+		op = "outerjoin"
+	}
+	return op + "[" + j.Pred.String() + "](" + j.Left.Fingerprint() + ", " + j.Right.Fingerprint() + ")"
+}
+
+// EquiKeys decomposes the join predicate into equi-join key pairs
+// (leftExpr = rightExpr) plus any residual non-equi conjuncts. The side
+// assignment is normalized so the first element of each pair refers only to
+// Left's bindings.
+func (j *Join) EquiKeys() (left, right []expr.Expr, residual []expr.Expr) {
+	lb := map[string]bool{}
+	for k := range j.Left.Bindings() {
+		lb[k] = true
+	}
+	rb := map[string]bool{}
+	for k := range j.Right.Bindings() {
+		rb[k] = true
+	}
+	for _, c := range expr.SplitConjuncts(j.Pred) {
+		b, ok := c.(*expr.BinOp)
+		if ok && b.Op == expr.OpEq {
+			switch {
+			case expr.OnlyRefs(b.L, lb) && expr.OnlyRefs(b.R, rb):
+				left = append(left, b.L)
+				right = append(right, b.R)
+				continue
+			case expr.OnlyRefs(b.L, rb) && expr.OnlyRefs(b.R, lb):
+				left = append(left, b.R)
+				right = append(right, b.L)
+				continue
+			}
+		}
+		residual = append(residual, c)
+	}
+	return left, right, residual
+}
+
+// Unnest unrolls a nested collection reached by Path from an existing
+// binding, introducing Binding for each element: μ^path_p(X). Outer keeps
+// parent tuples whose collection is empty (with a null binding).
+type Unnest struct {
+	Path    expr.Expr // e.g. s.children — must be a FieldAcc path
+	Binding string    // variable bound to each element
+	Pred    expr.Expr // optional embedded filter on the element (may be nil)
+	Outer   bool
+	Child   Node
+}
+
+// Children implements Node.
+func (u *Unnest) Children() []Node { return []Node{u.Child} }
+
+// Bindings implements Node.
+func (u *Unnest) Bindings() expr.Env {
+	env := expr.Env{}
+	for k, v := range u.Child.Bindings() {
+		env[k] = v
+	}
+	if t, err := expr.InferType(u.Path, u.Child.Bindings()); err == nil {
+		if et := types.ElemType(t); et != nil {
+			env[u.Binding] = et
+		}
+	}
+	return env
+}
+
+// Fingerprint implements Node.
+func (u *Unnest) Fingerprint() string {
+	op := "unnest"
+	if u.Outer {
+		op = "outerunnest"
+	}
+	pred := ""
+	if u.Pred != nil {
+		pred = "|" + u.Pred.String()
+	}
+	return op + "[" + u.Path.String() + " as " + u.Binding + pred + "](" + u.Child.Fingerprint() + ")"
+}
+
+// Reduce folds the input into a final result: ∆^⊕/e_p. Several aggregate
+// monoids may be computed in one pass (SELECT COUNT(*), MAX(x) ...). When a
+// single AggBag/AggList is used, the result is the output collection itself.
+type Reduce struct {
+	Aggs  []expr.Agg
+	Names []string  // output column names, parallel to Aggs
+	Pred  expr.Expr // optional embedded filter (may be nil)
+	Child Node
+}
+
+// Children implements Node.
+func (r *Reduce) Children() []Node { return []Node{r.Child} }
+
+// Bindings implements Node.
+func (r *Reduce) Bindings() expr.Env { return r.Child.Bindings() }
+
+// Fingerprint implements Node.
+func (r *Reduce) Fingerprint() string {
+	var sb strings.Builder
+	sb.WriteString("reduce[")
+	for i, a := range r.Aggs {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(a.String())
+	}
+	if r.Pred != nil {
+		sb.WriteString(" | ")
+		sb.WriteString(r.Pred.String())
+	}
+	sb.WriteString("](")
+	sb.WriteString(r.Child.Fingerprint())
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// Nest groups the input by expressions f and folds each group with the
+// aggregate monoids: Γ^⊕/e/f_p/g (Table 1). GroupNames label the group-by
+// columns in the output records.
+type Nest struct {
+	GroupBy    []expr.Expr
+	GroupNames []string
+	Aggs       []expr.Agg
+	AggNames   []string
+	Pred       expr.Expr // optional embedded filter (may be nil)
+	Child      Node
+}
+
+// Children implements Node.
+func (n *Nest) Children() []Node { return []Node{n.Child} }
+
+// Bindings implements Node.
+func (n *Nest) Bindings() expr.Env { return n.Child.Bindings() }
+
+// Fingerprint implements Node.
+func (n *Nest) Fingerprint() string {
+	var sb strings.Builder
+	sb.WriteString("nest[by ")
+	for i, g := range n.GroupBy {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(g.String())
+	}
+	sb.WriteString(" agg ")
+	for i, a := range n.Aggs {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(a.String())
+	}
+	if n.Pred != nil {
+		sb.WriteString(" | ")
+		sb.WriteString(n.Pred.String())
+	}
+	sb.WriteString("](")
+	sb.WriteString(n.Child.Fingerprint())
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// Walk visits n and its subtree in pre-order.
+func Walk(n Node, fn func(Node) bool) {
+	if n == nil || !fn(n) {
+		return
+	}
+	for _, c := range n.Children() {
+		Walk(c, fn)
+	}
+}
+
+// Scans returns every Scan leaf of the plan in DFS order.
+func Scans(n Node) []*Scan {
+	var out []*Scan
+	Walk(n, func(node Node) bool {
+		if s, ok := node.(*Scan); ok {
+			out = append(out, s)
+		}
+		return true
+	})
+	return out
+}
+
+// Format renders the plan as an indented tree for EXPLAIN-style output.
+func Format(n Node) string {
+	var sb strings.Builder
+	format(n, 0, &sb)
+	return sb.String()
+}
+
+func format(n Node, depth int, sb *strings.Builder) {
+	indent := strings.Repeat("  ", depth)
+	sb.WriteString(indent)
+	switch x := n.(type) {
+	case *Scan:
+		sb.WriteString("Scan " + x.Dataset + " as " + x.Binding)
+		if len(x.Fields) > 0 {
+			sb.WriteString(" [" + strings.Join(x.Fields, ", ") + "]")
+		}
+	case *Select:
+		sb.WriteString("Select " + x.Pred.String())
+	case *Join:
+		if x.Outer {
+			sb.WriteString("OuterJoin ")
+		} else {
+			sb.WriteString("Join ")
+		}
+		sb.WriteString(x.Pred.String())
+	case *Unnest:
+		if x.Outer {
+			sb.WriteString("OuterUnnest ")
+		} else {
+			sb.WriteString("Unnest ")
+		}
+		sb.WriteString(x.Path.String() + " as " + x.Binding)
+		if x.Pred != nil {
+			sb.WriteString(" | " + x.Pred.String())
+		}
+	case *Reduce:
+		sb.WriteString("Reduce ")
+		for i, a := range x.Aggs {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(a.String())
+		}
+	case *Nest:
+		sb.WriteString("Nest by ")
+		for i, g := range x.GroupBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(g.String())
+		}
+		sb.WriteString(" agg ")
+		for i, a := range x.Aggs {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(a.String())
+		}
+	}
+	sb.WriteString("\n")
+	for _, c := range n.Children() {
+		format(c, depth+1, sb)
+	}
+}

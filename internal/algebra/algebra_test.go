@@ -1,0 +1,147 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+
+	"proteus/internal/expr"
+	"proteus/internal/types"
+)
+
+func field(b, n string) expr.Expr { return &expr.FieldAcc{Base: &expr.Ref{Name: b}, Name: n} }
+
+func sampleSchema() *types.RecordType {
+	return types.NewRecordType(
+		types.Field{Name: "a", Type: types.Int},
+		types.Field{Name: "kids", Type: types.NewListType(types.NewRecordType(
+			types.Field{Name: "age", Type: types.Int},
+		))},
+	)
+}
+
+func TestBindings(t *testing.T) {
+	scan := &Scan{Dataset: "t", Binding: "x", Type: sampleSchema()}
+	env := scan.Bindings()
+	if len(env) != 1 || env["x"] == nil {
+		t.Fatalf("scan bindings = %v", env)
+	}
+	u := &Unnest{Path: field("x", "kids"), Binding: "k", Child: scan}
+	env = u.Bindings()
+	if env["k"] == nil {
+		t.Fatalf("unnest bindings = %v", env)
+	}
+	rt, ok := env["k"].(*types.RecordType)
+	if !ok || rt.Index("age") != 0 {
+		t.Errorf("element type = %v", env["k"])
+	}
+	j := &Join{
+		Pred:  &expr.Const{V: types.BoolValue(true)},
+		Left:  scan,
+		Right: &Scan{Dataset: "u", Binding: "y", Type: sampleSchema()},
+	}
+	env = j.Bindings()
+	if env["x"] == nil || env["y"] == nil {
+		t.Errorf("join bindings = %v", env)
+	}
+}
+
+func TestEquiKeysNormalization(t *testing.T) {
+	l := &Scan{Dataset: "t", Binding: "x", Type: sampleSchema()}
+	r := &Scan{Dataset: "u", Binding: "y", Type: sampleSchema()}
+	// Key written right=left must normalize so the first side refers to the
+	// left bindings.
+	j := &Join{
+		Pred: &expr.BinOp{Op: expr.OpAnd,
+			L: &expr.BinOp{Op: expr.OpEq, L: field("y", "a"), R: field("x", "a")},
+			R: &expr.BinOp{Op: expr.OpLt, L: field("x", "a"), R: &expr.Const{V: types.IntValue(5)}},
+		},
+		Left:  l,
+		Right: r,
+	}
+	kl, kr, res := j.EquiKeys()
+	if len(kl) != 1 || len(kr) != 1 || len(res) != 1 {
+		t.Fatalf("keys = %v %v residual %v", kl, kr, res)
+	}
+	if kl[0].String() != "x.a" || kr[0].String() != "y.a" {
+		t.Errorf("normalized keys = %s / %s", kl[0], kr[0])
+	}
+}
+
+func TestFingerprintsDifferAndRepeat(t *testing.T) {
+	scan1 := &Scan{Dataset: "t", Binding: "x", Type: sampleSchema()}
+	scan2 := &Scan{Dataset: "t", Binding: "x", Type: sampleSchema()}
+	if scan1.Fingerprint() != scan2.Fingerprint() {
+		t.Error("identical scans must share fingerprints")
+	}
+	sel1 := &Select{Pred: &expr.BinOp{Op: expr.OpLt, L: field("x", "a"), R: &expr.Const{V: types.IntValue(5)}}, Child: scan1}
+	sel2 := &Select{Pred: &expr.BinOp{Op: expr.OpLt, L: field("x", "a"), R: &expr.Const{V: types.IntValue(6)}}, Child: scan1}
+	if sel1.Fingerprint() == sel2.Fingerprint() {
+		t.Error("different predicates must differ")
+	}
+	outer := &Join{Pred: &expr.Const{V: types.BoolValue(true)}, Left: scan1, Right: scan2, Outer: true}
+	inner := &Join{Pred: &expr.Const{V: types.BoolValue(true)}, Left: scan1, Right: scan2}
+	if outer.Fingerprint() == inner.Fingerprint() {
+		t.Error("outer and inner joins must differ")
+	}
+}
+
+func TestWalkAndScans(t *testing.T) {
+	scan := &Scan{Dataset: "t", Binding: "x", Type: sampleSchema()}
+	plan := &Reduce{
+		Aggs:  []expr.Agg{{Kind: expr.AggCount}},
+		Names: []string{"n"},
+		Child: &Select{
+			Pred:  &expr.BinOp{Op: expr.OpLt, L: field("x", "a"), R: &expr.Const{V: types.IntValue(5)}},
+			Child: scan,
+		},
+	}
+	var kinds []string
+	Walk(plan, func(n Node) bool {
+		switch n.(type) {
+		case *Reduce:
+			kinds = append(kinds, "reduce")
+		case *Select:
+			kinds = append(kinds, "select")
+		case *Scan:
+			kinds = append(kinds, "scan")
+		}
+		return true
+	})
+	if strings.Join(kinds, ",") != "reduce,select,scan" {
+		t.Errorf("walk order = %v", kinds)
+	}
+	if got := Scans(plan); len(got) != 1 || got[0] != scan {
+		t.Errorf("Scans = %v", got)
+	}
+	// Early termination.
+	count := 0
+	Walk(plan, func(n Node) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Errorf("walk with false should stop at root, visited %d", count)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	scan := &Scan{Dataset: "t", Binding: "x", Type: sampleSchema(), Fields: []string{"a"}}
+	plan := &Nest{
+		GroupBy:    []expr.Expr{field("x", "a")},
+		GroupNames: []string{"a"},
+		Aggs:       []expr.Agg{{Kind: expr.AggCount}},
+		AggNames:   []string{"n"},
+		Child: &Unnest{
+			Path:    field("x", "kids"),
+			Binding: "k",
+			Pred:    &expr.BinOp{Op: expr.OpGt, L: field("k", "age"), R: &expr.Const{V: types.IntValue(1)}},
+			Child:   scan,
+		},
+	}
+	out := Format(plan)
+	for _, want := range []string{"Nest by x.a", "Unnest x.kids as k", "Scan t as x [a]", "| (k.age > 1)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+}

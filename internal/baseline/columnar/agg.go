@@ -1,0 +1,169 @@
+package columnar
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"proteus/internal/algebra"
+	"proteus/internal/expr"
+	"proteus/internal/types"
+)
+
+// reduceChunk computes the root aggregates over a fully materialized chunk.
+func (e *Engine) reduceChunk(red *algebra.Reduce, ch *chunk) (*Result, error) {
+	if len(red.Aggs) == 1 && (red.Aggs[0].Kind == expr.AggBag || red.Aggs[0].Kind == expr.AggList) {
+		vec, err := evalVec(red.Aggs[0].Arg, ch)
+		if err != nil {
+			// Record outputs: fall back to per-row boxing.
+			return chunkResult(ch)
+		}
+		rows := make([]types.Value, ch.n)
+		for i := 0; i < ch.n; i++ {
+			rows[i] = vec.value(i)
+		}
+		return &Result{Cols: red.Names, Rows: rows}, nil
+	}
+	vals := make([]types.Value, len(red.Aggs))
+	for i, a := range red.Aggs {
+		v, err := aggVec(a, ch)
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = v
+	}
+	return &Result{
+		Cols: red.Names,
+		Rows: []types.Value{types.RecordValue(red.Names, vals)},
+	}, nil
+}
+
+// aggVec computes one aggregate over the chunk, evaluating the argument as
+// a whole column first (another materialized intermediate).
+func aggVec(a expr.Agg, ch *chunk) (types.Value, error) {
+	if a.Kind == expr.AggCount {
+		return types.IntValue(int64(ch.n)), nil
+	}
+	vec, err := evalVec(a.Arg, ch)
+	if err != nil {
+		return types.Value{}, err
+	}
+	if vec.Len() == 0 && a.Kind != expr.AggCount {
+		return types.NullValue(), nil
+	}
+	switch a.Kind {
+	case expr.AggSum:
+		if vec.Kind == types.KindInt {
+			var s int64
+			for _, v := range vec.Ints {
+				s += v
+			}
+			return types.IntValue(s), nil
+		}
+		var s float64
+		for _, v := range vec.Floats {
+			s += v
+		}
+		return types.FloatValue(s), nil
+	case expr.AggMax:
+		if vec.Kind == types.KindInt {
+			best := int64(math.MinInt64)
+			for _, v := range vec.Ints {
+				if v > best {
+					best = v
+				}
+			}
+			return types.IntValue(best), nil
+		}
+		best := math.Inf(-1)
+		for _, v := range vec.Floats {
+			if v > best {
+				best = v
+			}
+		}
+		return types.FloatValue(best), nil
+	case expr.AggMin:
+		if vec.Kind == types.KindInt {
+			best := int64(math.MaxInt64)
+			for _, v := range vec.Ints {
+				if v < best {
+					best = v
+				}
+			}
+			return types.IntValue(best), nil
+		}
+		best := math.Inf(1)
+		for _, v := range vec.Floats {
+			if v < best {
+				best = v
+			}
+		}
+		return types.FloatValue(best), nil
+	case expr.AggAvg:
+		fs := vec.asFloats()
+		var s float64
+		for _, v := range fs {
+			s += v
+		}
+		if len(fs) == 0 {
+			return types.NullValue(), nil
+		}
+		return types.FloatValue(s / float64(len(fs))), nil
+	}
+	return types.Value{}, fmt.Errorf("columnar: unsupported aggregate %s", a.Kind)
+}
+
+// nestChunk groups the chunk by the key columns. MonetDB's count trick is
+// modeled: a lone COUNT comes straight from the group bucket sizes without
+// touching any aggregate column.
+func (e *Engine) nestChunk(n *algebra.Nest, ch *chunk) (*Result, error) {
+	keyVecs := make([]*Vector, len(n.GroupBy))
+	for i, g := range n.GroupBy {
+		v, err := evalVec(g, ch)
+		if err != nil {
+			return nil, err
+		}
+		keyVecs[i] = v
+	}
+	// Bucket rows per key.
+	buckets := map[string][]int32{}
+	keyVal := map[string][]types.Value{}
+	var order []string
+	for i := 0; i < ch.n; i++ {
+		k := rowKey(keyVecs, i)
+		if _, ok := buckets[k]; !ok {
+			order = append(order, k)
+			kv := make([]types.Value, len(keyVecs))
+			for j, v := range keyVecs {
+				kv[j] = v.value(i)
+			}
+			keyVal[k] = kv
+		}
+		buckets[k] = append(buckets[k], int32(i))
+	}
+	sort.Strings(order)
+
+	countOnly := len(n.Aggs) == 1 && n.Aggs[0].Kind == expr.AggCount
+	names := append(append([]string{}, n.GroupNames...), n.AggNames...)
+	rows := make([]types.Value, 0, len(order))
+	for _, k := range order {
+		sel := buckets[k]
+		vals := make([]types.Value, 0, len(names))
+		vals = append(vals, keyVal[k]...)
+		if countOnly {
+			// The group's size is the bucket length — no gather needed.
+			vals = append(vals, types.IntValue(int64(len(sel))))
+		} else {
+			sub := gatherChunk(ch, sel) // materialize each group's columns
+			for _, a := range n.Aggs {
+				v, err := aggVec(a, sub)
+				if err != nil {
+					return nil, err
+				}
+				vals = append(vals, v)
+			}
+		}
+		rows = append(rows, types.RecordValue(names, vals))
+	}
+	return &Result{Cols: names, Rows: rows}, nil
+}

@@ -1,0 +1,344 @@
+// Package columnar is the read-optimized column-store baseline (the
+// paper's MonetDB / DBMS-C stand-in, §7). It executes the same algebra
+// plans operator-at-a-time: every operator consumes whole column vectors
+// and fully materializes its output before the next operator starts — the
+// execution model whose materialization cost grows as queries become less
+// selective, which is exactly the crossover the paper's binary-data figures
+// show. Like DBMS-C, a table may be sorted on load, letting selections on
+// the sort key skip data with a binary search instead of scanning.
+package columnar
+
+import (
+	"fmt"
+	"sort"
+
+	"proteus/internal/algebra"
+	"proteus/internal/expr"
+	"proteus/internal/types"
+)
+
+// Vector is one typed column of intermediate or base data.
+type Vector struct {
+	Kind   types.Kind
+	Ints   []int64
+	Floats []float64
+	Bools  []bool
+	Strs   []string
+}
+
+// Len returns the vector's row count.
+func (v *Vector) Len() int {
+	switch v.Kind {
+	case types.KindInt:
+		return len(v.Ints)
+	case types.KindFloat:
+		return len(v.Floats)
+	case types.KindBool:
+		return len(v.Bools)
+	default:
+		return len(v.Strs)
+	}
+}
+
+// gather materializes the selected rows into a fresh vector — the
+// per-operator copy the model pays.
+func (v *Vector) gather(sel []int32) *Vector {
+	out := &Vector{Kind: v.Kind}
+	switch v.Kind {
+	case types.KindInt:
+		out.Ints = make([]int64, len(sel))
+		for i, s := range sel {
+			out.Ints[i] = v.Ints[s]
+		}
+	case types.KindFloat:
+		out.Floats = make([]float64, len(sel))
+		for i, s := range sel {
+			out.Floats[i] = v.Floats[s]
+		}
+	case types.KindBool:
+		out.Bools = make([]bool, len(sel))
+		for i, s := range sel {
+			out.Bools[i] = v.Bools[s]
+		}
+	default:
+		out.Strs = make([]string, len(sel))
+		for i, s := range sel {
+			out.Strs[i] = v.Strs[s]
+		}
+	}
+	return out
+}
+
+func (v *Vector) slice(n int) *Vector {
+	out := &Vector{Kind: v.Kind}
+	switch v.Kind {
+	case types.KindInt:
+		out.Ints = v.Ints[:n]
+	case types.KindFloat:
+		out.Floats = v.Floats[:n]
+	case types.KindBool:
+		out.Bools = v.Bools[:n]
+	default:
+		out.Strs = v.Strs[:n]
+	}
+	return out
+}
+
+func (v *Vector) value(i int) types.Value {
+	switch v.Kind {
+	case types.KindInt:
+		return types.IntValue(v.Ints[i])
+	case types.KindFloat:
+		return types.FloatValue(v.Floats[i])
+	case types.KindBool:
+		return types.BoolValue(v.Bools[i])
+	default:
+		return types.StringValue(v.Strs[i])
+	}
+}
+
+// Table is a loaded columnar table, optionally sorted on one column.
+type Table struct {
+	Schema   *types.RecordType
+	Cols     map[string]*Vector
+	RowCount int
+	SortedBy string
+}
+
+// Engine holds loaded tables.
+type Engine struct {
+	tables map[string]*Table
+}
+
+// New returns an empty engine.
+func New() *Engine { return &Engine{tables: map[string]*Table{}} }
+
+// Load ingests boxed rows into column vectors; sortBy optionally sorts the
+// table on an integer column at load time (DBMS-C's trick).
+func (e *Engine) Load(name string, schema *types.RecordType, rows []types.Value, sortBy string) error {
+	if sortBy != "" {
+		idx := schema.Index(sortBy)
+		if idx < 0 {
+			return fmt.Errorf("columnar: sort column %q not in schema", sortBy)
+		}
+		sorted := append([]types.Value(nil), rows...)
+		sort.SliceStable(sorted, func(i, j int) bool {
+			a, _ := sorted[i].Field(sortBy)
+			b, _ := sorted[j].Field(sortBy)
+			return types.Compare(a, b) < 0
+		})
+		rows = sorted
+	}
+	t := &Table{Schema: schema, Cols: map[string]*Vector{}, RowCount: len(rows), SortedBy: sortBy}
+	for _, f := range schema.Fields {
+		v := &Vector{Kind: f.Type.Kind()}
+		switch f.Type.Kind() {
+		case types.KindInt:
+			v.Ints = make([]int64, 0, len(rows))
+		case types.KindFloat:
+			v.Floats = make([]float64, 0, len(rows))
+		case types.KindBool:
+			v.Bools = make([]bool, 0, len(rows))
+		case types.KindString:
+			v.Strs = make([]string, 0, len(rows))
+		default:
+			return fmt.Errorf("columnar: unsupported column type %s (flat relational data only)", f.Type)
+		}
+		t.Cols[f.Name] = v
+	}
+	for _, row := range rows {
+		for _, f := range schema.Fields {
+			fv, _ := row.Field(f.Name)
+			v := t.Cols[f.Name]
+			switch f.Type.Kind() {
+			case types.KindInt:
+				v.Ints = append(v.Ints, fv.AsInt())
+			case types.KindFloat:
+				v.Floats = append(v.Floats, fv.AsFloat())
+			case types.KindBool:
+				v.Bools = append(v.Bools, fv.Bool())
+			case types.KindString:
+				v.Strs = append(v.Strs, fv.S)
+			}
+		}
+	}
+	e.tables[name] = t
+	return nil
+}
+
+// chunk is a fully materialized intermediate: column vectors keyed by
+// "binding.field".
+type chunk struct {
+	cols map[string]*Vector
+	n    int
+	// provenance for the sorted-skip optimization: set only when the chunk
+	// is an unfiltered base-table scan.
+	baseSorted string // "binding.field" of the sort key, or ""
+}
+
+// Result mirrors exec.Result.
+type Result struct {
+	Cols []string
+	Rows []types.Value
+}
+
+// Scalar returns the single value of a 1×1 result.
+func (r *Result) Scalar() types.Value {
+	if len(r.Rows) == 1 && r.Rows[0].Kind == types.KindRecord && len(r.Rows[0].Rec.Values) == 1 {
+		return r.Rows[0].Rec.Values[0]
+	}
+	return types.Value{}
+}
+
+// RunPlan interprets an algebra plan operator-at-a-time.
+func (e *Engine) RunPlan(plan algebra.Node) (*Result, error) {
+	switch root := plan.(type) {
+	case *algebra.Reduce:
+		ch, err := e.evalNode(root.Child, neededPaths(plan))
+		if err != nil {
+			return nil, err
+		}
+		if root.Pred != nil {
+			ch, err = e.filter(ch, root.Pred)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return e.reduceChunk(root, ch)
+	case *algebra.Nest:
+		ch, err := e.evalNode(root.Child, neededPaths(plan))
+		if err != nil {
+			return nil, err
+		}
+		if root.Pred != nil {
+			ch, err = e.filter(ch, root.Pred)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return e.nestChunk(root, ch)
+	default:
+		ch, err := e.evalNode(plan, neededPaths(plan))
+		if err != nil {
+			return nil, err
+		}
+		return chunkResult(ch)
+	}
+}
+
+func chunkResult(ch *chunk) (*Result, error) {
+	names := make([]string, 0, len(ch.cols))
+	for k := range ch.cols {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	rows := make([]types.Value, ch.n)
+	for i := 0; i < ch.n; i++ {
+		vals := make([]types.Value, len(names))
+		for j, nm := range names {
+			vals[j] = ch.cols[nm].value(i)
+		}
+		rows[i] = types.RecordValue(names, vals)
+	}
+	return &Result{Cols: names, Rows: rows}, nil
+}
+
+// neededPaths collects binding.field references across the plan so scans
+// only load the touched columns.
+func neededPaths(plan algebra.Node) map[string]map[string]bool {
+	needs := map[string]map[string]bool{}
+	add := func(root, path string) {
+		set := needs[root]
+		if set == nil {
+			set = map[string]bool{}
+			needs[root] = set
+		}
+		set[path] = true
+	}
+	var addExpr func(e expr.Expr)
+	addExpr = func(e expr.Expr) {
+		if e == nil {
+			return
+		}
+		if root, path, ok := expr.PathOf(e); ok && len(path) == 1 {
+			add(root, path[0])
+			return
+		}
+		switch x := e.(type) {
+		case *expr.BinOp:
+			addExpr(x.L)
+			addExpr(x.R)
+		case *expr.Not:
+			addExpr(x.E)
+		case *expr.Neg:
+			addExpr(x.E)
+		case *expr.Like:
+			addExpr(x.E)
+		case *expr.RecordCtor:
+			for _, s := range x.Exprs {
+				addExpr(s)
+			}
+		}
+	}
+	algebra.Walk(plan, func(n algebra.Node) bool {
+		switch x := n.(type) {
+		case *algebra.Select:
+			addExpr(x.Pred)
+		case *algebra.Join:
+			addExpr(x.Pred)
+		case *algebra.Reduce:
+			addExpr(x.Pred)
+			for _, a := range x.Aggs {
+				addExpr(a.Arg)
+			}
+		case *algebra.Nest:
+			addExpr(x.Pred)
+			for _, g := range x.GroupBy {
+				addExpr(g)
+			}
+			for _, a := range x.Aggs {
+				addExpr(a.Arg)
+			}
+		}
+		return true
+	})
+	return needs
+}
+
+// evalNode materializes the chunk for a subtree.
+func (e *Engine) evalNode(n algebra.Node, needs map[string]map[string]bool) (*chunk, error) {
+	switch x := n.(type) {
+	case *algebra.Scan:
+		t, ok := e.tables[x.Dataset]
+		if !ok {
+			return nil, fmt.Errorf("columnar: table %q not loaded", x.Dataset)
+		}
+		ch := &chunk{cols: map[string]*Vector{}, n: t.RowCount}
+		for f := range needs[x.Binding] {
+			col, ok := t.Cols[f]
+			if !ok {
+				return nil, fmt.Errorf("columnar: table %q has no column %q", x.Dataset, f)
+			}
+			ch.cols[x.Binding+"."+f] = col
+		}
+		if t.SortedBy != "" {
+			ch.baseSorted = x.Binding + "." + t.SortedBy
+			// The sort key must be present for the skip check even if the
+			// query doesn't project it.
+			if _, ok := ch.cols[ch.baseSorted]; !ok {
+				ch.cols[ch.baseSorted] = t.Cols[t.SortedBy]
+			}
+		}
+		return ch, nil
+	case *algebra.Select:
+		ch, err := e.evalNode(x.Child, needs)
+		if err != nil {
+			return nil, err
+		}
+		return e.filter(ch, x.Pred)
+	case *algebra.Join:
+		return e.join(x, needs)
+	default:
+		return nil, fmt.Errorf("columnar: operator %T not supported (flat relational algebra only)", n)
+	}
+}

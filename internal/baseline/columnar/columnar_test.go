@@ -1,0 +1,219 @@
+package columnar
+
+import (
+	"testing"
+
+	"proteus/internal/algebra"
+	"proteus/internal/expr"
+	"proteus/internal/types"
+)
+
+func tSchema() *types.RecordType {
+	return types.NewRecordType(
+		types.Field{Name: "a", Type: types.Int},
+		types.Field{Name: "f", Type: types.Float},
+		types.Field{Name: "s", Type: types.String},
+	)
+}
+
+func rows() []types.Value {
+	names := []string{"a", "f", "s"}
+	mk := func(a int64, f float64, s string) types.Value {
+		return types.RecordValue(names, []types.Value{
+			types.IntValue(a), types.FloatValue(f), types.StringValue(s)})
+	}
+	// Deliberately unsorted on a.
+	return []types.Value{
+		mk(3, 0.5, "cc"), mk(1, 1.5, "aa"), mk(5, 2.5, "bb"), mk(2, 3.5, "aa"), mk(4, 4.5, "dd"),
+	}
+}
+
+func fieldOf(b, n string) expr.Expr { return &expr.FieldAcc{Base: &expr.Ref{Name: b}, Name: n} }
+
+func loadEngine(t *testing.T, sortBy string) *Engine {
+	t.Helper()
+	e := New()
+	if err := e.Load("t", tSchema(), rows(), sortBy); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestScanFilterAggregate(t *testing.T) {
+	e := loadEngine(t, "")
+	plan := &algebra.Reduce{
+		Aggs: []expr.Agg{
+			{Kind: expr.AggCount},
+			{Kind: expr.AggSum, Arg: fieldOf("x", "a")},
+			{Kind: expr.AggMax, Arg: fieldOf("x", "f")},
+			{Kind: expr.AggMin, Arg: fieldOf("x", "a")},
+			{Kind: expr.AggAvg, Arg: fieldOf("x", "a")},
+		},
+		Names: []string{"n", "s", "mx", "mn", "av"},
+		Child: &algebra.Select{
+			Pred:  &expr.BinOp{Op: expr.OpLe, L: fieldOf("x", "a"), R: &expr.Const{V: types.IntValue(4)}},
+			Child: &algebra.Scan{Dataset: "t", Binding: "x", Type: tSchema()},
+		},
+	}
+	res, err := e.RunPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Rows[0]
+	if v, _ := row.Field("n"); v.AsInt() != 4 {
+		t.Errorf("n = %s", v)
+	}
+	if v, _ := row.Field("s"); v.AsInt() != 10 {
+		t.Errorf("sum = %s", v)
+	}
+	if v, _ := row.Field("mx"); v.F != 4.5 {
+		t.Errorf("max f = %s", v)
+	}
+	if v, _ := row.Field("av"); v.AsFloat() != 2.5 {
+		t.Errorf("avg = %s", v)
+	}
+}
+
+func TestSortedSkipMatchesPlainScan(t *testing.T) {
+	plain := loadEngine(t, "")
+	sorted := loadEngine(t, "a")
+	plan := &algebra.Reduce{
+		Aggs:  []expr.Agg{{Kind: expr.AggCount}},
+		Names: []string{"n"},
+		Child: &algebra.Select{
+			Pred:  &expr.BinOp{Op: expr.OpLt, L: fieldOf("x", "a"), R: &expr.Const{V: types.IntValue(4)}},
+			Child: &algebra.Scan{Dataset: "t", Binding: "x", Type: tSchema()},
+		},
+	}
+	r1, err := plain.RunPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sorted.RunPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Scalar().AsInt() != 3 || r2.Scalar().AsInt() != 3 {
+		t.Fatalf("counts = %d / %d, want 3", r1.Scalar().AsInt(), r2.Scalar().AsInt())
+	}
+}
+
+func TestArithmeticVectors(t *testing.T) {
+	e := loadEngine(t, "")
+	plan := &algebra.Reduce{
+		Aggs: []expr.Agg{{Kind: expr.AggSum, Arg: &expr.BinOp{
+			Op: expr.OpMul, L: fieldOf("x", "a"), R: &expr.Const{V: types.IntValue(10)},
+		}}},
+		Names: []string{"s"},
+		Child: &algebra.Scan{Dataset: "t", Binding: "x", Type: tSchema()},
+	}
+	res, err := e.RunPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Scalar().AsInt(); got != 150 {
+		t.Fatalf("sum = %d, want 150", got)
+	}
+}
+
+func TestJoinRowIDs(t *testing.T) {
+	e := loadEngine(t, "")
+	uSchema := types.NewRecordType(
+		types.Field{Name: "a", Type: types.Int},
+		types.Field{Name: "v", Type: types.Int},
+	)
+	uRows := []types.Value{
+		types.RecordValue([]string{"a", "v"}, []types.Value{types.IntValue(1), types.IntValue(10)}),
+		types.RecordValue([]string{"a", "v"}, []types.Value{types.IntValue(5), types.IntValue(50)}),
+	}
+	if err := e.Load("u", uSchema, uRows, ""); err != nil {
+		t.Fatal(err)
+	}
+	plan := &algebra.Reduce{
+		Aggs:  []expr.Agg{{Kind: expr.AggSum, Arg: fieldOf("y", "v")}},
+		Names: []string{"s"},
+		Child: &algebra.Join{
+			Pred:  &expr.BinOp{Op: expr.OpEq, L: fieldOf("x", "a"), R: fieldOf("y", "a")},
+			Left:  &algebra.Scan{Dataset: "t", Binding: "x", Type: tSchema()},
+			Right: &algebra.Scan{Dataset: "u", Binding: "y", Type: uSchema},
+		},
+	}
+	res, err := e.RunPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Scalar().AsInt(); got != 60 {
+		t.Fatalf("sum = %d, want 60", got)
+	}
+}
+
+func TestGroupByCountTrick(t *testing.T) {
+	e := loadEngine(t, "")
+	plan := &algebra.Nest{
+		GroupBy:    []expr.Expr{fieldOf("x", "s")},
+		GroupNames: []string{"s"},
+		Aggs:       []expr.Agg{{Kind: expr.AggCount}},
+		AggNames:   []string{"n"},
+		Child:      &algebra.Scan{Dataset: "t", Binding: "x", Type: tSchema()},
+	}
+	res, err := e.RunPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("groups = %d, want 4", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		s, _ := row.Field("s")
+		n, _ := row.Field("n")
+		want := int64(1)
+		if s.S == "aa" {
+			want = 2
+		}
+		if n.AsInt() != want {
+			t.Errorf("group %s count = %s, want %d", s, n, want)
+		}
+	}
+}
+
+func TestLikeFilter(t *testing.T) {
+	e := loadEngine(t, "")
+	plan := &algebra.Reduce{
+		Aggs:  []expr.Agg{{Kind: expr.AggCount}},
+		Names: []string{"n"},
+		Child: &algebra.Select{
+			Pred:  &expr.Like{E: fieldOf("x", "s"), Needle: "a"},
+			Child: &algebra.Scan{Dataset: "t", Binding: "x", Type: tSchema()},
+		},
+	}
+	res, err := e.RunPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Scalar().AsInt(); got != 2 {
+		t.Fatalf("count = %d, want 2 (aa twice)", got)
+	}
+}
+
+func TestUnsupportedShapes(t *testing.T) {
+	e := loadEngine(t, "")
+	// Unnest is not columnar territory (the paper excludes MonetDB there).
+	plan := &algebra.Unnest{
+		Path:    fieldOf("x", "s"),
+		Binding: "c",
+		Child:   &algebra.Scan{Dataset: "t", Binding: "x", Type: tSchema()},
+	}
+	if _, err := e.RunPlan(plan); err == nil {
+		t.Error("unnest should be unsupported")
+	}
+	// Nested schemas are rejected at load.
+	nested := types.NewRecordType(
+		types.Field{Name: "xs", Type: types.NewListType(types.Int)},
+	)
+	if err := e.Load("bad", nested, nil, ""); err == nil {
+		t.Error("nested schema should be rejected")
+	}
+	if err := e.Load("bad2", tSchema(), rows(), "nope"); err == nil {
+		t.Error("unknown sort column should be rejected")
+	}
+}

@@ -1,0 +1,375 @@
+package columnar
+
+import (
+	"fmt"
+	"sort"
+
+	"proteus/internal/algebra"
+	"proteus/internal/expr"
+	"proteus/internal/types"
+)
+
+// evalVec evaluates an expression column-at-a-time, materializing a full
+// result vector (the model's per-operator cost).
+func evalVec(e expr.Expr, ch *chunk) (*Vector, error) {
+	switch x := e.(type) {
+	case *expr.Const:
+		out := &Vector{Kind: x.V.Kind}
+		switch x.V.Kind {
+		case types.KindInt:
+			out.Ints = make([]int64, ch.n)
+			for i := range out.Ints {
+				out.Ints[i] = x.V.I
+			}
+		case types.KindFloat:
+			out.Floats = make([]float64, ch.n)
+			for i := range out.Floats {
+				out.Floats[i] = x.V.F
+			}
+		case types.KindBool:
+			out.Bools = make([]bool, ch.n)
+			for i := range out.Bools {
+				out.Bools[i] = x.V.Bool()
+			}
+		case types.KindString:
+			out.Strs = make([]string, ch.n)
+			for i := range out.Strs {
+				out.Strs[i] = x.V.S
+			}
+		default:
+			return nil, fmt.Errorf("columnar: unsupported constant kind %s", x.V.Kind)
+		}
+		return out, nil
+	case *expr.Ref, *expr.FieldAcc:
+		root, path, ok := expr.PathOf(x)
+		if !ok || len(path) != 1 {
+			return nil, fmt.Errorf("columnar: unsupported column reference %s", e)
+		}
+		col, ok := ch.cols[root+"."+path[0]]
+		if !ok {
+			return nil, fmt.Errorf("columnar: column %s.%s not materialized", root, path[0])
+		}
+		return col, nil
+	case *expr.Neg:
+		sub, err := evalVec(x.E, ch)
+		if err != nil {
+			return nil, err
+		}
+		if sub.Kind == types.KindInt {
+			out := &Vector{Kind: types.KindInt, Ints: make([]int64, sub.Len())}
+			for i, v := range sub.Ints {
+				out.Ints[i] = -v
+			}
+			return out, nil
+		}
+		out := &Vector{Kind: types.KindFloat, Floats: make([]float64, sub.Len())}
+		for i, v := range sub.Floats {
+			out.Floats[i] = -v
+		}
+		return out, nil
+	case *expr.BinOp:
+		if !x.Op.IsArith() {
+			return nil, fmt.Errorf("columnar: %s is not an arithmetic expression", e)
+		}
+		l, err := evalVec(x.L, ch)
+		if err != nil {
+			return nil, err
+		}
+		r, err := evalVec(x.R, ch)
+		if err != nil {
+			return nil, err
+		}
+		return arith(x.Op, l, r)
+	}
+	return nil, fmt.Errorf("columnar: cannot evaluate %T column-at-a-time", e)
+}
+
+func arith(op expr.BinKind, l, r *Vector) (*Vector, error) {
+	n := l.Len()
+	if l.Kind == types.KindInt && r.Kind == types.KindInt && op != expr.OpDiv {
+		out := &Vector{Kind: types.KindInt, Ints: make([]int64, n)}
+		for i := 0; i < n; i++ {
+			a, b := l.Ints[i], r.Ints[i]
+			switch op {
+			case expr.OpAdd:
+				out.Ints[i] = a + b
+			case expr.OpSub:
+				out.Ints[i] = a - b
+			case expr.OpMul:
+				out.Ints[i] = a * b
+			case expr.OpMod:
+				if b != 0 {
+					out.Ints[i] = a % b
+				}
+			}
+		}
+		return out, nil
+	}
+	lf := l.asFloats()
+	rf := r.asFloats()
+	out := &Vector{Kind: types.KindFloat, Floats: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		a, b := lf[i], rf[i]
+		switch op {
+		case expr.OpAdd:
+			out.Floats[i] = a + b
+		case expr.OpSub:
+			out.Floats[i] = a - b
+		case expr.OpMul:
+			out.Floats[i] = a * b
+		case expr.OpDiv:
+			if b != 0 {
+				out.Floats[i] = a / b
+			}
+		default:
+			return nil, fmt.Errorf("columnar: unsupported float op %s", op)
+		}
+	}
+	return out, nil
+}
+
+func (v *Vector) asFloats() []float64 {
+	if v.Kind == types.KindFloat {
+		return v.Floats
+	}
+	out := make([]float64, v.Len())
+	for i, x := range v.Ints {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// selectVec produces the selection vector of rows satisfying a comparison.
+func selectVec(op expr.BinKind, l, r *Vector) ([]int32, error) {
+	n := l.Len()
+	sel := make([]int32, 0, n/2)
+	switch {
+	case l.Kind == types.KindInt && r.Kind == types.KindInt:
+		for i := 0; i < n; i++ {
+			if cmpSat(op, compareInt(l.Ints[i], r.Ints[i])) {
+				sel = append(sel, int32(i))
+			}
+		}
+	case l.Kind == types.KindString && r.Kind == types.KindString:
+		for i := 0; i < n; i++ {
+			c := 0
+			if l.Strs[i] < r.Strs[i] {
+				c = -1
+			} else if l.Strs[i] > r.Strs[i] {
+				c = 1
+			}
+			if cmpSat(op, c) {
+				sel = append(sel, int32(i))
+			}
+		}
+	default:
+		lf, rf := l.asFloats(), r.asFloats()
+		for i := 0; i < n; i++ {
+			c := 0
+			if lf[i] < rf[i] {
+				c = -1
+			} else if lf[i] > rf[i] {
+				c = 1
+			}
+			if cmpSat(op, c) {
+				sel = append(sel, int32(i))
+			}
+		}
+	}
+	return sel, nil
+}
+
+func compareInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func cmpSat(op expr.BinKind, c int) bool {
+	switch op {
+	case expr.OpEq:
+		return c == 0
+	case expr.OpNe:
+		return c != 0
+	case expr.OpLt:
+		return c < 0
+	case expr.OpLe:
+		return c <= 0
+	case expr.OpGt:
+		return c > 0
+	case expr.OpGe:
+		return c >= 0
+	}
+	return false
+}
+
+// filter applies a predicate operator-at-a-time: each conjunct yields a
+// selection vector over the current chunk, and the chunk's columns are
+// re-materialized after each conjunct (MonetDB-style intermediate results).
+func (e *Engine) filter(ch *chunk, pred expr.Expr) (*chunk, error) {
+	for _, conj := range expr.SplitConjuncts(pred) {
+		b, ok := conj.(*expr.BinOp)
+		if !ok || !b.Op.IsComparison() {
+			if like, isLike := conj.(*expr.Like); isLike {
+				vec, err := evalVec(like.E, ch)
+				if err != nil {
+					return nil, err
+				}
+				sel := make([]int32, 0, ch.n/2)
+				for i, s := range vec.Strs {
+					if containsStr(s, like.Needle) {
+						sel = append(sel, int32(i))
+					}
+				}
+				ch = gatherChunk(ch, sel)
+				continue
+			}
+			return nil, fmt.Errorf("columnar: unsupported predicate %s", conj)
+		}
+		// Sorted-key skip: base-table scan + "key < const" ⇒ binary search.
+		if ch.baseSorted != "" {
+			if n, ok := sortedPrefix(ch, b); ok {
+				ch = sliceChunk(ch, n)
+				continue
+			}
+		}
+		l, err := evalVec(b.L, ch)
+		if err != nil {
+			return nil, err
+		}
+		r, err := evalVec(b.R, ch)
+		if err != nil {
+			return nil, err
+		}
+		sel, err := selectVec(b.Op, l, r)
+		if err != nil {
+			return nil, err
+		}
+		ch = gatherChunk(ch, sel)
+	}
+	return ch, nil
+}
+
+func containsStr(s, needle string) bool {
+	return len(needle) == 0 || (len(s) >= len(needle) && indexStr(s, needle) >= 0)
+}
+
+func indexStr(s, needle string) int {
+	for i := 0; i+len(needle) <= len(s); i++ {
+		if s[i:i+len(needle)] == needle {
+			return i
+		}
+	}
+	return -1
+}
+
+// sortedPrefix recognizes "sortKey < C" / "sortKey <= C" over a sorted base
+// chunk and returns the qualifying prefix length.
+func sortedPrefix(ch *chunk, b *expr.BinOp) (int, bool) {
+	if b.Op != expr.OpLt && b.Op != expr.OpLe {
+		return 0, false
+	}
+	root, path, ok := expr.PathOf(b.L)
+	if !ok || len(path) != 1 || root+"."+path[0] != ch.baseSorted {
+		return 0, false
+	}
+	cst, ok := b.R.(*expr.Const)
+	if !ok {
+		return 0, false
+	}
+	col := ch.cols[ch.baseSorted]
+	if col.Kind != types.KindInt {
+		return 0, false
+	}
+	x := cst.V.AsInt()
+	n := sort.Search(len(col.Ints), func(i int) bool {
+		if b.Op == expr.OpLt {
+			return col.Ints[i] >= x
+		}
+		return col.Ints[i] > x
+	})
+	return n, true
+}
+
+func gatherChunk(ch *chunk, sel []int32) *chunk {
+	out := &chunk{cols: map[string]*Vector{}, n: len(sel)}
+	for k, v := range ch.cols {
+		out.cols[k] = v.gather(sel)
+	}
+	return out
+}
+
+func sliceChunk(ch *chunk, n int) *chunk {
+	out := &chunk{cols: map[string]*Vector{}, n: n}
+	for k, v := range ch.cols {
+		out.cols[k] = v.slice(n)
+	}
+	return out
+}
+
+// join hash-joins two chunks on their equi-keys, materializing matching
+// row-id pairs and then gathering both sides' columns.
+func (e *Engine) join(j *algebra.Join, needs map[string]map[string]bool) (*chunk, error) {
+	left, err := e.evalNode(j.Left, needs)
+	if err != nil {
+		return nil, err
+	}
+	right, err := e.evalNode(j.Right, needs)
+	if err != nil {
+		return nil, err
+	}
+	keysL, keysR, residual := j.EquiKeys()
+	if len(keysL) == 0 {
+		return nil, fmt.Errorf("columnar: non-equi joins not supported")
+	}
+	lk := make([]*Vector, len(keysL))
+	rk := make([]*Vector, len(keysR))
+	for i := range keysL {
+		v, err := evalVec(keysL[i], left)
+		if err != nil {
+			return nil, err
+		}
+		lk[i] = v
+		w, err := evalVec(keysR[i], right)
+		if err != nil {
+			return nil, err
+		}
+		rk[i] = w
+	}
+	// Build on the right side, probe with the left, materializing row-id
+	// pair vectors (the operator's intermediate result).
+	table := map[string][]int32{}
+	for i := 0; i < right.n; i++ {
+		table[rowKey(rk, i)] = append(table[rowKey(rk, i)], int32(i))
+	}
+	var selL, selR []int32
+	for i := 0; i < left.n; i++ {
+		for _, ri := range table[rowKey(lk, i)] {
+			selL = append(selL, int32(i))
+			selR = append(selR, ri)
+		}
+	}
+	out := &chunk{cols: map[string]*Vector{}, n: len(selL)}
+	for k, v := range left.cols {
+		out.cols[k] = v.gather(selL)
+	}
+	for k, v := range right.cols {
+		out.cols[k] = v.gather(selR)
+	}
+	if len(residual) > 0 {
+		return e.filter(out, expr.Conjoin(residual))
+	}
+	return out, nil
+}
+
+func rowKey(keys []*Vector, i int) string {
+	out := ""
+	for _, k := range keys {
+		out += k.value(i).String() + "\x00"
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package docstore
+
+import (
+	"fmt"
+	"sort"
+
+	"proteus/internal/algebra"
+	"proteus/internal/expr"
+	"proteus/internal/types"
+)
+
+// reduceEnvs runs the $group-without-key stage: aggregates over all envs.
+func reduceEnvs(red *algebra.Reduce, envs []expr.ValueEnv) (*Result, error) {
+	if len(red.Aggs) == 1 && (red.Aggs[0].Kind == expr.AggBag || red.Aggs[0].Kind == expr.AggList) {
+		var rows []types.Value
+		for _, env := range envs {
+			if red.Pred != nil {
+				v, err := expr.Eval(red.Pred, env)
+				if err != nil {
+					return nil, err
+				}
+				if !v.Bool() {
+					continue
+				}
+			}
+			v, err := expr.Eval(red.Aggs[0].Arg, env)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, v)
+		}
+		return &Result{Cols: red.Names, Rows: rows}, nil
+	}
+	sums := make([]float64, len(red.Aggs))
+	isums := make([]int64, len(red.Aggs))
+	counts := make([]int64, len(red.Aggs))
+	best := make([]types.Value, len(red.Aggs))
+	intOnly := make([]bool, len(red.Aggs))
+	for i := range intOnly {
+		intOnly[i] = true
+	}
+	for _, env := range envs {
+		if red.Pred != nil {
+			v, err := expr.Eval(red.Pred, env)
+			if err != nil {
+				return nil, err
+			}
+			if !v.Bool() {
+				continue
+			}
+		}
+		for i, a := range red.Aggs {
+			if a.Kind == expr.AggCount {
+				counts[i]++
+				continue
+			}
+			v, err := expr.Eval(a.Arg, env)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() {
+				continue
+			}
+			switch a.Kind {
+			case expr.AggSum, expr.AggAvg:
+				if v.Kind != types.KindInt {
+					intOnly[i] = false
+				}
+				sums[i] += v.AsFloat()
+				isums[i] += v.AsInt()
+				counts[i]++
+			case expr.AggMax:
+				if counts[i] == 0 || types.Compare(v, best[i]) > 0 {
+					best[i] = v
+				}
+				counts[i]++
+			case expr.AggMin:
+				if counts[i] == 0 || types.Compare(v, best[i]) < 0 {
+					best[i] = v
+				}
+				counts[i]++
+			default:
+				return nil, fmt.Errorf("docstore: unsupported aggregate %s", a.Kind)
+			}
+		}
+	}
+	vals := make([]types.Value, len(red.Aggs))
+	for i, a := range red.Aggs {
+		switch a.Kind {
+		case expr.AggCount:
+			vals[i] = types.IntValue(counts[i])
+		case expr.AggSum:
+			switch {
+			case counts[i] == 0:
+				vals[i] = types.NullValue()
+			case intOnly[i]:
+				vals[i] = types.IntValue(isums[i])
+			default:
+				vals[i] = types.FloatValue(sums[i])
+			}
+		case expr.AggAvg:
+			if counts[i] == 0 {
+				vals[i] = types.NullValue()
+			} else {
+				vals[i] = types.FloatValue(sums[i] / float64(counts[i]))
+			}
+		default:
+			if counts[i] == 0 {
+				vals[i] = types.NullValue()
+			} else {
+				vals[i] = best[i]
+			}
+		}
+	}
+	return &Result{Cols: red.Names, Rows: []types.Value{types.RecordValue(red.Names, vals)}}, nil
+}
+
+// nestEnvs runs the $group stage keyed by the group-by expressions.
+func nestEnvs(n *algebra.Nest, envs []expr.ValueEnv) (*Result, error) {
+	type grp struct {
+		keyVals []types.Value
+		envs    []expr.ValueEnv
+	}
+	groups := map[string]*grp{}
+	var order []string
+	for _, env := range envs {
+		if n.Pred != nil {
+			v, err := expr.Eval(n.Pred, env)
+			if err != nil {
+				return nil, err
+			}
+			if !v.Bool() {
+				continue
+			}
+		}
+		key := ""
+		keyVals := make([]types.Value, len(n.GroupBy))
+		for i, g := range n.GroupBy {
+			v, err := expr.Eval(g, env)
+			if err != nil {
+				return nil, err
+			}
+			keyVals[i] = v
+			key += v.String() + "\x00"
+		}
+		g, ok := groups[key]
+		if !ok {
+			g = &grp{keyVals: keyVals}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.envs = append(g.envs, env)
+	}
+	sort.Strings(order)
+	names := append(append([]string{}, n.GroupNames...), n.AggNames...)
+	rows := make([]types.Value, 0, len(order))
+	for _, key := range order {
+		g := groups[key]
+		sub := &algebra.Reduce{Aggs: n.Aggs, Names: n.AggNames}
+		res, err := reduceEnvs(sub, g.envs)
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]types.Value, 0, len(names))
+		vals = append(vals, g.keyVals...)
+		vals = append(vals, res.Rows[0].Rec.Values...)
+		rows = append(rows, types.RecordValue(names, vals))
+	}
+	return &Result{Cols: names, Rows: rows}, nil
+}

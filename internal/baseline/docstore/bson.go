@@ -1,0 +1,226 @@
+// Package docstore is the document-store baseline (the paper's MongoDB
+// stand-in, §7). Documents are loaded into a BSON-like binary serialization
+// (the load cost the paper charges MongoDB); queries navigate the binary
+// form per document to extract exactly the fields they need. Scans,
+// filters, and unwinds of denormalized arrays are efficient; joins are not
+// first-class and are emulated map-reduce style, reproducing the paper's
+// observation that document stores are unsuitable for join-heavy work.
+package docstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"proteus/internal/types"
+)
+
+// Binary layout ("BSON-lite", little-endian):
+//
+//	document: u32 byteLen, then fields until exhausted
+//	field:    u8 kind, u16 nameLen, name, value
+//	value:    int64 | float64 bits | bool byte | u32 len + bytes (string)
+//	          | document | array
+//	array:    u32 byteLen, u32 count, then elements (u8 kind + value)
+const (
+	bNull   byte = 0
+	bBool   byte = 1
+	bInt    byte = 2
+	bFloat  byte = 3
+	bString byte = 4
+	bDoc    byte = 5
+	bArray  byte = 6
+)
+
+// Encode serializes a record value into the binary document form.
+func Encode(v types.Value) ([]byte, error) {
+	if v.Kind != types.KindRecord {
+		return nil, fmt.Errorf("docstore: only records can be top-level documents, got %s", v.Kind)
+	}
+	body, err := encodeDocBody(v)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, len(body)+4)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(body)))
+	return append(out, body...), nil
+}
+
+func encodeDocBody(v types.Value) ([]byte, error) {
+	var out []byte
+	for i, name := range v.Rec.Names {
+		fv := v.Rec.Values[i]
+		out = append(out, kindByteOf(fv))
+		out = binary.LittleEndian.AppendUint16(out, uint16(len(name)))
+		out = append(out, name...)
+		enc, err := encodeValue(fv)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, enc...)
+	}
+	return out, nil
+}
+
+func kindByteOf(v types.Value) byte {
+	switch v.Kind {
+	case types.KindBool:
+		return bBool
+	case types.KindInt:
+		return bInt
+	case types.KindFloat:
+		return bFloat
+	case types.KindString:
+		return bString
+	case types.KindRecord:
+		return bDoc
+	case types.KindList, types.KindBag:
+		return bArray
+	default:
+		return bNull
+	}
+}
+
+func encodeValue(v types.Value) ([]byte, error) {
+	switch v.Kind {
+	case types.KindNull:
+		return nil, nil
+	case types.KindBool:
+		if v.Bool() {
+			return []byte{1}, nil
+		}
+		return []byte{0}, nil
+	case types.KindInt:
+		return binary.LittleEndian.AppendUint64(nil, uint64(v.I)), nil
+	case types.KindFloat:
+		return binary.LittleEndian.AppendUint64(nil, math.Float64bits(v.F)), nil
+	case types.KindString:
+		out := binary.LittleEndian.AppendUint32(nil, uint32(len(v.S)))
+		return append(out, v.S...), nil
+	case types.KindRecord:
+		body, err := encodeDocBody(v)
+		if err != nil {
+			return nil, err
+		}
+		out := binary.LittleEndian.AppendUint32(nil, uint32(len(body)))
+		return append(out, body...), nil
+	case types.KindList, types.KindBag:
+		var body []byte
+		body = binary.LittleEndian.AppendUint32(body, uint32(len(v.Elems)))
+		for _, el := range v.Elems {
+			body = append(body, kindByteOf(el))
+			enc, err := encodeValue(el)
+			if err != nil {
+				return nil, err
+			}
+			body = append(body, enc...)
+		}
+		out := binary.LittleEndian.AppendUint32(nil, uint32(len(body)))
+		return append(out, body...), nil
+	}
+	return nil, fmt.Errorf("docstore: cannot encode %s", v.Kind)
+}
+
+// valueSize returns the encoded byte size of a value of the given kind
+// starting at data[pos].
+func valueSize(kind byte, data []byte, pos int) int {
+	switch kind {
+	case bNull:
+		return 0
+	case bBool:
+		return 1
+	case bInt, bFloat:
+		return 8
+	case bString:
+		return 4 + int(binary.LittleEndian.Uint32(data[pos:]))
+	case bDoc, bArray:
+		return 4 + int(binary.LittleEndian.Uint32(data[pos:]))
+	}
+	return 0
+}
+
+// GetField navigates the binary document for a dotted path and decodes just
+// that value — the per-query access path of the document store.
+func GetField(doc []byte, path []string) (types.Value, bool) {
+	body := doc[4:]
+	for depth, name := range path {
+		pos := 0
+		found := false
+		for pos < len(body) {
+			kind := body[pos]
+			nameLen := int(binary.LittleEndian.Uint16(body[pos+1:]))
+			fieldName := string(body[pos+3 : pos+3+nameLen])
+			valPos := pos + 3 + nameLen
+			size := valueSize(kind, body, valPos)
+			if fieldName == name {
+				if depth == len(path)-1 {
+					return decodeValue(kind, body[valPos:valPos+size]), true
+				}
+				if kind != bDoc {
+					return types.Value{}, false
+				}
+				body = body[valPos+4 : valPos+size]
+				found = true
+				break
+			}
+			pos = valPos + size
+		}
+		if !found {
+			return types.Value{}, false
+		}
+	}
+	return types.Value{}, false
+}
+
+func decodeValue(kind byte, data []byte) types.Value {
+	switch kind {
+	case bBool:
+		return types.BoolValue(data[0] != 0)
+	case bInt:
+		return types.IntValue(int64(binary.LittleEndian.Uint64(data)))
+	case bFloat:
+		return types.FloatValue(math.Float64frombits(binary.LittleEndian.Uint64(data)))
+	case bString:
+		n := int(binary.LittleEndian.Uint32(data))
+		return types.StringValue(string(data[4 : 4+n]))
+	case bDoc:
+		return decodeDoc(data)
+	case bArray:
+		body := data[4:]
+		count := int(binary.LittleEndian.Uint32(body))
+		pos := 4
+		elems := make([]types.Value, 0, count)
+		for i := 0; i < count; i++ {
+			k := body[pos]
+			pos++
+			size := valueSize(k, body, pos)
+			elems = append(elems, decodeValue(k, body[pos:pos+size]))
+			pos += size
+		}
+		return types.ListValue(elems...)
+	}
+	return types.NullValue()
+}
+
+// decodeDoc decodes a full (sub-)document (data includes the length
+// prefix).
+func decodeDoc(data []byte) types.Value {
+	body := data[4:]
+	var names []string
+	var vals []types.Value
+	pos := 0
+	for pos < len(body) {
+		kind := body[pos]
+		nameLen := int(binary.LittleEndian.Uint16(body[pos+1:]))
+		name := string(body[pos+3 : pos+3+nameLen])
+		valPos := pos + 3 + nameLen
+		size := valueSize(kind, body, valPos)
+		names = append(names, name)
+		vals = append(vals, decodeValue(kind, body[valPos:valPos+size]))
+		pos = valPos + size
+	}
+	return types.RecordValue(names, vals)
+}
+
+// Decode decodes a whole top-level document.
+func Decode(doc []byte) types.Value { return decodeDoc(doc) }

@@ -1,0 +1,260 @@
+package docstore
+
+import (
+	"fmt"
+	"sort"
+
+	"proteus/internal/algebra"
+	"proteus/internal/expr"
+	"proteus/internal/types"
+)
+
+// Engine holds binary-encoded collections.
+type Engine struct {
+	colls map[string][][]byte
+}
+
+// New returns an empty engine.
+func New() *Engine { return &Engine{colls: map[string][][]byte{}} }
+
+// Load encodes boxed rows into the binary document form (the BSON
+// conversion the paper charges to MongoDB's load phase).
+func (e *Engine) Load(name string, rows []types.Value) error {
+	docs := make([][]byte, 0, len(rows))
+	for _, r := range rows {
+		d, err := Encode(r)
+		if err != nil {
+			return err
+		}
+		docs = append(docs, d)
+	}
+	e.colls[name] = docs
+	return nil
+}
+
+// Docs returns a collection's document count.
+func (e *Engine) Docs(name string) int { return len(e.colls[name]) }
+
+// Result mirrors exec.Result.
+type Result struct {
+	Cols []string
+	Rows []types.Value
+}
+
+// Scalar returns the single value of a 1×1 result.
+func (r *Result) Scalar() types.Value {
+	if len(r.Rows) == 1 && r.Rows[0].Kind == types.KindRecord && len(r.Rows[0].Rec.Values) == 1 {
+		return r.Rows[0].Rec.Values[0]
+	}
+	return types.Value{}
+}
+
+// RunPlan interprets an algebra plan as an aggregation pipeline: match,
+// project, unwind, group — with joins emulated via a two-pass map-reduce
+// over both collections.
+func (e *Engine) RunPlan(plan algebra.Node) (*Result, error) {
+	switch root := plan.(type) {
+	case *algebra.Reduce:
+		envs, err := e.produce(root.Child)
+		if err != nil {
+			return nil, err
+		}
+		return reduceEnvs(root, envs)
+	case *algebra.Nest:
+		envs, err := e.produce(root.Child)
+		if err != nil {
+			return nil, err
+		}
+		return nestEnvs(root, envs)
+	default:
+		envs, err := e.produce(plan)
+		if err != nil {
+			return nil, err
+		}
+		names := make([]string, 0)
+		for n := range plan.Bindings() {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		rows := make([]types.Value, 0, len(envs))
+		for _, env := range envs {
+			vals := make([]types.Value, len(names))
+			for i, n := range names {
+				vals[i] = env[n]
+			}
+			rows = append(rows, types.RecordValue(names, vals))
+		}
+		return &Result{Cols: names, Rows: rows}, nil
+	}
+}
+
+// produce materializes the stage's output envs (pipelines between stages
+// are materialized lists of documents, as in an aggregation pipeline).
+func (e *Engine) produce(n algebra.Node) ([]expr.ValueEnv, error) {
+	switch x := n.(type) {
+	case *algebra.Scan:
+		docs, ok := e.colls[x.Dataset]
+		if !ok {
+			return nil, fmt.Errorf("docstore: collection %q not loaded", x.Dataset)
+		}
+		// Project: decode per document only the fields the plan references
+		// (computed by the caller through scan field lists when available;
+		// here the whole doc is decoded lazily on first field access via
+		// partial navigation).
+		out := make([]expr.ValueEnv, 0, len(docs))
+		for _, d := range docs {
+			out = append(out, expr.ValueEnv{x.Binding: lazyDoc(d)})
+		}
+		return out, nil
+	case *algebra.Select:
+		in, err := e.produce(x.Child)
+		if err != nil {
+			return nil, err
+		}
+		out := in[:0:0]
+		for _, env := range in {
+			v, err := expr.Eval(x.Pred, env)
+			if err != nil {
+				return nil, err
+			}
+			if v.Bool() {
+				out = append(out, env)
+			}
+		}
+		return out, nil
+	case *algebra.Unnest:
+		in, err := e.produce(x.Child)
+		if err != nil {
+			return nil, err
+		}
+		var out []expr.ValueEnv
+		for _, env := range in {
+			coll, err := expr.Eval(x.Path, env)
+			if err != nil {
+				return nil, err
+			}
+			if len(coll.Elems) == 0 && x.Outer {
+				merged := cloneEnv(env)
+				merged[x.Binding] = types.NullValue()
+				out = append(out, merged)
+				continue
+			}
+			for _, el := range coll.Elems {
+				merged := cloneEnv(env)
+				merged[x.Binding] = el
+				if x.Pred != nil {
+					v, err := expr.Eval(x.Pred, merged)
+					if err != nil {
+						return nil, err
+					}
+					if !v.Bool() {
+						continue
+					}
+				}
+				out = append(out, merged)
+			}
+		}
+		return out, nil
+	case *algebra.Join:
+		return e.mapReduceJoin(x)
+	default:
+		return nil, fmt.Errorf("docstore: unsupported operator %T", n)
+	}
+}
+
+// lazyDoc decodes a document fully. Document stores decode whole objects
+// when handed to generic operators; the decode per query per document is
+// the cost the paper's MongoDB measurements carry.
+func lazyDoc(d []byte) types.Value { return Decode(d) }
+
+func cloneEnv(env expr.ValueEnv) expr.ValueEnv {
+	out := make(expr.ValueEnv, len(env)+1)
+	for k, v := range env {
+		out[k] = v
+	}
+	return out
+}
+
+// mapReduceJoin emulates a join the way map-reduce over a document store
+// does: both inputs are fully materialized, the build side is grouped by
+// the emitted key, and matches are merged per probe document.
+func (e *Engine) mapReduceJoin(j *algebra.Join) ([]expr.ValueEnv, error) {
+	keysL, keysR, residual := j.EquiKeys()
+	left, err := e.produce(j.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := e.produce(j.Right)
+	if err != nil {
+		return nil, err
+	}
+	if len(keysL) == 0 {
+		return nil, fmt.Errorf("docstore: joins require equality conditions")
+	}
+	groups := map[string][]expr.ValueEnv{}
+	for _, env := range right {
+		key := ""
+		null := false
+		for _, k := range keysR {
+			v, err := expr.Eval(k, env)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() {
+				null = true
+				break
+			}
+			key += v.String() + "\x00"
+		}
+		if !null {
+			groups[key] = append(groups[key], env)
+		}
+	}
+	res := expr.Conjoin(residual)
+	var out []expr.ValueEnv
+	for _, env := range left {
+		key := ""
+		null := false
+		for _, k := range keysL {
+			v, err := expr.Eval(k, env)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() {
+				null = true
+				break
+			}
+			key += v.String() + "\x00"
+		}
+		var matches []expr.ValueEnv
+		if !null {
+			matches = groups[key]
+		}
+		matched := false
+		for _, renv := range matches {
+			merged := cloneEnv(env)
+			for k, v := range renv {
+				merged[k] = v
+			}
+			if res != nil {
+				v, err := expr.Eval(res, merged)
+				if err != nil {
+					return nil, err
+				}
+				if !v.Bool() {
+					continue
+				}
+			}
+			matched = true
+			out = append(out, merged)
+		}
+		if !matched && j.Outer {
+			merged := cloneEnv(env)
+			for name := range j.Right.Bindings() {
+				merged[name] = types.NullValue()
+			}
+			out = append(out, merged)
+		}
+	}
+	return out, nil
+}

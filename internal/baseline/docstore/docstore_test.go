@@ -1,0 +1,210 @@
+package docstore
+
+import (
+	"testing"
+	"testing/quick"
+
+	"proteus/internal/algebra"
+	"proteus/internal/expr"
+	"proteus/internal/types"
+)
+
+func doc(names []string, vals ...types.Value) types.Value {
+	return types.RecordValue(names, vals)
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	v := doc([]string{"i", "f", "s", "b", "nested", "arr", "nul"},
+		types.IntValue(-42),
+		types.FloatValue(2.5),
+		types.StringValue("héllo"),
+		types.BoolValue(true),
+		doc([]string{"x"}, types.IntValue(7)),
+		types.ListValue(types.IntValue(1), types.StringValue("two"),
+			doc([]string{"y"}, types.FloatValue(3.5))),
+		types.NullValue(),
+	)
+	data, err := Encode(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Decode(data)
+	if types.Compare(got, v) != 0 {
+		t.Fatalf("roundtrip:\n got %s\nwant %s", got, v)
+	}
+}
+
+func TestEncodeRejectsNonRecords(t *testing.T) {
+	if _, err := Encode(types.IntValue(1)); err == nil {
+		t.Error("scalar top-level should be rejected")
+	}
+}
+
+func TestGetFieldNavigation(t *testing.T) {
+	v := doc([]string{"a", "b", "c"},
+		types.IntValue(1),
+		doc([]string{"d"}, doc([]string{"e"}, types.StringValue("deep"))),
+		types.FloatValue(9.5),
+	)
+	data, _ := Encode(v)
+	if got, ok := GetField(data, []string{"c"}); !ok || got.F != 9.5 {
+		t.Errorf("c = %v, %v", got, ok)
+	}
+	if got, ok := GetField(data, []string{"b", "d", "e"}); !ok || got.S != "deep" {
+		t.Errorf("b.d.e = %v, %v", got, ok)
+	}
+	if _, ok := GetField(data, []string{"zz"}); ok {
+		t.Error("missing field should not be found")
+	}
+	if _, ok := GetField(data, []string{"a", "x"}); ok {
+		t.Error("path through scalar should fail")
+	}
+}
+
+func TestRoundtripProperty(t *testing.T) {
+	f := func(i int64, fl float64, s string, b bool) bool {
+		v := doc([]string{"i", "f", "s", "b"},
+			types.IntValue(i), types.FloatValue(fl), types.StringValue(s), types.BoolValue(b))
+		data, err := Encode(v)
+		if err != nil {
+			return false
+		}
+		return types.Compare(Decode(data), v) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func loadTestEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := New()
+	names := []string{"id", "grp", "tags"}
+	rows := []types.Value{
+		doc(names, types.IntValue(1), types.IntValue(1),
+			types.ListValue(doc([]string{"w"}, types.IntValue(5)), doc([]string{"w"}, types.IntValue(9)))),
+		doc(names, types.IntValue(2), types.IntValue(1), types.ListValue()),
+		doc(names, types.IntValue(3), types.IntValue(2),
+			types.ListValue(doc([]string{"w"}, types.IntValue(7)))),
+	}
+	if err := e.Load("docs", rows); err != nil {
+		t.Fatal(err)
+	}
+	if e.Docs("docs") != 3 {
+		t.Fatalf("docs = %d", e.Docs("docs"))
+	}
+	return e
+}
+
+func fieldOf(b, n string) expr.Expr { return &expr.FieldAcc{Base: &expr.Ref{Name: b}, Name: n} }
+
+func docsSchema() *types.RecordType {
+	return types.NewRecordType(
+		types.Field{Name: "id", Type: types.Int},
+		types.Field{Name: "grp", Type: types.Int},
+		types.Field{Name: "tags", Type: types.NewListType(types.NewRecordType(
+			types.Field{Name: "w", Type: types.Int},
+		))},
+	)
+}
+
+func TestRunPlanFilterAndCount(t *testing.T) {
+	e := loadTestEngine(t)
+	plan := &algebra.Reduce{
+		Aggs:  []expr.Agg{{Kind: expr.AggCount}},
+		Names: []string{"n"},
+		Child: &algebra.Select{
+			Pred:  &expr.BinOp{Op: expr.OpEq, L: fieldOf("d", "grp"), R: &expr.Const{V: types.IntValue(1)}},
+			Child: &algebra.Scan{Dataset: "docs", Binding: "d", Type: docsSchema()},
+		},
+	}
+	res, err := e.RunPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Scalar().AsInt(); got != 2 {
+		t.Fatalf("count = %d, want 2", got)
+	}
+}
+
+func TestRunPlanUnwind(t *testing.T) {
+	e := loadTestEngine(t)
+	plan := &algebra.Reduce{
+		Aggs:  []expr.Agg{{Kind: expr.AggSum, Arg: fieldOf("tg", "w")}},
+		Names: []string{"s"},
+		Child: &algebra.Unnest{
+			Path:    fieldOf("d", "tags"),
+			Binding: "tg",
+			Child:   &algebra.Scan{Dataset: "docs", Binding: "d", Type: docsSchema()},
+		},
+	}
+	res, err := e.RunPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Scalar().AsInt(); got != 21 {
+		t.Fatalf("sum = %d, want 21", got)
+	}
+}
+
+func TestRunPlanMapReduceJoin(t *testing.T) {
+	e := loadTestEngine(t)
+	other := []types.Value{
+		doc([]string{"id", "v"}, types.IntValue(1), types.IntValue(100)),
+		doc([]string{"id", "v"}, types.IntValue(3), types.IntValue(300)),
+		doc([]string{"id", "v"}, types.IntValue(9), types.IntValue(900)),
+	}
+	if err := e.Load("other", other); err != nil {
+		t.Fatal(err)
+	}
+	otherSchema := types.NewRecordType(
+		types.Field{Name: "id", Type: types.Int},
+		types.Field{Name: "v", Type: types.Int},
+	)
+	plan := &algebra.Reduce{
+		Aggs:  []expr.Agg{{Kind: expr.AggSum, Arg: fieldOf("o", "v")}},
+		Names: []string{"s"},
+		Child: &algebra.Join{
+			Pred:  &expr.BinOp{Op: expr.OpEq, L: fieldOf("d", "id"), R: fieldOf("o", "id")},
+			Left:  &algebra.Scan{Dataset: "docs", Binding: "d", Type: docsSchema()},
+			Right: &algebra.Scan{Dataset: "other", Binding: "o", Type: otherSchema},
+		},
+	}
+	res, err := e.RunPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Scalar().AsInt(); got != 400 {
+		t.Fatalf("sum = %d, want 400", got)
+	}
+}
+
+func TestRunPlanGroup(t *testing.T) {
+	e := loadTestEngine(t)
+	plan := &algebra.Nest{
+		GroupBy:    []expr.Expr{fieldOf("d", "grp")},
+		GroupNames: []string{"grp"},
+		Aggs:       []expr.Agg{{Kind: expr.AggCount}},
+		AggNames:   []string{"n"},
+		Child:      &algebra.Scan{Dataset: "docs", Binding: "d", Type: docsSchema()},
+	}
+	res, err := e.RunPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("groups = %d", len(res.Rows))
+	}
+}
+
+func TestRunPlanErrors(t *testing.T) {
+	e := loadTestEngine(t)
+	plan := &algebra.Reduce{
+		Aggs:  []expr.Agg{{Kind: expr.AggCount}},
+		Names: []string{"n"},
+		Child: &algebra.Scan{Dataset: "ghost", Binding: "g", Type: docsSchema()},
+	}
+	if _, err := e.RunPlan(plan); err == nil {
+		t.Error("unknown collection should fail")
+	}
+}

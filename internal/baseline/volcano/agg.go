@@ -1,0 +1,223 @@
+package volcano
+
+import (
+	"fmt"
+	"sort"
+
+	"proteus/internal/algebra"
+	"proteus/internal/expr"
+	"proteus/internal/types"
+)
+
+// boxedAcc folds boxed values — every update goes through type dispatch on
+// the Value kind, the per-tuple interpretation cost of a generic engine.
+type boxedAcc struct {
+	kind  expr.AggKind
+	arg   expr.Expr
+	state types.Value
+	sum   float64
+	n     int64
+	elems []types.Value
+	seen  bool
+}
+
+func (a *boxedAcc) fold(env expr.ValueEnv) error {
+	if a.kind == expr.AggCount {
+		a.n++
+		return nil
+	}
+	v, err := expr.Eval(a.arg, env)
+	if err != nil {
+		return err
+	}
+	switch a.kind {
+	case expr.AggBag, expr.AggList:
+		a.elems = append(a.elems, v)
+	case expr.AggAvg:
+		if !v.IsNull() {
+			a.sum += v.AsFloat()
+			a.n++
+		}
+	case expr.AggSum:
+		if v.IsNull() {
+			return nil
+		}
+		if !a.seen {
+			a.state = v
+			a.seen = true
+			return nil
+		}
+		if a.state.Kind == types.KindInt && v.Kind == types.KindInt {
+			a.state = types.IntValue(a.state.I + v.I)
+		} else {
+			a.state = types.FloatValue(a.state.AsFloat() + v.AsFloat())
+		}
+	case expr.AggMax:
+		if v.IsNull() {
+			return nil
+		}
+		if !a.seen || types.Compare(v, a.state) > 0 {
+			a.state = v
+			a.seen = true
+		}
+	case expr.AggMin:
+		if v.IsNull() {
+			return nil
+		}
+		if !a.seen || types.Compare(v, a.state) < 0 {
+			a.state = v
+			a.seen = true
+		}
+	default:
+		return fmt.Errorf("volcano: unsupported aggregate %v", a.kind)
+	}
+	return nil
+}
+
+func (a *boxedAcc) result() types.Value {
+	switch a.kind {
+	case expr.AggCount:
+		return types.IntValue(a.n)
+	case expr.AggAvg:
+		if a.n == 0 {
+			return types.NullValue()
+		}
+		return types.FloatValue(a.sum / float64(a.n))
+	case expr.AggBag:
+		return types.BagValue(a.elems...)
+	case expr.AggList:
+		return types.ListValue(a.elems...)
+	default:
+		if !a.seen {
+			return types.NullValue()
+		}
+		return a.state
+	}
+}
+
+func (e *Engine) runReduce(red *algebra.Reduce) (*Result, error) {
+	it, err := e.build(red.Child)
+	if err != nil {
+		return nil, err
+	}
+	// Collection yield.
+	if len(red.Aggs) == 1 && (red.Aggs[0].Kind == expr.AggBag || red.Aggs[0].Kind == expr.AggList) {
+		var rows []types.Value
+		err := drain(it, func(env expr.ValueEnv) error {
+			if red.Pred != nil {
+				v, err := expr.Eval(red.Pred, env)
+				if err != nil {
+					return err
+				}
+				if !v.Bool() {
+					return nil
+				}
+			}
+			v, err := expr.Eval(red.Aggs[0].Arg, env)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, v)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Cols: red.Names, Rows: rows}, nil
+	}
+	accs := make([]*boxedAcc, len(red.Aggs))
+	for i, a := range red.Aggs {
+		accs[i] = &boxedAcc{kind: a.Kind, arg: a.Arg}
+	}
+	err = drain(it, func(env expr.ValueEnv) error {
+		if red.Pred != nil {
+			v, err := expr.Eval(red.Pred, env)
+			if err != nil {
+				return err
+			}
+			if !v.Bool() {
+				return nil
+			}
+		}
+		for _, acc := range accs {
+			if err := acc.fold(env); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]types.Value, len(accs))
+	for i, acc := range accs {
+		vals[i] = acc.result()
+	}
+	return &Result{Cols: red.Names, Rows: []types.Value{types.RecordValue(red.Names, vals)}}, nil
+}
+
+func (e *Engine) runNest(n *algebra.Nest) (*Result, error) {
+	it, err := e.build(n.Child)
+	if err != nil {
+		return nil, err
+	}
+	type grp struct {
+		keyVals []types.Value
+		accs    []*boxedAcc
+	}
+	groups := map[string]*grp{}
+	var order []string
+	err = drain(it, func(env expr.ValueEnv) error {
+		if n.Pred != nil {
+			v, err := expr.Eval(n.Pred, env)
+			if err != nil {
+				return err
+			}
+			if !v.Bool() {
+				return nil
+			}
+		}
+		key := ""
+		keyVals := make([]types.Value, len(n.GroupBy))
+		for i, g := range n.GroupBy {
+			v, err := expr.Eval(g, env)
+			if err != nil {
+				return err
+			}
+			keyVals[i] = v
+			key += v.String() + "\x00"
+		}
+		g, ok := groups[key]
+		if !ok {
+			accs := make([]*boxedAcc, len(n.Aggs))
+			for i, a := range n.Aggs {
+				accs[i] = &boxedAcc{kind: a.Kind, arg: a.Arg}
+			}
+			g = &grp{keyVals: keyVals, accs: accs}
+			groups[key] = g
+			order = append(order, key)
+		}
+		for _, acc := range g.accs {
+			if err := acc.fold(env); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(order)
+	names := append(append([]string{}, n.GroupNames...), n.AggNames...)
+	rows := make([]types.Value, 0, len(order))
+	for _, key := range order {
+		g := groups[key]
+		vals := make([]types.Value, 0, len(names))
+		vals = append(vals, g.keyVals...)
+		for _, acc := range g.accs {
+			vals = append(vals, acc.result())
+		}
+		rows = append(rows, types.RecordValue(names, vals))
+	}
+	return &Result{Cols: names, Rows: rows}, nil
+}

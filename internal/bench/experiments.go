@@ -1,0 +1,341 @@
+package bench
+
+import (
+	"fmt"
+
+	"proteus/internal/engine"
+)
+
+// Sels are the selectivity points of §7.1 (percent of lineitem qualifying
+// under the l_orderkey predicate).
+var Sels = []int{10, 20, 50, 100}
+
+// cut returns the l_orderkey bound giving the requested selectivity.
+func (f *TPCHFixture) cut(selPct int) int64 {
+	if selPct >= 100 {
+		return f.Data.MaxOrderKey + 1
+	}
+	return f.Data.MaxOrderKey * int64(selPct) / 100
+}
+
+// runOn executes a prepared plan on one system by name.
+func (f *TPCHFixture) runOn(system string, prep *engine.Prepared) error {
+	switch system {
+	case SysProteus:
+		_, err := prep.Program.Run()
+		return err
+	case SysVolcano:
+		_, err := f.Volcano.RunPlan(prep.Plan)
+		return err
+	case SysVolcanoChar:
+		_, err := f.VolcanoChar.RunPlan(prep.Plan)
+		return err
+	case SysColumnar:
+		_, err := f.Columnar.RunPlan(prep.Plan)
+		return err
+	case SysColumnarSorted:
+		_, err := f.ColumnarSorted.RunPlan(prep.Plan)
+		return err
+	case SysDocstore:
+		_, err := f.Docstore.RunPlan(prep.Plan)
+		return err
+	}
+	return fmt.Errorf("bench: unknown system %q", system)
+}
+
+// measure times one (query, system) point. For Proteus the measurement
+// includes plan compilation — the analogue of the paper's ~50 ms LLVM
+// compilation, included in its reported times.
+func (f *TPCHFixture) measure(exp, label, system string, sel int, sqlText string, isComp bool) (Row, error) {
+	var prep *engine.Prepared
+	var err error
+	prepIt := func() error {
+		if isComp {
+			prep, err = f.PlanForComp(sqlText)
+		} else {
+			prep, err = f.PlanFor(sqlText)
+		}
+		return err
+	}
+	if system != SysProteus {
+		if err := prepIt(); err != nil {
+			return Row{}, fmt.Errorf("%s [%s]: %w", label, sqlText, err)
+		}
+	}
+	// Best-of-3: the paper's testbed runs are long enough that one-shot
+	// timing is stable; at laptop scale the minimum of three runs removes
+	// scheduler and GC noise without changing the shape.
+	best := -1.0
+	for rep := 0; rep < 3; rep++ {
+		secs, err := timeIt(func() error {
+			if system == SysProteus {
+				if err := prepIt(); err != nil {
+					return err
+				}
+			}
+			return f.runOn(system, prep)
+		})
+		if err != nil {
+			return Row{}, fmt.Errorf("%s on %s: %w", label, system, err)
+		}
+		if best < 0 || secs < best {
+			best = secs
+		}
+	}
+	return Row{Exp: exp, Query: label, System: system, Sel: sel, Seconds: best}, nil
+}
+
+// sweep runs one query template across systems and selectivities.
+func (f *TPCHFixture) sweep(exp, label string, systems []string, tmpl func(cut int64) string, isComp bool) ([]Row, error) {
+	var rows []Row
+	for _, sel := range Sels {
+		q := tmpl(f.cut(sel))
+		for _, sys := range systems {
+			r, err := f.measure(exp, label, sys, sel, q, isComp)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, r)
+		}
+	}
+	return rows, nil
+}
+
+var (
+	jsonSystems = []string{SysVolcano, SysVolcanoChar, SysDocstore, SysProteus}
+	binSystems  = []string{SysVolcano, SysColumnar, SysColumnarSorted, SysProteus}
+)
+
+// Fig5 — projection-intensive queries over JSON data.
+func Fig5(f *TPCHFixture) ([]Row, error) {
+	return f.projections("fig5", "lineitem_json", jsonSystems)
+}
+
+// Fig6 — projection-intensive queries over binary relational data.
+func Fig6(f *TPCHFixture) ([]Row, error) {
+	return f.projections("fig6", "lineitem_bin", binSystems)
+}
+
+func (f *TPCHFixture) projections(exp, table string, systems []string) ([]Row, error) {
+	var all []Row
+	templates := []struct {
+		label string
+		sql   func(cut int64) string
+	}{
+		{"1 Aggr. (Count)", func(c int64) string {
+			return fmt.Sprintf("SELECT COUNT(*) FROM %s WHERE l_orderkey < %d", table, c)
+		}},
+		{"1 Aggr. (MAX)", func(c int64) string {
+			return fmt.Sprintf("SELECT MAX(l_quantity) FROM %s WHERE l_orderkey < %d", table, c)
+		}},
+		{"4 Aggr.", func(c int64) string {
+			return fmt.Sprintf(
+				"SELECT COUNT(*), MAX(l_quantity), MAX(l_extendedprice), MAX(l_tax) FROM %s WHERE l_orderkey < %d",
+				table, c)
+		}},
+	}
+	for _, t := range templates {
+		rows, err := f.sweep(exp, t.label, systems, t.sql, false)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, rows...)
+	}
+	return all, nil
+}
+
+// Fig7 — selection queries over JSON data.
+func Fig7(f *TPCHFixture) ([]Row, error) {
+	return f.selections("fig7", "lineitem_json", jsonSystems)
+}
+
+// Fig8 — selection queries over binary relational data.
+func Fig8(f *TPCHFixture) ([]Row, error) {
+	return f.selections("fig8", "lineitem_bin", binSystems)
+}
+
+func (f *TPCHFixture) selections(exp, table string, systems []string) ([]Row, error) {
+	var all []Row
+	templates := []struct {
+		label string
+		sql   func(cut int64) string
+	}{
+		{"1 Predicate", func(c int64) string {
+			return fmt.Sprintf("SELECT COUNT(*) FROM %s WHERE l_orderkey < %d", table, c)
+		}},
+		{"3 Predicates", func(c int64) string {
+			return fmt.Sprintf(
+				"SELECT COUNT(*) FROM %s WHERE l_orderkey < %d AND l_quantity < 60 AND l_extendedprice < 1000000.0",
+				table, c)
+		}},
+		{"4 Predicates", func(c int64) string {
+			return fmt.Sprintf(
+				"SELECT COUNT(*) FROM %s WHERE l_orderkey < %d AND l_quantity < 60 AND l_extendedprice < 1000000.0 AND l_tax < 1.0",
+				table, c)
+		}},
+	}
+	for _, t := range templates {
+		rows, err := f.sweep(exp, t.label, systems, t.sql, false)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, rows...)
+	}
+	return all, nil
+}
+
+// Fig9 — join and unnest queries over JSON data.
+func Fig9(f *TPCHFixture) ([]Row, error) {
+	all, err := f.joins("fig9", "orders_json", "lineitem_json", jsonSystems)
+	if err != nil {
+		return nil, err
+	}
+	// Unnest variant over the denormalized representation: count qualifying
+	// lineitems embedded in each order object.
+	unnest := func(c int64) string {
+		return fmt.Sprintf(
+			"for { o <- orders_denorm, l <- o.lineitems, l.l_orderkey < %d } yield count", c)
+	}
+	rows, err := f.sweep("fig9", "Unnest", jsonSystems, unnest, true)
+	if err != nil {
+		return nil, err
+	}
+	return append(all, rows...), nil
+}
+
+// Fig10 — join queries over binary relational data.
+func Fig10(f *TPCHFixture) ([]Row, error) {
+	return f.joins("fig10", "orders_bin", "lineitem_bin", binSystems)
+}
+
+func (f *TPCHFixture) joins(exp, orders, lineitem string, systems []string) ([]Row, error) {
+	var all []Row
+	templates := []struct {
+		label string
+		sql   func(cut int64) string
+	}{
+		{"1 Aggr. (COUNT)", func(c int64) string {
+			return fmt.Sprintf(
+				"SELECT COUNT(*) FROM %s o JOIN %s l ON o.o_orderkey = l.l_orderkey WHERE l.l_orderkey < %d",
+				orders, lineitem, c)
+		}},
+		{"1 Aggr. (MAX)", func(c int64) string {
+			return fmt.Sprintf(
+				"SELECT MAX(o.o_totalprice) FROM %s o JOIN %s l ON o.o_orderkey = l.l_orderkey WHERE l.l_orderkey < %d",
+				orders, lineitem, c)
+		}},
+		{"2 Aggr.", func(c int64) string {
+			return fmt.Sprintf(
+				"SELECT COUNT(*), MAX(o.o_totalprice) FROM %s o JOIN %s l ON o.o_orderkey = l.l_orderkey WHERE l.l_orderkey < %d",
+				orders, lineitem, c)
+		}},
+	}
+	for _, t := range templates {
+		rows, err := f.sweep(exp, t.label, systems, t.sql, false)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, rows...)
+	}
+	return all, nil
+}
+
+// Fig11 — aggregate (GROUP BY) queries over JSON data.
+func Fig11(f *TPCHFixture) ([]Row, error) {
+	return f.groupbys("fig11", "lineitem_json", jsonSystems)
+}
+
+// Fig12 — aggregate (GROUP BY) queries over binary relational data.
+func Fig12(f *TPCHFixture) ([]Row, error) {
+	return f.groupbys("fig12", "lineitem_bin", binSystems)
+}
+
+func (f *TPCHFixture) groupbys(exp, table string, systems []string) ([]Row, error) {
+	var all []Row
+	templates := []struct {
+		label string
+		sql   func(cut int64) string
+	}{
+		{"1 Aggr.", func(c int64) string {
+			return fmt.Sprintf(
+				"SELECT l_linenumber, COUNT(*) FROM %s WHERE l_orderkey < %d GROUP BY l_linenumber",
+				table, c)
+		}},
+		{"3 Aggr.", func(c int64) string {
+			return fmt.Sprintf(
+				"SELECT l_linenumber, COUNT(*), MAX(l_quantity), SUM(l_extendedprice) FROM %s WHERE l_orderkey < %d GROUP BY l_linenumber",
+				table, c)
+		}},
+		{"4 Aggr.", func(c int64) string {
+			return fmt.Sprintf(
+				"SELECT l_linenumber, COUNT(*), MAX(l_quantity), SUM(l_extendedprice), MIN(l_discount) FROM %s WHERE l_orderkey < %d GROUP BY l_linenumber",
+				table, c)
+		}},
+	}
+	for _, t := range templates {
+		rows, err := f.sweep(exp, t.label, systems, t.sql, false)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, rows...)
+	}
+	return all, nil
+}
+
+// Fig13 — effect of caching: a projection template and a selection template
+// over JSON, "Baseline" (caching off) vs. "Cached Predicate" (the predicate
+// and projected columns were cached by a previous query). The report layer
+// divides the two to obtain the paper's speedup curve.
+func Fig13(sf float64) ([]Row, error) {
+	templates := []struct {
+		label string
+		sql   func(cut int64) string
+	}{
+		{"Projection Template", func(c int64) string {
+			return fmt.Sprintf(
+				"SELECT MAX(l_quantity), MAX(l_extendedprice), MAX(l_discount), MAX(l_tax) FROM lineitem_json WHERE l_orderkey < %d", c)
+		}},
+		{"Selection Template", func(c int64) string {
+			return fmt.Sprintf(
+				"SELECT COUNT(*) FROM lineitem_json WHERE l_orderkey < %d AND l_quantity < 60 AND l_extendedprice < 1000000.0 AND l_tax < 1.0", c)
+		}},
+	}
+	var rows []Row
+
+	// Baseline: caching disabled.
+	base, err := NewTPCHFixture(sf)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range templates {
+		for _, sel := range Sels {
+			r, err := base.measure("fig13", t.label, SysProteus, sel, t.sql(base.cut(sel)), false)
+			if err != nil {
+				return nil, err
+			}
+			r.System = "Baseline"
+			rows = append(rows, r)
+		}
+	}
+
+	// Cached: caching enabled; a first pass populates the caches, the
+	// measured pass reads them.
+	cached, err := NewTPCHFixtureCached(sf)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range templates {
+		if _, err := cached.Proteus.QuerySQL(t.sql(cached.cut(100))); err != nil {
+			return nil, err
+		}
+		for _, sel := range Sels {
+			r, err := cached.measure("fig13", t.label, SysProteus, sel, t.sql(cached.cut(sel)), false)
+			if err != nil {
+				return nil, err
+			}
+			r.System = "Cached Predicate"
+			rows = append(rows, r)
+		}
+	}
+	return rows, nil
+}

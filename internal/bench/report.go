@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// PrintFigure renders a figure's rows the way the paper plots them: one
+// block per query template, systems as table rows, selectivities as
+// columns, execution time in seconds per cell.
+func PrintFigure(w io.Writer, title string, rows []Row) {
+	fmt.Fprintf(w, "== %s ==\n", title)
+	// Group by query label, preserving first-appearance order.
+	var labels []string
+	byLabel := map[string][]Row{}
+	for _, r := range rows {
+		if _, ok := byLabel[r.Query]; !ok {
+			labels = append(labels, r.Query)
+		}
+		byLabel[r.Query] = append(byLabel[r.Query], r)
+	}
+	for _, label := range labels {
+		sub := byLabel[label]
+		sels := sortedSels(sub)
+		fmt.Fprintf(w, "-- Q: %s --\n", label)
+		fmt.Fprintf(w, "%-32s", "system \\ selectivity %")
+		for _, s := range sels {
+			fmt.Fprintf(w, "%12d", s)
+		}
+		fmt.Fprintln(w)
+		var systems []string
+		seen := map[string]bool{}
+		for _, r := range sub {
+			if !seen[r.System] {
+				systems = append(systems, r.System)
+				seen[r.System] = true
+			}
+		}
+		for _, sys := range systems {
+			fmt.Fprintf(w, "%-32s", sys)
+			for _, s := range sels {
+				v, ok := cell(sub, sys, s)
+				if ok {
+					fmt.Fprintf(w, "%12.4f", v)
+				} else {
+					fmt.Fprintf(w, "%12s", "-")
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+func sortedSels(rows []Row) []int {
+	set := map[int]bool{}
+	for _, r := range rows {
+		set[r.Sel] = true
+	}
+	out := make([]int, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func cell(rows []Row, system string, sel int) (float64, bool) {
+	for _, r := range rows {
+		if r.System == system && r.Sel == sel {
+			return r.Seconds, true
+		}
+	}
+	return 0, false
+}
+
+// PrintSpeedups renders fig13's speedup view: Baseline seconds divided by
+// Cached-Predicate seconds per (template, selectivity).
+func PrintSpeedups(w io.Writer, rows []Row) {
+	fmt.Fprintln(w, "== fig13: caching speedup (Baseline / Cached Predicate) ==")
+	var labels []string
+	seen := map[string]bool{}
+	for _, r := range rows {
+		if !seen[r.Query] {
+			labels = append(labels, r.Query)
+			seen[r.Query] = true
+		}
+	}
+	for _, label := range labels {
+		fmt.Fprintf(w, "%-24s", label)
+		for _, sel := range Sels {
+			var base, cached float64
+			for _, r := range rows {
+				if r.Query != label || r.Sel != sel {
+					continue
+				}
+				switch r.System {
+				case "Baseline":
+					base = r.Seconds
+				case "Cached Predicate":
+					cached = r.Seconds
+				}
+			}
+			if cached > 0 {
+				fmt.Fprintf(w, "  %d%%: %6.2fx", sel, base/cached)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+// PrintSpam renders Figure 14 (per-query times) and Table 3 (phase totals).
+func PrintSpam(w io.Writer, rep *SpamReport) {
+	fmt.Fprintln(w, "== fig14: spam workload, per-query execution time (seconds) ==")
+	stacks := []string{StackPG, StackPolyglot, StackProteus}
+	fmt.Fprintf(w, "%-6s", "query")
+	for _, s := range stacks {
+		fmt.Fprintf(w, "%44s", s)
+	}
+	fmt.Fprintln(w)
+	byQuery := map[string]map[string]float64{}
+	var queries []string
+	for _, r := range rep.Rows {
+		if _, ok := byQuery[r.Query]; !ok {
+			byQuery[r.Query] = map[string]float64{}
+			queries = append(queries, r.Query)
+		}
+		byQuery[r.Query][r.System] = r.Seconds
+	}
+	for _, q := range queries {
+		fmt.Fprintf(w, "%-6s", q)
+		for _, s := range stacks {
+			fmt.Fprintf(w, "%44.4f", byQuery[q][s])
+		}
+		fmt.Fprintln(w)
+	}
+
+	fmt.Fprintln(w, "\n== table3: execution time per workload phase (seconds) ==")
+	fmt.Fprintf(w, "%-44s%12s%12s%12s%12s%12s%12s\n",
+		"stack", "LoadCSV", "LoadJSON", "Middleware", "Q39", "Rest", "Total")
+	for _, s := range stacks {
+		fmt.Fprintf(w, "%-44s%12.3f%12.3f%12.3f%12.3f%12.3f%12.3f\n",
+			s, rep.LoadCSV[s], rep.LoadJSON[s], rep.Middleware[s], rep.Q39[s], rep.Rest[s], rep.Total[s])
+	}
+	if rep.Total[StackProteus] > 0 {
+		fmt.Fprintf(w, "\nspeedup vs PostgreSQL-like: %.2fx   vs polystore: %.2fx\n",
+			rep.Total[StackPG]/rep.Total[StackProteus],
+			rep.Total[StackPolyglot]/rep.Total[StackProteus])
+		// The paper isolates Q39 (the blind-optimizer outlier) and reports
+		// the speedup without it as well.
+		exPG := rep.Total[StackPG] - rep.Q39[StackPG]
+		exPr := rep.Total[StackProteus] - rep.Q39[StackProteus]
+		if exPr > 0 {
+			fmt.Fprintf(w, "excluding Q39:              %.2fx   vs polystore: %.2fx\n",
+				exPG/exPr, (rep.Total[StackPolyglot]-rep.Q39[StackPolyglot])/exPr)
+		}
+	}
+	fmt.Fprintf(w, "cache footprint: CSV %.1f%% of file, JSON %.1f%% of file\n\n",
+		100*float64(rep.CacheCSVBytes)/float64(rep.CSVBytes),
+		100*float64(rep.CacheJSONBytes)/float64(rep.JSONBytes))
+}
+
+// FormatRows renders raw rows as a flat CSV-ish listing (machine-friendly).
+func FormatRows(rows []Row) string {
+	var sb strings.Builder
+	sb.WriteString("exp,query,system,selectivity,seconds\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%s,%q,%q,%d,%.6f\n", r.Exp, r.Query, r.System, r.Sel, r.Seconds)
+	}
+	return sb.String()
+}

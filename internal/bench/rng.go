@@ -1,0 +1,45 @@
+// Package bench contains the workload generators and the experiment
+// harness that regenerates every table and figure of the paper's
+// evaluation (§7). Data generation is fully deterministic (seeded
+// splitmix64) so experiments are reproducible run-to-run.
+package bench
+
+// rng is a splitmix64 PRNG: tiny, fast, deterministic.
+type rng struct{ state uint64 }
+
+func newRng(seed uint64) *rng { return &rng{state: seed} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform int in [0, n).
+func (r *rng) intn(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return int64(r.next() % uint64(n))
+}
+
+// float returns a uniform float in [0, 1).
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// pick returns a random element of choices.
+func pick[T any](r *rng, choices []T) T {
+	return choices[r.intn(int64(len(choices)))]
+}
+
+// shuffle permutes s in place (Fisher–Yates), mirroring the paper's
+// shuffling of file contents to defeat interesting-order optimizations.
+func shuffle[T any](r *rng, s []T) {
+	for i := len(s) - 1; i > 0; i-- {
+		j := r.intn(int64(i + 1))
+		s[i], s[j] = s[j], s[i]
+	}
+}

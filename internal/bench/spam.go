@@ -1,0 +1,429 @@
+package bench
+
+import (
+	"fmt"
+
+	"proteus/internal/algebra"
+	"proteus/internal/baseline/columnar"
+	"proteus/internal/baseline/docstore"
+	"proteus/internal/baseline/volcano"
+	"proteus/internal/engine"
+	"proteus/internal/expr"
+	"proteus/internal/plugin"
+	"proteus/internal/types"
+)
+
+// SpamQuery is one of the fifty workload queries (§7.2): selections, 2- and
+// 3-way joins, unnests of JSON fields, groupings, and aggregates, with
+// projectivity 1–9 fields and selectivity ~1–25%.
+type SpamQuery struct {
+	ID      int
+	Text    string
+	IsComp  bool
+	Touches []string // dataset names: spam_bin, spam_csv, spam_json
+}
+
+func touchesJSON(q SpamQuery) bool {
+	for _, t := range q.Touches {
+		if t == "spam_json" {
+			return true
+		}
+	}
+	return false
+}
+
+func touchesOnlyJSON(q SpamQuery) bool {
+	return len(q.Touches) == 1 && q.Touches[0] == "spam_json"
+}
+
+// SpamQueries builds the 50-query workload for a dataset with maxMid mail
+// ids. The phase structure mirrors Figure 14: Q1–Q8 binary, Q9–Q15 CSV,
+// Q16–Q25 JSON, Q26–Q30 BIN⋈CSV, Q31–Q35 BIN⋈JSON, Q36–Q40 CSV⋈JSON,
+// Q41–Q50 all three.
+func SpamQueries(maxMid int64) []SpamQuery {
+	pct := func(p int64) int64 { return maxMid * p / 100 }
+	var qs []SpamQuery
+	add := func(text string, isComp bool, touches ...string) {
+		qs = append(qs, SpamQuery{ID: len(qs) + 1, Text: text, IsComp: isComp, Touches: touches})
+	}
+	bin, csv, json := "spam_bin", "spam_csv", "spam_json"
+
+	// Q1–Q8: binary table.
+	add(fmt.Sprintf("SELECT COUNT(*) FROM spam_bin WHERE mid < %d", pct(5)), false, bin)
+	add("SELECT MAX(volume), AVG(hits) FROM spam_bin WHERE day < 90", false, bin)
+	add(fmt.Sprintf("SELECT day, COUNT(*) FROM spam_bin WHERE mid < %d GROUP BY day", pct(25)), false, bin)
+	add("SELECT SUM(hits) FROM spam_bin WHERE volume < 250000.0", false, bin)
+	add(fmt.Sprintf("SELECT MAX(feature), MIN(feature) FROM spam_bin WHERE mid < %d AND day < 180", pct(20)), false, bin)
+	add("SELECT day, SUM(volume), COUNT(*) FROM spam_bin WHERE hits < 100 GROUP BY day", false, bin)
+	add(fmt.Sprintf("SELECT AVG(volume) FROM spam_bin WHERE mid < %d AND hits < 500", pct(10)), false, bin)
+	add(fmt.Sprintf("SELECT COUNT(*) FROM spam_bin WHERE mid < %d", pct(1)), false, bin) // sorted-key skip favors DBMS-C
+
+	// Q9–Q15: CSV classification output (Q9 is the cold first touch).
+	add("SELECT COUNT(*) FROM spam_csv WHERE score < 0.2", false, csv)
+	add("SELECT class_id, COUNT(*) FROM spam_csv WHERE confidence < 0.25 GROUP BY class_id", false, csv)
+	add(fmt.Sprintf("SELECT MAX(score) FROM spam_csv WHERE mid < %d", pct(10)), false, csv)
+	add("SELECT COUNT(*) FROM spam_csv WHERE label LIKE '%phish%' AND score < 0.5", false, csv)
+	add("SELECT label, COUNT(*), AVG(confidence) FROM spam_csv WHERE cluster < 1250 GROUP BY label", false, csv)
+	add("SELECT SUM(score), MAX(confidence) FROM spam_csv WHERE class_id < 2", false, csv)
+	add(fmt.Sprintf("SELECT cluster, COUNT(*) FROM spam_csv WHERE mid < %d GROUP BY cluster", pct(2)), false, csv)
+
+	// Q16–Q25: JSON feed (Q16 is the cold first touch).
+	add("SELECT COUNT(*) FROM spam_json WHERE score < 0.2", false, json)
+	add(fmt.Sprintf("SELECT MAX(body_len) FROM spam_json WHERE mid < %d", pct(25)), false, json)
+	add("SELECT COUNT(*) FROM spam_json WHERE lang = 'en' AND score < 0.5", false, json)
+	add("SELECT day, COUNT(*) FROM spam_json WHERE body_len < 1000 GROUP BY day", false, json)
+	add("for { m <- spam_json, c <- m.classes, c.w > 50 } yield count", true, json)
+	add("SELECT COUNT(*) FROM spam_json WHERE country = 'US' AND body_len < 2000", false, json)
+	add(fmt.Sprintf("SELECT AVG(score) FROM spam_json WHERE mid < %d AND day < 180", pct(20)), false, json)
+	add("for { m <- spam_json, c <- m.classes, m.score < 0.1 } yield count", true, json)
+	add("SELECT day, MAX(score), COUNT(*) FROM spam_json WHERE body_len < 500 GROUP BY day", false, json)
+	add(fmt.Sprintf("SELECT SUM(body_len) FROM spam_json WHERE mid < %d", pct(5)), false, json)
+
+	// Q26–Q30: BIN ⋈ CSV.
+	add(fmt.Sprintf("SELECT COUNT(*) FROM spam_bin b JOIN spam_csv c ON b.mid = c.mid WHERE b.mid < %d", pct(2)), false, bin, csv)
+	add(fmt.Sprintf("SELECT MAX(c.score) FROM spam_bin b JOIN spam_csv c ON b.mid = c.mid WHERE b.day < 30 AND b.mid < %d", pct(10)), false, bin, csv)
+	add(fmt.Sprintf("SELECT COUNT(*) FROM spam_bin b JOIN spam_csv c ON b.mid = c.mid WHERE c.label LIKE '%%pharma%%' AND b.mid < %d", pct(5)), false, bin, csv)
+	add(fmt.Sprintf("SELECT AVG(b.volume) FROM spam_bin b JOIN spam_csv c ON b.mid = c.mid WHERE b.mid < %d AND c.label LIKE '%%casino%%'", pct(1)), false, bin, csv)
+	add(fmt.Sprintf("SELECT COUNT(*), MAX(b.hits) FROM spam_bin b JOIN spam_csv c ON b.mid = c.mid WHERE b.mid < %d AND c.score < 0.3", pct(5)), false, bin, csv)
+
+	// Q31–Q35: BIN ⋈ JSON (first mixed-JSON query triggers the polystore
+	// middleware exchange).
+	add(fmt.Sprintf("SELECT COUNT(*) FROM spam_bin b JOIN spam_json m ON b.mid = m.mid WHERE b.mid < %d", pct(5)), false, bin, json)
+	add(fmt.Sprintf("SELECT MAX(m.score) FROM spam_bin b JOIN spam_json m ON b.mid = m.mid WHERE b.day < 90 AND b.mid < %d", pct(10)), false, bin, json)
+	add(fmt.Sprintf("SELECT AVG(m.body_len) FROM spam_bin b JOIN spam_json m ON b.mid = m.mid WHERE b.mid < %d", pct(2)), false, bin, json)
+	add(fmt.Sprintf("SELECT COUNT(*), MAX(b.volume) FROM spam_bin b JOIN spam_json m ON b.mid = m.mid WHERE m.score < 0.25 AND b.mid < %d", pct(10)), false, bin, json)
+	add(fmt.Sprintf("SELECT m.day, COUNT(*) FROM spam_bin b JOIN spam_json m ON b.mid = m.mid WHERE b.mid < %d GROUP BY m.day", pct(5)), false, bin, json)
+
+	// Q36–Q40: CSV ⋈ JSON (Q39 is the PostgreSQL nested-loop outlier).
+	add(fmt.Sprintf("SELECT COUNT(*) FROM spam_csv c JOIN spam_json m ON c.mid = m.mid WHERE c.mid < %d", pct(2)), false, csv, json)
+	add(fmt.Sprintf("SELECT MAX(c.score) FROM spam_csv c JOIN spam_json m ON c.mid = m.mid WHERE m.body_len < 800 AND c.mid < %d", pct(5)), false, csv, json)
+	add(fmt.Sprintf("SELECT AVG(m.score) FROM spam_csv c JOIN spam_json m ON c.mid = m.mid WHERE c.confidence < 0.2 AND c.mid < %d", pct(5)), false, csv, json)
+	add(fmt.Sprintf("SELECT COUNT(*) FROM spam_csv c JOIN spam_json m ON c.mid = m.mid WHERE c.mid < %d AND m.day < 180", pct(3)), false, csv, json)
+	add(fmt.Sprintf("SELECT m.day, COUNT(*), MAX(c.score) FROM spam_csv c JOIN spam_json m ON c.mid = m.mid WHERE c.mid < %d GROUP BY m.day", pct(2)), false, csv, json)
+
+	// Q41–Q50: three-way joins.
+	for i := 0; i < 10; i++ {
+		sel := []int64{1, 2, 3, 5, 2, 1, 3, 2, 5, 1}[i]
+		switch i % 3 {
+		case 0:
+			add(fmt.Sprintf(
+				"SELECT COUNT(*) FROM spam_bin b JOIN spam_csv c ON b.mid = c.mid JOIN spam_json m ON b.mid = m.mid WHERE b.mid < %d",
+				pct(sel)), false, bin, csv, json)
+		case 1:
+			add(fmt.Sprintf(
+				"SELECT MAX(m.score), COUNT(*) FROM spam_bin b JOIN spam_csv c ON b.mid = c.mid JOIN spam_json m ON b.mid = m.mid WHERE b.mid < %d AND c.score < 0.5",
+				pct(sel)), false, bin, csv, json)
+		default:
+			add(fmt.Sprintf(
+				"SELECT m.day, COUNT(*) FROM spam_bin b JOIN spam_csv c ON b.mid = c.mid JOIN spam_json m ON b.mid = m.mid WHERE b.mid < %d GROUP BY m.day",
+				pct(sel)), false, bin, csv, json)
+		}
+	}
+	return qs
+}
+
+// SpamReport is the outcome of the workload on all three stacks: per-query
+// rows (Figure 14) plus the phase totals (Table 3).
+type SpamReport struct {
+	Rows []Row
+	// Phase totals per stack, in seconds (Table 3).
+	LoadCSV, LoadJSON, Middleware, Q39, Rest, Total map[string]float64
+	// Cache footprints at the end of the workload (§7.2 narrative).
+	CacheCSVBytes, CacheJSONBytes int64
+	CSVBytes, JSONBytes           int64
+}
+
+// Stack names for the spam workload (Table 3's three approaches).
+const (
+	StackPG       = "PostgreSQL-like (one generic engine)"
+	StackPolyglot = "DBMS-C & Mongo-like (polystore + middleware)"
+	StackProteus  = "Proteus"
+)
+
+// RunSpam executes the whole workload on the three stacks.
+func RunSpam(nJSON int) (*SpamReport, error) {
+	data := GenSpam(nJSON)
+	queries := SpamQueries(data.MaxMailID)
+	rep := &SpamReport{
+		LoadCSV: map[string]float64{}, LoadJSON: map[string]float64{},
+		Middleware: map[string]float64{}, Q39: map[string]float64{},
+		Rest: map[string]float64{}, Total: map[string]float64{},
+		CSVBytes: int64(len(data.CSV)), JSONBytes: int64(len(data.JSON)),
+	}
+
+	// Proteus: caching enabled (§7.2); datasets registered in situ. The
+	// structural-index build happens on Register; its cost is charged to
+	// the first query touching each raw dataset, as in the paper.
+	prot := engine.New(engine.Config{CacheEnabled: true})
+	prot.Mem().PutFile("mem://spam.bin", data.Bin)
+	prot.Mem().PutFile("mem://spam.csv", data.CSV)
+	prot.Mem().PutFile("mem://spam.json", data.JSON)
+	if err := prot.Register("spam_bin", "mem://spam.bin", "bin", nil, plugin.Options{}); err != nil {
+		return nil, err
+	}
+	csvOpenSecs, err := timeIt(func() error {
+		return prot.Register("spam_csv", "mem://spam.csv", "csv", data.CSVSchema, plugin.Options{IndexStride: 5})
+	})
+	if err != nil {
+		return nil, err
+	}
+	jsonOpenSecs, err := timeIt(func() error {
+		return prot.Register("spam_json", "mem://spam.json", "json", nil, plugin.Options{})
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Boxed rows for the baseline loads.
+	binRows := ColumnsToValues(data.BinCols, data.BinRows)
+	jsonRows, err := readRowsVia(prot, "spam_json")
+	if err != nil {
+		return nil, err
+	}
+
+	// PostgreSQL-like stack: one volcano engine holding everything; CSV and
+	// JSON pay an explicit load (parse + box ≈ COPY + jsonb ingest).
+	vol := volcano.New()
+	vol.Load("spam_bin", binRows)
+	sec, _ := timeIt(func() error { vol.Load("spam_csv", reparseCSV(data)); return nil })
+	rep.LoadCSV[StackPG] = sec
+	sec, _ = timeIt(func() error { vol.Load("spam_json", reparseJSON(data)); return nil })
+	rep.LoadJSON[StackPG] = sec
+
+	// Polystore stack: columnar (sorted on mid, DBMS-C-like) for BIN+CSV,
+	// docstore for JSON, middleware for mixed queries.
+	col := columnar.New()
+	if err := col.Load("spam_bin", binSchema(), binRows, "mid"); err != nil {
+		return nil, err
+	}
+	sec, err = timeIt(func() error {
+		return col.Load("spam_csv", data.CSVSchema, reparseCSV(data), "mid")
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.LoadCSV[StackPolyglot] = sec
+	doc := docstore.New()
+	sec, err = timeIt(func() error { return doc.Load("spam_json", reparseJSON(data)) })
+	if err != nil {
+		return nil, err
+	}
+	rep.LoadJSON[StackPolyglot] = sec
+
+	// Middleware: exported flat projection of the JSON collection, loaded
+	// into the columnar engine on the first mixed query.
+	middlewareDone := false
+	middleware := func() error {
+		if middlewareDone {
+			return nil
+		}
+		secs, err := timeIt(func() error {
+			flat := flattenJSONRows(jsonRows)
+			return col.Load("spam_json", flatJSONSchema(), flat, "")
+		})
+		if err != nil {
+			return err
+		}
+		rep.Middleware[StackPolyglot] += secs
+		middlewareDone = true
+		return nil
+	}
+
+	// Run the fifty queries.
+	for _, q := range queries {
+		prep, err := prepare(prot, q)
+		if err != nil {
+			return nil, fmt.Errorf("spam Q%d: %w", q.ID, err)
+		}
+
+		// Proteus (compile included, as everywhere).
+		secs, err := timeIt(func() error {
+			p2, err := prepare(prot, q)
+			if err != nil {
+				return err
+			}
+			_, err = p2.Program.Run()
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("spam Q%d proteus: %w", q.ID, err)
+		}
+		// Charge the cold structural-index build to the first touch.
+		if q.ID == 9 {
+			secs += csvOpenSecs
+		}
+		if q.ID == 16 {
+			secs += jsonOpenSecs
+		}
+		rep.add(q, StackProteus, secs)
+
+		// PostgreSQL-like: Q39 models the blind optimizer's nested-loop plan.
+		plan := prep.Plan
+		if q.ID == 39 {
+			plan = defeatEquiJoin(plan)
+		}
+		secs, err = timeIt(func() error {
+			_, err := vol.RunPlan(plan)
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("spam Q%d volcano: %w", q.ID, err)
+		}
+		rep.add(q, StackPG, secs)
+
+		// Polystore: JSON-only queries go to the document store; anything
+		// touching JSON together with flat data goes through the middleware
+		// exchange and then runs on the columnar engine.
+		var polyErr error
+		secs, err = timeIt(func() error {
+			switch {
+			case touchesOnlyJSON(q):
+				_, polyErr = doc.RunPlan(prep.Plan)
+			case touchesJSON(q):
+				if polyErr = middleware(); polyErr == nil {
+					_, polyErr = col.RunPlan(prep.Plan)
+				}
+			default:
+				_, polyErr = col.RunPlan(prep.Plan)
+			}
+			return polyErr
+		})
+		if err != nil {
+			return nil, fmt.Errorf("spam Q%d polystore: %w", q.ID, err)
+		}
+		rep.add(q, StackPolyglot, secs)
+	}
+
+	for _, stack := range []string{StackPG, StackPolyglot, StackProteus} {
+		rep.Total[stack] = rep.LoadCSV[stack] + rep.LoadJSON[stack] +
+			rep.Middleware[stack] + rep.Q39[stack] + rep.Rest[stack]
+	}
+	rep.CacheCSVBytes = prot.Caches().BytesForDataset("spam_csv")
+	rep.CacheJSONBytes = prot.Caches().BytesForDataset("spam_json")
+	return rep, nil
+}
+
+func (rep *SpamReport) add(q SpamQuery, stack string, secs float64) {
+	rep.Rows = append(rep.Rows, Row{Exp: "fig14", Query: fmt.Sprintf("Q%d", q.ID), System: stack, Seconds: secs})
+	if q.ID == 39 {
+		rep.Q39[stack] += secs
+	} else {
+		rep.Rest[stack] += secs
+	}
+}
+
+func prepare(prot *engine.Engine, q SpamQuery) (*engine.Prepared, error) {
+	if q.IsComp {
+		return prot.PrepareComp(q.Text)
+	}
+	return prot.PrepareSQL(q.Text)
+}
+
+// readRowsVia decodes a registered dataset through its plug-in.
+func readRowsVia(e *engine.Engine, name string) ([]types.Value, error) {
+	ds, in, err := e.Dataset(name)
+	if err != nil {
+		return nil, err
+	}
+	return in.ReadRows(ds)
+}
+
+// reparseCSV re-parses the CSV text per load so each stack pays its own
+// ingest cost (sharing one boxed slice would hide it).
+func reparseCSV(data *Spam) []types.Value {
+	e := engine.New(engine.Config{})
+	e.Mem().PutFile("mem://x.csv", data.CSV)
+	if err := e.Register("x", "mem://x.csv", "csv", data.CSVSchema, plugin.Options{}); err != nil {
+		return nil
+	}
+	rows, _ := readRowsVia(e, "x")
+	return rows
+}
+
+func reparseJSON(data *Spam) []types.Value {
+	e := engine.New(engine.Config{})
+	e.Mem().PutFile("mem://x.json", data.JSON)
+	if err := e.Register("x", "mem://x.json", "json", nil, plugin.Options{}); err != nil {
+		return nil
+	}
+	rows, _ := readRowsVia(e, "x")
+	return rows
+}
+
+func binSchema() *types.RecordType {
+	return types.NewRecordType(
+		types.Field{Name: "mid", Type: types.Int},
+		types.Field{Name: "day", Type: types.Int},
+		types.Field{Name: "hits", Type: types.Int},
+		types.Field{Name: "volume", Type: types.Float},
+		types.Field{Name: "feature", Type: types.Float},
+	)
+}
+
+// flatJSONSchema is the middleware export schema: the JSON feed's flat
+// fields (nested class arrays stay behind in the document store).
+func flatJSONSchema() *types.RecordType {
+	return types.NewRecordType(
+		types.Field{Name: "mid", Type: types.Int},
+		types.Field{Name: "day", Type: types.Int},
+		types.Field{Name: "body_len", Type: types.Int},
+		types.Field{Name: "score", Type: types.Float},
+		types.Field{Name: "lang", Type: types.String},
+		types.Field{Name: "country", Type: types.String},
+		types.Field{Name: "bot", Type: types.String},
+	)
+}
+
+func flattenJSONRows(rows []types.Value) []types.Value {
+	schema := flatJSONSchema()
+	names := schema.Names()
+	out := make([]types.Value, len(rows))
+	for i, r := range rows {
+		vals := make([]types.Value, len(names))
+		for j, n := range names {
+			v, ok := r.Field(n)
+			if !ok {
+				v = types.NullValue()
+			}
+			vals[j] = v
+		}
+		out[i] = types.RecordValue(names, vals)
+	}
+	return out
+}
+
+// defeatEquiJoin rewrites the top join predicate into a logically identical
+// but non-hashable form (a = b ⇒ NOT(a <> b)), reproducing the paper's Q39
+// pathology: PostgreSQL's optimizer cannot see through the opaque JSON
+// datatype and falls back to a nested-loop join.
+func defeatEquiJoin(n algebra.Node) algebra.Node {
+	switch x := n.(type) {
+	case *algebra.Join:
+		pred := x.Pred
+		var conjs []expr.Expr
+		for _, c := range expr.SplitConjuncts(pred) {
+			if b, ok := c.(*expr.BinOp); ok && b.Op == expr.OpEq {
+				conjs = append(conjs, &expr.Not{E: &expr.BinOp{Op: expr.OpNe, L: b.L, R: b.R}})
+			} else {
+				conjs = append(conjs, c)
+			}
+		}
+		return &algebra.Join{
+			Pred:  expr.Conjoin(conjs),
+			Left:  defeatEquiJoin(x.Left),
+			Right: defeatEquiJoin(x.Right),
+			Outer: x.Outer,
+		}
+	case *algebra.Select:
+		return &algebra.Select{Pred: x.Pred, Child: defeatEquiJoin(x.Child)}
+	case *algebra.Reduce:
+		return &algebra.Reduce{Aggs: x.Aggs, Names: x.Names, Pred: x.Pred, Child: defeatEquiJoin(x.Child)}
+	case *algebra.Nest:
+		return &algebra.Nest{GroupBy: x.GroupBy, GroupNames: x.GroupNames, Aggs: x.Aggs,
+			AggNames: x.AggNames, Pred: x.Pred, Child: defeatEquiJoin(x.Child)}
+	case *algebra.Unnest:
+		return &algebra.Unnest{Path: x.Path, Binding: x.Binding, Pred: x.Pred, Outer: x.Outer,
+			Child: defeatEquiJoin(x.Child)}
+	}
+	return n
+}

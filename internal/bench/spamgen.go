@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"strconv"
+
+	"proteus/internal/plugin/binpg"
+	"proteus/internal/types"
+)
+
+// Spam models the Symantec spam-telemetry workload of §7.2 with a synthetic
+// stand-in for the proprietary dataset, preserving its structure:
+//
+//   - a JSON feed of spam e-mail observations (mail language, origin IP and
+//     country, responsible bot, body metadata, and a nested array of
+//     classifier assignments) with arbitrary field order across objects,
+//   - a CSV output of the classification workflow (mail id, classes,
+//     scores),
+//   - a binary history table (the pre-existing RDBMS data).
+//
+// Full scale in the paper: 28M JSON objects (20 GB), 400M CSV records
+// (22 GB), 500M binary records (95 GB). The generator keeps the relative
+// proportions (1 : ~14 : ~18) at any configured scale.
+type Spam struct {
+	JSONObjs, CSVRows, BinRows int
+
+	JSON []byte
+	CSV  []byte
+	Bin  []byte
+
+	CSVSchema *types.RecordType
+	BinCols   []binpg.Column
+
+	MaxMailID int64
+}
+
+var (
+	spamLangs     = []string{"en", "ru", "zh", "es", "de", "fr", "pt", "ja"}
+	spamCountries = []string{"US", "RU", "CN", "BR", "IN", "DE", "GB", "NL", "VN", "UA"}
+	spamBots      = []string{"rustock", "cutwail", "grum", "kelihos", "lethic", "mazben", "none"}
+	spamClasses   = []string{"phish", "pharma", "casino", "malware", "dating", "seo"}
+)
+
+// GenSpam deterministically generates the three datasets at a scale where
+// the JSON feed holds n objects.
+func GenSpam(n int) *Spam {
+	r := newRng(7)
+	s := &Spam{JSONObjs: n, CSVRows: n * 14, BinRows: n * 18, MaxMailID: int64(n)}
+
+	// JSON feed: field order varies across objects (the paper's JSON has
+	// arbitrary field order, which keeps Level 0 of the structural index
+	// necessary).
+	var j []byte
+	for i := 0; i < n; i++ {
+		mid := int64(i + 1)
+		lang := pick(r, spamLangs)
+		country := pick(r, spamCountries)
+		bot := pick(r, spamBots)
+		bodyLen := r.intn(4000) + 50
+		score := r.float()
+		day := r.intn(365)
+		// Two field layouts, alternating pseudo-randomly.
+		nClasses := int(r.intn(3)) + 1
+		classes := func() []byte {
+			var cb []byte
+			cb = append(cb, '[')
+			for k := 0; k < nClasses; k++ {
+				if k > 0 {
+					cb = append(cb, ", "...)
+				}
+				cb = append(cb, `{"c": "`...)
+				cb = append(cb, pick(r, spamClasses)...)
+				cb = append(cb, `", "w": `...)
+				cb = strconv.AppendInt(cb, r.intn(100), 10)
+				cb = append(cb, '}')
+			}
+			return append(cb, ']')
+		}()
+		if r.next()%2 == 0 {
+			j = append(j, `{"mid": `...)
+			j = strconv.AppendInt(j, mid, 10)
+			j = append(j, `, "lang": "`...)
+			j = append(j, lang...)
+			j = append(j, `", "country": "`...)
+			j = append(j, country...)
+			j = append(j, `", "bot": "`...)
+			j = append(j, bot...)
+			j = append(j, `", "body_len": `...)
+			j = strconv.AppendInt(j, bodyLen, 10)
+			j = append(j, `, "score": `...)
+			j = strconv.AppendFloat(j, score, 'f', 4, 64)
+			j = append(j, `, "day": `...)
+			j = strconv.AppendInt(j, day, 10)
+			j = append(j, `, "classes": `...)
+			j = append(j, classes...)
+			j = append(j, "}\n"...)
+		} else {
+			j = append(j, `{"bot": "`...)
+			j = append(j, bot...)
+			j = append(j, `", "mid": `...)
+			j = strconv.AppendInt(j, mid, 10)
+			j = append(j, `, "day": `...)
+			j = strconv.AppendInt(j, day, 10)
+			j = append(j, `, "score": `...)
+			j = strconv.AppendFloat(j, score, 'f', 4, 64)
+			j = append(j, `, "country": "`...)
+			j = append(j, country...)
+			j = append(j, `", "lang": "`...)
+			j = append(j, lang...)
+			j = append(j, `", "body_len": `...)
+			j = strconv.AppendInt(j, bodyLen, 10)
+			j = append(j, `, "classes": `...)
+			j = append(j, classes...)
+			j = append(j, "}\n"...)
+		}
+	}
+	s.JSON = j
+
+	// CSV classification output: mid references the JSON feed.
+	s.CSVSchema = types.NewRecordType(
+		types.Field{Name: "mid", Type: types.Int},
+		types.Field{Name: "class_id", Type: types.Int},
+		types.Field{Name: "cluster", Type: types.Int},
+		types.Field{Name: "score", Type: types.Float},
+		types.Field{Name: "confidence", Type: types.Float},
+		types.Field{Name: "label", Type: types.String},
+	)
+	var c []byte
+	for i := 0; i < s.CSVRows; i++ {
+		mid := r.intn(int64(n)) + 1
+		c = strconv.AppendInt(c, mid, 10)
+		c = append(c, ',')
+		c = strconv.AppendInt(c, r.intn(int64(len(spamClasses))), 10)
+		c = append(c, ',')
+		c = strconv.AppendInt(c, r.intn(5000), 10)
+		c = append(c, ',')
+		c = strconv.AppendFloat(c, r.float(), 'f', 4, 64)
+		c = append(c, ',')
+		c = strconv.AppendFloat(c, r.float(), 'f', 4, 64)
+		c = append(c, ',')
+		c = append(c, pick(r, spamClasses)...)
+		c = append(c, '\n')
+	}
+	s.CSV = c
+
+	// Binary history table.
+	bc := []binpg.Column{
+		{Name: "mid", Type: types.Int},
+		{Name: "day", Type: types.Int},
+		{Name: "hits", Type: types.Int},
+		{Name: "volume", Type: types.Float},
+		{Name: "feature", Type: types.Float},
+	}
+	for i := 0; i < s.BinRows; i++ {
+		bc[0].Ints = append(bc[0].Ints, r.intn(int64(n))+1)
+		bc[1].Ints = append(bc[1].Ints, r.intn(365))
+		bc[2].Ints = append(bc[2].Ints, r.intn(1000))
+		bc[3].Floats = append(bc[3].Floats, r.float()*1e6)
+		bc[4].Floats = append(bc[4].Floats, r.float())
+	}
+	s.BinCols = bc
+	s.Bin, _ = binpg.EncodeColumnar(bc)
+	return s
+}

@@ -1,0 +1,253 @@
+package bench
+
+import (
+	"strconv"
+
+	"proteus/internal/plugin/binpg"
+	"proteus/internal/types"
+)
+
+// TPCH holds one generated TPC-H-subset instance in every representation
+// the paper evaluates: raw CSV text, JSON objects, denormalized JSON
+// (orders embedding their lineitems — the document-store shape used by the
+// Unnest experiment), and binary row/column files. The tables carry the
+// numeric fields the paper's templates touch ("the data types are numeric
+// fields — integers and floats").
+type TPCH struct {
+	SF                           float64
+	LineitemRows                 int
+	OrdersRows                   int
+	MaxOrderKey                  int64
+	Lineitem                     []binpg.Column
+	Orders                       []binpg.Column
+	LineitemCSV                  []byte
+	OrdersCSV                    []byte
+	LineitemJSON                 []byte
+	OrdersJSON                   []byte
+	DenormJSON                   []byte // orders with embedded lineitem arrays
+	LineitemBin                  []byte // columnar
+	OrdersBin                    []byte // columnar
+	LineitemSchema, OrdersSchema *types.RecordType
+}
+
+// Scale constants: a real SF has 6M lineitems and 1.5M orders; the harness
+// scales both down linearly.
+const (
+	lineitemPerSF = 6_000_000
+	ordersPerSF   = 1_500_000
+)
+
+// GenTPCH deterministically generates a scaled TPC-H subset. Lineitems per
+// order follow the TPC-H 1–7 distribution; orderkeys are shuffled in file
+// order, as the paper shuffles its inputs.
+func GenTPCH(sf float64) *TPCH {
+	nOrders := int(float64(ordersPerSF) * sf)
+	if nOrders < 8 {
+		nOrders = 8
+	}
+	r := newRng(42)
+
+	t := &TPCH{SF: sf, OrdersRows: nOrders, MaxOrderKey: int64(nOrders)}
+	t.LineitemSchema = types.NewRecordType(
+		types.Field{Name: "l_orderkey", Type: types.Int},
+		types.Field{Name: "l_partkey", Type: types.Int},
+		types.Field{Name: "l_suppkey", Type: types.Int},
+		types.Field{Name: "l_linenumber", Type: types.Int},
+		types.Field{Name: "l_quantity", Type: types.Int},
+		types.Field{Name: "l_extendedprice", Type: types.Float},
+		types.Field{Name: "l_discount", Type: types.Float},
+		types.Field{Name: "l_tax", Type: types.Float},
+	)
+	t.OrdersSchema = types.NewRecordType(
+		types.Field{Name: "o_orderkey", Type: types.Int},
+		types.Field{Name: "o_custkey", Type: types.Int},
+		types.Field{Name: "o_totalprice", Type: types.Float},
+		types.Field{Name: "o_shippriority", Type: types.Int},
+		types.Field{Name: "o_weight", Type: types.Float},
+	)
+
+	// Generate per order, then shuffle row order.
+	type li struct {
+		okey, pkey, skey, lnum, qty int64
+		eprice, disc, tax           float64
+	}
+	type ord struct {
+		okey, ckey, prio int64
+		total, weight    float64
+		items            []int // indexes into lineitems
+	}
+	var lineitems []li
+	orders := make([]ord, nOrders)
+	for i := range orders {
+		okey := int64(i + 1)
+		o := ord{
+			okey:   okey,
+			ckey:   r.intn(int64(nOrders/4) + 1),
+			prio:   r.intn(5),
+			weight: r.float() * 100,
+		}
+		nLines := 1 + int(r.intn(7))
+		for ln := 1; ln <= nLines; ln++ {
+			item := li{
+				okey:   okey,
+				pkey:   r.intn(200_000) + 1,
+				skey:   r.intn(10_000) + 1,
+				lnum:   int64(ln),
+				qty:    r.intn(50) + 1,
+				eprice: float64(r.intn(90_000)+10_000) / 100,
+				disc:   float64(r.intn(11)) / 100,
+				tax:    float64(r.intn(9)) / 100,
+			}
+			o.total += item.eprice * (1 - item.disc)
+			o.items = append(o.items, len(lineitems))
+			lineitems = append(lineitems, item)
+		}
+		orders[i] = o
+	}
+	shuffle(r, lineitems)
+	shuffle(r, orders)
+	t.LineitemRows = len(lineitems)
+
+	// Typed columns.
+	lc := make([]binpg.Column, 8)
+	for i, f := range t.LineitemSchema.Fields {
+		lc[i] = binpg.Column{Name: f.Name, Type: f.Type}
+	}
+	for _, it := range lineitems {
+		lc[0].Ints = append(lc[0].Ints, it.okey)
+		lc[1].Ints = append(lc[1].Ints, it.pkey)
+		lc[2].Ints = append(lc[2].Ints, it.skey)
+		lc[3].Ints = append(lc[3].Ints, it.lnum)
+		lc[4].Ints = append(lc[4].Ints, it.qty)
+		lc[5].Floats = append(lc[5].Floats, it.eprice)
+		lc[6].Floats = append(lc[6].Floats, it.disc)
+		lc[7].Floats = append(lc[7].Floats, it.tax)
+	}
+	t.Lineitem = lc
+	oc := make([]binpg.Column, 5)
+	for i, f := range t.OrdersSchema.Fields {
+		oc[i] = binpg.Column{Name: f.Name, Type: f.Type}
+	}
+	for _, o := range orders {
+		oc[0].Ints = append(oc[0].Ints, o.okey)
+		oc[1].Ints = append(oc[1].Ints, o.ckey)
+		oc[2].Floats = append(oc[2].Floats, o.total)
+		oc[3].Ints = append(oc[3].Ints, o.prio)
+		oc[4].Floats = append(oc[4].Floats, o.weight)
+	}
+	t.Orders = oc
+
+	// Text representations.
+	t.LineitemCSV = columnsToCSV(lc, t.LineitemRows)
+	t.OrdersCSV = columnsToCSV(oc, nOrders)
+	t.LineitemJSON = columnsToJSON(lc, t.LineitemRows)
+	t.OrdersJSON = columnsToJSON(oc, nOrders)
+
+	// Denormalized JSON: each order embeds its lineitems array.
+	var dj []byte
+	for _, o := range orders {
+		dj = append(dj, `{"o_orderkey": `...)
+		dj = strconv.AppendInt(dj, o.okey, 10)
+		dj = append(dj, `, "o_totalprice": `...)
+		dj = strconv.AppendFloat(dj, o.total, 'f', 2, 64)
+		dj = append(dj, `, "lineitems": [`...)
+		for i, idx := range o.items {
+			if i > 0 {
+				dj = append(dj, ", "...)
+			}
+			it := lineitems[idx]
+			dj = append(dj, `{"l_orderkey": `...)
+			dj = strconv.AppendInt(dj, it.okey, 10)
+			dj = append(dj, `, "l_quantity": `...)
+			dj = strconv.AppendInt(dj, it.qty, 10)
+			dj = append(dj, `, "l_extendedprice": `...)
+			dj = strconv.AppendFloat(dj, it.eprice, 'f', 2, 64)
+			dj = append(dj, '}')
+		}
+		dj = append(dj, "]}\n"...)
+	}
+	t.DenormJSON = dj
+
+	// Binary columnar (the MonetDB-like files Proteus scans).
+	t.LineitemBin, _ = binpg.EncodeColumnar(lc)
+	t.OrdersBin, _ = binpg.EncodeColumnar(oc)
+	return t
+}
+
+// columnsToCSV renders typed columns as simple CSV text.
+func columnsToCSV(cols []binpg.Column, rows int) []byte {
+	var out []byte
+	for r := 0; r < rows; r++ {
+		for c := range cols {
+			if c > 0 {
+				out = append(out, ',')
+			}
+			out = appendColText(out, &cols[c], r)
+		}
+		out = append(out, '\n')
+	}
+	return out
+}
+
+// columnsToJSON renders typed columns as newline-delimited JSON objects.
+func columnsToJSON(cols []binpg.Column, rows int) []byte {
+	var out []byte
+	for r := 0; r < rows; r++ {
+		out = append(out, '{')
+		for c := range cols {
+			if c > 0 {
+				out = append(out, ", "...)
+			}
+			out = append(out, '"')
+			out = append(out, cols[c].Name...)
+			out = append(out, `": `...)
+			out = appendColText(out, &cols[c], r)
+		}
+		out = append(out, "}\n"...)
+	}
+	return out
+}
+
+func appendColText(out []byte, col *binpg.Column, r int) []byte {
+	switch col.Type.Kind() {
+	case types.KindInt:
+		return strconv.AppendInt(out, col.Ints[r], 10)
+	case types.KindFloat:
+		return strconv.AppendFloat(out, col.Floats[r], 'f', 2, 64)
+	case types.KindBool:
+		if col.Bools[r] {
+			return append(out, "true"...)
+		}
+		return append(out, "false"...)
+	default:
+		out = append(out, '"')
+		out = append(out, col.Strs[r]...)
+		return append(out, '"')
+	}
+}
+
+// ColumnsToValues boxes typed columns into record values (baseline loads).
+func ColumnsToValues(cols []binpg.Column, rows int) []types.Value {
+	names := make([]string, len(cols))
+	for i := range cols {
+		names[i] = cols[i].Name
+	}
+	out := make([]types.Value, rows)
+	for r := 0; r < rows; r++ {
+		vals := make([]types.Value, len(cols))
+		for c := range cols {
+			switch cols[c].Type.Kind() {
+			case types.KindInt:
+				vals[c] = types.IntValue(cols[c].Ints[r])
+			case types.KindFloat:
+				vals[c] = types.FloatValue(cols[c].Floats[r])
+			case types.KindBool:
+				vals[c] = types.BoolValue(cols[c].Bools[r])
+			default:
+				vals[c] = types.StringValue(cols[c].Strs[r])
+			}
+		}
+		out[r] = types.RecordValue(names, vals)
+	}
+	return out
+}

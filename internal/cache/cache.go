@@ -1,0 +1,286 @@
+// Package cache implements the adaptive caching layer of the paper (§6).
+// As a side-effect of query execution, output plug-ins materialize
+// evaluated expressions — most importantly raw CSV/JSON field values
+// converted to binary — into columnar cache blocks. Later queries are
+// rewritten (at code-generation time) to read the compact binary blocks
+// instead of re-navigating and re-converting the verbose sources. The
+// Caching Manager matches caches by canonical expression key, applies the
+// paper's first-come-first-served population policy, reuses materialized
+// hash-join sides, and evicts with a data-format-biased LRU that favors
+// keeping data from costlier formats (JSON ≻ CSV ≻ Binary).
+package cache
+
+import (
+	"sort"
+	"sync"
+
+	"proteus/internal/storage"
+	"proteus/internal/types"
+)
+
+// Block is one materialized cache: the evaluated results of an expression
+// over every record of a dataset, stored as a compact binary column.
+type Block struct {
+	Dataset string
+	Key     string // canonical expression key, e.g. field path "children.age"
+	Kind    types.Kind
+
+	Ints   []int64
+	Floats []float64
+	Bools  []bool
+	Strs   []string
+	Nulls  []bool // nil when the column has no nulls
+
+	Rows     int64
+	Complete bool // the producing scan ran to completion
+
+	// FormatBias is the per-field access cost of the source format; the
+	// eviction policy keeps high-bias blocks longer.
+	FormatBias float64
+
+	lastUsed int64
+	bytes    int64
+}
+
+// Bytes reports the block's memory footprint.
+func (b *Block) Bytes() int64 {
+	if b.bytes == 0 {
+		n := int64(len(b.Ints))*8 + int64(len(b.Floats))*8 + int64(len(b.Bools)) + int64(len(b.Nulls))
+		for _, s := range b.Strs {
+			n += int64(len(s)) + 16
+		}
+		b.bytes = n
+	}
+	return b.bytes
+}
+
+// JoinSide is an opaque materialized hash-join build side registered for
+// partial plan matching ("the newly arrived query A⋈C can re-use the
+// hashtable built for A if it uses the same join key"). The executor owns
+// the concrete type.
+type JoinSide struct {
+	Fingerprint string
+	Payload     any
+	Bytes       int64
+	lastUsed    int64
+}
+
+// Manager is the Caching Manager: it stores blocks and join sides, serves
+// cache-matching probes during plan compilation, and enforces the arena
+// budget with biased-LRU eviction.
+type Manager struct {
+	mu      sync.Mutex
+	mem     *storage.Manager
+	enabled bool
+	clock   int64
+
+	blocks map[string]*Block // key: dataset + "\x00" + expr key
+	joins  map[string]*JoinSide
+
+	// Policy knobs (§6 "Cache Policies").
+	CacheStrings bool // default false: verbose strings pollute the cache
+
+	// Counters for observability and tests.
+	Hits, Misses, Evictions int64
+}
+
+// NewManager returns a Manager backed by the memory manager's arena.
+func NewManager(mem *storage.Manager, enabled bool) *Manager {
+	return &Manager{
+		mem:     mem,
+		enabled: enabled,
+		blocks:  map[string]*Block{},
+		joins:   map[string]*JoinSide{},
+	}
+}
+
+// Enabled reports whether adaptive caching is on.
+func (m *Manager) Enabled() bool { return m != nil && m.enabled }
+
+// SetEnabled toggles adaptive caching (experiments flip it per run).
+func (m *Manager) SetEnabled(on bool) { m.enabled = on }
+
+func blockKey(dataset, key string) string { return dataset + "\x00" + key }
+
+// Lookup returns the complete cache block for (dataset, expression key), if
+// any, updating its recency.
+func (m *Manager) Lookup(dataset, key string) (*Block, bool) {
+	if !m.Enabled() {
+		return nil, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.blocks[blockKey(dataset, key)]
+	if !ok || !b.Complete {
+		m.Misses++
+		return nil, false
+	}
+	m.clock++
+	b.lastUsed = m.clock
+	m.Hits++
+	return b, true
+}
+
+// Has reports whether a complete block exists without touching recency.
+func (m *Manager) Has(dataset, key string) bool {
+	if !m.Enabled() {
+		return false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.blocks[blockKey(dataset, key)]
+	return ok && b.Complete
+}
+
+// ShouldCache applies the population policy: cache primitive values from
+// verbose formats (bias > 1); skip strings unless CacheStrings is set.
+func (m *Manager) ShouldCache(formatBias float64, kind types.Kind) bool {
+	if !m.Enabled() || formatBias <= 1.0 {
+		return false
+	}
+	switch kind {
+	case types.KindInt, types.KindFloat, types.KindBool:
+		return true
+	case types.KindString:
+		return m.CacheStrings
+	default:
+		return false
+	}
+}
+
+// Register installs a completed block, evicting lower-value blocks if the
+// arena budget requires it. Returns false if the block could not fit even
+// after eviction.
+func (m *Manager) Register(b *Block) bool {
+	if !m.Enabled() || !b.Complete {
+		return false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := blockKey(b.Dataset, b.Key)
+	if old, ok := m.blocks[k]; ok {
+		m.mem.ArenaRelease(old.Bytes())
+		delete(m.blocks, k)
+	}
+	if !m.reserve(b.Bytes()) {
+		return false
+	}
+	m.clock++
+	b.lastUsed = m.clock
+	m.blocks[k] = b
+	return true
+}
+
+// reserve makes room for size bytes, evicting in biased-LRU order:
+// cheaper-to-rebuild (low FormatBias) and older blocks go first.
+// The caller holds m.mu.
+func (m *Manager) reserve(size int64) bool {
+	if m.mem.ArenaReserve(size) {
+		return true
+	}
+	type cand struct {
+		key   string
+		score float64
+	}
+	var cands []cand
+	for k, b := range m.blocks {
+		// Lower score evicts first: recency dominated by format bias.
+		cands = append(cands, cand{k, b.FormatBias*1e9 + float64(b.lastUsed)})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].score < cands[j].score })
+	for _, c := range cands {
+		b := m.blocks[c.key]
+		m.mem.ArenaRelease(b.Bytes())
+		delete(m.blocks, c.key)
+		m.Evictions++
+		if m.mem.ArenaReserve(size) {
+			return true
+		}
+	}
+	return m.mem.ArenaReserve(size)
+}
+
+// Drop invalidates every cache derived from a dataset (the paper's
+// drop-and-rebuild answer to updates).
+func (m *Manager) Drop(dataset string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for k, b := range m.blocks {
+		if b.Dataset == dataset {
+			m.mem.ArenaRelease(b.Bytes())
+			delete(m.blocks, k)
+		}
+	}
+	for k, j := range m.joins {
+		_ = j
+		delete(m.joins, k)
+	}
+}
+
+// LookupJoinSide returns a previously materialized hash-join build side
+// whose subtree+key fingerprint matches.
+func (m *Manager) LookupJoinSide(fingerprint string) (*JoinSide, bool) {
+	if !m.Enabled() {
+		return nil, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.joins[fingerprint]
+	if !ok {
+		return nil, false
+	}
+	m.clock++
+	j.lastUsed = m.clock
+	return j, true
+}
+
+// RegisterJoinSide stores a materialized build side for reuse.
+func (m *Manager) RegisterJoinSide(j *JoinSide) bool {
+	if !m.Enabled() {
+		return false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.reserve(j.Bytes) {
+		return false
+	}
+	m.clock++
+	j.lastUsed = m.clock
+	m.joins[j.Fingerprint] = j
+	return true
+}
+
+// Stats summarizes the cache state for EXPLAIN-style output and tests.
+type Stats struct {
+	Blocks    int
+	JoinSides int
+	Bytes     int64
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// Snapshot returns current cache statistics.
+func (m *Manager) Snapshot() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Stats{Blocks: len(m.blocks), JoinSides: len(m.joins), Hits: m.Hits, Misses: m.Misses, Evictions: m.Evictions}
+	for _, b := range m.blocks {
+		s.Bytes += b.Bytes()
+	}
+	return s
+}
+
+// BytesForDataset reports cached bytes attributed to one dataset (used by
+// the Table 3 style reporting of cache size vs. file size).
+func (m *Manager) BytesForDataset(dataset string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n int64
+	for _, b := range m.blocks {
+		if b.Dataset == dataset {
+			n += b.Bytes()
+		}
+	}
+	return n
+}

@@ -1,0 +1,206 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+
+	"proteus/internal/storage"
+	"proteus/internal/types"
+)
+
+func intBlock(dataset, key string, n int, bias float64) *Block {
+	b := &Block{Dataset: dataset, Key: key, Kind: types.KindInt, FormatBias: bias, Complete: true}
+	for i := 0; i < n; i++ {
+		b.Ints = append(b.Ints, int64(i))
+	}
+	b.Rows = int64(n)
+	return b
+}
+
+func TestRegisterAndLookup(t *testing.T) {
+	m := NewManager(storage.NewManager(0), true)
+	blk := intBlock("ds", "col", 10, 14)
+	if !m.Register(blk) {
+		t.Fatal("register failed")
+	}
+	got, ok := m.Lookup("ds", "col")
+	if !ok || got != blk {
+		t.Fatal("lookup failed")
+	}
+	if !m.Has("ds", "col") {
+		t.Error("Has failed")
+	}
+	if _, ok := m.Lookup("ds", "other"); ok {
+		t.Error("lookup of unknown key should fail")
+	}
+	s := m.Snapshot()
+	if s.Blocks != 1 || s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("snapshot = %+v", s)
+	}
+}
+
+func TestDisabledManager(t *testing.T) {
+	m := NewManager(storage.NewManager(0), false)
+	if m.Register(intBlock("ds", "col", 4, 14)) {
+		t.Error("disabled manager should not register")
+	}
+	if _, ok := m.Lookup("ds", "col"); ok {
+		t.Error("disabled manager should not serve lookups")
+	}
+	if m.ShouldCache(14, types.KindInt) {
+		t.Error("disabled manager should not want caching")
+	}
+	var nilMgr *Manager
+	if nilMgr.Enabled() {
+		t.Error("nil manager must report disabled")
+	}
+}
+
+func TestIncompleteBlocksInvisible(t *testing.T) {
+	m := NewManager(storage.NewManager(0), true)
+	blk := intBlock("ds", "col", 4, 14)
+	blk.Complete = false
+	if m.Register(blk) {
+		t.Error("incomplete block should not register")
+	}
+	if _, ok := m.Lookup("ds", "col"); ok {
+		t.Error("incomplete block should not be served")
+	}
+}
+
+func TestShouldCachePolicy(t *testing.T) {
+	m := NewManager(storage.NewManager(0), true)
+	// Verbose formats, primitive kinds: cache.
+	if !m.ShouldCache(14, types.KindInt) || !m.ShouldCache(6, types.KindFloat) || !m.ShouldCache(6, types.KindBool) {
+		t.Error("primitives from verbose formats should be cached")
+	}
+	// Binary sources: nothing to gain.
+	if m.ShouldCache(1, types.KindInt) {
+		t.Error("binary sources should not be cached")
+	}
+	// Strings: excluded by default (§6), opt-in via CacheStrings.
+	if m.ShouldCache(14, types.KindString) {
+		t.Error("strings should not be cached by default")
+	}
+	m.CacheStrings = true
+	if !m.ShouldCache(14, types.KindString) {
+		t.Error("CacheStrings should enable string caching")
+	}
+	// Nested values never cache as columns.
+	if m.ShouldCache(14, types.KindRecord) || m.ShouldCache(14, types.KindList) {
+		t.Error("nested kinds should not column-cache")
+	}
+}
+
+func TestEvictionBiasKeepsExpensiveFormats(t *testing.T) {
+	mem := storage.NewManager(400) // tight arena
+	m := NewManager(mem, true)
+	jsonBlk := intBlock("j", "a", 20, 14) // 160 bytes
+	csvBlk := intBlock("c", "a", 20, 6)   // 160 bytes
+	if !m.Register(jsonBlk) || !m.Register(csvBlk) {
+		t.Fatal("initial registration failed")
+	}
+	// Touch the CSV block so pure LRU would evict the JSON one.
+	m.Lookup("c", "a")
+	// A third block forces eviction; the bias must sacrifice CSV, not JSON.
+	if !m.Register(intBlock("j2", "b", 20, 14)) {
+		t.Fatal("third registration failed")
+	}
+	if !m.Has("j", "a") {
+		t.Error("JSON block evicted despite format bias")
+	}
+	if m.Has("c", "a") {
+		t.Error("CSV block should have been the victim")
+	}
+	if m.Snapshot().Evictions == 0 {
+		t.Error("eviction counter not incremented")
+	}
+}
+
+func TestOversizeBlockRejected(t *testing.T) {
+	mem := storage.NewManager(64)
+	m := NewManager(mem, true)
+	if m.Register(intBlock("ds", "huge", 1000, 14)) {
+		t.Error("block larger than the arena should be rejected")
+	}
+	if mem.ArenaUsed() != 0 {
+		t.Errorf("arena leak: %d", mem.ArenaUsed())
+	}
+}
+
+func TestReplaceReleasesOldBytes(t *testing.T) {
+	mem := storage.NewManager(0)
+	m := NewManager(mem, true)
+	m.Register(intBlock("ds", "col", 100, 14))
+	used := mem.ArenaUsed()
+	m.Register(intBlock("ds", "col", 10, 14))
+	if mem.ArenaUsed() >= used {
+		t.Errorf("replacement did not release old bytes: %d → %d", used, mem.ArenaUsed())
+	}
+}
+
+func TestDropInvalidatesDataset(t *testing.T) {
+	mem := storage.NewManager(0)
+	m := NewManager(mem, true)
+	m.Register(intBlock("ds", "a", 10, 14))
+	m.Register(intBlock("ds", "b", 10, 14))
+	m.Register(intBlock("other", "a", 10, 14))
+	m.RegisterJoinSide(&JoinSide{Fingerprint: "fp", Bytes: 8})
+	m.Drop("ds")
+	if m.Has("ds", "a") || m.Has("ds", "b") {
+		t.Error("dropped dataset blocks survived")
+	}
+	if !m.Has("other", "a") {
+		t.Error("unrelated block dropped")
+	}
+	if _, ok := m.LookupJoinSide("fp"); ok {
+		t.Error("join sides should be dropped on update")
+	}
+}
+
+func TestJoinSideRegistry(t *testing.T) {
+	m := NewManager(storage.NewManager(0), true)
+	payload := &struct{ x int }{42}
+	if !m.RegisterJoinSide(&JoinSide{Fingerprint: "fp1", Payload: payload, Bytes: 100}) {
+		t.Fatal("register join side failed")
+	}
+	side, ok := m.LookupJoinSide("fp1")
+	if !ok || side.Payload != payload {
+		t.Fatal("join side lookup failed")
+	}
+	if _, ok := m.LookupJoinSide("nope"); ok {
+		t.Error("unknown fingerprint should miss")
+	}
+}
+
+func TestBytesForDataset(t *testing.T) {
+	m := NewManager(storage.NewManager(0), true)
+	m.Register(intBlock("ds", "a", 10, 14))
+	m.Register(intBlock("ds", "b", 20, 14))
+	m.Register(intBlock("other", "a", 5, 14))
+	if got := m.BytesForDataset("ds"); got != 240 {
+		t.Errorf("bytes = %d, want 240", got)
+	}
+}
+
+func TestBlockBytes(t *testing.T) {
+	b := &Block{Kind: types.KindString, Strs: []string{"abc", "de"}}
+	if b.Bytes() != 5+32 {
+		t.Errorf("string block bytes = %d", b.Bytes())
+	}
+	ib := intBlock("d", "k", 3, 1)
+	if ib.Bytes() != 24 {
+		t.Errorf("int block bytes = %d", ib.Bytes())
+	}
+}
+
+func TestManyBlocksStress(t *testing.T) {
+	mem := storage.NewManager(10_000)
+	m := NewManager(mem, true)
+	for i := 0; i < 500; i++ {
+		m.Register(intBlock("ds", fmt.Sprintf("col%d", i), 50, float64(i%3)*7+1))
+	}
+	if mem.ArenaBudget() > 0 && mem.ArenaUsed() > mem.ArenaBudget() {
+		t.Errorf("arena overflow: %d > %d", mem.ArenaUsed(), mem.ArenaBudget())
+	}
+}

@@ -1,0 +1,230 @@
+// Package calculus implements the monoid comprehension calculus layer of the
+// engine (§3 of the paper). Both front-ends (SQL and the comprehension
+// syntax) produce a Comprehension; normalization rules simplify it; and the
+// translator rewrites it into a nested relational algebra plan.
+package calculus
+
+import (
+	"fmt"
+
+	"proteus/internal/algebra"
+	"proteus/internal/expr"
+	"proteus/internal/types"
+)
+
+// Qual is one qualifier of a comprehension: a generator (v <- source) or a
+// filter predicate.
+type Qual struct {
+	// Generator fields; Var == "" marks a filter.
+	Var    string
+	Source expr.Expr // a *Ref naming a dataset, or a path over a bound var
+	// Filter predicate when Var == "".
+	Pred expr.Expr
+}
+
+// IsGenerator reports whether the qualifier is a generator.
+func (q Qual) IsGenerator() bool { return q.Var != "" }
+
+// Comprehension is the internal query form: for { quals } yield ⊕ head.
+// SQL queries desugar into this form; GROUP BY desugars into the Group
+// fields, multi-aggregate SELECT lists into Aggs.
+type Comprehension struct {
+	Quals []Qual
+
+	// Exactly one of the following output shapes is used:
+
+	// 1. Collection yield: Monoid is AggBag or AggList and Head is the
+	// per-tuple output expression.
+	Monoid expr.AggKind
+	Head   expr.Expr
+
+	// 2. Aggregate yield (possibly grouped): Aggs lists the aggregate
+	// monoids; GroupBy, if non-empty, makes this a grouping query.
+	Aggs       []expr.Agg
+	AggNames   []string
+	GroupBy    []expr.Expr
+	GroupNames []string
+
+	// Output ordering, applied to the materialized result (ORDER BY output
+	// column, optionally DESC, with an optional LIMIT; Limit 0 = none).
+	OrderBy   []string
+	OrderDesc []bool
+	Limit     int
+}
+
+// IsAggregate reports whether the comprehension yields aggregates rather
+// than a collection of tuples.
+func (c *Comprehension) IsAggregate() bool { return len(c.Aggs) > 0 }
+
+// Catalog resolves dataset names to their schemas during translation. The
+// engine's catalog implements it; tests can use a map.
+type Catalog interface {
+	SchemaOf(dataset string) (*types.RecordType, bool)
+}
+
+// MapCatalog is a Catalog backed by a plain map, for tests and tools.
+type MapCatalog map[string]*types.RecordType
+
+// SchemaOf implements Catalog.
+func (m MapCatalog) SchemaOf(name string) (*types.RecordType, bool) {
+	t, ok := m[name]
+	return t, ok
+}
+
+// Normalize applies the calculus rewrite rules that are independent of data
+// statistics: constant folding of filters, removal of trivially-true
+// filters, and splitting of conjunctive filters so each conjunct can be
+// placed independently during translation (the calculus analogue of
+// selection pushdown preparation).
+func Normalize(c *Comprehension) *Comprehension {
+	out := &Comprehension{
+		Monoid:     c.Monoid,
+		Head:       c.Head,
+		Aggs:       c.Aggs,
+		AggNames:   c.AggNames,
+		GroupBy:    c.GroupBy,
+		GroupNames: c.GroupNames,
+		OrderBy:    c.OrderBy,
+		OrderDesc:  c.OrderDesc,
+		Limit:      c.Limit,
+	}
+	for _, q := range c.Quals {
+		if q.IsGenerator() {
+			out.Quals = append(out.Quals, q)
+			continue
+		}
+		folded := expr.Fold(q.Pred)
+		for _, conj := range expr.SplitConjuncts(folded) {
+			if cst, ok := conj.(*expr.Const); ok && cst.V.Bool() {
+				continue // drop trivially-true conjuncts
+			}
+			out.Quals = append(out.Quals, Qual{Pred: conj})
+		}
+	}
+	return out
+}
+
+// Translate rewrites a normalized comprehension into a nested relational
+// algebra plan (§3, Figure 1). Generators over datasets become Scans joined
+// left-deep; generators over paths of bound variables become Unnests;
+// filters become join predicates when they connect two sides of a join, and
+// Select operators otherwise; the output clause becomes Reduce or Nest.
+func Translate(c *Comprehension, cat Catalog) (algebra.Node, error) {
+	var plan algebra.Node
+	bound := map[string]bool{}
+	var pending []expr.Expr // filters not yet placed
+
+	place := func(tree algebra.Node) algebra.Node {
+		// Attach every pending filter whose references are now bound.
+		var rest []expr.Expr
+		for _, p := range pending {
+			if expr.OnlyRefs(p, bound) {
+				tree = &algebra.Select{Pred: p, Child: tree}
+			} else {
+				rest = append(rest, p)
+			}
+		}
+		pending = rest
+		return tree
+	}
+
+	for _, q := range c.Quals {
+		if !q.IsGenerator() {
+			if plan != nil && expr.OnlyRefs(q.Pred, bound) {
+				plan = &algebra.Select{Pred: q.Pred, Child: plan}
+			} else {
+				pending = append(pending, q.Pred)
+			}
+			continue
+		}
+		src := q.Source
+		if ref, ok := src.(*expr.Ref); ok && !bound[ref.Name] {
+			// Generator over a dataset: Scan (joined in if a tree exists).
+			schema, ok := cat.SchemaOf(ref.Name)
+			if !ok {
+				return nil, fmt.Errorf("unknown dataset %q", ref.Name)
+			}
+			scan := &algebra.Scan{Dataset: ref.Name, Binding: q.Var, Type: schema}
+			if plan == nil {
+				plan = scan
+			} else {
+				// Find pending filters that connect the two sides: they become
+				// the join predicate (equi-join detection happens at compile).
+				joinable, rest := partitionJoinPreds(pending, bound, q.Var)
+				pending = rest
+				pred := expr.Conjoin(joinable)
+				if pred == nil {
+					pred = &expr.Const{V: types.BoolValue(true)} // cartesian
+				}
+				plan = &algebra.Join{Pred: pred, Left: plan, Right: scan}
+			}
+			bound[q.Var] = true
+			plan = place(plan)
+			continue
+		}
+		// Generator over a path of a bound variable: Unnest.
+		root, _, ok := expr.PathOf(src)
+		if !ok || !bound[root] {
+			return nil, fmt.Errorf("generator source %s is neither a dataset nor a path over a bound variable", src)
+		}
+		plan = &algebra.Unnest{Path: src, Binding: q.Var, Child: plan}
+		bound[q.Var] = true
+		plan = place(plan)
+	}
+
+	if plan == nil {
+		return nil, fmt.Errorf("comprehension has no generators")
+	}
+	for _, p := range pending {
+		if !expr.OnlyRefs(p, bound) {
+			return nil, fmt.Errorf("predicate %s references unbound variables", p)
+		}
+		plan = &algebra.Select{Pred: p, Child: plan}
+	}
+
+	switch {
+	case len(c.GroupBy) > 0:
+		return &algebra.Nest{
+			GroupBy:    c.GroupBy,
+			GroupNames: c.GroupNames,
+			Aggs:       c.Aggs,
+			AggNames:   c.AggNames,
+			Child:      plan,
+		}, nil
+	case c.IsAggregate():
+		return &algebra.Reduce{Aggs: c.Aggs, Names: c.AggNames, Child: plan}, nil
+	default:
+		monoid := c.Monoid
+		if monoid != expr.AggBag && monoid != expr.AggList {
+			monoid = expr.AggBag
+		}
+		head := c.Head
+		if head == nil {
+			return nil, fmt.Errorf("collection comprehension has no yield expression")
+		}
+		return &algebra.Reduce{
+			Aggs:  []expr.Agg{{Kind: monoid, Arg: head}},
+			Names: []string{"result"},
+			Child: plan,
+		}, nil
+	}
+}
+
+// partitionJoinPreds splits pending filters into those that become the join
+// predicate for a join introducing newVar (they reference newVar plus only
+// already-bound variables) and the rest.
+func partitionJoinPreds(pending []expr.Expr, bound map[string]bool, newVar string) (joinable, rest []expr.Expr) {
+	all := map[string]bool{newVar: true}
+	for k := range bound {
+		all[k] = true
+	}
+	for _, p := range pending {
+		refs := expr.Refs(p)
+		if refs[newVar] && expr.OnlyRefs(p, all) {
+			joinable = append(joinable, p)
+		} else {
+			rest = append(rest, p)
+		}
+	}
+	return joinable, rest
+}

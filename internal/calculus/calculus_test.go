@@ -1,0 +1,298 @@
+package calculus
+
+import (
+	"strings"
+	"testing"
+
+	"proteus/internal/algebra"
+	"proteus/internal/expr"
+	"proteus/internal/types"
+)
+
+func testCatalog() MapCatalog {
+	children := types.NewListType(types.NewRecordType(
+		types.Field{Name: "name", Type: types.String},
+		types.Field{Name: "age", Type: types.Int},
+	))
+	return MapCatalog{
+		"Sailor": types.NewRecordType(
+			types.Field{Name: "id", Type: types.Int},
+			types.Field{Name: "children", Type: children},
+		),
+		"Ship": types.NewRecordType(
+			types.Field{Name: "name", Type: types.String},
+			types.Field{Name: "personnel", Type: types.NewListType(types.Int)},
+		),
+		"t": types.NewRecordType(
+			types.Field{Name: "a", Type: types.Int},
+			types.Field{Name: "b", Type: types.Float},
+		),
+		"u": types.NewRecordType(
+			types.Field{Name: "a", Type: types.Int},
+			types.Field{Name: "c", Type: types.String},
+		),
+	}
+}
+
+func fieldOf(b, n string) expr.Expr { return &expr.FieldAcc{Base: &expr.Ref{Name: b}, Name: n} }
+
+func TestTranslateScanSelectReduce(t *testing.T) {
+	c := &Comprehension{
+		Quals: []Qual{
+			{Var: "x", Source: &expr.Ref{Name: "t"}},
+			{Pred: &expr.BinOp{Op: expr.OpLt, L: fieldOf("x", "a"), R: &expr.Const{V: types.IntValue(5)}}},
+		},
+		Aggs:     []expr.Agg{{Kind: expr.AggCount}},
+		AggNames: []string{"n"},
+	}
+	plan, err := Translate(Normalize(c), testCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, ok := plan.(*algebra.Reduce)
+	if !ok {
+		t.Fatalf("root = %T", plan)
+	}
+	sel, ok := red.Child.(*algebra.Select)
+	if !ok {
+		t.Fatalf("child = %T", red.Child)
+	}
+	if _, ok := sel.Child.(*algebra.Scan); !ok {
+		t.Fatalf("grandchild = %T", sel.Child)
+	}
+}
+
+func TestTranslateJoinDetection(t *testing.T) {
+	// Two dataset generators tied by an equality filter become a Join with
+	// that filter as the predicate.
+	c := &Comprehension{
+		Quals: []Qual{
+			{Var: "x", Source: &expr.Ref{Name: "t"}},
+			{Var: "y", Source: &expr.Ref{Name: "u"}},
+			{Pred: &expr.BinOp{Op: expr.OpEq, L: fieldOf("x", "a"), R: fieldOf("y", "a")}},
+		},
+		Aggs:     []expr.Agg{{Kind: expr.AggCount}},
+		AggNames: []string{"n"},
+	}
+	plan, err := Translate(Normalize(c), testCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The equality may sit in the Join predicate or in a Select directly
+	// above it (the optimizer later absorbs it into the join); either way
+	// it must appear exactly once in the tree.
+	var join *algebra.Join
+	var predCount int
+	algebra.Walk(plan, func(n algebra.Node) bool {
+		switch x := n.(type) {
+		case *algebra.Join:
+			join = x
+			if l, _, _ := x.EquiKeys(); len(l) == 1 {
+				predCount++
+			}
+		case *algebra.Select:
+			if strings.Contains(x.Pred.String(), "x.a = y.a") {
+				predCount++
+			}
+		}
+		return true
+	})
+	if join == nil {
+		t.Fatal("no join produced")
+	}
+	if predCount != 1 {
+		t.Errorf("join predicate appears %d times; plan:\n%s", predCount, algebra.Format(plan))
+	}
+}
+
+func TestTranslateCartesianWithoutPredicate(t *testing.T) {
+	c := &Comprehension{
+		Quals: []Qual{
+			{Var: "x", Source: &expr.Ref{Name: "t"}},
+			{Var: "y", Source: &expr.Ref{Name: "u"}},
+		},
+		Aggs:     []expr.Agg{{Kind: expr.AggCount}},
+		AggNames: []string{"n"},
+	}
+	plan, err := Translate(Normalize(c), testCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var join *algebra.Join
+	algebra.Walk(plan, func(n algebra.Node) bool {
+		if j, ok := n.(*algebra.Join); ok {
+			join = j
+		}
+		return true
+	})
+	if join == nil {
+		t.Fatal("no join")
+	}
+	if l, _, _ := join.EquiKeys(); len(l) != 0 {
+		t.Error("cartesian should have no equi keys")
+	}
+}
+
+func TestTranslateExample31Shape(t *testing.T) {
+	// Figure 1's plan: two unnests, one join.
+	c := &Comprehension{
+		Quals: []Qual{
+			{Var: "s1", Source: &expr.Ref{Name: "Sailor"}},
+			{Var: "c", Source: fieldOf("s1", "children")},
+			{Var: "s2", Source: &expr.Ref{Name: "Ship"}},
+			{Var: "p", Source: fieldOf("s2", "personnel")},
+			{Pred: &expr.BinOp{Op: expr.OpEq, L: fieldOf("s1", "id"), R: &expr.Ref{Name: "p"}}},
+			{Pred: &expr.BinOp{Op: expr.OpGt, L: fieldOf("c", "age"), R: &expr.Const{V: types.IntValue(18)}}},
+		},
+		Monoid: expr.AggBag,
+		Head: &expr.RecordCtor{
+			Names: []string{"id", "ship", "child"},
+			Exprs: []expr.Expr{fieldOf("s1", "id"), fieldOf("s2", "name"), fieldOf("c", "name")},
+		},
+	}
+	plan, err := Translate(Normalize(c), testCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var unnests, joins int
+	algebra.Walk(plan, func(n algebra.Node) bool {
+		switch n.(type) {
+		case *algebra.Unnest:
+			unnests++
+		case *algebra.Join:
+			joins++
+		}
+		return true
+	})
+	if unnests != 2 || joins != 1 {
+		t.Errorf("unnests = %d joins = %d; plan:\n%s", unnests, joins, algebra.Format(plan))
+	}
+}
+
+func TestTranslateGroupBy(t *testing.T) {
+	c := &Comprehension{
+		Quals: []Qual{
+			{Var: "x", Source: &expr.Ref{Name: "t"}},
+		},
+		GroupBy:    []expr.Expr{fieldOf("x", "a")},
+		GroupNames: []string{"a"},
+		Aggs:       []expr.Agg{{Kind: expr.AggCount}},
+		AggNames:   []string{"n"},
+	}
+	plan, err := Translate(Normalize(c), testCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := plan.(*algebra.Nest); !ok {
+		t.Fatalf("root = %T, want Nest", plan)
+	}
+}
+
+func TestTranslateErrors(t *testing.T) {
+	// Unknown dataset.
+	c := &Comprehension{
+		Quals:    []Qual{{Var: "x", Source: &expr.Ref{Name: "nope"}}},
+		Aggs:     []expr.Agg{{Kind: expr.AggCount}},
+		AggNames: []string{"n"},
+	}
+	if _, err := Translate(c, testCatalog()); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+	// No generators.
+	c = &Comprehension{Aggs: []expr.Agg{{Kind: expr.AggCount}}, AggNames: []string{"n"}}
+	if _, err := Translate(c, testCatalog()); err == nil {
+		t.Error("no generators should fail")
+	}
+	// Generator over unbound variable path.
+	c = &Comprehension{
+		Quals:    []Qual{{Var: "x", Source: fieldOf("ghost", "items")}},
+		Aggs:     []expr.Agg{{Kind: expr.AggCount}},
+		AggNames: []string{"n"},
+	}
+	if _, err := Translate(c, testCatalog()); err == nil {
+		t.Error("unbound path generator should fail")
+	}
+	// Collection comprehension without a head.
+	c = &Comprehension{
+		Quals:  []Qual{{Var: "x", Source: &expr.Ref{Name: "t"}}},
+		Monoid: expr.AggBag,
+	}
+	if _, err := Translate(c, testCatalog()); err == nil {
+		t.Error("missing head should fail")
+	}
+}
+
+func TestNormalizeDropsTrueAndSplitsConjuncts(t *testing.T) {
+	pred := &expr.BinOp{Op: expr.OpAnd,
+		L: &expr.BinOp{Op: expr.OpLt, L: fieldOf("x", "a"), R: &expr.Const{V: types.IntValue(1)}},
+		R: &expr.Const{V: types.BoolValue(true)},
+	}
+	c := &Comprehension{
+		Quals: []Qual{
+			{Var: "x", Source: &expr.Ref{Name: "t"}},
+			{Pred: pred},
+		},
+		Aggs:     []expr.Agg{{Kind: expr.AggCount}},
+		AggNames: []string{"n"},
+	}
+	n := Normalize(c)
+	filters := 0
+	for _, q := range n.Quals {
+		if !q.IsGenerator() {
+			filters++
+		}
+	}
+	if filters != 1 {
+		t.Errorf("filters = %d, want 1 (true dropped, conjuncts split)", filters)
+	}
+}
+
+func TestResolveColumns(t *testing.T) {
+	c := &Comprehension{
+		Quals: []Qual{
+			{Var: "x", Source: &expr.Ref{Name: "t"}},
+			{Pred: &expr.BinOp{Op: expr.OpLt, L: &expr.Ref{Name: "b"}, R: &expr.Const{V: types.FloatValue(1)}}},
+		},
+		Aggs:     []expr.Agg{{Kind: expr.AggMax, Arg: &expr.Ref{Name: "b"}}},
+		AggNames: []string{"m"},
+	}
+	if err := ResolveColumns(c, testCatalog()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(c.Quals[1].Pred.String(), "x.b") {
+		t.Errorf("pred not resolved: %s", c.Quals[1].Pred)
+	}
+	if !strings.Contains(c.Aggs[0].Arg.String(), "x.b") {
+		t.Errorf("agg arg not resolved: %s", c.Aggs[0].Arg)
+	}
+}
+
+func TestResolveColumnsAmbiguous(t *testing.T) {
+	// Column "a" exists in both t and u.
+	c := &Comprehension{
+		Quals: []Qual{
+			{Var: "x", Source: &expr.Ref{Name: "t"}},
+			{Var: "y", Source: &expr.Ref{Name: "u"}},
+			{Pred: &expr.BinOp{Op: expr.OpLt, L: &expr.Ref{Name: "a"}, R: &expr.Const{V: types.IntValue(1)}}},
+		},
+		Aggs:     []expr.Agg{{Kind: expr.AggCount}},
+		AggNames: []string{"n"},
+	}
+	if err := ResolveColumns(c, testCatalog()); err == nil {
+		t.Error("ambiguous column should fail")
+	}
+}
+
+func TestResolveColumnsUnknown(t *testing.T) {
+	c := &Comprehension{
+		Quals: []Qual{
+			{Var: "x", Source: &expr.Ref{Name: "t"}},
+			{Pred: &expr.BinOp{Op: expr.OpLt, L: &expr.Ref{Name: "zzz"}, R: &expr.Const{V: types.IntValue(1)}}},
+		},
+		Aggs:     []expr.Agg{{Kind: expr.AggCount}},
+		AggNames: []string{"n"},
+	}
+	if err := ResolveColumns(c, testCatalog()); err == nil {
+		t.Error("unknown column should fail")
+	}
+}

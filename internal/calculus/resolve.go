@@ -1,0 +1,107 @@
+package calculus
+
+import (
+	"fmt"
+
+	"proteus/internal/expr"
+)
+
+// ResolveColumns rewrites unqualified column references (SQL style:
+// "l_orderkey" instead of "l.l_orderkey") into field accesses on the
+// generator whose schema declares the column. Ambiguous names are an error.
+func ResolveColumns(c *Comprehension, cat Catalog) error {
+	// Alias → dataset field set.
+	type scope struct {
+		alias  string
+		fields map[string]bool
+	}
+	var scopes []scope
+	vars := map[string]bool{}
+	for _, q := range c.Quals {
+		if !q.IsGenerator() {
+			continue
+		}
+		vars[q.Var] = true
+		if ref, ok := q.Source.(*expr.Ref); ok {
+			if schema, found := cat.SchemaOf(ref.Name); found {
+				fields := map[string]bool{}
+				for _, f := range schema.Fields {
+					fields[f.Name] = true
+				}
+				scopes = append(scopes, scope{alias: q.Var, fields: fields})
+			}
+		}
+	}
+
+	var resolveErr error
+	var rewrite func(e expr.Expr) expr.Expr
+	rewrite = func(e expr.Expr) expr.Expr {
+		switch x := e.(type) {
+		case *expr.Ref:
+			if vars[x.Name] {
+				return x
+			}
+			var owner string
+			n := 0
+			for _, s := range scopes {
+				if s.fields[x.Name] {
+					owner = s.alias
+					n++
+				}
+			}
+			switch n {
+			case 0:
+				resolveErr = fmt.Errorf("unknown column or binding %q", x.Name)
+				return x
+			case 1:
+				return &expr.FieldAcc{Base: &expr.Ref{Name: owner}, Name: x.Name}
+			default:
+				resolveErr = fmt.Errorf("ambiguous column %q (qualify it with an alias)", x.Name)
+				return x
+			}
+		case *expr.FieldAcc:
+			return &expr.FieldAcc{Base: rewrite(x.Base), Name: x.Name}
+		case *expr.BinOp:
+			return &expr.BinOp{Op: x.Op, L: rewrite(x.L), R: rewrite(x.R)}
+		case *expr.Not:
+			return &expr.Not{E: rewrite(x.E)}
+		case *expr.Neg:
+			return &expr.Neg{E: rewrite(x.E)}
+		case *expr.Like:
+			return &expr.Like{E: rewrite(x.E), Needle: x.Needle}
+		case *expr.RecordCtor:
+			subs := make([]expr.Expr, len(x.Exprs))
+			for i, sub := range x.Exprs {
+				subs[i] = rewrite(sub)
+			}
+			return &expr.RecordCtor{Names: x.Names, Exprs: subs}
+		}
+		return e
+	}
+	rewriteMaybe := func(e expr.Expr) expr.Expr {
+		if e == nil {
+			return nil
+		}
+		return rewrite(e)
+	}
+
+	for i := range c.Quals {
+		if c.Quals[i].IsGenerator() {
+			// Qualified sources (x.items) may themselves reference columns;
+			// leave dataset refs alone.
+			if _, isRef := c.Quals[i].Source.(*expr.Ref); !isRef {
+				c.Quals[i].Source = rewrite(c.Quals[i].Source)
+			}
+			continue
+		}
+		c.Quals[i].Pred = rewrite(c.Quals[i].Pred)
+	}
+	c.Head = rewriteMaybe(c.Head)
+	for i := range c.Aggs {
+		c.Aggs[i].Arg = rewriteMaybe(c.Aggs[i].Arg)
+	}
+	for i := range c.GroupBy {
+		c.GroupBy[i] = rewrite(c.GroupBy[i])
+	}
+	return resolveErr
+}

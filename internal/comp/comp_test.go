@@ -1,0 +1,140 @@
+package comp
+
+import (
+	"testing"
+
+	"proteus/internal/expr"
+)
+
+func TestParseExample31(t *testing.T) {
+	// The paper's Example 3.1, verbatim (modulo personnel elements being
+	// ids, matched by p directly).
+	c, err := Parse(`for { s1 <- Sailor, c <- s1.children, s2 <- Ship,
+		p <- s2.personnel, s1.id = p.id, c.age > 18 }
+		yield bag (s1.id, s2.name, c.name)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gens, filters int
+	for _, q := range c.Quals {
+		if q.IsGenerator() {
+			gens++
+		} else {
+			filters++
+		}
+	}
+	if gens != 4 {
+		t.Errorf("generators = %d, want 4", gens)
+	}
+	if filters != 2 {
+		t.Errorf("filters = %d, want 2", filters)
+	}
+	// Second generator is a path source.
+	if _, ok := c.Quals[1].Source.(*expr.FieldAcc); !ok {
+		t.Errorf("children source = %T", c.Quals[1].Source)
+	}
+	rc, ok := c.Head.(*expr.RecordCtor)
+	if !ok {
+		t.Fatalf("head = %T", c.Head)
+	}
+	// Duplicate tail names get deduplicated suffixes.
+	if rc.Names[0] != "id" || rc.Names[1] != "name" || rc.Names[2] != "name_2" {
+		t.Errorf("names = %v", rc.Names)
+	}
+	if c.Monoid != expr.AggBag {
+		t.Errorf("monoid = %v", c.Monoid)
+	}
+}
+
+func TestParseAggregateYields(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind expr.AggKind
+	}{
+		{"for { x <- T } yield sum x.v", expr.AggSum},
+		{"for { x <- T } yield max x.v", expr.AggMax},
+		{"for { x <- T } yield min x.v", expr.AggMin},
+		{"for { x <- T } yield avg x.v", expr.AggAvg},
+		{"for { x <- T } yield count", expr.AggCount},
+	}
+	for _, cse := range cases {
+		c, err := Parse(cse.src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", cse.src, err)
+			continue
+		}
+		if len(c.Aggs) != 1 || c.Aggs[0].Kind != cse.kind {
+			t.Errorf("Parse(%q) aggs = %v", cse.src, c.Aggs)
+		}
+	}
+}
+
+func TestParseListMonoid(t *testing.T) {
+	c, err := Parse("for { x <- T } yield list x.v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Monoid != expr.AggList {
+		t.Errorf("monoid = %v", c.Monoid)
+	}
+}
+
+func TestParseSingleExprYield(t *testing.T) {
+	c, err := Parse("for { x <- T, x.a < 3 } yield bag x.b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Head.(*expr.FieldAcc); !ok {
+		t.Errorf("head = %T", c.Head)
+	}
+	// Parenthesized single expression stays bare too.
+	c, err = Parse("for { x <- T } yield bag (x.b)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Head.(*expr.FieldAcc); !ok {
+		t.Errorf("parenthesized single head = %T", c.Head)
+	}
+}
+
+func TestParseParenDelimiters(t *testing.T) {
+	c, err := Parse("for ( x <- T, x.a < 1 ) yield count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Quals) != 2 {
+		t.Errorf("quals = %d", len(c.Quals))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"yield count",
+		"for { x <- T }",                      // missing yield
+		"for { x <- T } yield explode x.v",    // unknown monoid
+		"for { x <- T } yield bag (a, b",      // unterminated record
+		"for { x <- T } yield count trailing", // trailing tokens
+		"for x <- T } yield count",            // missing brace
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) should fail", q)
+		}
+	}
+}
+
+func TestGeneratorVsComparisonDisambiguation(t *testing.T) {
+	// "x.a < -3" is a filter (comparison against a negative number applied
+	// to a non-Ref left side); "y <- T" is a generator.
+	c, err := Parse("for { y <- T, y.a < -3 } yield count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Quals[0].IsGenerator() {
+		t.Error("y <- T should be a generator")
+	}
+	if c.Quals[1].IsGenerator() {
+		t.Error("y.a < -3 should be a filter")
+	}
+}

@@ -1,0 +1,86 @@
+package engine
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"proteus/internal/types"
+)
+
+// StartStatsDaemon launches the paper's third statistics-gathering
+// mechanism (§5.2): "a daemon process periodically triggers
+// statistics-gathering queries when the system is idle". Every interval,
+// the daemon finds numeric attributes that still lack range statistics and
+// runs a MIN/MAX aggregation query for them through the normal query path
+// (so the observation lands in the metadata store via the same formulas the
+// optimizer reads). The returned stop function terminates the daemon.
+func (e *Engine) StartStatsDaemon(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var stopped atomic.Bool
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				e.gatherMissingStats()
+			}
+		}
+	}()
+	return func() {
+		if stopped.CompareAndSwap(false, true) {
+			close(done)
+		}
+	}
+}
+
+// GatherStatsOnce runs one daemon sweep synchronously (exported for tests
+// and for callers that prefer explicit scheduling).
+func (e *Engine) GatherStatsOnce() { e.gatherMissingStats() }
+
+func (e *Engine) gatherMissingStats() {
+	e.mu.Lock()
+	names := make([]string, 0, len(e.datasets))
+	for name := range e.datasets {
+		names = append(names, name)
+	}
+	e.mu.Unlock()
+
+	for _, name := range names {
+		ds, in, err := e.Dataset(name)
+		if err != nil {
+			continue
+		}
+		schema := in.Schema(ds)
+		if schema == nil {
+			continue
+		}
+		tbl := e.stats.Table(name)
+		if tbl.Rows == 0 {
+			tbl.Rows = in.Cardinality(ds)
+		}
+		for _, f := range schema.Fields {
+			if !types.Numeric(f.Type) {
+				continue
+			}
+			if _, _, ok := tbl.Range(f.Name); ok {
+				continue
+			}
+			// A statistics-gathering query, through the regular path.
+			res, err := e.QuerySQL(fmt.Sprintf("SELECT MIN(%s), MAX(%s) FROM %s", f.Name, f.Name, name))
+			if err != nil || len(res.Rows) != 1 {
+				continue
+			}
+			mn := res.Rows[0].Rec.Values[0]
+			mx := res.Rows[0].Rec.Values[1]
+			if mn.IsNull() || mx.IsNull() {
+				continue
+			}
+			tbl.Observe(f.Name, mn.AsFloat())
+			tbl.Observe(f.Name, mx.AsFloat())
+		}
+	}
+}

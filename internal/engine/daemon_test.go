@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"proteus/internal/plugin"
+	"proteus/internal/types"
+)
+
+func statlessEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := New(Config{SampleEvery: -1}) // no cold-access sampling
+	e.Mem().PutFile("mem://d.csv", []byte("1,0.5\n5,1.5\n9,2.5\n"))
+	schema := types.NewRecordType(
+		types.Field{Name: "a", Type: types.Int},
+		types.Field{Name: "b", Type: types.Float},
+	)
+	if err := e.Register("d", "mem://d.csv", "csv", schema, plugin.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestGatherStatsOnceFillsMissingRanges(t *testing.T) {
+	e := statlessEngine(t)
+	if tbl, ok := e.Stats().Lookup("d"); ok {
+		if c, exists := tbl.Cols["a"]; exists && c.HasRange {
+			t.Fatal("precondition: no stats should exist with sampling disabled")
+		}
+	}
+	e.GatherStatsOnce()
+	tbl, ok := e.Stats().Lookup("d")
+	if !ok {
+		t.Fatal("no stats table after gathering")
+	}
+	a := tbl.Cols["a"]
+	if a == nil || !a.HasRange || a.Min != 1 || a.Max != 9 {
+		t.Errorf("a stats = %+v", a)
+	}
+	b := tbl.Cols["b"]
+	if b == nil || b.Min != 0.5 || b.Max != 2.5 {
+		t.Errorf("b stats = %+v", b)
+	}
+	if tbl.Rows != 3 {
+		t.Errorf("rows = %d", tbl.Rows)
+	}
+}
+
+func TestGatherStatsIdempotent(t *testing.T) {
+	e := statlessEngine(t)
+	e.GatherStatsOnce()
+	tbl, _ := e.Stats().Lookup("d")
+	before := *tbl.Cols["a"]
+	e.GatherStatsOnce() // second sweep must skip columns that have ranges
+	after := *tbl.Cols["a"]
+	if before != after {
+		t.Errorf("stats changed on idle re-sweep: %+v → %+v", before, after)
+	}
+}
+
+func TestStatsDaemonRunsAndStops(t *testing.T) {
+	e := statlessEngine(t)
+	stop := e.StartStatsDaemon(5 * time.Millisecond)
+	deadline := time.After(2 * time.Second)
+	for {
+		if tbl, ok := e.Stats().Lookup("d"); ok {
+			if _, _, has := tbl.Range("a"); has {
+				break
+			}
+		}
+		select {
+		case <-deadline:
+			t.Fatal("daemon never gathered statistics")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	stop()
+	stop() // stopping twice must be safe
+}
+
+func TestJoinMaterializationProfilesStats(t *testing.T) {
+	// §5.2: a blocking operator (hash join build) profiles the values it
+	// materializes. With sampling disabled, the only way stats appear is
+	// through the join.
+	e := New(Config{SampleEvery: -1})
+	e.Mem().PutFile("mem://l.csv", []byte("1,10\n2,20\n3,30\n"))
+	e.Mem().PutFile("mem://r.csv", []byte("2,5.5\n3,7.5\n"))
+	lsch := types.NewRecordType(
+		types.Field{Name: "k", Type: types.Int},
+		types.Field{Name: "v", Type: types.Int},
+	)
+	rsch := types.NewRecordType(
+		types.Field{Name: "k", Type: types.Int},
+		types.Field{Name: "w", Type: types.Float},
+	)
+	if err := e.Register("l", "mem://l.csv", "csv", lsch, plugin.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register("r", "mem://r.csv", "csv", rsch, plugin.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.QuerySQL("SELECT COUNT(*), MAX(r.w) FROM l JOIN r ON l.k = r.k"); err != nil {
+		t.Fatal(err)
+	}
+	// The build side (r, the smaller input) was materialized; its numeric
+	// columns must now have ranges.
+	tbl, ok := e.Stats().Lookup("r")
+	if !ok {
+		t.Fatal("no stats for the materialized side")
+	}
+	w := tbl.Cols["w"]
+	if w == nil || !w.HasRange || w.Min != 5.5 || w.Max != 7.5 {
+		t.Errorf("w stats = %+v", w)
+	}
+}

@@ -1,0 +1,294 @@
+// Package engine wires the full Proteus architecture together (Figure 2):
+// the catalog of registered datasets and their input plug-ins, the query
+// life-cycle (parse → calculus → nested relational algebra → optimize →
+// cache-match → compile → run), the Memory and Caching Managers, and the
+// statistics store.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"proteus/internal/algebra"
+	"proteus/internal/cache"
+	"proteus/internal/calculus"
+	"proteus/internal/comp"
+	"proteus/internal/exec"
+	"proteus/internal/optimizer"
+	"proteus/internal/plugin"
+	"proteus/internal/plugin/binpg"
+	"proteus/internal/plugin/csvpg"
+	"proteus/internal/plugin/jsonpg"
+	"proteus/internal/sql"
+	"proteus/internal/stats"
+	"proteus/internal/storage"
+	"proteus/internal/types"
+)
+
+// Config tunes an Engine.
+type Config struct {
+	// CacheEnabled turns adaptive caching on (§6).
+	CacheEnabled bool
+	// CacheBudget bounds the cache arena in bytes (0 = unlimited).
+	CacheBudget int64
+	// CacheStrings overrides the default don't-cache-strings policy.
+	CacheStrings bool
+	// SampleEvery is the statistics sampling stride during cold access
+	// (default 64; negative disables cold-access statistics gathering).
+	SampleEvery int
+}
+
+// Engine is a Proteus instance: a catalog plus the managers every query
+// compilation consults.
+type Engine struct {
+	mu       sync.Mutex
+	mem      *storage.Manager
+	stats    *stats.Store
+	caches   *cache.Manager
+	registry *plugin.Registry
+	env      *plugin.Env
+	datasets map[string]*plugin.Dataset
+}
+
+// New creates an engine with the standard plug-ins registered (CSV, JSON,
+// binary).
+func New(cfg Config) *Engine {
+	if cfg.SampleEvery == 0 {
+		cfg.SampleEvery = 64
+	}
+	if cfg.SampleEvery < 0 {
+		cfg.SampleEvery = 0 // explicit opt-out of cold-access sampling
+	}
+	mem := storage.NewManager(cfg.CacheBudget)
+	st := stats.NewStore()
+	cm := cache.NewManager(mem, cfg.CacheEnabled)
+	cm.CacheStrings = cfg.CacheStrings
+	reg := plugin.NewRegistry()
+	reg.Register(csvpg.New())
+	reg.Register(jsonpg.New())
+	reg.Register(binpg.New())
+	return &Engine{
+		mem:      mem,
+		stats:    st,
+		caches:   cm,
+		registry: reg,
+		env:      &plugin.Env{Mem: mem, Stats: st, SampleEvery: cfg.SampleEvery},
+		datasets: map[string]*plugin.Dataset{},
+	}
+}
+
+// Mem exposes the memory manager (data generators write synthetic files
+// through it).
+func (e *Engine) Mem() *storage.Manager { return e.mem }
+
+// Caches exposes the caching manager (experiments toggle and inspect it).
+func (e *Engine) Caches() *cache.Manager { return e.caches }
+
+// Stats exposes the statistics store.
+func (e *Engine) Stats() *stats.Store { return e.stats }
+
+// RegisterPlugin adds a custom input plug-in (§5.2 "Adding More Inputs").
+func (e *Engine) RegisterPlugin(in plugin.Input) { e.registry.Register(in) }
+
+// Register adds a dataset to the catalog and opens it through its format's
+// plug-in (building structural indexes and gathering cold statistics).
+func (e *Engine) Register(name, path, format string, schema *types.RecordType, opts plugin.Options) error {
+	in, err := e.registry.For(format)
+	if err != nil {
+		return err
+	}
+	ds := &plugin.Dataset{Name: name, Path: path, Format: format, Schema: schema, Opts: opts}
+	if err := in.Open(e.env, ds); err != nil {
+		return fmt.Errorf("engine: opening %s: %w", name, err)
+	}
+	e.mu.Lock()
+	e.datasets[name] = ds
+	e.mu.Unlock()
+	return nil
+}
+
+// Drop removes a dataset and every cache derived from it (the paper's
+// answer to updates: drop and rebuild affected auxiliary structures).
+func (e *Engine) Drop(name string) {
+	e.mu.Lock()
+	ds, ok := e.datasets[name]
+	delete(e.datasets, name)
+	e.mu.Unlock()
+	if ok {
+		e.caches.Drop(name)
+		e.mem.Release(ds.Path)
+	}
+}
+
+// Dataset implements exec.Catalog.
+func (e *Engine) Dataset(name string) (*plugin.Dataset, plugin.Input, error) {
+	e.mu.Lock()
+	ds, ok := e.datasets[name]
+	e.mu.Unlock()
+	if !ok {
+		return nil, nil, fmt.Errorf("engine: unknown dataset %q", name)
+	}
+	in, err := e.registry.For(ds.Format)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ds, in, nil
+}
+
+// SchemaOf implements calculus.Catalog.
+func (e *Engine) SchemaOf(name string) (*types.RecordType, bool) {
+	ds, in, err := e.Dataset(name)
+	if err != nil {
+		return nil, false
+	}
+	return in.Schema(ds), true
+}
+
+// Rows implements optimizer.CostSource.
+func (e *Engine) Rows(name string) int64 {
+	ds, in, err := e.Dataset(name)
+	if err != nil {
+		return 0
+	}
+	return in.Cardinality(ds)
+}
+
+// FieldCost implements optimizer.CostSource.
+func (e *Engine) FieldCost(name string) float64 {
+	_, in, err := e.Dataset(name)
+	if err != nil {
+		return 1
+	}
+	return in.FieldCost()
+}
+
+// Prepared is a compiled query: plan + specialized program.
+type Prepared struct {
+	Plan    algebra.Node
+	Program *exec.Program
+}
+
+// Explain renders the optimized plan and the compilation decisions.
+func (p *Prepared) Explain() string {
+	out := algebra.Format(p.Plan)
+	for _, note := range p.Program.Explain {
+		out += "-- " + note + "\n"
+	}
+	return out
+}
+
+// prepareComprehension runs the common tail of the life-cycle.
+func (e *Engine) prepareComprehension(c *calculus.Comprehension) (*Prepared, error) {
+	if err := calculus.ResolveColumns(c, e); err != nil {
+		return nil, err
+	}
+	plan, err := calculus.Translate(calculus.Normalize(c), e)
+	if err != nil {
+		return nil, err
+	}
+	plan = optimizer.Optimize(plan, &optimizer.Env{Stats: e.stats, Costs: e})
+	prog, err := exec.Compile(plan, &exec.Env{Catalog: e, Caches: e.caches, Stats: e.stats})
+	if err != nil {
+		return nil, err
+	}
+	if len(c.OrderBy) > 0 || c.Limit > 0 {
+		orderBy := append([]string(nil), c.OrderBy...)
+		desc := append([]bool(nil), c.OrderDesc...)
+		limit := c.Limit
+		prog.WrapResult(func(res *exec.Result) (*exec.Result, error) {
+			return orderAndLimit(res, orderBy, desc, limit)
+		})
+	}
+	return &Prepared{Plan: plan, Program: prog}, nil
+}
+
+// orderAndLimit sorts materialized rows by the named output columns and
+// truncates to the limit (0 = no limit).
+func orderAndLimit(res *exec.Result, orderBy []string, desc []bool, limit int) (*exec.Result, error) {
+	if len(orderBy) > 0 {
+		// Output rows are records carrying the select-list names (bag yields
+		// report a single synthetic column, so validate against an actual
+		// row when one exists).
+		for _, col := range orderBy {
+			found := false
+			for _, c := range res.Cols {
+				if c == col {
+					found = true
+				}
+			}
+			if !found && len(res.Rows) > 0 {
+				_, found = res.Rows[0].Field(col)
+			}
+			if !found {
+				return nil, fmt.Errorf("engine: ORDER BY column %q is not in the output (%v)", col, res.Cols)
+			}
+		}
+		sort.SliceStable(res.Rows, func(i, j int) bool {
+			for k, col := range orderBy {
+				a, _ := res.Rows[i].Field(col)
+				b, _ := res.Rows[j].Field(col)
+				c := types.Compare(a, b)
+				if c == 0 {
+					continue
+				}
+				if k < len(desc) && desc[k] {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+	if limit > 0 && len(res.Rows) > limit {
+		res.Rows = res.Rows[:limit]
+	}
+	return res, nil
+}
+
+// PrepareSQL compiles a SQL statement without running it.
+func (e *Engine) PrepareSQL(query string) (*Prepared, error) {
+	c, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return e.prepareComprehension(c)
+}
+
+// PrepareComp compiles a comprehension without running it.
+func (e *Engine) PrepareComp(query string) (*Prepared, error) {
+	c, err := comp.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return e.prepareComprehension(c)
+}
+
+// QuerySQL parses, optimizes, compiles, and runs a SQL statement.
+func (e *Engine) QuerySQL(query string) (*exec.Result, error) {
+	p, err := e.PrepareSQL(query)
+	if err != nil {
+		return nil, err
+	}
+	return p.Program.Run()
+}
+
+// QueryComp parses, optimizes, compiles, and runs a comprehension.
+func (e *Engine) QueryComp(query string) (*exec.Result, error) {
+	p, err := e.PrepareComp(query)
+	if err != nil {
+		return nil, err
+	}
+	return p.Program.Run()
+}
+
+// QueryPlan compiles and runs an already-built algebra plan (used by tests
+// and the baseline comparison harness).
+func (e *Engine) QueryPlan(plan algebra.Node) (*exec.Result, error) {
+	plan = optimizer.Optimize(plan, &optimizer.Env{Stats: e.stats, Costs: e})
+	prog, err := exec.Compile(plan, &exec.Env{Catalog: e, Caches: e.caches, Stats: e.stats})
+	if err != nil {
+		return nil, err
+	}
+	return prog.Run()
+}

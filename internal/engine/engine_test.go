@@ -1,0 +1,180 @@
+package engine
+
+import (
+	"testing"
+
+	"proteus/internal/plugin"
+	"proteus/internal/types"
+)
+
+// newTestEngine registers small in-memory CSV, JSON, and binary datasets.
+func newTestEngine(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	e := New(cfg)
+	csvData := "" +
+		"1,10,1.5,alpha\n" +
+		"2,20,2.5,beta\n" +
+		"3,30,3.5,gamma\n" +
+		"4,40,4.5,delta\n" +
+		"5,50,5.5,epsilon\n"
+	e.Mem().PutFile("mem://nums.csv", []byte(csvData))
+	schema := types.NewRecordType(
+		types.Field{Name: "id", Type: types.Int},
+		types.Field{Name: "val", Type: types.Int},
+		types.Field{Name: "score", Type: types.Float},
+		types.Field{Name: "name", Type: types.String},
+	)
+	if err := e.Register("nums", "mem://nums.csv", "csv", schema, plugin.Options{}); err != nil {
+		t.Fatalf("register csv: %v", err)
+	}
+
+	jsonData := `{"id": 1, "grp": 1, "tags": [{"k": "a", "n": 5}, {"k": "b", "n": 6}]}
+{"id": 2, "grp": 1, "tags": [{"k": "c", "n": 7}]}
+{"id": 3, "grp": 2, "tags": []}
+`
+	e.Mem().PutFile("mem://docs.json", []byte(jsonData))
+	if err := e.Register("docs", "mem://docs.json", "json", nil, plugin.Options{}); err != nil {
+		t.Fatalf("register json: %v", err)
+	}
+	return e
+}
+
+func TestSQLCountWithPredicate(t *testing.T) {
+	e := newTestEngine(t, Config{})
+	res, err := e.QuerySQL("SELECT COUNT(*) FROM nums WHERE val < 35")
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if got := res.Scalar().AsInt(); got != 3 {
+		t.Fatalf("count = %d, want 3", got)
+	}
+}
+
+func TestSQLAggregates(t *testing.T) {
+	e := newTestEngine(t, Config{})
+	res, err := e.QuerySQL("SELECT COUNT(*), MAX(score), SUM(val), MIN(id), AVG(val) FROM nums")
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	row := res.Rows[0]
+	if v, _ := row.Field("count(*)"); v.AsInt() != 5 {
+		t.Errorf("count = %s, want 5", v)
+	}
+	if v, _ := row.Field("max(score)"); v.AsFloat() != 5.5 {
+		t.Errorf("max = %s, want 5.5", v)
+	}
+	if v, _ := row.Field("sum(val)"); v.AsInt() != 150 {
+		t.Errorf("sum = %s, want 150", v)
+	}
+	if v, _ := row.Field("min(id)"); v.AsInt() != 1 {
+		t.Errorf("min = %s, want 1", v)
+	}
+	if v, _ := row.Field("avg(val)"); v.AsFloat() != 30 {
+		t.Errorf("avg = %s, want 30", v)
+	}
+}
+
+func TestSQLProjection(t *testing.T) {
+	e := newTestEngine(t, Config{})
+	res, err := e.QuerySQL("SELECT id, name FROM nums WHERE score > 3.0")
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+	first := res.Rows[0]
+	if v, _ := first.Field("id"); v.AsInt() != 3 {
+		t.Errorf("first id = %s, want 3", v)
+	}
+	if v, _ := first.Field("name"); v.S != "gamma" {
+		t.Errorf("first name = %s, want gamma", v)
+	}
+}
+
+func TestJSONScanAndUnnest(t *testing.T) {
+	e := newTestEngine(t, Config{})
+	res, err := e.QuerySQL("SELECT COUNT(*) FROM docs WHERE grp = 1")
+	if err != nil {
+		t.Fatalf("scan query: %v", err)
+	}
+	if got := res.Scalar().AsInt(); got != 2 {
+		t.Fatalf("count = %d, want 2", got)
+	}
+
+	res, err = e.QueryComp("for { d <- docs, tg <- d.tags, tg.n > 5 } yield count")
+	if err != nil {
+		t.Fatalf("unnest query: %v", err)
+	}
+	if got := res.Scalar().AsInt(); got != 2 {
+		t.Fatalf("unnest count = %d, want 2 (tags with n>5)", got)
+	}
+}
+
+func TestComprehensionYieldBag(t *testing.T) {
+	e := newTestEngine(t, Config{})
+	res, err := e.QueryComp("for { n <- nums, n.val >= 40 } yield bag (n.id, n.name)")
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+}
+
+func TestSQLJoin(t *testing.T) {
+	e := newTestEngine(t, Config{})
+	// Self-join on id: every row matches exactly once.
+	res, err := e.QuerySQL("SELECT COUNT(*) FROM nums a JOIN nums b ON a.id = b.id WHERE a.val < 45")
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if got := res.Scalar().AsInt(); got != 4 {
+		t.Fatalf("join count = %d, want 4", got)
+	}
+}
+
+func TestSQLGroupBy(t *testing.T) {
+	e := newTestEngine(t, Config{})
+	res, err := e.QuerySQL("SELECT grp, COUNT(*) AS n FROM docs GROUP BY grp")
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("groups = %d, want 2", len(res.Rows))
+	}
+	if v, _ := res.Rows[0].Field("n"); v.AsInt() != 2 {
+		t.Errorf("group 1 count = %s, want 2", v)
+	}
+}
+
+func TestCrossFormatJoin(t *testing.T) {
+	e := newTestEngine(t, Config{})
+	res, err := e.QuerySQL("SELECT COUNT(*) FROM nums n JOIN docs d ON n.id = d.id")
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if got := res.Scalar().AsInt(); got != 3 {
+		t.Fatalf("cross-format join count = %d, want 3", got)
+	}
+}
+
+func TestCachingSpeedsUpAndStaysCorrect(t *testing.T) {
+	e := newTestEngine(t, Config{CacheEnabled: true})
+	for i := 0; i < 3; i++ {
+		res, err := e.QuerySQL("SELECT SUM(val) FROM nums WHERE id < 4")
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if got := res.Scalar().AsInt(); got != 60 {
+			t.Fatalf("query %d: sum = %d, want 60", i, got)
+		}
+	}
+	snap := e.Caches().Snapshot()
+	if snap.Blocks == 0 {
+		t.Fatalf("expected cache blocks after repeated queries, got %+v", snap)
+	}
+	if snap.Hits == 0 {
+		t.Fatalf("expected cache hits on re-run, got %+v", snap)
+	}
+}

@@ -1,0 +1,81 @@
+package engine
+
+import (
+	"testing"
+)
+
+func TestOrderByAscDesc(t *testing.T) {
+	e := newTestEngine(t, Config{})
+	res, err := e.QuerySQL("SELECT id, val FROM nums WHERE id > 1 ORDER BY val DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	prev := int64(1 << 62)
+	for _, row := range res.Rows {
+		v, _ := row.Field("val")
+		if v.AsInt() > prev {
+			t.Fatalf("not descending: %v", res.Rows)
+		}
+		prev = v.AsInt()
+	}
+	res, err = e.QuerySQL("SELECT id, val FROM nums ORDER BY id ASC LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("limit rows = %d", len(res.Rows))
+	}
+	if v, _ := res.Rows[0].Field("id"); v.AsInt() != 1 {
+		t.Errorf("first row = %s", res.Rows[0])
+	}
+}
+
+func TestOrderByOnGroupedOutput(t *testing.T) {
+	e := newTestEngine(t, Config{})
+	res, err := e.QuerySQL("SELECT grp, COUNT(*) AS n FROM docs GROUP BY grp ORDER BY n DESC LIMIT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if v, _ := res.Rows[0].Field("n"); v.AsInt() != 2 {
+		t.Errorf("top group = %s", res.Rows[0])
+	}
+}
+
+func TestOrderByMultiKeyStable(t *testing.T) {
+	e := newTestEngine(t, Config{})
+	// grp has duplicates; secondary key id breaks ties deterministically.
+	res, err := e.QuerySQL("SELECT id, grp FROM docs ORDER BY grp ASC, id DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if v, _ := res.Rows[0].Field("id"); v.AsInt() != 2 {
+		t.Errorf("rows = %v (want grp=1 ordered by id desc first)", res.Rows)
+	}
+}
+
+func TestOrderByUnknownColumn(t *testing.T) {
+	e := newTestEngine(t, Config{})
+	if _, err := e.QuerySQL("SELECT id FROM nums ORDER BY ghost"); err == nil {
+		t.Error("ORDER BY on a column not in the output should fail")
+	}
+}
+
+func TestLimitWithoutOrder(t *testing.T) {
+	e := newTestEngine(t, Config{})
+	res, err := e.QuerySQL("SELECT id FROM nums LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}

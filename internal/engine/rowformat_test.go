@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"proteus/internal/exec"
+	"proteus/internal/plugin"
+	"proteus/internal/plugin/binpg"
+	"proteus/internal/types"
+)
+
+// TestRowMajorBinaryThroughEngine exercises the row-major binary layout end
+// to end (the columnar layout is covered by the benchmark fixtures).
+func TestRowMajorBinaryThroughEngine(t *testing.T) {
+	cols := []binpg.Column{
+		{Name: "k", Type: types.Int, Ints: []int64{1, 2, 3, 4, 5}},
+		{Name: "w", Type: types.Float, Floats: []float64{0.5, 1.5, 2.5, 3.5, 4.5}},
+		{Name: "tag", Type: types.String, Strs: []string{"a", "b", "c", "d", "e"}},
+	}
+	data, err := binpg.EncodeRows(cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(Config{})
+	e.Mem().PutFile("mem://rows.bin", data)
+	if err := e.Register("rows", "mem://rows.bin", "bin", nil, plugin.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.QuerySQL("SELECT SUM(k), MAX(w), MIN(tag) FROM rows WHERE k > 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Rows[0]
+	if v, _ := row.Field("sum(k)"); v.AsInt() != 14 {
+		t.Errorf("sum = %s", v)
+	}
+	if v, _ := row.Field("max(w)"); v.F != 4.5 {
+		t.Errorf("max = %s", v)
+	}
+	if v, _ := row.Field("min(tag)"); v.S != "b" {
+		t.Errorf("min tag = %s", v)
+	}
+}
+
+// TestConcurrentQueries runs many queries in parallel against one engine
+// with caching enabled — compilation, cache population/lookup, join-side
+// reuse, and statistics profiling all race here if anything is unsafe (run
+// under -race in CI).
+func TestConcurrentQueries(t *testing.T) {
+	e := newTestEngine(t, Config{CacheEnabled: true})
+	queries := []string{
+		"SELECT COUNT(*) FROM nums WHERE val < 35",
+		"SELECT SUM(val) FROM nums WHERE id < 4",
+		"SELECT COUNT(*) FROM docs WHERE grp = 1",
+		"SELECT COUNT(*) FROM nums n JOIN docs d ON n.id = d.id",
+		"for { d <- docs, tg <- d.tags, tg.n > 5 } yield count",
+	}
+	want := make([]int64, len(queries))
+	for i, q := range queries {
+		var res *resultT
+		var err error
+		res, err = runAny(e, q)
+		if err != nil {
+			t.Fatalf("warmup %q: %v", q, err)
+		}
+		want[i] = res.Scalar().AsInt()
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for worker := 0; worker < 8; worker++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				qi := (seed + i) % len(queries)
+				res, err := runAny(e, queries[qi])
+				if err != nil {
+					errs <- fmt.Errorf("%q: %w", queries[qi], err)
+					return
+				}
+				if got := res.Scalar().AsInt(); got != want[qi] {
+					errs <- fmt.Errorf("%q = %d, want %d", queries[qi], got, want[qi])
+					return
+				}
+			}
+		}(worker)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+type resultT = exec.Result
+
+func runAny(e *Engine, q string) (*exec.Result, error) {
+	if len(q) > 3 && q[:3] == "for" {
+		return e.QueryComp(q)
+	}
+	return e.QuerySQL(q)
+}

@@ -1,0 +1,574 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"proteus/internal/algebra"
+	"proteus/internal/expr"
+	"proteus/internal/types"
+	"proteus/internal/vbuf"
+)
+
+// accumulator is one compiled aggregate monoid: fold consumes the current
+// tuple, result yields the final value.
+type accumulator struct {
+	fold   func(r *vbuf.Regs)
+	result func() types.Value
+	// fresh clones the accumulator with zeroed state (for per-group use).
+	fresh func() *accumulator
+}
+
+// compileAgg builds the type-specialized accumulator for one aggregate.
+func (c *Compiler) compileAgg(a expr.Agg) (*accumulator, error) {
+	switch a.Kind {
+	case expr.AggCount:
+		var make_ func() *accumulator
+		make_ = func() *accumulator {
+			var n int64
+			return &accumulator{
+				fold:   func(*vbuf.Regs) { n++ },
+				result: func() types.Value { return types.IntValue(n) },
+				fresh:  func() *accumulator { return make_() },
+			}
+		}
+		return make_(), nil
+	case expr.AggBag, expr.AggList:
+		ev, err := c.compileVal(a.Arg)
+		if err != nil {
+			return nil, err
+		}
+		kind := types.KindBag
+		if a.Kind == expr.AggList {
+			kind = types.KindList
+		}
+		var make_ func() *accumulator
+		make_ = func() *accumulator {
+			var elems []types.Value
+			return &accumulator{
+				fold: func(r *vbuf.Regs) {
+					v, ok := ev(r)
+					if !ok {
+						v = types.NullValue()
+					}
+					elems = append(elems, v)
+				},
+				result: func() types.Value { return types.Value{Kind: kind, Elems: elems} },
+				fresh:  func() *accumulator { return make_() },
+			}
+		}
+		return make_(), nil
+	}
+
+	t, err := c.typeOf(a.Arg)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case a.Kind == expr.AggAvg:
+		ev, err := c.compileFloat(a.Arg)
+		if err != nil {
+			return nil, err
+		}
+		var make_ func() *accumulator
+		make_ = func() *accumulator {
+			var sum float64
+			var n int64
+			return &accumulator{
+				fold: func(r *vbuf.Regs) {
+					if v, ok := ev(r); ok {
+						sum += v
+						n++
+					}
+				},
+				result: func() types.Value {
+					if n == 0 {
+						return types.NullValue()
+					}
+					return types.FloatValue(sum / float64(n))
+				},
+				fresh: func() *accumulator { return make_() },
+			}
+		}
+		return make_(), nil
+	case t.Kind() == types.KindInt:
+		ev, err := c.compileInt(a.Arg)
+		if err != nil {
+			return nil, err
+		}
+		return intAccumulator(a.Kind, ev)
+	case t.Kind() == types.KindFloat:
+		ev, err := c.compileFloat(a.Arg)
+		if err != nil {
+			return nil, err
+		}
+		return floatAccumulator(a.Kind, ev)
+	case t.Kind() == types.KindString && (a.Kind == expr.AggMax || a.Kind == expr.AggMin):
+		ev, err := c.compileStr(a.Arg)
+		if err != nil {
+			return nil, err
+		}
+		return strAccumulator(a.Kind, ev)
+	}
+	return nil, fmt.Errorf("exec: unsupported aggregate %s over %s", a.Kind, t)
+}
+
+func intAccumulator(kind expr.AggKind, ev evalInt) (*accumulator, error) {
+	var make_ func() *accumulator
+	switch kind {
+	case expr.AggSum:
+		make_ = func() *accumulator {
+			var sum int64
+			seen := false
+			return &accumulator{
+				fold: func(r *vbuf.Regs) {
+					if v, ok := ev(r); ok {
+						sum += v
+						seen = true
+					}
+				},
+				result: func() types.Value {
+					if !seen {
+						return types.NullValue()
+					}
+					return types.IntValue(sum)
+				},
+				fresh: func() *accumulator { return make_() },
+			}
+		}
+	case expr.AggMax:
+		make_ = func() *accumulator {
+			best := int64(math.MinInt64)
+			seen := false
+			return &accumulator{
+				fold: func(r *vbuf.Regs) {
+					if v, ok := ev(r); ok {
+						if v > best {
+							best = v
+						}
+						seen = true
+					}
+				},
+				result: func() types.Value {
+					if !seen {
+						return types.NullValue()
+					}
+					return types.IntValue(best)
+				},
+				fresh: func() *accumulator { return make_() },
+			}
+		}
+	case expr.AggMin:
+		make_ = func() *accumulator {
+			best := int64(math.MaxInt64)
+			seen := false
+			return &accumulator{
+				fold: func(r *vbuf.Regs) {
+					if v, ok := ev(r); ok {
+						if v < best {
+							best = v
+						}
+						seen = true
+					}
+				},
+				result: func() types.Value {
+					if !seen {
+						return types.NullValue()
+					}
+					return types.IntValue(best)
+				},
+				fresh: func() *accumulator { return make_() },
+			}
+		}
+	default:
+		return nil, fmt.Errorf("exec: aggregate %s not defined on int", kind)
+	}
+	return make_(), nil
+}
+
+func floatAccumulator(kind expr.AggKind, ev evalFloat) (*accumulator, error) {
+	var make_ func() *accumulator
+	switch kind {
+	case expr.AggSum:
+		make_ = func() *accumulator {
+			var sum float64
+			seen := false
+			return &accumulator{
+				fold: func(r *vbuf.Regs) {
+					if v, ok := ev(r); ok {
+						sum += v
+						seen = true
+					}
+				},
+				result: func() types.Value {
+					if !seen {
+						return types.NullValue()
+					}
+					return types.FloatValue(sum)
+				},
+				fresh: func() *accumulator { return make_() },
+			}
+		}
+	case expr.AggMax:
+		make_ = func() *accumulator {
+			best := math.Inf(-1)
+			seen := false
+			return &accumulator{
+				fold: func(r *vbuf.Regs) {
+					if v, ok := ev(r); ok {
+						if v > best {
+							best = v
+						}
+						seen = true
+					}
+				},
+				result: func() types.Value {
+					if !seen {
+						return types.NullValue()
+					}
+					return types.FloatValue(best)
+				},
+				fresh: func() *accumulator { return make_() },
+			}
+		}
+	case expr.AggMin:
+		make_ = func() *accumulator {
+			best := math.Inf(1)
+			seen := false
+			return &accumulator{
+				fold: func(r *vbuf.Regs) {
+					if v, ok := ev(r); ok {
+						if v < best {
+							best = v
+						}
+						seen = true
+					}
+				},
+				result: func() types.Value {
+					if !seen {
+						return types.NullValue()
+					}
+					return types.FloatValue(best)
+				},
+				fresh: func() *accumulator { return make_() },
+			}
+		}
+	default:
+		return nil, fmt.Errorf("exec: aggregate %s not defined on float", kind)
+	}
+	return make_(), nil
+}
+
+func strAccumulator(kind expr.AggKind, ev evalStr) (*accumulator, error) {
+	wantMax := kind == expr.AggMax
+	var make_ func() *accumulator
+	make_ = func() *accumulator {
+		var best string
+		seen := false
+		return &accumulator{
+			fold: func(r *vbuf.Regs) {
+				v, ok := ev(r)
+				if !ok {
+					return
+				}
+				if !seen || (wantMax && v > best) || (!wantMax && v < best) {
+					best = v
+					seen = true
+				}
+			},
+			result: func() types.Value {
+				if !seen {
+					return types.NullValue()
+				}
+				return types.StringValue(best)
+			},
+			fresh: func() *accumulator { return make_() },
+		}
+	}
+	return make_(), nil
+}
+
+// compileReduce compiles the root Reduce: the aggregates fold over the
+// child pipeline; a single AggBag/AggList yields the output collection.
+func (c *Compiler) compileReduce(red *algebra.Reduce) (func(r *vbuf.Regs) (*Result, error), error) {
+	// Embedded filter (compiled after the child, inside each branch).
+	var pred evalBool
+
+	// Collection yield: one bag/list aggregate produces the result rows.
+	if len(red.Aggs) == 1 && (red.Aggs[0].Kind == expr.AggBag || red.Aggs[0].Kind == expr.AggList) {
+		var ev evalVal
+		var rows []types.Value
+		run, err := c.compileChildThen(red.Child, func() (Kont, error) {
+			e, err := c.compileVal(red.Aggs[0].Arg)
+			if err != nil {
+				return nil, err
+			}
+			ev = e
+			if red.Pred != nil {
+				p, err := c.compileBool(red.Pred)
+				if err != nil {
+					return nil, err
+				}
+				pred = p
+			}
+			return func(r *vbuf.Regs) error {
+				if pred != nil {
+					if v, ok := pred(r); !ok || !v {
+						return nil
+					}
+				}
+				v, ok := ev(r)
+				if !ok {
+					v = types.NullValue()
+				}
+				rows = append(rows, v)
+				return nil
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		name := red.Names[0]
+		return func(r *vbuf.Regs) (*Result, error) {
+			rows = nil
+			if err := run(r); err != nil {
+				return nil, err
+			}
+			return &Result{Cols: []string{name}, Rows: rows}, nil
+		}, nil
+	}
+
+	// Aggregate yield: fold every accumulator in one pass.
+	accs := make([]*accumulator, len(red.Aggs))
+	run, err := c.compileChildThen(red.Child, func() (Kont, error) {
+		for i, a := range red.Aggs {
+			acc, err := c.compileAgg(a)
+			if err != nil {
+				return nil, err
+			}
+			accs[i] = acc
+		}
+		if red.Pred != nil {
+			p, err := c.compileBool(red.Pred)
+			if err != nil {
+				return nil, err
+			}
+			pred = p
+		}
+		return func(r *vbuf.Regs) error {
+			if pred != nil {
+				if v, ok := pred(r); !ok || !v {
+					return nil
+				}
+			}
+			for _, acc := range accs {
+				acc.fold(r)
+			}
+			return nil
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	names := red.Names
+	return func(r *vbuf.Regs) (*Result, error) {
+		// Re-arm accumulators for repeated executions of the same program.
+		for i := range accs {
+			accs[i] = accs[i].fresh()
+		}
+		if err := run(r); err != nil {
+			return nil, err
+		}
+		vals := make([]types.Value, len(accs))
+		for i, acc := range accs {
+			vals[i] = acc.result()
+		}
+		return &Result{Cols: names, Rows: []types.Value{types.RecordValue(names, vals)}}, nil
+	}, nil
+}
+
+// group holds one hash-group's accumulators during Nest evaluation.
+type group struct {
+	keyVals []types.Value
+	accs    []*accumulator
+}
+
+// compileNest compiles the root Nest: radix-hash grouping with per-group
+// accumulators (§5.1: "Proteus uses a radix-hash-based grouping
+// implementation"). Single integer group-by keys take a specialized path.
+func (c *Compiler) compileNest(n *algebra.Nest) (func(r *vbuf.Regs) (*Result, error), error) {
+	var pred evalBool
+	protoAccs := make([]*accumulator, len(n.Aggs))
+	freshAccs := func() []*accumulator {
+		accs := make([]*accumulator, len(protoAccs))
+		for i, p := range protoAccs {
+			accs[i] = p.fresh()
+		}
+		return accs
+	}
+	outNames := append(append([]string{}, n.GroupNames...), n.AggNames...)
+
+	// Fast path: single integer key.
+	singleInt := false
+	if len(n.GroupBy) == 1 {
+		if t, err := c.typeOf(n.GroupBy[0]); err == nil && t.Kind() == types.KindInt {
+			singleInt = true
+		}
+	}
+
+	if singleInt {
+		groups := map[int64][]*accumulator{}
+		var keyOrder []int64
+		run, err := c.compileChildThen(n.Child, func() (Kont, error) {
+			keyEval, err := c.compileInt(n.GroupBy[0])
+			if err != nil {
+				return nil, err
+			}
+			for i, a := range n.Aggs {
+				acc, err := c.compileAgg(a)
+				if err != nil {
+					return nil, err
+				}
+				protoAccs[i] = acc
+			}
+			if n.Pred != nil {
+				p, err := c.compileBool(n.Pred)
+				if err != nil {
+					return nil, err
+				}
+				pred = p
+			}
+			return func(r *vbuf.Regs) error {
+				if pred != nil {
+					if v, ok := pred(r); !ok || !v {
+						return nil
+					}
+				}
+				k, ok := keyEval(r)
+				if !ok {
+					return nil
+				}
+				accs, exists := groups[k]
+				if !exists {
+					accs = freshAccs()
+					groups[k] = accs
+					keyOrder = append(keyOrder, k)
+				}
+				for _, acc := range accs {
+					acc.fold(r)
+				}
+				return nil
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return func(r *vbuf.Regs) (*Result, error) {
+			groups = map[int64][]*accumulator{}
+			keyOrder = nil
+			if err := run(r); err != nil {
+				return nil, err
+			}
+			sort.Slice(keyOrder, func(i, j int) bool { return keyOrder[i] < keyOrder[j] })
+			rows := make([]types.Value, 0, len(keyOrder))
+			for _, k := range keyOrder {
+				vals := make([]types.Value, 0, len(outNames))
+				vals = append(vals, types.IntValue(k))
+				for _, acc := range groups[k] {
+					vals = append(vals, acc.result())
+				}
+				rows = append(rows, types.RecordValue(outNames, vals))
+			}
+			return &Result{Cols: outNames, Rows: rows}, nil
+		}, nil
+	}
+
+	// General path: composite/boxed keys hashed by canonical value hash.
+	keyEvals := make([]evalVal, len(n.GroupBy))
+	groups := map[uint64][]*group{}
+	var order []*group
+	run, err := c.compileChildThen(n.Child, func() (Kont, error) {
+		for i, g := range n.GroupBy {
+			ev, err := c.compileVal(g)
+			if err != nil {
+				return nil, err
+			}
+			keyEvals[i] = ev
+		}
+		for i, a := range n.Aggs {
+			acc, err := c.compileAgg(a)
+			if err != nil {
+				return nil, err
+			}
+			protoAccs[i] = acc
+		}
+		if n.Pred != nil {
+			p, err := c.compileBool(n.Pred)
+			if err != nil {
+				return nil, err
+			}
+			pred = p
+		}
+		return func(r *vbuf.Regs) error {
+			if pred != nil {
+				if v, ok := pred(r); !ok || !v {
+					return nil
+				}
+			}
+			h := uint64(14695981039346656037)
+			keyVals := make([]types.Value, len(keyEvals))
+			for i, ev := range keyEvals {
+				v, ok := ev(r)
+				if !ok {
+					v = types.NullValue()
+				}
+				keyVals[i] = v
+				h = hashMix(h, v.Hash())
+			}
+			var g *group
+			for _, cand := range groups[h] {
+				same := true
+				for i := range keyVals {
+					if types.Compare(cand.keyVals[i], keyVals[i]) != 0 {
+						same = false
+						break
+					}
+				}
+				if same {
+					g = cand
+					break
+				}
+			}
+			if g == nil {
+				g = &group{keyVals: keyVals, accs: freshAccs()}
+				groups[h] = append(groups[h], g)
+				order = append(order, g)
+			}
+			for _, acc := range g.accs {
+				acc.fold(r)
+			}
+			return nil
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return func(r *vbuf.Regs) (*Result, error) {
+		groups = map[uint64][]*group{}
+		order = nil
+		if err := run(r); err != nil {
+			return nil, err
+		}
+		rows := make([]types.Value, 0, len(order))
+		for _, g := range order {
+			vals := make([]types.Value, 0, len(outNames))
+			vals = append(vals, g.keyVals...)
+			for _, acc := range g.accs {
+				vals = append(vals, acc.result())
+			}
+			rows = append(rows, types.RecordValue(outNames, vals))
+		}
+		return &Result{Cols: outNames, Rows: rows}, nil
+	}, nil
+}

@@ -1,0 +1,514 @@
+package exec
+
+import (
+	"fmt"
+
+	"proteus/internal/algebra"
+	"proteus/internal/cache"
+	"proteus/internal/expr"
+	"proteus/internal/plugin"
+	"proteus/internal/plugin/cachepg"
+	"proteus/internal/stats"
+	"proteus/internal/types"
+	"proteus/internal/vbuf"
+)
+
+// Catalog resolves dataset names to their registered plug-in and dataset.
+type Catalog interface {
+	Dataset(name string) (*plugin.Dataset, plugin.Input, error)
+}
+
+// Env carries the services a compilation needs.
+type Env struct {
+	Catalog Catalog
+	Caches  *cache.Manager
+	// Stats, when set, receives min/max observations profiled from
+	// materialized join build sides (§5.2's blocking-operator statistics
+	// gathering).
+	Stats *stats.Store
+}
+
+// Kont is the consume continuation of the push model: called once per
+// tuple, reading the current tuple from the register file.
+type Kont func(r *vbuf.Regs) error
+
+// binding tracks where a plan variable's data lives at run time.
+type binding struct {
+	name string
+	typ  types.Type
+	// Dataset provenance (nil for unnest-introduced bindings).
+	ds *plugin.Dataset
+	in plugin.Input
+	// oidSlot carries the record OID when ds != nil.
+	oidSlot vbuf.Slot
+	hasOID  bool
+	// slots maps extracted dotted field paths ("" = whole value) to their
+	// registers.
+	slots map[string]vbuf.Slot
+}
+
+// Compiler performs the single post-order traversal of the physical plan
+// that produces the specialized query program (§5.1).
+type Compiler struct {
+	env      *Env
+	alloc    vbuf.Alloc
+	bindings map[string]*binding
+	// env for type inference: binding name → type.
+	envTypes expr.Env
+	// needs: binding → set of dotted paths required by expressions.
+	needs map[string]map[string]bool
+	// lazyUnnest: binding → set of collection paths served by plug-in
+	// unnests (not extracted at scan).
+	lazyUnnest map[string]map[string]bool
+	// explain accumulates human-readable compilation decisions.
+	explain []string
+}
+
+func (c *Compiler) note(format string, args ...any) {
+	c.explain = append(c.explain, fmt.Sprintf(format, args...))
+}
+
+// field needs inference ----------------------------------------------------
+
+// analyze walks the plan collecting, per binding, the set of field paths
+// referenced by any expression — this is the projection-pushdown
+// information the input plug-ins use to extract only what the query needs.
+func (c *Compiler) analyze(plan algebra.Node) {
+	c.needs = map[string]map[string]bool{}
+	c.lazyUnnest = map[string]map[string]bool{}
+	addPath := func(root string, path []string) {
+		set, ok := c.needs[root]
+		if !ok {
+			set = map[string]bool{}
+			c.needs[root] = set
+		}
+		set[pathKey(path)] = true
+	}
+	var addExpr func(e expr.Expr)
+	addExpr = func(e expr.Expr) {
+		if e == nil {
+			return
+		}
+		if root, path, ok := expr.PathOf(e); ok {
+			addPath(root, path)
+			return
+		}
+		switch x := e.(type) {
+		case *expr.BinOp:
+			addExpr(x.L)
+			addExpr(x.R)
+		case *expr.Not:
+			addExpr(x.E)
+		case *expr.Neg:
+			addExpr(x.E)
+		case *expr.Like:
+			addExpr(x.E)
+		case *expr.RecordCtor:
+			for _, sub := range x.Exprs {
+				addExpr(sub)
+			}
+		}
+	}
+	algebra.Walk(plan, func(n algebra.Node) bool {
+		switch x := n.(type) {
+		case *algebra.Select:
+			addExpr(x.Pred)
+		case *algebra.Join:
+			addExpr(x.Pred)
+		case *algebra.Unnest:
+			addExpr(x.Pred)
+			// The unnest path itself: plug-in unnests resolve it lazily via
+			// the OID; value-mode unnests need the collection extracted.
+			if root, path, ok := expr.PathOf(x.Path); ok {
+				if c.isPluginUnnest(plan, root) {
+					set, ok := c.lazyUnnest[root]
+					if !ok {
+						set = map[string]bool{}
+						c.lazyUnnest[root] = set
+					}
+					set[pathKey(path)] = true
+				} else {
+					addPath(root, path)
+				}
+			}
+		case *algebra.Reduce:
+			addExpr(x.Pred)
+			for _, a := range x.Aggs {
+				addExpr(a.Arg)
+			}
+		case *algebra.Nest:
+			addExpr(x.Pred)
+			for _, g := range x.GroupBy {
+				addExpr(g)
+			}
+			for _, a := range x.Aggs {
+				addExpr(a.Arg)
+			}
+		}
+		return true
+	})
+}
+
+// isPluginUnnest reports whether binding root is dataset-backed by a
+// plug-in that supports lazy unnesting (JSON).
+func (c *Compiler) isPluginUnnest(plan algebra.Node, root string) bool {
+	for _, s := range algebra.Scans(plan) {
+		if s.Binding == root {
+			_, in, err := c.env.Catalog.Dataset(s.Dataset)
+			if err != nil {
+				return false
+			}
+			type unnester interface {
+				CompileUnnest(*plugin.Dataset, plugin.UnnestSpec) (plugin.UnnestFunc, error)
+			}
+			_, ok := in.(unnester)
+			if !ok {
+				return false
+			}
+			return in.Format() == "json"
+		}
+	}
+	return false
+}
+
+// compileNode dispatches on the operator kind, compiling the subtree into a
+// driver that calls consume per produced tuple.
+func (c *Compiler) compileNode(n algebra.Node, consume Kont) (func(r *vbuf.Regs) error, error) {
+	switch x := n.(type) {
+	case *algebra.Scan:
+		return c.compileScan(x, consume)
+	case *algebra.Select:
+		return c.compileChildThen(x.Child, func() (Kont, error) {
+			pred, err := c.compileBool(x.Pred)
+			if err != nil {
+				return nil, fmt.Errorf("select %s: %w", x.Pred, err)
+			}
+			return func(r *vbuf.Regs) error {
+				if v, ok := pred(r); ok && v {
+					return consume(r)
+				}
+				return nil
+			}, nil
+		})
+	case *algebra.Join:
+		return c.compileJoin(x, consume)
+	case *algebra.Unnest:
+		return c.compileUnnest(x, consume)
+	default:
+		return nil, fmt.Errorf("exec: unexpected operator %T below the root", n)
+	}
+}
+
+// compileChildThen compiles the child subtree first (post-order DFS: the
+// child's bindings and slots must exist before this operator's expressions
+// are compiled), then asks mk for the operator's consume and installs it
+// through an indirection.
+func (c *Compiler) compileChildThen(child algebra.Node, mk func() (Kont, error)) (func(r *vbuf.Regs) error, error) {
+	var k Kont
+	run, err := c.compileNode(child, func(r *vbuf.Regs) error { return k(r) })
+	if err != nil {
+		return nil, err
+	}
+	k, err = mk()
+	if err != nil {
+		return nil, err
+	}
+	return run, nil
+}
+
+// compileScan emits the scan driver for a dataset: the plug-in's generated
+// access code, the cache-block fast path when every needed field is cached,
+// the mixed path when some are, and the cache-population side-effect wiring
+// (§5.2 + §6).
+func (c *Compiler) compileScan(s *algebra.Scan, consume Kont) (func(r *vbuf.Regs) error, error) {
+	ds, in, err := c.env.Catalog.Dataset(s.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	schema := in.Schema(ds)
+	b := &binding{name: s.Binding, typ: schema, ds: ds, in: in, slots: map[string]vbuf.Slot{}}
+	b.oidSlot = c.alloc.Int()
+	b.hasOID = true
+	c.bindings[s.Binding] = b
+	c.envTypes[s.Binding] = schema
+
+	caches := c.env.Caches
+	bias := in.FieldCost()
+	rows := in.Cardinality(ds)
+
+	// Resolve each needed path to a slot, deciding its source: cache block,
+	// plug-in extraction, or whole-record boxing.
+	var pluginFields []plugin.FieldReq
+	type cachedField struct {
+		block *cache.Block
+		slot  vbuf.Slot
+	}
+	var cachedFields []cachedField
+	type buildReq struct {
+		key  string
+		kind types.Kind
+		slot vbuf.Slot
+	}
+	var buildReqs []buildReq
+
+	paths := sortedKeys(c.needs[s.Binding])
+	for _, p := range paths {
+		var t types.Type = schema
+		if p != "" {
+			pt, err := typeOfPath(schema, splitPath(p))
+			if err != nil {
+				return nil, fmt.Errorf("scan %s: %w", s.Dataset, err)
+			}
+			t = pt
+		}
+		slot := c.alloc.ForType(t)
+		b.slots[p] = slot
+		if p == "" {
+			// Whole-record reference: box via the plug-in.
+			pluginFields = append(pluginFields, plugin.FieldReq{Path: nil, Slot: slot, Type: t})
+			continue
+		}
+		if blk, ok := caches.Lookup(s.Dataset, p); ok && blk.Rows == rows {
+			cachedFields = append(cachedFields, cachedField{block: blk, slot: slot})
+			c.note("scan %s: field %s served from cache", s.Dataset, p)
+			continue
+		}
+		pluginFields = append(pluginFields, plugin.FieldReq{Path: splitPath(p), Slot: slot, Type: t})
+		if caches.ShouldCache(bias, t.Kind()) && !caches.Has(s.Dataset, p) {
+			buildReqs = append(buildReqs, buildReq{key: p, kind: t.Kind(), slot: slot})
+			c.note("scan %s: populating cache for field %s", s.Dataset, p)
+		}
+	}
+
+	// Cache loaders read by row ordinal — the OID the scan produces.
+	oid := b.oidSlot
+	var loaders []func(r *vbuf.Regs)
+	for _, cf := range cachedFields {
+		ld, err := cachepg.CompileLoader(cf.block, cf.slot)
+		if err != nil {
+			return nil, err
+		}
+		load := ld
+		loaders = append(loaders, func(r *vbuf.Regs) { load(r, r.I[oid.Idx]) })
+	}
+
+	inner := consume
+	if len(loaders) > 0 {
+		next := inner
+		lds := loaders
+		inner = func(r *vbuf.Regs) error {
+			for _, ld := range lds {
+				ld(r)
+			}
+			return next(r)
+		}
+	}
+
+	// Cache population wraps the consume *before* any filtering above, so
+	// the block covers every record (the cache is a full column).
+	var builders []*cachepg.Builder
+	if len(buildReqs) > 0 {
+		for _, br := range buildReqs {
+			builders = append(builders, cachepg.NewBuilder(s.Dataset, br.key, br.kind, bias, br.slot, rows))
+		}
+		next := inner
+		bds := builders
+		inner = func(r *vbuf.Regs) error {
+			for _, bd := range bds {
+				bd.Append(r)
+			}
+			return next(r)
+		}
+	}
+
+	if len(pluginFields) == 0 && len(cachedFields) > 0 {
+		// Full cache hit: never touch the original dataset.
+		c.note("scan %s: fully served from cache (%d fields)", s.Dataset, len(cachedFields))
+		run := func(r *vbuf.Regs) error {
+			for row := int64(0); row < rows; row++ {
+				r.I[oid.Idx] = row
+				r.Null[oid.Null] = false
+				if err := inner(r); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return run, nil
+	}
+
+	spec := plugin.ScanSpec{Fields: pluginFields, OIDSlot: &b.oidSlot}
+	pluginRun, err := in.CompileScan(ds, spec)
+	if err != nil {
+		return nil, err
+	}
+	run := func(r *vbuf.Regs) error {
+		err := pluginRun(r, func() error { return inner(r) })
+		if err != nil {
+			return err
+		}
+		// Scan completed: register any caches built as a side-effect.
+		for _, bd := range builders {
+			caches.Register(bd.Finish())
+		}
+		return nil
+	}
+	return run, nil
+}
+
+// compileUnnest emits the element loop over a nested collection: lazily
+// through the input plug-in when the collection's record is plug-in backed
+// (JSON), or by iterating a boxed list value otherwise.
+func (c *Compiler) compileUnnest(u *algebra.Unnest, consume Kont) (func(r *vbuf.Regs) error, error) {
+	root, path, ok := expr.PathOf(u.Path)
+	if !ok {
+		return nil, fmt.Errorf("exec: unnest path %s is not a field path", u.Path)
+	}
+
+	// Element type.
+	collType, err := expr.InferType(u.Path, u.Child.Bindings())
+	if err != nil {
+		return nil, fmt.Errorf("exec: unnest %s: %w", u.Path, err)
+	}
+	elemType := types.ElemType(collType)
+	if elemType == nil {
+		return nil, fmt.Errorf("exec: unnest %s: %s is not a collection", u.Path, collType)
+	}
+
+	return c.compileChildThen(u.Child, func() (Kont, error) {
+		eb := &binding{name: u.Binding, typ: elemType, slots: map[string]vbuf.Slot{}}
+		c.bindings[u.Binding] = eb
+		c.envTypes[u.Binding] = elemType
+
+		// Paths of the element needed above.
+		elemPaths := sortedKeys(c.needs[u.Binding])
+
+		parent := c.bindings[root]
+		usePlugin := parent != nil && parent.ds != nil && c.lazyUnnest[root][pathKey(path)]
+
+		if usePlugin {
+			var elemFields []plugin.FieldReq
+			var elemSlot *vbuf.Slot
+			for _, p := range elemPaths {
+				if p == "" {
+					t := elemType
+					slot := c.alloc.ForType(t)
+					eb.slots[""] = slot
+					elemSlot = &slot
+					continue
+				}
+				pt, err := typeOfPathFrom(elemType, splitPath(p))
+				if err != nil {
+					return nil, fmt.Errorf("exec: unnest %s: %w", u.Path, err)
+				}
+				slot := c.alloc.ForType(pt)
+				eb.slots[p] = slot
+				elemFields = append(elemFields, plugin.FieldReq{Path: splitPath(p), Slot: slot, Type: pt})
+			}
+			if len(elemFields) == 0 && elemSlot == nil && elemType.Kind().IsScalar() {
+				// Nothing above references the element (pure counting
+				// unnest); a scalar element still gets a slot so the loop
+				// has a destination.
+				slot := c.alloc.ForType(elemType)
+				eb.slots[""] = slot
+				elemSlot = &slot
+			}
+			spec := plugin.UnnestSpec{
+				OIDSlot:    parent.oidSlot,
+				Path:       path,
+				ElemFields: elemFields,
+				ElemSlot:   elemSlot,
+				ElemType:   elemType,
+			}
+			unnestRun, err := parent.in.CompileUnnest(parent.ds, spec)
+			if err != nil {
+				return nil, fmt.Errorf("exec: unnest %s: %w", u.Path, err)
+			}
+			c.note("unnest %s: lazy plug-in iteration over %s", u.Path, parent.ds.Name)
+
+			inner, err := c.unnestConsume(u, consume)
+			if err != nil {
+				return nil, err
+			}
+			outer := u.Outer
+			elemSlots := collectSlots(eb)
+			return func(r *vbuf.Regs) error {
+				matched := false
+				err := unnestRun(r, func() error {
+					matched = true
+					return inner(r)
+				})
+				if err != nil {
+					return err
+				}
+				if outer && !matched {
+					for _, s := range elemSlots {
+						r.Null[s.Null] = true
+					}
+					return consume(r)
+				}
+				return nil
+			}, nil
+		}
+
+		// Value mode: the collection is materialized as a boxed list.
+		collEval, err := c.compileVal(u.Path)
+		if err != nil {
+			return nil, fmt.Errorf("exec: unnest %s: %w", u.Path, err)
+		}
+		// The element is presented boxed; field accesses on it go through
+		// the boxed path of the expression compiler.
+		slot := c.alloc.Value()
+		eb.slots[""] = slot
+		c.note("unnest %s: boxed-list iteration", u.Path)
+
+		inner, err := c.unnestConsume(u, consume)
+		if err != nil {
+			return nil, err
+		}
+		outer := u.Outer
+		return func(r *vbuf.Regs) error {
+			coll, ok := collEval(r)
+			if !ok || len(coll.Elems) == 0 {
+				if outer {
+					r.Null[slot.Null] = true
+					return consume(r)
+				}
+				return nil
+			}
+			for _, el := range coll.Elems {
+				r.V[slot.Idx] = el
+				r.Null[slot.Null] = false
+				if err := inner(r); err != nil {
+					return err
+				}
+			}
+			return nil
+		}, nil
+	})
+}
+
+// unnestConsume wraps consume with the unnest's embedded filter, if any.
+func (c *Compiler) unnestConsume(u *algebra.Unnest, consume Kont) (Kont, error) {
+	if u.Pred == nil {
+		return consume, nil
+	}
+	pred, err := c.compileBool(u.Pred)
+	if err != nil {
+		return nil, fmt.Errorf("exec: unnest filter %s: %w", u.Pred, err)
+	}
+	return func(r *vbuf.Regs) error {
+		if v, ok := pred(r); ok && v {
+			return consume(r)
+		}
+		return nil
+	}, nil
+}
+
+func collectSlots(b *binding) []vbuf.Slot {
+	out := make([]vbuf.Slot, 0, len(b.slots))
+	for _, s := range b.slots {
+		out = append(out, s)
+	}
+	return out
+}

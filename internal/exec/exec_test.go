@@ -1,0 +1,418 @@
+package exec_test
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"proteus/internal/algebra"
+	"proteus/internal/engine"
+	"proteus/internal/exec"
+	"proteus/internal/expr"
+	"proteus/internal/plugin"
+	"proteus/internal/types"
+)
+
+// testEngine registers a small binary table t(a,b int; f float; s string)
+// and a JSON dataset docs with nested arrays.
+func testEngine(t testing.TB) *engine.Engine {
+	t.Helper()
+	e := engine.New(engine.Config{})
+	csv := "" +
+		"1,10,0.5,aa\n" +
+		"2,20,1.5,bb\n" +
+		"3,30,2.5,cc\n" +
+		"4,40,3.5,dd\n" +
+		"5,50,4.5,ee\n" +
+		"6,60,5.5,ff\n"
+	e.Mem().PutFile("mem://t.csv", []byte(csv))
+	schema := types.NewRecordType(
+		types.Field{Name: "a", Type: types.Int},
+		types.Field{Name: "b", Type: types.Int},
+		types.Field{Name: "f", Type: types.Float},
+		types.Field{Name: "s", Type: types.String},
+	)
+	if err := e.Register("t", "mem://t.csv", "csv", schema, plugin.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	e.Mem().PutFile("mem://u.csv", []byte("2,200\n4,400\n9,900\n"))
+	uschema := types.NewRecordType(
+		types.Field{Name: "a", Type: types.Int},
+		types.Field{Name: "v", Type: types.Int},
+	)
+	if err := e.Register("u", "mem://u.csv", "csv", uschema, plugin.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	docs := `{"id": 1, "kids": [{"k": 1}, {"k": 2}]}
+{"id": 2, "kids": []}
+{"id": 3, "kids": [{"k": 3}]}
+`
+	e.Mem().PutFile("mem://docs.json", []byte(docs))
+	if err := e.Register("docs", "mem://docs.json", "json", nil, plugin.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func compileRun(t testing.TB, e *engine.Engine, plan algebra.Node) *exec.Result {
+	t.Helper()
+	prog, err := exec.Compile(plan, &exec.Env{Catalog: e, Caches: e.Caches()})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := prog.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func fieldOf(b, n string) expr.Expr { return &expr.FieldAcc{Base: &expr.Ref{Name: b}, Name: n} }
+
+func TestOuterJoinProducesNulls(t *testing.T) {
+	e := testEngine(t)
+	tSchema, _ := e.SchemaOf("t")
+	uSchema, _ := e.SchemaOf("u")
+	plan := &algebra.Join{
+		Pred:  &expr.BinOp{Op: expr.OpEq, L: fieldOf("x", "a"), R: fieldOf("y", "a")},
+		Left:  &algebra.Scan{Dataset: "t", Binding: "x", Type: tSchema},
+		Right: &algebra.Scan{Dataset: "u", Binding: "y", Type: uSchema},
+		Outer: true,
+	}
+	res := compileRun(t, e, plan)
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (every left row survives)", len(res.Rows))
+	}
+	nulls := 0
+	for _, row := range res.Rows {
+		y, _ := row.Field("y")
+		if y.IsNull() {
+			nulls++
+		}
+	}
+	if nulls != 4 {
+		t.Errorf("null right sides = %d, want 4", nulls)
+	}
+}
+
+func TestInnerJoinRestoresBuildPayload(t *testing.T) {
+	e := testEngine(t)
+	tSchema, _ := e.SchemaOf("t")
+	uSchema, _ := e.SchemaOf("u")
+	plan := &algebra.Reduce{
+		Aggs: []expr.Agg{
+			{Kind: expr.AggCount},
+			{Kind: expr.AggSum, Arg: fieldOf("y", "v")},
+			{Kind: expr.AggMax, Arg: fieldOf("x", "s")},
+		},
+		Names: []string{"n", "sv", "ms"},
+		Child: &algebra.Join{
+			Pred:  &expr.BinOp{Op: expr.OpEq, L: fieldOf("x", "a"), R: fieldOf("y", "a")},
+			Left:  &algebra.Scan{Dataset: "t", Binding: "x", Type: tSchema},
+			Right: &algebra.Scan{Dataset: "u", Binding: "y", Type: uSchema},
+		},
+	}
+	res := compileRun(t, e, plan)
+	row := res.Rows[0]
+	if v, _ := row.Field("n"); v.AsInt() != 2 {
+		t.Errorf("n = %s", v)
+	}
+	if v, _ := row.Field("sv"); v.AsInt() != 600 {
+		t.Errorf("sum v = %s", v)
+	}
+	if v, _ := row.Field("ms"); v.S != "dd" {
+		t.Errorf("max s = %s", v)
+	}
+}
+
+func TestNestedLoopJoinFallback(t *testing.T) {
+	e := testEngine(t)
+	tSchema, _ := e.SchemaOf("t")
+	uSchema, _ := e.SchemaOf("u")
+	// Non-equi predicate: x.a > y.a (cannot hash) — 6 t-rows × 3 u-rows.
+	plan := &algebra.Reduce{
+		Aggs:  []expr.Agg{{Kind: expr.AggCount}},
+		Names: []string{"n"},
+		Child: &algebra.Join{
+			Pred:  &expr.BinOp{Op: expr.OpGt, L: fieldOf("x", "a"), R: fieldOf("y", "a")},
+			Left:  &algebra.Scan{Dataset: "t", Binding: "x", Type: tSchema},
+			Right: &algebra.Scan{Dataset: "u", Binding: "y", Type: uSchema},
+		},
+	}
+	res := compileRun(t, e, plan)
+	// pairs with x.a > y.a: y=2 matches x∈{3..6}(4), y=4 matches x∈{5,6}(2), y=9 none.
+	if got := res.Scalar().AsInt(); got != 6 {
+		t.Fatalf("count = %d, want 6", got)
+	}
+}
+
+func TestOuterUnnestKeepsEmptyParents(t *testing.T) {
+	e := testEngine(t)
+	docsSchema, _ := e.SchemaOf("docs")
+	plan := &algebra.Reduce{
+		Aggs:  []expr.Agg{{Kind: expr.AggCount}},
+		Names: []string{"n"},
+		Child: &algebra.Unnest{
+			Path:    fieldOf("d", "kids"),
+			Binding: "c",
+			Outer:   true,
+			Child:   &algebra.Scan{Dataset: "docs", Binding: "d", Type: docsSchema},
+		},
+	}
+	res := compileRun(t, e, plan)
+	// 2 + 1 elements + 1 empty parent = 4 tuples.
+	if got := res.Scalar().AsInt(); got != 4 {
+		t.Fatalf("outer unnest count = %d, want 4", got)
+	}
+	// The inner variant drops the empty parent.
+	inner := &algebra.Reduce{
+		Aggs:  []expr.Agg{{Kind: expr.AggCount}},
+		Names: []string{"n"},
+		Child: &algebra.Unnest{
+			Path:    fieldOf("d", "kids"),
+			Binding: "c",
+			Child:   &algebra.Scan{Dataset: "docs", Binding: "d", Type: docsSchema},
+		},
+	}
+	res = compileRun(t, e, inner)
+	if got := res.Scalar().AsInt(); got != 3 {
+		t.Fatalf("inner unnest count = %d, want 3", got)
+	}
+}
+
+func TestUnnestWithEmbeddedPredicate(t *testing.T) {
+	e := testEngine(t)
+	docsSchema, _ := e.SchemaOf("docs")
+	plan := &algebra.Reduce{
+		Aggs:  []expr.Agg{{Kind: expr.AggCount}},
+		Names: []string{"n"},
+		Child: &algebra.Unnest{
+			Path:    fieldOf("d", "kids"),
+			Binding: "c",
+			Pred:    &expr.BinOp{Op: expr.OpGt, L: fieldOf("c", "k"), R: &expr.Const{V: types.IntValue(1)}},
+			Child:   &algebra.Scan{Dataset: "docs", Binding: "d", Type: docsSchema},
+		},
+	}
+	res := compileRun(t, e, plan)
+	if got := res.Scalar().AsInt(); got != 2 {
+		t.Fatalf("filtered unnest count = %d, want 2 (k=2,3)", got)
+	}
+}
+
+func TestBagYieldWithRecordCtor(t *testing.T) {
+	e := testEngine(t)
+	tSchema, _ := e.SchemaOf("t")
+	plan := &algebra.Reduce{
+		Aggs: []expr.Agg{{Kind: expr.AggBag, Arg: &expr.RecordCtor{
+			Names: []string{"twice", "tag"},
+			Exprs: []expr.Expr{
+				&expr.BinOp{Op: expr.OpMul, L: fieldOf("x", "a"), R: &expr.Const{V: types.IntValue(2)}},
+				fieldOf("x", "s"),
+			},
+		}}},
+		Names: []string{"result"},
+		Child: &algebra.Select{
+			Pred:  &expr.BinOp{Op: expr.OpLe, L: fieldOf("x", "a"), R: &expr.Const{V: types.IntValue(2)}},
+			Child: &algebra.Scan{Dataset: "t", Binding: "x", Type: tSchema},
+		},
+	}
+	res := compileRun(t, e, plan)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if v, _ := res.Rows[1].Field("twice"); v.AsInt() != 4 {
+		t.Errorf("row 1 = %s", res.Rows[1])
+	}
+	if v, _ := res.Rows[0].Field("tag"); v.S != "aa" {
+		t.Errorf("row 0 = %s", res.Rows[0])
+	}
+}
+
+func TestReduceEmbeddedPredicate(t *testing.T) {
+	e := testEngine(t)
+	tSchema, _ := e.SchemaOf("t")
+	plan := &algebra.Reduce{
+		Aggs:  []expr.Agg{{Kind: expr.AggCount}},
+		Names: []string{"n"},
+		Pred:  &expr.BinOp{Op: expr.OpGe, L: fieldOf("x", "b"), R: &expr.Const{V: types.IntValue(40)}},
+		Child: &algebra.Scan{Dataset: "t", Binding: "x", Type: tSchema},
+	}
+	res := compileRun(t, e, plan)
+	if got := res.Scalar().AsInt(); got != 3 {
+		t.Fatalf("count = %d, want 3", got)
+	}
+}
+
+func TestProgramRerunIsIdempotent(t *testing.T) {
+	e := testEngine(t)
+	tSchema, _ := e.SchemaOf("t")
+	plan := &algebra.Reduce{
+		Aggs:  []expr.Agg{{Kind: expr.AggSum, Arg: fieldOf("x", "b")}},
+		Names: []string{"s"},
+		Child: &algebra.Scan{Dataset: "t", Binding: "x", Type: tSchema},
+	}
+	prog, err := exec.Compile(plan, &exec.Env{Catalog: e, Caches: e.Caches()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		res, err := prog.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.Scalar().AsInt(); got != 210 {
+			t.Fatalf("run %d: sum = %d, want 210 (accumulators must reset)", i, got)
+		}
+	}
+}
+
+func TestGeneralNestCompositeKeys(t *testing.T) {
+	e := testEngine(t)
+	tSchema, _ := e.SchemaOf("t")
+	// Group by (a % 2, s-prefix-ish): use two keys, one int one string.
+	plan := &algebra.Nest{
+		GroupBy: []expr.Expr{
+			&expr.BinOp{Op: expr.OpMod, L: fieldOf("x", "a"), R: &expr.Const{V: types.IntValue(2)}},
+			fieldOf("x", "s"),
+		},
+		GroupNames: []string{"parity", "s"},
+		Aggs:       []expr.Agg{{Kind: expr.AggCount}},
+		AggNames:   []string{"n"},
+		Child:      &algebra.Scan{Dataset: "t", Binding: "x", Type: tSchema},
+	}
+	res := compileRun(t, e, plan)
+	if len(res.Rows) != 6 { // every s is distinct
+		t.Fatalf("groups = %d, want 6", len(res.Rows))
+	}
+}
+
+// TestCompiledMatchesInterpretedProperty is the central oracle: for random
+// predicate shapes, the compiled closure pipeline must agree with the
+// tree-walking interpreter over the same rows.
+func TestCompiledMatchesInterpretedProperty(t *testing.T) {
+	e := testEngine(t)
+	tSchema, _ := e.SchemaOf("t")
+	rows := []struct {
+		a, b int64
+		f    float64
+	}{
+		{1, 10, 0.5}, {2, 20, 1.5}, {3, 30, 2.5}, {4, 40, 3.5}, {5, 50, 4.5}, {6, 60, 5.5},
+	}
+	check := func(c1, c2 int8, op1, op2 uint8, conj bool) bool {
+		ops := []expr.BinKind{expr.OpLt, expr.OpLe, expr.OpGt, expr.OpGe, expr.OpEq, expr.OpNe}
+		p1 := &expr.BinOp{Op: ops[int(op1)%len(ops)], L: fieldOf("x", "a"), R: &expr.Const{V: types.IntValue(int64(c1 % 8))}}
+		p2 := &expr.BinOp{Op: ops[int(op2)%len(ops)],
+			L: &expr.BinOp{Op: expr.OpAdd, L: fieldOf("x", "b"), R: fieldOf("x", "f")},
+			R: &expr.Const{V: types.FloatValue(float64(c2))}}
+		var pred expr.Expr
+		if conj {
+			pred = &expr.BinOp{Op: expr.OpAnd, L: p1, R: p2}
+		} else {
+			pred = &expr.BinOp{Op: expr.OpOr, L: p1, R: p2}
+		}
+		plan := &algebra.Reduce{
+			Aggs:  []expr.Agg{{Kind: expr.AggCount}},
+			Names: []string{"n"},
+			Child: &algebra.Select{Pred: pred, Child: &algebra.Scan{Dataset: "t", Binding: "x", Type: tSchema}},
+		}
+		prog, err := exec.Compile(plan, &exec.Env{Catalog: e, Caches: e.Caches()})
+		if err != nil {
+			return false
+		}
+		res, err := prog.Run()
+		if err != nil {
+			return false
+		}
+		// Interpret the same predicate by hand.
+		var want int64
+		for _, r := range rows {
+			env := expr.ValueEnv{"x": types.RecordValue(
+				[]string{"a", "b", "f"},
+				[]types.Value{types.IntValue(r.a), types.IntValue(r.b), types.FloatValue(r.f)},
+			)}
+			v, err := expr.Eval(pred, env)
+			if err != nil {
+				return false
+			}
+			if v.Bool() {
+				want++
+			}
+		}
+		return res.Scalar().AsInt() == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	e := testEngine(t)
+	tSchema, _ := e.SchemaOf("t")
+	// Unknown dataset.
+	bad := &algebra.Reduce{
+		Aggs:  []expr.Agg{{Kind: expr.AggCount}},
+		Names: []string{"n"},
+		Child: &algebra.Scan{Dataset: "ghost", Binding: "g", Type: tSchema},
+	}
+	if _, err := exec.Compile(bad, &exec.Env{Catalog: e, Caches: e.Caches()}); err == nil {
+		t.Error("unknown dataset should fail compilation")
+	}
+	// Type error in predicate (string + int).
+	bad2 := &algebra.Reduce{
+		Aggs:  []expr.Agg{{Kind: expr.AggCount}},
+		Names: []string{"n"},
+		Child: &algebra.Select{
+			Pred: &expr.BinOp{Op: expr.OpLt,
+				L: &expr.BinOp{Op: expr.OpAdd, L: fieldOf("x", "s"), R: &expr.Const{V: types.IntValue(1)}},
+				R: &expr.Const{V: types.IntValue(5)}},
+			Child: &algebra.Scan{Dataset: "t", Binding: "x", Type: tSchema},
+		},
+	}
+	if _, err := exec.Compile(bad2, &exec.Env{Catalog: e, Caches: e.Caches()}); err == nil {
+		t.Error("ill-typed predicate should fail compilation")
+	}
+	// Unnest of a non-collection field.
+	bad3 := &algebra.Reduce{
+		Aggs:  []expr.Agg{{Kind: expr.AggCount}},
+		Names: []string{"n"},
+		Child: &algebra.Unnest{
+			Path:    fieldOf("x", "a"),
+			Binding: "c",
+			Child:   &algebra.Scan{Dataset: "t", Binding: "x", Type: tSchema},
+		},
+	}
+	if _, err := exec.Compile(bad3, &exec.Env{Catalog: e, Caches: e.Caches()}); err == nil {
+		t.Error("unnest of scalar should fail compilation")
+	}
+}
+
+func TestExplainNotes(t *testing.T) {
+	e := engine.New(engine.Config{CacheEnabled: true})
+	e.Mem().PutFile("mem://d.json", []byte(`{"a": 1}
+{"a": 2}
+`))
+	if err := e.Register("d", "mem://d.json", "json", nil, plugin.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.QuerySQL("SELECT SUM(a) FROM d"); err != nil {
+		t.Fatal(err)
+	}
+	prep, err := e.PrepareSQL("SELECT SUM(a) FROM d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, note := range prep.Program.Explain {
+		if note != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("expected compilation notes (cache hit) in Explain")
+	}
+	out := prep.Explain()
+	if out == "" {
+		t.Error("empty explain output")
+	}
+	_ = fmt.Sprintf("%v", out)
+}

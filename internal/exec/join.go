@@ -1,0 +1,669 @@
+package exec
+
+import (
+	"sort"
+
+	"proteus/internal/stats"
+
+	"proteus/internal/algebra"
+	"proteus/internal/cache"
+	"proteus/internal/expr"
+	"proteus/internal/types"
+	"proteus/internal/vbuf"
+)
+
+// The join implementation follows the paper (§5.1): a radix hash join
+// adapted from Balkesen et al. — the build side is fully materialized into
+// typed columns, its rows are reordered by the radix of their key hash so
+// each partition is contiguous in memory, and a bucket-chained hash table
+// is laid over the partitions. The probe side streams through the compiled
+// pipeline (keeping pipelining, minimizing intermediates). Materialized
+// build sides are registered with the Caching Manager so a later query
+// joining on the same key re-uses the hash table (§6 "Cache Matching",
+// partial matching).
+
+// matCol materializes one register across build-side rows.
+type matCol struct {
+	key  string // "binding\x00path" for cache-side matching
+	slot vbuf.Slot
+
+	ints   []int64
+	floats []float64
+	bools  []bool
+	strs   []string
+	vals   []types.Value
+	nulls  []bool
+}
+
+func (mc *matCol) append(r *vbuf.Regs) {
+	mc.nulls = append(mc.nulls, r.Null[mc.slot.Null])
+	switch mc.slot.Class {
+	case vbuf.ClassInt:
+		mc.ints = append(mc.ints, r.I[mc.slot.Idx])
+	case vbuf.ClassFloat:
+		mc.floats = append(mc.floats, r.F[mc.slot.Idx])
+	case vbuf.ClassBool:
+		mc.bools = append(mc.bools, r.B[mc.slot.Idx])
+	case vbuf.ClassString:
+		mc.strs = append(mc.strs, r.S[mc.slot.Idx])
+	default:
+		mc.vals = append(mc.vals, r.V[mc.slot.Idx])
+	}
+}
+
+func (mc *matCol) restore(r *vbuf.Regs, row int32) {
+	r.Null[mc.slot.Null] = mc.nulls[row]
+	switch mc.slot.Class {
+	case vbuf.ClassInt:
+		r.I[mc.slot.Idx] = mc.ints[row]
+	case vbuf.ClassFloat:
+		r.F[mc.slot.Idx] = mc.floats[row]
+	case vbuf.ClassBool:
+		r.B[mc.slot.Idx] = mc.bools[row]
+	case vbuf.ClassString:
+		r.S[mc.slot.Idx] = mc.strs[row]
+	default:
+		r.V[mc.slot.Idx] = mc.vals[row]
+	}
+}
+
+func (mc *matCol) reorder(perm []int32) {
+	switch mc.slot.Class {
+	case vbuf.ClassInt:
+		mc.ints = reorderSlice(mc.ints, perm)
+	case vbuf.ClassFloat:
+		mc.floats = reorderSlice(mc.floats, perm)
+	case vbuf.ClassBool:
+		mc.bools = reorderSlice(mc.bools, perm)
+	case vbuf.ClassString:
+		mc.strs = reorderSlice(mc.strs, perm)
+	default:
+		mc.vals = reorderSlice(mc.vals, perm)
+	}
+	mc.nulls = reorderSlice(mc.nulls, perm)
+}
+
+func (mc *matCol) bytes() int64 {
+	n := int64(len(mc.nulls))
+	n += int64(len(mc.ints))*8 + int64(len(mc.floats))*8 + int64(len(mc.bools))
+	for _, s := range mc.strs {
+		n += int64(len(s)) + 16
+	}
+	n += int64(len(mc.vals)) * 48
+	return n
+}
+
+func reorderSlice[T any](s []T, perm []int32) []T {
+	if s == nil {
+		return nil
+	}
+	out := make([]T, len(s))
+	for i, p := range perm {
+		out[i] = s[p]
+	}
+	return out
+}
+
+// joinTable is a materialized, radix-partitioned, bucket-chained hash table
+// over the build side.
+type joinTable struct {
+	rows    int64
+	hashes  []uint64
+	intKeys [][]int64       // fast path: all-integer keys
+	valKeys [][]types.Value // general path
+	cols    []*matCol
+
+	heads []int32 // bucket → first row (-1 empty)
+	next  []int32 // row → next row in bucket
+	mask  uint64
+}
+
+func (jt *joinTable) bytes() int64 {
+	n := int64(len(jt.hashes))*8 + int64(len(jt.heads))*4 + int64(len(jt.next))*4
+	for _, k := range jt.intKeys {
+		n += int64(len(k)) * 8
+	}
+	for _, k := range jt.valKeys {
+		n += int64(len(k)) * 48
+	}
+	for _, col := range jt.cols {
+		n += col.bytes()
+	}
+	return n
+}
+
+// build lays the hash table over the materialized rows, first reordering
+// them so each radix partition is contiguous (the locality the radix join
+// buys: fewer TLB and LLC misses during probes).
+func (jt *joinTable) build(radixBits int) {
+	n := int64(len(jt.hashes))
+	jt.rows = n
+	if radixBits > 0 && n > 0 {
+		nPart := 1 << radixBits
+		shift := 64 - radixBits
+		counts := make([]int32, nPart+1)
+		for _, h := range jt.hashes {
+			counts[(h>>shift)+1]++
+		}
+		for i := 1; i <= nPart; i++ {
+			counts[i] += counts[i-1]
+		}
+		perm := make([]int32, n) // new position → old row
+		cursor := make([]int32, nPart)
+		copy(cursor, counts[:nPart])
+		for old, h := range jt.hashes {
+			p := h >> shift
+			perm[cursor[p]] = int32(old)
+			cursor[p]++
+		}
+		jt.hashes = reorderSlice(jt.hashes, perm)
+		for i := range jt.intKeys {
+			jt.intKeys[i] = reorderSlice(jt.intKeys[i], perm)
+		}
+		for i := range jt.valKeys {
+			jt.valKeys[i] = reorderSlice(jt.valKeys[i], perm)
+		}
+		for _, col := range jt.cols {
+			col.reorder(perm)
+		}
+	}
+	// Bucket-chained table sized to the next power of two ≥ 2n.
+	size := uint64(16)
+	for size < uint64(n)*2 {
+		size <<= 1
+	}
+	jt.mask = size - 1
+	jt.heads = make([]int32, size)
+	for i := range jt.heads {
+		jt.heads[i] = -1
+	}
+	jt.next = make([]int32, n)
+	for i := int64(0); i < n; i++ {
+		b := jt.hashes[i] & jt.mask
+		jt.next[i] = jt.heads[b]
+		jt.heads[b] = int32(i)
+	}
+}
+
+// hashMix combines a value into a running hash (FNV-ish with avalanche).
+func hashMix(h, v uint64) uint64 {
+	h ^= v
+	h *= 1099511628211
+	h ^= h >> 33
+	return h
+}
+
+func hashInt(v int64) uint64 {
+	x := uint64(v)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
+const defaultRadixBits = 7
+
+// RadixBitsOverride, when ≥ 0, forces the radix partition bit count of
+// every hash-join build (0 disables partitioning). It exists for the
+// radix-vs-plain ablation benchmark; -1 keeps the size-based default.
+var RadixBitsOverride = -1
+
+// compileJoin compiles X ⋈p Y: the right child is materialized and hashed,
+// the left child streams and probes.
+func (c *Compiler) compileJoin(j *algebra.Join, consume Kont) (func(r *vbuf.Regs) error, error) {
+	keysL, keysR, residual := j.EquiKeys()
+	if len(keysL) == 0 {
+		return c.compileNestedLoopJoin(j, consume)
+	}
+
+	// Compile the right (build) subtree first — post-order DFS — so its
+	// bindings and slots exist before key/payload compilation. The consume
+	// is installed later (it needs the key/payload evaluators), through an
+	// indirection so the subtree is compiled exactly once.
+	var buildConsume Kont = func(r *vbuf.Regs) error { return nil }
+	buildRun, err := c.compileNode(j.Right, func(r *vbuf.Regs) error { return buildConsume(r) })
+	if err != nil {
+		return nil, err
+	}
+	rightBindings := j.Right.Bindings()
+
+	// Key evaluators on the build side.
+	allInt := true
+	for _, k := range keysR {
+		t, err := c.typeOf(k)
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind() != types.KindInt {
+			allInt = false
+		}
+	}
+	for _, k := range keysL {
+		t, err := c.typeOf(k)
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind() != types.KindInt {
+			allInt = false
+		}
+	}
+	if len(keysL) > 4 {
+		allInt = false // the fast path keeps probe keys in a fixed array
+	}
+
+	// Payload: every slot of every right-side binding (plus OIDs), restored
+	// into the same registers on probe matches.
+	var cols []*matCol
+	var colKeys []string
+	names := make([]string, 0, len(rightBindings))
+	for name := range rightBindings {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b, ok := c.bindings[name]
+		if !ok {
+			continue
+		}
+		paths := make([]string, 0, len(b.slots))
+		for p := range b.slots {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		for _, p := range paths {
+			cols = append(cols, &matCol{key: name + "\x00" + p, slot: b.slots[p]})
+			colKeys = append(colKeys, name+"\x00"+p)
+		}
+		if b.hasOID {
+			cols = append(cols, &matCol{key: name + "\x00#oid", slot: b.oidSlot})
+			colKeys = append(colKeys, name+"\x00#oid")
+		}
+	}
+
+	// Partial cache matching: reuse a previously materialized build side
+	// with the same subtree + keys + payload fingerprint.
+	fp := "buildside[" + j.Right.Fingerprint() + "|keys:"
+	for _, k := range keysR {
+		fp += k.String() + ","
+	}
+	fp += "|cols:"
+	for _, ck := range colKeys {
+		fp += ck + ";"
+	}
+	fp += "]"
+
+	var jt *joinTable
+	reused := false
+	if side, ok := c.env.Caches.LookupJoinSide(fp); ok {
+		if cached, ok := side.Payload.(*joinTable); ok {
+			// Rebind the cached columns onto this query's slots by name.
+			if remapped, ok := remapTable(cached, cols); ok {
+				jt = remapped
+				reused = true
+				c.note("join: reusing materialized build side %s", j.Right.Fingerprint())
+			}
+		}
+	}
+
+	buildKeyInt := make([]evalInt, 0, len(keysR))
+	buildKeyVal := make([]evalVal, 0, len(keysR))
+	for i := range keysR {
+		if allInt {
+			bk, err := c.compileInt(keysR[i])
+			if err != nil {
+				return nil, err
+			}
+			buildKeyInt = append(buildKeyInt, bk)
+		} else {
+			bk, err := c.compileVal(keysR[i])
+			if err != nil {
+				return nil, err
+			}
+			buildKeyVal = append(buildKeyVal, bk)
+		}
+	}
+
+	if jt == nil {
+		jt = &joinTable{cols: cols}
+		if allInt {
+			jt.intKeys = make([][]int64, len(keysR))
+		} else {
+			jt.valKeys = make([][]types.Value, len(keysR))
+		}
+	}
+
+	// Install the materializing consume into the already-compiled build
+	// pipeline.
+	materialize := func(r *vbuf.Regs) error {
+		h := uint64(14695981039346656037)
+		if allInt {
+			for i, bk := range buildKeyInt {
+				v, ok := bk(r)
+				if !ok {
+					return nil // null keys never match
+				}
+				jt.intKeys[i] = append(jt.intKeys[i], v)
+				h = hashMix(h, hashInt(v))
+			}
+		} else {
+			for i, bk := range buildKeyVal {
+				v, ok := bk(r)
+				if !ok {
+					return nil
+				}
+				jt.valKeys[i] = append(jt.valKeys[i], v)
+				h = hashMix(h, v.Hash())
+			}
+		}
+		jt.hashes = append(jt.hashes, h)
+		for _, col := range jt.cols {
+			col.append(r)
+		}
+		return nil
+	}
+	buildConsume = materialize
+
+	// Probe-side pipeline: compile the left subtree first (its bindings
+	// must exist before probe keys and the residual predicate compile).
+	var probeKont Kont
+	probeRun, err := c.compileNode(j.Left, func(r *vbuf.Regs) error { return probeKont(r) })
+	if err != nil {
+		return nil, err
+	}
+
+	probeKeyInt := make([]evalInt, 0, len(keysL))
+	probeKeyVal := make([]evalVal, 0, len(keysL))
+	for i := range keysL {
+		if allInt {
+			pk, err := c.compileInt(keysL[i])
+			if err != nil {
+				return nil, err
+			}
+			probeKeyInt = append(probeKeyInt, pk)
+		} else {
+			pk, err := c.compileVal(keysL[i])
+			if err != nil {
+				return nil, err
+			}
+			probeKeyVal = append(probeKeyVal, pk)
+		}
+	}
+	var residualPred evalBool
+	if len(residual) > 0 {
+		rp, err := c.compileBool(expr.Conjoin(residual))
+		if err != nil {
+			return nil, err
+		}
+		residualPred = rp
+	}
+
+	outer := j.Outer
+	rightSlots := make([]vbuf.Slot, len(cols))
+	for i, col := range cols {
+		rightSlots[i] = col.slot
+	}
+	probe := func(r *vbuf.Regs) error {
+		h := uint64(14695981039346656037)
+		var ik [4]int64
+		var vk [4]types.Value
+		nk := len(probeKeyInt) + len(probeKeyVal)
+		valid := true
+		if allInt {
+			for i, pk := range probeKeyInt {
+				v, ok := pk(r)
+				if !ok {
+					valid = false
+					break
+				}
+				ik[i] = v
+				h = hashMix(h, hashInt(v))
+			}
+		} else {
+			for i, pk := range probeKeyVal {
+				v, ok := pk(r)
+				if !ok {
+					valid = false
+					break
+				}
+				vk[i] = v
+				h = hashMix(h, v.Hash())
+			}
+		}
+		matched := false
+		if valid {
+			for row := jt.heads[h&jt.mask]; row >= 0; row = jt.next[row] {
+				if jt.hashes[row] != h {
+					continue
+				}
+				equal := true
+				if allInt {
+					for i := 0; i < nk; i++ {
+						if jt.intKeys[i][row] != ik[i] {
+							equal = false
+							break
+						}
+					}
+				} else {
+					for i := 0; i < nk; i++ {
+						if types.Compare(jt.valKeys[i][row], vk[i]) != 0 {
+							equal = false
+							break
+						}
+					}
+				}
+				if !equal {
+					continue
+				}
+				for _, col := range jt.cols {
+					col.restore(r, row)
+				}
+				if residualPred != nil {
+					if v, ok := residualPred(r); !ok || !v {
+						continue
+					}
+				}
+				matched = true
+				if err := consume(r); err != nil {
+					return err
+				}
+			}
+		}
+		if outer && !matched {
+			for _, s := range rightSlots {
+				r.Null[s.Null] = true
+			}
+			return consume(r)
+		}
+		return nil
+	}
+	probeKont = probe
+
+	// Blocking-operator statistics (§5.2): once the build side is
+	// materialized, profile its numeric columns into the metadata store.
+	datasetOf := map[string]string{}
+	for name := range rightBindings {
+		if b, ok := c.bindings[name]; ok && b.ds != nil {
+			datasetOf[name] = b.ds.Name
+		}
+	}
+	statsStore := c.env.Stats
+
+	caches := c.env.Caches
+	needBuild := !reused
+	run := func(r *vbuf.Regs) error {
+		if needBuild {
+			if err := buildRun(r); err != nil {
+				return err
+			}
+			radix := 0
+			if len(jt.hashes) >= 1<<12 {
+				radix = defaultRadixBits
+			}
+			if RadixBitsOverride >= 0 {
+				radix = RadixBitsOverride
+			}
+			jt.build(radix)
+			if statsStore != nil {
+				profileMaterializedSide(statsStore, jt, datasetOf)
+			}
+			caches.RegisterJoinSide(&cache.JoinSide{Fingerprint: fp, Payload: jt, Bytes: jt.bytes()})
+		}
+		return probeRun(r)
+	}
+	return run, nil
+}
+
+// profileMaterializedSide folds a materialized build side's numeric columns
+// into the statistics store — the paper's "profile the materialized values
+// all at once" mechanism, piggybacking on the blocking operator.
+func profileMaterializedSide(store *stats.Store, jt *joinTable, datasetOf map[string]string) {
+	for _, col := range jt.cols {
+		sep := -1
+		for i := 0; i < len(col.key); i++ {
+			if col.key[i] == 0 {
+				sep = i
+				break
+			}
+		}
+		if sep < 0 {
+			continue
+		}
+		binding, path := col.key[:sep], col.key[sep+1:]
+		ds, ok := datasetOf[binding]
+		if !ok || path == "" || path == "#oid" {
+			continue
+		}
+		tbl := store.Table(ds)
+		switch col.slot.Class {
+		case vbuf.ClassInt:
+			for i, v := range col.ints {
+				if !col.nulls[i] {
+					tbl.Observe(path, float64(v))
+				}
+			}
+		case vbuf.ClassFloat:
+			for i, v := range col.floats {
+				if !col.nulls[i] {
+					tbl.Observe(path, v)
+				}
+			}
+		}
+	}
+}
+
+// remapTable rebinds a cached joinTable's columns onto freshly allocated
+// slots by column key. It fails (ok=false) if the cached payload does not
+// cover the columns this query needs.
+func remapTable(cached *joinTable, cols []*matCol) (*joinTable, bool) {
+	byKey := map[string]*matCol{}
+	for _, col := range cached.cols {
+		byKey[col.key] = col
+	}
+	out := &joinTable{
+		rows:    cached.rows,
+		hashes:  cached.hashes,
+		intKeys: cached.intKeys,
+		valKeys: cached.valKeys,
+		heads:   cached.heads,
+		next:    cached.next,
+		mask:    cached.mask,
+	}
+	for _, want := range cols {
+		got, ok := byKey[want.key]
+		if !ok || got.slot.Class != want.slot.Class {
+			return nil, false
+		}
+		// Share the cached arrays; only the destination slot differs.
+		nc := *got
+		nc.slot = want.slot
+		out.cols = append(out.cols, &nc)
+	}
+	return out, true
+}
+
+// compileNestedLoopJoin handles joins without equi-keys (rare): the right
+// side is materialized once and re-scanned per left tuple.
+func (c *Compiler) compileNestedLoopJoin(j *algebra.Join, consume Kont) (func(r *vbuf.Regs) error, error) {
+	// Establish right bindings.
+	rightBindings := j.Right.Bindings()
+	var cols []*matCol
+	buildProbe := func(r *vbuf.Regs) error {
+		for _, col := range cols {
+			col.append(r)
+		}
+		return nil
+	}
+	buildRun, err := c.compileNode(j.Right, buildProbe)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(rightBindings))
+	for name := range rightBindings {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b, ok := c.bindings[name]
+		if !ok {
+			continue
+		}
+		paths := make([]string, 0, len(b.slots))
+		for p := range b.slots {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		for _, p := range paths {
+			cols = append(cols, &matCol{key: name + "\x00" + p, slot: b.slots[p]})
+		}
+		if b.hasOID {
+			cols = append(cols, &matCol{key: name + "\x00#oid", slot: b.oidSlot})
+		}
+	}
+	var probeKont Kont
+	probeRun, err := c.compileNode(j.Left, func(r *vbuf.Regs) error { return probeKont(r) })
+	if err != nil {
+		return nil, err
+	}
+	pred, err := c.compileBool(j.Pred)
+	if err != nil {
+		return nil, err
+	}
+	outer := j.Outer
+	built := false
+	probe := func(r *vbuf.Regs) error {
+		n := int32(0)
+		if len(cols) > 0 {
+			n = int32(len(cols[0].nulls))
+		}
+		matched := false
+		for row := int32(0); row < n; row++ {
+			for _, col := range cols {
+				col.restore(r, row)
+			}
+			if v, ok := pred(r); ok && v {
+				matched = true
+				if err := consume(r); err != nil {
+					return err
+				}
+			}
+		}
+		if outer && !matched {
+			for _, col := range cols {
+				r.Null[col.slot.Null] = true
+			}
+			return consume(r)
+		}
+		return nil
+	}
+	probeKont = probe
+	run := func(r *vbuf.Regs) error {
+		if !built {
+			if err := buildRun(r); err != nil {
+				return err
+			}
+			built = true
+		}
+		return probeRun(r)
+	}
+	return run, nil
+}

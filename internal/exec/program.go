@@ -1,0 +1,197 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"proteus/internal/algebra"
+	"proteus/internal/expr"
+	"proteus/internal/types"
+	"proteus/internal/vbuf"
+)
+
+// Result is a fully materialized query result: one boxed record (or scalar)
+// per output row. Boxing happens only here, at the pipeline's end — the
+// flush step of the paper's output plug-ins.
+type Result struct {
+	Cols []string
+	Rows []types.Value
+}
+
+// Scalar returns the single value of a 1×1 result (the common aggregate
+// case), or a zero Value if the shape differs.
+func (r *Result) Scalar() types.Value {
+	if len(r.Rows) == 1 && r.Rows[0].Kind == types.KindRecord && len(r.Rows[0].Rec.Values) == 1 {
+		return r.Rows[0].Rec.Values[0]
+	}
+	if len(r.Rows) == 1 && r.Rows[0].Kind != types.KindRecord {
+		return r.Rows[0]
+	}
+	return types.Value{}
+}
+
+// Program is one compiled query: the specialized engine instance the paper
+// builds per query. Run executes it; a Program may be run repeatedly, but
+// not concurrently with itself (compiled accumulators hold per-run state —
+// compile one Program per goroutine, as the engine's Query methods do).
+type Program struct {
+	alloc   vbuf.Alloc
+	run     func(r *vbuf.Regs) (*Result, error)
+	Explain []string // compilation decisions (cache hits, lazy unnests, …)
+}
+
+// Run executes the program against a fresh register file.
+func (p *Program) Run() (*Result, error) {
+	regs := vbuf.NewRegs(&p.alloc)
+	return p.run(regs)
+}
+
+// WrapResult installs a post-processing step over the program's result
+// (the engine uses it for ORDER BY / LIMIT, which apply to the
+// materialized output rather than the pipeline).
+func (p *Program) WrapResult(fn func(*Result) (*Result, error)) {
+	inner := p.run
+	p.run = func(r *vbuf.Regs) (*Result, error) {
+		res, err := inner(r)
+		if err != nil {
+			return nil, err
+		}
+		return fn(res)
+	}
+}
+
+// Compile traverses the physical plan in post-order and emits the
+// specialized program: the paper's code-generation step, with closures
+// standing in for LLVM IR (§5.1).
+func Compile(plan algebra.Node, env *Env) (*Program, error) {
+	c := &Compiler{
+		env:      env,
+		bindings: map[string]*binding{},
+		envTypes: expr.Env{},
+	}
+	// Seed the type environment with every binding the plan introduces so
+	// expression compilation can infer types anywhere in the tree.
+	algebra.Walk(plan, func(n algebra.Node) bool {
+		for name, t := range n.Bindings() {
+			if _, exists := c.envTypes[name]; !exists {
+				c.envTypes[name] = t
+			}
+		}
+		return true
+	})
+	c.analyze(plan)
+
+	var run func(r *vbuf.Regs) (*Result, error)
+	var err error
+	switch root := plan.(type) {
+	case *algebra.Reduce:
+		run, err = c.compileReduce(root)
+	case *algebra.Nest:
+		run, err = c.compileNest(root)
+	default:
+		// A bare plan (no Reduce/Nest root) yields its tuples as records of
+		// all visible bindings — used by tests and EXPLAIN-style tooling.
+		run, err = c.compileBare(plan)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Program{alloc: c.alloc, run: run, Explain: c.explain}, nil
+}
+
+// compileBare materializes each produced tuple as a record of the plan's
+// visible bindings.
+func (c *Compiler) compileBare(plan algebra.Node) (func(r *vbuf.Regs) (*Result, error), error) {
+	bindings := plan.Bindings()
+	names := make([]string, 0, len(bindings))
+	for name := range bindings {
+		names = append(names, name)
+		// The output references each whole binding, so every scan must
+		// materialize the full record (path "").
+		set := c.needs[name]
+		if set == nil {
+			set = map[string]bool{}
+			c.needs[name] = set
+		}
+		set[""] = true
+	}
+	sort.Strings(names)
+	evs := make([]evalVal, len(names))
+	var rows []types.Value
+	run, err := c.compileChildThen(plan, func() (Kont, error) {
+		for i, name := range names {
+			ev, err := c.compileVal(&expr.Ref{Name: name})
+			if err != nil {
+				return nil, err
+			}
+			evs[i] = ev
+		}
+		return func(r *vbuf.Regs) error {
+			vals := make([]types.Value, len(evs))
+			for i, ev := range evs {
+				v, ok := ev(r)
+				if !ok {
+					v = types.NullValue()
+				}
+				vals[i] = v
+			}
+			rows = append(rows, types.RecordValue(names, vals))
+			return nil
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return func(r *vbuf.Regs) (*Result, error) {
+		rows = nil
+		if err := run(r); err != nil {
+			return nil, err
+		}
+		return &Result{Cols: names, Rows: rows}, nil
+	}, nil
+}
+
+// helpers -------------------------------------------------------------------
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func splitPath(p string) []string {
+	if p == "" {
+		return nil
+	}
+	return strings.Split(p, ".")
+}
+
+// typeOfPath resolves a dotted path against a record schema.
+func typeOfPath(schema *types.RecordType, path []string) (types.Type, error) {
+	var cur types.Type = schema
+	for _, seg := range path {
+		rt, ok := cur.(*types.RecordType)
+		if !ok {
+			return nil, fmt.Errorf("path segment %q applied to non-record type %s", seg, cur)
+		}
+		ft, ok := rt.Lookup(seg)
+		if !ok {
+			return nil, fmt.Errorf("schema has no field %q", seg)
+		}
+		cur = ft
+	}
+	return cur, nil
+}
+
+// typeOfPathFrom resolves a dotted path against any starting type.
+func typeOfPathFrom(start types.Type, path []string) (types.Type, error) {
+	rt, ok := start.(*types.RecordType)
+	if !ok {
+		return nil, fmt.Errorf("element type %s is not a record", start)
+	}
+	return typeOfPath(rt, path)
+}

@@ -1,0 +1,208 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"proteus/internal/types"
+)
+
+// ValueEnv binds variable names to runtime values for interpretation.
+type ValueEnv map[string]types.Value
+
+// Eval interprets e under env by walking the expression tree and boxing
+// every intermediate into a types.Value. This is deliberately the slow,
+// general-purpose path: the Volcano baseline uses it per tuple, which is
+// exactly the interpretation overhead (virtual dispatch, type switches,
+// boxing) that the paper's code generation removes. Proteus-Go's compiled
+// engine only uses Eval for constant folding at plan time.
+func Eval(e Expr, env ValueEnv) (types.Value, error) {
+	switch x := e.(type) {
+	case *Const:
+		return x.V, nil
+	case *Ref:
+		v, ok := env[x.Name]
+		if !ok {
+			return types.Value{}, fmt.Errorf("unbound variable %q", x.Name)
+		}
+		return v, nil
+	case *FieldAcc:
+		base, err := Eval(x.Base, env)
+		if err != nil {
+			return types.Value{}, err
+		}
+		if base.IsNull() {
+			return types.NullValue(), nil
+		}
+		v, ok := base.Field(x.Name)
+		if !ok {
+			return types.Value{}, fmt.Errorf("value has no field %q", x.Name)
+		}
+		return v, nil
+	case *BinOp:
+		return evalBinOp(x, env)
+	case *Not:
+		v, err := Eval(x.E, env)
+		if err != nil {
+			return types.Value{}, err
+		}
+		return types.BoolValue(!v.Bool()), nil
+	case *Neg:
+		v, err := Eval(x.E, env)
+		if err != nil {
+			return types.Value{}, err
+		}
+		if v.Kind == types.KindInt {
+			return types.IntValue(-v.I), nil
+		}
+		return types.FloatValue(-v.AsFloat()), nil
+	case *Like:
+		v, err := Eval(x.E, env)
+		if err != nil {
+			return types.Value{}, err
+		}
+		return types.BoolValue(strings.Contains(v.S, x.Needle)), nil
+	case *RecordCtor:
+		vals := make([]types.Value, len(x.Exprs))
+		for i, sub := range x.Exprs {
+			v, err := Eval(sub, env)
+			if err != nil {
+				return types.Value{}, err
+			}
+			vals[i] = v
+		}
+		return types.RecordValue(x.Names, vals), nil
+	}
+	return types.Value{}, fmt.Errorf("cannot evaluate expression %T", e)
+}
+
+func evalBinOp(x *BinOp, env ValueEnv) (types.Value, error) {
+	// Short-circuit boolean connectives.
+	if x.Op.IsLogic() {
+		l, err := Eval(x.L, env)
+		if err != nil {
+			return types.Value{}, err
+		}
+		if x.Op == OpAnd && !l.Bool() {
+			return types.BoolValue(false), nil
+		}
+		if x.Op == OpOr && l.Bool() {
+			return types.BoolValue(true), nil
+		}
+		r, err := Eval(x.R, env)
+		if err != nil {
+			return types.Value{}, err
+		}
+		return types.BoolValue(r.Bool()), nil
+	}
+	l, err := Eval(x.L, env)
+	if err != nil {
+		return types.Value{}, err
+	}
+	r, err := Eval(x.R, env)
+	if err != nil {
+		return types.Value{}, err
+	}
+	if x.Op.IsComparison() {
+		c := types.Compare(l, r)
+		switch x.Op {
+		case OpEq:
+			return types.BoolValue(c == 0), nil
+		case OpNe:
+			return types.BoolValue(c != 0), nil
+		case OpLt:
+			return types.BoolValue(c < 0), nil
+		case OpLe:
+			return types.BoolValue(c <= 0), nil
+		case OpGt:
+			return types.BoolValue(c > 0), nil
+		case OpGe:
+			return types.BoolValue(c >= 0), nil
+		}
+	}
+	// Arithmetic.
+	if l.IsNull() || r.IsNull() {
+		return types.NullValue(), nil
+	}
+	if x.Op == OpDiv {
+		rf := r.AsFloat()
+		if rf == 0 {
+			return types.NullValue(), nil
+		}
+		return types.FloatValue(l.AsFloat() / rf), nil
+	}
+	if x.Op == OpMod {
+		ri := r.AsInt()
+		if ri == 0 {
+			return types.NullValue(), nil
+		}
+		return types.IntValue(l.AsInt() % ri), nil
+	}
+	if l.Kind == types.KindInt && r.Kind == types.KindInt {
+		switch x.Op {
+		case OpAdd:
+			return types.IntValue(l.I + r.I), nil
+		case OpSub:
+			return types.IntValue(l.I - r.I), nil
+		case OpMul:
+			return types.IntValue(l.I * r.I), nil
+		}
+	}
+	lf, rf := l.AsFloat(), r.AsFloat()
+	switch x.Op {
+	case OpAdd:
+		return types.FloatValue(lf + rf), nil
+	case OpSub:
+		return types.FloatValue(lf - rf), nil
+	case OpMul:
+		return types.FloatValue(lf * rf), nil
+	}
+	return types.Value{}, fmt.Errorf("unsupported operator %s", x.Op)
+}
+
+// IsConst reports whether e contains no variable references.
+func IsConst(e Expr) bool {
+	isConst := true
+	Walk(e, func(sub Expr) bool {
+		if _, ok := sub.(*Ref); ok {
+			isConst = false
+		}
+		return isConst
+	})
+	return isConst
+}
+
+// Fold replaces constant sub-expressions with their evaluated literals.
+func Fold(e Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	if _, ok := e.(*Const); ok {
+		return e
+	}
+	if IsConst(e) {
+		if v, err := Eval(e, nil); err == nil {
+			return &Const{V: v}
+		}
+		return e
+	}
+	switch x := e.(type) {
+	case *BinOp:
+		return &BinOp{Op: x.Op, L: Fold(x.L), R: Fold(x.R)}
+	case *Not:
+		return &Not{E: Fold(x.E)}
+	case *Neg:
+		return &Neg{E: Fold(x.E)}
+	case *Like:
+		return &Like{E: Fold(x.E), Needle: x.Needle}
+	case *FieldAcc:
+		return &FieldAcc{Base: Fold(x.Base), Name: x.Name}
+	case *RecordCtor:
+		subs := make([]Expr, len(x.Exprs))
+		for i, sub := range x.Exprs {
+			subs[i] = Fold(sub)
+		}
+		return &RecordCtor{Names: x.Names, Exprs: subs}
+	}
+	return e
+}

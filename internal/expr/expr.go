@@ -1,0 +1,457 @@
+// Package expr defines the expression language of the nested relational
+// algebra: field references, dotted paths into nested records, arithmetic,
+// comparisons, boolean connectives, record construction, and aggregate
+// functions. Expressions are produced by the front-ends, rewritten by the
+// optimizer, and finally compiled (per query) by internal/exec into
+// type-specialized closures — the Go stand-in for the paper's expression
+// generators that emit LLVM IR.
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"proteus/internal/types"
+)
+
+// Expr is any algebra expression node.
+type Expr interface {
+	// String renders the expression in a canonical textual form. The form is
+	// stable and is reused as part of plan fingerprints for cache matching.
+	String() string
+}
+
+// Const is a literal value.
+type Const struct{ V types.Value }
+
+// String implements Expr.
+func (c *Const) String() string { return c.V.String() }
+
+// Ref refers to a binding variable introduced by a Scan or Unnest.
+type Ref struct{ Name string }
+
+// String implements Expr.
+func (r *Ref) String() string { return r.Name }
+
+// FieldAcc accesses a named field of a record-valued expression. Chained
+// FieldAccs form dotted paths (s.children, c.d.d1, ...).
+type FieldAcc struct {
+	Base Expr
+	Name string
+}
+
+// String implements Expr.
+func (f *FieldAcc) String() string { return f.Base.String() + "." + f.Name }
+
+// BinKind enumerates binary operators.
+type BinKind uint8
+
+// Binary operator kinds.
+const (
+	OpAdd BinKind = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+)
+
+// String returns the operator token.
+func (k BinKind) String() string {
+	switch k {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpMod:
+		return "%"
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpAnd:
+		return "AND"
+	case OpOr:
+		return "OR"
+	}
+	return "?"
+}
+
+// IsComparison reports whether the operator yields a boolean from two
+// comparable operands.
+func (k BinKind) IsComparison() bool { return k >= OpEq && k <= OpGe }
+
+// IsArith reports whether the operator is arithmetic.
+func (k BinKind) IsArith() bool { return k <= OpMod }
+
+// IsLogic reports whether the operator is a boolean connective.
+func (k BinKind) IsLogic() bool { return k == OpAnd || k == OpOr }
+
+// BinOp applies a binary operator.
+type BinOp struct {
+	Op   BinKind
+	L, R Expr
+}
+
+// String implements Expr.
+func (b *BinOp) String() string {
+	return "(" + b.L.String() + " " + b.Op.String() + " " + b.R.String() + ")"
+}
+
+// Not negates a boolean expression.
+type Not struct{ E Expr }
+
+// String implements Expr.
+func (n *Not) String() string { return "NOT(" + n.E.String() + ")" }
+
+// Neg arithmetically negates a numeric expression.
+type Neg struct{ E Expr }
+
+// String implements Expr.
+func (n *Neg) String() string { return "-(" + n.E.String() + ")" }
+
+// Like tests substring containment on strings (a simplified LIKE '%s%').
+type Like struct {
+	E      Expr
+	Needle string
+}
+
+// String implements Expr.
+func (l *Like) String() string { return l.E.String() + " LIKE %" + l.Needle + "%" }
+
+// RecordCtor constructs a record from named sub-expressions.
+type RecordCtor struct {
+	Names []string
+	Exprs []Expr
+}
+
+// String implements Expr.
+func (r *RecordCtor) String() string {
+	var sb strings.Builder
+	sb.WriteByte('<')
+	for i, n := range r.Names {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(n)
+		sb.WriteString(": ")
+		sb.WriteString(r.Exprs[i].String())
+	}
+	sb.WriteByte('>')
+	return sb.String()
+}
+
+// AggKind enumerates aggregate monoids.
+type AggKind uint8
+
+// Aggregate monoid kinds. These are the primitive monoids of the calculus
+// (sum, max, min, count) plus avg as a derived form and bag/list collection.
+const (
+	AggSum AggKind = iota
+	AggCount
+	AggMax
+	AggMin
+	AggAvg
+	AggBag  // collect into a bag
+	AggList // collect into a list
+)
+
+// String returns the aggregate name.
+func (k AggKind) String() string {
+	switch k {
+	case AggSum:
+		return "sum"
+	case AggCount:
+		return "count"
+	case AggMax:
+		return "max"
+	case AggMin:
+		return "min"
+	case AggAvg:
+		return "avg"
+	case AggBag:
+		return "bag"
+	case AggList:
+		return "list"
+	}
+	return "?"
+}
+
+// Agg is one aggregate computation: a monoid applied to a per-tuple
+// expression. For AggCount the argument may be nil.
+type Agg struct {
+	Kind AggKind
+	Arg  Expr
+}
+
+// String renders the aggregate.
+func (a Agg) String() string {
+	if a.Arg == nil {
+		return a.Kind.String() + "(*)"
+	}
+	return a.Kind.String() + "(" + a.Arg.String() + ")"
+}
+
+// Walk visits e and all sub-expressions in pre-order. If fn returns false
+// the walk does not descend into the node's children.
+func Walk(e Expr, fn func(Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	switch x := e.(type) {
+	case *FieldAcc:
+		Walk(x.Base, fn)
+	case *BinOp:
+		Walk(x.L, fn)
+		Walk(x.R, fn)
+	case *Not:
+		Walk(x.E, fn)
+	case *Neg:
+		Walk(x.E, fn)
+	case *Like:
+		Walk(x.E, fn)
+	case *RecordCtor:
+		for _, sub := range x.Exprs {
+			Walk(sub, fn)
+		}
+	}
+}
+
+// Refs returns the set of binding names referenced by e.
+func Refs(e Expr) map[string]bool {
+	out := map[string]bool{}
+	Walk(e, func(sub Expr) bool {
+		if r, ok := sub.(*Ref); ok {
+			out[r.Name] = true
+		}
+		return true
+	})
+	return out
+}
+
+// OnlyRefs reports whether every binding referenced by e is in allowed.
+func OnlyRefs(e Expr, allowed map[string]bool) bool {
+	ok := true
+	Walk(e, func(sub Expr) bool {
+		if r, isRef := sub.(*Ref); isRef && !allowed[r.Name] {
+			ok = false
+		}
+		return ok
+	})
+	return ok
+}
+
+// SplitConjuncts flattens a tree of ANDs into its conjunct list.
+func SplitConjuncts(e Expr) []Expr {
+	if b, ok := e.(*BinOp); ok && b.Op == OpAnd {
+		return append(SplitConjuncts(b.L), SplitConjuncts(b.R)...)
+	}
+	if e == nil {
+		return nil
+	}
+	return []Expr{e}
+}
+
+// Conjoin combines conjuncts back into one AND tree (nil for empty).
+func Conjoin(conjuncts []Expr) Expr {
+	var out Expr
+	for _, c := range conjuncts {
+		if out == nil {
+			out = c
+		} else {
+			out = &BinOp{Op: OpAnd, L: out, R: c}
+		}
+	}
+	return out
+}
+
+// PathOf decomposes an expression of the form ref.a.b.c into its root
+// binding name and field path. ok is false for any other shape.
+func PathOf(e Expr) (root string, path []string, ok bool) {
+	switch x := e.(type) {
+	case *Ref:
+		return x.Name, nil, true
+	case *FieldAcc:
+		root, path, ok = PathOf(x.Base)
+		if !ok {
+			return "", nil, false
+		}
+		return root, append(path, x.Name), true
+	}
+	return "", nil, false
+}
+
+// Env maps binding names to their types during type inference.
+type Env map[string]types.Type
+
+// InferType computes the static type of e under env. It returns an error for
+// ill-typed expressions (the front-ends surface this to the user).
+func InferType(e Expr, env Env) (types.Type, error) {
+	switch x := e.(type) {
+	case *Const:
+		return types.TypeOf(x.V), nil
+	case *Ref:
+		t, ok := env[x.Name]
+		if !ok {
+			return nil, fmt.Errorf("unknown binding %q", x.Name)
+		}
+		return t, nil
+	case *FieldAcc:
+		bt, err := InferType(x.Base, env)
+		if err != nil {
+			return nil, err
+		}
+		rt, ok := bt.(*types.RecordType)
+		if !ok {
+			return nil, fmt.Errorf("field access .%s on non-record type %s", x.Name, bt)
+		}
+		ft, ok := rt.Lookup(x.Name)
+		if !ok {
+			return nil, fmt.Errorf("record %s has no field %q", rt, x.Name)
+		}
+		return ft, nil
+	case *BinOp:
+		lt, err := InferType(x.L, env)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := InferType(x.R, env)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case x.Op.IsArith():
+			p := types.Promote(lt, rt)
+			if p == nil {
+				return nil, fmt.Errorf("operator %s requires numeric operands, got %s and %s", x.Op, lt, rt)
+			}
+			if x.Op == OpDiv {
+				return types.Float, nil
+			}
+			if x.Op == OpMod {
+				return types.Int, nil
+			}
+			return p, nil
+		case x.Op.IsComparison():
+			if types.Promote(lt, rt) == nil && !lt.Equal(rt) {
+				return nil, fmt.Errorf("cannot compare %s with %s", lt, rt)
+			}
+			return types.Bool, nil
+		default: // logic
+			if lt.Kind() != types.KindBool || rt.Kind() != types.KindBool {
+				return nil, fmt.Errorf("operator %s requires boolean operands, got %s and %s", x.Op, lt, rt)
+			}
+			return types.Bool, nil
+		}
+	case *Not:
+		t, err := InferType(x.E, env)
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind() != types.KindBool {
+			return nil, fmt.Errorf("NOT requires a boolean operand, got %s", t)
+		}
+		return types.Bool, nil
+	case *Neg:
+		t, err := InferType(x.E, env)
+		if err != nil {
+			return nil, err
+		}
+		if !types.Numeric(t) {
+			return nil, fmt.Errorf("negation requires a numeric operand, got %s", t)
+		}
+		return t, nil
+	case *Like:
+		t, err := InferType(x.E, env)
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind() != types.KindString {
+			return nil, fmt.Errorf("LIKE requires a string operand, got %s", t)
+		}
+		return types.Bool, nil
+	case *RecordCtor:
+		fields := make([]types.Field, len(x.Names))
+		for i, n := range x.Names {
+			ft, err := InferType(x.Exprs[i], env)
+			if err != nil {
+				return nil, err
+			}
+			fields[i] = types.Field{Name: n, Type: ft}
+		}
+		return &types.RecordType{Fields: fields}, nil
+	}
+	return nil, fmt.Errorf("cannot type expression %T", e)
+}
+
+// AggType computes the result type of an aggregate over tuples typed by env.
+func AggType(a Agg, env Env) (types.Type, error) {
+	switch a.Kind {
+	case AggCount:
+		return types.Int, nil
+	case AggAvg:
+		if a.Arg == nil {
+			return nil, fmt.Errorf("avg requires an argument")
+		}
+		t, err := InferType(a.Arg, env)
+		if err != nil {
+			return nil, err
+		}
+		if !types.Numeric(t) {
+			return nil, fmt.Errorf("avg requires a numeric argument, got %s", t)
+		}
+		return types.Float, nil
+	case AggSum, AggMax, AggMin:
+		if a.Arg == nil {
+			return nil, fmt.Errorf("%s requires an argument", a.Kind)
+		}
+		t, err := InferType(a.Arg, env)
+		if err != nil {
+			return nil, err
+		}
+		if a.Kind == AggSum && !types.Numeric(t) {
+			return nil, fmt.Errorf("sum requires a numeric argument, got %s", t)
+		}
+		return t, nil
+	case AggBag, AggList:
+		if a.Arg == nil {
+			return nil, fmt.Errorf("%s requires an argument", a.Kind)
+		}
+		t, err := InferType(a.Arg, env)
+		if err != nil {
+			return nil, err
+		}
+		if a.Kind == AggBag {
+			return types.NewBagType(t), nil
+		}
+		return types.NewListType(t), nil
+	}
+	return nil, fmt.Errorf("unknown aggregate %v", a.Kind)
+}
+
+// Equal reports structural equality of two expressions (via canonical form).
+func Equal(a, b Expr) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.String() == b.String()
+}

@@ -1,0 +1,321 @@
+package expr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"proteus/internal/types"
+)
+
+func field(binding, name string) Expr {
+	return &FieldAcc{Base: &Ref{Name: binding}, Name: name}
+}
+
+func ci(v int64) Expr   { return &Const{V: types.IntValue(v)} }
+func cf(v float64) Expr { return &Const{V: types.FloatValue(v)} }
+
+func env(vals map[string]types.Value) ValueEnv { return ValueEnv(vals) }
+
+func TestEvalArithmetic(t *testing.T) {
+	e := &BinOp{Op: OpAdd, L: &BinOp{Op: OpMul, L: ci(3), R: ci(4)}, R: ci(5)}
+	v, err := Eval(e, nil)
+	if err != nil || v.AsInt() != 17 {
+		t.Fatalf("3*4+5 = %v (err %v)", v, err)
+	}
+	e = &BinOp{Op: OpDiv, L: ci(7), R: ci(2)}
+	v, _ = Eval(e, nil)
+	if v.Kind != types.KindFloat || v.F != 3.5 {
+		t.Errorf("7/2 = %v, want float 3.5", v)
+	}
+	e = &BinOp{Op: OpDiv, L: ci(7), R: ci(0)}
+	v, _ = Eval(e, nil)
+	if !v.IsNull() {
+		t.Errorf("7/0 = %v, want null", v)
+	}
+	e = &BinOp{Op: OpMod, L: ci(7), R: ci(3)}
+	v, _ = Eval(e, nil)
+	if v.AsInt() != 1 {
+		t.Errorf("7%%3 = %v", v)
+	}
+	v, _ = Eval(&Neg{E: cf(2.5)}, nil)
+	if v.AsFloat() != -2.5 {
+		t.Errorf("-(2.5) = %v", v)
+	}
+}
+
+func TestEvalMixedNumeric(t *testing.T) {
+	e := &BinOp{Op: OpAdd, L: ci(1), R: cf(2.5)}
+	v, _ := Eval(e, nil)
+	if v.Kind != types.KindFloat || v.F != 3.5 {
+		t.Errorf("1 + 2.5 = %v", v)
+	}
+}
+
+func TestEvalComparisonsAndLogic(t *testing.T) {
+	tru := &BinOp{Op: OpLt, L: ci(1), R: ci(2)}
+	fls := &BinOp{Op: OpGt, L: ci(1), R: ci(2)}
+	v, _ := Eval(&BinOp{Op: OpAnd, L: tru, R: fls}, nil)
+	if v.Bool() {
+		t.Error("true AND false")
+	}
+	v, _ = Eval(&BinOp{Op: OpOr, L: fls, R: tru}, nil)
+	if !v.Bool() {
+		t.Error("false OR true")
+	}
+	v, _ = Eval(&Not{E: fls}, nil)
+	if !v.Bool() {
+		t.Error("NOT false")
+	}
+	// Cross-kind numeric equality.
+	v, _ = Eval(&BinOp{Op: OpEq, L: ci(2), R: cf(2.0)}, nil)
+	if !v.Bool() {
+		t.Error("2 = 2.0 should hold")
+	}
+}
+
+func TestEvalShortCircuit(t *testing.T) {
+	// The right side references an unbound variable; short-circuiting must
+	// avoid evaluating it.
+	bad := &Ref{Name: "missing"}
+	v, err := Eval(&BinOp{Op: OpAnd, L: &Const{V: types.BoolValue(false)}, R: bad}, nil)
+	if err != nil || v.Bool() {
+		t.Errorf("false AND <err> = %v, %v", v, err)
+	}
+	v, err = Eval(&BinOp{Op: OpOr, L: &Const{V: types.BoolValue(true)}, R: bad}, nil)
+	if err != nil || !v.Bool() {
+		t.Errorf("true OR <err> = %v, %v", v, err)
+	}
+}
+
+func TestEvalFieldAccessAndLike(t *testing.T) {
+	row := types.RecordValue([]string{"name", "nested"},
+		[]types.Value{
+			types.StringValue("hello world"),
+			types.RecordValue([]string{"x"}, []types.Value{types.IntValue(9)}),
+		})
+	e := env(map[string]types.Value{"r": row})
+	v, err := Eval(field("r", "name"), e)
+	if err != nil || v.S != "hello world" {
+		t.Fatalf("field access = %v, %v", v, err)
+	}
+	v, _ = Eval(&FieldAcc{Base: field("r", "nested"), Name: "x"}, e)
+	if v.AsInt() != 9 {
+		t.Errorf("nested access = %v", v)
+	}
+	v, _ = Eval(&Like{E: field("r", "name"), Needle: "lo wo"}, e)
+	if !v.Bool() {
+		t.Error("LIKE should match substring")
+	}
+	v, _ = Eval(&Like{E: field("r", "name"), Needle: "xyz"}, e)
+	if v.Bool() {
+		t.Error("LIKE should not match")
+	}
+	// Field access through null propagates null.
+	e2 := env(map[string]types.Value{"r": types.NullValue()})
+	v, err = Eval(field("r", "name"), e2)
+	if err != nil || !v.IsNull() {
+		t.Errorf("null.field = %v, %v", v, err)
+	}
+}
+
+func TestEvalRecordCtor(t *testing.T) {
+	e := &RecordCtor{Names: []string{"a", "b"}, Exprs: []Expr{ci(1), cf(2.5)}}
+	v, err := Eval(e, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x, _ := v.Field("b"); x.F != 2.5 {
+		t.Errorf("record ctor = %v", v)
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	if _, err := Eval(&Ref{Name: "nope"}, nil); err == nil {
+		t.Error("unbound variable should error")
+	}
+	e := env(map[string]types.Value{"r": types.IntValue(1)})
+	if _, err := Eval(field("r", "f"), e); err == nil {
+		t.Error("field access on scalar should error")
+	}
+}
+
+func TestSplitConjoinRoundtrip(t *testing.T) {
+	a := &BinOp{Op: OpLt, L: ci(1), R: ci(2)}
+	b := &BinOp{Op: OpGt, L: ci(3), R: ci(2)}
+	c := &BinOp{Op: OpEq, L: ci(4), R: ci(4)}
+	all := Conjoin([]Expr{a, b, c})
+	parts := SplitConjuncts(all)
+	if len(parts) != 3 {
+		t.Fatalf("split = %d parts", len(parts))
+	}
+	if parts[0] != a || parts[1] != b || parts[2] != c {
+		t.Error("split order broken")
+	}
+	if Conjoin(nil) != nil {
+		t.Error("Conjoin(nil) should be nil")
+	}
+	if len(SplitConjuncts(nil)) != 0 {
+		t.Error("SplitConjuncts(nil) should be empty")
+	}
+}
+
+func TestRefsAndOnlyRefs(t *testing.T) {
+	e := &BinOp{Op: OpAnd,
+		L: &BinOp{Op: OpLt, L: field("a", "x"), R: ci(5)},
+		R: &BinOp{Op: OpEq, L: field("b", "y"), R: field("a", "z")},
+	}
+	refs := Refs(e)
+	if !refs["a"] || !refs["b"] || len(refs) != 2 {
+		t.Errorf("Refs = %v", refs)
+	}
+	if OnlyRefs(e, map[string]bool{"a": true}) {
+		t.Error("OnlyRefs should fail when b referenced")
+	}
+	if !OnlyRefs(e, map[string]bool{"a": true, "b": true}) {
+		t.Error("OnlyRefs should pass")
+	}
+}
+
+func TestPathOf(t *testing.T) {
+	root, path, ok := PathOf(&FieldAcc{Base: field("s", "a"), Name: "b"})
+	if !ok || root != "s" || len(path) != 2 || path[0] != "a" || path[1] != "b" {
+		t.Errorf("PathOf = %q %v %v", root, path, ok)
+	}
+	if _, _, ok := PathOf(ci(1)); ok {
+		t.Error("PathOf of constant should fail")
+	}
+	if _, _, ok := PathOf(&BinOp{Op: OpAdd, L: ci(1), R: ci(2)}); ok {
+		t.Error("PathOf of arithmetic should fail")
+	}
+}
+
+func TestInferType(t *testing.T) {
+	rt := types.NewRecordType(
+		types.Field{Name: "i", Type: types.Int},
+		types.Field{Name: "f", Type: types.Float},
+		types.Field{Name: "s", Type: types.String},
+		types.Field{Name: "kids", Type: types.NewListType(types.NewRecordType(
+			types.Field{Name: "age", Type: types.Int},
+		))},
+	)
+	e := Env{"r": rt}
+	cases := []struct {
+		expr Expr
+		want types.Type
+	}{
+		{&BinOp{Op: OpAdd, L: field("r", "i"), R: ci(1)}, types.Int},
+		{&BinOp{Op: OpAdd, L: field("r", "i"), R: field("r", "f")}, types.Float},
+		{&BinOp{Op: OpDiv, L: field("r", "i"), R: ci(2)}, types.Float},
+		{&BinOp{Op: OpLt, L: field("r", "i"), R: cf(1)}, types.Bool},
+		{&Like{E: field("r", "s"), Needle: "x"}, types.Bool},
+		{field("r", "kids"), types.NewListType(types.NewRecordType(
+			types.Field{Name: "age", Type: types.Int}))},
+	}
+	for _, c := range cases {
+		got, err := InferType(c.expr, e)
+		if err != nil {
+			t.Errorf("InferType(%s): %v", c.expr, err)
+			continue
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("InferType(%s) = %v, want %v", c.expr, got, c.want)
+		}
+	}
+	// Errors.
+	bad := []Expr{
+		&BinOp{Op: OpAdd, L: field("r", "s"), R: ci(1)},
+		&BinOp{Op: OpAnd, L: field("r", "i"), R: ci(1)},
+		field("r", "nope"),
+		&FieldAcc{Base: field("r", "i"), Name: "x"},
+		&Ref{Name: "unknown"},
+		&Not{E: field("r", "i")},
+		&Neg{E: field("r", "s")},
+	}
+	for _, e2 := range bad {
+		if _, err := InferType(e2, e); err == nil {
+			t.Errorf("InferType(%s) should fail", e2)
+		}
+	}
+}
+
+func TestAggType(t *testing.T) {
+	e := Env{"r": types.NewRecordType(
+		types.Field{Name: "i", Type: types.Int},
+		types.Field{Name: "s", Type: types.String},
+	)}
+	if got, _ := AggType(Agg{Kind: AggCount}, e); !got.Equal(types.Int) {
+		t.Error("count type")
+	}
+	if got, _ := AggType(Agg{Kind: AggAvg, Arg: field("r", "i")}, e); !got.Equal(types.Float) {
+		t.Error("avg type")
+	}
+	if got, _ := AggType(Agg{Kind: AggMax, Arg: field("r", "s")}, e); !got.Equal(types.String) {
+		t.Error("max over string type")
+	}
+	if got, _ := AggType(Agg{Kind: AggBag, Arg: field("r", "i")}, e); !got.Equal(types.NewBagType(types.Int)) {
+		t.Error("bag type")
+	}
+	if _, err := AggType(Agg{Kind: AggSum, Arg: field("r", "s")}, e); err == nil {
+		t.Error("sum over string should fail")
+	}
+	if _, err := AggType(Agg{Kind: AggAvg}, e); err == nil {
+		t.Error("avg without arg should fail")
+	}
+}
+
+func TestFold(t *testing.T) {
+	e := &BinOp{Op: OpLt,
+		L: field("r", "x"),
+		R: &BinOp{Op: OpMul, L: ci(6), R: ci(7)},
+	}
+	folded := Fold(e)
+	b, ok := folded.(*BinOp)
+	if !ok {
+		t.Fatalf("folded = %T", folded)
+	}
+	if c, ok := b.R.(*Const); !ok || c.V.AsInt() != 42 {
+		t.Errorf("right side not folded: %s", b.R)
+	}
+	if _, ok := b.L.(*FieldAcc); !ok {
+		t.Errorf("left side should stay: %s", b.L)
+	}
+	if Fold(nil) != nil {
+		t.Error("Fold(nil)")
+	}
+}
+
+func TestFoldEvalEquivalenceProperty(t *testing.T) {
+	// Property: folding never changes the value of a constant expression.
+	f := func(a, b int32, c bool) bool {
+		var e Expr = &BinOp{Op: OpAdd,
+			L: &BinOp{Op: OpMul, L: ci(int64(a)), R: ci(2)},
+			R: ci(int64(b)),
+		}
+		if c {
+			e = &Neg{E: e}
+		}
+		v1, err1 := Eval(e, nil)
+		v2, err2 := Eval(Fold(e), nil)
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		return v1.Equal(v2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExprString(t *testing.T) {
+	e := &BinOp{Op: OpAnd,
+		L: &BinOp{Op: OpLe, L: field("a", "x"), R: ci(3)},
+		R: &Not{E: &BinOp{Op: OpNe, L: field("b", "y"), R: cf(1.5)}},
+	}
+	want := "((a.x <= 3) AND NOT((b.y <> 1.5)))"
+	if got := e.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if Equal(e, e) != true {
+		t.Error("Equal self")
+	}
+}

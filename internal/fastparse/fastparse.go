@@ -1,0 +1,78 @@
+// Package fastparse provides allocation-free numeric parsing shared by the
+// raw-data input plug-ins (CSV and JSON). The hot scan loops call these on
+// byte sub-slices of the file image, so avoiding the string conversion that
+// strconv would require matters.
+package fastparse
+
+import "strconv"
+
+// Int parses a decimal integer. Parsing stops at the first non-digit, so
+// the caller controls the slice bounds; machine-generated data never hits
+// the early stop.
+func Int(b []byte) int64 {
+	var n int64
+	neg := false
+	i := 0
+	if i < len(b) && (b[i] == '-' || b[i] == '+') {
+		neg = b[i] == '-'
+		i++
+	}
+	for ; i < len(b); i++ {
+		c := b[i]
+		if c < '0' || c > '9' {
+			break
+		}
+		n = n*10 + int64(c-'0')
+	}
+	if neg {
+		return -n
+	}
+	return n
+}
+
+// Float parses a float without allocating for the common fixed-point shape
+// (sign, digits, optional fraction). Exponent forms fall back to strconv.
+func Float(b []byte) float64 {
+	var intPart int64
+	neg := false
+	i := 0
+	if i < len(b) && (b[i] == '-' || b[i] == '+') {
+		neg = b[i] == '-'
+		i++
+	}
+	start := i
+	for ; i < len(b); i++ {
+		c := b[i]
+		if c < '0' || c > '9' {
+			break
+		}
+		intPart = intPart*10 + int64(c-'0')
+	}
+	f := float64(intPart)
+	if i < len(b) && b[i] == '.' {
+		i++
+		var frac int64
+		scale := 1.0
+		for ; i < len(b); i++ {
+			c := b[i]
+			if c < '0' || c > '9' {
+				break
+			}
+			frac = frac*10 + int64(c-'0')
+			scale *= 10
+		}
+		f += float64(frac) / scale
+	}
+	if i < len(b) && (b[i] == 'e' || b[i] == 'E') {
+		if v, err := strconv.ParseFloat(string(b), 64); err == nil {
+			return v
+		}
+	}
+	if i == start {
+		return 0
+	}
+	if neg {
+		return -f
+	}
+	return f
+}

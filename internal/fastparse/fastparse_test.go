@@ -1,0 +1,91 @@
+package fastparse
+
+import (
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntBasic(t *testing.T) {
+	cases := map[string]int64{
+		"0": 0, "7": 7, "-7": -7, "+42": 42, "1234567890123": 1234567890123,
+		"": 0, "-": 0,
+	}
+	for in, want := range cases {
+		if got := Int([]byte(in)); got != want {
+			t.Errorf("Int(%q) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestIntMatchesStrconvProperty(t *testing.T) {
+	f := func(v int64) bool {
+		s := strconv.FormatInt(v, 10)
+		return Int([]byte(s)) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloatBasic(t *testing.T) {
+	cases := map[string]float64{
+		"0":      0,
+		"1.5":    1.5,
+		"-2.25":  -2.25,
+		"+0.125": 0.125,
+		"10":     10,
+		"3.14":   3.14,
+	}
+	for in, want := range cases {
+		if got := Float([]byte(in)); got != want {
+			t.Errorf("Float(%q) = %g, want %g", in, got, want)
+		}
+	}
+}
+
+func TestFloatExponentFallback(t *testing.T) {
+	for _, s := range []string{"1e3", "2.5e-2", "-1.25E+4"} {
+		want, _ := strconv.ParseFloat(s, 64)
+		if got := Float([]byte(s)); got != want {
+			t.Errorf("Float(%q) = %g, want %g", s, got, want)
+		}
+	}
+}
+
+func TestFloatFixedPointProperty(t *testing.T) {
+	// Property: for the fixed-point shapes our generators emit (two decimal
+	// digits), Float matches strconv to within one ulp-scale epsilon.
+	f := func(units int32, cents uint8) bool {
+		c := int64(cents % 100)
+		s := strconv.FormatInt(int64(units), 10) + "." + pad2(c)
+		if units < 0 {
+			s = strconv.FormatInt(int64(units), 10) + "." + pad2(c)
+		}
+		want, _ := strconv.ParseFloat(s, 64)
+		got := Float([]byte(s))
+		diff := got - want
+		if diff < 0 {
+			diff = -diff
+		}
+		scale := want
+		if scale < 0 {
+			scale = -scale
+		}
+		if scale < 1 {
+			scale = 1
+		}
+		return diff <= 1e-12*scale
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func pad2(v int64) string {
+	s := strconv.FormatInt(v, 10)
+	if len(s) == 1 {
+		return "0" + s
+	}
+	return s
+}

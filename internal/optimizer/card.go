@@ -1,0 +1,136 @@
+package optimizer
+
+import (
+	"proteus/internal/algebra"
+	"proteus/internal/expr"
+	"proteus/internal/stats"
+	"proteus/internal/types"
+)
+
+// Default estimation constants for cases the statistics cannot answer.
+const (
+	defaultUnnestFanout = 4.0
+)
+
+// EstimateCard estimates the output cardinality of a subtree using the
+// plug-in-provided statistics: dataset row counts and per-attribute ranges,
+// with the paper's textbook fallbacks (10% default selectivity).
+func EstimateCard(n algebra.Node, env *Env) float64 {
+	switch x := n.(type) {
+	case *algebra.Scan:
+		if env.Costs != nil {
+			if r := env.Costs.Rows(x.Dataset); r > 0 {
+				return float64(r)
+			}
+		}
+		if t, ok := env.Stats.Lookup(x.Dataset); ok && t.Rows > 0 {
+			return float64(t.Rows)
+		}
+		return 1000
+	case *algebra.Select:
+		return EstimateCard(x.Child, env) * estimateSel(x.Pred, x.Child, env)
+	case *algebra.Join:
+		l := EstimateCard(x.Left, env)
+		r := EstimateCard(x.Right, env)
+		keysL, _, _ := x.EquiKeys()
+		if len(keysL) > 0 {
+			// PK–FK heuristic: the join output is about the size of the
+			// larger (fact) side.
+			if l > r {
+				return l
+			}
+			return r
+		}
+		return l * r
+	case *algebra.Unnest:
+		f := defaultUnnestFanout
+		if x.Pred != nil {
+			f *= stats.DefaultSelectivity
+		}
+		return EstimateCard(x.Child, env) * f
+	case *algebra.Reduce:
+		return 1
+	case *algebra.Nest:
+		in := EstimateCard(x.Child, env)
+		groups := in / 10
+		if groups < 1 {
+			groups = 1
+		}
+		return groups
+	}
+	return 1000
+}
+
+// estimateSel estimates a predicate's selectivity against the statistics of
+// the datasets scanned below.
+func estimateSel(pred expr.Expr, below algebra.Node, env *Env) float64 {
+	byBinding := map[string]string{} // binding → dataset
+	for _, s := range algebra.Scans(below) {
+		byBinding[s.Binding] = s.Dataset
+	}
+	sel := 1.0
+	for _, conj := range expr.SplitConjuncts(pred) {
+		sel *= conjSel(conj, byBinding, env)
+	}
+	return sel
+}
+
+func conjSel(conj expr.Expr, byBinding map[string]string, env *Env) float64 {
+	b, ok := conj.(*expr.BinOp)
+	if !ok || !b.Op.IsComparison() {
+		return stats.DefaultSelectivity
+	}
+	// Normalize to path-vs-constant.
+	pathSide, constSide := b.L, b.R
+	op := b.Op
+	if _, isConst := pathSide.(*expr.Const); isConst {
+		pathSide, constSide = constSide, pathSide
+		op = flip(op)
+	}
+	root, path, isPath := expr.PathOf(pathSide)
+	cst, isConst := constSide.(*expr.Const)
+	if !isPath || !isConst {
+		return stats.DefaultSelectivity
+	}
+	ds, ok := byBinding[root]
+	if !ok {
+		return stats.DefaultSelectivity
+	}
+	tbl, ok := env.Stats.Lookup(ds)
+	if !ok {
+		return stats.DefaultSelectivity
+	}
+	col := joinPath(path)
+	if !types.Numeric(types.TypeOf(cst.V)) {
+		if op == expr.OpEq {
+			return tbl.SelEq(col)
+		}
+		return stats.DefaultSelectivity
+	}
+	x := cst.V.AsFloat()
+	switch op {
+	case expr.OpLt, expr.OpLe:
+		return tbl.SelLt(col, x)
+	case expr.OpGt, expr.OpGe:
+		return tbl.SelGt(col, x)
+	case expr.OpEq:
+		return tbl.SelEq(col)
+	case expr.OpNe:
+		return 1 - tbl.SelEq(col)
+	}
+	return stats.DefaultSelectivity
+}
+
+func flip(op expr.BinKind) expr.BinKind {
+	switch op {
+	case expr.OpLt:
+		return expr.OpGt
+	case expr.OpLe:
+		return expr.OpGe
+	case expr.OpGt:
+		return expr.OpLt
+	case expr.OpGe:
+		return expr.OpLe
+	}
+	return op
+}

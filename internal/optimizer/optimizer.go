@@ -1,0 +1,381 @@
+// Package optimizer rewrites nested-relational-algebra plans before code
+// generation (§4 "Query Optimization"): rule-based passes first (constant
+// folding, selection pushdown — including pushing element filters into the
+// Unnest operator's embedded predicate — and join-predicate absorption),
+// then cost-based decisions (build/probe side selection for joins) driven
+// by the statistics and cost formulas that the input plug-ins provide.
+package optimizer
+
+import (
+	"proteus/internal/algebra"
+	"proteus/internal/expr"
+	"proteus/internal/stats"
+)
+
+// CostSource supplies per-dataset cost inputs; the engine's catalog
+// implements it by delegating to the registered input plug-ins (§5.2
+// "Enabling Cost-based Optimizations").
+type CostSource interface {
+	// Rows returns the dataset's cardinality (0 if unknown).
+	Rows(dataset string) int64
+	// FieldCost returns the plug-in's per-field access cost weight.
+	FieldCost(dataset string) float64
+}
+
+// Env carries optimization services.
+type Env struct {
+	Stats *stats.Store
+	Costs CostSource
+}
+
+// Optimize runs the full rewrite pipeline.
+func Optimize(plan algebra.Node, env *Env) algebra.Node {
+	plan = foldConstants(plan)
+	plan = pushSelections(plan)
+	plan = absorbJoinPredicates(plan)
+	plan = pushUnnestFilters(plan)
+	if env != nil {
+		plan = chooseBuildSides(plan, env)
+	}
+	plan = pushProjections(plan)
+	return plan
+}
+
+// rebuild reconstructs a node with new children (children slice order
+// matches Node.Children()).
+func rebuild(n algebra.Node, kids []algebra.Node) algebra.Node {
+	switch x := n.(type) {
+	case *algebra.Scan:
+		return x
+	case *algebra.Select:
+		return &algebra.Select{Pred: x.Pred, Child: kids[0]}
+	case *algebra.Join:
+		return &algebra.Join{Pred: x.Pred, Left: kids[0], Right: kids[1], Outer: x.Outer}
+	case *algebra.Unnest:
+		return &algebra.Unnest{Path: x.Path, Binding: x.Binding, Pred: x.Pred, Outer: x.Outer, Child: kids[0]}
+	case *algebra.Reduce:
+		return &algebra.Reduce{Aggs: x.Aggs, Names: x.Names, Pred: x.Pred, Child: kids[0]}
+	case *algebra.Nest:
+		return &algebra.Nest{GroupBy: x.GroupBy, GroupNames: x.GroupNames, Aggs: x.Aggs,
+			AggNames: x.AggNames, Pred: x.Pred, Child: kids[0]}
+	}
+	return n
+}
+
+func mapChildren(n algebra.Node, fn func(algebra.Node) algebra.Node) algebra.Node {
+	kids := n.Children()
+	if len(kids) == 0 {
+		return n
+	}
+	newKids := make([]algebra.Node, len(kids))
+	changed := false
+	for i, k := range kids {
+		nk := fn(k)
+		newKids[i] = nk
+		if nk != k {
+			changed = true
+		}
+	}
+	if !changed {
+		return n
+	}
+	return rebuild(n, newKids)
+}
+
+// foldConstants folds constant sub-expressions in every predicate.
+func foldConstants(n algebra.Node) algebra.Node {
+	n = mapChildren(n, foldConstants)
+	switch x := n.(type) {
+	case *algebra.Select:
+		return &algebra.Select{Pred: expr.Fold(x.Pred), Child: x.Child}
+	case *algebra.Join:
+		return &algebra.Join{Pred: expr.Fold(x.Pred), Left: x.Left, Right: x.Right, Outer: x.Outer}
+	case *algebra.Unnest:
+		p := x.Pred
+		if p != nil {
+			p = expr.Fold(p)
+		}
+		return &algebra.Unnest{Path: x.Path, Binding: x.Binding, Pred: p, Outer: x.Outer, Child: x.Child}
+	}
+	return n
+}
+
+// pushSelections moves each selection conjunct as close to its data source
+// as its variable references allow.
+func pushSelections(n algebra.Node) algebra.Node {
+	n = mapChildren(n, pushSelections)
+	sel, ok := n.(*algebra.Select)
+	if !ok {
+		return n
+	}
+	var remaining []expr.Expr
+	child := sel.Child
+	for _, conj := range expr.SplitConjuncts(sel.Pred) {
+		pushed, newChild := tryPush(conj, child)
+		if pushed {
+			child = pushSelections(newChild)
+		} else {
+			remaining = append(remaining, conj)
+		}
+	}
+	if len(remaining) == 0 {
+		return child
+	}
+	return &algebra.Select{Pred: expr.Conjoin(remaining), Child: child}
+}
+
+// tryPush attempts to sink one conjunct below child's top operator.
+func tryPush(conj expr.Expr, child algebra.Node) (bool, algebra.Node) {
+	switch x := child.(type) {
+	case *algebra.Join:
+		lb := bindingSet(x.Left)
+		rb := bindingSet(x.Right)
+		switch {
+		case expr.OnlyRefs(conj, lb):
+			return true, &algebra.Join{
+				Pred:  x.Pred,
+				Left:  &algebra.Select{Pred: conj, Child: x.Left},
+				Right: x.Right,
+				Outer: x.Outer,
+			}
+		case expr.OnlyRefs(conj, rb) && !x.Outer:
+			return true, &algebra.Join{
+				Pred:  x.Pred,
+				Left:  x.Left,
+				Right: &algebra.Select{Pred: conj, Child: x.Right},
+				Outer: x.Outer,
+			}
+		}
+	case *algebra.Select:
+		// Slide below adjacent selections to reach deeper operators.
+		pushed, newGrand := tryPush(conj, x.Child)
+		if pushed {
+			return true, &algebra.Select{Pred: x.Pred, Child: newGrand}
+		}
+	case *algebra.Unnest:
+		cb := bindingSet(x.Child)
+		if expr.OnlyRefs(conj, cb) && !x.Outer {
+			return true, &algebra.Unnest{
+				Path:    x.Path,
+				Binding: x.Binding,
+				Pred:    x.Pred,
+				Outer:   x.Outer,
+				Child:   &algebra.Select{Pred: conj, Child: x.Child},
+			}
+		}
+	}
+	return false, child
+}
+
+func bindingSet(n algebra.Node) map[string]bool {
+	out := map[string]bool{}
+	for name := range n.Bindings() {
+		out[name] = true
+	}
+	return out
+}
+
+// absorbJoinPredicates merges a Select sitting directly on a Join into the
+// join predicate when it references both sides (giving the hash join its
+// equi-keys).
+func absorbJoinPredicates(n algebra.Node) algebra.Node {
+	n = mapChildren(n, absorbJoinPredicates)
+	sel, ok := n.(*algebra.Select)
+	if !ok {
+		return n
+	}
+	j, ok := sel.Child.(*algebra.Join)
+	if !ok || j.Outer {
+		return n
+	}
+	lb := bindingSet(j.Left)
+	rb := bindingSet(j.Right)
+	var absorbed, rest []expr.Expr
+	for _, conj := range expr.SplitConjuncts(sel.Pred) {
+		refs := expr.Refs(conj)
+		touchesL, touchesR := false, false
+		for r := range refs {
+			if lb[r] {
+				touchesL = true
+			}
+			if rb[r] {
+				touchesR = true
+			}
+		}
+		if touchesL && touchesR {
+			absorbed = append(absorbed, conj)
+		} else {
+			rest = append(rest, conj)
+		}
+	}
+	if len(absorbed) == 0 {
+		return n
+	}
+	pred := j.Pred
+	if isTrue(pred) {
+		pred = expr.Conjoin(absorbed)
+	} else {
+		pred = expr.Conjoin(append([]expr.Expr{pred}, absorbed...))
+	}
+	nj := &algebra.Join{Pred: pred, Left: j.Left, Right: j.Right, Outer: j.Outer}
+	if len(rest) == 0 {
+		return nj
+	}
+	return &algebra.Select{Pred: expr.Conjoin(rest), Child: nj}
+}
+
+func isTrue(e expr.Expr) bool {
+	c, ok := e.(*expr.Const)
+	return ok && c.V.Bool()
+}
+
+// pushUnnestFilters moves a Select over an Unnest that references the
+// unnested element into the Unnest's embedded predicate — the nested
+// algebra's specialized filtering step (Table 1).
+func pushUnnestFilters(n algebra.Node) algebra.Node {
+	n = mapChildren(n, pushUnnestFilters)
+	sel, ok := n.(*algebra.Select)
+	if !ok {
+		return n
+	}
+	u, ok := sel.Child.(*algebra.Unnest)
+	if !ok || u.Outer {
+		return n
+	}
+	elemOnly := map[string]bool{u.Binding: true}
+	var embedded, rest []expr.Expr
+	for _, conj := range expr.SplitConjuncts(sel.Pred) {
+		if expr.OnlyRefs(conj, elemOnly) {
+			embedded = append(embedded, conj)
+		} else {
+			rest = append(rest, conj)
+		}
+	}
+	if len(embedded) == 0 {
+		return n
+	}
+	pred := u.Pred
+	if pred == nil {
+		pred = expr.Conjoin(embedded)
+	} else {
+		pred = expr.Conjoin(append([]expr.Expr{pred}, embedded...))
+	}
+	nu := &algebra.Unnest{Path: u.Path, Binding: u.Binding, Pred: pred, Outer: u.Outer, Child: u.Child}
+	if len(rest) == 0 {
+		return nu
+	}
+	return &algebra.Select{Pred: expr.Conjoin(rest), Child: nu}
+}
+
+// chooseBuildSides estimates subtree cardinalities bottom-up and orients
+// each inner join so the smaller input is the build (right) side.
+func chooseBuildSides(n algebra.Node, env *Env) algebra.Node {
+	n = mapChildren(n, func(k algebra.Node) algebra.Node { return chooseBuildSides(k, env) })
+	j, ok := n.(*algebra.Join)
+	if !ok || j.Outer {
+		return n
+	}
+	lc := EstimateCard(j.Left, env)
+	rc := EstimateCard(j.Right, env)
+	if lc < rc {
+		// Swapping operands of an inner join is safe; the predicate is
+		// symmetric.
+		return &algebra.Join{Pred: j.Pred, Left: j.Right, Right: j.Left, Outer: false}
+	}
+	return n
+}
+
+// pushProjections records, per Scan, the field paths the plan references —
+// surfaced in EXPLAIN output; the compiler performs the same analysis when
+// generating scan code.
+func pushProjections(n algebra.Node) algebra.Node {
+	needs := map[string]map[string]bool{}
+	var addExpr func(e expr.Expr)
+	addExpr = func(e expr.Expr) {
+		if e == nil {
+			return
+		}
+		if root, path, ok := expr.PathOf(e); ok {
+			set := needs[root]
+			if set == nil {
+				set = map[string]bool{}
+				needs[root] = set
+			}
+			set[joinPath(path)] = true
+			return
+		}
+		switch x := e.(type) {
+		case *expr.BinOp:
+			addExpr(x.L)
+			addExpr(x.R)
+		case *expr.Not:
+			addExpr(x.E)
+		case *expr.Neg:
+			addExpr(x.E)
+		case *expr.Like:
+			addExpr(x.E)
+		case *expr.RecordCtor:
+			for _, s := range x.Exprs {
+				addExpr(s)
+			}
+		}
+	}
+	algebra.Walk(n, func(node algebra.Node) bool {
+		switch x := node.(type) {
+		case *algebra.Select:
+			addExpr(x.Pred)
+		case *algebra.Join:
+			addExpr(x.Pred)
+		case *algebra.Unnest:
+			addExpr(x.Pred)
+			addExpr(x.Path)
+		case *algebra.Reduce:
+			addExpr(x.Pred)
+			for _, a := range x.Aggs {
+				addExpr(a.Arg)
+			}
+		case *algebra.Nest:
+			addExpr(x.Pred)
+			for _, g := range x.GroupBy {
+				addExpr(g)
+			}
+			for _, a := range x.Aggs {
+				addExpr(a.Arg)
+			}
+		}
+		return true
+	})
+	algebra.Walk(n, func(node algebra.Node) bool {
+		if s, ok := node.(*algebra.Scan); ok {
+			set := needs[s.Binding]
+			s.Fields = s.Fields[:0]
+			for p := range set {
+				if p != "" {
+					s.Fields = append(s.Fields, p)
+				}
+			}
+			sortStrings(s.Fields)
+		}
+		return true
+	})
+	return n
+}
+
+func joinPath(path []string) string {
+	out := ""
+	for i, p := range path {
+		if i > 0 {
+			out += "."
+		}
+		out += p
+	}
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

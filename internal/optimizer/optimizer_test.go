@@ -1,0 +1,231 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+
+	"proteus/internal/algebra"
+	"proteus/internal/expr"
+	"proteus/internal/stats"
+	"proteus/internal/types"
+)
+
+func field(b, n string) expr.Expr { return &expr.FieldAcc{Base: &expr.Ref{Name: b}, Name: n} }
+func ci(v int64) expr.Expr        { return &expr.Const{V: types.IntValue(v)} }
+
+func scanT(binding string) *algebra.Scan {
+	return &algebra.Scan{Dataset: "t", Binding: binding, Type: types.NewRecordType(
+		types.Field{Name: "a", Type: types.Int},
+		types.Field{Name: "b", Type: types.Int},
+	)}
+}
+
+func scanU(binding string) *algebra.Scan {
+	return &algebra.Scan{Dataset: "u", Binding: binding, Type: types.NewRecordType(
+		types.Field{Name: "a", Type: types.Int},
+	)}
+}
+
+type fixedCosts map[string]int64
+
+func (f fixedCosts) Rows(ds string) int64        { return f[ds] }
+func (f fixedCosts) FieldCost(ds string) float64 { return 1 }
+
+func testEnv() *Env {
+	return &Env{Stats: stats.NewStore(), Costs: fixedCosts{"t": 1000, "u": 10}}
+}
+
+func TestPushSelectionBelowJoin(t *testing.T) {
+	// σ(x.a<5)(t ⋈ u) → the conjunct referencing only x sinks to t's side.
+	join := &algebra.Join{
+		Pred:  &expr.BinOp{Op: expr.OpEq, L: field("x", "a"), R: field("y", "a")},
+		Left:  scanT("x"),
+		Right: scanU("y"),
+	}
+	plan := &algebra.Select{
+		Pred:  &expr.BinOp{Op: expr.OpLt, L: field("x", "a"), R: ci(5)},
+		Child: join,
+	}
+	out := Optimize(plan, nil)
+	j, ok := out.(*algebra.Join)
+	if !ok {
+		t.Fatalf("root = %T; plan:\n%s", out, algebra.Format(out))
+	}
+	if _, ok := j.Left.(*algebra.Select); !ok {
+		t.Errorf("selection not pushed to left side:\n%s", algebra.Format(out))
+	}
+}
+
+func TestAbsorbJoinPredicate(t *testing.T) {
+	// σ(x.a = y.a)(t × u) → the cross-side equality becomes the join pred.
+	join := &algebra.Join{
+		Pred:  &expr.Const{V: types.BoolValue(true)},
+		Left:  scanT("x"),
+		Right: scanU("y"),
+	}
+	plan := &algebra.Select{
+		Pred:  &expr.BinOp{Op: expr.OpEq, L: field("x", "a"), R: field("y", "a")},
+		Child: join,
+	}
+	out := Optimize(plan, nil)
+	j, ok := out.(*algebra.Join)
+	if !ok {
+		t.Fatalf("root = %T:\n%s", out, algebra.Format(out))
+	}
+	l, r, _ := j.EquiKeys()
+	if len(l) != 1 || len(r) != 1 {
+		t.Errorf("equikeys not absorbed: %v %v", l, r)
+	}
+}
+
+func TestPushUnnestFilter(t *testing.T) {
+	// σ(c.age>18)(Unnest(children)) → the element filter becomes the
+	// Unnest's embedded predicate (Table 1's filtering step).
+	sailor := &algebra.Scan{Dataset: "sailor", Binding: "s", Type: types.NewRecordType(
+		types.Field{Name: "children", Type: types.NewListType(types.NewRecordType(
+			types.Field{Name: "age", Type: types.Int},
+		))},
+	)}
+	plan := &algebra.Select{
+		Pred: &expr.BinOp{Op: expr.OpGt, L: field("c", "age"), R: ci(18)},
+		Child: &algebra.Unnest{
+			Path:    field("s", "children"),
+			Binding: "c",
+			Child:   sailor,
+		},
+	}
+	out := Optimize(plan, nil)
+	u, ok := out.(*algebra.Unnest)
+	if !ok {
+		t.Fatalf("root = %T:\n%s", out, algebra.Format(out))
+	}
+	if u.Pred == nil || !strings.Contains(u.Pred.String(), "c.age") {
+		t.Errorf("filter not embedded: %v", u.Pred)
+	}
+}
+
+func TestChooseBuildSidesSwapsSmaller(t *testing.T) {
+	// u (10 rows) starts on the left; the optimizer should orient the join
+	// so the smaller input is the build (right) side.
+	join := &algebra.Join{
+		Pred:  &expr.BinOp{Op: expr.OpEq, L: field("y", "a"), R: field("x", "a")},
+		Left:  scanU("y"),
+		Right: scanT("x"),
+	}
+	plan := &algebra.Reduce{
+		Aggs:  []expr.Agg{{Kind: expr.AggCount}},
+		Names: []string{"n"},
+		Child: join,
+	}
+	out := Optimize(plan, testEnv())
+	red := out.(*algebra.Reduce)
+	j := red.Child.(*algebra.Join)
+	rs, ok := j.Right.(*algebra.Scan)
+	if !ok || rs.Dataset != "u" {
+		t.Errorf("small table should be the build side:\n%s", algebra.Format(out))
+	}
+}
+
+func TestProjectionPushdownFillsScanFields(t *testing.T) {
+	plan := &algebra.Reduce{
+		Aggs:  []expr.Agg{{Kind: expr.AggMax, Arg: field("x", "b")}},
+		Names: []string{"m"},
+		Child: &algebra.Select{
+			Pred:  &expr.BinOp{Op: expr.OpLt, L: field("x", "a"), R: ci(5)},
+			Child: scanT("x"),
+		},
+	}
+	out := Optimize(plan, nil)
+	scans := algebra.Scans(out)
+	if len(scans) != 1 {
+		t.Fatalf("scans = %d", len(scans))
+	}
+	got := strings.Join(scans[0].Fields, ",")
+	if got != "a,b" {
+		t.Errorf("scan fields = %q, want a,b", got)
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	plan := &algebra.Select{
+		Pred: &expr.BinOp{Op: expr.OpLt, L: field("x", "a"),
+			R: &expr.BinOp{Op: expr.OpMul, L: ci(6), R: ci(7)}},
+		Child: scanT("x"),
+	}
+	out := Optimize(plan, nil)
+	sel := out.(*algebra.Select)
+	if !strings.Contains(sel.Pred.String(), "42") {
+		t.Errorf("constant not folded: %s", sel.Pred)
+	}
+}
+
+func TestOuterJoinBlocksPushdownToRight(t *testing.T) {
+	// A predicate on the null-producing right side of a left-outer join
+	// must NOT be pushed below the join.
+	join := &algebra.Join{
+		Pred:  &expr.BinOp{Op: expr.OpEq, L: field("x", "a"), R: field("y", "a")},
+		Left:  scanT("x"),
+		Right: scanU("y"),
+		Outer: true,
+	}
+	plan := &algebra.Select{
+		Pred:  &expr.BinOp{Op: expr.OpLt, L: field("y", "a"), R: ci(5)},
+		Child: join,
+	}
+	out := Optimize(plan, nil)
+	if _, ok := out.(*algebra.Select); !ok {
+		t.Errorf("predicate pushed below outer join:\n%s", algebra.Format(out))
+	}
+}
+
+func TestEstimateCard(t *testing.T) {
+	env := testEnv()
+	tbl := env.Stats.Table("t")
+	tbl.Rows = 1000
+	col := tbl.Col("a")
+	col.Observe(0)
+	col.Observe(100)
+
+	scan := scanT("x")
+	if got := EstimateCard(scan, env); got != 1000 {
+		t.Errorf("scan card = %g", got)
+	}
+	sel := &algebra.Select{
+		Pred:  &expr.BinOp{Op: expr.OpLt, L: field("x", "a"), R: ci(25)},
+		Child: scan,
+	}
+	got := EstimateCard(sel, env)
+	if got < 200 || got > 300 {
+		t.Errorf("select card = %g, want ~250 (25%% of range)", got)
+	}
+	join := &algebra.Join{
+		Pred:  &expr.BinOp{Op: expr.OpEq, L: field("x", "a"), R: field("y", "a")},
+		Left:  scan,
+		Right: scanU("y"),
+	}
+	if got := EstimateCard(join, env); got != 1000 {
+		t.Errorf("pk-fk join card = %g, want 1000", got)
+	}
+	red := &algebra.Reduce{Aggs: []expr.Agg{{Kind: expr.AggCount}}, Names: []string{"n"}, Child: scan}
+	if got := EstimateCard(red, env); got != 1 {
+		t.Errorf("reduce card = %g", got)
+	}
+}
+
+func TestSelectivityFlippedComparison(t *testing.T) {
+	env := testEnv()
+	tbl := env.Stats.Table("t")
+	tbl.Rows = 1000
+	col := tbl.Col("a")
+	col.Observe(0)
+	col.Observe(100)
+	// "25 > x.a" should behave like "x.a < 25".
+	sel := &algebra.Select{
+		Pred:  &expr.BinOp{Op: expr.OpGt, L: ci(25), R: field("x", "a")},
+		Child: scanT("x"),
+	}
+	got := EstimateCard(sel, env)
+	if got < 200 || got > 300 {
+		t.Errorf("flipped comparison card = %g, want ~250", got)
+	}
+}

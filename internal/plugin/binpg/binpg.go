@@ -1,0 +1,307 @@
+package binpg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"proteus/internal/plugin"
+	"proteus/internal/types"
+	"proteus/internal/vbuf"
+)
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }
+
+// Plugin implements plugin.Input for the binary row and columnar formats.
+type Plugin struct{}
+
+// New returns the binary plug-in.
+func New() *Plugin { return &Plugin{} }
+
+// Format implements plugin.Input.
+func (p *Plugin) Format() string { return "bin" }
+
+// FieldCost implements plugin.Input: binary access is the cost baseline.
+func (p *Plugin) FieldCost() float64 { return 1.0 }
+
+type state struct {
+	data     []byte
+	schema   *types.RecordType
+	rows     int64
+	columnar bool
+
+	// Columnar layout.
+	colOff []int // per-column data offset
+	colLen []int
+
+	// Row layout.
+	rowBase  int // offset of row 0
+	rowWidth int
+	heapOff  int
+}
+
+func (p *Plugin) state(ds *plugin.Dataset) (*state, error) {
+	st, ok := ds.State.(*state)
+	if !ok {
+		return nil, fmt.Errorf("binpg: dataset %q is not open", ds.Name)
+	}
+	return st, nil
+}
+
+// Open implements plugin.Input: parses the header, locates column blobs or
+// row geometry, and samples statistics.
+func (p *Plugin) Open(env *plugin.Env, ds *plugin.Dataset) error {
+	data, err := env.Mem.File(ds.Path)
+	if err != nil {
+		return err
+	}
+	if len(data) < 16 {
+		return fmt.Errorf("binpg: %s: truncated file", ds.Name)
+	}
+	st := &state{data: data}
+	switch {
+	case string(data[:4]) == string(magicColumnar[:]):
+		st.columnar = true
+	case string(data[:4]) == string(magicRow[:]):
+		st.columnar = false
+	default:
+		return fmt.Errorf("binpg: %s: bad magic %q", ds.Name, data[:4])
+	}
+	nCols := int(binary.LittleEndian.Uint32(data[4:]))
+	st.rows = int64(binary.LittleEndian.Uint64(data[8:]))
+	pos := 16
+	fields := make([]types.Field, nCols)
+	for i := 0; i < nCols; i++ {
+		if pos+3 > len(data) {
+			return fmt.Errorf("binpg: %s: truncated header", ds.Name)
+		}
+		t, err := byteKind(data[pos])
+		if err != nil {
+			return err
+		}
+		nameLen := int(binary.LittleEndian.Uint16(data[pos+1:]))
+		pos += 3
+		if pos+nameLen > len(data) {
+			return fmt.Errorf("binpg: %s: truncated column name", ds.Name)
+		}
+		fields[i] = types.Field{Name: string(data[pos : pos+nameLen]), Type: t}
+		pos += nameLen
+	}
+	st.schema = &types.RecordType{Fields: fields}
+	if st.columnar {
+		st.colOff = make([]int, nCols)
+		st.colLen = make([]int, nCols)
+		for i := 0; i < nCols; i++ {
+			st.colOff[i] = int(binary.LittleEndian.Uint64(data[pos+i*16:]))
+			st.colLen[i] = int(binary.LittleEndian.Uint64(data[pos+i*16+8:]))
+		}
+	} else {
+		st.rowBase = pos
+		st.rowWidth = nCols * cellSize
+		st.heapOff = pos + int(st.rows)*st.rowWidth
+	}
+	ds.State = st
+	if ds.Schema == nil {
+		ds.Schema = st.schema
+	}
+
+	// Cold-access statistics sampling.
+	tbl := env.Stats.Table(ds.Name)
+	tbl.Rows = st.rows
+	if env.SampleEvery > 0 {
+		for col, f := range fields {
+			if !types.Numeric(f.Type) {
+				continue
+			}
+			c := tbl.Col(f.Name)
+			for row := int64(0); row < st.rows; row += int64(env.SampleEvery) {
+				switch f.Type.Kind() {
+				case types.KindInt:
+					c.Observe(float64(st.readInt(col, row)))
+				case types.KindFloat:
+					c.Observe(st.readFloat(col, row))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (st *state) readInt(col int, row int64) int64 {
+	if st.columnar {
+		return int64(binary.LittleEndian.Uint64(st.data[st.colOff[col]+int(row)*8:]))
+	}
+	return int64(binary.LittleEndian.Uint64(st.data[st.rowBase+int(row)*st.rowWidth+col*8:]))
+}
+
+func (st *state) readFloat(col int, row int64) float64 {
+	if st.columnar {
+		return bitsFloat(binary.LittleEndian.Uint64(st.data[st.colOff[col]+int(row)*8:]))
+	}
+	return bitsFloat(binary.LittleEndian.Uint64(st.data[st.rowBase+int(row)*st.rowWidth+col*8:]))
+}
+
+func (st *state) readBool(col int, row int64) bool {
+	if st.columnar {
+		return st.data[st.colOff[col]+int(row)] != 0
+	}
+	return st.data[st.rowBase+int(row)*st.rowWidth+col*8] != 0
+}
+
+func (st *state) readString(col int, row int64) string {
+	if st.columnar {
+		base := st.colOff[col]
+		off := int(binary.LittleEndian.Uint32(st.data[base+int(row)*4:]))
+		end := int(binary.LittleEndian.Uint32(st.data[base+int(row+1)*4:]))
+		bytesBase := base + (int(st.rows)+1)*4
+		return string(st.data[bytesBase+off : bytesBase+end])
+	}
+	cell := binary.LittleEndian.Uint64(st.data[st.rowBase+int(row)*st.rowWidth+col*8:])
+	off := int(cell >> 32)
+	n := int(uint32(cell))
+	return string(st.data[st.heapOff+off : st.heapOff+off+n])
+}
+
+// Schema implements plugin.Input.
+func (p *Plugin) Schema(ds *plugin.Dataset) *types.RecordType {
+	if st, ok := ds.State.(*state); ok {
+		return st.schema
+	}
+	return ds.Schema
+}
+
+// Cardinality implements plugin.Input.
+func (p *Plugin) Cardinality(ds *plugin.Dataset) int64 {
+	if st, ok := ds.State.(*state); ok {
+		return st.rows
+	}
+	return 0
+}
+
+// CompileScan implements plugin.Input: the generated loop reads each needed
+// field at a computed memory position, with a per-field closure specialized
+// to the column's type and layout.
+func (p *Plugin) CompileScan(ds *plugin.Dataset, spec plugin.ScanSpec) (plugin.RunFunc, error) {
+	st, err := p.state(ds)
+	if err != nil {
+		return nil, err
+	}
+	type loader func(regs *vbuf.Regs, row int64)
+	loaders := make([]loader, 0, len(spec.Fields))
+	names := st.schema.Names()
+	for _, req := range spec.Fields {
+		if len(req.Path) == 0 {
+			// Whole-record boxing.
+			if req.Slot.Class != vbuf.ClassValue {
+				return nil, fmt.Errorf("binpg: whole-record request needs a value slot")
+			}
+			slot := req.Slot
+			loaders = append(loaders, func(regs *vbuf.Regs, row int64) {
+				regs.V[slot.Idx] = st.decodeRow(row, names)
+				regs.Null[slot.Null] = false
+			})
+			continue
+		}
+		if len(req.Path) != 1 {
+			return nil, fmt.Errorf("binpg: nested path %q in flat binary dataset %q",
+				plugin.FieldPathString(req.Path), ds.Name)
+		}
+		col := st.schema.Index(req.Path[0])
+		if col < 0 {
+			return nil, fmt.Errorf("binpg: dataset %q has no column %q", ds.Name, req.Path[0])
+		}
+		slot := req.Slot
+		ft := st.schema.Fields[col].Type
+		switch ft.Kind() {
+		case types.KindInt:
+			if slot.Class != vbuf.ClassInt {
+				return nil, fmt.Errorf("binpg: slot class mismatch for %q", req.Path[0])
+			}
+			loaders = append(loaders, func(regs *vbuf.Regs, row int64) {
+				regs.I[slot.Idx] = st.readInt(col, row)
+				regs.Null[slot.Null] = false
+			})
+		case types.KindFloat:
+			if slot.Class != vbuf.ClassFloat {
+				return nil, fmt.Errorf("binpg: slot class mismatch for %q", req.Path[0])
+			}
+			loaders = append(loaders, func(regs *vbuf.Regs, row int64) {
+				regs.F[slot.Idx] = st.readFloat(col, row)
+				regs.Null[slot.Null] = false
+			})
+		case types.KindBool:
+			if slot.Class != vbuf.ClassBool {
+				return nil, fmt.Errorf("binpg: slot class mismatch for %q", req.Path[0])
+			}
+			loaders = append(loaders, func(regs *vbuf.Regs, row int64) {
+				regs.B[slot.Idx] = st.readBool(col, row)
+				regs.Null[slot.Null] = false
+			})
+		case types.KindString:
+			if slot.Class != vbuf.ClassString {
+				return nil, fmt.Errorf("binpg: slot class mismatch for %q", req.Path[0])
+			}
+			loaders = append(loaders, func(regs *vbuf.Regs, row int64) {
+				regs.S[slot.Idx] = st.readString(col, row)
+				regs.Null[slot.Null] = false
+			})
+		default:
+			return nil, fmt.Errorf("binpg: unsupported column type %s", ft)
+		}
+	}
+	rows := st.rows
+	oid := spec.OIDSlot
+	return func(regs *vbuf.Regs, consume func() error) error {
+		for row := int64(0); row < rows; row++ {
+			if oid != nil {
+				regs.I[oid.Idx] = row
+				regs.Null[oid.Null] = false
+			}
+			for _, ld := range loaders {
+				ld(regs, row)
+			}
+			if err := consume(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
+}
+
+// CompileUnnest implements plugin.Input: flat format, nothing to unnest.
+func (p *Plugin) CompileUnnest(ds *plugin.Dataset, spec plugin.UnnestSpec) (plugin.UnnestFunc, error) {
+	return nil, plugin.ErrUnsupported
+}
+
+// decodeRow boxes one row into a record value.
+func (st *state) decodeRow(row int64, names []string) types.Value {
+	vals := make([]types.Value, len(st.schema.Fields))
+	for col, f := range st.schema.Fields {
+		switch f.Type.Kind() {
+		case types.KindInt:
+			vals[col] = types.IntValue(st.readInt(col, row))
+		case types.KindFloat:
+			vals[col] = types.FloatValue(st.readFloat(col, row))
+		case types.KindBool:
+			vals[col] = types.BoolValue(st.readBool(col, row))
+		default:
+			vals[col] = types.StringValue(st.readString(col, row))
+		}
+	}
+	return types.RecordValue(names, vals)
+}
+
+// ReadRows implements plugin.Input.
+func (p *Plugin) ReadRows(ds *plugin.Dataset) ([]types.Value, error) {
+	st, err := p.state(ds)
+	if err != nil {
+		return nil, err
+	}
+	names := st.schema.Names()
+	out := make([]types.Value, 0, st.rows)
+	for row := int64(0); row < st.rows; row++ {
+		out = append(out, st.decodeRow(row, names))
+	}
+	return out, nil
+}

@@ -1,0 +1,214 @@
+package binpg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"proteus/internal/plugin"
+	"proteus/internal/stats"
+	"proteus/internal/storage"
+	"proteus/internal/types"
+	"proteus/internal/vbuf"
+)
+
+func testColumns() []Column {
+	return []Column{
+		{Name: "id", Type: types.Int, Ints: []int64{1, 2, 3, 4}},
+		{Name: "score", Type: types.Float, Floats: []float64{1.5, -2.5, 0, 99.25}},
+		{Name: "ok", Type: types.Bool, Bools: []bool{true, false, true, false}},
+		{Name: "tag", Type: types.String, Strs: []string{"a", "", "ccc", "dd"}},
+	}
+}
+
+func openBin(t *testing.T, data []byte) (*Plugin, *plugin.Dataset, *plugin.Env) {
+	t.Helper()
+	mem := storage.NewManager(0)
+	mem.PutFile("mem://t.bin", data)
+	env := &plugin.Env{Mem: mem, Stats: stats.NewStore(), SampleEvery: 1}
+	p := New()
+	ds := &plugin.Dataset{Name: "t", Path: "mem://t.bin", Format: "bin"}
+	if err := p.Open(env, ds); err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	return p, ds, env
+}
+
+func roundtrip(t *testing.T, encode func([]Column) ([]byte, error)) {
+	t.Helper()
+	cols := testColumns()
+	data, err := encode(cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ds, _ := openBin(t, data)
+	if p.Cardinality(ds) != 4 {
+		t.Fatalf("rows = %d", p.Cardinality(ds))
+	}
+	rows, err := p.ReadRows(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		if v, _ := rows[r].Field("id"); v.AsInt() != cols[0].Ints[r] {
+			t.Errorf("row %d id = %s", r, v)
+		}
+		if v, _ := rows[r].Field("score"); v.AsFloat() != cols[1].Floats[r] {
+			t.Errorf("row %d score = %s", r, v)
+		}
+		if v, _ := rows[r].Field("ok"); v.Bool() != cols[2].Bools[r] {
+			t.Errorf("row %d ok = %s", r, v)
+		}
+		if v, _ := rows[r].Field("tag"); v.S != cols[3].Strs[r] {
+			t.Errorf("row %d tag = %s", r, v)
+		}
+	}
+}
+
+func TestColumnarRoundtrip(t *testing.T) { roundtrip(t, EncodeColumnar) }
+func TestRowRoundtrip(t *testing.T)      { roundtrip(t, EncodeRows) }
+
+func TestCompiledScanBothLayouts(t *testing.T) {
+	for name, encode := range map[string]func([]Column) ([]byte, error){
+		"columnar": EncodeColumnar, "rows": EncodeRows,
+	} {
+		t.Run(name, func(t *testing.T) {
+			data, err := encode(testColumns())
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, ds, _ := openBin(t, data)
+			var alloc vbuf.Alloc
+			idSlot := alloc.Int()
+			tagSlot := alloc.String()
+			run, err := p.CompileScan(ds, plugin.ScanSpec{Fields: []plugin.FieldReq{
+				{Path: []string{"id"}, Slot: idSlot, Type: types.Int},
+				{Path: []string{"tag"}, Slot: tagSlot, Type: types.String},
+			}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			regs := vbuf.NewRegs(&alloc)
+			var ids []int64
+			var tags []string
+			if err := run(regs, func() error {
+				ids = append(ids, regs.I[idSlot.Idx])
+				tags = append(tags, regs.S[tagSlot.Idx])
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if len(ids) != 4 || ids[3] != 4 || tags[2] != "ccc" {
+				t.Errorf("ids = %v tags = %v", ids, tags)
+			}
+		})
+	}
+}
+
+func TestStatsGathered(t *testing.T) {
+	data, _ := EncodeColumnar(testColumns())
+	_, _, env := openBin(t, data)
+	tbl, _ := env.Stats.Lookup("t")
+	c := tbl.Cols["score"]
+	if c == nil || c.Min != -2.5 || c.Max != 99.25 {
+		t.Errorf("score stats = %+v", c)
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	if _, err := EncodeColumnar(nil); err == nil {
+		t.Error("empty columns should fail")
+	}
+	uneven := []Column{
+		{Name: "a", Type: types.Int, Ints: []int64{1, 2}},
+		{Name: "b", Type: types.Int, Ints: []int64{1}},
+	}
+	if _, err := EncodeColumnar(uneven); err == nil {
+		t.Error("uneven columns should fail")
+	}
+	if _, err := EncodeRows(uneven); err == nil {
+		t.Error("uneven rows should fail")
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	mem := storage.NewManager(0)
+	env := &plugin.Env{Mem: mem, Stats: stats.NewStore()}
+	mem.PutFile("mem://junk.bin", []byte("JUNKJUNKJUNKJUNKJUNK"))
+	ds := &plugin.Dataset{Name: "junk", Path: "mem://junk.bin"}
+	if err := New().Open(env, ds); err == nil {
+		t.Error("bad magic should fail")
+	}
+	mem.PutFile("mem://short.bin", []byte("PB"))
+	ds = &plugin.Dataset{Name: "short", Path: "mem://short.bin"}
+	if err := New().Open(env, ds); err == nil {
+		t.Error("truncated file should fail")
+	}
+}
+
+func TestFromValues(t *testing.T) {
+	schema := types.NewRecordType(
+		types.Field{Name: "x", Type: types.Int},
+		types.Field{Name: "y", Type: types.String},
+	)
+	rows := []types.Value{
+		types.RecordValue([]string{"x", "y"}, []types.Value{types.IntValue(1), types.StringValue("a")}),
+		types.RecordValue([]string{"x", "y"}, []types.Value{types.IntValue(2), types.StringValue("b")}),
+	}
+	cols, err := FromValues(schema, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cols[0].Ints[1] != 2 || cols[1].Strs[0] != "a" {
+		t.Errorf("cols = %+v", cols)
+	}
+	if _, err := FromValues(schema, []types.Value{types.IntValue(1)}); err == nil {
+		t.Error("non-record row should fail")
+	}
+}
+
+func TestRoundtripProperty(t *testing.T) {
+	// Property: any int64/float64 column pair survives an encode/decode
+	// cycle in both layouts.
+	f := func(ints []int64, seed int64) bool {
+		if len(ints) == 0 {
+			ints = []int64{seed}
+		}
+		floats := make([]float64, len(ints))
+		for i, v := range ints {
+			floats[i] = float64(v) / 3.0
+		}
+		cols := []Column{
+			{Name: "i", Type: types.Int, Ints: ints},
+			{Name: "f", Type: types.Float, Floats: floats},
+		}
+		for _, encode := range []func([]Column) ([]byte, error){EncodeColumnar, EncodeRows} {
+			data, err := encode(cols)
+			if err != nil {
+				return false
+			}
+			mem := storage.NewManager(0)
+			mem.PutFile("mem://p.bin", data)
+			env := &plugin.Env{Mem: mem, Stats: stats.NewStore()}
+			ds := &plugin.Dataset{Name: "p", Path: "mem://p.bin"}
+			p := New()
+			if err := p.Open(env, ds); err != nil {
+				return false
+			}
+			rows, err := p.ReadRows(ds)
+			if err != nil || len(rows) != len(ints) {
+				return false
+			}
+			for r := range ints {
+				iv, _ := rows[r].Field("i")
+				fv, _ := rows[r].Field("f")
+				if iv.AsInt() != ints[r] || fv.AsFloat() != floats[r] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,226 @@
+// Package binpg is the relational binary input plug-in (§5.2). It defines a
+// compact binary file format in both row-major and column-major (MonetDB-
+// like) layouts, a writer used by the data generators and by the cache
+// spiller, and compiled scans that read field values at computed memory
+// positions — the cheapest access path the engine supports.
+package binpg
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"proteus/internal/types"
+)
+
+// File layout (little-endian):
+//
+//	magic    [4]byte  "PBC1" (columnar) or "PBR1" (row-major)
+//	nCols    uint32
+//	nRows    uint64
+//	per col: kind uint8, nameLen uint16, name bytes
+//	columnar: per col { dataOff uint64, dataLen uint64 }, then column blobs:
+//	    int/float: nRows×8 bytes; bool: nRows bytes;
+//	    string: (nRows+1)×uint32 offsets, then the concatenated bytes
+//	row-major: rows of nCols×8-byte cells (strings are off|len into a heap
+//	    that follows the rows; bools are 0/1 in the low byte)
+var (
+	magicColumnar = [4]byte{'P', 'B', 'C', '1'}
+	magicRow      = [4]byte{'P', 'B', 'R', '1'}
+)
+
+const cellSize = 8
+
+func kindByte(t types.Type) (byte, error) {
+	switch t.Kind() {
+	case types.KindInt:
+		return 0, nil
+	case types.KindFloat:
+		return 1, nil
+	case types.KindBool:
+		return 2, nil
+	case types.KindString:
+		return 3, nil
+	}
+	return 0, fmt.Errorf("binpg: unsupported column type %s", t)
+}
+
+func byteKind(b byte) (types.Type, error) {
+	switch b {
+	case 0:
+		return types.Int, nil
+	case 1:
+		return types.Float, nil
+	case 2:
+		return types.Bool, nil
+	case 3:
+		return types.String, nil
+	}
+	return nil, fmt.Errorf("binpg: unknown column kind %d", b)
+}
+
+// Column holds one typed column for encoding. Exactly the slice matching
+// Type is consulted.
+type Column struct {
+	Name   string
+	Type   types.Type
+	Ints   []int64
+	Floats []float64
+	Bools  []bool
+	Strs   []string
+}
+
+func (c *Column) rows() int {
+	switch c.Type.Kind() {
+	case types.KindInt:
+		return len(c.Ints)
+	case types.KindFloat:
+		return len(c.Floats)
+	case types.KindBool:
+		return len(c.Bools)
+	default:
+		return len(c.Strs)
+	}
+}
+
+// EncodeColumnar serializes columns into the column-major format.
+func EncodeColumnar(cols []Column) ([]byte, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("binpg: no columns")
+	}
+	nRows := cols[0].rows()
+	for _, c := range cols[1:] {
+		if c.rows() != nRows {
+			return nil, fmt.Errorf("binpg: column %q has %d rows, want %d", c.Name, c.rows(), nRows)
+		}
+	}
+	var buf []byte
+	buf = append(buf, magicColumnar[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(cols)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(nRows))
+	for _, c := range cols {
+		kb, err := kindByte(c.Type)
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, kb)
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(c.Name)))
+		buf = append(buf, c.Name...)
+	}
+	// Reserve the per-column offset table and fill it as blobs are written.
+	offTable := len(buf)
+	buf = append(buf, make([]byte, len(cols)*16)...)
+	for i, c := range cols {
+		dataOff := uint64(len(buf))
+		switch c.Type.Kind() {
+		case types.KindInt:
+			for _, v := range c.Ints {
+				buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+			}
+		case types.KindFloat:
+			for _, v := range c.Floats {
+				buf = binary.LittleEndian.AppendUint64(buf, floatBits(v))
+			}
+		case types.KindBool:
+			for _, v := range c.Bools {
+				if v {
+					buf = append(buf, 1)
+				} else {
+					buf = append(buf, 0)
+				}
+			}
+		case types.KindString:
+			off := uint32(0)
+			for _, s := range c.Strs {
+				buf = binary.LittleEndian.AppendUint32(buf, off)
+				off += uint32(len(s))
+			}
+			buf = binary.LittleEndian.AppendUint32(buf, off)
+			for _, s := range c.Strs {
+				buf = append(buf, s...)
+			}
+		}
+		binary.LittleEndian.PutUint64(buf[offTable+i*16:], dataOff)
+		binary.LittleEndian.PutUint64(buf[offTable+i*16+8:], uint64(len(buf))-dataOff)
+	}
+	return buf, nil
+}
+
+// EncodeRows serializes columns into the row-major format.
+func EncodeRows(cols []Column) ([]byte, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("binpg: no columns")
+	}
+	nRows := cols[0].rows()
+	for _, c := range cols[1:] {
+		if c.rows() != nRows {
+			return nil, fmt.Errorf("binpg: column %q has %d rows, want %d", c.Name, c.rows(), nRows)
+		}
+	}
+	var buf []byte
+	buf = append(buf, magicRow[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(cols)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(nRows))
+	for _, c := range cols {
+		kb, err := kindByte(c.Type)
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, kb)
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(c.Name)))
+		buf = append(buf, c.Name...)
+	}
+	var heap []byte
+	for r := 0; r < nRows; r++ {
+		for _, c := range cols {
+			switch c.Type.Kind() {
+			case types.KindInt:
+				buf = binary.LittleEndian.AppendUint64(buf, uint64(c.Ints[r]))
+			case types.KindFloat:
+				buf = binary.LittleEndian.AppendUint64(buf, floatBits(c.Floats[r]))
+			case types.KindBool:
+				var v uint64
+				if c.Bools[r] {
+					v = 1
+				}
+				buf = binary.LittleEndian.AppendUint64(buf, v)
+			case types.KindString:
+				s := c.Strs[r]
+				cell := uint64(len(heap))<<32 | uint64(uint32(len(s)))
+				heap = append(heap, s...)
+				buf = binary.LittleEndian.AppendUint64(buf, cell)
+			}
+		}
+	}
+	buf = append(buf, heap...)
+	return buf, nil
+}
+
+// FromValues converts boxed record values into typed columns (used by tests
+// and by the generic write path).
+func FromValues(schema *types.RecordType, rows []types.Value) ([]Column, error) {
+	cols := make([]Column, len(schema.Fields))
+	for i, f := range schema.Fields {
+		cols[i] = Column{Name: f.Name, Type: f.Type}
+	}
+	for _, rv := range rows {
+		if rv.Kind != types.KindRecord {
+			return nil, fmt.Errorf("binpg: non-record row %s", rv)
+		}
+		for i, f := range schema.Fields {
+			v, _ := rv.Field(f.Name)
+			switch f.Type.Kind() {
+			case types.KindInt:
+				cols[i].Ints = append(cols[i].Ints, v.AsInt())
+			case types.KindFloat:
+				cols[i].Floats = append(cols[i].Floats, v.AsFloat())
+			case types.KindBool:
+				cols[i].Bools = append(cols[i].Bools, v.Bool())
+			case types.KindString:
+				cols[i].Strs = append(cols[i].Strs, v.S)
+			default:
+				return nil, fmt.Errorf("binpg: unsupported column type %s", f.Type)
+			}
+		}
+	}
+	return cols, nil
+}

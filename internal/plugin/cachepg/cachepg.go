@@ -1,0 +1,159 @@
+// Package cachepg is the cache input plug-in (§6 "Implementation"): once
+// the Caching Manager has materialized a cache block, the engine treats it
+// as just another input dataset, and this plug-in supplies the compiled
+// access code for it — plain typed-array reads, the cheapest access path of
+// all (the cache is already binary and dense).
+package cachepg
+
+import (
+	"fmt"
+
+	"proteus/internal/cache"
+	"proteus/internal/types"
+	"proteus/internal/vbuf"
+)
+
+// Loader fills one slot from a cache block at a row ordinal.
+type Loader func(regs *vbuf.Regs, row int64)
+
+// CompileLoader returns the specialized per-row read for a block into a
+// slot. The block's kind must match the slot's class.
+func CompileLoader(b *cache.Block, slot vbuf.Slot) (Loader, error) {
+	nulls := b.Nulls
+	switch b.Kind {
+	case types.KindInt:
+		if slot.Class != vbuf.ClassInt {
+			return nil, fmt.Errorf("cachepg: block %q holds ints but slot wants class %d", b.Key, slot.Class)
+		}
+		col := b.Ints
+		if nulls == nil {
+			return func(regs *vbuf.Regs, row int64) {
+				regs.I[slot.Idx] = col[row]
+				regs.Null[slot.Null] = false
+			}, nil
+		}
+		return func(regs *vbuf.Regs, row int64) {
+			regs.I[slot.Idx] = col[row]
+			regs.Null[slot.Null] = nulls[row]
+		}, nil
+	case types.KindFloat:
+		if slot.Class != vbuf.ClassFloat {
+			return nil, fmt.Errorf("cachepg: block %q holds floats but slot wants class %d", b.Key, slot.Class)
+		}
+		col := b.Floats
+		if nulls == nil {
+			return func(regs *vbuf.Regs, row int64) {
+				regs.F[slot.Idx] = col[row]
+				regs.Null[slot.Null] = false
+			}, nil
+		}
+		return func(regs *vbuf.Regs, row int64) {
+			regs.F[slot.Idx] = col[row]
+			regs.Null[slot.Null] = nulls[row]
+		}, nil
+	case types.KindBool:
+		if slot.Class != vbuf.ClassBool {
+			return nil, fmt.Errorf("cachepg: block %q holds bools but slot wants class %d", b.Key, slot.Class)
+		}
+		col := b.Bools
+		if nulls == nil {
+			return func(regs *vbuf.Regs, row int64) {
+				regs.B[slot.Idx] = col[row]
+				regs.Null[slot.Null] = false
+			}, nil
+		}
+		return func(regs *vbuf.Regs, row int64) {
+			regs.B[slot.Idx] = col[row]
+			regs.Null[slot.Null] = nulls[row]
+		}, nil
+	case types.KindString:
+		if slot.Class != vbuf.ClassString {
+			return nil, fmt.Errorf("cachepg: block %q holds strings but slot wants class %d", b.Key, slot.Class)
+		}
+		col := b.Strs
+		if nulls == nil {
+			return func(regs *vbuf.Regs, row int64) {
+				regs.S[slot.Idx] = col[row]
+				regs.Null[slot.Null] = false
+			}, nil
+		}
+		return func(regs *vbuf.Regs, row int64) {
+			regs.S[slot.Idx] = col[row]
+			regs.Null[slot.Null] = nulls[row]
+		}, nil
+	}
+	return nil, fmt.Errorf("cachepg: unsupported block kind %s", b.Kind)
+}
+
+// CompileScan returns a full-scan driver over cache blocks when *every*
+// field a scan needs is cached: the original dataset is not touched at all.
+func CompileScan(rows int64, loaders []Loader, oid *vbuf.Slot) func(regs *vbuf.Regs, consume func() error) error {
+	return func(regs *vbuf.Regs, consume func() error) error {
+		for row := int64(0); row < rows; row++ {
+			if oid != nil {
+				regs.I[oid.Idx] = row
+				regs.Null[oid.Null] = false
+			}
+			for _, ld := range loaders {
+				ld(regs, row)
+			}
+			if err := consume(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// Builder accumulates one column during a scan (the output plug-in side of
+// §6: "an expression generator produces code which evaluates the expression
+// to be cached and places the result in a consecutive memory block").
+type Builder struct {
+	Block   *cache.Block
+	slot    vbuf.Slot
+	hasNull bool
+}
+
+// NewBuilder prepares a builder that snapshots slot values per row.
+func NewBuilder(dataset, key string, kind types.Kind, formatBias float64, slot vbuf.Slot, capacity int64) *Builder {
+	return &Builder{
+		Block: &cache.Block{
+			Dataset:    dataset,
+			Key:        key,
+			Kind:       kind,
+			FormatBias: formatBias,
+		},
+		slot: slot,
+	}
+}
+
+// Append records the slot's current value.
+func (b *Builder) Append(regs *vbuf.Regs) {
+	null := regs.Null[b.slot.Null]
+	if null {
+		b.hasNull = true
+	}
+	if b.Block.Nulls != nil || b.hasNull {
+		if b.Block.Nulls == nil {
+			b.Block.Nulls = make([]bool, b.Block.Rows)
+		}
+		b.Block.Nulls = append(b.Block.Nulls, null)
+	}
+	switch b.Block.Kind {
+	case types.KindInt:
+		b.Block.Ints = append(b.Block.Ints, regs.I[b.slot.Idx])
+	case types.KindFloat:
+		b.Block.Floats = append(b.Block.Floats, regs.F[b.slot.Idx])
+	case types.KindBool:
+		b.Block.Bools = append(b.Block.Bools, regs.B[b.slot.Idx])
+	case types.KindString:
+		b.Block.Strs = append(b.Block.Strs, regs.S[b.slot.Idx])
+	}
+	b.Block.Rows++
+}
+
+// Finish marks the block complete (the scan reached EOF) and returns it.
+func (b *Builder) Finish() *cache.Block {
+	b.Block.Complete = true
+	return b.Block
+}

@@ -1,0 +1,140 @@
+package cachepg
+
+import (
+	"testing"
+
+	"proteus/internal/cache"
+	"proteus/internal/types"
+	"proteus/internal/vbuf"
+)
+
+func TestBuilderAppendFinish(t *testing.T) {
+	var a vbuf.Alloc
+	slot := a.Int()
+	b := NewBuilder("ds", "col", types.KindInt, 14, slot, 0)
+	regs := vbuf.NewRegs(&a)
+	for i := int64(0); i < 5; i++ {
+		regs.I[slot.Idx] = i * 10
+		regs.Null[slot.Null] = i == 3 // one null
+		b.Append(regs)
+	}
+	blk := b.Finish()
+	if !blk.Complete || blk.Rows != 5 {
+		t.Fatalf("block = %+v", blk)
+	}
+	if blk.Ints[2] != 20 {
+		t.Errorf("ints = %v", blk.Ints)
+	}
+	if blk.Nulls == nil || !blk.Nulls[3] || blk.Nulls[2] {
+		t.Errorf("nulls = %v", blk.Nulls)
+	}
+}
+
+func TestBuilderNoNullsStaysDense(t *testing.T) {
+	var a vbuf.Alloc
+	slot := a.Float()
+	b := NewBuilder("ds", "col", types.KindFloat, 6, slot, 0)
+	regs := vbuf.NewRegs(&a)
+	for i := 0; i < 3; i++ {
+		regs.F[slot.Idx] = float64(i) + 0.5
+		b.Append(regs)
+	}
+	blk := b.Finish()
+	if blk.Nulls != nil {
+		t.Error("null-free column should not allocate a null vector")
+	}
+}
+
+func TestLoaderRoundtripAllKinds(t *testing.T) {
+	var a vbuf.Alloc
+	cases := []struct {
+		kind types.Kind
+		slot vbuf.Slot
+		blk  *cache.Block
+		chk  func(r *vbuf.Regs, s vbuf.Slot, row int64) bool
+	}{
+		{types.KindInt, a.Int(),
+			&cache.Block{Kind: types.KindInt, Ints: []int64{5, 6, 7}, Rows: 3, Complete: true},
+			func(r *vbuf.Regs, s vbuf.Slot, row int64) bool { return r.I[s.Idx] == row+5 }},
+		{types.KindFloat, a.Float(),
+			&cache.Block{Kind: types.KindFloat, Floats: []float64{0.5, 1.5, 2.5}, Rows: 3, Complete: true},
+			func(r *vbuf.Regs, s vbuf.Slot, row int64) bool { return r.F[s.Idx] == float64(row)+0.5 }},
+		{types.KindBool, a.Bool(),
+			&cache.Block{Kind: types.KindBool, Bools: []bool{true, false, true}, Rows: 3, Complete: true},
+			func(r *vbuf.Regs, s vbuf.Slot, row int64) bool { return r.B[s.Idx] == (row%2 == 0) }},
+		{types.KindString, a.String(),
+			&cache.Block{Kind: types.KindString, Strs: []string{"a", "b", "c"}, Rows: 3, Complete: true},
+			func(r *vbuf.Regs, s vbuf.Slot, row int64) bool { return r.S[s.Idx] == string(rune('a'+row)) }},
+	}
+	regs := vbuf.NewRegs(&a)
+	for _, c := range cases {
+		ld, err := CompileLoader(c.blk, c.slot)
+		if err != nil {
+			t.Fatalf("%s: %v", c.kind, err)
+		}
+		for row := int64(0); row < 3; row++ {
+			ld(regs, row)
+			if !c.chk(regs, c.slot, row) {
+				t.Errorf("%s row %d mismatch", c.kind, row)
+			}
+			if regs.Null[c.slot.Null] {
+				t.Errorf("%s row %d unexpectedly null", c.kind, row)
+			}
+		}
+	}
+}
+
+func TestLoaderNulls(t *testing.T) {
+	var a vbuf.Alloc
+	slot := a.Int()
+	blk := &cache.Block{
+		Kind: types.KindInt, Ints: []int64{1, 2},
+		Nulls: []bool{false, true}, Rows: 2, Complete: true,
+	}
+	ld, err := CompileLoader(blk, slot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := vbuf.NewRegs(&a)
+	ld(regs, 1)
+	if !regs.Null[slot.Null] {
+		t.Error("row 1 should load as null")
+	}
+	ld(regs, 0)
+	if regs.Null[slot.Null] {
+		t.Error("row 0 should not be null")
+	}
+}
+
+func TestLoaderClassMismatch(t *testing.T) {
+	var a vbuf.Alloc
+	slot := a.String()
+	blk := &cache.Block{Kind: types.KindInt, Ints: []int64{1}, Rows: 1, Complete: true}
+	if _, err := CompileLoader(blk, slot); err == nil {
+		t.Error("kind/class mismatch should fail")
+	}
+}
+
+func TestCompileScanDrivesAllRows(t *testing.T) {
+	var a vbuf.Alloc
+	slot := a.Int()
+	oid := a.Int()
+	blk := &cache.Block{Kind: types.KindInt, Ints: []int64{3, 1, 4}, Rows: 3, Complete: true}
+	ld, err := CompileLoader(blk, slot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := CompileScan(3, []Loader{ld}, &oid)
+	regs := vbuf.NewRegs(&a)
+	var sum, oidSum int64
+	if err := run(regs, func() error {
+		sum += regs.I[slot.Idx]
+		oidSum += regs.I[oid.Idx]
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 8 || oidSum != 3 {
+		t.Errorf("sum = %d oidSum = %d", sum, oidSum)
+	}
+}

@@ -1,0 +1,260 @@
+package csvpg
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"proteus/internal/plugin"
+	"proteus/internal/stats"
+	"proteus/internal/storage"
+	"proteus/internal/types"
+	"proteus/internal/vbuf"
+)
+
+func openCSV(t *testing.T, data string, schema *types.RecordType, opts plugin.Options) (*Plugin, *plugin.Dataset, *plugin.Env) {
+	t.Helper()
+	mem := storage.NewManager(0)
+	mem.PutFile("mem://t.csv", []byte(data))
+	env := &plugin.Env{Mem: mem, Stats: stats.NewStore(), SampleEvery: 1}
+	p := New()
+	ds := &plugin.Dataset{Name: "t", Path: "mem://t.csv", Format: "csv", Schema: schema, Opts: opts}
+	if err := p.Open(env, ds); err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	return p, ds, env
+}
+
+// scanAll compiles a scan for the given columns and collects the values.
+func scanAll(t *testing.T, p *Plugin, ds *plugin.Dataset, cols ...string) [][]types.Value {
+	t.Helper()
+	var alloc vbuf.Alloc
+	schema := p.Schema(ds)
+	var reqs []plugin.FieldReq
+	var slots []vbuf.Slot
+	for _, c := range cols {
+		ft, ok := schema.Lookup(c)
+		if !ok {
+			t.Fatalf("no column %q", c)
+		}
+		s := alloc.ForType(ft)
+		slots = append(slots, s)
+		reqs = append(reqs, plugin.FieldReq{Path: []string{c}, Slot: s, Type: ft})
+	}
+	oid := alloc.Int()
+	run, err := p.CompileScan(ds, plugin.ScanSpec{Fields: reqs, OIDSlot: &oid})
+	if err != nil {
+		t.Fatalf("compile scan: %v", err)
+	}
+	regs := vbuf.NewRegs(&alloc)
+	var out [][]types.Value
+	if err := run(regs, func() error {
+		row := make([]types.Value, len(slots))
+		for i, s := range slots {
+			row[i] = regs.Get(s)
+		}
+		out = append(out, row)
+		return nil
+	}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return out
+}
+
+var testSchema = types.NewRecordType(
+	types.Field{Name: "id", Type: types.Int},
+	types.Field{Name: "name", Type: types.String},
+	types.Field{Name: "score", Type: types.Float},
+	types.Field{Name: "ok", Type: types.Bool},
+)
+
+const testData = "1,alpha,1.5,true\n22,beta,2.25,false\n333,gamma,-3.5,1\n"
+
+func TestScanAllColumns(t *testing.T) {
+	p, ds, _ := openCSV(t, testData, testSchema, plugin.Options{})
+	rows := scanAll(t, p, ds, "id", "name", "score", "ok")
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[1][0].AsInt() != 22 || rows[1][1].S != "beta" || rows[1][2].F != 2.25 || rows[1][3].Bool() {
+		t.Errorf("row 1 = %v", rows[1])
+	}
+	if rows[2][2].F != -3.5 || !rows[2][3].Bool() {
+		t.Errorf("row 2 = %v", rows[2])
+	}
+}
+
+func TestScanSubsetAndOrder(t *testing.T) {
+	// Requesting columns out of order exercises the in-row cursor.
+	p, ds, _ := openCSV(t, testData, testSchema, plugin.Options{})
+	rows := scanAll(t, p, ds, "score", "id")
+	if rows[0][0].F != 1.5 || rows[0][1].AsInt() != 1 {
+		t.Errorf("row 0 = %v", rows[0])
+	}
+}
+
+func TestFixedWidthFastPath(t *testing.T) {
+	// All rows identical widths and offsets → deterministic layout, index
+	// dropped.
+	data := "11,aa,1.5\n22,bb,2.5\n33,cc,3.5\n"
+	schema := types.NewRecordType(
+		types.Field{Name: "a", Type: types.Int},
+		types.Field{Name: "b", Type: types.String},
+		types.Field{Name: "c", Type: types.Float},
+	)
+	p, ds, _ := openCSV(t, data, schema, plugin.Options{})
+	st := ds.State.(*state)
+	if !st.fixed {
+		t.Fatal("expected fixed-width detection")
+	}
+	if st.fieldPos != nil {
+		t.Error("fixed-width should drop the positional index")
+	}
+	rows := scanAll(t, p, ds, "c", "a")
+	if rows[2][0].F != 3.5 || rows[2][1].AsInt() != 33 {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestVariableWidthUsesIndex(t *testing.T) {
+	data := "1,x,1.5\n22,yy,2.5\n333,zzz,3.5\n"
+	schema := types.NewRecordType(
+		types.Field{Name: "a", Type: types.Int},
+		types.Field{Name: "b", Type: types.String},
+		types.Field{Name: "c", Type: types.Float},
+	)
+	p, ds, _ := openCSV(t, data, schema, plugin.Options{IndexStride: 2})
+	st := ds.State.(*state)
+	if st.fixed {
+		t.Fatal("variable rows misdetected as fixed")
+	}
+	if st.nSampled != 1 { // fields at index 2 sampled
+		t.Fatalf("nSampled = %d", st.nSampled)
+	}
+	rows := scanAll(t, p, ds, "c")
+	if rows[0][0].F != 1.5 || rows[1][0].F != 2.5 || rows[2][0].F != 3.5 {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestIndexStrideSweepSameResults(t *testing.T) {
+	// Property: the scan result must be independent of the index stride.
+	var sb strings.Builder
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&sb, "%d,%s,%d.25,%d,%d,%d\n", i, strings.Repeat("x", i%7+1), i*3, i%5, i*2, i*7)
+	}
+	schema := types.NewRecordType(
+		types.Field{Name: "f0", Type: types.Int},
+		types.Field{Name: "f1", Type: types.String},
+		types.Field{Name: "f2", Type: types.Float},
+		types.Field{Name: "f3", Type: types.Int},
+		types.Field{Name: "f4", Type: types.Int},
+		types.Field{Name: "f5", Type: types.Int},
+	)
+	var ref [][]types.Value
+	for _, stride := range []int{1, 2, 3, 8, 100} {
+		p, ds, _ := openCSV(t, sb.String(), schema, plugin.Options{IndexStride: stride})
+		rows := scanAll(t, p, ds, "f5", "f2", "f0")
+		if ref == nil {
+			ref = rows
+			continue
+		}
+		for i := range rows {
+			for j := range rows[i] {
+				if types.Compare(rows[i][j], ref[i][j]) != 0 {
+					t.Fatalf("stride %d row %d col %d: %s != %s", stride, i, j, rows[i][j], ref[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestHeaderAndInference(t *testing.T) {
+	data := "id,label,ratio\n1,aa,0.5\n2,bb,1.5\n"
+	p, ds, _ := openCSV(t, data, nil, plugin.Options{Header: true})
+	schema := p.Schema(ds)
+	if schema.Index("label") != 1 {
+		t.Fatalf("schema = %v", schema)
+	}
+	if ft, _ := schema.Lookup("id"); !ft.Equal(types.Int) {
+		t.Errorf("id type = %v", ft)
+	}
+	if ft, _ := schema.Lookup("ratio"); !ft.Equal(types.Float) {
+		t.Errorf("ratio type = %v", ft)
+	}
+	if p.Cardinality(ds) != 2 {
+		t.Errorf("rows = %d", p.Cardinality(ds))
+	}
+}
+
+func TestStatsSampling(t *testing.T) {
+	_, _, env := openCSV(t, testData, testSchema, plugin.Options{})
+	tbl, ok := env.Stats.Lookup("t")
+	if !ok {
+		t.Fatal("no stats gathered")
+	}
+	if tbl.Rows != 3 {
+		t.Errorf("stats rows = %d", tbl.Rows)
+	}
+	c := tbl.Cols["id"]
+	if c == nil || !c.HasRange || c.Min != 1 || c.Max != 333 {
+		t.Errorf("id stats = %+v", c)
+	}
+}
+
+func TestSchemaMismatch(t *testing.T) {
+	mem := storage.NewManager(0)
+	mem.PutFile("mem://t.csv", []byte("1,2\n"))
+	env := &plugin.Env{Mem: mem, Stats: stats.NewStore()}
+	ds := &plugin.Dataset{Name: "t", Path: "mem://t.csv", Format: "csv", Schema: testSchema}
+	if err := New().Open(env, ds); err == nil {
+		t.Error("column count mismatch should fail")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	p, ds, _ := openCSV(t, testData, testSchema, plugin.Options{})
+	var alloc vbuf.Alloc
+	s := alloc.Int()
+	if _, err := p.CompileScan(ds, plugin.ScanSpec{Fields: []plugin.FieldReq{
+		{Path: []string{"missing"}, Slot: s, Type: types.Int},
+	}}); err == nil {
+		t.Error("missing column should fail at compile")
+	}
+	if _, err := p.CompileScan(ds, plugin.ScanSpec{Fields: []plugin.FieldReq{
+		{Path: []string{"a", "b"}, Slot: s, Type: types.Int},
+	}}); err == nil {
+		t.Error("nested path should fail on flat CSV")
+	}
+	if _, err := p.CompileUnnest(ds, plugin.UnnestSpec{}); err != plugin.ErrUnsupported {
+		t.Error("unnest should be unsupported")
+	}
+	unopened := &plugin.Dataset{Name: "x"}
+	if _, err := p.CompileScan(unopened, plugin.ScanSpec{}); err == nil {
+		t.Error("unopened dataset should fail")
+	}
+}
+
+func TestReadRows(t *testing.T) {
+	p, ds, _ := openCSV(t, testData, testSchema, plugin.Options{})
+	rows, err := p.ReadRows(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if v, _ := rows[2].Field("name"); v.S != "gamma" {
+		t.Errorf("row 2 = %s", rows[2])
+	}
+}
+
+func TestParseIntFloatProperty(t *testing.T) {
+	f := func(v int64) bool {
+		return ParseInt([]byte(fmt.Sprintf("%d", v))) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,272 @@
+package csvpg
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"proteus/internal/fastparse"
+	"proteus/internal/plugin"
+	"proteus/internal/types"
+	"proteus/internal/vbuf"
+)
+
+// fieldExtract is one compiled per-row extraction: locate column col
+// starting the seek at an indexed position and parse it into its slot.
+type fieldExtract struct {
+	col   int
+	parse func(regs *vbuf.Regs, raw []byte)
+}
+
+// CompileScan implements plugin.Input. The returned closure is specialized
+// to this dataset: the fixed-width path computes field positions
+// arithmetically; the indexed path seeks from the nearest every-Nth-field
+// position; and each requested field gets a type-specific parser, so the
+// loop contains no per-row type checks — the paper's generate() step.
+func (p *Plugin) CompileScan(ds *plugin.Dataset, spec plugin.ScanSpec) (plugin.RunFunc, error) {
+	st, err := p.state(ds)
+	if err != nil {
+		return nil, err
+	}
+	extracts := make([]fieldExtract, 0, len(spec.Fields))
+	var wholeSlots []vbuf.Slot
+	for _, req := range spec.Fields {
+		if len(req.Path) == 0 {
+			// Whole-record boxing: the entire row decoded into a value slot.
+			if req.Slot.Class != vbuf.ClassValue {
+				return nil, fmt.Errorf("csvpg: whole-record request needs a value slot")
+			}
+			wholeSlots = append(wholeSlots, req.Slot)
+			continue
+		}
+		if len(req.Path) != 1 {
+			return nil, fmt.Errorf("csvpg: nested path %q in flat CSV dataset %q",
+				plugin.FieldPathString(req.Path), ds.Name)
+		}
+		col := st.schema.Index(req.Path[0])
+		if col < 0 {
+			return nil, fmt.Errorf("csvpg: dataset %q has no column %q", ds.Name, req.Path[0])
+		}
+		parse, err := parserFor(req.Slot, req.Type)
+		if err != nil {
+			return nil, fmt.Errorf("csvpg: column %q: %w", req.Path[0], err)
+		}
+		extracts = append(extracts, fieldExtract{col: col, parse: parse})
+	}
+	sort.Slice(extracts, func(i, j int) bool { return extracts[i].col < extracts[j].col })
+
+	data := st.data
+	delim := st.delim
+	oid := spec.OIDSlot
+	rows := st.rows
+
+	// Whole-record boxing decodes the row generically into value slots; it
+	// wraps whichever specialized loop is chosen below.
+	wrapWhole := func(run plugin.RunFunc) plugin.RunFunc {
+		if len(wholeSlots) == 0 {
+			return run
+		}
+		names := st.schema.Names()
+		return func(regs *vbuf.Regs, consume func() error) error {
+			return run(regs, func() error {
+				row := regs.I[oid.Idx]
+				rec, err := st.decodeRow(row, names)
+				if err != nil {
+					return err
+				}
+				for _, slot := range wholeSlots {
+					regs.V[slot.Idx] = rec
+					regs.Null[slot.Null] = false
+				}
+				return consume()
+			})
+		}
+	}
+	if len(wholeSlots) > 0 && oid == nil {
+		return nil, fmt.Errorf("csvpg: whole-record boxing requires an OID slot")
+	}
+
+	if st.fixed {
+		// Deterministic path: no index, pure arithmetic (§5.2 "Specializing
+		// per Dataset Contents").
+		offs := st.fieldOff
+		rowLen := st.rowLen
+		base0 := int32(0)
+		if len(st.rowStarts) > 0 {
+			base0 = st.rowStarts[0]
+		}
+		return wrapWhole(func(regs *vbuf.Regs, consume func() error) error {
+			for row := int64(0); row < rows; row++ {
+				base := base0 + int32(row)*rowLen
+				if oid != nil {
+					regs.I[oid.Idx] = row
+					regs.Null[oid.Null] = false
+				}
+				for i := range extracts {
+					e := &extracts[i]
+					start := base + offs[e.col]
+					end := fieldEnd(data, int(start), delim)
+					e.parse(regs, data[start:end])
+				}
+				if err := consume(); err != nil {
+					return err
+				}
+			}
+			return nil
+		}), nil
+	}
+
+	// Indexed path: per row, seek from the nearest sampled field position.
+	stride := st.stride
+	nSampled := st.nSampled
+	rowStarts := st.rowStarts
+	fieldPos := st.fieldPos
+	return wrapWhole(func(regs *vbuf.Regs, consume func() error) error {
+		for row := int64(0); row < rows; row++ {
+			if oid != nil {
+				regs.I[oid.Idx] = row
+				regs.Null[oid.Null] = false
+			}
+			// cursor tracks (field index, byte position) within the row so
+			// ascending extractions continue from where the last one ended.
+			curField := 0
+			curPos := int(rowStarts[row])
+			for i := range extracts {
+				e := &extracts[i]
+				// Jump via the structural index when it gets us closer.
+				if k := e.col / stride; k > 0 && k*stride > curField {
+					if k > nSampled {
+						k = nSampled
+					}
+					curField = k * stride
+					curPos = int(fieldPos[row*int64(nSampled)+int64(k-1)])
+				}
+				for curField < e.col {
+					nd := bytes.IndexByte(data[curPos:], delim)
+					if nd < 0 {
+						return fmt.Errorf("csvpg: %s row %d: missing column %d", ds.Name, row, e.col)
+					}
+					curPos += nd + 1
+					curField++
+				}
+				end := fieldEnd(data, curPos, delim)
+				e.parse(regs, data[curPos:end])
+			}
+			if err := consume(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}), nil
+}
+
+// fieldEnd returns the exclusive end of the field starting at pos.
+func fieldEnd(data []byte, pos int, delim byte) int {
+	for i := pos; i < len(data); i++ {
+		if data[i] == delim || data[i] == '\n' {
+			return i
+		}
+	}
+	return len(data)
+}
+
+// parserFor returns a type-specialized field parser writing into slot.
+func parserFor(slot vbuf.Slot, t types.Type) (func(regs *vbuf.Regs, raw []byte), error) {
+	switch t.Kind() {
+	case types.KindInt:
+		if slot.Class != vbuf.ClassInt {
+			return nil, fmt.Errorf("slot class mismatch for int column")
+		}
+		return func(regs *vbuf.Regs, raw []byte) {
+			regs.I[slot.Idx] = ParseInt(raw)
+			regs.Null[slot.Null] = false
+		}, nil
+	case types.KindFloat:
+		if slot.Class != vbuf.ClassFloat {
+			return nil, fmt.Errorf("slot class mismatch for float column")
+		}
+		return func(regs *vbuf.Regs, raw []byte) {
+			regs.F[slot.Idx] = ParseFloat(raw)
+			regs.Null[slot.Null] = false
+		}, nil
+	case types.KindBool:
+		if slot.Class != vbuf.ClassBool {
+			return nil, fmt.Errorf("slot class mismatch for bool column")
+		}
+		return func(regs *vbuf.Regs, raw []byte) {
+			regs.B[slot.Idx] = len(raw) > 0 && (raw[0] == 't' || raw[0] == 'T' || raw[0] == '1')
+			regs.Null[slot.Null] = false
+		}, nil
+	case types.KindString:
+		if slot.Class != vbuf.ClassString {
+			return nil, fmt.Errorf("slot class mismatch for string column")
+		}
+		return func(regs *vbuf.Regs, raw []byte) {
+			regs.S[slot.Idx] = string(raw)
+			regs.Null[slot.Null] = false
+		}, nil
+	}
+	return nil, fmt.Errorf("unsupported CSV column type %s", t)
+}
+
+// ParseInt parses a decimal integer without allocating.
+func ParseInt(b []byte) int64 { return fastparse.Int(b) }
+
+// ParseFloat parses a float without allocating for common shapes.
+func ParseFloat(b []byte) float64 { return fastparse.Float(b) }
+
+// CompileUnnest implements plugin.Input: CSV rows are flat, so there is
+// nothing to unnest lazily.
+func (p *Plugin) CompileUnnest(ds *plugin.Dataset, spec plugin.UnnestSpec) (plugin.UnnestFunc, error) {
+	return nil, plugin.ErrUnsupported
+}
+
+// decodeRow boxes one row into a record value.
+func (st *state) decodeRow(row int64, names []string) (types.Value, error) {
+	start := int(st.rowStarts[row])
+	end := len(st.data)
+	if row+1 < st.rows {
+		end = int(st.rowStarts[row+1]) - 1
+	} else if end > start && st.data[end-1] == '\n' {
+		end--
+	}
+	parts := bytes.Split(st.data[start:end], []byte{st.delim})
+	vals := make([]types.Value, len(st.schema.Fields))
+	for i, f := range st.schema.Fields {
+		if i >= len(parts) {
+			vals[i] = types.NullValue()
+			continue
+		}
+		raw := parts[i]
+		switch f.Type.Kind() {
+		case types.KindInt:
+			vals[i] = types.IntValue(ParseInt(raw))
+		case types.KindFloat:
+			vals[i] = types.FloatValue(ParseFloat(raw))
+		case types.KindBool:
+			vals[i] = types.BoolValue(len(raw) > 0 && (raw[0] == 't' || raw[0] == 'T' || raw[0] == '1'))
+		default:
+			vals[i] = types.StringValue(string(raw))
+		}
+	}
+	return types.RecordValue(names, vals), nil
+}
+
+// ReadRows implements plugin.Input: the general-purpose boxed decode used
+// by the baseline engines.
+func (p *Plugin) ReadRows(ds *plugin.Dataset) ([]types.Value, error) {
+	st, err := p.state(ds)
+	if err != nil {
+		return nil, err
+	}
+	names := st.schema.Names()
+	out := make([]types.Value, 0, st.rows)
+	for row := int64(0); row < st.rows; row++ {
+		rec, err := st.decodeRow(row, names)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}

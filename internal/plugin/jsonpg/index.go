@@ -1,0 +1,355 @@
+// Package jsonpg is the JSON input plug-in (§5.2, Figure 4). On the first
+// (cold) access to a JSON dataset it validates the input and builds a
+// two-level structural index:
+//
+//   - Level 1 stores, per object, one entry per named field token — its
+//     value's byte range in the file and its type — at every nesting depth
+//     except inside arrays (array contents are left to the Unnest code
+//     path, which applies the same action to every element and therefore
+//     needs no per-element index).
+//   - Level 0 is an associative array mapping field paths (including
+//     nested-record paths like "c.d.d1") to their Level-1 entry ordinal,
+//     giving deterministic lookups despite JSON's free field order.
+//
+// If every object turns out to have the same fields in the same order
+// (machine-generated data), the plug-in drops Level 0 and keeps a single
+// shared path→ordinal table — the "deterministic" compressed index.
+package jsonpg
+
+import (
+	"fmt"
+
+	"proteus/internal/plugin"
+	"proteus/internal/stats"
+	"proteus/internal/types"
+)
+
+// Token types recorded in Level-1 entries.
+const (
+	tokNumber byte = iota
+	tokString
+	tokTrue
+	tokFalse
+	tokNull
+	tokObject
+	tokArray
+)
+
+// entry is one Level-1 token entry: the byte range of a field's value and
+// its type. For strings the range excludes the quotes.
+type entry struct {
+	start, end uint32
+	typ        byte
+}
+
+type state struct {
+	data   []byte
+	schema *types.RecordType
+	nObjs  int64
+
+	// objStart holds the byte offset of each object's opening brace.
+	objStart []uint32
+
+	// Level 1.
+	entries  []entry
+	entryOff []uint32 // per object: entries[entryOff[i]:entryOff[i+1]]
+
+	// Field path dictionary: dotted path → field id.
+	fieldIDs map[string]int
+	paths    []string // id → path
+
+	// Level 0: per object, fieldID → entry ordinal within the object
+	// (-1 when absent). Laid out as a matrix nObjs×len(paths).
+	level0 []int32
+
+	// Deterministic mode: all objects share the same field sequence, so a
+	// single shared table replaces Level 0.
+	deterministic bool
+	detOrd        []int32 // fieldID → ordinal
+
+	// Sequential-lookup ablation (DisableLevel0): per-object sequential
+	// comparison over (fieldID, ordinal) pairs instead of associative lookup.
+	noLevel0 bool
+	pairs    []int32
+	pairOff  []uint32
+}
+
+// IndexBytes reports the memory footprint of the structural index, used by
+// experiments that compare index size to file size (§7.1).
+func (st *state) IndexBytes() int64 {
+	n := int64(len(st.entries))*9 + int64(len(st.entryOff))*4 + int64(len(st.objStart))*4
+	n += int64(len(st.level0)) * 4
+	n += int64(len(st.detOrd)) * 4
+	n += int64(len(st.pairs))*4 + int64(len(st.pairOff))*4
+	return n
+}
+
+// indexBuilder accumulates the structural index in one validating pass.
+type indexBuilder struct {
+	data     []byte
+	st       *state
+	objPairs []int32 // scratch: interleaved (fieldID, ordinal) for current object
+	det      bool    // still deterministic so far
+	detSeq   []int32 // field-id sequence of the first object
+	sample   int     // stats sampling stride
+	tbl      *stats.Table
+}
+
+func (p *Plugin) buildIndex(env *plugin.Env, ds *plugin.Dataset, data []byte) (*state, error) {
+	st := &state{
+		data:     data,
+		fieldIDs: map[string]int{},
+		noLevel0: ds.Opts.DisableLevel0,
+	}
+	b := &indexBuilder{data: data, st: st, det: true, sample: env.SampleEvery, tbl: env.Stats.Table(ds.Name)}
+
+	// Temporary per-object pair lists; the Level-0 matrix is materialized
+	// once the field dictionary is complete.
+	var allPairs [][]int32
+
+	pos := skipWS(data, 0)
+	topArray := false
+	arrayClosed := false
+	if pos < len(data) && data[pos] == '[' {
+		topArray = true
+		pos++
+	}
+	for {
+		pos = skipWS(data, pos)
+		if pos >= len(data) {
+			break
+		}
+		if topArray {
+			if data[pos] == ']' {
+				pos++
+				arrayClosed = true
+				break
+			}
+			if data[pos] == ',' {
+				pos = skipWS(data, pos+1)
+			}
+		}
+		if pos >= len(data) {
+			break
+		}
+		if data[pos] != '{' {
+			return nil, fmt.Errorf("jsonpg: %s: offset %d: expected '{', found %q", ds.Name, pos, data[pos])
+		}
+		st.entryOff = append(st.entryOff, uint32(len(st.entries)))
+		st.objStart = append(st.objStart, uint32(pos))
+		b.objPairs = b.objPairs[:0]
+		end, err := b.object(pos, "")
+		if err != nil {
+			return nil, fmt.Errorf("jsonpg: %s: %w", ds.Name, err)
+		}
+		pos = end
+		if b.det {
+			seq := make([]int32, 0, len(b.objPairs)/2)
+			for i := 0; i < len(b.objPairs); i += 2 {
+				seq = append(seq, b.objPairs[i])
+			}
+			if st.nObjs == 0 {
+				b.detSeq = seq
+			} else if !eqInt32(seq, b.detSeq) {
+				b.det = false
+			}
+		}
+		allPairs = append(allPairs, append([]int32(nil), b.objPairs...))
+		if b.sample > 0 && st.nObjs%int64(b.sample) == 0 {
+			b.sampleObject(int(st.nObjs))
+		}
+		st.nObjs++
+	}
+	if topArray && !arrayClosed {
+		return nil, fmt.Errorf("jsonpg: %s: unterminated top-level array", ds.Name)
+	}
+	st.entryOff = append(st.entryOff, uint32(len(st.entries)))
+	b.tbl.Rows = st.nObjs
+
+	st.deterministic = b.det && st.nObjs > 0 && !ds.Opts.DisableDeterministic && !st.noLevel0
+	switch {
+	case st.deterministic:
+		// Drop Level 0: one shared fieldID → ordinal table suffices.
+		st.detOrd = make([]int32, len(st.paths))
+		for i := range st.detOrd {
+			st.detOrd[i] = -1
+		}
+		for i := 0; i < len(allPairs[0]); i += 2 {
+			st.detOrd[allPairs[0][i]] = allPairs[0][i+1]
+		}
+	case st.noLevel0:
+		// Ablation: no associative lookup; every field access scans the
+		// object's (fieldID, ordinal) pairs sequentially, mimicking the
+		// label-comparison walk the paper describes for index-without-Level-0.
+		for _, pairsOfObj := range allPairs {
+			st.pairOff = append(st.pairOff, uint32(len(st.pairs)))
+			st.pairs = append(st.pairs, pairsOfObj...)
+		}
+		st.pairOff = append(st.pairOff, uint32(len(st.pairs)))
+	default:
+		st.level0 = buildLevel0(allPairs, len(st.paths))
+	}
+	return st, nil
+}
+
+func buildLevel0(allPairs [][]int32, nFields int) []int32 {
+	m := make([]int32, len(allPairs)*nFields)
+	for i := range m {
+		m[i] = -1
+	}
+	for obj, pairs := range allPairs {
+		base := obj * nFields
+		for i := 0; i < len(pairs); i += 2 {
+			m[base+int(pairs[i])] = pairs[i+1]
+		}
+	}
+	return m
+}
+
+func eqInt32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// fieldID interns a dotted field path.
+func (b *indexBuilder) fieldID(path string) int {
+	if id, ok := b.st.fieldIDs[path]; ok {
+		return id
+	}
+	id := len(b.st.paths)
+	b.st.fieldIDs[path] = id
+	b.st.paths = append(b.st.paths, path)
+	// A path first seen after object 0 breaks determinism.
+	if b.st.nObjs > 0 {
+		b.det = false
+	}
+	return id
+}
+
+// object validates and indexes one JSON object starting at pos ('{'),
+// registering entries for its fields under the dotted prefix. It returns
+// the position just past the closing brace.
+func (b *indexBuilder) object(pos int, prefix string) (int, error) {
+	data := b.data
+	pos++ // consume '{'
+	first := true
+	for {
+		pos = skipWS(data, pos)
+		if pos >= len(data) {
+			return 0, fmt.Errorf("offset %d: unterminated object", pos)
+		}
+		if data[pos] == '}' {
+			return pos + 1, nil
+		}
+		if !first {
+			if data[pos] != ',' {
+				return 0, fmt.Errorf("offset %d: expected ',' in object, found %q", pos, data[pos])
+			}
+			pos = skipWS(data, pos+1)
+		}
+		first = false
+		if pos >= len(data) || data[pos] != '"' {
+			return 0, fmt.Errorf("offset %d: expected field name", pos)
+		}
+		nameStart := pos + 1
+		nameEnd, err := scanString(data, pos)
+		if err != nil {
+			return 0, err
+		}
+		name := string(data[nameStart : nameEnd-1])
+		pos = skipWS(data, nameEnd)
+		if pos >= len(data) || data[pos] != ':' {
+			return 0, fmt.Errorf("offset %d: expected ':' after field name", pos)
+		}
+		pos = skipWS(data, pos+1)
+		path := name
+		if prefix != "" {
+			path = prefix + "." + name
+		}
+		valStart := pos
+		var typ byte
+		switch {
+		case pos >= len(data):
+			return 0, fmt.Errorf("offset %d: missing value", pos)
+		case data[pos] == '{':
+			typ = tokObject
+		case data[pos] == '[':
+			typ = tokArray
+		case data[pos] == '"':
+			typ = tokString
+		case data[pos] == 't':
+			typ = tokTrue
+		case data[pos] == 'f':
+			typ = tokFalse
+		case data[pos] == 'n':
+			typ = tokNull
+		default:
+			typ = tokNumber
+		}
+		// Record the entry ordinal before descending so nested-record
+		// sub-entries come after their parent (document order).
+		ord := int32(uint32(len(b.st.entries)) - b.st.entryOff[len(b.st.entryOff)-1])
+		fid := b.fieldID(path)
+		b.objPairs = append(b.objPairs, int32(fid), ord)
+
+		switch typ {
+		case tokObject:
+			// Placeholder entry; patched with the real end after descent.
+			b.st.entries = append(b.st.entries, entry{start: uint32(valStart), typ: typ})
+			idx := len(b.st.entries) - 1
+			end, err := b.object(pos, path)
+			if err != nil {
+				return 0, err
+			}
+			b.st.entries[idx].end = uint32(end)
+			pos = end
+		case tokArray:
+			end, err := scanValue(data, pos)
+			if err != nil {
+				return 0, err
+			}
+			b.st.entries = append(b.st.entries, entry{start: uint32(valStart), end: uint32(end), typ: typ})
+			pos = end
+		case tokString:
+			end, err := scanString(data, pos)
+			if err != nil {
+				return 0, err
+			}
+			// Store the range without the quotes.
+			b.st.entries = append(b.st.entries, entry{start: uint32(valStart + 1), end: uint32(end - 1), typ: typ})
+			pos = end
+		default:
+			end, err := scanScalar(data, pos)
+			if err != nil {
+				return 0, err
+			}
+			b.st.entries = append(b.st.entries, entry{start: uint32(valStart), end: uint32(end), typ: typ})
+			pos = end
+		}
+	}
+}
+
+// sampleObject feeds the just-indexed object's numeric fields into the
+// statistics table (cold-access sampling).
+func (b *indexBuilder) sampleObject(obj int) {
+	st := b.st
+	lo := st.entryOff[obj]
+	hi := uint32(len(st.entries))
+	// Pairs of the current object are still in objPairs.
+	for i := 0; i < len(b.objPairs); i += 2 {
+		fid, ord := b.objPairs[i], b.objPairs[i+1]
+		e := st.entries[lo+uint32(ord)]
+		if e.typ != tokNumber || lo+uint32(ord) >= hi {
+			continue
+		}
+		v := parseNumber(st.data[e.start:e.end])
+		b.tbl.Col(st.paths[fid]).Observe(v)
+	}
+}

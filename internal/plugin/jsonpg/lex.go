@@ -1,0 +1,175 @@
+package jsonpg
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"proteus/internal/fastparse"
+)
+
+// skipWS advances past JSON whitespace.
+func skipWS(data []byte, pos int) int {
+	for pos < len(data) {
+		switch data[pos] {
+		case ' ', '\t', '\n', '\r':
+			pos++
+		default:
+			return pos
+		}
+	}
+	return pos
+}
+
+// scanString scans a JSON string starting at the opening quote and returns
+// the position just past the closing quote.
+func scanString(data []byte, pos int) (int, error) {
+	if pos >= len(data) || data[pos] != '"' {
+		return 0, fmt.Errorf("offset %d: expected string", pos)
+	}
+	i := pos + 1
+	for i < len(data) {
+		switch data[i] {
+		case '\\':
+			i += 2
+		case '"':
+			return i + 1, nil
+		default:
+			i++
+		}
+	}
+	return 0, fmt.Errorf("offset %d: unterminated string", pos)
+}
+
+// scanScalar scans a number / true / false / null and returns the position
+// just past it.
+func scanScalar(data []byte, pos int) (int, error) {
+	i := pos
+	for i < len(data) {
+		switch data[i] {
+		case ',', '}', ']', ' ', '\t', '\n', '\r':
+			if i == pos {
+				return 0, fmt.Errorf("offset %d: empty scalar", pos)
+			}
+			return i, nil
+		default:
+			i++
+		}
+	}
+	return i, nil
+}
+
+// scanValue scans any JSON value (used for arrays, whose contents are not
+// indexed) and returns the position just past it.
+func scanValue(data []byte, pos int) (int, error) {
+	pos = skipWS(data, pos)
+	if pos >= len(data) {
+		return 0, fmt.Errorf("offset %d: missing value", pos)
+	}
+	switch data[pos] {
+	case '"':
+		return scanString(data, pos)
+	case '{':
+		return scanContainer(data, pos, '{', '}')
+	case '[':
+		return scanContainer(data, pos, '[', ']')
+	default:
+		return scanScalar(data, pos)
+	}
+}
+
+// scanContainer skips a balanced {...} or [...] while respecting strings.
+func scanContainer(data []byte, pos int, open, close byte) (int, error) {
+	depth := 0
+	i := pos
+	for i < len(data) {
+		switch data[i] {
+		case '"':
+			end, err := scanString(data, i)
+			if err != nil {
+				return 0, err
+			}
+			i = end
+		case open:
+			depth++
+			i++
+		case close:
+			depth--
+			i++
+			if depth == 0 {
+				return i, nil
+			}
+		default:
+			i++
+		}
+	}
+	return 0, fmt.Errorf("offset %d: unterminated %c...%c", pos, open, close)
+}
+
+// parseNumber parses a JSON number's bytes as a float.
+func parseNumber(b []byte) float64 { return fastparse.Float(b) }
+
+// looksInt reports whether the number bytes hold an integer literal.
+func looksInt(b []byte) bool {
+	for _, c := range b {
+		if c == '.' || c == 'e' || c == 'E' {
+			return false
+		}
+	}
+	return true
+}
+
+// unescape decodes a JSON string body (the range between the quotes). The
+// fast path — no backslash — returns a direct copy.
+func unescape(b []byte) string {
+	hasEsc := false
+	for _, c := range b {
+		if c == '\\' {
+			hasEsc = true
+			break
+		}
+	}
+	if !hasEsc {
+		return string(b)
+	}
+	var sb strings.Builder
+	sb.Grow(len(b))
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		if c != '\\' || i+1 >= len(b) {
+			sb.WriteByte(c)
+			continue
+		}
+		i++
+		switch b[i] {
+		case 'n':
+			sb.WriteByte('\n')
+		case 't':
+			sb.WriteByte('\t')
+		case 'r':
+			sb.WriteByte('\r')
+		case 'b':
+			sb.WriteByte('\b')
+		case 'f':
+			sb.WriteByte('\f')
+		case '/':
+			sb.WriteByte('/')
+		case '\\':
+			sb.WriteByte('\\')
+		case '"':
+			sb.WriteByte('"')
+		case 'u':
+			if i+4 < len(b) {
+				if r, err := strconv.ParseUint(string(b[i+1:i+5]), 16, 32); err == nil {
+					sb.WriteRune(rune(r))
+					i += 4
+					continue
+				}
+			}
+			sb.WriteByte('u')
+		default:
+			sb.WriteByte(b[i])
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,75 @@
+package jsonpg
+
+import "testing"
+
+func TestUnescape(t *testing.T) {
+	cases := map[string]string{
+		`plain`:        "plain",
+		`a\nb`:         "a\nb",
+		`tab\there`:    "tab\there",
+		`q\"uote`:      `q"uote`,
+		`back\\slash`:  `back\slash`,
+		`uni\u0041end`: "uniAend",
+		`é`:            "é",
+		`slash\/ok`:    "slash/ok",
+		`cr\r`:         "cr\r",
+	}
+	for in, want := range cases {
+		if got := unescape([]byte(in)); got != want {
+			t.Errorf("unescape(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestScanValueShapes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int // expected end position
+	}{
+		{`123`, 3},
+		{`-1.5e3`, 6},
+		{`"str"`, 5},
+		{`true`, 4},
+		{`[1, [2, 3], {"a": "]"}]`, 23},
+		{`{"a": {"b": [1]}}`, 17},
+		{`"esc\"]"`, 8},
+	}
+	for _, c := range cases {
+		end, err := scanValue([]byte(c.in), 0)
+		if err != nil {
+			t.Errorf("scanValue(%q): %v", c.in, err)
+			continue
+		}
+		if end != c.want {
+			t.Errorf("scanValue(%q) end = %d, want %d", c.in, end, c.want)
+		}
+	}
+}
+
+func TestScanValueErrors(t *testing.T) {
+	for _, in := range []string{`"unterminated`, `[1, 2`, `{"a": 1`, ``} {
+		if _, err := scanValue([]byte(in), 0); err == nil {
+			t.Errorf("scanValue(%q) should fail", in)
+		}
+	}
+}
+
+func TestLooksInt(t *testing.T) {
+	if !looksInt([]byte("123")) || !looksInt([]byte("-7")) {
+		t.Error("integers misclassified")
+	}
+	if looksInt([]byte("1.5")) || looksInt([]byte("1e3")) || looksInt([]byte("2E-1")) {
+		t.Error("floats misclassified")
+	}
+}
+
+func TestParseValueNumbers(t *testing.T) {
+	v, _, err := parseValue([]byte("42"), 0)
+	if err != nil || v.Kind.String() != "int" || v.AsInt() != 42 {
+		t.Errorf("42 = %v (%v)", v, err)
+	}
+	v, _, err = parseValue([]byte("2.5"), 0)
+	if err != nil || v.Kind.String() != "float" || v.F != 2.5 {
+		t.Errorf("2.5 = %v (%v)", v, err)
+	}
+}

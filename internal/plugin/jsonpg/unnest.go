@@ -1,0 +1,243 @@
+package jsonpg
+
+import (
+	"fmt"
+
+	"proteus/internal/fastparse"
+	"proteus/internal/plugin"
+	"proteus/internal/types"
+	"proteus/internal/vbuf"
+)
+
+// CompileUnnest implements plugin.Input: the unnestInit / unnestHasNext /
+// unnestGetNext triple of Table 2, collapsed into one compiled element
+// loop. The collection is located through the structural index using the
+// parent record's OID, and its elements are parsed lazily — the same action
+// applies to every element, so no per-element index is needed (Figure 4).
+func (p *Plugin) CompileUnnest(ds *plugin.Dataset, spec plugin.UnnestSpec) (plugin.UnnestFunc, error) {
+	st, err := p.openState(ds)
+	if err != nil {
+		return nil, err
+	}
+	path := plugin.FieldPathString(spec.Path)
+	fidInt, known := st.fieldIDs[path]
+	if !known {
+		return nil, fmt.Errorf("jsonpg: dataset %q has no field %q to unnest", ds.Name, path)
+	}
+	fid := int32(fidInt)
+	lookup := st.compileLookup()
+	data := st.data
+	entries := st.entries
+	entryOff := st.entryOff
+	oid := spec.OIDSlot
+
+	// Compile the per-element action: scalar elements fill ElemSlot;
+	// record elements fill one slot per requested element field.
+	type elemExtract struct {
+		name string
+		rest []string // nested path inside the element, if any
+		slot vbuf.Slot
+		fill func(regs *vbuf.Regs, data []byte, start, end int) error
+	}
+	var elemExtracts []elemExtract
+	for _, req := range spec.ElemFields {
+		if len(req.Path) == 0 {
+			return nil, fmt.Errorf("jsonpg: empty element field path")
+		}
+		fill, err := elemFiller(req.Slot)
+		if err != nil {
+			return nil, err
+		}
+		elemExtracts = append(elemExtracts, elemExtract{name: req.Path[0], rest: req.Path[1:], slot: req.Slot, fill: fill})
+	}
+	var scalarFill func(regs *vbuf.Regs, data []byte, start, end int) error
+	if spec.ElemSlot != nil {
+		f, err := elemFiller(*spec.ElemSlot)
+		if err != nil {
+			return nil, err
+		}
+		scalarFill = f
+	}
+
+	return func(regs *vbuf.Regs, consume func() error) error {
+		obj := regs.I[oid.Idx]
+		ord := lookup(obj, fid)
+		if ord < 0 {
+			return nil // absent collection: zero elements
+		}
+		e := entries[entryOff[obj]+uint32(ord)]
+		if e.typ != tokArray {
+			return nil
+		}
+		pos := int(e.start) + 1 // past '['
+		end := int(e.end)
+		first := true
+		for {
+			pos = skipWS(data, pos)
+			if pos >= end-1 || data[pos] == ']' {
+				return nil
+			}
+			if !first {
+				if data[pos] != ',' {
+					return fmt.Errorf("jsonpg: offset %d: malformed array", pos)
+				}
+				pos = skipWS(data, pos+1)
+			}
+			first = false
+			elemStart := pos
+			elemEnd, err := scanValue(data, pos)
+			if err != nil {
+				return err
+			}
+			pos = elemEnd
+			if len(elemExtracts) > 0 {
+				for _, ex := range elemExtracts {
+					vs, ve, typ, found, err := findElemField(data, elemStart, elemEnd, ex.name, ex.rest)
+					if err != nil {
+						return err
+					}
+					if !found || typ == tokNull {
+						regs.Null[ex.slot.Null] = true
+						continue
+					}
+					if err := ex.fill(regs, data, vs, ve); err != nil {
+						return err
+					}
+				}
+			} else if scalarFill != nil {
+				s, e2 := elemStart, elemEnd
+				if data[elemStart] == '"' {
+					s, e2 = elemStart+1, elemEnd-1
+				}
+				if err := scalarFill(regs, data, s, e2); err != nil {
+					return err
+				}
+			}
+			if err := consume(); err != nil {
+				return err
+			}
+		}
+	}, nil
+}
+
+// elemFiller returns a slot writer specialized to the slot's class; raw
+// bytes are the value token (strings without quotes).
+func elemFiller(slot vbuf.Slot) (func(regs *vbuf.Regs, data []byte, start, end int) error, error) {
+	switch slot.Class {
+	case vbuf.ClassInt:
+		return func(regs *vbuf.Regs, data []byte, start, end int) error {
+			regs.I[slot.Idx] = fastparse.Int(data[start:end])
+			regs.Null[slot.Null] = false
+			return nil
+		}, nil
+	case vbuf.ClassFloat:
+		return func(regs *vbuf.Regs, data []byte, start, end int) error {
+			regs.F[slot.Idx] = fastparse.Float(data[start:end])
+			regs.Null[slot.Null] = false
+			return nil
+		}, nil
+	case vbuf.ClassBool:
+		return func(regs *vbuf.Regs, data []byte, start, end int) error {
+			regs.B[slot.Idx] = start < end && data[start] == 't'
+			regs.Null[slot.Null] = false
+			return nil
+		}, nil
+	case vbuf.ClassString:
+		return func(regs *vbuf.Regs, data []byte, start, end int) error {
+			regs.S[slot.Idx] = unescape(data[start:end])
+			regs.Null[slot.Null] = false
+			return nil
+		}, nil
+	default:
+		return func(regs *vbuf.Regs, data []byte, start, end int) error {
+			v, _, err := parseValue(data, start)
+			if err != nil {
+				return err
+			}
+			regs.V[slot.Idx] = v
+			regs.Null[slot.Null] = false
+			return nil
+		}, nil
+	}
+}
+
+// findElemField scans an element object's keys for name (then follows the
+// nested rest path), returning the value token's range (strings unquoted).
+func findElemField(data []byte, start, end int, name string, rest []string) (vs, ve int, typ byte, found bool, err error) {
+	pos := skipWS(data, start)
+	if pos >= end || data[pos] != '{' {
+		return 0, 0, 0, false, nil
+	}
+	pos++
+	first := true
+	for {
+		pos = skipWS(data, pos)
+		if pos >= end || data[pos] == '}' {
+			return 0, 0, 0, false, nil
+		}
+		if !first {
+			if data[pos] != ',' {
+				return 0, 0, 0, false, fmt.Errorf("jsonpg: offset %d: malformed element", pos)
+			}
+			pos = skipWS(data, pos+1)
+		}
+		first = false
+		if pos >= end || data[pos] != '"' {
+			return 0, 0, 0, false, fmt.Errorf("jsonpg: offset %d: expected field name", pos)
+		}
+		nameEnd, err := scanString(data, pos)
+		if err != nil {
+			return 0, 0, 0, false, err
+		}
+		key := data[pos+1 : nameEnd-1]
+		pos = skipWS(data, nameEnd)
+		if pos >= end || data[pos] != ':' {
+			return 0, 0, 0, false, fmt.Errorf("jsonpg: offset %d: expected ':'", pos)
+		}
+		pos = skipWS(data, pos+1)
+		valStart := pos
+		valEnd, err := scanValue(data, pos)
+		if err != nil {
+			return 0, 0, 0, false, err
+		}
+		if string(key) == name {
+			if len(rest) > 0 {
+				return findElemField(data, valStart, valEnd, rest[0], rest[1:])
+			}
+			switch data[valStart] {
+			case '"':
+				return valStart + 1, valEnd - 1, tokString, true, nil
+			case '{':
+				return valStart, valEnd, tokObject, true, nil
+			case '[':
+				return valStart, valEnd, tokArray, true, nil
+			case 't':
+				return valStart, valEnd, tokTrue, true, nil
+			case 'f':
+				return valStart, valEnd, tokFalse, true, nil
+			case 'n':
+				return valStart, valEnd, tokNull, true, nil
+			default:
+				return valStart, valEnd, tokNumber, true, nil
+			}
+		}
+		pos = valEnd
+	}
+}
+
+// ReadRows implements plugin.Input: full boxed decode of every object.
+func (p *Plugin) ReadRows(ds *plugin.Dataset) ([]types.Value, error) {
+	st, err := p.openState(ds)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]types.Value, 0, st.nObjs)
+	for obj := int64(0); obj < st.nObjs; obj++ {
+		v, _, err := parseValue(st.data, int(st.objStart[obj]))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,150 @@
+package jsonpg
+
+import (
+	"fmt"
+
+	"proteus/internal/fastparse"
+	"proteus/internal/types"
+)
+
+// parseValue parses any JSON value starting at pos into a boxed
+// types.Value, returning the position just past it. Numbers become Int when
+// the literal has no fraction or exponent, Float otherwise; arrays become
+// lists. This is the general-purpose decode used for schema inference,
+// ReadRows, and boxed (nested) slot extraction.
+func parseValue(data []byte, pos int) (types.Value, int, error) {
+	pos = skipWS(data, pos)
+	if pos >= len(data) {
+		return types.Value{}, 0, fmt.Errorf("offset %d: missing value", pos)
+	}
+	switch data[pos] {
+	case '{':
+		return parseObjectValue(data, pos)
+	case '[':
+		return parseArrayValue(data, pos)
+	case '"':
+		end, err := scanString(data, pos)
+		if err != nil {
+			return types.Value{}, 0, err
+		}
+		return types.StringValue(unescape(data[pos+1 : end-1])), end, nil
+	case 't':
+		if pos+4 <= len(data) && string(data[pos:pos+4]) == "true" {
+			return types.BoolValue(true), pos + 4, nil
+		}
+		return types.Value{}, 0, fmt.Errorf("offset %d: malformed literal", pos)
+	case 'f':
+		if pos+5 <= len(data) && string(data[pos:pos+5]) == "false" {
+			return types.BoolValue(false), pos + 5, nil
+		}
+		return types.Value{}, 0, fmt.Errorf("offset %d: malformed literal", pos)
+	case 'n':
+		if pos+4 <= len(data) && string(data[pos:pos+4]) == "null" {
+			return types.NullValue(), pos + 4, nil
+		}
+		return types.Value{}, 0, fmt.Errorf("offset %d: malformed literal", pos)
+	default:
+		end, err := scanScalar(data, pos)
+		if err != nil {
+			return types.Value{}, 0, err
+		}
+		raw := data[pos:end]
+		if looksInt(raw) {
+			return types.IntValue(fastparse.Int(raw)), end, nil
+		}
+		return types.FloatValue(fastparse.Float(raw)), end, nil
+	}
+}
+
+func parseObjectValue(data []byte, pos int) (types.Value, int, error) {
+	pos++ // '{'
+	var names []string
+	var vals []types.Value
+	first := true
+	for {
+		pos = skipWS(data, pos)
+		if pos >= len(data) {
+			return types.Value{}, 0, fmt.Errorf("offset %d: unterminated object", pos)
+		}
+		if data[pos] == '}' {
+			return types.RecordValue(names, vals), pos + 1, nil
+		}
+		if !first {
+			if data[pos] != ',' {
+				return types.Value{}, 0, fmt.Errorf("offset %d: expected ',' in object", pos)
+			}
+			pos = skipWS(data, pos+1)
+		}
+		first = false
+		if pos >= len(data) || data[pos] != '"' {
+			return types.Value{}, 0, fmt.Errorf("offset %d: expected field name", pos)
+		}
+		nameEnd, err := scanString(data, pos)
+		if err != nil {
+			return types.Value{}, 0, err
+		}
+		name := unescape(data[pos+1 : nameEnd-1])
+		pos = skipWS(data, nameEnd)
+		if pos >= len(data) || data[pos] != ':' {
+			return types.Value{}, 0, fmt.Errorf("offset %d: expected ':'", pos)
+		}
+		v, end, err := parseValue(data, pos+1)
+		if err != nil {
+			return types.Value{}, 0, err
+		}
+		names = append(names, name)
+		vals = append(vals, v)
+		pos = end
+	}
+}
+
+func parseArrayValue(data []byte, pos int) (types.Value, int, error) {
+	pos++ // '['
+	var elems []types.Value
+	first := true
+	for {
+		pos = skipWS(data, pos)
+		if pos >= len(data) {
+			return types.Value{}, 0, fmt.Errorf("offset %d: unterminated array", pos)
+		}
+		if data[pos] == ']' {
+			return types.ListValue(elems...), pos + 1, nil
+		}
+		if !first {
+			if data[pos] != ',' {
+				return types.Value{}, 0, fmt.Errorf("offset %d: expected ',' in array", pos)
+			}
+			pos++
+		}
+		first = false
+		v, end, err := parseValue(data, pos)
+		if err != nil {
+			return types.Value{}, 0, err
+		}
+		elems = append(elems, v)
+		pos = end
+	}
+}
+
+// valueOfEntry boxes one Level-1 entry's token.
+func valueOfEntry(data []byte, e entry) (types.Value, error) {
+	switch e.typ {
+	case tokNumber:
+		raw := data[e.start:e.end]
+		if looksInt(raw) {
+			return types.IntValue(fastparse.Int(raw)), nil
+		}
+		return types.FloatValue(fastparse.Float(raw)), nil
+	case tokString:
+		return types.StringValue(unescape(data[e.start:e.end])), nil
+	case tokTrue:
+		return types.BoolValue(true), nil
+	case tokFalse:
+		return types.BoolValue(false), nil
+	case tokNull:
+		return types.NullValue(), nil
+	default:
+		v, _, err := parseValue(data, int(e.start))
+		return v, err
+	}
+}

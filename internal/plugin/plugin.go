@@ -1,0 +1,193 @@
+// Package plugin defines the input plug-in API of the paper (Table 2).
+// Input plug-ins encapsulate data *format* heterogeneity: each one knows how
+// to open a dataset of its format, build the format's structural index,
+// gather statistics on cold access, and — most importantly — emit the
+// specialized data-access code for a scan or an unnest at query compile
+// time.
+//
+// Correspondence with the paper's plug-in API (Table 2):
+//
+//	generate()                    → CompileScan (the scan loop + field
+//	                                extraction specialized to the query's
+//	                                field list and the dataset's schema)
+//	readValue() / readPath()      → the per-field extraction closures that
+//	                                CompileScan installs for each FieldReq
+//	unnestInit/HasNext/GetNext()  → CompileUnnest (one closure that drives
+//	                                the element loop of a nested collection)
+//	hashValue() / flushValue()    → handled by the expression compiler in
+//	                                internal/exec, which reads the typed
+//	                                virtual buffers the plug-in filled
+//
+// Every plug-in also produces an object identifier (OID) per record — the
+// row counter for flat data, the object ordinal for JSON — which later
+// stages use to re-invoke the plug-in lazily (e.g. to unnest a collection
+// of the current record without materializing it).
+package plugin
+
+import (
+	"errors"
+	"fmt"
+
+	"proteus/internal/stats"
+	"proteus/internal/storage"
+	"proteus/internal/types"
+	"proteus/internal/vbuf"
+)
+
+// Env carries the engine services a plug-in may use.
+type Env struct {
+	Mem   *storage.Manager
+	Stats *stats.Store
+	// SampleEvery is the statistics sampling stride during cold access:
+	// every SampleEvery-th record contributes to min/max statistics. The
+	// paper lets plug-in developers calibrate this (§5.2); 0 disables
+	// sampling.
+	SampleEvery int
+}
+
+// Options carries per-dataset, format-specific settings.
+type Options struct {
+	// CSV options.
+	Delimiter   byte // field delimiter, ',' by default
+	Header      bool // first line holds column names
+	IndexStride int  // structural index keeps every Nth field position (default 8)
+
+	// Binary options.
+	Columnar bool // column-major layout (MonetDB-like) vs row-major
+
+	// JSON options.
+	DisableLevel0        bool // ablation: force sequential Level-1 lookup
+	DisableDeterministic bool // ablation: never drop Level 0 for fixed-schema data
+}
+
+// Dataset is a registered input: a name, a file (real or in-memory), a
+// format, and a schema. State is owned by the plug-in after Open.
+type Dataset struct {
+	Name   string
+	Path   string
+	Format string
+	Schema *types.RecordType
+	Opts   Options
+
+	// State holds the plug-in's open state: file image, structural index,
+	// parsed headers. Nil until Open succeeds.
+	State any
+}
+
+// FieldReq asks the plug-in to place one (possibly nested, dotted) field of
+// each record into a virtual-buffer slot.
+type FieldReq struct {
+	Path []string
+	Slot vbuf.Slot
+	Type types.Type
+}
+
+// ScanSpec describes what a scan must extract.
+type ScanSpec struct {
+	Fields []FieldReq
+	// OIDSlot, when non-nil, receives each record's OID (an int64).
+	OIDSlot *vbuf.Slot
+}
+
+// RunFunc drives a compiled scan: it loops over the dataset, fills the
+// requested slots for each record, and calls consume once per record.
+type RunFunc func(regs *vbuf.Regs, consume func() error) error
+
+// UnnestSpec describes iteration over a nested collection field of the
+// *current* record (identified by the OID previously placed in OIDSlot).
+type UnnestSpec struct {
+	OIDSlot vbuf.Slot
+	Path    []string
+	// For collections of records, ElemFields lists the element fields to
+	// extract per element. For scalar elements, ElemSlot receives the value.
+	ElemFields []FieldReq
+	ElemSlot   *vbuf.Slot
+	ElemType   types.Type
+}
+
+// UnnestFunc iterates the collection of the current record, filling element
+// slots and calling consume once per element.
+type UnnestFunc func(regs *vbuf.Regs, consume func() error) error
+
+// ErrUnsupported is returned by plug-ins for operations their format cannot
+// provide (e.g. lazy unnest on flat CSV data); callers fall back to the
+// generic boxed-value path.
+var ErrUnsupported = errors.New("plugin: operation not supported by this format")
+
+// Input is the interface every input plug-in implements. Adding support for
+// a new data format to the engine means implementing Input and registering
+// it (§5.2 "Adding More Inputs").
+type Input interface {
+	// Format returns the format tag this plug-in serves ("csv", "json", ...).
+	Format() string
+
+	// Open loads the dataset: reads/pins the file image via env.Mem, builds
+	// the format's structural index, infers the schema if none was declared,
+	// and records statistics into env.Stats (cold-access gathering, §5.2).
+	Open(env *Env, ds *Dataset) error
+
+	// Schema returns the dataset's record schema (available after Open).
+	Schema(ds *Dataset) *types.RecordType
+
+	// Cardinality returns the number of records (available after Open).
+	Cardinality(ds *Dataset) int64
+
+	// FieldCost returns the relative per-field access cost of this format,
+	// used by the cost formulas the plug-in provides to the optimizer.
+	FieldCost() float64
+
+	// CompileScan returns the specialized scan code for this dataset and
+	// field list — the plug-in's generate() step.
+	CompileScan(ds *Dataset, spec ScanSpec) (RunFunc, error)
+
+	// CompileUnnest returns specialized element-iteration code for a nested
+	// collection, or ErrUnsupported for flat formats.
+	CompileUnnest(ds *Dataset, spec UnnestSpec) (UnnestFunc, error)
+
+	// ReadRows decodes the entire dataset into boxed record values. This is
+	// the deliberately general-purpose path the baseline engines use to
+	// ingest data, and what Proteus itself uses only for nested values that
+	// must be materialized.
+	ReadRows(ds *Dataset) ([]types.Value, error)
+}
+
+// Registry maps format tags to plug-ins.
+type Registry struct {
+	inputs map[string]Input
+}
+
+// NewRegistry returns an empty plug-in registry.
+func NewRegistry() *Registry { return &Registry{inputs: map[string]Input{}} }
+
+// Register adds a plug-in under its format tag.
+func (r *Registry) Register(in Input) { r.inputs[in.Format()] = in }
+
+// For returns the plug-in for a format tag.
+func (r *Registry) For(format string) (Input, error) {
+	in, ok := r.inputs[format]
+	if !ok {
+		return nil, fmt.Errorf("plugin: no input plug-in registered for format %q", format)
+	}
+	return in, nil
+}
+
+// Formats lists the registered format tags.
+func (r *Registry) Formats() []string {
+	out := make([]string, 0, len(r.inputs))
+	for f := range r.inputs {
+		out = append(out, f)
+	}
+	return out
+}
+
+// FieldPathString renders a dotted field path.
+func FieldPathString(path []string) string {
+	out := ""
+	for i, p := range path {
+		if i > 0 {
+			out += "."
+		}
+		out += p
+	}
+	return out
+}

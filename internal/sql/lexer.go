@@ -1,0 +1,109 @@
+// Package sql is the SQL front-end of the engine (§3): a hand-written
+// lexer and recursive-descent parser for the analytical subset the paper
+// exercises (SELECT with aggregates, FROM with aliases, JOIN … ON, WHERE
+// conjunctions/disjunctions, GROUP BY). SQL statements are desugared into
+// monoid comprehensions (internal/calculus), matching the paper's pipeline.
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(c):
+			start := l.pos
+			for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+		case c >= '0' && c <= '9':
+			start := l.pos
+			for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '.') {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+		case c == '\'':
+			start := l.pos
+			l.pos++
+			var sb strings.Builder
+			for l.pos < len(l.src) && l.src[l.pos] != '\'' {
+				sb.WriteByte(l.src[l.pos])
+				l.pos++
+			}
+			if l.pos >= len(l.src) {
+				return nil, fmt.Errorf("sql: unterminated string literal at offset %d", start)
+			}
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: sb.String(), pos: start})
+		default:
+			start := l.pos
+			// Two-character operators first.
+			if l.pos+1 < len(l.src) {
+				two := l.src[l.pos : l.pos+2]
+				if two == "<=" || two == ">=" || two == "<>" || two == "!=" {
+					l.pos += 2
+					l.toks = append(l.toks, token{kind: tokSymbol, text: two, pos: start})
+					continue
+				}
+			}
+			switch c {
+			case '<', '>', '=', '(', ')', ',', '*', '+', '-', '/', '%', '.', '{', '}', ':':
+				l.pos++
+				l.toks = append(l.toks, token{kind: tokSymbol, text: string(c), pos: start})
+			default:
+				return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, l.pos)
+			}
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		switch l.src[l.pos] {
+		case ' ', '\t', '\n', '\r':
+			l.pos++
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

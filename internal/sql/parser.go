@@ -1,0 +1,569 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"proteus/internal/calculus"
+	"proteus/internal/expr"
+	"proteus/internal/types"
+)
+
+// Parse desugars one SELECT statement into a monoid comprehension.
+func Parse(src string) (*calculus.Comprehension, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	c, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("trailing input after statement")
+	}
+	return c, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+// at reports whether the current token matches (text compared
+// case-insensitively; empty text matches any token of the kind).
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	if t.kind != kind {
+		return false
+	}
+	return text == "" || strings.EqualFold(t.text, text)
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	return token{}, p.errf("expected %q, found %q", text, p.cur().text)
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) atKeyword(words ...string) bool {
+	for _, w := range words {
+		if p.at(tokIdent, w) {
+			return true
+		}
+	}
+	return false
+}
+
+// selectItem is one SELECT-list entry.
+type selectItem struct {
+	agg   *expr.Agg // non-nil for aggregate items
+	e     expr.Expr // non-nil for plain expressions
+	alias string
+}
+
+func (p *parser) parseSelect() (*calculus.Comprehension, error) {
+	if _, err := p.expect(tokIdent, "SELECT"); err != nil {
+		return nil, err
+	}
+	var items []selectItem
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, item)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokIdent, "FROM"); err != nil {
+		return nil, err
+	}
+
+	c := &calculus.Comprehension{}
+
+	// FROM list: dataset [alias] with optional JOIN … ON chains; comma
+	// cross-products are also accepted (predicates in WHERE tie them).
+	if err := p.parseTableRef(c); err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokSymbol, ","):
+			if err := p.parseTableRef(c); err != nil {
+				return nil, err
+			}
+		case p.atKeyword("JOIN"):
+			p.next()
+			if err := p.parseTableRef(c); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokIdent, "ON"); err != nil {
+				return nil, err
+			}
+			cond, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			c.Quals = append(c.Quals, calculus.Qual{Pred: cond})
+		default:
+			goto fromDone
+		}
+	}
+fromDone:
+
+	if p.atKeyword("WHERE") {
+		p.next()
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Quals = append(c.Quals, calculus.Qual{Pred: cond})
+	}
+
+	var groupBy []expr.Expr
+	var groupNames []string
+	if p.atKeyword("GROUP") {
+		p.next()
+		if _, err := p.expect(tokIdent, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			g, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			groupBy = append(groupBy, g)
+			groupNames = append(groupNames, defaultName(g, len(groupNames)))
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+
+	// ORDER BY output-column [ASC|DESC], ... and LIMIT n are applied to the
+	// materialized result by the engine.
+	if p.atKeyword("ORDER") {
+		p.next()
+		if _, err := p.expect(tokIdent, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			name := col.text
+			// Allow qualified references like "o.price"; ordering resolves
+			// against output column names, so keep the tail.
+			for p.accept(tokSymbol, ".") {
+				f, err := p.expect(tokIdent, "")
+				if err != nil {
+					return nil, err
+				}
+				name = f.text
+			}
+			desc := false
+			if p.accept(tokIdent, "DESC") {
+				desc = true
+			} else {
+				p.accept(tokIdent, "ASC")
+			}
+			c.OrderBy = append(c.OrderBy, name)
+			c.OrderDesc = append(c.OrderDesc, desc)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.atKeyword("LIMIT") {
+		p.next()
+		n, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		limit, err := strconv.Atoi(n.text)
+		if err != nil || limit < 0 {
+			return nil, p.errf("bad LIMIT %q", n.text)
+		}
+		c.Limit = limit
+	}
+
+	// Shape the output clause.
+	hasAgg := false
+	for _, it := range items {
+		if it.agg != nil {
+			hasAgg = true
+		}
+	}
+	switch {
+	case hasAgg || len(groupBy) > 0:
+		for i, it := range items {
+			if it.agg == nil {
+				// Non-aggregated item in an aggregate query: must be one of
+				// the GROUP BY expressions.
+				found := false
+				for gi, g := range groupBy {
+					if expr.Equal(g, it.e) {
+						if it.alias != "" {
+							groupNames[gi] = it.alias
+						}
+						found = true
+						break
+					}
+				}
+				if !found {
+					return nil, fmt.Errorf("sql: select item %d is neither aggregated nor in GROUP BY", i+1)
+				}
+				continue
+			}
+			c.Aggs = append(c.Aggs, *it.agg)
+			name := it.alias
+			if name == "" {
+				name = it.agg.String()
+			}
+			c.AggNames = append(c.AggNames, name)
+		}
+		c.GroupBy = groupBy
+		c.GroupNames = groupNames
+	default:
+		// Plain projection: yield a bag of records.
+		names := make([]string, len(items))
+		exprs := make([]expr.Expr, len(items))
+		for i, it := range items {
+			name := it.alias
+			if name == "" {
+				name = defaultName(it.e, i)
+			}
+			names[i] = name
+			exprs[i] = it.e
+		}
+		c.Monoid = expr.AggBag
+		if len(exprs) == 1 {
+			c.Head = exprs[0]
+			if items[0].alias == "" {
+				if _, isRef := exprs[0].(*expr.Ref); !isRef {
+					c.Head = exprs[0]
+				}
+			}
+		} else {
+			c.Head = &expr.RecordCtor{Names: names, Exprs: exprs}
+		}
+	}
+	return calculus.Normalize(c), nil
+}
+
+// parseTableRef parses "dataset [AS] alias" and appends a generator.
+func (p *parser) parseTableRef(c *calculus.Comprehension) error {
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return err
+	}
+	alias := name.text
+	p.accept(tokIdent, "AS")
+	if p.at(tokIdent, "") && !p.atKeyword("JOIN", "ON", "WHERE", "GROUP", "ORDER", "LIMIT") {
+		alias = p.next().text
+	}
+	c.Quals = append(c.Quals, calculus.Qual{Var: alias, Source: &expr.Ref{Name: name.text}})
+	return nil
+}
+
+// parseSelectItem parses * | AGG(arg) [AS alias] | expr [AS alias].
+func (p *parser) parseSelectItem() (selectItem, error) {
+	if p.accept(tokSymbol, "*") {
+		return selectItem{}, fmt.Errorf("sql: SELECT * is not supported; name the fields explicitly")
+	}
+	if p.at(tokIdent, "") {
+		if ak, ok := aggKind(p.cur().text); ok && p.toks[p.pos+1].kind == tokSymbol && p.toks[p.pos+1].text == "(" {
+			p.next() // agg name
+			p.next() // (
+			var arg expr.Expr
+			if p.accept(tokSymbol, "*") {
+				if ak != expr.AggCount {
+					return selectItem{}, p.errf("only COUNT accepts *")
+				}
+			} else {
+				a, err := p.parseExpr()
+				if err != nil {
+					return selectItem{}, err
+				}
+				arg = a
+			}
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return selectItem{}, err
+			}
+			alias := p.parseAlias()
+			return selectItem{agg: &expr.Agg{Kind: ak, Arg: arg}, alias: alias}, nil
+		}
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return selectItem{}, err
+	}
+	return selectItem{e: e, alias: p.parseAlias()}, nil
+}
+
+func (p *parser) parseAlias() string {
+	if p.accept(tokIdent, "AS") {
+		if p.at(tokIdent, "") {
+			return p.next().text
+		}
+	}
+	return ""
+}
+
+func aggKind(word string) (expr.AggKind, bool) {
+	switch strings.ToUpper(word) {
+	case "COUNT":
+		return expr.AggCount, true
+	case "SUM":
+		return expr.AggSum, true
+	case "MAX":
+		return expr.AggMax, true
+	case "MIN":
+		return expr.AggMin, true
+	case "AVG":
+		return expr.AggAvg, true
+	}
+	return 0, false
+}
+
+// Expression grammar: or → and → not → comparison → additive →
+// multiplicative → unary → primary.
+
+func (p *parser) parseExpr() (expr.Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (expr.Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("OR") {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &expr.BinOp{Op: expr.OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (expr.Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("AND") {
+		p.next()
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &expr.BinOp{Op: expr.OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (expr.Expr, error) {
+	if p.atKeyword("NOT") {
+		p.next()
+		sub, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Not{E: sub}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (expr.Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if p.atKeyword("LIKE") {
+		p.next()
+		pat, err := p.expect(tokString, "")
+		if err != nil {
+			return nil, err
+		}
+		needle := strings.Trim(pat.text, "%")
+		return &expr.Like{E: l, Needle: needle}, nil
+	}
+	var op expr.BinKind
+	switch {
+	case p.accept(tokSymbol, "="):
+		op = expr.OpEq
+	case p.accept(tokSymbol, "<>"), p.accept(tokSymbol, "!="):
+		op = expr.OpNe
+	case p.accept(tokSymbol, "<="):
+		op = expr.OpLe
+	case p.accept(tokSymbol, ">="):
+		op = expr.OpGe
+	case p.accept(tokSymbol, "<"):
+		op = expr.OpLt
+	case p.accept(tokSymbol, ">"):
+		op = expr.OpGt
+	default:
+		return l, nil
+	}
+	r, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	return &expr.BinOp{Op: op, L: l, R: r}, nil
+}
+
+func (p *parser) parseAdditive() (expr.Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokSymbol, "+"):
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = &expr.BinOp{Op: expr.OpAdd, L: l, R: r}
+		case p.accept(tokSymbol, "-"):
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = &expr.BinOp{Op: expr.OpSub, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseMultiplicative() (expr.Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokSymbol, "*"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &expr.BinOp{Op: expr.OpMul, L: l, R: r}
+		case p.accept(tokSymbol, "/"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &expr.BinOp{Op: expr.OpDiv, L: l, R: r}
+		case p.accept(tokSymbol, "%"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &expr.BinOp{Op: expr.OpMod, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (expr.Expr, error) {
+	if p.accept(tokSymbol, "-") {
+		sub, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Neg{E: sub}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (expr.Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.text)
+			}
+			return &expr.Const{V: types.FloatValue(f)}, nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		return &expr.Const{V: types.IntValue(i)}, nil
+	case tokString:
+		p.next()
+		return &expr.Const{V: types.StringValue(t.text)}, nil
+	case tokIdent:
+		switch strings.ToUpper(t.text) {
+		case "TRUE":
+			p.next()
+			return &expr.Const{V: types.BoolValue(true)}, nil
+		case "FALSE":
+			p.next()
+			return &expr.Const{V: types.BoolValue(false)}, nil
+		}
+		p.next()
+		var e expr.Expr = &expr.Ref{Name: t.text}
+		for p.accept(tokSymbol, ".") {
+			f, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			e = &expr.FieldAcc{Base: e, Name: f.text}
+		}
+		return e, nil
+	case tokSymbol:
+		if t.text == "(" {
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errf("unexpected token %q", t.text)
+}
+
+// defaultName derives an output column name from an expression: the last
+// path segment for field accesses, else a positional name.
+func defaultName(e expr.Expr, i int) string {
+	if _, path, ok := expr.PathOf(e); ok && len(path) > 0 {
+		return path[len(path)-1]
+	}
+	if r, ok := e.(*expr.Ref); ok {
+		return r.Name
+	}
+	return fmt.Sprintf("col%d", i)
+}

@@ -1,0 +1,65 @@
+package sql
+
+import (
+	"fmt"
+
+	"proteus/internal/expr"
+)
+
+// ExprScanner exposes the SQL token stream and expression grammar to other
+// front-ends (the comprehension parser reuses both, so expressions behave
+// identically in SQL and in comprehensions).
+type ExprScanner struct{ p parser }
+
+// NewExprScanner lexes src and positions the scanner at its first token.
+func NewExprScanner(src string) (*ExprScanner, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	return &ExprScanner{p: parser{toks: toks}}, nil
+}
+
+// ParseExpr consumes one expression.
+func (s *ExprScanner) ParseExpr() (expr.Expr, error) { return s.p.parseExpr() }
+
+// Accept consumes the token if its text matches (case-insensitive).
+func (s *ExprScanner) Accept(text string) bool {
+	if s.p.at(tokIdent, text) || s.p.at(tokSymbol, text) {
+		s.p.pos++
+		return true
+	}
+	return false
+}
+
+// Expect consumes the token or fails.
+func (s *ExprScanner) Expect(text string) error {
+	if s.Accept(text) {
+		return nil
+	}
+	return fmt.Errorf("expected %q, found %q at offset %d", text, s.p.cur().text, s.p.cur().pos)
+}
+
+// Ident consumes and returns an identifier token.
+func (s *ExprScanner) Ident() (string, error) {
+	if s.p.at(tokIdent, "") {
+		return s.p.next().text, nil
+	}
+	return "", fmt.Errorf("expected identifier, found %q at offset %d", s.p.cur().text, s.p.cur().pos)
+}
+
+// Peek returns the current token's text ("" at EOF).
+func (s *ExprScanner) Peek() string {
+	if s.p.at(tokEOF, "") {
+		return ""
+	}
+	return s.p.cur().text
+}
+
+// PeekIs reports whether the current token matches text case-insensitively.
+func (s *ExprScanner) PeekIs(text string) bool {
+	return s.p.at(tokIdent, text) || s.p.at(tokSymbol, text)
+}
+
+// AtEOF reports whether all tokens are consumed.
+func (s *ExprScanner) AtEOF() bool { return s.p.at(tokEOF, "") }

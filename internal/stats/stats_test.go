@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestObserveRange(t *testing.T) {
+	var c Column
+	c.Observe(5)
+	c.Observe(-3)
+	c.Observe(10)
+	if !c.HasRange || c.Min != -3 || c.Max != 10 {
+		t.Errorf("column = %+v", c)
+	}
+}
+
+func TestSelectivityFormulas(t *testing.T) {
+	tbl := NewTable()
+	col := tbl.Col("x")
+	col.Observe(0)
+	col.Observe(100)
+
+	if got := tbl.SelLt("x", 25); got != 0.25 {
+		t.Errorf("SelLt(25) = %g", got)
+	}
+	if got := tbl.SelLt("x", 200); got != 1 {
+		t.Errorf("SelLt clamp high = %g", got)
+	}
+	if got := tbl.SelLt("x", -10); got != 0 {
+		t.Errorf("SelLt clamp low = %g", got)
+	}
+	if got := tbl.SelGt("x", 75); got != 0.25 {
+		t.Errorf("SelGt(75) = %g", got)
+	}
+	// Unknown columns fall back to the paper's hard-coded default.
+	if got := tbl.SelLt("unknown", 5); got != DefaultSelectivity {
+		t.Errorf("unknown column = %g", got)
+	}
+	if got := tbl.SelEq("x"); got != DefaultSelectivity {
+		t.Errorf("SelEq without distinct = %g", got)
+	}
+	col.DistinctEst = 50
+	if got := tbl.SelEq("x"); got != 0.02 {
+		t.Errorf("SelEq with distinct = %g", got)
+	}
+}
+
+func TestDegenerateRange(t *testing.T) {
+	tbl := NewTable()
+	col := tbl.Col("x")
+	col.Observe(7) // min == max
+	if got := tbl.SelLt("x", 7); got != DefaultSelectivity {
+		t.Errorf("degenerate range should fall back: %g", got)
+	}
+}
+
+func TestStoreConcurrentAccess(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tbl := s.Table("shared")
+			tbl.Col("c") // may race internally only if Store is broken
+		}()
+	}
+	wg.Wait()
+	if _, ok := s.Lookup("shared"); !ok {
+		t.Error("table missing after concurrent creation")
+	}
+	if _, ok := s.Lookup("ghost"); ok {
+		t.Error("ghost table should not exist")
+	}
+}
+
+func TestCostFormulas(t *testing.T) {
+	if ScanCost(1000, 2, CostJSONField) <= ScanCost(1000, 2, CostBinaryField) {
+		t.Error("JSON scans must cost more than binary")
+	}
+	if ScanCost(100, 0, 1) != 100 {
+		t.Error("zero fields should cost as one")
+	}
+	if JoinCost(100, 1000) <= 0 {
+		t.Error("join cost must be positive")
+	}
+}

@@ -1,0 +1,109 @@
+// Package storage implements the Memory Manager of the paper (§4): every
+// input file is made to appear memory-resident (the paper memory-maps and
+// lets the OS page; we read into a pooled buffer once and keep it), while
+// caching structures are pinned in an accounted arena with an explicit
+// budget so the Caching Manager can decide what to evict.
+package storage
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Manager owns all large memory blocks of the engine: input file images and
+// the cache arena. It is safe for concurrent use.
+type Manager struct {
+	mu    sync.Mutex
+	files map[string][]byte
+
+	arenaBudget int64 // bytes allowed for caches; 0 means unlimited
+	arenaUsed   int64
+}
+
+// NewManager returns a Manager with the given cache-arena budget in bytes
+// (0 = unlimited).
+func NewManager(arenaBudget int64) *Manager {
+	return &Manager{files: map[string][]byte{}, arenaBudget: arenaBudget}
+}
+
+// File returns the full contents of path, loading it on first access and
+// serving the same shared image afterwards. This models the paper's
+// memory-mapped inputs: after the cold read, data access is pure memory
+// access.
+func (m *Manager) File(path string) ([]byte, error) {
+	m.mu.Lock()
+	if b, ok := m.files[path]; ok {
+		m.mu.Unlock()
+		return b, nil
+	}
+	m.mu.Unlock()
+	// Read outside the lock; racing loaders are harmless (last wins).
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: loading %s: %w", path, err)
+	}
+	m.mu.Lock()
+	m.files[path] = b
+	m.mu.Unlock()
+	return b, nil
+}
+
+// PutFile registers an in-memory "file" image under a synthetic path. Data
+// generators and tests use it to register datasets without touching disk.
+func (m *Manager) PutFile(path string, data []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.files[path] = data
+}
+
+// Release drops a file image (e.g. after its dataset is dropped).
+func (m *Manager) Release(path string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.files, path)
+}
+
+// FileBytes reports the total bytes of loaded file images.
+func (m *Manager) FileBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n int64
+	for _, b := range m.files {
+		n += int64(len(b))
+	}
+	return n
+}
+
+// ArenaReserve accounts size bytes against the cache arena budget. It
+// reports whether the reservation fits; the Caching Manager evicts and
+// retries when it does not.
+func (m *Manager) ArenaReserve(size int64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.arenaBudget > 0 && m.arenaUsed+size > m.arenaBudget {
+		return false
+	}
+	m.arenaUsed += size
+	return true
+}
+
+// ArenaRelease returns size bytes to the arena budget.
+func (m *Manager) ArenaRelease(size int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.arenaUsed -= size
+	if m.arenaUsed < 0 {
+		m.arenaUsed = 0
+	}
+}
+
+// ArenaUsed reports the bytes currently pinned in the cache arena.
+func (m *Manager) ArenaUsed() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.arenaUsed
+}
+
+// ArenaBudget reports the configured budget (0 = unlimited).
+func (m *Manager) ArenaBudget() int64 { return m.arenaBudget }

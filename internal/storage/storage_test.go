@@ -1,0 +1,85 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFileLoadAndShare(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.bin")
+	if err := os.WriteFile(path, []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(0)
+	a, err := m.File(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.File(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a[0] != &b[0] {
+		t.Error("second load should serve the same image")
+	}
+	if m.FileBytes() != 5 {
+		t.Errorf("FileBytes = %d", m.FileBytes())
+	}
+	m.Release(path)
+	if m.FileBytes() != 0 {
+		t.Error("Release did not drop the image")
+	}
+}
+
+func TestFileMissing(t *testing.T) {
+	m := NewManager(0)
+	if _, err := m.File("/nonexistent/nope.bin"); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestPutFile(t *testing.T) {
+	m := NewManager(0)
+	m.PutFile("mem://x", []byte{1, 2, 3})
+	got, err := m.File("mem://x")
+	if err != nil || len(got) != 3 {
+		t.Fatalf("PutFile roundtrip: %v %v", got, err)
+	}
+}
+
+func TestArenaAccounting(t *testing.T) {
+	m := NewManager(100)
+	if !m.ArenaReserve(60) {
+		t.Fatal("first reservation should fit")
+	}
+	if m.ArenaReserve(50) {
+		t.Fatal("overflow reservation should fail")
+	}
+	if m.ArenaUsed() != 60 {
+		t.Errorf("used = %d", m.ArenaUsed())
+	}
+	m.ArenaRelease(60)
+	if m.ArenaUsed() != 0 {
+		t.Errorf("used after release = %d", m.ArenaUsed())
+	}
+	if !m.ArenaReserve(100) {
+		t.Error("freed space should be reusable")
+	}
+	// Over-release clamps to zero.
+	m.ArenaRelease(1000)
+	if m.ArenaUsed() != 0 {
+		t.Errorf("over-release: %d", m.ArenaUsed())
+	}
+}
+
+func TestUnlimitedArena(t *testing.T) {
+	m := NewManager(0)
+	if !m.ArenaReserve(1 << 40) {
+		t.Error("unlimited arena should accept anything")
+	}
+	if m.ArenaBudget() != 0 {
+		t.Errorf("budget = %d", m.ArenaBudget())
+	}
+}

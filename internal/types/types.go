@@ -1,0 +1,233 @@
+// Package types defines the data model of Proteus-Go: a small algebra of
+// scalar and nested types (records, bags, lists) and a tagged-union Value
+// representation shared by every layer of the engine.
+//
+// The model follows the monoid comprehension calculus of Fegaras and Maier,
+// which the paper builds on: collections (bags, lists) may nest arbitrarily,
+// and records are first-class, so CSV rows, JSON documents, and binary
+// relational tuples all map onto the same representation.
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind enumerates the runtime kinds a Value can take.
+type Kind uint8
+
+// The supported value kinds.
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+	KindRecord
+	KindList // ordered collection (JSON array, calculus list)
+	KindBag  // unordered collection with duplicates (default query output)
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return "bool"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindRecord:
+		return "record"
+	case KindList:
+		return "list"
+	case KindBag:
+		return "bag"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// IsScalar reports whether the kind is a scalar (non-nested) kind.
+func (k Kind) IsScalar() bool {
+	switch k {
+	case KindBool, KindInt, KindFloat, KindString:
+		return true
+	}
+	return false
+}
+
+// IsCollection reports whether the kind is a collection kind.
+func (k Kind) IsCollection() bool { return k == KindList || k == KindBag }
+
+// Type describes the static type of a value. Types are immutable once built.
+type Type interface {
+	Kind() Kind
+	String() string
+	// Equal reports structural equality of two types.
+	Equal(Type) bool
+}
+
+type scalarType struct{ kind Kind }
+
+func (t scalarType) Kind() Kind     { return t.kind }
+func (t scalarType) String() string { return t.kind.String() }
+func (t scalarType) Equal(o Type) bool {
+	return o != nil && o.Kind() == t.kind
+}
+
+// The singleton scalar types.
+var (
+	Null   Type = scalarType{KindNull}
+	Bool   Type = scalarType{KindBool}
+	Int    Type = scalarType{KindInt}
+	Float  Type = scalarType{KindFloat}
+	String Type = scalarType{KindString}
+)
+
+// Field is a named, typed record member.
+type Field struct {
+	Name string
+	Type Type
+}
+
+// RecordType is the type of a record with an ordered list of fields.
+type RecordType struct {
+	Fields []Field
+}
+
+// NewRecordType builds a record type from alternating name/type pairs.
+func NewRecordType(fields ...Field) *RecordType { return &RecordType{Fields: fields} }
+
+// Kind implements Type.
+func (t *RecordType) Kind() Kind { return KindRecord }
+
+// String implements Type.
+func (t *RecordType) String() string {
+	var sb strings.Builder
+	sb.WriteString("record(")
+	for i, f := range t.Fields {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(f.Name)
+		sb.WriteString(": ")
+		sb.WriteString(f.Type.String())
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// Equal implements Type.
+func (t *RecordType) Equal(o Type) bool {
+	ot, ok := o.(*RecordType)
+	if !ok || len(ot.Fields) != len(t.Fields) {
+		return false
+	}
+	for i, f := range t.Fields {
+		if f.Name != ot.Fields[i].Name || !f.Type.Equal(ot.Fields[i].Type) {
+			return false
+		}
+	}
+	return true
+}
+
+// Lookup returns the type of the named field and whether it exists.
+func (t *RecordType) Lookup(name string) (Type, bool) {
+	for _, f := range t.Fields {
+		if f.Name == name {
+			return f.Type, true
+		}
+	}
+	return nil, false
+}
+
+// Index returns the ordinal position of the named field, or -1.
+func (t *RecordType) Index(name string) int {
+	for i, f := range t.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Names returns the field names in declaration order.
+func (t *RecordType) Names() []string {
+	names := make([]string, len(t.Fields))
+	for i, f := range t.Fields {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// ListType is the type of an ordered collection.
+type ListType struct{ Elem Type }
+
+// NewListType returns a list type with the given element type.
+func NewListType(elem Type) *ListType { return &ListType{Elem: elem} }
+
+// Kind implements Type.
+func (t *ListType) Kind() Kind { return KindList }
+
+// String implements Type.
+func (t *ListType) String() string { return "list(" + t.Elem.String() + ")" }
+
+// Equal implements Type.
+func (t *ListType) Equal(o Type) bool {
+	ot, ok := o.(*ListType)
+	return ok && t.Elem.Equal(ot.Elem)
+}
+
+// BagType is the type of an unordered collection with duplicates.
+type BagType struct{ Elem Type }
+
+// NewBagType returns a bag type with the given element type.
+func NewBagType(elem Type) *BagType { return &BagType{Elem: elem} }
+
+// Kind implements Type.
+func (t *BagType) Kind() Kind { return KindBag }
+
+// String implements Type.
+func (t *BagType) String() string { return "bag(" + t.Elem.String() + ")" }
+
+// Equal implements Type.
+func (t *BagType) Equal(o Type) bool {
+	ot, ok := o.(*BagType)
+	return ok && t.Elem.Equal(ot.Elem)
+}
+
+// ElemType returns the element type of a collection type, or nil.
+func ElemType(t Type) Type {
+	switch c := t.(type) {
+	case *ListType:
+		return c.Elem
+	case *BagType:
+		return c.Elem
+	}
+	return nil
+}
+
+// Numeric reports whether t is int or float.
+func Numeric(t Type) bool {
+	if t == nil {
+		return false
+	}
+	return t.Kind() == KindInt || t.Kind() == KindFloat
+}
+
+// Promote returns the common numeric type of a and b (float dominates int).
+// It returns nil if the types cannot be promoted to a common numeric type.
+func Promote(a, b Type) Type {
+	if !Numeric(a) || !Numeric(b) {
+		return nil
+	}
+	if a.Kind() == KindFloat || b.Kind() == KindFloat {
+		return Float
+	}
+	return Int
+}

@@ -1,0 +1,258 @@
+package types
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull: "null", KindBool: "bool", KindInt: "int", KindFloat: "float",
+		KindString: "string", KindRecord: "record", KindList: "list", KindBag: "bag",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestScalarTypeEquality(t *testing.T) {
+	if !Int.Equal(Int) || Int.Equal(Float) || Int.Equal(nil) {
+		t.Error("scalar type equality broken")
+	}
+	if !Bool.Equal(Bool) || String.Equal(Bool) {
+		t.Error("scalar type equality broken for bool/string")
+	}
+}
+
+func TestRecordType(t *testing.T) {
+	rt := NewRecordType(
+		Field{Name: "a", Type: Int},
+		Field{Name: "b", Type: Float},
+		Field{Name: "c", Type: NewListType(String)},
+	)
+	if rt.Kind() != KindRecord {
+		t.Errorf("kind = %v", rt.Kind())
+	}
+	if ft, ok := rt.Lookup("b"); !ok || !ft.Equal(Float) {
+		t.Errorf("Lookup(b) = %v, %v", ft, ok)
+	}
+	if _, ok := rt.Lookup("zz"); ok {
+		t.Error("Lookup(zz) should fail")
+	}
+	if rt.Index("c") != 2 || rt.Index("nope") != -1 {
+		t.Error("Index broken")
+	}
+	want := "record(a: int, b: float, c: list(string))"
+	if rt.String() != want {
+		t.Errorf("String() = %q, want %q", rt.String(), want)
+	}
+	same := NewRecordType(
+		Field{Name: "a", Type: Int},
+		Field{Name: "b", Type: Float},
+		Field{Name: "c", Type: NewListType(String)},
+	)
+	if !rt.Equal(same) {
+		t.Error("structurally equal records not Equal")
+	}
+	diff := NewRecordType(Field{Name: "a", Type: Int})
+	if rt.Equal(diff) {
+		t.Error("different records Equal")
+	}
+}
+
+func TestCollectionTypes(t *testing.T) {
+	lt := NewListType(Int)
+	bt := NewBagType(Int)
+	if lt.Equal(bt) {
+		t.Error("list(int) should not equal bag(int)")
+	}
+	if !ElemType(lt).Equal(Int) || !ElemType(bt).Equal(Int) {
+		t.Error("ElemType broken")
+	}
+	if ElemType(Int) != nil {
+		t.Error("ElemType of scalar should be nil")
+	}
+	if lt.String() != "list(int)" || bt.String() != "bag(int)" {
+		t.Errorf("collection String() = %q / %q", lt, bt)
+	}
+}
+
+func TestPromote(t *testing.T) {
+	if p := Promote(Int, Int); !p.Equal(Int) {
+		t.Errorf("Promote(int,int) = %v", p)
+	}
+	if p := Promote(Int, Float); !p.Equal(Float) {
+		t.Errorf("Promote(int,float) = %v", p)
+	}
+	if p := Promote(Float, Int); !p.Equal(Float) {
+		t.Errorf("Promote(float,int) = %v", p)
+	}
+	if Promote(Int, String) != nil || Promote(nil, Int) != nil {
+		t.Error("Promote should reject non-numeric")
+	}
+}
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if !BoolValue(true).Bool() || BoolValue(false).Bool() {
+		t.Error("BoolValue broken")
+	}
+	if IntValue(7).AsInt() != 7 || IntValue(7).AsFloat() != 7.0 {
+		t.Error("IntValue conversions broken")
+	}
+	if FloatValue(2.5).AsInt() != 2 || FloatValue(2.5).AsFloat() != 2.5 {
+		t.Error("FloatValue conversions broken")
+	}
+	if !NullValue().IsNull() || IntValue(0).IsNull() {
+		t.Error("IsNull broken")
+	}
+	rec := RecordValue([]string{"x", "y"}, []Value{IntValue(1), StringValue("s")})
+	if v, ok := rec.Field("y"); !ok || v.S != "s" {
+		t.Error("Field broken")
+	}
+	if _, ok := rec.Field("zz"); ok {
+		t.Error("Field(zz) should fail")
+	}
+	nested := RecordValue([]string{"inner"}, []Value{rec})
+	if v, ok := nested.Path("inner", "x"); !ok || v.AsInt() != 1 {
+		t.Error("Path broken")
+	}
+	if _, ok := nested.Path("inner", "zz"); ok {
+		t.Error("Path through missing field should fail")
+	}
+	if ListValue(IntValue(1), IntValue(2)).Len() != 2 {
+		t.Error("Len broken")
+	}
+}
+
+func TestCompareNumericCrossKind(t *testing.T) {
+	if Compare(IntValue(1), FloatValue(1.0)) != 0 {
+		t.Error("1 should equal 1.0")
+	}
+	if Compare(IntValue(1), FloatValue(1.5)) >= 0 {
+		t.Error("1 < 1.5")
+	}
+	if Compare(FloatValue(2.5), IntValue(2)) <= 0 {
+		t.Error("2.5 > 2")
+	}
+}
+
+func TestCompareNullsFirst(t *testing.T) {
+	if Compare(NullValue(), IntValue(-1000)) >= 0 {
+		t.Error("null should sort before everything")
+	}
+	if Compare(IntValue(0), NullValue()) <= 0 {
+		t.Error("values should sort after null")
+	}
+	if Compare(NullValue(), NullValue()) != 0 {
+		t.Error("null == null for sorting")
+	}
+}
+
+func TestCompareRecordsAndCollections(t *testing.T) {
+	a := RecordValue([]string{"x", "y"}, []Value{IntValue(1), IntValue(2)})
+	b := RecordValue([]string{"x", "y"}, []Value{IntValue(1), IntValue(3)})
+	if Compare(a, b) >= 0 {
+		t.Error("record comparison should be field-by-field")
+	}
+	l1 := ListValue(IntValue(1), IntValue(2))
+	l2 := ListValue(IntValue(1), IntValue(2), IntValue(3))
+	if Compare(l1, l2) >= 0 {
+		t.Error("shorter prefix list sorts first")
+	}
+	if Compare(l1, l1) != 0 {
+		t.Error("list self-compare")
+	}
+}
+
+func TestHashConsistentWithEqual(t *testing.T) {
+	// Property: equal values hash equal, including int/float cross-kind.
+	pairs := [][2]Value{
+		{IntValue(42), FloatValue(42)},
+		{StringValue("abc"), StringValue("abc")},
+		{ListValue(IntValue(1)), ListValue(FloatValue(1))},
+		{
+			RecordValue([]string{"a"}, []Value{IntValue(5)}),
+			RecordValue([]string{"a"}, []Value{FloatValue(5)}),
+		},
+	}
+	for _, p := range pairs {
+		if !p[0].Equal(p[1]) {
+			t.Fatalf("%s should equal %s", p[0], p[1])
+		}
+		if p[0].Hash() != p[1].Hash() {
+			t.Errorf("equal values %s and %s hash differently", p[0], p[1])
+		}
+	}
+}
+
+func TestHashIntFloatProperty(t *testing.T) {
+	f := func(x int32) bool {
+		a, b := IntValue(int64(x)), FloatValue(float64(x))
+		return a.Equal(b) && a.Hash() == b.Hash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareTotalOrderProperty(t *testing.T) {
+	// Antisymmetry: Compare(a,b) == -Compare(b,a) for scalar values.
+	f := func(a, b int64, fa, fb float64) bool {
+		va, vb := IntValue(a), FloatValue(fb)
+		if math.IsNaN(fb) {
+			return true
+		}
+		c1, c2 := Compare(va, vb), Compare(vb, va)
+		return (c1 == 0 && c2 == 0) || (c1 < 0 && c2 > 0) || (c1 > 0 && c2 < 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	v := RecordValue([]string{"id", "tags", "ok"},
+		[]Value{IntValue(3), ListValue(StringValue("a"), StringValue("b")), BoolValue(true)})
+	want := `{id: 3, tags: ["a", "b"], ok: true}`
+	if got := v.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if NullValue().String() != "null" {
+		t.Error("null String()")
+	}
+	if FloatValue(1.5).String() != "1.5" {
+		t.Errorf("float String() = %q", FloatValue(1.5).String())
+	}
+}
+
+func TestTypeOf(t *testing.T) {
+	v := RecordValue([]string{"a", "b"},
+		[]Value{IntValue(1), ListValue(FloatValue(2.5))})
+	rt, ok := TypeOf(v).(*RecordType)
+	if !ok {
+		t.Fatalf("TypeOf = %T", TypeOf(v))
+	}
+	if ft, _ := rt.Lookup("b"); !ft.Equal(NewListType(Float)) {
+		t.Errorf("b type = %v", ft)
+	}
+	if !TypeOf(ListValue()).Equal(NewListType(Null)) {
+		t.Error("empty list element type should be null")
+	}
+	if !TypeOf(BagValue(IntValue(1))).Equal(NewBagType(Int)) {
+		t.Error("bag TypeOf broken")
+	}
+}
+
+func TestSortValues(t *testing.T) {
+	vs := []Value{IntValue(3), NullValue(), IntValue(1), FloatValue(2.5)}
+	SortValues(vs)
+	want := []Value{NullValue(), IntValue(1), FloatValue(2.5), IntValue(3)}
+	for i := range vs {
+		if Compare(vs[i], want[i]) != 0 {
+			t.Fatalf("sorted[%d] = %s, want %s", i, vs[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,346 @@
+package types
+
+import (
+	"fmt"
+	"hash/maphash"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Value is the runtime representation of any datum flowing through the
+// engine. It is a tagged union: exactly the fields relevant to Kind are
+// meaningful. Values are cheap to copy; nested payloads are shared.
+type Value struct {
+	Kind  Kind
+	I     int64   // KindInt, and KindBool (0/1)
+	F     float64 // KindFloat
+	S     string  // KindString
+	Rec   *Record // KindRecord
+	Elems []Value // KindList, KindBag
+}
+
+// Record is an ordered collection of named values. Field order is
+// significant for printing and for positional binary layouts.
+type Record struct {
+	Names  []string
+	Values []Value
+}
+
+// Convenience constructors.
+
+// NullValue returns the null value.
+func NullValue() Value { return Value{Kind: KindNull} }
+
+// BoolValue returns a boolean value.
+func BoolValue(b bool) Value {
+	v := Value{Kind: KindBool}
+	if b {
+		v.I = 1
+	}
+	return v
+}
+
+// IntValue returns an integer value.
+func IntValue(i int64) Value { return Value{Kind: KindInt, I: i} }
+
+// FloatValue returns a float value.
+func FloatValue(f float64) Value { return Value{Kind: KindFloat, F: f} }
+
+// StringValue returns a string value.
+func StringValue(s string) Value { return Value{Kind: KindString, S: s} }
+
+// ListValue returns a list value sharing elems.
+func ListValue(elems ...Value) Value { return Value{Kind: KindList, Elems: elems} }
+
+// BagValue returns a bag value sharing elems.
+func BagValue(elems ...Value) Value { return Value{Kind: KindBag, Elems: elems} }
+
+// RecordValue builds a record value from parallel name/value slices.
+func RecordValue(names []string, values []Value) Value {
+	return Value{Kind: KindRecord, Rec: &Record{Names: names, Values: values}}
+}
+
+// Bool reports the boolean payload. It is false for non-bool kinds.
+func (v Value) Bool() bool { return v.Kind == KindBool && v.I != 0 }
+
+// IsNull reports whether the value is null.
+func (v Value) IsNull() bool { return v.Kind == KindNull }
+
+// AsFloat widens int to float; other kinds yield 0.
+func (v Value) AsFloat() float64 {
+	switch v.Kind {
+	case KindFloat:
+		return v.F
+	case KindInt:
+		return float64(v.I)
+	}
+	return 0
+}
+
+// AsInt narrows float to int (truncating); other kinds yield 0.
+func (v Value) AsInt() int64 {
+	switch v.Kind {
+	case KindInt:
+		return v.I
+	case KindFloat:
+		return int64(v.F)
+	}
+	return 0
+}
+
+// Field returns the named record field and whether it exists.
+func (v Value) Field(name string) (Value, bool) {
+	if v.Kind != KindRecord || v.Rec == nil {
+		return Value{}, false
+	}
+	for i, n := range v.Rec.Names {
+		if n == name {
+			return v.Rec.Values[i], true
+		}
+	}
+	return Value{}, false
+}
+
+// Path follows a dotted field path through nested records.
+func (v Value) Path(path ...string) (Value, bool) {
+	cur := v
+	for _, p := range path {
+		next, ok := cur.Field(p)
+		if !ok {
+			return Value{}, false
+		}
+		cur = next
+	}
+	return cur, true
+}
+
+// Len returns the number of elements of a collection, or 0.
+func (v Value) Len() int { return len(v.Elems) }
+
+// Equal reports deep structural equality. Int and float compare numerically
+// across kinds (1 == 1.0), matching SQL semantics for mixed arithmetic.
+func (v Value) Equal(o Value) bool { return Compare(v, o) == 0 }
+
+// Compare orders two values. Null sorts first; numeric kinds compare
+// numerically across int/float; records compare field-by-field in order;
+// collections compare element-wise then by length. Cross-kind comparisons
+// (other than numeric) order by kind tag so sorting is total.
+func Compare(a, b Value) int {
+	if a.Kind == KindNull || b.Kind == KindNull {
+		switch {
+		case a.Kind == b.Kind:
+			return 0
+		case a.Kind == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if Numeric(kindType(a.Kind)) && Numeric(kindType(b.Kind)) {
+		if a.Kind == KindInt && b.Kind == KindInt {
+			switch {
+			case a.I < b.I:
+				return -1
+			case a.I > b.I:
+				return 1
+			}
+			return 0
+		}
+		af, bf := a.AsFloat(), b.AsFloat()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		}
+		return 0
+	}
+	if a.Kind != b.Kind {
+		if a.Kind < b.Kind {
+			return -1
+		}
+		return 1
+	}
+	switch a.Kind {
+	case KindBool:
+		switch {
+		case a.I == b.I:
+			return 0
+		case a.I < b.I:
+			return -1
+		}
+		return 1
+	case KindString:
+		return strings.Compare(a.S, b.S)
+	case KindRecord:
+		an, bn := len(a.Rec.Values), len(b.Rec.Values)
+		for i := 0; i < an && i < bn; i++ {
+			if c := Compare(a.Rec.Values[i], b.Rec.Values[i]); c != 0 {
+				return c
+			}
+		}
+		return an - bn
+	case KindList, KindBag:
+		for i := 0; i < len(a.Elems) && i < len(b.Elems); i++ {
+			if c := Compare(a.Elems[i], b.Elems[i]); c != 0 {
+				return c
+			}
+		}
+		return len(a.Elems) - len(b.Elems)
+	}
+	return 0
+}
+
+func kindType(k Kind) Type {
+	switch k {
+	case KindBool:
+		return Bool
+	case KindInt:
+		return Int
+	case KindFloat:
+		return Float
+	case KindString:
+		return String
+	case KindNull:
+		return Null
+	}
+	return nil
+}
+
+var hashSeed = maphash.MakeSeed()
+
+// Hash returns a stable in-process hash of the value, consistent with Equal:
+// equal values hash equally (ints that equal floats hash as floats).
+func (v Value) Hash() uint64 {
+	var h maphash.Hash
+	h.SetSeed(hashSeed)
+	v.hashInto(&h)
+	return h.Sum64()
+}
+
+func (v Value) hashInto(h *maphash.Hash) {
+	switch v.Kind {
+	case KindNull:
+		h.WriteByte(0)
+	case KindBool:
+		h.WriteByte(1)
+		h.WriteByte(byte(v.I))
+	case KindInt:
+		writeFloatHash(h, float64(v.I))
+	case KindFloat:
+		writeFloatHash(h, v.F)
+	case KindString:
+		h.WriteByte(3)
+		h.WriteString(v.S)
+	case KindRecord:
+		h.WriteByte(4)
+		for _, f := range v.Rec.Values {
+			f.hashInto(h)
+		}
+	case KindList, KindBag:
+		h.WriteByte(5)
+		for _, e := range v.Elems {
+			e.hashInto(h)
+		}
+	}
+}
+
+func writeFloatHash(h *maphash.Hash, f float64) {
+	h.WriteByte(2)
+	bits := math.Float64bits(f)
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(bits >> (8 * i))
+	}
+	h.Write(buf[:])
+}
+
+// String renders the value in a JSON-like textual form.
+func (v Value) String() string {
+	var sb strings.Builder
+	v.writeTo(&sb)
+	return sb.String()
+}
+
+func (v Value) writeTo(sb *strings.Builder) {
+	switch v.Kind {
+	case KindNull:
+		sb.WriteString("null")
+	case KindBool:
+		if v.I != 0 {
+			sb.WriteString("true")
+		} else {
+			sb.WriteString("false")
+		}
+	case KindInt:
+		sb.WriteString(strconv.FormatInt(v.I, 10))
+	case KindFloat:
+		sb.WriteString(strconv.FormatFloat(v.F, 'g', -1, 64))
+	case KindString:
+		sb.WriteString(strconv.Quote(v.S))
+	case KindRecord:
+		sb.WriteByte('{')
+		for i, n := range v.Rec.Names {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(n)
+			sb.WriteString(": ")
+			v.Rec.Values[i].writeTo(sb)
+		}
+		sb.WriteByte('}')
+	case KindList, KindBag:
+		sb.WriteByte('[')
+		for i, e := range v.Elems {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			e.writeTo(sb)
+		}
+		sb.WriteByte(']')
+	default:
+		fmt.Fprintf(sb, "<%s>", v.Kind)
+	}
+}
+
+// TypeOf infers the most specific static type of the value. Collection
+// element types are inferred from the first element (Null for empty).
+func TypeOf(v Value) Type {
+	switch v.Kind {
+	case KindNull:
+		return Null
+	case KindBool:
+		return Bool
+	case KindInt:
+		return Int
+	case KindFloat:
+		return Float
+	case KindString:
+		return String
+	case KindRecord:
+		fields := make([]Field, len(v.Rec.Names))
+		for i, n := range v.Rec.Names {
+			fields[i] = Field{Name: n, Type: TypeOf(v.Rec.Values[i])}
+		}
+		return &RecordType{Fields: fields}
+	case KindList:
+		if len(v.Elems) == 0 {
+			return NewListType(Null)
+		}
+		return NewListType(TypeOf(v.Elems[0]))
+	case KindBag:
+		if len(v.Elems) == 0 {
+			return NewBagType(Null)
+		}
+		return NewBagType(TypeOf(v.Elems[0]))
+	}
+	return Null
+}
+
+// SortValues sorts a slice of values in Compare order (used to canonicalize
+// bag results in tests).
+func SortValues(vs []Value) {
+	sort.Slice(vs, func(i, j int) bool { return Compare(vs[i], vs[j]) < 0 })
+}

@@ -1,0 +1,87 @@
+package vbuf
+
+import (
+	"testing"
+
+	"proteus/internal/types"
+)
+
+func TestAllocAssignsDistinctSlots(t *testing.T) {
+	var a Alloc
+	s1 := a.Int()
+	s2 := a.Int()
+	s3 := a.Float()
+	if s1.Idx == s2.Idx {
+		t.Error("two int slots share an index")
+	}
+	if s1.Null == s2.Null || s2.Null == s3.Null {
+		t.Error("null indexes must be unique across all slots")
+	}
+	if s3.Class != ClassFloat {
+		t.Error("wrong class")
+	}
+}
+
+func TestForType(t *testing.T) {
+	var a Alloc
+	cases := map[types.Type]Class{
+		types.Int:                    ClassInt,
+		types.Float:                  ClassFloat,
+		types.Bool:                   ClassBool,
+		types.String:                 ClassString,
+		types.NewListType(types.Int): ClassValue,
+		types.NewRecordType():        ClassValue,
+	}
+	for typ, class := range cases {
+		if s := a.ForType(typ); s.Class != class {
+			t.Errorf("ForType(%s) class = %d, want %d", typ, s.Class, class)
+		}
+	}
+}
+
+func TestRegsGetSetRoundtrip(t *testing.T) {
+	var a Alloc
+	slots := []Slot{a.Int(), a.Float(), a.Bool(), a.String(), a.Value()}
+	vals := []types.Value{
+		types.IntValue(-9),
+		types.FloatValue(2.5),
+		types.BoolValue(true),
+		types.StringValue("hi"),
+		types.ListValue(types.IntValue(1)),
+	}
+	r := NewRegs(&a)
+	for i, s := range slots {
+		r.Set(s, vals[i])
+		got := r.Get(s)
+		if types.Compare(got, vals[i]) != 0 {
+			t.Errorf("slot %d roundtrip: %s != %s", i, got, vals[i])
+		}
+		if r.IsNull(s) {
+			t.Errorf("slot %d should not be null", i)
+		}
+	}
+	// Null handling.
+	r.Set(slots[0], types.NullValue())
+	if !r.IsNull(slots[0]) || !r.Get(slots[0]).IsNull() {
+		t.Error("null set/get broken")
+	}
+	r.ClearNull(slots[0])
+	if r.IsNull(slots[0]) {
+		t.Error("ClearNull broken")
+	}
+	r.SetNull(slots[1])
+	if !r.Get(slots[1]).IsNull() {
+		t.Error("SetNull broken")
+	}
+}
+
+func TestRegsSizedToAlloc(t *testing.T) {
+	var a Alloc
+	a.Int()
+	a.Int()
+	a.String()
+	r := NewRegs(&a)
+	if len(r.I) != 2 || len(r.S) != 1 || len(r.F) != 0 || len(r.Null) != 3 {
+		t.Errorf("regs sizes: I=%d S=%d F=%d Null=%d", len(r.I), len(r.S), len(r.F), len(r.Null))
+	}
+}

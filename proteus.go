@@ -1,0 +1,186 @@
+// Package proteus is a query engine for heterogeneous data, reproducing
+// "Fast Queries Over Heterogeneous Data Through Engine Customization"
+// (Karpathiotakis, Alagiannis, Ailamaki — VLDB 2016).
+//
+// Proteus queries CSV, JSON, and relational binary files in place — no
+// loading step — through a single interface (SQL for flat data, monoid
+// comprehensions for nested data), and specializes its entire execution
+// path to each query at compile time. Input plug-ins build per-format
+// structural indexes on first access; adaptive caches materialize hot raw
+// fields into binary columns as a side-effect of execution.
+//
+// Quickstart:
+//
+//	db := proteus.Open(proteus.Config{CacheEnabled: true})
+//	if err := db.RegisterCSV("people", "people.csv", nil); err != nil { ... }
+//	if err := db.RegisterJSON("events", "events.json"); err != nil { ... }
+//	res, err := db.Query(`SELECT COUNT(*) FROM people p
+//	                      JOIN events e ON p.id = e.pid WHERE e.score < 0.5`)
+//	for _, row := range res.Rows { fmt.Println(row) }
+//
+// Comprehension syntax unlocks nested data (Example 3.1 of the paper):
+//
+//	res, err := db.QueryComprehension(`
+//	    for { s <- Sailor, c <- s.children, c.age > 18 }
+//	    yield bag (s.id, c.name)`)
+package proteus
+
+import (
+	"time"
+
+	"proteus/internal/cache"
+	"proteus/internal/engine"
+	"proteus/internal/exec"
+	"proteus/internal/plugin"
+	"proteus/internal/types"
+)
+
+// Config tunes a DB instance.
+type Config struct {
+	// CacheEnabled turns on adaptive caching: queries over verbose formats
+	// (CSV, JSON) materialize the fields they convert into binary cache
+	// columns, and later queries read those instead of the raw files.
+	CacheEnabled bool
+	// CacheBudget caps cache memory in bytes (0 = unlimited). Eviction is
+	// LRU biased toward keeping data from costlier formats (JSON ≻ CSV).
+	CacheBudget int64
+	// CacheStrings opts in to caching string fields (off by default: the
+	// paper's policy avoids polluting caches with verbose strings).
+	CacheStrings bool
+	// SampleEvery sets the statistics sampling stride during cold dataset
+	// access (default 64).
+	SampleEvery int
+}
+
+// DB is a Proteus engine instance: a catalog of registered datasets plus
+// the managers (memory, caching, statistics) queries compile against.
+type DB struct {
+	eng *engine.Engine
+}
+
+// Result is a materialized query result.
+type Result = exec.Result
+
+// Value is the engine's datum representation (nested records, collections,
+// scalars).
+type Value = types.Value
+
+// Schema describes a flat or nested record type.
+type Schema = types.RecordType
+
+// Field is one schema field.
+type Field = types.Field
+
+// Scalar types for schema construction.
+var (
+	Int    = types.Int
+	Float  = types.Float
+	Bool   = types.Bool
+	String = types.String
+)
+
+// ListOf builds a collection type for nested schemas.
+func ListOf(elem types.Type) types.Type { return types.NewListType(elem) }
+
+// Open creates a DB with the standard CSV, JSON, and binary plug-ins.
+func Open(cfg Config) *DB {
+	return &DB{eng: engine.New(engine.Config{
+		CacheEnabled: cfg.CacheEnabled,
+		CacheBudget:  cfg.CacheBudget,
+		CacheStrings: cfg.CacheStrings,
+		SampleEvery:  cfg.SampleEvery,
+	})}
+}
+
+// CSVOptions tunes CSV registration.
+type CSVOptions struct {
+	Delimiter byte // default ','
+	Header    bool // first row holds column names
+	// IndexStride is the positional structural index granularity: the byte
+	// position of every Nth field of each row is kept (default 8).
+	IndexStride int
+}
+
+// RegisterCSV registers a CSV file. With a nil schema, column types are
+// inferred from the first data row. Registration performs the cold pass:
+// the positional structural index is built (or dropped entirely if the file
+// turns out to be fixed-width) and statistics are sampled.
+func (db *DB) RegisterCSV(name, path string, schema *Schema, opts ...CSVOptions) error {
+	var o CSVOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	return db.eng.Register(name, path, "csv", schema, plugin.Options{
+		Delimiter:   o.Delimiter,
+		Header:      o.Header,
+		IndexStride: o.IndexStride,
+	})
+}
+
+// RegisterJSON registers a JSON file (newline-delimited objects or one
+// top-level array of objects). The cold pass validates the input and builds
+// the two-level structural index; if every object carries the same fields
+// in the same order, Level 0 is dropped for the compressed deterministic
+// form. The schema is inferred from the first object.
+func (db *DB) RegisterJSON(name, path string) error {
+	return db.eng.Register(name, path, "json", nil, plugin.Options{})
+}
+
+// RegisterBinary registers a relational binary file in this module's
+// row-major or column-major format (see proteus/internal/plugin/binpg for
+// the writer used by data generation pipelines).
+func (db *DB) RegisterBinary(name, path string) error {
+	return db.eng.Register(name, path, "bin", nil, plugin.Options{})
+}
+
+// RegisterInMemory registers raw bytes as a dataset without touching disk.
+func (db *DB) RegisterInMemory(name string, data []byte, format string, schema *Schema) error {
+	path := "mem://" + name
+	db.eng.Mem().PutFile(path, data)
+	return db.eng.Register(name, path, format, schema, plugin.Options{})
+}
+
+// Drop removes a dataset and every cache derived from it.
+func (db *DB) Drop(name string) { db.eng.Drop(name) }
+
+// Query parses, optimizes, compiles, and runs a SQL statement. A fresh
+// specialized engine implementation is generated for the query (closure
+// compilation — the Go analogue of the paper's LLVM code generation).
+// Supported: SELECT (expressions, aggregates), FROM with aliases and
+// JOIN…ON, WHERE, GROUP BY, ORDER BY <output column> [DESC], LIMIT.
+func (db *DB) Query(sql string) (*Result, error) { return db.eng.QuerySQL(sql) }
+
+// QueryComprehension runs a monoid-comprehension query:
+//
+//	for { x <- Dataset, y <- x.nested, predicate, ... } yield bag (e1, e2)
+//
+// Yield monoids: bag, list, sum, max, min, avg, count.
+func (db *DB) QueryComprehension(comp string) (*Result, error) { return db.eng.QueryComp(comp) }
+
+// Explain returns the optimized plan and per-query compilation decisions
+// (cache hits, lazy unnests, …) without running the query.
+func (db *DB) Explain(sql string) (string, error) {
+	p, err := db.eng.PrepareSQL(sql)
+	if err != nil {
+		return "", err
+	}
+	return p.Explain(), nil
+}
+
+// CacheStats reports the adaptive cache state.
+func (db *DB) CacheStats() cache.Stats { return db.eng.Caches().Snapshot() }
+
+// StartStatsDaemon launches the paper's idle statistics daemon (§5.2): a
+// background goroutine that periodically runs MIN/MAX statistics-gathering
+// queries for numeric attributes that still lack range statistics. Call the
+// returned function to stop it.
+func (db *DB) StartStatsDaemon(interval time.Duration) (stop func()) {
+	return db.eng.StartStatsDaemon(interval)
+}
+
+// GatherStatsOnce runs one statistics-gathering sweep synchronously.
+func (db *DB) GatherStatsOnce() { db.eng.GatherStatsOnce() }
+
+// Engine exposes the underlying engine for advanced integration (custom
+// plug-ins via RegisterPlugin, direct plan execution).
+func (db *DB) Engine() *engine.Engine { return db.eng }

@@ -1,0 +1,172 @@
+package proteus_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"proteus"
+)
+
+func newDB(t *testing.T, cfg proteus.Config) *proteus.DB {
+	t.Helper()
+	db := proteus.Open(cfg)
+	if err := db.RegisterInMemory("people", []byte(
+		"1,ann,34\n2,bo,19\n3,cy,52\n4,di,27\n"), "csv", &proteus.Schema{
+		Fields: []proteus.Field{
+			{Name: "id", Type: proteus.Int},
+			{Name: "name", Type: proteus.String},
+			{Name: "age", Type: proteus.Int},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RegisterInMemory("events", []byte(
+		`{"pid": 1, "kind": "login", "hits": [1, 2, 3]}
+{"pid": 3, "kind": "purchase", "hits": []}
+{"pid": 1, "kind": "logout", "hits": [4]}
+`), "json", nil); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestPublicAPIQuery(t *testing.T) {
+	db := newDB(t, proteus.Config{})
+	res, err := db.Query("SELECT COUNT(*) FROM people WHERE age > 20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Scalar().AsInt(); got != 3 {
+		t.Fatalf("count = %d", got)
+	}
+}
+
+func TestPublicAPICrossFormatJoin(t *testing.T) {
+	db := newDB(t, proteus.Config{})
+	res, err := db.Query(`
+		SELECT p.name, e.kind FROM people p JOIN events e ON p.id = e.pid
+		WHERE p.age > 30`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (ann×2, cy×1)", len(res.Rows))
+	}
+}
+
+func TestPublicAPIComprehension(t *testing.T) {
+	db := newDB(t, proteus.Config{})
+	res, err := db.QueryComprehension(
+		"for { e <- events, h <- e.hits, h > 1 } yield sum h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Scalar().AsInt(); got != 9 { // 2+3+4
+		t.Fatalf("sum = %d, want 9", got)
+	}
+}
+
+func TestPublicAPIExplain(t *testing.T) {
+	db := newDB(t, proteus.Config{})
+	out, err := db.Explain("SELECT COUNT(*) FROM people WHERE age > 20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Scan people") || !strings.Contains(out, "Reduce") {
+		t.Errorf("explain output:\n%s", out)
+	}
+}
+
+func TestPublicAPICacheLifecycle(t *testing.T) {
+	db := newDB(t, proteus.Config{CacheEnabled: true})
+	for i := 0; i < 2; i++ {
+		if _, err := db.Query("SELECT SUM(age) FROM people"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := db.CacheStats()
+	if st.Blocks == 0 || st.Hits == 0 {
+		t.Fatalf("cache stats = %+v", st)
+	}
+	// Drop invalidates caches and the catalog entry.
+	db.Drop("people")
+	if _, err := db.Query("SELECT SUM(age) FROM people"); err == nil {
+		t.Error("dropped dataset should be unknown")
+	}
+	if got := db.CacheStats().Blocks; got != 0 {
+		t.Errorf("blocks after drop = %d", got)
+	}
+}
+
+func TestPublicAPIFileRegistration(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "x.csv")
+	if err := os.WriteFile(csvPath, []byte("a,b\n1,2\n3,4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db := proteus.Open(proteus.Config{})
+	if err := db.RegisterCSV("x", csvPath, nil, proteus.CSVOptions{Header: true}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("SELECT SUM(a), SUM(b) FROM x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Rows[0]
+	if v, _ := row.Field("sum(a)"); v.AsInt() != 4 {
+		t.Errorf("sum(a) = %s", v)
+	}
+
+	jsonPath := filepath.Join(dir, "y.json")
+	if err := os.WriteFile(jsonPath, []byte(`{"v": 10}
+{"v": 32}
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RegisterJSON("y", jsonPath); err != nil {
+		t.Fatal(err)
+	}
+	res, err = db.Query("SELECT SUM(v) FROM y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Scalar().AsInt(); got != 42 {
+		t.Errorf("sum(v) = %d", got)
+	}
+}
+
+func TestPublicAPIErrors(t *testing.T) {
+	db := newDB(t, proteus.Config{})
+	if _, err := db.Query("SELECT COUNT(*) FROM ghost"); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+	if _, err := db.Query("SELEKT nope"); err == nil {
+		t.Error("bad SQL should fail")
+	}
+	if _, err := db.QueryComprehension("for { } yield nothing"); err == nil {
+		t.Error("bad comprehension should fail")
+	}
+	if err := db.RegisterCSV("bad", "/no/such/file.csv", nil); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestPublicAPICacheBudgetRespected(t *testing.T) {
+	db := proteus.Open(proteus.Config{CacheEnabled: true, CacheBudget: 64})
+	var sb strings.Builder
+	for i := 0; i < 1000; i++ {
+		sb.WriteString(`{"v": 1, "w": 2.5}`)
+		sb.WriteByte('\n')
+	}
+	if err := db.RegisterInMemory("big", []byte(sb.String()), "json", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query("SELECT SUM(v), MAX(w) FROM big"); err != nil {
+		t.Fatal(err)
+	}
+	if st := db.CacheStats(); st.Bytes > 64 {
+		t.Errorf("cache bytes %d exceed the 64-byte budget", st.Bytes)
+	}
+}

@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig5..fig14, tab3, or all")
+	exp := flag.String("exp", "all", "experiment: fig5..fig14, figpar, tab3, or all")
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor for fig5–fig13")
 	spam := flag.Int("spam", 10000, "spam scale (JSON objects) for fig14/tab3")
 	raw := flag.Bool("raw", false, "also print machine-readable rows")
@@ -76,6 +76,16 @@ func main() {
 		}
 		bench.PrintFigure(os.Stdout, "Figure 13: effect of caching (seconds)", rows)
 		bench.PrintSpeedups(os.Stdout, rows)
+		allRows = append(allRows, rows...)
+	}
+
+	if want("figpar") {
+		fmt.Printf("parallel sweep (%s) ...\n", bench.ParallelHostNote())
+		rows, err := bench.FigParallel(*sf)
+		if err != nil {
+			fatal(fmt.Errorf("figpar: %w", err))
+		}
+		bench.PrintFigure(os.Stdout, "Parallel sweep: morsel workers 1/2/4 (seconds)", rows)
 		allRows = append(allRows, rows...)
 	}
 

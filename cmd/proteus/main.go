@@ -35,9 +35,10 @@ func main() {
 	query := flag.String("q", "", "one-shot query (SQL, or a comprehension starting with 'for')")
 	caching := flag.Bool("cache", true, "enable adaptive caching")
 	header := flag.Bool("header", false, "CSV files start with a header row")
+	par := flag.Int("par", 0, "morsel-parallel workers per query (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
-	db := proteus.Open(proteus.Config{CacheEnabled: *caching})
+	db := proteus.Open(proteus.Config{CacheEnabled: *caching, Parallelism: *par})
 	register := func(list pairs, kind string) {
 		for _, spec := range list {
 			name, path, ok := strings.Cut(spec, "=")

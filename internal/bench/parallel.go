@@ -1,0 +1,124 @@
+// Morsel-parallelism experiment: the same scan-heavy queries on engines
+// configured with 1, 2, and 4 workers. The paper's testbed pins one worker
+// per core; on a single-core container the parallel points measure the
+// overhead of the morsel machinery rather than a speedup, so the report
+// records the host's usable core count alongside the timings.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+
+	"proteus/internal/engine"
+	"proteus/internal/plugin"
+	"proteus/internal/types"
+)
+
+// ParWorkers are the worker counts of the parallel sweep.
+var ParWorkers = []int{1, 2, 4}
+
+// FigParallel measures serial vs. morsel-parallel execution over the three
+// raw formats. Adaptive caching stays off so every run pays the full
+// raw-data scan the workers are meant to split.
+func FigParallel(sf float64) ([]Row, error) {
+	data := GenTPCH(sf)
+
+	templates := []struct {
+		label  string
+		sql    string
+		isComp bool
+	}{
+		{"4 Aggr. CSV", "SELECT COUNT(*), MAX(l_quantity), MAX(l_extendedprice), AVG(l_tax) FROM lineitem_csv", false},
+		{"4 Aggr. JSON", "SELECT COUNT(*), MAX(l_quantity), MAX(l_extendedprice), AVG(l_tax) FROM lineitem_json", false},
+		{"4 Aggr. binary", "SELECT COUNT(*), MAX(l_quantity), MAX(l_extendedprice), AVG(l_tax) FROM lineitem_bin", false},
+		{"Group-by CSV", "SELECT l_linenumber, COUNT(*), SUM(l_extendedprice) FROM lineitem_csv GROUP BY l_linenumber", false},
+		{"Join binary", "SELECT COUNT(*) FROM orders_bin o JOIN lineitem_bin l ON o.o_orderkey = l.l_orderkey", false},
+	}
+
+	var rows []Row
+	var serial map[string]*types.Value // label → reference scalar from the 1-worker engine
+	for _, workers := range ParWorkers {
+		e := engine.New(engine.Config{CacheEnabled: false, Parallelism: workers})
+		mem := e.Mem()
+		mem.PutFile("mem://lineitem.csv", data.LineitemCSV)
+		mem.PutFile("mem://lineitem.json", data.LineitemJSON)
+		mem.PutFile("mem://lineitem.bin", data.LineitemBin)
+		mem.PutFile("mem://orders.bin", data.OrdersBin)
+		regs := []struct {
+			name, path, format string
+			schema             *types.RecordType
+		}{
+			{"lineitem_csv", "mem://lineitem.csv", "csv", data.LineitemSchema},
+			{"lineitem_json", "mem://lineitem.json", "json", nil},
+			{"lineitem_bin", "mem://lineitem.bin", "bin", nil},
+			{"orders_bin", "mem://orders.bin", "bin", nil},
+		}
+		for _, rg := range regs {
+			if err := e.Register(rg.name, rg.path, rg.format, rg.schema, plugin.Options{}); err != nil {
+				return nil, fmt.Errorf("bench: registering %s: %w", rg.name, err)
+			}
+		}
+		if serial == nil {
+			serial = map[string]*types.Value{}
+		}
+		system := fmt.Sprintf("proteus-%dw", workers)
+		for _, t := range templates {
+			// Parallel results must agree with the serial reference before
+			// any of their timings count.
+			res, err := e.QuerySQL(t.sql)
+			if err != nil {
+				return nil, fmt.Errorf("%s @ %d workers: %w", t.label, workers, err)
+			}
+			v := res.Scalar()
+			if ref, ok := serial[t.label]; ok {
+				if !scalarAgrees(*ref, v) {
+					return nil, fmt.Errorf("%s @ %d workers: result %s diverges from serial %s",
+						t.label, workers, v, *ref)
+				}
+			} else {
+				serial[t.label] = &v
+			}
+			best := -1.0
+			for rep := 0; rep < 3; rep++ {
+				secs, err := timeIt(func() error {
+					_, err := e.QuerySQL(t.sql)
+					return err
+				})
+				if err != nil {
+					return nil, fmt.Errorf("%s @ %d workers: %w", t.label, workers, err)
+				}
+				if best < 0 || secs < best {
+					best = secs
+				}
+			}
+			rows = append(rows, Row{Exp: "figpar", Query: t.label, System: system, Seconds: best})
+		}
+	}
+	return rows, nil
+}
+
+// scalarAgrees compares a parallel result against the serial reference.
+// Integer, string, count, min, and max aggregates must match exactly; float
+// sums and averages are allowed the last-ULP differences that come from
+// merging per-morsel partial sums (floating-point addition reassociates).
+func scalarAgrees(ref, got types.Value) bool {
+	if types.Compare(ref, got) == 0 {
+		return true
+	}
+	if ref.Kind != types.KindFloat || got.Kind != types.KindFloat {
+		return false
+	}
+	a, b := ref.AsFloat(), got.AsFloat()
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	scale := max(a, -a, b, -b, 1)
+	return diff <= 1e-9*scale
+}
+
+// ParallelHostNote describes the cores the sweep could actually use, so
+// reported numbers are interpretable (a 1-core host cannot show a speedup).
+func ParallelHostNote() string {
+	return fmt.Sprintf("host: GOMAXPROCS=%d, NumCPU=%d", runtime.GOMAXPROCS(0), runtime.NumCPU())
+}

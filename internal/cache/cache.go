@@ -13,6 +13,7 @@ package cache
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"proteus/internal/storage"
 	"proteus/internal/types"
@@ -39,19 +40,56 @@ type Block struct {
 	FormatBias float64
 
 	lastUsed int64
-	bytes    int64
 }
 
-// Bytes reports the block's memory footprint.
+// Bytes reports the block's memory footprint. It is a pure computation:
+// completed blocks are shared read-only between concurrent compilations, so
+// memoizing the size in place would race.
 func (b *Block) Bytes() int64 {
-	if b.bytes == 0 {
-		n := int64(len(b.Ints))*8 + int64(len(b.Floats))*8 + int64(len(b.Bools)) + int64(len(b.Nulls))
-		for _, s := range b.Strs {
-			n += int64(len(s)) + 16
-		}
-		b.bytes = n
+	n := int64(len(b.Ints))*8 + int64(len(b.Floats))*8 + int64(len(b.Bools)) + int64(len(b.Nulls))
+	for _, s := range b.Strs {
+		n += int64(len(s)) + 16
 	}
-	return b.bytes
+	return n
+}
+
+// ConcatBlocks merges per-morsel partial blocks — listed in row order, all
+// for the same (dataset, key, kind) — into one block covering their union.
+// Parallel scans populate the cache this way: every worker builds the
+// fragment for its morsel, and the coordinator concatenates and registers
+// the full column exactly once when the scan finishes (§6 under
+// parallelism: blocks are only ever registered complete).
+func ConcatBlocks(parts []*Block) *Block {
+	if len(parts) == 0 {
+		return nil
+	}
+	out := &Block{
+		Dataset:    parts[0].Dataset,
+		Key:        parts[0].Key,
+		Kind:       parts[0].Kind,
+		FormatBias: parts[0].FormatBias,
+	}
+	hasNulls := false
+	for _, p := range parts {
+		if p.Nulls != nil {
+			hasNulls = true
+		}
+	}
+	for _, p := range parts {
+		out.Ints = append(out.Ints, p.Ints...)
+		out.Floats = append(out.Floats, p.Floats...)
+		out.Bools = append(out.Bools, p.Bools...)
+		out.Strs = append(out.Strs, p.Strs...)
+		if hasNulls {
+			if p.Nulls != nil {
+				out.Nulls = append(out.Nulls, p.Nulls...)
+			} else {
+				out.Nulls = append(out.Nulls, make([]bool, p.Rows)...)
+			}
+		}
+		out.Rows += p.Rows
+	}
+	return out
 }
 
 // JoinSide is an opaque materialized hash-join build side registered for
@@ -71,7 +109,7 @@ type JoinSide struct {
 type Manager struct {
 	mu      sync.Mutex
 	mem     *storage.Manager
-	enabled bool
+	enabled atomic.Bool
 	clock   int64
 
 	blocks map[string]*Block // key: dataset + "\x00" + expr key
@@ -80,25 +118,27 @@ type Manager struct {
 	// Policy knobs (§6 "Cache Policies").
 	CacheStrings bool // default false: verbose strings pollute the cache
 
-	// Counters for observability and tests.
-	Hits, Misses, Evictions int64
+	// Counters for observability and tests; atomics so hot compile paths
+	// and concurrent snapshot readers never race.
+	hits, misses, evictions atomic.Int64
 }
 
 // NewManager returns a Manager backed by the memory manager's arena.
 func NewManager(mem *storage.Manager, enabled bool) *Manager {
-	return &Manager{
-		mem:     mem,
-		enabled: enabled,
-		blocks:  map[string]*Block{},
-		joins:   map[string]*JoinSide{},
+	m := &Manager{
+		mem:    mem,
+		blocks: map[string]*Block{},
+		joins:  map[string]*JoinSide{},
 	}
+	m.enabled.Store(enabled)
+	return m
 }
 
 // Enabled reports whether adaptive caching is on.
-func (m *Manager) Enabled() bool { return m != nil && m.enabled }
+func (m *Manager) Enabled() bool { return m != nil && m.enabled.Load() }
 
 // SetEnabled toggles adaptive caching (experiments flip it per run).
-func (m *Manager) SetEnabled(on bool) { m.enabled = on }
+func (m *Manager) SetEnabled(on bool) { m.enabled.Store(on) }
 
 func blockKey(dataset, key string) string { return dataset + "\x00" + key }
 
@@ -112,12 +152,12 @@ func (m *Manager) Lookup(dataset, key string) (*Block, bool) {
 	defer m.mu.Unlock()
 	b, ok := m.blocks[blockKey(dataset, key)]
 	if !ok || !b.Complete {
-		m.Misses++
+		m.misses.Add(1)
 		return nil, false
 	}
 	m.clock++
 	b.lastUsed = m.clock
-	m.Hits++
+	m.hits.Add(1)
 	return b, true
 }
 
@@ -192,7 +232,7 @@ func (m *Manager) reserve(size int64) bool {
 		b := m.blocks[c.key]
 		m.mem.ArenaRelease(b.Bytes())
 		delete(m.blocks, c.key)
-		m.Evictions++
+		m.evictions.Add(1)
 		if m.mem.ArenaReserve(size) {
 			return true
 		}
@@ -264,7 +304,7 @@ type Stats struct {
 func (m *Manager) Snapshot() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	s := Stats{Blocks: len(m.blocks), JoinSides: len(m.joins), Hits: m.Hits, Misses: m.Misses, Evictions: m.Evictions}
+	s := Stats{Blocks: len(m.blocks), JoinSides: len(m.joins), Hits: m.hits.Load(), Misses: m.misses.Load(), Evictions: m.evictions.Load()}
 	for _, b := range m.blocks {
 		s.Bytes += b.Bytes()
 	}

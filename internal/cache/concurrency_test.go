@@ -1,0 +1,93 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"proteus/internal/storage"
+	"proteus/internal/types"
+)
+
+// TestManagerConcurrentAccess hammers every Manager entry point from many
+// goroutines; run under -race it proves the enabled flag, the counters, and
+// Block.Bytes carry no data races.
+func TestManagerConcurrentAccess(t *testing.T) {
+	m := NewManager(storage.NewManager(0), true)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("col%d", i%10)
+				switch i % 6 {
+				case 0:
+					m.Register(intBlock("ds", key, 16, 14))
+				case 1:
+					if b, ok := m.Lookup("ds", key); ok {
+						_ = b.Bytes()
+					}
+				case 2:
+					m.Has("ds", key)
+				case 3:
+					m.SetEnabled(i%2 == 0)
+					m.SetEnabled(true)
+				case 4:
+					_ = m.Snapshot()
+					_ = m.BytesForDataset("ds")
+				case 5:
+					m.ShouldCache(14, types.KindInt)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s := m.Snapshot(); s.Hits+s.Misses == 0 {
+		t.Errorf("expected lookups to be counted, snapshot = %+v", s)
+	}
+}
+
+func TestConcatBlocks(t *testing.T) {
+	a := &Block{Dataset: "ds", Key: "x", Kind: types.KindInt, FormatBias: 4,
+		Ints: []int64{1, 2, 3}, Rows: 3}
+	b := &Block{Dataset: "ds", Key: "x", Kind: types.KindInt, FormatBias: 4,
+		Ints: []int64{4, 5}, Nulls: []bool{false, true}, Rows: 2}
+	out := ConcatBlocks([]*Block{a, b})
+	if out.Rows != 5 || len(out.Ints) != 5 {
+		t.Fatalf("rows = %d ints = %d, want 5/5", out.Rows, len(out.Ints))
+	}
+	// One fragment had nulls, so the merged column must carry a full-length
+	// null vector with the null-free fragment widened to all-false.
+	want := []bool{false, false, false, false, true}
+	if len(out.Nulls) != len(want) {
+		t.Fatalf("nulls = %v, want %v", out.Nulls, want)
+	}
+	for i := range want {
+		if out.Nulls[i] != want[i] {
+			t.Fatalf("nulls = %v, want %v", out.Nulls, want)
+		}
+	}
+	if out.Complete {
+		t.Error("ConcatBlocks must leave Complete to the caller")
+	}
+
+	c := &Block{Dataset: "ds", Key: "y", Kind: types.KindInt, Ints: []int64{7}, Rows: 1}
+	if out := ConcatBlocks([]*Block{c}); out.Nulls != nil {
+		t.Errorf("null-free fragments must stay null-free, got %v", out.Nulls)
+	}
+	if ConcatBlocks(nil) != nil {
+		t.Error("ConcatBlocks(nil) should be nil")
+	}
+}
+
+// TestBlockBytesPure verifies Bytes does not mutate the block (it used to
+// memoize, which raced once completed blocks were shared across workers).
+func TestBlockBytesPure(t *testing.T) {
+	b := intBlock("ds", "col", 8, 14)
+	n1 := b.Bytes()
+	b.Ints = append(b.Ints, 99)
+	if n2 := b.Bytes(); n2 <= n1 {
+		t.Errorf("Bytes after growth = %d, want > %d", n2, n1)
+	}
+}

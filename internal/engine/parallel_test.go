@@ -1,0 +1,283 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"proteus/internal/exec"
+	"proteus/internal/plugin"
+	"proteus/internal/plugin/binpg"
+	"proteus/internal/types"
+)
+
+// registerParallelFixtures registers datasets big enough to split into
+// several morsels: a 1200-row CSV, a 300-object JSON file with nested tag
+// arrays of varying length (so byte-balanced morsel cuts differ from
+// row-balanced ones), and a 1000-row columnar binary file.
+func registerParallelFixtures(t *testing.T, e *Engine) {
+	t.Helper()
+
+	var csv strings.Builder
+	for i := 0; i < 1200; i++ {
+		fmt.Fprintf(&csv, "%d,%d,%g,name%03d,%d\n", i+1, (i*7)%100, float64(i%13)+0.5, i%50, i%7)
+	}
+	schema := types.NewRecordType(
+		types.Field{Name: "id", Type: types.Int},
+		types.Field{Name: "val", Type: types.Int},
+		types.Field{Name: "score", Type: types.Float},
+		types.Field{Name: "name", Type: types.String},
+		types.Field{Name: "grp", Type: types.Int},
+	)
+	e.Mem().PutFile("mem://big.csv", []byte(csv.String()))
+	if err := e.Register("big", "mem://big.csv", "csv", schema, plugin.Options{}); err != nil {
+		t.Fatalf("register big: %v", err)
+	}
+
+	var js strings.Builder
+	for i := 0; i < 300; i++ {
+		fmt.Fprintf(&js, `{"id": %d, "grp": %d, "w": %g, "tags": [`, i+1, i%5, float64(i%9))
+		nt := i % 4
+		if i == 0 {
+			nt = 2 // schema inference reads the first object's tags
+		}
+		for k := 0; k < nt; k++ {
+			if k > 0 {
+				js.WriteString(", ")
+			}
+			fmt.Fprintf(&js, `{"k": "t%d", "n": %d}`, k, (i+k)%11)
+		}
+		js.WriteString("]}\n")
+	}
+	e.Mem().PutFile("mem://events.json", []byte(js.String()))
+	if err := e.Register("events", "mem://events.json", "json", nil, plugin.Options{}); err != nil {
+		t.Fatalf("register events: %v", err)
+	}
+
+	ids := make([]int64, 1000)
+	vs := make([]float64, 1000)
+	for i := range ids {
+		ids[i] = int64(i + 1)
+		vs[i] = float64(i%17) * 0.5
+	}
+	bin, err := binpg.EncodeColumnar([]binpg.Column{
+		{Name: "id", Type: types.Int, Ints: ids},
+		{Name: "v", Type: types.Float, Floats: vs},
+	})
+	if err != nil {
+		t.Fatalf("encode bin: %v", err)
+	}
+	e.Mem().PutFile("mem://pts.bin", bin)
+	if err := e.Register("pts", "mem://pts.bin", "bin", nil, plugin.Options{}); err != nil {
+		t.Fatalf("register pts: %v", err)
+	}
+}
+
+// requireSameResult asserts two results are identical: same columns, same
+// row count, same values in the same order.
+func requireSameResult(t *testing.T, q string, serial, parallel *exec.Result) {
+	t.Helper()
+	if len(serial.Cols) != len(parallel.Cols) {
+		t.Fatalf("%s: cols %v vs %v", q, serial.Cols, parallel.Cols)
+	}
+	for i := range serial.Cols {
+		if serial.Cols[i] != parallel.Cols[i] {
+			t.Fatalf("%s: cols %v vs %v", q, serial.Cols, parallel.Cols)
+		}
+	}
+	if len(serial.Rows) != len(parallel.Rows) {
+		t.Fatalf("%s: %d rows serial vs %d parallel", q, len(serial.Rows), len(parallel.Rows))
+	}
+	for i := range serial.Rows {
+		if types.Compare(serial.Rows[i], parallel.Rows[i]) != 0 {
+			t.Fatalf("%s: row %d differs: %s vs %s", q, i, serial.Rows[i], parallel.Rows[i])
+		}
+	}
+}
+
+// TestParallelMatchesSerial runs the covered plan shapes — aggregates
+// (including AVG, which merges sum+count rather than quotients), group-bys
+// on both the single-int and the general key path, joins, unnests, and bag
+// yields with and without ORDER BY — on a serial and a 4-worker engine and
+// requires byte-identical results, row order included.
+func TestParallelMatchesSerial(t *testing.T) {
+	serial := New(Config{Parallelism: 1})
+	par := New(Config{Parallelism: 4})
+	registerParallelFixtures(t, serial)
+	registerParallelFixtures(t, par)
+
+	queries := []struct {
+		q      string
+		isComp bool
+	}{
+		{"SELECT COUNT(*), SUM(val), MIN(id), MAX(score), AVG(val) FROM big WHERE val < 60", false},
+		{"SELECT COUNT(*), AVG(w) FROM events", false},
+		{"SELECT grp, COUNT(*) AS n, SUM(val) AS s, AVG(score) AS a FROM big GROUP BY grp", false},
+		{"SELECT name, COUNT(*) AS n FROM big GROUP BY name", false},
+		{"SELECT grp, COUNT(*) AS n FROM events GROUP BY grp", false},
+		{"SELECT COUNT(*) FROM big a JOIN pts p ON a.id = p.id WHERE p.v < 5.0", false},
+		{"SELECT COUNT(*) FROM big a JOIN big b ON a.id = b.id WHERE a.val < 45", false},
+		{"SELECT id, name FROM big WHERE score > 3.0 ORDER BY id DESC LIMIT 17", false},
+		{"SELECT SUM(v) FROM pts WHERE id > 100", false},
+		{"for { n <- big, n.val >= 90 } yield bag (n.id, n.name)", true},
+		{"for { d <- events, tg <- d.tags, tg.n > 4 } yield count", true},
+		{"for { d <- events, tg <- d.tags } yield bag (d.id, tg.n)", true},
+	}
+	for _, tc := range queries {
+		run := func(e *Engine) (*exec.Result, error) {
+			if tc.isComp {
+				return e.QueryComp(tc.q)
+			}
+			return e.QuerySQL(tc.q)
+		}
+		resS, err := run(serial)
+		if err != nil {
+			t.Fatalf("serial %s: %v", tc.q, err)
+		}
+		resP, err := run(par)
+		if err != nil {
+			t.Fatalf("parallel %s: %v", tc.q, err)
+		}
+		requireSameResult(t, tc.q, resS, resP)
+	}
+}
+
+// TestParallelPlanIsActuallyParallel guards against the fallback silently
+// kicking in for partitionable plans.
+func TestParallelPlanIsActuallyParallel(t *testing.T) {
+	e := New(Config{Parallelism: 4})
+	registerParallelFixtures(t, e)
+	for _, q := range []string{
+		"SELECT SUM(val) FROM big",
+		"SELECT COUNT(*) FROM events",
+		"SELECT SUM(v) FROM pts",
+	} {
+		p, err := e.PrepareSQL(q)
+		if err != nil {
+			t.Fatalf("prepare %s: %v", q, err)
+		}
+		joined := strings.Join(p.Program.Explain, "\n")
+		if !strings.Contains(joined, "parallel:") {
+			t.Errorf("%s: expected a parallel compilation, explain:\n%s", q, joined)
+		}
+	}
+}
+
+// TestParallelCachePopulation: a morsel-parallel scan populates the cache
+// through per-worker fragments that the coordinator concatenates and
+// registers exactly once — the follow-up query must be served from the
+// cache and agree with the first result.
+func TestParallelCachePopulation(t *testing.T) {
+	e := New(Config{Parallelism: 4, CacheEnabled: true})
+	registerParallelFixtures(t, e)
+
+	res1, err := e.QuerySQL("SELECT SUM(val) FROM big")
+	if err != nil {
+		t.Fatalf("first query: %v", err)
+	}
+	snap := e.Caches().Snapshot()
+	if snap.Blocks == 0 {
+		t.Fatalf("expected cache blocks after parallel scan, got %+v", snap)
+	}
+
+	p, err := e.PrepareSQL("SELECT SUM(val) FROM big")
+	if err != nil {
+		t.Fatalf("re-prepare: %v", err)
+	}
+	joined := strings.Join(p.Program.Explain, "\n")
+	if !strings.Contains(joined, "served from cache") {
+		t.Fatalf("expected the re-run to read the cache, explain:\n%s", joined)
+	}
+	res2, err := p.Program.Run()
+	if err != nil {
+		t.Fatalf("cached run: %v", err)
+	}
+	if a, b := res1.Scalar().AsInt(), res2.Scalar().AsInt(); a != b {
+		t.Fatalf("cached result %d != original %d", b, a)
+	}
+}
+
+// TestConcurrentQueriesSharedEngine exercises many goroutines issuing mixed
+// CSV/JSON/binary queries against one shared engine with caching on — the
+// scenario the cache-manager and shared-build-side locking exists for. Run
+// with -race.
+func TestConcurrentQueriesSharedEngine(t *testing.T) {
+	e := newTestEngine(t, Config{CacheEnabled: true, Parallelism: 2})
+	bin, err := binpg.EncodeRows([]binpg.Column{
+		{Name: "k", Type: types.Int, Ints: []int64{1, 2, 3, 4, 5, 6}},
+	})
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	e.Mem().PutFile("mem://tiny.bin", bin)
+	if err := e.Register("tiny", "mem://tiny.bin", "bin", nil, plugin.Options{}); err != nil {
+		t.Fatalf("register tiny: %v", err)
+	}
+
+	queries := []struct {
+		q      string
+		isComp bool
+		want   int64
+	}{
+		{"SELECT COUNT(*) FROM nums WHERE val < 35", false, 3},
+		{"SELECT SUM(val) FROM nums WHERE id < 4", false, 60},
+		{"SELECT COUNT(*) FROM docs WHERE grp = 1", false, 2},
+		{"SELECT COUNT(*) FROM tiny WHERE k > 2", false, 4},
+		{"SELECT COUNT(*) FROM nums a JOIN nums b ON a.id = b.id", false, 5},
+		{"for { d <- docs, tg <- d.tags, tg.n > 5 } yield count", true, 2},
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; rep < 12; rep++ {
+				tc := queries[(w+rep)%len(queries)]
+				var res *exec.Result
+				var err error
+				if tc.isComp {
+					res, err = e.QueryComp(tc.q)
+				} else {
+					res, err = e.QuerySQL(tc.q)
+				}
+				if err != nil {
+					t.Errorf("worker %d: %s: %v", w, tc.q, err)
+					return
+				}
+				if got := res.Scalar().AsInt(); got != tc.want {
+					t.Errorf("worker %d: %s = %d, want %d", w, tc.q, got, tc.want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestParallelProgramReRun: a compiled parallel program may be run
+// repeatedly; shared build sides and cache fragments must re-arm per run.
+func TestParallelProgramReRun(t *testing.T) {
+	e := New(Config{Parallelism: 4, CacheEnabled: true})
+	registerParallelFixtures(t, e)
+	p, err := e.PrepareSQL("SELECT COUNT(*) FROM big a JOIN pts p ON a.id = p.id")
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	var first int64
+	for i := 0; i < 3; i++ {
+		res, err := p.Program.Run()
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		got := res.Scalar().AsInt()
+		if i == 0 {
+			first = got
+			if got != 1000 {
+				t.Fatalf("join count = %d, want 1000", got)
+			}
+		} else if got != first {
+			t.Fatalf("run %d: count = %d, want %d", i, got, first)
+		}
+	}
+}

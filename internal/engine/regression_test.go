@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestOrderByEmptyResult: ORDER BY used to error out when the predicate
+// eliminated every row, because the sort column could not be validated
+// against a zero-row output. Sorting nothing must be a no-op.
+func TestOrderByEmptyResult(t *testing.T) {
+	e := newTestEngine(t, Config{})
+	res, err := e.QuerySQL("SELECT id, name FROM nums WHERE val > 999 ORDER BY name")
+	if err != nil {
+		t.Fatalf("ORDER BY over an empty result must not fail: %v", err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatalf("expected no rows, got %d", len(res.Rows))
+	}
+
+	// With rows present a bogus sort column must still be rejected.
+	if _, err := e.QuerySQL("SELECT id FROM nums ORDER BY nosuch"); err == nil {
+		t.Fatal("ORDER BY on a missing column should error when rows exist")
+	}
+}
+
+// TestSelfJoinCacheBuilderDedup: scanning the same dataset twice in one
+// query (self-join) used to install two cache builders for the same field,
+// registering duplicate blocks with doubled row counts. Exactly one scan
+// may own the builder.
+func TestSelfJoinCacheBuilderDedup(t *testing.T) {
+	e := newTestEngine(t, Config{CacheEnabled: true})
+	p, err := e.PrepareSQL("SELECT COUNT(*) FROM nums a JOIN nums b ON a.id = b.id")
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	builders := 0
+	for _, note := range p.Program.Explain {
+		if strings.Contains(note, "populating cache for field id") {
+			builders++
+		}
+	}
+	if builders != 1 {
+		t.Fatalf("want exactly 1 cache builder for nums.id, got %d:\n%s",
+			builders, strings.Join(p.Program.Explain, "\n"))
+	}
+	res, err := p.Program.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := res.Scalar().AsInt(); got != 5 {
+		t.Fatalf("self-join count = %d, want 5", got)
+	}
+	blk, ok := e.Caches().Lookup("nums", "id")
+	if !ok {
+		t.Fatal("expected a registered cache block for nums.id")
+	}
+	if blk.Rows != 5 {
+		t.Fatalf("cached block rows = %d, want 5 (duplicate builders double it)", blk.Rows)
+	}
+
+	// The next compilation of the same query must read the cache.
+	p2, err := e.PrepareSQL("SELECT COUNT(*) FROM nums a JOIN nums b ON a.id = b.id")
+	if err != nil {
+		t.Fatalf("re-prepare: %v", err)
+	}
+	joined := strings.Join(p2.Program.Explain, "\n")
+	if !strings.Contains(joined, "served from cache") {
+		t.Fatalf("expected the second compilation to hit the cache:\n%s", joined)
+	}
+	res2, err := p2.Program.Run()
+	if err != nil {
+		t.Fatalf("cached run: %v", err)
+	}
+	if got := res2.Scalar().AsInt(); got != 5 {
+		t.Fatalf("cached self-join count = %d, want 5", got)
+	}
+}

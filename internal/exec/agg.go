@@ -12,12 +12,32 @@ import (
 )
 
 // accumulator is one compiled aggregate monoid: fold consumes the current
-// tuple, result yields the final value.
+// tuple, result yields the final value. partial/absorb expose the monoid's
+// internal state so morsel-parallel workers can merge their thread-local
+// aggregates at the pipeline breaker (merge is the monoid ⊕, so the merged
+// result equals the serial fold).
 type accumulator struct {
 	fold   func(r *vbuf.Regs)
 	result func() types.Value
 	// fresh clones the accumulator with zeroed state (for per-group use).
 	fresh func() *accumulator
+	// partial snapshots the internal state; absorb folds another
+	// accumulator's partial into this one.
+	partial func() any
+	absorb  func(p any)
+}
+
+// scalarPart is the partial state of min/max/sum over one scalar type.
+type scalarPart[T int64 | float64 | string] struct {
+	v    T
+	seen bool
+}
+
+// avgPart is the partial state of AVG: merging needs sum and count, not the
+// quotient.
+type avgPart struct {
+	sum float64
+	n   int64
 }
 
 // compileAgg builds the type-specialized accumulator for one aggregate.
@@ -28,9 +48,11 @@ func (c *Compiler) compileAgg(a expr.Agg) (*accumulator, error) {
 		make_ = func() *accumulator {
 			var n int64
 			return &accumulator{
-				fold:   func(*vbuf.Regs) { n++ },
-				result: func() types.Value { return types.IntValue(n) },
-				fresh:  func() *accumulator { return make_() },
+				fold:    func(*vbuf.Regs) { n++ },
+				result:  func() types.Value { return types.IntValue(n) },
+				fresh:   func() *accumulator { return make_() },
+				partial: func() any { return n },
+				absorb:  func(p any) { n += p.(int64) },
 			}
 		}
 		return make_(), nil
@@ -54,8 +76,10 @@ func (c *Compiler) compileAgg(a expr.Agg) (*accumulator, error) {
 					}
 					elems = append(elems, v)
 				},
-				result: func() types.Value { return types.Value{Kind: kind, Elems: elems} },
-				fresh:  func() *accumulator { return make_() },
+				result:  func() types.Value { return types.Value{Kind: kind, Elems: elems} },
+				fresh:   func() *accumulator { return make_() },
+				partial: func() any { return elems },
+				absorb:  func(p any) { elems = append(elems, p.([]types.Value)...) },
 			}
 		}
 		return make_(), nil
@@ -88,7 +112,13 @@ func (c *Compiler) compileAgg(a expr.Agg) (*accumulator, error) {
 					}
 					return types.FloatValue(sum / float64(n))
 				},
-				fresh: func() *accumulator { return make_() },
+				fresh:   func() *accumulator { return make_() },
+				partial: func() any { return avgPart{sum: sum, n: n} },
+				absorb: func(p any) {
+					ap := p.(avgPart)
+					sum += ap.sum
+					n += ap.n
+				},
 			}
 		}
 		return make_(), nil
@@ -114,191 +144,141 @@ func (c *Compiler) compileAgg(a expr.Agg) (*accumulator, error) {
 	return nil, fmt.Errorf("exec: unsupported aggregate %s over %s", a.Kind, t)
 }
 
-func intAccumulator(kind expr.AggKind, ev evalInt) (*accumulator, error) {
-	var make_ func() *accumulator
-	switch kind {
-	case expr.AggSum:
-		make_ = func() *accumulator {
-			var sum int64
-			seen := false
-			return &accumulator{
-				fold: func(r *vbuf.Regs) {
-					if v, ok := ev(r); ok {
-						sum += v
-						seen = true
-					}
-				},
-				result: func() types.Value {
-					if !seen {
-						return types.NullValue()
-					}
-					return types.IntValue(sum)
-				},
-				fresh: func() *accumulator { return make_() },
-			}
-		}
-	case expr.AggMax:
-		make_ = func() *accumulator {
-			best := int64(math.MinInt64)
-			seen := false
-			return &accumulator{
-				fold: func(r *vbuf.Regs) {
-					if v, ok := ev(r); ok {
-						if v > best {
-							best = v
-						}
-						seen = true
-					}
-				},
-				result: func() types.Value {
-					if !seen {
-						return types.NullValue()
-					}
-					return types.IntValue(best)
-				},
-				fresh: func() *accumulator { return make_() },
-			}
-		}
-	case expr.AggMin:
-		make_ = func() *accumulator {
-			best := int64(math.MaxInt64)
-			seen := false
-			return &accumulator{
-				fold: func(r *vbuf.Regs) {
-					if v, ok := ev(r); ok {
-						if v < best {
-							best = v
-						}
-						seen = true
-					}
-				},
-				result: func() types.Value {
-					if !seen {
-						return types.NullValue()
-					}
-					return types.IntValue(best)
-				},
-				fresh: func() *accumulator { return make_() },
-			}
-		}
-	default:
-		return nil, fmt.Errorf("exec: aggregate %s not defined on int", kind)
-	}
-	return make_(), nil
-}
-
-func floatAccumulator(kind expr.AggKind, ev evalFloat) (*accumulator, error) {
-	var make_ func() *accumulator
-	switch kind {
-	case expr.AggSum:
-		make_ = func() *accumulator {
-			var sum float64
-			seen := false
-			return &accumulator{
-				fold: func(r *vbuf.Regs) {
-					if v, ok := ev(r); ok {
-						sum += v
-						seen = true
-					}
-				},
-				result: func() types.Value {
-					if !seen {
-						return types.NullValue()
-					}
-					return types.FloatValue(sum)
-				},
-				fresh: func() *accumulator { return make_() },
-			}
-		}
-	case expr.AggMax:
-		make_ = func() *accumulator {
-			best := math.Inf(-1)
-			seen := false
-			return &accumulator{
-				fold: func(r *vbuf.Regs) {
-					if v, ok := ev(r); ok {
-						if v > best {
-							best = v
-						}
-						seen = true
-					}
-				},
-				result: func() types.Value {
-					if !seen {
-						return types.NullValue()
-					}
-					return types.FloatValue(best)
-				},
-				fresh: func() *accumulator { return make_() },
-			}
-		}
-	case expr.AggMin:
-		make_ = func() *accumulator {
-			best := math.Inf(1)
-			seen := false
-			return &accumulator{
-				fold: func(r *vbuf.Regs) {
-					if v, ok := ev(r); ok {
-						if v < best {
-							best = v
-						}
-						seen = true
-					}
-				},
-				result: func() types.Value {
-					if !seen {
-						return types.NullValue()
-					}
-					return types.FloatValue(best)
-				},
-				fresh: func() *accumulator { return make_() },
-			}
-		}
-	default:
-		return nil, fmt.Errorf("exec: aggregate %s not defined on float", kind)
-	}
-	return make_(), nil
-}
-
-func strAccumulator(kind expr.AggKind, ev evalStr) (*accumulator, error) {
-	wantMax := kind == expr.AggMax
+// scalarAccumulator builds sum/max/min over one scalar representation from
+// the fold step, the binary merge, and the boxing function.
+func scalarAccumulator[T int64 | float64 | string](
+	zero T,
+	ev func(r *vbuf.Regs) (T, bool),
+	combine func(acc, v T) T,
+	box func(T) types.Value,
+) *accumulator {
 	var make_ func() *accumulator
 	make_ = func() *accumulator {
-		var best string
-		seen := false
+		st := scalarPart[T]{v: zero}
 		return &accumulator{
 			fold: func(r *vbuf.Regs) {
 				v, ok := ev(r)
 				if !ok {
 					return
 				}
-				if !seen || (wantMax && v > best) || (!wantMax && v < best) {
-					best = v
-					seen = true
+				if !st.seen {
+					st.v = v
+					st.seen = true
+					return
 				}
+				st.v = combine(st.v, v)
 			},
 			result: func() types.Value {
-				if !seen {
+				if !st.seen {
 					return types.NullValue()
 				}
-				return types.StringValue(best)
+				return box(st.v)
 			},
-			fresh: func() *accumulator { return make_() },
+			fresh:   func() *accumulator { return make_() },
+			partial: func() any { return st },
+			absorb: func(p any) {
+				o := p.(scalarPart[T])
+				if !o.seen {
+					return
+				}
+				if !st.seen {
+					st = o
+					return
+				}
+				st.v = combine(st.v, o.v)
+			},
 		}
 	}
-	return make_(), nil
+	return make_()
 }
 
-// compileReduce compiles the root Reduce: the aggregates fold over the
-// child pipeline; a single AggBag/AggList yields the output collection.
-func (c *Compiler) compileReduce(red *algebra.Reduce) (func(r *vbuf.Regs) (*Result, error), error) {
-	// Embedded filter (compiled after the child, inside each branch).
+func intAccumulator(kind expr.AggKind, ev evalInt) (*accumulator, error) {
+	switch kind {
+	case expr.AggSum:
+		return scalarAccumulator[int64](0, ev, func(a, v int64) int64 { return a + v }, types.IntValue), nil
+	case expr.AggMax:
+		return scalarAccumulator[int64](math.MinInt64, ev, func(a, v int64) int64 { return max(a, v) }, types.IntValue), nil
+	case expr.AggMin:
+		return scalarAccumulator[int64](math.MaxInt64, ev, func(a, v int64) int64 { return min(a, v) }, types.IntValue), nil
+	default:
+		return nil, fmt.Errorf("exec: aggregate %s not defined on int", kind)
+	}
+}
+
+func floatAccumulator(kind expr.AggKind, ev evalFloat) (*accumulator, error) {
+	switch kind {
+	case expr.AggSum:
+		return scalarAccumulator[float64](0, ev, func(a, v float64) float64 { return a + v }, types.FloatValue), nil
+	case expr.AggMax:
+		return scalarAccumulator(math.Inf(-1), ev, func(a, v float64) float64 { return math.Max(a, v) }, types.FloatValue), nil
+	case expr.AggMin:
+		return scalarAccumulator(math.Inf(1), ev, func(a, v float64) float64 { return math.Min(a, v) }, types.FloatValue), nil
+	default:
+		return nil, fmt.Errorf("exec: aggregate %s not defined on float", kind)
+	}
+}
+
+func strAccumulator(kind expr.AggKind, ev evalStr) (*accumulator, error) {
+	if kind == expr.AggMax {
+		return scalarAccumulator("", ev, func(a, v string) string { return max(a, v) }, types.StringValue), nil
+	}
+	return scalarAccumulator("", ev, func(a, v string) string { return min(a, v) }, types.StringValue), nil
+}
+
+// reducePartial is the mergeable state of one Reduce evaluation: either the
+// collected output rows (bag/list yield) or the accumulator set. Parallel
+// workers each hold one and merge them at the pipeline breaker; the serial
+// path holds exactly one.
+type reducePartial struct {
+	collect bool
+	names   []string
+	rows    []types.Value
+	accs    []*accumulator
+}
+
+func (p *reducePartial) reset() {
+	p.rows = nil
+	for i := range p.accs {
+		p.accs[i] = p.accs[i].fresh()
+	}
+}
+
+func (p *reducePartial) merge(o partialState) error {
+	other, ok := o.(*reducePartial)
+	if !ok {
+		return fmt.Errorf("exec: cannot merge %T into reduce state", o)
+	}
+	if p.collect {
+		p.rows = append(p.rows, other.rows...)
+		return nil
+	}
+	for i := range p.accs {
+		p.accs[i].absorb(other.accs[i].partial())
+	}
+	return nil
+}
+
+func (p *reducePartial) result() (*Result, error) {
+	if p.collect {
+		return &Result{Cols: []string{p.names[0]}, Rows: p.rows}, nil
+	}
+	vals := make([]types.Value, len(p.accs))
+	for i, acc := range p.accs {
+		vals[i] = acc.result()
+	}
+	return &Result{Cols: p.names, Rows: []types.Value{types.RecordValue(p.names, vals)}}, nil
+}
+
+// compileReducePartial compiles the Reduce pipeline into a driver plus the
+// mergeable partial state it folds into.
+func (c *Compiler) compileReducePartial(red *algebra.Reduce) (func(r *vbuf.Regs) error, *reducePartial, error) {
+	st := &reducePartial{names: red.Names}
 	var pred evalBool
 
 	// Collection yield: one bag/list aggregate produces the result rows.
 	if len(red.Aggs) == 1 && (red.Aggs[0].Kind == expr.AggBag || red.Aggs[0].Kind == expr.AggList) {
+		st.collect = true
 		var ev evalVal
-		var rows []types.Value
 		run, err := c.compileChildThen(red.Child, func() (Kont, error) {
 			e, err := c.compileVal(red.Aggs[0].Arg)
 			if err != nil {
@@ -322,32 +302,25 @@ func (c *Compiler) compileReduce(red *algebra.Reduce) (func(r *vbuf.Regs) (*Resu
 				if !ok {
 					v = types.NullValue()
 				}
-				rows = append(rows, v)
+				st.rows = append(st.rows, v)
 				return nil
 			}, nil
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		name := red.Names[0]
-		return func(r *vbuf.Regs) (*Result, error) {
-			rows = nil
-			if err := run(r); err != nil {
-				return nil, err
-			}
-			return &Result{Cols: []string{name}, Rows: rows}, nil
-		}, nil
+		return run, st, nil
 	}
 
 	// Aggregate yield: fold every accumulator in one pass.
-	accs := make([]*accumulator, len(red.Aggs))
+	st.accs = make([]*accumulator, len(red.Aggs))
 	run, err := c.compileChildThen(red.Child, func() (Kont, error) {
 		for i, a := range red.Aggs {
 			acc, err := c.compileAgg(a)
 			if err != nil {
 				return nil, err
 			}
-			accs[i] = acc
+			st.accs[i] = acc
 		}
 		if red.Pred != nil {
 			p, err := c.compileBool(red.Pred)
@@ -362,64 +335,167 @@ func (c *Compiler) compileReduce(red *algebra.Reduce) (func(r *vbuf.Regs) (*Resu
 					return nil
 				}
 			}
-			for _, acc := range accs {
+			for _, acc := range st.accs {
 				acc.fold(r)
 			}
 			return nil
 		}, nil
 	})
 	if err != nil {
+		return nil, nil, err
+	}
+	return run, st, nil
+}
+
+// compileReduce compiles the root Reduce for serial execution.
+func (c *Compiler) compileReduce(red *algebra.Reduce) (func(r *vbuf.Regs) (*Result, error), error) {
+	run, st, err := c.compileReducePartial(red)
+	if err != nil {
 		return nil, err
 	}
-	names := red.Names
 	return func(r *vbuf.Regs) (*Result, error) {
-		// Re-arm accumulators for repeated executions of the same program.
-		for i := range accs {
-			accs[i] = accs[i].fresh()
-		}
+		// Re-arm state for repeated executions of the same program.
+		st.reset()
 		if err := run(r); err != nil {
 			return nil, err
 		}
-		vals := make([]types.Value, len(accs))
-		for i, acc := range accs {
-			vals[i] = acc.result()
-		}
-		return &Result{Cols: names, Rows: []types.Value{types.RecordValue(names, vals)}}, nil
+		return st.result()
 	}, nil
 }
 
 // group holds one hash-group's accumulators during Nest evaluation.
 type group struct {
+	hash    uint64
 	keyVals []types.Value
 	accs    []*accumulator
 }
 
-// compileNest compiles the root Nest: radix-hash grouping with per-group
-// accumulators (§5.1: "Proteus uses a radix-hash-based grouping
-// implementation"). Single integer group-by keys take a specialized path.
-func (c *Compiler) compileNest(n *algebra.Nest) (func(r *vbuf.Regs) (*Result, error), error) {
-	var pred evalBool
-	protoAccs := make([]*accumulator, len(n.Aggs))
-	freshAccs := func() []*accumulator {
-		accs := make([]*accumulator, len(protoAccs))
-		for i, p := range protoAccs {
-			accs[i] = p.fresh()
-		}
-		return accs
-	}
-	outNames := append(append([]string{}, n.GroupNames...), n.AggNames...)
+// nestPartial is the mergeable grouping state of one Nest evaluation.
+// Merging adopts groups first seen by later workers in worker order, so the
+// merged first-encounter order equals the serial scan order (workers hold
+// contiguous, ordered morsel ranges).
+type nestPartial struct {
+	outNames  []string
+	freshAccs func() []*accumulator
 
 	// Fast path: single integer key.
-	singleInt := false
+	singleInt bool
+	intGroups map[int64][]*accumulator
+	intOrder  []int64
+
+	// General path: composite/boxed keys hashed by canonical value hash.
+	groups map[uint64][]*group
+	order  []*group
+}
+
+func (p *nestPartial) reset() {
+	if p.singleInt {
+		p.intGroups = map[int64][]*accumulator{}
+		p.intOrder = nil
+		return
+	}
+	p.groups = map[uint64][]*group{}
+	p.order = nil
+}
+
+func (p *nestPartial) merge(o partialState) error {
+	other, ok := o.(*nestPartial)
+	if !ok {
+		return fmt.Errorf("exec: cannot merge %T into nest state", o)
+	}
+	if p.singleInt {
+		for _, k := range other.intOrder {
+			accs, exists := p.intGroups[k]
+			if !exists {
+				p.intGroups[k] = other.intGroups[k]
+				p.intOrder = append(p.intOrder, k)
+				continue
+			}
+			for i, acc := range accs {
+				acc.absorb(other.intGroups[k][i].partial())
+			}
+		}
+		return nil
+	}
+	for _, og := range other.order {
+		var g *group
+		for _, cand := range p.groups[og.hash] {
+			if sameKeys(cand.keyVals, og.keyVals) {
+				g = cand
+				break
+			}
+		}
+		if g == nil {
+			p.groups[og.hash] = append(p.groups[og.hash], og)
+			p.order = append(p.order, og)
+			continue
+		}
+		for i, acc := range g.accs {
+			acc.absorb(og.accs[i].partial())
+		}
+	}
+	return nil
+}
+
+func sameKeys(a, b []types.Value) bool {
+	for i := range a {
+		if types.Compare(a[i], b[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *nestPartial) result() (*Result, error) {
+	if p.singleInt {
+		sort.Slice(p.intOrder, func(i, j int) bool { return p.intOrder[i] < p.intOrder[j] })
+		rows := make([]types.Value, 0, len(p.intOrder))
+		for _, k := range p.intOrder {
+			vals := make([]types.Value, 0, len(p.outNames))
+			vals = append(vals, types.IntValue(k))
+			for _, acc := range p.intGroups[k] {
+				vals = append(vals, acc.result())
+			}
+			rows = append(rows, types.RecordValue(p.outNames, vals))
+		}
+		return &Result{Cols: p.outNames, Rows: rows}, nil
+	}
+	rows := make([]types.Value, 0, len(p.order))
+	for _, g := range p.order {
+		vals := make([]types.Value, 0, len(p.outNames))
+		vals = append(vals, g.keyVals...)
+		for _, acc := range g.accs {
+			vals = append(vals, acc.result())
+		}
+		rows = append(rows, types.RecordValue(p.outNames, vals))
+	}
+	return &Result{Cols: p.outNames, Rows: rows}, nil
+}
+
+// compileNestPartial compiles the Nest pipeline (radix-hash grouping with
+// per-group accumulators, §5.1) into a driver plus its mergeable state.
+// Single integer group-by keys take a specialized path.
+func (c *Compiler) compileNestPartial(n *algebra.Nest) (func(r *vbuf.Regs) error, *nestPartial, error) {
+	var pred evalBool
+	protoAccs := make([]*accumulator, len(n.Aggs))
+	st := &nestPartial{
+		outNames: append(append([]string{}, n.GroupNames...), n.AggNames...),
+		freshAccs: func() []*accumulator {
+			accs := make([]*accumulator, len(protoAccs))
+			for i, p := range protoAccs {
+				accs[i] = p.fresh()
+			}
+			return accs
+		},
+	}
+
 	if len(n.GroupBy) == 1 {
 		if t, err := c.typeOf(n.GroupBy[0]); err == nil && t.Kind() == types.KindInt {
-			singleInt = true
+			st.singleInt = true
 		}
 	}
 
-	if singleInt {
-		groups := map[int64][]*accumulator{}
-		var keyOrder []int64
+	if st.singleInt {
 		run, err := c.compileChildThen(n.Child, func() (Kont, error) {
 			keyEval, err := c.compileInt(n.GroupBy[0])
 			if err != nil {
@@ -449,11 +525,11 @@ func (c *Compiler) compileNest(n *algebra.Nest) (func(r *vbuf.Regs) (*Result, er
 				if !ok {
 					return nil
 				}
-				accs, exists := groups[k]
+				accs, exists := st.intGroups[k]
 				if !exists {
-					accs = freshAccs()
-					groups[k] = accs
-					keyOrder = append(keyOrder, k)
+					accs = st.freshAccs()
+					st.intGroups[k] = accs
+					st.intOrder = append(st.intOrder, k)
 				}
 				for _, acc := range accs {
 					acc.fold(r)
@@ -462,32 +538,12 @@ func (c *Compiler) compileNest(n *algebra.Nest) (func(r *vbuf.Regs) (*Result, er
 			}, nil
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return func(r *vbuf.Regs) (*Result, error) {
-			groups = map[int64][]*accumulator{}
-			keyOrder = nil
-			if err := run(r); err != nil {
-				return nil, err
-			}
-			sort.Slice(keyOrder, func(i, j int) bool { return keyOrder[i] < keyOrder[j] })
-			rows := make([]types.Value, 0, len(keyOrder))
-			for _, k := range keyOrder {
-				vals := make([]types.Value, 0, len(outNames))
-				vals = append(vals, types.IntValue(k))
-				for _, acc := range groups[k] {
-					vals = append(vals, acc.result())
-				}
-				rows = append(rows, types.RecordValue(outNames, vals))
-			}
-			return &Result{Cols: outNames, Rows: rows}, nil
-		}, nil
+		return run, st, nil
 	}
 
-	// General path: composite/boxed keys hashed by canonical value hash.
 	keyEvals := make([]evalVal, len(n.GroupBy))
-	groups := map[uint64][]*group{}
-	var order []*group
 	run, err := c.compileChildThen(n.Child, func() (Kont, error) {
 		for i, g := range n.GroupBy {
 			ev, err := c.compileVal(g)
@@ -527,23 +583,16 @@ func (c *Compiler) compileNest(n *algebra.Nest) (func(r *vbuf.Regs) (*Result, er
 				h = hashMix(h, v.Hash())
 			}
 			var g *group
-			for _, cand := range groups[h] {
-				same := true
-				for i := range keyVals {
-					if types.Compare(cand.keyVals[i], keyVals[i]) != 0 {
-						same = false
-						break
-					}
-				}
-				if same {
+			for _, cand := range st.groups[h] {
+				if sameKeys(cand.keyVals, keyVals) {
 					g = cand
 					break
 				}
 			}
 			if g == nil {
-				g = &group{keyVals: keyVals, accs: freshAccs()}
-				groups[h] = append(groups[h], g)
-				order = append(order, g)
+				g = &group{hash: h, keyVals: keyVals, accs: st.freshAccs()}
+				st.groups[h] = append(st.groups[h], g)
+				st.order = append(st.order, g)
 			}
 			for _, acc := range g.accs {
 				acc.fold(r)
@@ -552,23 +601,22 @@ func (c *Compiler) compileNest(n *algebra.Nest) (func(r *vbuf.Regs) (*Result, er
 		}, nil
 	})
 	if err != nil {
+		return nil, nil, err
+	}
+	return run, st, nil
+}
+
+// compileNest compiles the root Nest for serial execution.
+func (c *Compiler) compileNest(n *algebra.Nest) (func(r *vbuf.Regs) (*Result, error), error) {
+	run, st, err := c.compileNestPartial(n)
+	if err != nil {
 		return nil, err
 	}
 	return func(r *vbuf.Regs) (*Result, error) {
-		groups = map[uint64][]*group{}
-		order = nil
+		st.reset()
 		if err := run(r); err != nil {
 			return nil, err
 		}
-		rows := make([]types.Value, 0, len(order))
-		for _, g := range order {
-			vals := make([]types.Value, 0, len(outNames))
-			vals = append(vals, g.keyVals...)
-			for _, acc := range g.accs {
-				vals = append(vals, acc.result())
-			}
-			rows = append(rows, types.RecordValue(outNames, vals))
-		}
-		return &Result{Cols: outNames, Rows: rows}, nil
+		return st.result()
 	}, nil
 }

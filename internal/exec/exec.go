@@ -62,6 +62,20 @@ type Compiler struct {
 	lazyUnnest map[string]map[string]bool
 	// explain accumulates human-readable compilation decisions.
 	explain []string
+
+	// cacheBuilding dedupes cache-population builders within one
+	// compilation: a query that scans the same dataset twice (self-join)
+	// must attach the builder for a field to only one of the scans, or two
+	// builders would race to register overlapping blocks in one run.
+	cacheBuilding map[string]bool
+
+	// Morsel-parallel compilation context (zero for serial compiles).
+	// CompileParallel compiles one pipeline clone per worker; each clone
+	// gets its own Compiler with the same plan but a different morsel.
+	driveScan *algebra.Scan  // the scan that is range-partitioned
+	morsel    *plugin.Morsel // this worker's record range of driveScan
+	shared    *sharedRun     // cross-worker shared state (joins, cache frags)
+	workerID  int
 }
 
 func (c *Compiler) note(format string, args ...any) {
@@ -275,9 +289,23 @@ func (c *Compiler) compileScan(s *algebra.Scan, consume Kont) (func(r *vbuf.Regs
 		}
 		pluginFields = append(pluginFields, plugin.FieldReq{Path: splitPath(p), Slot: slot, Type: t})
 		if caches.ShouldCache(bias, t.Kind()) && !caches.Has(s.Dataset, p) {
-			buildReqs = append(buildReqs, buildReq{key: p, kind: t.Kind(), slot: slot})
-			c.note("scan %s: populating cache for field %s", s.Dataset, p)
+			if c.cacheBuilding == nil {
+				c.cacheBuilding = map[string]bool{}
+			}
+			if bk := s.Dataset + "\x00" + p; !c.cacheBuilding[bk] {
+				c.cacheBuilding[bk] = true
+				buildReqs = append(buildReqs, buildReq{key: p, kind: t.Kind(), slot: slot})
+				c.note("scan %s: populating cache for field %s", s.Dataset, p)
+			}
 		}
+	}
+
+	// Morsel restriction: only the driving scan of a parallel compilation is
+	// range-partitioned; every other scan runs in full in each worker (or
+	// once, for shared join build sides).
+	var morsel *plugin.Morsel
+	if c.driveScan != nil && s == c.driveScan {
+		morsel = c.morsel
 	}
 
 	// Cache loaders read by row ordinal — the OID the scan produces.
@@ -324,8 +352,18 @@ func (c *Compiler) compileScan(s *algebra.Scan, consume Kont) (func(r *vbuf.Regs
 	if len(pluginFields) == 0 && len(cachedFields) > 0 {
 		// Full cache hit: never touch the original dataset.
 		c.note("scan %s: fully served from cache (%d fields)", s.Dataset, len(cachedFields))
+		lo, hi := int64(0), rows
+		if morsel != nil {
+			lo, hi = morsel.Start, morsel.End
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > rows {
+				hi = rows
+			}
+		}
 		run := func(r *vbuf.Regs) error {
-			for row := int64(0); row < rows; row++ {
+			for row := lo; row < hi; row++ {
 				r.I[oid.Idx] = row
 				r.Null[oid.Null] = false
 				if err := inner(r); err != nil {
@@ -337,19 +375,35 @@ func (c *Compiler) compileScan(s *algebra.Scan, consume Kont) (func(r *vbuf.Regs
 		return run, nil
 	}
 
-	spec := plugin.ScanSpec{Fields: pluginFields, OIDSlot: &b.oidSlot}
+	spec := plugin.ScanSpec{Fields: pluginFields, OIDSlot: &b.oidSlot, Morsel: morsel}
 	pluginRun, err := in.CompileScan(ds, spec)
 	if err != nil {
 		return nil, err
 	}
+	shared, workerID := c.shared, c.workerID
 	run := func(r *vbuf.Regs) error {
+		for _, bd := range builders {
+			bd.Reset()
+		}
 		err := pluginRun(r, func() error { return inner(r) })
 		if err != nil {
 			return err
 		}
-		// Scan completed: register any caches built as a side-effect.
+		// Scan completed: hand off any caches built as a side-effect. Under
+		// parallelism a morselized scan only produced a fragment — stash it
+		// for the coordinator to concatenate and register once all workers
+		// finish — and a full (non-driving) scan registers through the shared
+		// run so exactly one worker's block wins.
 		for _, bd := range builders {
-			caches.Register(bd.Finish())
+			blk := bd.Finish()
+			switch {
+			case shared != nil && morsel != nil:
+				shared.addFrag(workerID, blk)
+			case shared != nil:
+				shared.registerOnce(caches, blk)
+			default:
+				caches.Register(blk)
+			}
 		}
 		return nil
 	}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"fmt"
 	"sort"
 
 	"proteus/internal/stats"
@@ -490,23 +491,77 @@ func (c *Compiler) compileJoin(j *algebra.Join, consume Kont) (func(r *vbuf.Regs
 
 	caches := c.env.Caches
 	needBuild := !reused
+	buildTable := func(r *vbuf.Regs) error {
+		if err := buildRun(r); err != nil {
+			return err
+		}
+		radix := 0
+		if len(jt.hashes) >= 1<<12 {
+			radix = defaultRadixBits
+		}
+		if RadixBitsOverride >= 0 {
+			radix = RadixBitsOverride
+		}
+		jt.build(radix)
+		if statsStore != nil {
+			profileMaterializedSide(statsStore, jt, datasetOf)
+		}
+		caches.RegisterJoinSide(&cache.JoinSide{Fingerprint: fp, Payload: jt, Bytes: jt.bytes()})
+		return nil
+	}
+
+	if c.shared != nil && !reused {
+		// Morsel-parallel run: the build side is built exactly once — the
+		// first worker to arrive builds inside the Once (also registering the
+		// cached side and the profile observations once) — and shared
+		// read-only with the other workers, which rebind the materialized
+		// columns onto their own clone's slots by column key.
+		sh := c.shared
+		run := func(r *vbuf.Regs) error {
+			sj := sh.joinFor(fp)
+			sj.once.Do(func() {
+				// Build into a fresh table so repeated runs of the parallel
+				// program never append onto a previous run's arrays.
+				fresh := &joinTable{cols: make([]*matCol, len(cols))}
+				for i, col := range cols {
+					fresh.cols[i] = &matCol{key: col.key, slot: col.slot}
+				}
+				if allInt {
+					fresh.intKeys = make([][]int64, len(keysR))
+				} else {
+					fresh.valKeys = make([][]types.Value, len(keysR))
+				}
+				jt = fresh
+				if err := buildTable(r); err != nil {
+					sj.err = err
+					return
+				}
+				sj.jt = jt
+			})
+			if sj.err != nil {
+				return sj.err
+			}
+			if sj.jt != jt {
+				remapped, ok := remapTable(sj.jt, cols)
+				if !ok {
+					return fmt.Errorf("exec: parallel join could not rebind the shared build side")
+				}
+				jt = remapped
+			}
+			return probeRun(r)
+		}
+		return run, nil
+	}
+
 	run := func(r *vbuf.Regs) error {
 		if needBuild {
-			if err := buildRun(r); err != nil {
+			if err := buildTable(r); err != nil {
 				return err
 			}
-			radix := 0
-			if len(jt.hashes) >= 1<<12 {
-				radix = defaultRadixBits
-			}
-			if RadixBitsOverride >= 0 {
-				radix = RadixBitsOverride
-			}
-			jt.build(radix)
-			if statsStore != nil {
-				profileMaterializedSide(statsStore, jt, datasetOf)
-			}
-			caches.RegisterJoinSide(&cache.JoinSide{Fingerprint: fp, Payload: jt, Bytes: jt.bytes()})
+			// The table is now materialized; a repeated Run of this program
+			// must probe it as-is rather than append a second copy of every
+			// build row.
+			needBuild = false
 		}
 		return probeRun(r)
 	}

@@ -1,0 +1,271 @@
+// Morsel-driven intra-query parallelism for the closure-compiled engine.
+//
+// CompileParallel partitions the plan's driving scan (its leftmost leaf)
+// into morsels — contiguous record-ordinal ranges that the input plug-in
+// derives from its structural index, byte-balanced for the raw formats —
+// and compiles one full pipeline clone per worker. Each clone is an
+// independent compilation: its own register-file layout (vbuf.Alloc), its
+// own typed closures, and its own thread-local root state (accumulators,
+// group tables, or row buffers). Workers therefore share no mutable state
+// except the sharedRun rendezvous, which owns the two things that must
+// happen exactly once per run: hash-join build sides (built by the first
+// worker to arrive, then shared read-only) and cache population (per-morsel
+// fragments concatenated and registered complete by the coordinator).
+//
+// Morsels are assigned statically, one contiguous range per worker in scan
+// order. That makes the merged output deterministic and byte-identical to
+// the serial program: concatenating bag rows in worker order reproduces the
+// serial scan order, and merging group tables in worker order reproduces
+// the serial first-encounter order. The one exception is float SUM/AVG,
+// where merging per-morsel partial sums reassociates floating-point
+// addition and can shift the last ULPs relative to serial; results remain
+// deterministic for a fixed worker count.
+package exec
+
+import (
+	"fmt"
+	"sync"
+
+	"proteus/internal/algebra"
+	"proteus/internal/cache"
+	"proteus/internal/expr"
+	"proteus/internal/plugin"
+	"proteus/internal/vbuf"
+)
+
+// sharedJoin is the once-per-run rendezvous for one hash-join build side.
+type sharedJoin struct {
+	once sync.Once
+	jt   *joinTable
+	err  error
+}
+
+// sharedRun is the cross-worker state of one parallel execution. It is
+// reset at the start of every Run of the parallel program.
+type sharedRun struct {
+	workers int
+
+	mu    sync.Mutex
+	joins map[string]*sharedJoin
+	// frags collects per-morsel cache fragments: block key → one fragment
+	// per worker, indexed by worker ID (i.e. morsel order).
+	frags map[string][]*cache.Block
+	// registered dedupes full-block registrations from non-driving scans
+	// that every worker executes.
+	registered map[string]bool
+}
+
+func newSharedRun(workers int) *sharedRun {
+	sh := &sharedRun{workers: workers}
+	sh.reset()
+	return sh
+}
+
+func (sh *sharedRun) reset() {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.joins = map[string]*sharedJoin{}
+	sh.frags = map[string][]*cache.Block{}
+	sh.registered = map[string]bool{}
+}
+
+// joinFor returns the rendezvous for a build-side fingerprint, creating it
+// on first use.
+func (sh *sharedRun) joinFor(fp string) *sharedJoin {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sj, ok := sh.joins[fp]
+	if !ok {
+		sj = &sharedJoin{}
+		sh.joins[fp] = sj
+	}
+	return sj
+}
+
+// addFrag stashes the cache fragment one worker's morsel produced.
+func (sh *sharedRun) addFrag(worker int, blk *cache.Block) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	key := blk.Dataset + "\x00" + blk.Key
+	fr := sh.frags[key]
+	if fr == nil {
+		fr = make([]*cache.Block, sh.workers)
+		sh.frags[key] = fr
+	}
+	fr[worker] = blk
+}
+
+// registerOnce registers a complete block produced redundantly by every
+// worker (a non-driving scan), letting exactly one copy through.
+func (sh *sharedRun) registerOnce(m *cache.Manager, blk *cache.Block) {
+	key := blk.Dataset + "\x00" + blk.Key
+	sh.mu.Lock()
+	if sh.registered[key] {
+		sh.mu.Unlock()
+		return
+	}
+	sh.registered[key] = true
+	sh.mu.Unlock()
+	m.Register(blk)
+}
+
+// finishCaches concatenates the per-morsel fragments into full columns and
+// registers them — only when every worker contributed its fragment and the
+// union covers the whole dataset, so a block is never registered complete
+// unless it actually is.
+func (sh *sharedRun) finishCaches(m *cache.Manager, totalRows int64) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, parts := range sh.frags {
+		var rows int64
+		complete := true
+		for _, p := range parts {
+			if p == nil {
+				complete = false
+				break
+			}
+			rows += p.Rows
+		}
+		if !complete || rows != totalRows {
+			continue
+		}
+		blk := cache.ConcatBlocks(parts)
+		blk.Complete = true
+		m.Register(blk)
+	}
+}
+
+// drivingScan returns the plan's leftmost leaf scan — the pipeline's source
+// operator, whose records every produced tuple descends from — or nil.
+func drivingScan(n algebra.Node) *algebra.Scan {
+	for n != nil {
+		if s, ok := n.(*algebra.Scan); ok {
+			return s
+		}
+		ch := n.Children()
+		if len(ch) == 0 {
+			return nil
+		}
+		n = ch[0]
+	}
+	return nil
+}
+
+// workerUnit is one compiled pipeline clone.
+type workerUnit struct {
+	alloc vbuf.Alloc
+	run   func(r *vbuf.Regs) error
+	state partialState
+}
+
+// CompileParallel compiles plan into a morsel-parallel program over at most
+// `workers` pipeline clones. It falls back to the serial Compile when the
+// plan cannot be partitioned: a single worker, no driving scan, a plug-in
+// without the Partitioner capability, or fewer than two morsels. The
+// returned Program behaves exactly like a serial one (including WrapResult
+// post-processing for ORDER BY / LIMIT), so callers need not care which
+// they got.
+func CompileParallel(plan algebra.Node, env *Env, workers int) (*Program, error) {
+	if workers <= 1 {
+		return Compile(plan, env)
+	}
+	drive := drivingScan(plan)
+	if drive == nil {
+		return Compile(plan, env)
+	}
+	ds, in, err := env.Catalog.Dataset(drive.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	part, ok := in.(plugin.Partitioner)
+	if !ok {
+		return Compile(plan, env)
+	}
+	morsels, err := part.PartitionScan(ds, workers)
+	if err != nil {
+		return nil, err
+	}
+	if len(morsels) < 2 {
+		return Compile(plan, env)
+	}
+	totalRows := in.Cardinality(ds)
+
+	sh := newSharedRun(len(morsels))
+	units := make([]*workerUnit, len(morsels))
+	var explain []string
+	for i := range morsels {
+		c := &Compiler{
+			env:       env,
+			bindings:  map[string]*binding{},
+			envTypes:  expr.Env{},
+			driveScan: drive,
+			morsel:    &morsels[i],
+			shared:    sh,
+			workerID:  i,
+		}
+		algebra.Walk(plan, func(n algebra.Node) bool {
+			for name, t := range n.Bindings() {
+				if _, exists := c.envTypes[name]; !exists {
+					c.envTypes[name] = t
+				}
+			}
+			return true
+		})
+		c.analyze(plan)
+
+		var run func(r *vbuf.Regs) error
+		var st partialState
+		switch root := plan.(type) {
+		case *algebra.Reduce:
+			run, st, err = c.compileReducePartial(root)
+		case *algebra.Nest:
+			run, st, err = c.compileNestPartial(root)
+		default:
+			run, st, err = c.compileBarePartial(plan)
+		}
+		if err != nil {
+			return nil, err
+		}
+		units[i] = &workerUnit{alloc: c.alloc, run: run, state: st}
+		if i == 0 {
+			explain = c.explain
+		}
+	}
+	explain = append(explain,
+		fmt.Sprintf("parallel: %d workers over %s (%d morsels)", len(morsels), drive.Dataset, len(morsels)))
+
+	caches := env.Caches
+	run := func(_ *vbuf.Regs) (*Result, error) {
+		sh.reset()
+		var wg sync.WaitGroup
+		errs := make([]error, len(units))
+		for i, u := range units {
+			wg.Add(1)
+			go func(i int, u *workerUnit) {
+				defer wg.Done()
+				u.state.reset()
+				regs := vbuf.NewRegs(&u.alloc)
+				errs[i] = u.run(regs)
+			}(i, u)
+		}
+		wg.Wait()
+		for _, e := range errs {
+			if e != nil {
+				return nil, e
+			}
+		}
+		// Pipeline breaker: merge the thread-local partials in worker
+		// (= morsel, = scan) order.
+		merged := units[0].state
+		for _, u := range units[1:] {
+			if err := merged.merge(u.state); err != nil {
+				return nil, err
+			}
+		}
+		// All workers succeeded: cache fragments now tile the dataset, so
+		// the concatenated blocks can be registered, complete, exactly once.
+		sh.finishCaches(caches, totalRows)
+		return merged.result()
+	}
+	return &Program{alloc: units[0].alloc, run: run, Explain: explain}, nil
+}

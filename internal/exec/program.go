@@ -100,9 +100,45 @@ func Compile(plan algebra.Node, env *Env) (*Program, error) {
 	return &Program{alloc: c.alloc, run: run, Explain: c.explain}, nil
 }
 
-// compileBare materializes each produced tuple as a record of the plan's
-// visible bindings.
-func (c *Compiler) compileBare(plan algebra.Node) (func(r *vbuf.Regs) (*Result, error), error) {
+// partialState is the mergeable per-pipeline state of a root operator.
+// Serial programs hold exactly one; CompileParallel gives each worker clone
+// its own and merges them in worker order at the pipeline breaker. Because
+// workers own contiguous, ordered morsel ranges, the worker-order merge
+// reproduces serial semantics exactly: bag rows concatenate in scan order
+// and group-by first-encounter order matches the serial scan.
+type partialState interface {
+	// reset re-arms the state for a fresh run of the program.
+	reset()
+	// merge folds another worker's state (of the same concrete type and
+	// shape) into this one.
+	merge(o partialState) error
+	// result materializes the final rows.
+	result() (*Result, error)
+}
+
+// barePartial is the mergeable state of a bare (no Reduce/Nest root) plan.
+type barePartial struct {
+	names []string
+	rows  []types.Value
+}
+
+func (p *barePartial) reset() { p.rows = nil }
+
+func (p *barePartial) merge(o partialState) error {
+	other, ok := o.(*barePartial)
+	if !ok {
+		return fmt.Errorf("exec: cannot merge %T into bare state", o)
+	}
+	p.rows = append(p.rows, other.rows...)
+	return nil
+}
+
+func (p *barePartial) result() (*Result, error) {
+	return &Result{Cols: p.names, Rows: p.rows}, nil
+}
+
+// compileBarePartial compiles a bare plan into a driver plus its state.
+func (c *Compiler) compileBarePartial(plan algebra.Node) (func(r *vbuf.Regs) error, *barePartial, error) {
 	bindings := plan.Bindings()
 	names := make([]string, 0, len(bindings))
 	for name := range bindings {
@@ -117,8 +153,8 @@ func (c *Compiler) compileBare(plan algebra.Node) (func(r *vbuf.Regs) (*Result, 
 		set[""] = true
 	}
 	sort.Strings(names)
+	st := &barePartial{names: names}
 	evs := make([]evalVal, len(names))
-	var rows []types.Value
 	run, err := c.compileChildThen(plan, func() (Kont, error) {
 		for i, name := range names {
 			ev, err := c.compileVal(&expr.Ref{Name: name})
@@ -136,19 +172,29 @@ func (c *Compiler) compileBare(plan algebra.Node) (func(r *vbuf.Regs) (*Result, 
 				}
 				vals[i] = v
 			}
-			rows = append(rows, types.RecordValue(names, vals))
+			st.rows = append(st.rows, types.RecordValue(names, vals))
 			return nil
 		}, nil
 	})
 	if err != nil {
+		return nil, nil, err
+	}
+	return run, st, nil
+}
+
+// compileBare materializes each produced tuple as a record of the plan's
+// visible bindings.
+func (c *Compiler) compileBare(plan algebra.Node) (func(r *vbuf.Regs) (*Result, error), error) {
+	run, st, err := c.compileBarePartial(plan)
+	if err != nil {
 		return nil, err
 	}
 	return func(r *vbuf.Regs) (*Result, error) {
-		rows = nil
+		st.reset()
 		if err := run(r); err != nil {
 			return nil, err
 		}
-		return &Result{Cols: names, Rows: rows}, nil
+		return st.result()
 	}, nil
 }
 

@@ -250,10 +250,10 @@ func (p *Plugin) CompileScan(ds *plugin.Dataset, spec plugin.ScanSpec) (plugin.R
 			return nil, fmt.Errorf("binpg: unsupported column type %s", ft)
 		}
 	}
-	rows := st.rows
+	lo, hi := morselBounds(spec.Morsel, st.rows)
 	oid := spec.OIDSlot
 	return func(regs *vbuf.Regs, consume func() error) error {
-		for row := int64(0); row < rows; row++ {
+		for row := lo; row < hi; row++ {
 			if oid != nil {
 				regs.I[oid.Idx] = row
 				regs.Null[oid.Null] = false
@@ -267,6 +267,31 @@ func (p *Plugin) CompileScan(ds *plugin.Dataset, spec plugin.ScanSpec) (plugin.R
 		}
 		return nil
 	}, nil
+}
+
+// morselBounds clamps an optional morsel to [0, rows).
+func morselBounds(m *plugin.Morsel, rows int64) (int64, int64) {
+	if m == nil {
+		return 0, rows
+	}
+	lo, hi := m.Start, m.End
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > rows {
+		hi = rows
+	}
+	return lo, hi
+}
+
+// PartitionScan implements plugin.Partitioner: binary rows are fixed-cost,
+// so morsels are equal record ranges.
+func (p *Plugin) PartitionScan(ds *plugin.Dataset, parts int) ([]plugin.Morsel, error) {
+	st, err := p.state(ds)
+	if err != nil {
+		return nil, err
+	}
+	return plugin.SplitRows(st.rows, parts), nil
 }
 
 // CompileUnnest implements plugin.Input: flat format, nothing to unnest.

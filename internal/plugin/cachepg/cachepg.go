@@ -127,6 +127,20 @@ func NewBuilder(dataset, key string, kind types.Kind, formatBias float64, slot v
 	}
 }
 
+// Reset discards any partially accumulated column so the builder can start
+// over — called at scan-run start, because a compiled program may be run
+// repeatedly and each run must produce a fresh block.
+func (b *Builder) Reset() {
+	old := b.Block
+	b.Block = &cache.Block{
+		Dataset:    old.Dataset,
+		Key:        old.Key,
+		Kind:       old.Kind,
+		FormatBias: old.FormatBias,
+	}
+	b.hasNull = false
+}
+
 // Append records the slot's current value.
 func (b *Builder) Append(regs *vbuf.Regs) {
 	null := regs.Null[b.slot.Null]

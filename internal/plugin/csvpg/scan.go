@@ -58,7 +58,16 @@ func (p *Plugin) CompileScan(ds *plugin.Dataset, spec plugin.ScanSpec) (plugin.R
 	data := st.data
 	delim := st.delim
 	oid := spec.OIDSlot
-	rows := st.rows
+	lo, hi := int64(0), st.rows
+	if spec.Morsel != nil {
+		lo, hi = spec.Morsel.Start, spec.Morsel.End
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > st.rows {
+			hi = st.rows
+		}
+	}
 
 	// Whole-record boxing decodes the row generically into value slots; it
 	// wraps whichever specialized loop is chosen below.
@@ -96,7 +105,7 @@ func (p *Plugin) CompileScan(ds *plugin.Dataset, spec plugin.ScanSpec) (plugin.R
 			base0 = st.rowStarts[0]
 		}
 		return wrapWhole(func(regs *vbuf.Regs, consume func() error) error {
-			for row := int64(0); row < rows; row++ {
+			for row := lo; row < hi; row++ {
 				base := base0 + int32(row)*rowLen
 				if oid != nil {
 					regs.I[oid.Idx] = row
@@ -122,7 +131,7 @@ func (p *Plugin) CompileScan(ds *plugin.Dataset, spec plugin.ScanSpec) (plugin.R
 	rowStarts := st.rowStarts
 	fieldPos := st.fieldPos
 	return wrapWhole(func(regs *vbuf.Regs, consume func() error) error {
-		for row := int64(0); row < rows; row++ {
+		for row := lo; row < hi; row++ {
 			if oid != nil {
 				regs.I[oid.Idx] = row
 				regs.Null[oid.Null] = false
@@ -158,6 +167,20 @@ func (p *Plugin) CompileScan(ds *plugin.Dataset, spec plugin.ScanSpec) (plugin.R
 		}
 		return nil
 	}), nil
+}
+
+// PartitionScan implements plugin.Partitioner: morsel boundaries are byte
+// targets snapped to record starts via the structural index (rowStarts), so
+// variable-width rows still yield byte-balanced morsels.
+func (p *Plugin) PartitionScan(ds *plugin.Dataset, parts int) ([]plugin.Morsel, error) {
+	st, err := p.state(ds)
+	if err != nil {
+		return nil, err
+	}
+	if st.fixed || len(st.rowStarts) == 0 {
+		return plugin.SplitRows(st.rows, parts), nil
+	}
+	return plugin.SplitByStarts(st.rowStarts, int64(len(st.data)), parts), nil
 }
 
 // fieldEnd returns the exclusive end of the field starting at pos.

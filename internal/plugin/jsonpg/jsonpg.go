@@ -100,6 +100,17 @@ func (p *Plugin) Deterministic(ds *plugin.Dataset) bool {
 	return false
 }
 
+// PartitionScan implements plugin.Partitioner: morsels are byte-balanced
+// object ranges cut at object boundaries via the structural index
+// (objStart), so skewed document sizes still spread evenly over workers.
+func (p *Plugin) PartitionScan(ds *plugin.Dataset, parts int) ([]plugin.Morsel, error) {
+	st, err := p.openState(ds)
+	if err != nil {
+		return nil, err
+	}
+	return plugin.SplitByStarts(st.objStart, int64(len(st.data)), parts), nil
+}
+
 // lookupFn resolves (object, fieldID) to the Level-1 entry ordinal, or -1.
 type lookupFn func(obj int64, fid int32) int32
 
@@ -257,10 +268,19 @@ func (p *Plugin) CompileScan(ds *plugin.Dataset, spec plugin.ScanSpec) (plugin.R
 		}
 	}
 
-	nObjs := st.nObjs
+	lo, hi := int64(0), st.nObjs
+	if spec.Morsel != nil {
+		lo, hi = spec.Morsel.Start, spec.Morsel.End
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > st.nObjs {
+			hi = st.nObjs
+		}
+	}
 	oid := spec.OIDSlot
 	return func(regs *vbuf.Regs, consume func() error) error {
-		for obj := int64(0); obj < nObjs; obj++ {
+		for obj := lo; obj < hi; obj++ {
 			if oid != nil {
 				regs.I[oid.Idx] = obj
 				regs.Null[oid.Null] = false

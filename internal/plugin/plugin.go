@@ -27,6 +27,7 @@ package plugin
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"proteus/internal/stats"
 	"proteus/internal/storage"
@@ -82,11 +83,26 @@ type FieldReq struct {
 	Type types.Type
 }
 
+// Morsel is one unit of scan parallelism: a contiguous range of record
+// ordinals [Start, End). Plug-ins compute morsel boundaries from their
+// structural indexes (byte-balanced and snapped to record boundaries for
+// the raw formats), so a morsel is always a whole number of records.
+type Morsel struct {
+	Start, End int64
+}
+
+// Rows returns the number of records the morsel covers.
+func (m Morsel) Rows() int64 { return m.End - m.Start }
+
 // ScanSpec describes what a scan must extract.
 type ScanSpec struct {
 	Fields []FieldReq
 	// OIDSlot, when non-nil, receives each record's OID (an int64).
 	OIDSlot *vbuf.Slot
+	// Morsel, when non-nil, restricts the scan driver to the record range
+	// [Morsel.Start, Morsel.End). OIDs remain absolute ordinals, so cache
+	// loads and lazy unnests keyed by OID work unchanged under parallelism.
+	Morsel *Morsel
 }
 
 // RunFunc drives a compiled scan: it loops over the dataset, fills the
@@ -149,6 +165,73 @@ type Input interface {
 	// ingest data, and what Proteus itself uses only for nested values that
 	// must be materialized.
 	ReadRows(ds *Dataset) ([]types.Value, error)
+}
+
+// Partitioner is the optional morsel-splitting capability of an input
+// plug-in. PartitionScan splits a dataset into at most parts non-empty,
+// contiguous, ordinal-ordered morsels that tile [0, Cardinality). Formats
+// with variable-length records (CSV, JSON) balance morsels by byte size
+// using their structural indexes rather than by record count. Plug-ins
+// that do not implement Partitioner are scanned serially.
+type Partitioner interface {
+	PartitionScan(ds *Dataset, parts int) ([]Morsel, error)
+}
+
+// SplitRows partitions [0, rows) into at most parts near-equal morsels —
+// the fallback splitter for fixed-width formats.
+func SplitRows(rows int64, parts int) []Morsel {
+	if rows <= 0 || parts <= 1 {
+		if rows <= 0 {
+			return nil
+		}
+		return []Morsel{{Start: 0, End: rows}}
+	}
+	if int64(parts) > rows {
+		parts = int(rows)
+	}
+	out := make([]Morsel, 0, parts)
+	start := int64(0)
+	for i := 0; i < parts; i++ {
+		end := rows * int64(i+1) / int64(parts)
+		if end > start {
+			out = append(out, Morsel{Start: start, End: end})
+			start = end
+		}
+	}
+	return out
+}
+
+// SplitByStarts splits the records whose byte offsets are starts (one per
+// record, ascending) into at most parts morsels whose byte spans are
+// near-equal: each cut is the first record starting at or after the i-th
+// byte target. This is how the raw-format plug-ins turn their structural
+// indexes into byte-balanced morsels despite variable-width records.
+func SplitByStarts[T int32 | uint32](starts []T, totalBytes int64, parts int) []Morsel {
+	rows := int64(len(starts))
+	if parts <= 1 || rows <= 1 {
+		return SplitRows(rows, parts)
+	}
+	if int64(parts) > rows {
+		parts = int(rows)
+	}
+	out := make([]Morsel, 0, parts)
+	start := int64(0)
+	for i := 1; i < parts; i++ {
+		target := T(totalBytes * int64(i) / int64(parts))
+		cut := int64(sort.Search(len(starts), func(j int) bool { return starts[j] >= target }))
+		if cut <= start {
+			continue
+		}
+		if cut >= rows {
+			break
+		}
+		out = append(out, Morsel{Start: start, End: cut})
+		start = cut
+	}
+	if start < rows {
+		out = append(out, Morsel{Start: start, End: rows})
+	}
+	return out
 }
 
 // Registry maps format tags to plug-ins.

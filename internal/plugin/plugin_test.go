@@ -1,0 +1,85 @@
+package plugin
+
+import "testing"
+
+// tile asserts morsels are non-empty, contiguous, ordered, and cover
+// exactly [0, rows).
+func tile(t *testing.T, ms []Morsel, rows int64) {
+	t.Helper()
+	var pos int64
+	for i, m := range ms {
+		if m.Start != pos {
+			t.Fatalf("morsel %d starts at %d, want %d (morsels %v)", i, m.Start, pos, ms)
+		}
+		if m.Rows() <= 0 {
+			t.Fatalf("morsel %d is empty: %v", i, m)
+		}
+		pos = m.End
+	}
+	if pos != rows {
+		t.Fatalf("morsels end at %d, want %d (morsels %v)", pos, rows, ms)
+	}
+}
+
+func TestSplitRows(t *testing.T) {
+	for _, tc := range []struct {
+		rows  int64
+		parts int
+		want  int
+	}{
+		{100, 4, 4},
+		{10, 3, 3},
+		{5, 8, 5},  // never more morsels than rows
+		{1, 4, 1},
+		{7, 1, 1},
+	} {
+		ms := SplitRows(tc.rows, tc.parts)
+		if len(ms) != tc.want {
+			t.Errorf("SplitRows(%d,%d) = %d morsels, want %d", tc.rows, tc.parts, len(ms), tc.want)
+		}
+		tile(t, ms, tc.rows)
+	}
+	if ms := SplitRows(0, 4); ms != nil {
+		t.Errorf("SplitRows(0,4) = %v, want nil", ms)
+	}
+}
+
+func TestSplitByStartsByteBalance(t *testing.T) {
+	// 10 records: one huge (1000 bytes) followed by nine tiny (10 bytes).
+	starts := make([]int32, 10)
+	starts[0] = 0
+	pos := int32(1000)
+	for i := 1; i < 10; i++ {
+		starts[i] = pos
+		pos += 10
+	}
+	total := int64(pos)
+	ms := SplitByStarts(starts, total, 2)
+	tile(t, ms, 10)
+	// The byte midpoint falls inside record 0, so the cut snaps to record 1:
+	// worker 0 gets the huge record alone, worker 1 the nine tiny ones.
+	if len(ms) != 2 || ms[0].End != 1 {
+		t.Fatalf("morsels = %v, want [0,1) [1,10)", ms)
+	}
+
+	// Uniform records split evenly.
+	uni := make([]uint32, 100)
+	for i := range uni {
+		uni[i] = uint32(i * 8)
+	}
+	ms2 := SplitByStarts(uni, 800, 4)
+	tile(t, ms2, 100)
+	if len(ms2) != 4 {
+		t.Fatalf("uniform split = %v, want 4 morsels", ms2)
+	}
+	for _, m := range ms2 {
+		if m.Rows() != 25 {
+			t.Fatalf("uniform morsels should hold 25 rows each, got %v", ms2)
+		}
+	}
+}
+
+func TestSplitByStartsDegenerate(t *testing.T) {
+	tile(t, SplitByStarts([]int32{0}, 50, 4), 1)
+	tile(t, SplitByStarts([]uint32{0, 10, 20}, 30, 8), 3)
+}

@@ -50,6 +50,11 @@ type Config struct {
 	// SampleEvery sets the statistics sampling stride during cold dataset
 	// access (default 64).
 	SampleEvery int
+	// Parallelism sets the number of morsel-parallel workers per query
+	// (0 = GOMAXPROCS; 1 forces serial execution). Queries whose driving
+	// scan can be partitioned run one compiled pipeline clone per worker
+	// and merge thread-local partials at the pipeline breaker.
+	Parallelism int
 }
 
 // DB is a Proteus engine instance: a catalog of registered datasets plus
@@ -89,6 +94,7 @@ func Open(cfg Config) *DB {
 		CacheBudget:  cfg.CacheBudget,
 		CacheStrings: cfg.CacheStrings,
 		SampleEvery:  cfg.SampleEvery,
+		Parallelism:  cfg.Parallelism,
 	})}
 }
 

@@ -10,9 +10,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"proteus/internal/bench"
@@ -23,10 +25,14 @@ func main() {
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor for fig5–fig13")
 	spam := flag.Int("spam", 10000, "spam scale (JSON objects) for fig14/tab3")
 	raw := flag.Bool("raw", false, "also print machine-readable rows")
+	jsonOut := flag.String("json", "BENCH_PR2.json", "write a machine-readable report to this path (empty disables)")
+	iters := flag.Int("iters", 5, "runs per query for phase-split and overhead medians")
 	flag.Parse()
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 	var allRows []bench.Row
+	var phaseRows []bench.PhaseRow
+	obsOverhead := 0.0
 
 	tpchFigs := []struct {
 		name  string
@@ -67,6 +73,18 @@ func main() {
 			bench.PrintFigure(os.Stdout, f.title, rows)
 			allRows = append(allRows, rows...)
 		}
+		if *jsonOut != "" {
+			var err error
+			phaseRows, err = bench.PhaseSplit(fixture, *iters)
+			if err != nil {
+				fatal(fmt.Errorf("phase split: %w", err))
+			}
+			obsOverhead, err = bench.ObsOverhead(*sf, *iters)
+			if err != nil {
+				fatal(fmt.Errorf("observability overhead: %w", err))
+			}
+			fmt.Printf("observability overhead: %.3fx (budget < 1.05x)\n\n", obsOverhead)
+		}
 	}
 
 	if want("fig13") {
@@ -102,6 +120,71 @@ func main() {
 	if *raw {
 		fmt.Println(strings.TrimSpace(bench.FormatRows(allRows)))
 	}
+	if *jsonOut != "" {
+		if err := writeJSONReport(*jsonOut, *sf, *spam, allRows, phaseRows, obsOverhead); err != nil {
+			fatal(fmt.Errorf("writing %s: %w", *jsonOut, err))
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+}
+
+// figureSummary is one figure's per-system median runtime.
+type figureSummary struct {
+	MedianSeconds map[string]float64 `json:"median_seconds_by_system"`
+	Rows          int                `json:"rows"`
+}
+
+// jsonReport is the machine-readable benchmark artifact.
+type jsonReport struct {
+	ScaleFactor float64                  `json:"scale_factor"`
+	SpamObjects int                      `json:"spam_objects"`
+	Figures     map[string]figureSummary `json:"figures"`
+	PhaseSplit  []bench.PhaseRow         `json:"phase_split,omitempty"`
+	ObsOverhead float64                  `json:"obs_overhead_ratio,omitempty"`
+	Rows        []rowJSON                `json:"rows"`
+}
+
+// rowJSON mirrors bench.Row with stable JSON field names.
+type rowJSON struct {
+	Exp     string  `json:"exp"`
+	Query   string  `json:"query"`
+	System  string  `json:"system"`
+	Sel     int     `json:"selectivity_pct"`
+	Seconds float64 `json:"seconds"`
+}
+
+func writeJSONReport(path string, sf float64, spam int, rows []bench.Row, phases []bench.PhaseRow, overhead float64) error {
+	rep := jsonReport{
+		ScaleFactor: sf,
+		SpamObjects: spam,
+		Figures:     map[string]figureSummary{},
+		PhaseSplit:  phases,
+		ObsOverhead: overhead,
+	}
+	bySystem := map[string]map[string][]float64{}
+	for _, r := range rows {
+		rep.Rows = append(rep.Rows, rowJSON{Exp: r.Exp, Query: r.Query, System: r.System, Sel: r.Sel, Seconds: r.Seconds})
+		m := bySystem[r.Exp]
+		if m == nil {
+			m = map[string][]float64{}
+			bySystem[r.Exp] = m
+		}
+		m[r.System] = append(m[r.System], r.Seconds)
+	}
+	for exp, systems := range bySystem {
+		sum := figureSummary{MedianSeconds: map[string]float64{}}
+		for sys, times := range systems {
+			sort.Float64s(times)
+			sum.MedianSeconds[sys] = times[(len(times)-1)/2]
+			sum.Rows += len(times)
+		}
+		rep.Figures[exp] = sum
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
 func fatal(err error) {

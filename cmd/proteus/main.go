@@ -7,14 +7,20 @@
 //	        -q "SELECT COUNT(*) FROM sales s JOIN events e ON s.id = e.sid"
 //
 // Without -q it reads queries from stdin, one per line; lines starting with
-// "for" are parsed as comprehensions, ".explain <sql>" prints the plan, and
-// ".caches" prints cache statistics.
+// "for" are parsed as comprehensions. Dot commands: ".explain <query>"
+// prints the plan, ".explain analyze <query>" runs the query with full
+// per-operator instrumentation, ".profile" shows the most recent query
+// profile, ".metrics" dumps cumulative engine metrics, and ".caches" prints
+// cache statistics. The -obs flag records a profile for every query and
+// -metrics ADDR serves /metrics, /debug/vars, and /debug/pprof over HTTP.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -36,9 +42,23 @@ func main() {
 	caching := flag.Bool("cache", true, "enable adaptive caching")
 	header := flag.Bool("header", false, "CSV files start with a header row")
 	par := flag.Int("par", 0, "morsel-parallel workers per query (0 = GOMAXPROCS, 1 = serial)")
+	obsOn := flag.Bool("obs", false, "record a profile for every query (.profile shows the latest)")
+	metricsAddr := flag.String("metrics", "", "serve /metrics, /debug/vars, /debug/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
-	db := proteus.Open(proteus.Config{CacheEnabled: *caching, Parallelism: *par})
+	db := proteus.Open(proteus.Config{
+		CacheEnabled:  *caching,
+		Parallelism:   *par,
+		Observability: *obsOn,
+	})
+	if *metricsAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, db.MetricsHandler()); err != nil {
+				fmt.Fprintln(os.Stderr, "metrics listener:", err)
+			}
+		}()
+		fmt.Printf("serving metrics on http://%s/metrics\n", *metricsAddr)
+	}
 	register := func(list pairs, kind string) {
 		for _, spec := range list {
 			name, path, ok := strings.Cut(spec, "=")
@@ -68,7 +88,7 @@ func main() {
 		runQuery(db, *query)
 		return
 	}
-	fmt.Println("proteus> enter queries (SQL or 'for {...} yield ...'); .explain <sql>, .caches, .quit")
+	fmt.Println("proteus> enter queries (SQL or 'for {...} yield ...'); .explain [analyze] <query>, .profile, .metrics, .caches, .quit")
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -82,9 +102,34 @@ func main() {
 		case line == ".quit" || line == ".exit":
 			return
 		case line == ".caches":
-			fmt.Printf("%+v\n", db.CacheStats())
+			s := db.CacheStats()
+			fmt.Printf("blocks=%d join_sides=%d bytes=%d hits=%d misses=%d evictions=%d build_time=%v\n",
+				s.Blocks, s.JoinSides, s.Bytes, s.Hits, s.Misses, s.Evictions,
+				time.Duration(s.BuildNanos).Round(time.Microsecond))
+		case line == ".metrics":
+			out, err := json.MarshalIndent(db.Metrics(), "", "  ")
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Println(string(out))
+		case line == ".profile":
+			profs := db.RecentProfiles()
+			if len(profs) == 0 {
+				fmt.Println("no profiles recorded (run with -obs, or use .explain analyze <query>)")
+				continue
+			}
+			fmt.Print(proteus.RenderProfile(profs[0]))
+		case strings.HasPrefix(line, ".explain analyze "):
+			out, err := db.ExplainAnalyze(strings.TrimPrefix(line, ".explain analyze "))
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Print(out)
 		case strings.HasPrefix(line, ".explain "):
-			plan, err := db.Explain(strings.TrimPrefix(line, ".explain "))
+			q := strings.TrimPrefix(line, ".explain ")
+			plan, err := db.Explain(q)
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
@@ -100,7 +145,7 @@ func runQuery(db *proteus.DB, q string) {
 	start := time.Now()
 	var res *proteus.Result
 	var err error
-	if strings.HasPrefix(strings.TrimSpace(q), "for") {
+	if proteus.IsComprehension(q) {
 		res, err = db.QueryComprehension(q)
 	} else {
 		res, err = db.Query(q)

@@ -279,8 +279,18 @@ func Format(n Node) string {
 }
 
 func format(n Node, depth int, sb *strings.Builder) {
-	indent := strings.Repeat("  ", depth)
-	sb.WriteString(indent)
+	sb.WriteString(strings.Repeat("  ", depth))
+	sb.WriteString(Label(n))
+	sb.WriteString("\n")
+	for _, c := range n.Children() {
+		format(c, depth+1, sb)
+	}
+}
+
+// Label renders one operator's single-line description (no children) — the
+// per-node text of Format, shared with profiled-plan rendering.
+func Label(n Node) string {
+	var sb strings.Builder
 	switch x := n.(type) {
 	case *Scan:
 		sb.WriteString("Scan " + x.Dataset + " as " + x.Binding)
@@ -330,8 +340,5 @@ func format(n Node, depth int, sb *strings.Builder) {
 			sb.WriteString(a.String())
 		}
 	}
-	sb.WriteString("\n")
-	for _, c := range n.Children() {
-		format(c, depth+1, sb)
-	}
+	return sb.String()
 }

@@ -121,6 +121,10 @@ type Manager struct {
 	// Counters for observability and tests; atomics so hot compile paths
 	// and concurrent snapshot readers never race.
 	hits, misses, evictions atomic.Int64
+	// buildNanos accumulates wall time spent materializing and registering
+	// cache blocks (builder Finish/Concat/Register), credited once per scan
+	// run by the executor.
+	buildNanos atomic.Int64
 }
 
 // NewManager returns a Manager backed by the memory manager's arena.
@@ -290,21 +294,29 @@ func (m *Manager) RegisterJoinSide(j *JoinSide) bool {
 	return true
 }
 
+// AddBuildNanos credits wall time spent materializing cache blocks.
+func (m *Manager) AddBuildNanos(n int64) {
+	if m != nil && n > 0 {
+		m.buildNanos.Add(n)
+	}
+}
+
 // Stats summarizes the cache state for EXPLAIN-style output and tests.
 type Stats struct {
-	Blocks    int
-	JoinSides int
-	Bytes     int64
-	Hits      int64
-	Misses    int64
-	Evictions int64
+	Blocks     int
+	JoinSides  int
+	Bytes      int64
+	Hits       int64
+	Misses     int64
+	Evictions  int64
+	BuildNanos int64
 }
 
 // Snapshot returns current cache statistics.
 func (m *Manager) Snapshot() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	s := Stats{Blocks: len(m.blocks), JoinSides: len(m.joins), Hits: m.hits.Load(), Misses: m.misses.Load(), Evictions: m.evictions.Load()}
+	s := Stats{Blocks: len(m.blocks), JoinSides: len(m.joins), Hits: m.hits.Load(), Misses: m.misses.Load(), Evictions: m.evictions.Load(), BuildNanos: m.buildNanos.Load()}
 	for _, b := range m.blocks {
 		s.Bytes += b.Bytes()
 	}

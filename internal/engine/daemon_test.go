@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -77,6 +78,71 @@ func TestStatsDaemonRunsAndStops(t *testing.T) {
 	}
 	stop()
 	stop() // stopping twice must be safe
+}
+
+// TestStatsDaemonGatheredRangesLand asserts the daemon's own MIN/MAX
+// sweeps (not a synchronous GatherStatsOnce) populate the statistics store
+// with the exact column ranges.
+func TestStatsDaemonGatheredRangesLand(t *testing.T) {
+	e := statlessEngine(t)
+	stop := e.StartStatsDaemon(2 * time.Millisecond)
+	defer stop()
+	deadline := time.After(2 * time.Second)
+	for {
+		tbl, ok := e.Stats().Lookup("d")
+		if ok {
+			if _, _, hasA := tbl.Range("a"); hasA {
+				if _, _, hasB := tbl.Range("b"); hasB {
+					break
+				}
+			}
+		}
+		select {
+		case <-deadline:
+			t.Fatal("daemon never gathered both ranges")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	tbl, _ := e.Stats().Lookup("d")
+	if mn, mx, _ := tbl.Range("a"); mn != 1 || mx != 9 {
+		t.Errorf("a range = [%g, %g], want [1, 9]", mn, mx)
+	}
+	if mn, mx, _ := tbl.Range("b"); mn != 0.5 || mx != 2.5 {
+		t.Errorf("b range = [%g, %g], want [0.5, 2.5]", mn, mx)
+	}
+}
+
+// TestStatsDaemonStopConcurrentWithTicks races stop() against in-flight
+// daemon ticks (run under -race): many daemons on a shared engine, stopped
+// from a different goroutine than the starter while sweeps execute, and
+// every stop called twice.
+func TestStatsDaemonStopConcurrentWithTicks(t *testing.T) {
+	e := statlessEngine(t)
+	const daemons = 8
+	stops := make([]func(), daemons)
+	for i := range stops {
+		stops[i] = e.StartStatsDaemon(time.Millisecond)
+	}
+	// Let ticks fire while queries run through the same engine.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			_, _ = e.QuerySQL("SELECT MIN(a), MAX(a) FROM d")
+		}
+	}()
+	time.Sleep(5 * time.Millisecond)
+	var wg sync.WaitGroup
+	for _, stop := range stops {
+		wg.Add(1)
+		go func(stop func()) {
+			defer wg.Done()
+			stop()
+			stop() // double-stop must stay safe under contention
+		}(stop)
+	}
+	wg.Wait()
+	<-done
 }
 
 func TestJoinMaterializationProfilesStats(t *testing.T) {

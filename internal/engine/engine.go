@@ -10,12 +10,14 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"proteus/internal/algebra"
 	"proteus/internal/cache"
 	"proteus/internal/calculus"
 	"proteus/internal/comp"
 	"proteus/internal/exec"
+	"proteus/internal/obs"
 	"proteus/internal/optimizer"
 	"proteus/internal/plugin"
 	"proteus/internal/plugin/binpg"
@@ -44,6 +46,18 @@ type Config struct {
 	// scan; plans whose driving plug-in cannot partition fall back to
 	// serial automatically.
 	Parallelism int
+	// Observability turns per-query lifecycle tracing and operator row
+	// counting on for every query (see DESIGN.md, Observability). Engine
+	// metrics and EXPLAIN ANALYZE work regardless of this flag; it controls
+	// only whether ordinary queries record profiles into the ring.
+	Observability bool
+	// ProfileRing bounds how many recent query profiles are retained
+	// (default 32; values below 1 retain only the most recent profile).
+	ProfileRing int
+	// OnQueryDone, when set, is invoked synchronously with every finished
+	// query's profile — the structured slow-query-log hook. It runs on the
+	// query's goroutine; keep it cheap or hand off.
+	OnQueryDone func(obs.QueryProfile)
 }
 
 // Engine is a Proteus instance: a catalog plus the managers every query
@@ -57,6 +71,15 @@ type Engine struct {
 	env         *plugin.Env
 	datasets    map[string]*plugin.Dataset
 	parallelism int
+
+	// Observability state. metrics and profiles are always allocated so
+	// Metrics() and the HTTP handler work even when per-query profiling is
+	// off; obsEnabled only gates whether ordinary queries trace themselves.
+	obsEnabled bool
+	metrics    *obs.Metrics
+	profiles   *obs.Ring
+	onDone     func(obs.QueryProfile)
+	queryID    atomic.Int64
 }
 
 // New creates an engine with the standard plug-ins registered (CSV, JSON,
@@ -80,6 +103,13 @@ func New(cfg Config) *Engine {
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
+	ringSize := cfg.ProfileRing
+	if ringSize == 0 {
+		ringSize = 32
+	}
+	if ringSize < 0 {
+		ringSize = 0
+	}
 	return &Engine{
 		mem:         mem,
 		stats:       st,
@@ -88,6 +118,10 @@ func New(cfg Config) *Engine {
 		env:         &plugin.Env{Mem: mem, Stats: st, SampleEvery: cfg.SampleEvery},
 		datasets:    map[string]*plugin.Dataset{},
 		parallelism: par,
+		obsEnabled:  cfg.Observability,
+		metrics:     &obs.Metrics{},
+		profiles:    obs.NewRing(ringSize),
+		onDone:      cfg.OnQueryDone,
 	}
 }
 
@@ -95,7 +129,18 @@ func New(cfg Config) *Engine {
 // setting; exec falls back to a serial compile when the plan cannot be
 // morsel-partitioned.
 func (e *Engine) compileProg(plan algebra.Node) (*exec.Program, error) {
+	return e.compileProgWith(plan, nil)
+}
+
+// compileProgWith compiles like compileProg but additionally requests
+// per-operator profiling when spec is non-nil (observed queries and EXPLAIN
+// ANALYZE), wiring the engine's cumulative metrics into the run.
+func (e *Engine) compileProgWith(plan algebra.Node, spec *exec.ProfileSpec) (*exec.Program, error) {
 	env := &exec.Env{Catalog: e, Caches: e.caches, Stats: e.stats}
+	if spec != nil {
+		env.Profile = spec
+		env.Metrics = e.metrics
+	}
 	return exec.CompileParallel(plan, env, e.parallelism)
 }
 
@@ -201,15 +246,40 @@ func (p *Prepared) Explain() string {
 
 // prepareComprehension runs the common tail of the life-cycle.
 func (e *Engine) prepareComprehension(c *calculus.Comprehension) (*Prepared, error) {
+	return e.prepare(c, nil)
+}
+
+// prepare runs the life-cycle tail (calculus → optimize → compile), tracing
+// each phase into tr when a tracer is supplied. With a tracer, the
+// post-optimization plan is also walked to record the optimizer's
+// cardinality estimate per node, so EXPLAIN ANALYZE can print estimated vs.
+// actual rows side by side.
+func (e *Engine) prepare(c *calculus.Comprehension, tr *tracer) (*Prepared, error) {
+	endCalc := tr.phase(obs.PhaseCalculus)
 	if err := calculus.ResolveColumns(c, e); err != nil {
+		endCalc()
 		return nil, err
 	}
 	plan, err := calculus.Translate(calculus.Normalize(c), e)
+	endCalc()
 	if err != nil {
 		return nil, err
 	}
-	plan = optimizer.Optimize(plan, &optimizer.Env{Stats: e.stats, Costs: e})
-	prog, err := e.compileProg(plan)
+	optEnv := &optimizer.Env{Stats: e.stats, Costs: e}
+	endOpt := tr.phase(obs.PhaseOptimize)
+	plan = optimizer.Optimize(plan, optEnv)
+	endOpt()
+	var spec *exec.ProfileSpec
+	if tr != nil && tr.spec != nil {
+		spec = tr.spec
+		algebra.Walk(plan, func(n algebra.Node) bool {
+			spec.Estimates[n] = optimizer.EstimateCard(n, optEnv)
+			return true
+		})
+	}
+	endCompile := tr.phase(obs.PhaseCompile)
+	prog, err := e.compileProgWith(plan, spec)
+	endCompile()
 	if err != nil {
 		return nil, err
 	}
@@ -293,6 +363,10 @@ func (e *Engine) PrepareComp(query string) (*Prepared, error) {
 
 // QuerySQL parses, optimizes, compiles, and runs a SQL statement.
 func (e *Engine) QuerySQL(query string) (*exec.Result, error) {
+	if e.obsEnabled {
+		res, _, err := e.observedQuery(LangSQL, query, false)
+		return res, err
+	}
 	p, err := e.PrepareSQL(query)
 	if err != nil {
 		return nil, err
@@ -302,6 +376,10 @@ func (e *Engine) QuerySQL(query string) (*exec.Result, error) {
 
 // QueryComp parses, optimizes, compiles, and runs a comprehension.
 func (e *Engine) QueryComp(query string) (*exec.Result, error) {
+	if e.obsEnabled {
+		res, _, err := e.observedQuery(LangComp, query, false)
+		return res, err
+	}
 	p, err := e.PrepareComp(query)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,200 @@
+// Query-lifecycle observability: the engine-side wiring that turns one
+// query execution into an obs.QueryProfile (phase spans + operator tree),
+// feeds the cumulative metrics counters, and surfaces both over HTTP.
+// The exec-side counter mechanics live in internal/exec/profile.go; the
+// span/metric model in internal/obs (see DESIGN.md, Observability).
+package engine
+
+import (
+	"net/http"
+	"time"
+
+	"proteus/internal/algebra"
+	"proteus/internal/calculus"
+	"proteus/internal/comp"
+	"proteus/internal/exec"
+	"proteus/internal/obs"
+	"proteus/internal/sql"
+)
+
+// Query language tags recorded in profiles.
+const (
+	LangSQL  = "sql"
+	LangComp = "comp"
+)
+
+// tracer accumulates the phase spans of one query. A nil tracer is valid
+// everywhere (phase returns a no-op), so the untraced path costs nothing.
+type tracer struct {
+	spans []obs.Span
+	spec  *exec.ProfileSpec
+}
+
+// phase opens a named span and returns the closure that seals it. Spans are
+// appended in call order, which is the life-cycle order.
+func (t *tracer) phase(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	i := len(t.spans)
+	t.spans = append(t.spans, obs.Span{Name: name, Start: time.Now()})
+	start := time.Now()
+	return func() { t.spans[i].Dur = time.Since(start) }
+}
+
+// attachWorkers hangs per-worker spans under the execute span.
+func (t *tracer) attachWorkers(ws []obs.Span) {
+	if t == nil || len(ws) == 0 {
+		return
+	}
+	for i := range t.spans {
+		if t.spans[i].Name == obs.PhaseExecute {
+			t.spans[i].Children = ws
+		}
+	}
+}
+
+// observedQuery runs one query through the fully traced life-cycle:
+// parse → calculus → optimize → compile → execute, with per-operator row
+// counters (plus wall timing when timed — the EXPLAIN ANALYZE mode). The
+// profile is always produced, even on error, and is retained in the ring,
+// flushed into the cumulative metrics, and handed to the OnQueryDone hook.
+func (e *Engine) observedQuery(lang, query string, timed bool) (*exec.Result, *obs.QueryProfile, error) {
+	qp := &obs.QueryProfile{
+		ID:      e.queryID.Add(1),
+		Lang:    lang,
+		Query:   query,
+		Start:   time.Now(),
+		Workers: 1,
+		Morsels: 1,
+		Timed:   timed,
+	}
+	e.metrics.ActiveQueries.Add(1)
+	defer e.metrics.ActiveQueries.Add(-1)
+	t0 := time.Now()
+
+	tr := &tracer{spec: &exec.ProfileSpec{
+		Timing:    timed,
+		Estimates: map[algebra.Node]float64{},
+	}}
+
+	res, err := func() (*exec.Result, error) {
+		var (
+			c   *calculus.Comprehension
+			err error
+		)
+		endParse := tr.phase(obs.PhaseParse)
+		if lang == LangSQL {
+			c, err = sql.Parse(query)
+		} else {
+			c, err = comp.Parse(query)
+		}
+		endParse()
+		if err != nil {
+			return nil, err
+		}
+		p, err := e.prepare(c, tr)
+		if err != nil {
+			return nil, err
+		}
+		qp.Workers = p.Program.Workers
+		qp.Morsels = p.Program.Morsels
+		endExec := tr.phase(obs.PhaseExecute)
+		res, err := p.Program.Run()
+		endExec()
+		tr.attachWorkers(p.Program.WorkerSpans())
+		qp.Root = p.Program.Profile()
+		return res, err
+	}()
+
+	qp.Total = time.Since(t0)
+	qp.Phases = tr.spans
+	if err != nil {
+		qp.Err = err.Error()
+	} else {
+		qp.Rows = int64(len(res.Rows))
+	}
+	e.flushProfile(qp)
+	return res, qp, err
+}
+
+// flushProfile folds one finished profile into the cumulative metrics,
+// retains it in the ring, and fires the OnQueryDone hook.
+func (e *Engine) flushProfile(qp *obs.QueryProfile) {
+	m := e.metrics
+	m.Queries.Add(1)
+	if qp.Err != "" {
+		m.Errors.Add(1)
+	}
+	m.RowsOut.Add(qp.Rows)
+	for _, s := range qp.Phases {
+		m.AddPhase(s.Name, int64(s.Dur))
+	}
+	if qp.Workers > 1 {
+		m.ParallelQueries.Add(1)
+	}
+	qp.Root.Each(func(op *obs.OpProfile) {
+		m.ScanBytesRead.Add(op.ExtraValue("bytes_read"))
+		m.ScanFieldsParsed.Add(op.ExtraValue("fields_parsed"))
+		m.ScanIndexHits.Add(op.ExtraValue("index_hits"))
+	})
+	e.profiles.Add(qp)
+	if e.onDone != nil {
+		e.onDone(*qp)
+	}
+}
+
+// ObservedQuerySQL runs one SQL statement through the traced life-cycle —
+// phase spans and per-operator row counters, but no per-tuple wall timing —
+// regardless of Config.Observability. Benchmarks use it to split compile
+// from execute time without the EXPLAIN ANALYZE timing overhead.
+func (e *Engine) ObservedQuerySQL(query string) (*exec.Result, *obs.QueryProfile, error) {
+	return e.observedQuery(LangSQL, query, false)
+}
+
+// ObservedQueryComp is ObservedQuerySQL for comprehension queries.
+func (e *Engine) ObservedQueryComp(query string) (*exec.Result, *obs.QueryProfile, error) {
+	return e.observedQuery(LangComp, query, false)
+}
+
+// ExplainAnalyzeSQL executes a SQL statement with full per-operator wall
+// timing and returns its profile alongside the result.
+func (e *Engine) ExplainAnalyzeSQL(query string) (*exec.Result, *obs.QueryProfile, error) {
+	return e.observedQuery(LangSQL, query, true)
+}
+
+// ExplainAnalyzeComp executes a comprehension with full per-operator wall
+// timing and returns its profile alongside the result.
+func (e *Engine) ExplainAnalyzeComp(query string) (*exec.Result, *obs.QueryProfile, error) {
+	return e.observedQuery(LangComp, query, true)
+}
+
+// Metrics snapshots the engine's cumulative counters, folding in the cache
+// manager's view and catalog gauges.
+func (e *Engine) Metrics() obs.Snapshot {
+	cs := e.caches.Snapshot()
+	snap := e.metrics.Snapshot(obs.CacheCounters{
+		Blocks:     cs.Blocks,
+		JoinSides:  cs.JoinSides,
+		Bytes:      cs.Bytes,
+		Hits:       cs.Hits,
+		Misses:     cs.Misses,
+		Evictions:  cs.Evictions,
+		BuildNanos: cs.BuildNanos,
+	})
+	e.mu.Lock()
+	snap.Datasets = len(e.datasets)
+	e.mu.Unlock()
+	snap.ProfilesRetained = e.profiles.Len()
+	return snap
+}
+
+// RecentProfiles returns the retained query profiles, newest first.
+func (e *Engine) RecentProfiles() []*obs.QueryProfile { return e.profiles.Snapshot() }
+
+// MetricsHandler returns the opt-in HTTP surface: /metrics (Prometheus
+// text), /debug/vars (expvar-style JSON), /debug/queries (recent profiles),
+// and /debug/pprof/*.
+func (e *Engine) MetricsHandler() http.Handler {
+	return obs.Handler(e.Metrics, e.profiles)
+}

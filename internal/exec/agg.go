@@ -234,6 +234,10 @@ type reducePartial struct {
 	names   []string
 	rows    []types.Value
 	accs    []*accumulator
+	// rowsCell, when profiled, receives the output cardinality at result
+	// materialization — blocking roots never flow through a consume wrapper,
+	// so they self-report (see profile.go).
+	rowsCell *int64
 }
 
 func (p *reducePartial) reset() {
@@ -260,7 +264,13 @@ func (p *reducePartial) merge(o partialState) error {
 
 func (p *reducePartial) result() (*Result, error) {
 	if p.collect {
+		if p.rowsCell != nil {
+			*p.rowsCell = int64(len(p.rows))
+		}
 		return &Result{Cols: []string{p.names[0]}, Rows: p.rows}, nil
+	}
+	if p.rowsCell != nil {
+		*p.rowsCell = 1
 	}
 	vals := make([]types.Value, len(p.accs))
 	for i, acc := range p.accs {
@@ -272,7 +282,7 @@ func (p *reducePartial) result() (*Result, error) {
 // compileReducePartial compiles the Reduce pipeline into a driver plus the
 // mergeable partial state it folds into.
 func (c *Compiler) compileReducePartial(red *algebra.Reduce) (func(r *vbuf.Regs) error, *reducePartial, error) {
-	st := &reducePartial{names: red.Names}
+	st := &reducePartial{names: red.Names, rowsCell: c.rootRowsCell(red)}
 	var pred evalBool
 
 	// Collection yield: one bag/list aggregate produces the result rows.
@@ -386,6 +396,10 @@ type nestPartial struct {
 	// General path: composite/boxed keys hashed by canonical value hash.
 	groups map[uint64][]*group
 	order  []*group
+
+	// rowsCell, when profiled, receives the group count at result
+	// materialization (see reducePartial.rowsCell).
+	rowsCell *int64
 }
 
 func (p *nestPartial) reset() {
@@ -447,6 +461,13 @@ func sameKeys(a, b []types.Value) bool {
 }
 
 func (p *nestPartial) result() (*Result, error) {
+	if p.rowsCell != nil {
+		if p.singleInt {
+			*p.rowsCell = int64(len(p.intOrder))
+		} else {
+			*p.rowsCell = int64(len(p.order))
+		}
+	}
 	if p.singleInt {
 		sort.Slice(p.intOrder, func(i, j int) bool { return p.intOrder[i] < p.intOrder[j] })
 		rows := make([]types.Value, 0, len(p.intOrder))
@@ -479,6 +500,7 @@ func (c *Compiler) compileNestPartial(n *algebra.Nest) (func(r *vbuf.Regs) error
 	var pred evalBool
 	protoAccs := make([]*accumulator, len(n.Aggs))
 	st := &nestPartial{
+		rowsCell: c.rootRowsCell(n),
 		outNames: append(append([]string{}, n.GroupNames...), n.AggNames...),
 		freshAccs: func() []*accumulator {
 			accs := make([]*accumulator, len(protoAccs))

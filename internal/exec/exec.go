@@ -2,10 +2,12 @@ package exec
 
 import (
 	"fmt"
+	"time"
 
 	"proteus/internal/algebra"
 	"proteus/internal/cache"
 	"proteus/internal/expr"
+	"proteus/internal/obs"
 	"proteus/internal/plugin"
 	"proteus/internal/plugin/cachepg"
 	"proteus/internal/stats"
@@ -26,6 +28,12 @@ type Env struct {
 	// materialized join build sides (§5.2's blocking-operator statistics
 	// gathering).
 	Stats *stats.Store
+	// Profile, when set, makes compilation thread per-operator counters into
+	// the generated closures; nil compiles the exact unprofiled code.
+	Profile *ProfileSpec
+	// Metrics, when set, receives cumulative engine-level counters
+	// (workers launched, morsels scanned, active-worker gauge).
+	Metrics *obs.Metrics
 }
 
 // Kont is the consume continuation of the push model: called once per
@@ -76,6 +84,11 @@ type Compiler struct {
 	morsel    *plugin.Morsel // this worker's record range of driveScan
 	shared    *sharedRun     // cross-worker shared state (joins, cache frags)
 	workerID  int
+
+	// prof, when non-nil, makes the compiler thread per-operator counters
+	// into the generated closures (see profile.go). All pipeline clones of a
+	// parallel program share one progProf; each clone writes its own cells.
+	prof *progProf
 }
 
 func (c *Compiler) note(format string, args ...any) {
@@ -188,6 +201,20 @@ func (c *Compiler) isPluginUnnest(plan algebra.Node, root string) bool {
 // compileNode dispatches on the operator kind, compiling the subtree into a
 // driver that calls consume per produced tuple.
 func (c *Compiler) compileNode(n algebra.Node, consume Kont) (func(r *vbuf.Regs) error, error) {
+	// Profiling: Join and Unnest count emitted rows through a consume
+	// wrapper; Scan and Select fuse the counter into their own closures so
+	// the densest paths pay no extra call layer. Timed (EXPLAIN ANALYZE)
+	// runs wrap every operator to measure pipeline time above it.
+	if c.prof != nil {
+		switch n.(type) {
+		case *algebra.Join, *algebra.Unnest:
+			consume = c.profKont(n, consume)
+		default:
+			if c.prof.timing {
+				consume = c.profKont(n, consume)
+			}
+		}
+	}
 	switch x := n.(type) {
 	case *algebra.Scan:
 		return c.compileScan(x, consume)
@@ -196,6 +223,15 @@ func (c *Compiler) compileNode(n algebra.Node, consume Kont) (func(r *vbuf.Regs)
 			pred, err := c.compileBool(x.Pred)
 			if err != nil {
 				return nil, fmt.Errorf("select %s: %w", x.Pred, err)
+			}
+			if rows := c.inlineRows(x); rows != nil {
+				return func(r *vbuf.Regs) error {
+					if v, ok := pred(r); ok && v {
+						*rows++
+						return consume(r)
+					}
+					return nil
+				}, nil
 			}
 			return func(r *vbuf.Regs) error {
 				if v, ok := pred(r); ok && v {
@@ -249,6 +285,7 @@ func (c *Compiler) compileScan(s *algebra.Scan, consume Kont) (func(r *vbuf.Regs
 	caches := c.env.Caches
 	bias := in.FieldCost()
 	rows := in.Cardinality(ds)
+	oc := c.opCtr(s)
 
 	// Resolve each needed path to a slot, deciding its source: cache block,
 	// plug-in extraction, or whole-record boxing.
@@ -310,23 +347,41 @@ func (c *Compiler) compileScan(s *algebra.Scan, consume Kont) (func(r *vbuf.Regs
 
 	// Cache loaders read by row ordinal — the OID the scan produces.
 	oid := b.oidSlot
-	var loaders []func(r *vbuf.Regs)
+	var rawLoaders []cachepg.Loader
 	for _, cf := range cachedFields {
 		ld, err := cachepg.CompileLoader(cf.block, cf.slot)
 		if err != nil {
 			return nil, err
 		}
-		load := ld
-		loaders = append(loaders, func(r *vbuf.Regs) { load(r, r.I[oid.Idx]) })
+		rawLoaders = append(rawLoaders, ld)
+	}
+
+	var scanProf *plugin.ScanProf
+	if oc != nil {
+		scanProf = &oc.scan
+	}
+
+	if len(pluginFields) == 0 && len(cachedFields) > 0 {
+		// Full cache hit: never touch the original dataset — the cache
+		// plug-in drives the loop straight off the binary blocks. (No
+		// builders can exist here: population only attaches to
+		// plug-in-extracted fields.)
+		c.note("scan %s: fully served from cache (%d fields)", s.Dataset, len(cachedFields))
+		drv := cachepg.CompileScan(rows, rawLoaders, &b.oidSlot, morsel, scanProf)
+		run := func(r *vbuf.Regs) error {
+			return drv(r, func() error { return consume(r) })
+		}
+		return c.profScanRun(s, run, morselRows(morsel, rows)), nil
 	}
 
 	inner := consume
-	if len(loaders) > 0 {
+	if len(rawLoaders) > 0 {
 		next := inner
-		lds := loaders
+		lds := rawLoaders
 		inner = func(r *vbuf.Regs) error {
+			row := r.I[oid.Idx]
 			for _, ld := range lds {
-				ld(r)
+				ld(r, row)
 			}
 			return next(r)
 		}
@@ -349,33 +404,7 @@ func (c *Compiler) compileScan(s *algebra.Scan, consume Kont) (func(r *vbuf.Regs
 		}
 	}
 
-	if len(pluginFields) == 0 && len(cachedFields) > 0 {
-		// Full cache hit: never touch the original dataset.
-		c.note("scan %s: fully served from cache (%d fields)", s.Dataset, len(cachedFields))
-		lo, hi := int64(0), rows
-		if morsel != nil {
-			lo, hi = morsel.Start, morsel.End
-			if lo < 0 {
-				lo = 0
-			}
-			if hi > rows {
-				hi = rows
-			}
-		}
-		run := func(r *vbuf.Regs) error {
-			for row := lo; row < hi; row++ {
-				r.I[oid.Idx] = row
-				r.Null[oid.Null] = false
-				if err := inner(r); err != nil {
-					return err
-				}
-			}
-			return nil
-		}
-		return run, nil
-	}
-
-	spec := plugin.ScanSpec{Fields: pluginFields, OIDSlot: &b.oidSlot, Morsel: morsel}
+	spec := plugin.ScanSpec{Fields: pluginFields, OIDSlot: &b.oidSlot, Morsel: morsel, Prof: scanProf}
 	pluginRun, err := in.CompileScan(ds, spec)
 	if err != nil {
 		return nil, err
@@ -389,11 +418,15 @@ func (c *Compiler) compileScan(s *algebra.Scan, consume Kont) (func(r *vbuf.Regs
 		if err != nil {
 			return err
 		}
+		if len(builders) == 0 {
+			return nil
+		}
 		// Scan completed: hand off any caches built as a side-effect. Under
 		// parallelism a morselized scan only produced a fragment — stash it
 		// for the coordinator to concatenate and register once all workers
 		// finish — and a full (non-driving) scan registers through the shared
 		// run so exactly one worker's block wins.
+		t0 := time.Now()
 		for _, bd := range builders {
 			blk := bd.Finish()
 			switch {
@@ -405,9 +438,32 @@ func (c *Compiler) compileScan(s *algebra.Scan, consume Kont) (func(r *vbuf.Regs
 				caches.Register(blk)
 			}
 		}
+		d := int64(time.Since(t0))
+		caches.AddBuildNanos(d)
+		if oc != nil {
+			oc.cacheBuildNanos += d
+		}
 		return nil
 	}
-	return run, nil
+	return c.profScanRun(s, run, morselRows(morsel, rows)), nil
+}
+
+// morselRows returns the number of records a scan driver will emit: the
+// morsel's clamped span, or the whole dataset when unrestricted.
+func morselRows(m *plugin.Morsel, rows int64) int64 {
+	lo, hi := int64(0), rows
+	if m != nil {
+		if lo = m.Start; lo < 0 {
+			lo = 0
+		}
+		if hi = m.End; hi > rows {
+			hi = rows
+		}
+	}
+	if hi < lo {
+		return 0
+	}
+	return hi - lo
 }
 
 // compileUnnest emits the element loop over a nested collection: lazily

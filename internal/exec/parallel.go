@@ -25,10 +25,12 @@ package exec
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"proteus/internal/algebra"
 	"proteus/internal/cache"
 	"proteus/internal/expr"
+	"proteus/internal/obs"
 	"proteus/internal/plugin"
 	"proteus/internal/vbuf"
 )
@@ -192,6 +194,12 @@ func CompileParallel(plan algebra.Node, env *Env, workers int) (*Program, error)
 
 	sh := newSharedRun(len(morsels))
 	units := make([]*workerUnit, len(morsels))
+	// All pipeline clones share one profiling state; each writes the cells
+	// indexed by its worker ID.
+	var prof *progProf
+	if env.Profile != nil {
+		prof = newProgProf(plan, env.Profile, len(morsels))
+	}
 	var explain []string
 	for i := range morsels {
 		c := &Compiler{
@@ -202,6 +210,7 @@ func CompileParallel(plan algebra.Node, env *Env, workers int) (*Program, error)
 			morsel:    &morsels[i],
 			shared:    sh,
 			workerID:  i,
+			prof:      prof,
 		}
 		algebra.Walk(plan, func(n algebra.Node) bool {
 			for name, t := range n.Bindings() {
@@ -235,20 +244,42 @@ func CompileParallel(plan algebra.Node, env *Env, workers int) (*Program, error)
 		fmt.Sprintf("parallel: %d workers over %s (%d morsels)", len(morsels), drive.Dataset, len(morsels)))
 
 	caches := env.Caches
+	met := env.Metrics
 	run := func(_ *vbuf.Regs) (*Result, error) {
 		sh.reset()
+		if met != nil {
+			met.WorkersLaunched.Add(int64(len(units)))
+			met.MorselsScanned.Add(int64(len(morsels)))
+			met.ActiveWorkers.Add(int64(len(units)))
+			defer met.ActiveWorkers.Add(-int64(len(units)))
+		}
+		var spans []obs.Span
+		if prof != nil {
+			spans = make([]obs.Span, len(units))
+		}
 		var wg sync.WaitGroup
 		errs := make([]error, len(units))
 		for i, u := range units {
 			wg.Add(1)
 			go func(i int, u *workerUnit) {
 				defer wg.Done()
+				t0 := time.Now()
 				u.state.reset()
 				regs := vbuf.NewRegs(&u.alloc)
 				errs[i] = u.run(regs)
+				if spans != nil {
+					spans[i] = obs.Span{
+						Name:  fmt.Sprintf("worker %d (rows %d..%d)", i, morsels[i].Start, morsels[i].End),
+						Start: t0,
+						Dur:   time.Since(t0),
+					}
+				}
 			}(i, u)
 		}
 		wg.Wait()
+		if prof != nil {
+			prof.workerSpans = spans
+		}
 		for _, e := range errs {
 			if e != nil {
 				return nil, e
@@ -264,8 +295,12 @@ func CompileParallel(plan algebra.Node, env *Env, workers int) (*Program, error)
 		}
 		// All workers succeeded: cache fragments now tile the dataset, so
 		// the concatenated blocks can be registered, complete, exactly once.
+		tC := time.Now()
 		sh.finishCaches(caches, totalRows)
+		caches.AddBuildNanos(int64(time.Since(tC)))
 		return merged.result()
 	}
-	return &Program{alloc: units[0].alloc, run: run, Explain: explain}, nil
+	p := &Program{alloc: units[0].alloc, run: run, Explain: explain, Workers: len(units), Morsels: len(morsels)}
+	p.attachProf(prof)
+	return p, nil
 }

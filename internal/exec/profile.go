@@ -1,0 +1,227 @@
+// Per-operator profiling for compiled programs.
+//
+// The instrumentation budget follows DESIGN.md "Observability": per-tuple
+// work is at most one non-atomic increment on a worker-private cell (fused
+// into the operator's own closure wherever possible), clock reads happen
+// once per driver invocation (per morsel), and shared state is only touched
+// at snapshot time, after the run's WaitGroup has settled. Wall-clock
+// per-operator timing — one time.Now() pair per tuple per operator — is
+// reserved for EXPLAIN ANALYZE (ProfileSpec.Timing) runs.
+package exec
+
+import (
+	"time"
+
+	"proteus/internal/algebra"
+	"proteus/internal/obs"
+	"proteus/internal/plugin"
+	"proteus/internal/vbuf"
+)
+
+// ProfileSpec asks Compile/CompileParallel to instrument the generated
+// closures. A nil spec (Env.Profile) compiles the exact unprofiled code.
+type ProfileSpec struct {
+	// Timing additionally wraps every operator with wall-clock measurement
+	// of the pipeline above it (EXPLAIN ANALYZE). Untimed profiled runs pay
+	// only row/batch counters.
+	Timing bool
+	// Estimates maps plan nodes (by identity) to the optimizer's
+	// cardinality estimates, surfaced next to actuals in the profile.
+	Estimates map[algebra.Node]float64
+}
+
+// opCounters is one worker's counter cell for one operator. Cells are
+// worker-private and non-atomic: workers write disjoint cells, and the
+// snapshot aggregates only after the run completes.
+type opCounters struct {
+	rows            int64
+	batches         int64
+	nanos           int64 // wall time spent in the pipeline above (timed runs)
+	driverNanos     int64 // scan only: total time inside the scan driver
+	cacheBuildNanos int64 // scan only: materializing cache blocks
+	scan            plugin.ScanProf
+}
+
+type opNode struct{ per []opCounters }
+
+// progProf is a compiled program's profiling state: per-operator counter
+// cells (one per worker) plus last-run totals. It is created at compile
+// time and shared by every pipeline clone of a parallel program.
+type progProf struct {
+	timing    bool
+	workers   int
+	plan      algebra.Node
+	estimates map[algebra.Node]float64
+	byNode    map[algebra.Node]*opNode
+
+	// Last-run state, written by the program's run wrapper and the
+	// parallel coordinator (never concurrently with readers).
+	totalNanos  int64
+	workerSpans []obs.Span
+}
+
+func newProgProf(plan algebra.Node, spec *ProfileSpec, workers int) *progProf {
+	return &progProf{
+		timing:    spec.Timing,
+		workers:   workers,
+		plan:      plan,
+		estimates: spec.Estimates,
+		byNode:    map[algebra.Node]*opNode{},
+	}
+}
+
+// ctr returns a worker's counter cell for node n. Compilation is serial
+// (the parallel compiler builds clones in a loop), so no lock is needed.
+func (p *progProf) ctr(n algebra.Node, worker int) *opCounters {
+	on, ok := p.byNode[n]
+	if !ok {
+		on = &opNode{per: make([]opCounters, p.workers)}
+		p.byNode[n] = on
+	}
+	return &on.per[worker]
+}
+
+// resetRun re-arms the per-run state so each Run reports independently.
+// Cells are zeroed in place: the plug-in closures captured pointers to
+// them at compile time.
+func (p *progProf) resetRun() {
+	for _, on := range p.byNode {
+		for i := range on.per {
+			on.per[i] = opCounters{}
+		}
+	}
+	p.totalNanos = 0
+	p.workerSpans = nil
+}
+
+// snapshot aggregates worker cells into the operator-profile tree. Self
+// time is derived from "time above" measurements: each timed wrapper
+// records the time its operator's emissions spend in the pipeline above
+// it, so self(n) = Σ above(children) − above(n); a leaf scan's self time
+// is its driver time minus the time above it.
+func (p *progProf) snapshot() *obs.OpProfile {
+	root, _ := p.buildOp(p.plan)
+	return root
+}
+
+func (p *progProf) buildOp(n algebra.Node) (*obs.OpProfile, int64) {
+	var agg opCounters
+	if on, ok := p.byNode[n]; ok {
+		for i := range on.per {
+			c := &on.per[i]
+			agg.rows += c.rows
+			agg.batches += c.batches
+			agg.nanos += c.nanos
+			agg.driverNanos += c.driverNanos
+			agg.cacheBuildNanos += c.cacheBuildNanos
+			agg.scan.Add(c.scan)
+		}
+	}
+	op := &obs.OpProfile{Op: algebra.Label(n), Rows: agg.rows, Batches: agg.batches}
+	if est, ok := p.estimates[n]; ok {
+		op.EstRows = est
+	}
+	var childAbove int64
+	for _, ch := range n.Children() {
+		cp, above := p.buildOp(ch)
+		op.Children = append(op.Children, cp)
+		childAbove += above
+	}
+	if p.timing {
+		self := childAbove - agg.nanos
+		if _, isScan := n.(*algebra.Scan); isScan {
+			self = agg.driverNanos - agg.nanos
+		}
+		if self < 0 {
+			self = 0
+		}
+		op.SelfNanos = self
+	}
+	if agg.scan != (plugin.ScanProf{}) {
+		op.Extra = append(op.Extra,
+			obs.Counter{Name: "bytes_read", Value: agg.scan.BytesRead},
+			obs.Counter{Name: "fields_parsed", Value: agg.scan.FieldsParsed},
+			obs.Counter{Name: "index_hits", Value: agg.scan.IndexHits})
+	}
+	if agg.cacheBuildNanos > 0 {
+		op.Extra = append(op.Extra, obs.Counter{Name: "cache_build_nanos", Value: agg.cacheBuildNanos})
+	}
+	return op, agg.nanos
+}
+
+// Compiler-side instrumentation helpers ------------------------------------
+
+// opCtr returns this worker's counter cell for n (nil when unprofiled).
+func (c *Compiler) opCtr(n algebra.Node) *opCounters {
+	if c.prof == nil {
+		return nil
+	}
+	return c.prof.ctr(n, c.workerID)
+}
+
+// inlineRows returns the rows-out cell for operators that fuse counting
+// into their own closures (untimed mode only; timed runs count in the
+// consume wrapper instead).
+func (c *Compiler) inlineRows(n algebra.Node) *int64 {
+	if c.prof == nil || c.prof.timing {
+		return nil
+	}
+	return &c.prof.ctr(n, c.workerID).rows
+}
+
+// rootRowsCell returns the rows cell for a blocking root operator
+// (Reduce/Nest), which self-reports its output cardinality when the merged
+// partial state materializes its result.
+func (c *Compiler) rootRowsCell(n algebra.Node) *int64 {
+	if c.prof == nil {
+		return nil
+	}
+	return &c.prof.ctr(n, c.workerID).rows
+}
+
+// profKont wraps an operator's consume with row counting and, on timed
+// runs, measurement of the time its emissions spend in the pipeline above.
+func (c *Compiler) profKont(n algebra.Node, consume Kont) Kont {
+	oc := c.opCtr(n)
+	if oc == nil {
+		return consume
+	}
+	rows := &oc.rows
+	inner := consume
+	if c.prof.timing {
+		nanos := &oc.nanos
+		return func(r *vbuf.Regs) error {
+			*rows++
+			t0 := time.Now()
+			err := inner(r)
+			*nanos += int64(time.Since(t0))
+			return err
+		}
+	}
+	return func(r *vbuf.Regs) error {
+		*rows++
+		return inner(r)
+	}
+}
+
+// profScanRun wraps a scan driver with per-invocation (per-morsel)
+// accounting: batches, driver wall time, and — untimed — the arithmetic
+// rows-out count (scan drivers emit every record of their range, so no
+// per-tuple counting is needed).
+func (c *Compiler) profScanRun(s *algebra.Scan, run func(r *vbuf.Regs) error, rows int64) func(r *vbuf.Regs) error {
+	oc := c.opCtr(s)
+	if oc == nil {
+		return run
+	}
+	countRows := !c.prof.timing
+	return func(r *vbuf.Regs) error {
+		oc.batches++
+		t0 := time.Now()
+		err := run(r)
+		oc.driverNanos += int64(time.Since(t0))
+		if err == nil && countRows {
+			oc.rows += rows
+		}
+		return err
+	}
+}

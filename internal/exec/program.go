@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"proteus/internal/algebra"
 	"proteus/internal/expr"
+	"proteus/internal/obs"
 	"proteus/internal/types"
 	"proteus/internal/vbuf"
 )
@@ -39,12 +41,65 @@ type Program struct {
 	alloc   vbuf.Alloc
 	run     func(r *vbuf.Regs) (*Result, error)
 	Explain []string // compilation decisions (cache hits, lazy unnests, …)
+
+	// prof holds per-operator profiling state when the program was compiled
+	// with Env.Profile set; nil otherwise.
+	prof *progProf
+	// Workers and Morsels describe the parallel shape chosen at compile time
+	// (both 1 for serial programs).
+	Workers, Morsels int
 }
 
 // Run executes the program against a fresh register file.
 func (p *Program) Run() (*Result, error) {
 	regs := vbuf.NewRegs(&p.alloc)
 	return p.run(regs)
+}
+
+// Profile returns the last run's operator-profile tree, or nil when the
+// program was compiled without profiling. Must not be called concurrently
+// with Run.
+func (p *Program) Profile() *obs.OpProfile {
+	if p.prof == nil {
+		return nil
+	}
+	return p.prof.snapshot()
+}
+
+// TotalNanos returns the last run's wall time inside the pipeline (before
+// any WrapResult post-processing); 0 when unprofiled.
+func (p *Program) TotalNanos() int64 {
+	if p.prof == nil {
+		return 0
+	}
+	return p.prof.totalNanos
+}
+
+// WorkerSpans returns the last run's per-worker execution spans (parallel
+// profiled programs only).
+func (p *Program) WorkerSpans() []obs.Span {
+	if p.prof == nil {
+		return nil
+	}
+	return p.prof.workerSpans
+}
+
+// attachProf installs profiling state on the program: the run is wrapped so
+// every execution starts from zeroed counters and records total pipeline
+// wall time.
+func (p *Program) attachProf(prof *progProf) {
+	if prof == nil {
+		return
+	}
+	p.prof = prof
+	inner := p.run
+	p.run = func(r *vbuf.Regs) (*Result, error) {
+		prof.resetRun()
+		t0 := time.Now()
+		res, err := inner(r)
+		prof.totalNanos = int64(time.Since(t0))
+		return res, err
+	}
 }
 
 // WrapResult installs a post-processing step over the program's result
@@ -69,6 +124,9 @@ func Compile(plan algebra.Node, env *Env) (*Program, error) {
 		env:      env,
 		bindings: map[string]*binding{},
 		envTypes: expr.Env{},
+	}
+	if env.Profile != nil {
+		c.prof = newProgProf(plan, env.Profile, 1)
 	}
 	// Seed the type environment with every binding the plan introduces so
 	// expression compilation can infer types anywhere in the tree.
@@ -97,7 +155,9 @@ func Compile(plan algebra.Node, env *Env) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Program{alloc: c.alloc, run: run, Explain: c.explain}, nil
+	p := &Program{alloc: c.alloc, run: run, Explain: c.explain, Workers: 1, Morsels: 1}
+	p.attachProf(c.prof)
+	return p, nil
 }
 
 // partialState is the mergeable per-pipeline state of a root operator.

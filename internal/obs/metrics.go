@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Metrics is the engine's cumulative counter set. All fields are atomics:
+// the engine updates them once per query (and once per parallel run for the
+// worker gauges), never on the per-tuple path.
+type Metrics struct {
+	// Query counters.
+	Queries atomic.Int64 // completed queries (including failures)
+	Errors  atomic.Int64 // queries that returned an error
+	RowsOut atomic.Int64 // total result rows produced
+
+	// Per-phase cumulative wall time.
+	ParseNanos    atomic.Int64
+	CalculusNanos atomic.Int64
+	OptimizeNanos atomic.Int64
+	CompileNanos  atomic.Int64
+	ExecuteNanos  atomic.Int64
+
+	// Parallelism.
+	ParallelQueries atomic.Int64 // queries that ran with > 1 worker
+	WorkersLaunched atomic.Int64 // total worker goroutines spawned
+	MorselsScanned  atomic.Int64 // total morsels executed
+	ActiveQueries   atomic.Int64 // gauge: queries in flight
+	ActiveWorkers   atomic.Int64 // gauge: worker goroutines in flight
+
+	// Scan plug-in totals (summed from per-query operator profiles).
+	ScanBytesRead    atomic.Int64
+	ScanFieldsParsed atomic.Int64
+	ScanIndexHits    atomic.Int64
+}
+
+// AddPhase accumulates one phase duration by name.
+func (m *Metrics) AddPhase(name string, nanos int64) {
+	switch name {
+	case PhaseParse:
+		m.ParseNanos.Add(nanos)
+	case PhaseCalculus:
+		m.CalculusNanos.Add(nanos)
+	case PhaseOptimize:
+		m.OptimizeNanos.Add(nanos)
+	case PhaseCompile:
+		m.CompileNanos.Add(nanos)
+	case PhaseExecute:
+		m.ExecuteNanos.Add(nanos)
+	}
+}
+
+// CacheCounters is the cache manager's contribution to a metrics snapshot.
+type CacheCounters struct {
+	Blocks     int   `json:"blocks"`
+	JoinSides  int   `json:"join_sides"`
+	Bytes      int64 `json:"bytes"`
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	Evictions  int64 `json:"evictions"`
+	BuildNanos int64 `json:"build_nanos"`
+}
+
+// Snapshot is a point-in-time copy of every engine metric, JSON-ready for
+// the expvar-style endpoint.
+type Snapshot struct {
+	Queries int64 `json:"queries"`
+	Errors  int64 `json:"errors"`
+	RowsOut int64 `json:"rows_out"`
+
+	ParseNanos    int64 `json:"parse_nanos"`
+	CalculusNanos int64 `json:"calculus_nanos"`
+	OptimizeNanos int64 `json:"optimize_nanos"`
+	CompileNanos  int64 `json:"compile_nanos"`
+	ExecuteNanos  int64 `json:"execute_nanos"`
+
+	ParallelQueries int64 `json:"parallel_queries"`
+	WorkersLaunched int64 `json:"workers_launched"`
+	MorselsScanned  int64 `json:"morsels_scanned"`
+	ActiveQueries   int64 `json:"active_queries"`
+	ActiveWorkers   int64 `json:"active_workers"`
+
+	ScanBytesRead    int64 `json:"scan_bytes_read"`
+	ScanFieldsParsed int64 `json:"scan_fields_parsed"`
+	ScanIndexHits    int64 `json:"scan_index_hits"`
+
+	Cache CacheCounters `json:"cache"`
+
+	Datasets         int `json:"datasets"`
+	ProfilesRetained int `json:"profiles_retained"`
+}
+
+// Snapshot captures the current counter values plus externally supplied
+// cache counters.
+func (m *Metrics) Snapshot(cache CacheCounters) Snapshot {
+	return Snapshot{
+		Queries:          m.Queries.Load(),
+		Errors:           m.Errors.Load(),
+		RowsOut:          m.RowsOut.Load(),
+		ParseNanos:       m.ParseNanos.Load(),
+		CalculusNanos:    m.CalculusNanos.Load(),
+		OptimizeNanos:    m.OptimizeNanos.Load(),
+		CompileNanos:     m.CompileNanos.Load(),
+		ExecuteNanos:     m.ExecuteNanos.Load(),
+		ParallelQueries:  m.ParallelQueries.Load(),
+		WorkersLaunched:  m.WorkersLaunched.Load(),
+		MorselsScanned:   m.MorselsScanned.Load(),
+		ActiveQueries:    m.ActiveQueries.Load(),
+		ActiveWorkers:    m.ActiveWorkers.Load(),
+		ScanBytesRead:    m.ScanBytesRead.Load(),
+		ScanFieldsParsed: m.ScanFieldsParsed.Load(),
+		ScanIndexHits:    m.ScanIndexHits.Load(),
+		Cache:            cache,
+	}
+}
+
+// seconds renders nanoseconds as fractional seconds for Prometheus.
+func seconds(nanos int64) string { return fmt.Sprintf("%g", float64(nanos)/1e9) }
+
+// Prometheus renders the snapshot in the Prometheus text exposition format
+// (hand-rolled: the repo takes no client-library dependency).
+func (s Snapshot) Prometheus() string {
+	var b strings.Builder
+	counter := func(name, help, value string) {
+		b.WriteString("# HELP " + name + " " + help + "\n")
+		b.WriteString("# TYPE " + name + " counter\n")
+		b.WriteString(name + " " + value + "\n")
+	}
+	gauge := func(name, help string, v int64) {
+		b.WriteString("# HELP " + name + " " + help + "\n")
+		b.WriteString("# TYPE " + name + " gauge\n")
+		fmt.Fprintf(&b, "%s %d\n", name, v)
+	}
+
+	counter("proteus_queries_total", "Completed queries.", fmt.Sprint(s.Queries))
+	counter("proteus_query_errors_total", "Queries that returned an error.", fmt.Sprint(s.Errors))
+	counter("proteus_rows_out_total", "Result rows produced.", fmt.Sprint(s.RowsOut))
+
+	b.WriteString("# HELP proteus_phase_seconds_total Cumulative wall time per query life-cycle phase.\n")
+	b.WriteString("# TYPE proteus_phase_seconds_total counter\n")
+	phases := []struct {
+		name  string
+		nanos int64
+	}{
+		{PhaseParse, s.ParseNanos},
+		{PhaseCalculus, s.CalculusNanos},
+		{PhaseOptimize, s.OptimizeNanos},
+		{PhaseCompile, s.CompileNanos},
+		{PhaseExecute, s.ExecuteNanos},
+	}
+	for _, p := range phases {
+		fmt.Fprintf(&b, "proteus_phase_seconds_total{phase=%q} %s\n", p.name, seconds(p.nanos))
+	}
+
+	counter("proteus_parallel_queries_total", "Queries that ran with more than one worker.", fmt.Sprint(s.ParallelQueries))
+	counter("proteus_workers_launched_total", "Worker goroutines spawned.", fmt.Sprint(s.WorkersLaunched))
+	counter("proteus_morsels_scanned_total", "Morsels executed.", fmt.Sprint(s.MorselsScanned))
+	gauge("proteus_active_queries", "Queries currently executing.", s.ActiveQueries)
+	gauge("proteus_active_workers", "Worker goroutines currently executing.", s.ActiveWorkers)
+
+	counter("proteus_scan_bytes_read_total", "Bytes read by scan plug-ins.", fmt.Sprint(s.ScanBytesRead))
+	counter("proteus_scan_fields_parsed_total", "Fields parsed by scan plug-ins.", fmt.Sprint(s.ScanFieldsParsed))
+	counter("proteus_scan_index_hits_total", "Structural-index lookups served.", fmt.Sprint(s.ScanIndexHits))
+
+	gauge("proteus_cache_blocks", "Materialized cache blocks.", int64(s.Cache.Blocks))
+	gauge("proteus_cache_join_sides", "Materialized hash-join build sides.", int64(s.Cache.JoinSides))
+	gauge("proteus_cache_bytes", "Bytes held by cache blocks.", s.Cache.Bytes)
+	counter("proteus_cache_hits_total", "Cache lookup hits.", fmt.Sprint(s.Cache.Hits))
+	counter("proteus_cache_misses_total", "Cache lookup misses.", fmt.Sprint(s.Cache.Misses))
+	counter("proteus_cache_evictions_total", "Cache blocks evicted.", fmt.Sprint(s.Cache.Evictions))
+	counter("proteus_cache_build_seconds_total", "Wall time materializing and registering cache blocks.", seconds(s.Cache.BuildNanos))
+
+	gauge("proteus_datasets", "Registered datasets.", int64(s.Datasets))
+	gauge("proteus_profiles_retained", "Query profiles held in the ring.", int64(s.ProfilesRetained))
+	return b.String()
+}
+
+// sortCounters orders extra counters by name for deterministic rendering.
+func sortCounters(cs []Counter) []Counter {
+	sort.Slice(cs, func(i, j int) bool { return cs[i].Name < cs[j].Name })
+	return cs
+}

@@ -1,0 +1,180 @@
+// Package obs is the engine's observability layer: per-query phase spans,
+// per-operator execution profiles, cumulative engine metrics, and their
+// HTTP/text surfacings. The package is dependency-free within the module so
+// every layer (exec, engine, plugins via plain structs) can feed it without
+// import cycles.
+//
+// Design (see DESIGN.md "Observability"):
+//
+//   - A query records one QueryProfile: a span per life-cycle phase
+//     (parse → calculus → optimize → compile → execute), per-worker child
+//     spans under execute, and an operator tree of actual row counts vs.
+//     optimizer estimates.
+//   - Counters on the hot path are worker-private and non-atomic; shared
+//     (atomic) state is touched once per morsel or per run, never per tuple.
+//   - Wall-clock per-operator timing is reserved for EXPLAIN ANALYZE runs;
+//     plain profiled queries only pay row/batch counters.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Phase names of the query life-cycle, in order.
+const (
+	PhaseParse    = "parse"
+	PhaseCalculus = "calculus"
+	PhaseOptimize = "optimize"
+	PhaseCompile  = "compile"
+	PhaseExecute  = "execute"
+)
+
+// Phases lists the life-cycle phase names in execution order.
+var Phases = []string{PhaseParse, PhaseCalculus, PhaseOptimize, PhaseCompile, PhaseExecute}
+
+// Span is one timed region of a query's life-cycle. Start is wall-clock for
+// display; Dur is measured monotonically.
+type Span struct {
+	Name     string        `json:"name"`
+	Start    time.Time     `json:"start"`
+	Dur      time.Duration `json:"dur"`
+	Children []Span        `json:"children,omitempty"`
+}
+
+// Counter is one named extra metric attached to an operator (scan plug-in
+// byte counts, cache-build time, …).
+type Counter struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// OpProfile is one physical operator's execution profile, aggregated over
+// all workers of the run.
+type OpProfile struct {
+	// Op is the operator label, e.g. "Scan lineitem as l".
+	Op string `json:"op"`
+	// EstRows is the optimizer's cardinality estimate (0 when unknown).
+	EstRows float64 `json:"est_rows"`
+	// Rows is the number of tuples the operator emitted.
+	Rows int64 `json:"rows"`
+	// Batches is the number of driver invocations (morsels) for scans.
+	Batches int64 `json:"batches,omitempty"`
+	// SelfNanos is wall time attributed to this operator alone. Only
+	// populated on EXPLAIN ANALYZE (timed) runs.
+	SelfNanos int64 `json:"self_nanos,omitempty"`
+	// Extra carries plug-in counters: bytes_read, fields_parsed,
+	// index_hits, cache_build_nanos.
+	Extra    []Counter    `json:"extra,omitempty"`
+	Children []*OpProfile `json:"children,omitempty"`
+}
+
+// Each calls fn for the profile and every descendant.
+func (p *OpProfile) Each(fn func(*OpProfile)) {
+	if p == nil {
+		return
+	}
+	fn(p)
+	for _, c := range p.Children {
+		c.Each(fn)
+	}
+}
+
+// ExtraValue returns the named extra counter (0 when absent).
+func (p *OpProfile) ExtraValue(name string) int64 {
+	for _, c := range p.Extra {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// QueryProfile is the complete observability record of one query execution.
+type QueryProfile struct {
+	ID    int64     `json:"id"`
+	Lang  string    `json:"lang"` // "sql", "comp", or "plan"
+	Query string    `json:"query"`
+	Start time.Time `json:"start"`
+	// Total is end-to-end wall time (parse through execute).
+	Total time.Duration `json:"total"`
+	// Phases holds one span per life-cycle phase; the execute span carries
+	// per-worker child spans under morsel parallelism.
+	Phases []Span `json:"phases"`
+	// Workers and Morsels describe the parallel shape (1/1 for serial).
+	Workers int `json:"workers"`
+	Morsels int `json:"morsels"`
+	// Rows is the result cardinality; Err the failure, if any.
+	Rows int64  `json:"rows"`
+	Err  string `json:"err,omitempty"`
+	// Root is the operator profile tree (nil when compilation failed).
+	Root *OpProfile `json:"root,omitempty"`
+	// Timed reports whether per-operator wall timing was on (EXPLAIN
+	// ANALYZE); untimed profiles carry counters only.
+	Timed bool `json:"timed"`
+}
+
+// Phase returns the duration of the named phase span (0 when absent).
+func (q *QueryProfile) Phase(name string) time.Duration {
+	for _, s := range q.Phases {
+		if s.Name == name {
+			return s.Dur
+		}
+	}
+	return 0
+}
+
+// Ring is a bounded, concurrency-safe buffer of the most recent query
+// profiles.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []*QueryProfile
+	next int
+	full bool
+}
+
+// NewRing returns a ring retaining up to n profiles (n < 1 keeps 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]*QueryProfile, n)}
+}
+
+// Add records a profile, evicting the oldest when full.
+func (r *Ring) Add(p *QueryProfile) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf[r.next] = p
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Snapshot returns the retained profiles, newest first.
+func (r *Ring) Snapshot() []*QueryProfile {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	out := make([]*QueryProfile, 0, n)
+	for i := 0; i < n; i++ {
+		idx := (r.next - 1 - i + len(r.buf)) % len(r.buf)
+		out = append(out, r.buf[idx])
+	}
+	return out
+}
+
+// Len reports the number of retained profiles.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRingEvictsOldestNewestFirst(t *testing.T) {
+	r := NewRing(3)
+	for i := int64(1); i <= 5; i++ {
+		r.Add(&QueryProfile{ID: i})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len = %d, want 3", r.Len())
+	}
+	got := r.Snapshot()
+	want := []int64{5, 4, 3}
+	for i, p := range got {
+		if p.ID != want[i] {
+			t.Errorf("snapshot[%d].ID = %d, want %d", i, p.ID, want[i])
+		}
+	}
+}
+
+func TestRingPartialFill(t *testing.T) {
+	r := NewRing(4)
+	r.Add(&QueryProfile{ID: 1})
+	r.Add(&QueryProfile{ID: 2})
+	got := r.Snapshot()
+	if len(got) != 2 || got[0].ID != 2 || got[1].ID != 1 {
+		t.Errorf("snapshot = %v", got)
+	}
+}
+
+func TestQueryProfilePhaseLookup(t *testing.T) {
+	q := &QueryProfile{Phases: []Span{
+		{Name: PhaseParse, Dur: 2 * time.Microsecond},
+		{Name: PhaseExecute, Dur: 5 * time.Millisecond},
+	}}
+	if q.Phase(PhaseExecute) != 5*time.Millisecond {
+		t.Errorf("execute = %v", q.Phase(PhaseExecute))
+	}
+	if q.Phase(PhaseCompile) != 0 {
+		t.Errorf("absent phase must report 0, got %v", q.Phase(PhaseCompile))
+	}
+}
+
+func TestOpProfileEachAndExtra(t *testing.T) {
+	root := &OpProfile{Op: "Reduce", Children: []*OpProfile{
+		{Op: "Scan a", Extra: []Counter{{Name: "bytes_read", Value: 10}}},
+		{Op: "Scan b", Extra: []Counter{{Name: "bytes_read", Value: 32}}},
+	}}
+	var total int64
+	root.Each(func(op *OpProfile) { total += op.ExtraValue("bytes_read") })
+	if total != 42 {
+		t.Errorf("bytes total = %d, want 42", total)
+	}
+	if root.ExtraValue("missing") != 0 {
+		t.Error("absent counter must report 0")
+	}
+}
+
+func TestPrometheusExpositionShape(t *testing.T) {
+	var m Metrics
+	m.Queries.Add(7)
+	m.AddPhase(PhaseExecute, int64(1500*time.Millisecond))
+	out := m.Snapshot(CacheCounters{Hits: 3, Misses: 1}).Prometheus()
+	for _, want := range []string{
+		"proteus_queries_total 7",
+		`proteus_phase_seconds_total{phase="execute"} 1.5`,
+		"proteus_cache_hits_total 3",
+		"proteus_cache_misses_total 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Every metric line is name/value; every metric has HELP and TYPE.
+	typed := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			typed[strings.Fields(line)[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Fields(line)
+		if len(parts) != 2 {
+			t.Errorf("malformed line %q", line)
+			continue
+		}
+		name := parts[0]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		if !typed[name] {
+			t.Errorf("metric %q has no preceding TYPE", name)
+		}
+	}
+}
+
+func TestRenderProfileTimedTree(t *testing.T) {
+	q := &QueryProfile{
+		Lang:    "sql",
+		Query:   "SELECT 1",
+		Total:   3 * time.Millisecond,
+		Workers: 2,
+		Morsels: 2,
+		Timed:   true,
+		Phases: []Span{{Name: PhaseExecute, Dur: time.Millisecond, Children: []Span{
+			{Name: "worker 0 (rows 0..5)", Dur: time.Millisecond},
+		}}},
+		Root: &OpProfile{Op: "Reduce count", Rows: 1, SelfNanos: 1000, Children: []*OpProfile{
+			{Op: "Scan t as x", Rows: 10, EstRows: 12, Batches: 2,
+				Extra: []Counter{{Name: "bytes_read", Value: 99}, {Name: "cache_build_nanos", Value: 2000}}},
+		}},
+	}
+	out := RenderProfile(q)
+	for _, want := range []string{
+		"(2 workers, 2 morsels)",
+		"worker 0 (rows 0..5)",
+		"Reduce count  (rows=1 time=1µs)",
+		"Scan t as x  (rows=10 est=12 batches=2",
+		"bytes_read=99",
+		"cache_build=2µs",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -252,7 +252,7 @@ func (p *Plugin) CompileScan(ds *plugin.Dataset, spec plugin.ScanSpec) (plugin.R
 	}
 	lo, hi := morselBounds(spec.Morsel, st.rows)
 	oid := spec.OIDSlot
-	return func(regs *vbuf.Regs, consume func() error) error {
+	run := plugin.RunFunc(func(regs *vbuf.Regs, consume func() error) error {
 		for row := lo; row < hi; row++ {
 			if oid != nil {
 				regs.I[oid.Idx] = row
@@ -266,7 +266,15 @@ func (p *Plugin) CompileScan(ds *plugin.Dataset, spec plugin.ScanSpec) (plugin.R
 			}
 		}
 		return nil
-	}, nil
+	})
+	// Profiling deltas (see ScanSpec.Prof): fixed-width cells, so bytes are
+	// cells × cell size; binary needs no structural index (hits stay 0).
+	n := hi - lo
+	if n < 0 {
+		n = 0
+	}
+	fields := n * int64(len(loaders))
+	return spec.Prof.WrapRun(run, fields*cellSize, fields, 0), nil
 }
 
 // morselBounds clamps an optional morsel to [0, rows).

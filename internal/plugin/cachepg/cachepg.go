@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"proteus/internal/cache"
+	"proteus/internal/plugin"
 	"proteus/internal/types"
 	"proteus/internal/vbuf"
 )
@@ -85,11 +86,23 @@ func CompileLoader(b *cache.Block, slot vbuf.Slot) (Loader, error) {
 	return nil, fmt.Errorf("cachepg: unsupported block kind %s", b.Kind)
 }
 
-// CompileScan returns a full-scan driver over cache blocks when *every*
-// field a scan needs is cached: the original dataset is not touched at all.
-func CompileScan(rows int64, loaders []Loader, oid *vbuf.Slot) func(regs *vbuf.Regs, consume func() error) error {
-	return func(regs *vbuf.Regs, consume func() error) error {
-		for row := int64(0); row < rows; row++ {
+// CompileScan returns a scan driver over cache blocks when *every* field a
+// scan needs is cached: the original dataset is not touched at all. A
+// non-nil morsel restricts the driver to [Start, End); prof, when set,
+// receives the block access counters once per invocation (every read is an
+// "index hit" — the cache block is a positional index by construction).
+func CompileScan(rows int64, loaders []Loader, oid *vbuf.Slot, morsel *plugin.Morsel, prof *plugin.ScanProf) plugin.RunFunc {
+	lo, hi := int64(0), rows
+	if morsel != nil {
+		if lo = morsel.Start; lo < 0 {
+			lo = 0
+		}
+		if hi = morsel.End; hi > rows {
+			hi = rows
+		}
+	}
+	run := plugin.RunFunc(func(regs *vbuf.Regs, consume func() error) error {
+		for row := lo; row < hi; row++ {
 			if oid != nil {
 				regs.I[oid.Idx] = row
 				regs.Null[oid.Null] = false
@@ -102,7 +115,13 @@ func CompileScan(rows int64, loaders []Loader, oid *vbuf.Slot) func(regs *vbuf.R
 			}
 		}
 		return nil
+	})
+	n := hi - lo
+	if n < 0 {
+		n = 0
 	}
+	fields := n * int64(len(loaders))
+	return prof.WrapRun(run, fields*8, fields, fields)
 }
 
 // Builder accumulates one column during a scan (the output plug-in side of

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"proteus/internal/cache"
+	"proteus/internal/plugin"
 	"proteus/internal/types"
 	"proteus/internal/vbuf"
 )
@@ -124,7 +125,8 @@ func TestCompileScanDrivesAllRows(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	run := CompileScan(3, []Loader{ld}, &oid)
+	var prof plugin.ScanProf
+	run := CompileScan(3, []Loader{ld}, &oid, nil, &prof)
 	regs := vbuf.NewRegs(&a)
 	var sum, oidSum int64
 	if err := run(regs, func() error {
@@ -136,5 +138,30 @@ func TestCompileScanDrivesAllRows(t *testing.T) {
 	}
 	if sum != 8 || oidSum != 3 {
 		t.Errorf("sum = %d oidSum = %d", sum, oidSum)
+	}
+	if prof.FieldsParsed != 3 || prof.IndexHits != 3 || prof.BytesRead != 24 {
+		t.Errorf("scan prof = %+v", prof)
+	}
+}
+
+func TestCompileScanMorsel(t *testing.T) {
+	var a vbuf.Alloc
+	slot := a.Int()
+	blk := &cache.Block{Kind: types.KindInt, Ints: []int64{3, 1, 4, 1, 5}, Rows: 5, Complete: true}
+	ld, err := CompileLoader(blk, slot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := CompileScan(5, []Loader{ld}, nil, &plugin.Morsel{Start: 1, End: 4}, nil)
+	regs := vbuf.NewRegs(&a)
+	var got []int64
+	if err := run(regs, func() error {
+		got = append(got, regs.I[slot.Idx])
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 4 || got[2] != 1 {
+		t.Errorf("morsel rows = %v", got)
 	}
 }

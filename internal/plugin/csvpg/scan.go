@@ -95,6 +95,15 @@ func (p *Plugin) CompileScan(ds *plugin.Dataset, spec plugin.ScanSpec) (plugin.R
 		return nil, fmt.Errorf("csvpg: whole-record boxing requires an OID slot")
 	}
 
+	// Profiling deltas are computable at compile time: the extract sequence
+	// is fixed and sorted, so parses-per-row and index-jump decisions are
+	// identical for every row (see ScanSpec.Prof).
+	nRows := hi - lo
+	if nRows < 0 {
+		nRows = 0
+	}
+	fieldsPerRow := int64(len(extracts)) + int64(len(wholeSlots))*int64(len(st.schema.Fields))
+
 	if st.fixed {
 		// Deterministic path: no index, pure arithmetic (§5.2 "Specializing
 		// per Dataset Contents").
@@ -104,7 +113,7 @@ func (p *Plugin) CompileScan(ds *plugin.Dataset, spec plugin.ScanSpec) (plugin.R
 		if len(st.rowStarts) > 0 {
 			base0 = st.rowStarts[0]
 		}
-		return wrapWhole(func(regs *vbuf.Regs, consume func() error) error {
+		return spec.Prof.WrapRun(wrapWhole(func(regs *vbuf.Regs, consume func() error) error {
 			for row := lo; row < hi; row++ {
 				base := base0 + int32(row)*rowLen
 				if oid != nil {
@@ -122,7 +131,7 @@ func (p *Plugin) CompileScan(ds *plugin.Dataset, spec plugin.ScanSpec) (plugin.R
 				}
 			}
 			return nil
-		}), nil
+		}), nRows*int64(rowLen), nRows*fieldsPerRow, 0), nil
 	}
 
 	// Indexed path: per row, seek from the nearest sampled field position.
@@ -130,7 +139,34 @@ func (p *Plugin) CompileScan(ds *plugin.Dataset, spec plugin.ScanSpec) (plugin.R
 	nSampled := st.nSampled
 	rowStarts := st.rowStarts
 	fieldPos := st.fieldPos
-	return wrapWhole(func(regs *vbuf.Regs, consume func() error) error {
+	// Count the structural-index jumps one row performs by replaying the
+	// extract cursor logic below (same decisions every row).
+	var jumpsPerRow int64
+	{
+		curField := 0
+		for i := range extracts {
+			e := &extracts[i]
+			if k := e.col / stride; k > 0 && k*stride > curField {
+				if k > nSampled {
+					k = nSampled
+				}
+				curField = k * stride
+				jumpsPerRow++
+			}
+			if e.col > curField {
+				curField = e.col
+			}
+		}
+	}
+	var byteSpan int64
+	if nRows > 0 && len(rowStarts) > 0 {
+		end := int64(len(data))
+		if hi < st.rows {
+			end = int64(rowStarts[hi])
+		}
+		byteSpan = end - int64(rowStarts[lo])
+	}
+	return spec.Prof.WrapRun(wrapWhole(func(regs *vbuf.Regs, consume func() error) error {
 		for row := lo; row < hi; row++ {
 			if oid != nil {
 				regs.I[oid.Idx] = row
@@ -166,7 +202,7 @@ func (p *Plugin) CompileScan(ds *plugin.Dataset, spec plugin.ScanSpec) (plugin.R
 			}
 		}
 		return nil
-	}), nil
+	}), byteSpan, nRows*fieldsPerRow, nRows*jumpsPerRow), nil
 }
 
 // PartitionScan implements plugin.Partitioner: morsel boundaries are byte

@@ -279,7 +279,7 @@ func (p *Plugin) CompileScan(ds *plugin.Dataset, spec plugin.ScanSpec) (plugin.R
 		}
 	}
 	oid := spec.OIDSlot
-	return func(regs *vbuf.Regs, consume func() error) error {
+	run := plugin.RunFunc(func(regs *vbuf.Regs, consume func() error) error {
 		for obj := lo; obj < hi; obj++ {
 			if oid != nil {
 				regs.I[oid.Idx] = obj
@@ -293,5 +293,30 @@ func (p *Plugin) CompileScan(ds *plugin.Dataset, spec plugin.ScanSpec) (plugin.R
 			}
 		}
 		return nil
-	}, nil
+	})
+	// Profiling deltas, computed once at compile time (see ScanSpec.Prof):
+	// bytes are the structural-index byte span of the object range; every
+	// extract of a known field resolves through the Level-1/Level-0 index.
+	nObjs := hi - lo
+	if nObjs < 0 {
+		nObjs = 0
+	}
+	var byteSpan int64
+	if nObjs > 0 {
+		end := int64(len(data))
+		if hi < st.nObjs {
+			end = int64(st.objStart[hi])
+		}
+		byteSpan = end - int64(st.objStart[lo])
+	}
+	indexedFields := int64(0)
+	for _, req := range spec.Fields {
+		if len(req.Path) == 0 {
+			continue
+		}
+		if _, known := st.fieldIDs[plugin.FieldPathString(req.Path)]; known {
+			indexedFields++
+		}
+	}
+	return spec.Prof.WrapRun(run, byteSpan, nObjs*int64(len(extracts)), nObjs*indexedFields), nil
 }

@@ -103,6 +103,44 @@ type ScanSpec struct {
 	// [Morsel.Start, Morsel.End). OIDs remain absolute ordinals, so cache
 	// loads and lazy unnests keyed by OID work unchanged under parallelism.
 	Morsel *Morsel
+	// Prof, when non-nil, receives the plug-in's access counters. The
+	// driver owns it exclusively (one per pipeline clone), so plug-ins add
+	// to it without synchronization — and only once per driver invocation
+	// (per morsel), never per record: counts are derived arithmetically
+	// from the compiled field list and the scanned range.
+	Prof *ScanProf
+}
+
+// ScanProf accumulates a scan plug-in's access counters across the driver
+// invocations of one worker. Bytes are the source-format span covered;
+// fields are individual extract/parse operations; index hits are lookups
+// served by the format's structural index (CSV positional jumps, JSON
+// Level-0/Level-1 resolutions).
+type ScanProf struct {
+	BytesRead    int64
+	FieldsParsed int64
+	IndexHits    int64
+}
+
+// Add folds another profile into this one (snapshot aggregation).
+func (p *ScanProf) Add(o ScanProf) {
+	p.BytesRead += o.BytesRead
+	p.FieldsParsed += o.FieldsParsed
+	p.IndexHits += o.IndexHits
+}
+
+// WrapRun wraps a scan driver so each invocation adds the precomputed
+// per-run deltas — the shared per-morsel accounting path of the plug-ins.
+func (p *ScanProf) WrapRun(run RunFunc, bytes, fields, indexHits int64) RunFunc {
+	if p == nil {
+		return run
+	}
+	return func(regs *vbuf.Regs, consume func() error) error {
+		p.BytesRead += bytes
+		p.FieldsParsed += fields
+		p.IndexHits += indexHits
+		return run(regs, consume)
+	}
 }
 
 // RunFunc drives a compiled scan: it loops over the dataset, fills the

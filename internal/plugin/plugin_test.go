@@ -29,7 +29,7 @@ func TestSplitRows(t *testing.T) {
 	}{
 		{100, 4, 4},
 		{10, 3, 3},
-		{5, 8, 5},  // never more morsels than rows
+		{5, 8, 5}, // never more morsels than rows
 		{1, 4, 1},
 		{7, 1, 1},
 	} {

@@ -26,11 +26,14 @@
 package proteus
 
 import (
+	"net/http"
+	"strings"
 	"time"
 
 	"proteus/internal/cache"
 	"proteus/internal/engine"
 	"proteus/internal/exec"
+	"proteus/internal/obs"
 	"proteus/internal/plugin"
 	"proteus/internal/types"
 )
@@ -55,6 +58,21 @@ type Config struct {
 	// scan can be partitioned run one compiled pipeline clone per worker
 	// and merge thread-local partials at the pipeline breaker.
 	Parallelism int
+	// Observability records a QueryProfile (phase spans + per-operator row
+	// counts) for every query, retained in a bounded ring. Metrics() and
+	// ExplainAnalyze work without it; the flag only controls always-on
+	// per-query tracing. Overhead is a few percent (counters are updated
+	// per batch/morsel, never per tuple; see DESIGN.md, Observability).
+	Observability bool
+	// ProfileRing bounds the retained recent-query profiles (default 32).
+	ProfileRing int
+	// OnQueryDone, when set, receives every finished query's profile
+	// synchronously — the structured slow-query-log hook:
+	//
+	//	cfg.OnQueryDone = func(q proteus.QueryProfile) {
+	//	    if q.Total > 100*time.Millisecond { log.Printf("slow: %s", q.Query) }
+	//	}
+	OnQueryDone func(QueryProfile)
 }
 
 // DB is a Proteus engine instance: a catalog of registered datasets plus
@@ -65,6 +83,15 @@ type DB struct {
 
 // Result is a materialized query result.
 type Result = exec.Result
+
+// QueryProfile is the observability record of one query: phase spans
+// (parse → calculus → optimize → compile → execute), the parallel shape,
+// and the per-operator profile tree.
+type QueryProfile = obs.QueryProfile
+
+// MetricsSnapshot is a point-in-time copy of the engine's cumulative
+// counters.
+type MetricsSnapshot = obs.Snapshot
 
 // Value is the engine's datum representation (nested records, collections,
 // scalars).
@@ -90,11 +117,14 @@ func ListOf(elem types.Type) types.Type { return types.NewListType(elem) }
 // Open creates a DB with the standard CSV, JSON, and binary plug-ins.
 func Open(cfg Config) *DB {
 	return &DB{eng: engine.New(engine.Config{
-		CacheEnabled: cfg.CacheEnabled,
-		CacheBudget:  cfg.CacheBudget,
-		CacheStrings: cfg.CacheStrings,
-		SampleEvery:  cfg.SampleEvery,
-		Parallelism:  cfg.Parallelism,
+		CacheEnabled:  cfg.CacheEnabled,
+		CacheBudget:   cfg.CacheBudget,
+		CacheStrings:  cfg.CacheStrings,
+		SampleEvery:   cfg.SampleEvery,
+		Parallelism:   cfg.Parallelism,
+		Observability: cfg.Observability,
+		ProfileRing:   cfg.ProfileRing,
+		OnQueryDone:   cfg.OnQueryDone,
 	})}
 }
 
@@ -163,15 +193,78 @@ func (db *DB) Query(sql string) (*Result, error) { return db.eng.QuerySQL(sql) }
 // Yield monoids: bag, list, sum, max, min, avg, count.
 func (db *DB) QueryComprehension(comp string) (*Result, error) { return db.eng.QueryComp(comp) }
 
+// IsComprehension reports whether a query string is in the monoid
+// comprehension language (it starts with the `for` keyword) rather than
+// SQL. Query front doors use it to route mixed input.
+func IsComprehension(query string) bool {
+	q := strings.TrimSpace(query)
+	return len(q) >= 3 && strings.EqualFold(q[:3], "for") &&
+		(len(q) == 3 || q[3] == ' ' || q[3] == '\t' || q[3] == '\n' || q[3] == '{')
+}
+
 // Explain returns the optimized plan and per-query compilation decisions
-// (cache hits, lazy unnests, …) without running the query.
-func (db *DB) Explain(sql string) (string, error) {
-	p, err := db.eng.PrepareSQL(sql)
+// (cache hits, lazy unnests, …) without running the query. Both SQL and
+// comprehension queries are accepted; comprehensions are detected by their
+// leading `for`.
+func (db *DB) Explain(query string) (string, error) {
+	p, err := db.prepare(query)
 	if err != nil {
 		return "", err
 	}
 	return p.Explain(), nil
 }
+
+func (db *DB) prepare(query string) (*engine.Prepared, error) {
+	if IsComprehension(query) {
+		return db.eng.PrepareComp(query)
+	}
+	return db.eng.PrepareSQL(query)
+}
+
+// ExplainAnalyze executes the query (SQL or comprehension) with full
+// per-operator instrumentation — row counts, batches, estimated vs. actual
+// cardinalities, and per-operator wall time — and renders the profile:
+//
+//	out, err := db.ExplainAnalyze(`SELECT COUNT(*) FROM people p
+//	                               JOIN events e ON p.id = e.pid`)
+//	fmt.Println(out)
+func (db *DB) ExplainAnalyze(query string) (string, error) {
+	_, qp, err := db.ExplainAnalyzeProfile(query)
+	if err != nil {
+		return "", err
+	}
+	return obs.RenderProfile(qp), nil
+}
+
+// ExplainAnalyzeProfile is ExplainAnalyze returning the raw result and
+// structured profile instead of rendered text.
+func (db *DB) ExplainAnalyzeProfile(query string) (*Result, *QueryProfile, error) {
+	if IsComprehension(query) {
+		return db.eng.ExplainAnalyzeComp(query)
+	}
+	return db.eng.ExplainAnalyzeSQL(query)
+}
+
+// RenderProfile renders a query profile as the EXPLAIN ANALYZE text: phase
+// timings, the parallel shape, and the operator tree with actual vs.
+// estimated cardinalities.
+func RenderProfile(q *QueryProfile) string { return obs.RenderProfile(q) }
+
+// Metrics snapshots the engine's cumulative counters: queries, per-phase
+// wall time, parallelism, scan plug-in totals, and cache activity.
+func (db *DB) Metrics() MetricsSnapshot { return db.eng.Metrics() }
+
+// RecentProfiles returns retained query profiles, newest first (requires
+// Config.Observability, or EXPLAIN ANALYZE runs, to populate the ring).
+func (db *DB) RecentProfiles() []*QueryProfile { return db.eng.RecentProfiles() }
+
+// MetricsHandler returns the opt-in HTTP observability surface:
+//
+//	go http.ListenAndServe("localhost:6060", db.MetricsHandler())
+//
+// Routes: /metrics (Prometheus text), /debug/vars (expvar-style JSON),
+// /debug/queries (recent profiles as JSON), /debug/pprof/* (Go profiler).
+func (db *DB) MetricsHandler() http.Handler { return db.eng.MetricsHandler() }
 
 // CacheStats reports the adaptive cache state.
 func (db *DB) CacheStats() cache.Stats { return db.eng.Caches().Snapshot() }

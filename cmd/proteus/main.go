@@ -17,11 +17,13 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -44,13 +46,26 @@ func main() {
 	par := flag.Int("par", 0, "morsel-parallel workers per query (0 = GOMAXPROCS, 1 = serial)")
 	obsOn := flag.Bool("obs", false, "record a profile for every query (.profile shows the latest)")
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /debug/vars, /debug/pprof on this address (e.g. localhost:6060)")
+	timeout := flag.Duration("timeout", 0, "per-query wall-time limit (0 = none)")
+	memBudget := flag.Int64("mem-budget", 0, "per-query operator-state byte budget (0 = unlimited)")
+	maxQueries := flag.Int("max-queries", 0, "maximum concurrent queries (0 = unlimited)")
 	flag.Parse()
 
 	db := proteus.Open(proteus.Config{
 		CacheEnabled:  *caching,
 		Parallelism:   *par,
 		Observability: *obsOn,
+
+		QueryTimeout:         *timeout,
+		QueryMemBudget:       *memBudget,
+		MaxConcurrentQueries: *maxQueries,
 	})
+
+	// Ctrl-C cancels the running query, not the REPL: the handler below
+	// forwards the signal to the active query's context. A second Ctrl-C
+	// while idle is harmless (the buffered stdin read restarts).
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
 	if *metricsAddr != "" {
 		go func() {
 			if err := http.ListenAndServe(*metricsAddr, db.MetricsHandler()); err != nil {
@@ -85,7 +100,7 @@ func main() {
 	register(bins, "bin")
 
 	if *query != "" {
-		runQuery(db, *query)
+		runQuery(db, *query, sigc)
 		return
 	}
 	fmt.Println("proteus> enter queries (SQL or 'for {...} yield ...'); .explain [analyze] <query>, .profile, .metrics, .caches, .quit")
@@ -136,20 +151,32 @@ func main() {
 			}
 			fmt.Print(plan)
 		default:
-			runQuery(db, line)
+			runQuery(db, line, sigc)
 		}
 	}
 }
 
-func runQuery(db *proteus.DB, q string) {
-	start := time.Now()
-	var res *proteus.Result
-	var err error
-	if proteus.IsComprehension(q) {
-		res, err = db.QueryComprehension(q)
-	} else {
-		res, err = db.Query(q)
+func runQuery(db *proteus.DB, q string, sigc <-chan os.Signal) {
+	// Drop any Ctrl-C delivered while idle so it can't cancel this query
+	// before it starts.
+	select {
+	case <-sigc:
+	default:
 	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-sigc:
+			fmt.Println("\n^C cancelling query...")
+			cancel()
+		case <-done:
+		}
+	}()
+	start := time.Now()
+	res, err := db.QueryContext(ctx, q)
+	close(done)
+	cancel()
 	if err != nil {
 		fmt.Println("error:", err)
 		return

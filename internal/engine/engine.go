@@ -6,11 +6,14 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"proteus/internal/algebra"
 	"proteus/internal/cache"
@@ -58,6 +61,18 @@ type Config struct {
 	// query's profile — the structured slow-query-log hook. It runs on the
 	// query's goroutine; keep it cheap or hand off.
 	OnQueryDone func(obs.QueryProfile)
+	// QueryTimeout bounds each query's wall time, covering the whole
+	// life-cycle from parse through execute (0 = no timeout). Expired
+	// queries return context.DeadlineExceeded.
+	QueryTimeout time.Duration
+	// QueryMemBudget bounds the bytes a single query may pin in operator
+	// state — hash-join build sides, aggregation tables, ORDER BY buffers
+	// (0 = unlimited). Exceeding it fails the query with exec.ErrMemBudget;
+	// the engine and its caches stay usable.
+	QueryMemBudget int64
+	// MaxConcurrentQueries gates admission: queries beyond the limit wait
+	// until a slot frees or their context is cancelled (0 = unlimited).
+	MaxConcurrentQueries int
 }
 
 // Engine is a Proteus instance: a catalog plus the managers every query
@@ -71,6 +86,11 @@ type Engine struct {
 	env         *plugin.Env
 	datasets    map[string]*plugin.Dataset
 	parallelism int
+
+	// Robustness knobs (see Config).
+	timeout   time.Duration
+	memBudget int64
+	admit     chan struct{} // nil = unlimited concurrency
 
 	// Observability state. metrics and profiles are always allocated so
 	// Metrics() and the HTTP handler work even when per-query profiling is
@@ -110,6 +130,10 @@ func New(cfg Config) *Engine {
 	if ringSize < 0 {
 		ringSize = 0
 	}
+	var admit chan struct{}
+	if cfg.MaxConcurrentQueries > 0 {
+		admit = make(chan struct{}, cfg.MaxConcurrentQueries)
+	}
 	return &Engine{
 		mem:         mem,
 		stats:       st,
@@ -118,6 +142,9 @@ func New(cfg Config) *Engine {
 		env:         &plugin.Env{Mem: mem, Stats: st, SampleEvery: cfg.SampleEvery},
 		datasets:    map[string]*plugin.Dataset{},
 		parallelism: par,
+		timeout:     cfg.QueryTimeout,
+		memBudget:   cfg.QueryMemBudget,
+		admit:       admit,
 		obsEnabled:  cfg.Observability,
 		metrics:     &obs.Metrics{},
 		profiles:    obs.NewRing(ringSize),
@@ -136,7 +163,7 @@ func (e *Engine) compileProg(plan algebra.Node) (*exec.Program, error) {
 // per-operator profiling when spec is non-nil (observed queries and EXPLAIN
 // ANALYZE), wiring the engine's cumulative metrics into the run.
 func (e *Engine) compileProgWith(plan algebra.Node, spec *exec.ProfileSpec) (*exec.Program, error) {
-	env := &exec.Env{Catalog: e, Caches: e.caches, Stats: e.stats}
+	env := &exec.Env{Catalog: e, Caches: e.caches, Stats: e.stats, MemBudget: e.memBudget}
 	if spec != nil {
 		env.Profile = spec
 		env.Metrics = e.metrics
@@ -246,15 +273,28 @@ func (p *Prepared) Explain() string {
 
 // prepareComprehension runs the common tail of the life-cycle.
 func (e *Engine) prepareComprehension(c *calculus.Comprehension) (*Prepared, error) {
-	return e.prepare(c, nil)
+	return e.prepare(context.Background(), c, nil)
+}
+
+// ctxErr reports a done context as its cancellation cause (Canceled,
+// DeadlineExceeded, or whatever the caller supplied), nil otherwise.
+func ctxErr(ctx context.Context) error {
+	if ctx.Err() != nil {
+		return context.Cause(ctx)
+	}
+	return nil
 }
 
 // prepare runs the life-cycle tail (calculus → optimize → compile), tracing
 // each phase into tr when a tracer is supplied. With a tracer, the
 // post-optimization plan is also walked to record the optimizer's
 // cardinality estimate per node, so EXPLAIN ANALYZE can print estimated vs.
-// actual rows side by side.
-func (e *Engine) prepare(c *calculus.Comprehension, tr *tracer) (*Prepared, error) {
+// actual rows side by side. The context is checked between phases so a
+// cancelled or timed-out query stops before paying for the next phase.
+func (e *Engine) prepare(ctx context.Context, c *calculus.Comprehension, tr *tracer) (*Prepared, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	endCalc := tr.phase(obs.PhaseCalculus)
 	if err := calculus.ResolveColumns(c, e); err != nil {
 		endCalc()
@@ -263,6 +303,9 @@ func (e *Engine) prepare(c *calculus.Comprehension, tr *tracer) (*Prepared, erro
 	plan, err := calculus.Translate(calculus.Normalize(c), e)
 	endCalc()
 	if err != nil {
+		return nil, err
+	}
+	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
 	optEnv := &optimizer.Env{Stats: e.stats, Costs: e}
@@ -277,6 +320,9 @@ func (e *Engine) prepare(c *calculus.Comprehension, tr *tracer) (*Prepared, erro
 			return true
 		})
 	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	endCompile := tr.phase(obs.PhaseCompile)
 	prog, err := e.compileProgWith(plan, spec)
 	endCompile()
@@ -288,6 +334,11 @@ func (e *Engine) prepare(c *calculus.Comprehension, tr *tracer) (*Prepared, erro
 		desc := append([]bool(nil), c.OrderDesc...)
 		limit := c.Limit
 		prog.WrapResult(func(res *exec.Result) (*exec.Result, error) {
+			// The sort buffer holds every materialized row; charge it
+			// against the query's memory budget before sorting.
+			if err := prog.ChargeMem(64 * int64(len(res.Rows))); err != nil {
+				return nil, err
+			}
 			return orderAndLimit(res, orderBy, desc, limit)
 		})
 	}
@@ -363,28 +414,115 @@ func (e *Engine) PrepareComp(query string) (*Prepared, error) {
 
 // QuerySQL parses, optimizes, compiles, and runs a SQL statement.
 func (e *Engine) QuerySQL(query string) (*exec.Result, error) {
-	if e.obsEnabled {
-		res, _, err := e.observedQuery(LangSQL, query, false)
-		return res, err
-	}
-	p, err := e.PrepareSQL(query)
-	if err != nil {
-		return nil, err
-	}
-	return p.Program.Run()
+	return e.runQuery(context.Background(), LangSQL, query)
 }
 
 // QueryComp parses, optimizes, compiles, and runs a comprehension.
 func (e *Engine) QueryComp(query string) (*exec.Result, error) {
-	if e.obsEnabled {
-		res, _, err := e.observedQuery(LangComp, query, false)
-		return res, err
+	return e.runQuery(context.Background(), LangComp, query)
+}
+
+// QuerySQLContext runs a SQL statement under the caller's context: the
+// query aborts cooperatively — between pipeline vectors, scan strides, and
+// life-cycle phases — when ctx is cancelled or its deadline passes.
+func (e *Engine) QuerySQLContext(ctx context.Context, query string) (*exec.Result, error) {
+	return e.runQuery(ctx, LangSQL, query)
+}
+
+// QueryCompContext is QuerySQLContext for comprehension queries.
+func (e *Engine) QueryCompContext(ctx context.Context, query string) (*exec.Result, error) {
+	return e.runQuery(ctx, LangComp, query)
+}
+
+// runQuery is the single entry point for executing queries: it applies the
+// configured timeout, gates admission, dispatches to the observed or plain
+// life-cycle, and classifies the outcome into the robustness metrics.
+func (e *Engine) runQuery(ctx context.Context, lang, query string) (*exec.Result, error) {
+	if e.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.timeout)
+		defer cancel()
 	}
-	p, err := e.PrepareComp(query)
+	if err := e.acquire(ctx); err != nil {
+		return nil, e.finishQuery(query, err)
+	}
+	defer e.release()
+	var (
+		res *exec.Result
+		err error
+	)
+	if e.obsEnabled {
+		res, _, err = e.observedQuery(ctx, lang, query, false)
+	} else {
+		res, err = e.plainQuery(ctx, lang, query)
+	}
+	if err != nil {
+		return nil, e.finishQuery(query, err)
+	}
+	return res, nil
+}
+
+// plainQuery is the untraced life-cycle: parse → prepare → run, all under
+// the caller's context.
+func (e *Engine) plainQuery(ctx context.Context, lang, query string) (*exec.Result, error) {
+	var (
+		c   *calculus.Comprehension
+		err error
+	)
+	if lang == LangSQL {
+		c, err = sql.Parse(query)
+	} else {
+		c, err = comp.Parse(query)
+	}
 	if err != nil {
 		return nil, err
 	}
-	return p.Program.Run()
+	p, err := e.prepare(ctx, c, nil)
+	if err != nil {
+		return nil, err
+	}
+	return p.Program.RunContext(ctx)
+}
+
+// acquire takes an admission slot, waiting until one frees or the context
+// is cancelled. A nil gate admits everything.
+func (e *Engine) acquire(ctx context.Context) error {
+	if e.admit == nil {
+		return nil
+	}
+	select {
+	case e.admit <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	}
+}
+
+// release frees an admission slot.
+func (e *Engine) release() {
+	if e.admit != nil {
+		<-e.admit
+	}
+}
+
+// finishQuery classifies a failed query into the robustness counters and
+// wraps panics with the query text (the fingerprint is already inside the
+// PanicError). The engine, caches, and statistics remain usable after every
+// outcome — that is the invariant these counters witness.
+func (e *Engine) finishQuery(query string, err error) error {
+	var pe *exec.PanicError
+	switch {
+	case errors.As(err, &pe):
+		e.metrics.QueriesPanicked.Add(1)
+		return fmt.Errorf("query %q: %w", query, err)
+	case errors.Is(err, exec.ErrMemBudget):
+		e.metrics.QueriesMemRejected.Add(1)
+	case errors.Is(err, context.DeadlineExceeded):
+		e.metrics.QueriesTimedOut.Add(1)
+	case errors.Is(err, context.Canceled):
+		e.metrics.QueriesCancelled.Add(1)
+	}
+	return err
 }
 
 // QueryPlan compiles and runs an already-built algebra plan (used by tests

@@ -6,6 +6,7 @@
 package engine
 
 import (
+	"context"
 	"net/http"
 	"time"
 
@@ -59,7 +60,7 @@ func (t *tracer) attachWorkers(ws []obs.Span) {
 // counters (plus wall timing when timed — the EXPLAIN ANALYZE mode). The
 // profile is always produced, even on error, and is retained in the ring,
 // flushed into the cumulative metrics, and handed to the OnQueryDone hook.
-func (e *Engine) observedQuery(lang, query string, timed bool) (*exec.Result, *obs.QueryProfile, error) {
+func (e *Engine) observedQuery(ctx context.Context, lang, query string, timed bool) (*exec.Result, *obs.QueryProfile, error) {
 	qp := &obs.QueryProfile{
 		ID:      e.queryID.Add(1),
 		Lang:    lang,
@@ -93,14 +94,14 @@ func (e *Engine) observedQuery(lang, query string, timed bool) (*exec.Result, *o
 		if err != nil {
 			return nil, err
 		}
-		p, err := e.prepare(c, tr)
+		p, err := e.prepare(ctx, c, tr)
 		if err != nil {
 			return nil, err
 		}
 		qp.Workers = p.Program.Workers
 		qp.Morsels = p.Program.Morsels
 		endExec := tr.phase(obs.PhaseExecute)
-		res, err := p.Program.Run()
+		res, err := p.Program.RunContext(ctx)
 		endExec()
 		tr.attachWorkers(p.Program.WorkerSpans())
 		qp.Root = p.Program.Profile()
@@ -149,24 +150,24 @@ func (e *Engine) flushProfile(qp *obs.QueryProfile) {
 // regardless of Config.Observability. Benchmarks use it to split compile
 // from execute time without the EXPLAIN ANALYZE timing overhead.
 func (e *Engine) ObservedQuerySQL(query string) (*exec.Result, *obs.QueryProfile, error) {
-	return e.observedQuery(LangSQL, query, false)
+	return e.observedQuery(context.Background(), LangSQL, query, false)
 }
 
 // ObservedQueryComp is ObservedQuerySQL for comprehension queries.
 func (e *Engine) ObservedQueryComp(query string) (*exec.Result, *obs.QueryProfile, error) {
-	return e.observedQuery(LangComp, query, false)
+	return e.observedQuery(context.Background(), LangComp, query, false)
 }
 
 // ExplainAnalyzeSQL executes a SQL statement with full per-operator wall
 // timing and returns its profile alongside the result.
 func (e *Engine) ExplainAnalyzeSQL(query string) (*exec.Result, *obs.QueryProfile, error) {
-	return e.observedQuery(LangSQL, query, true)
+	return e.observedQuery(context.Background(), LangSQL, query, true)
 }
 
 // ExplainAnalyzeComp executes a comprehension with full per-operator wall
 // timing and returns its profile alongside the result.
 func (e *Engine) ExplainAnalyzeComp(query string) (*exec.Result, *obs.QueryProfile, error) {
-	return e.observedQuery(LangComp, query, true)
+	return e.observedQuery(context.Background(), LangComp, query, true)
 }
 
 // Metrics snapshots the engine's cumulative counters, folding in the cache

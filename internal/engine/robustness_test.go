@@ -1,0 +1,283 @@
+// Robustness tests: cancellation, timeouts, memory budgets, and panic
+// isolation (see DESIGN.md, Robustness). These run under -race in CI.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"proteus/internal/exec"
+	"proteus/internal/plugin"
+	"proteus/internal/types"
+	"proteus/internal/vbuf"
+)
+
+// slowInput is a test plug-in whose scan can be made arbitrarily slow
+// (perRow sleep) or made to panic at a chosen row. It checks the
+// cancellation token on every record so tests can assert tight
+// cancellation latency. The single column "id" holds the row ordinal.
+type slowInput struct {
+	rows     int64
+	perRow   time.Duration
+	panicRow atomic.Int64 // -1 = never
+}
+
+func newSlowInput(rows int64, perRow time.Duration) *slowInput {
+	s := &slowInput{rows: rows, perRow: perRow}
+	s.panicRow.Store(-1)
+	return s
+}
+
+func (s *slowInput) Format() string { return "slow" }
+
+func (s *slowInput) Open(env *plugin.Env, ds *plugin.Dataset) error {
+	ds.Schema = &types.RecordType{Fields: []types.Field{{Name: "id", Type: types.Int}}}
+	return nil
+}
+
+func (s *slowInput) Schema(ds *plugin.Dataset) *types.RecordType { return ds.Schema }
+func (s *slowInput) Cardinality(ds *plugin.Dataset) int64        { return s.rows }
+func (s *slowInput) FieldCost() float64                          { return 1 }
+
+func (s *slowInput) CompileScan(ds *plugin.Dataset, spec plugin.ScanSpec) (plugin.RunFunc, error) {
+	lo, hi := int64(0), s.rows
+	if spec.Morsel != nil {
+		lo, hi = spec.Morsel.Start, spec.Morsel.End
+	}
+	type setter func(regs *vbuf.Regs, row int64)
+	var sets []setter
+	for _, req := range spec.Fields {
+		slot := req.Slot
+		switch {
+		case len(req.Path) == 0:
+			sets = append(sets, func(regs *vbuf.Regs, row int64) {
+				regs.V[slot.Idx] = types.RecordValue([]string{"id"}, []types.Value{types.IntValue(row)})
+				regs.Null[slot.Null] = false
+			})
+		case len(req.Path) == 1 && req.Path[0] == "id":
+			sets = append(sets, func(regs *vbuf.Regs, row int64) {
+				regs.I[slot.Idx] = row
+				regs.Null[slot.Null] = false
+			})
+		default:
+			return nil, fmt.Errorf("slowInput: unknown field %v", req.Path)
+		}
+	}
+	oid := spec.OIDSlot
+	cc := spec.Cancel
+	panicRow := s.panicRow.Load()
+	perRow := s.perRow
+	return func(regs *vbuf.Regs, consume func() error) error {
+		for row := lo; row < hi; row++ {
+			if cc.Cancelled() {
+				return cc.Err()
+			}
+			if row == panicRow {
+				panic("injected test panic")
+			}
+			if perRow > 0 {
+				time.Sleep(perRow)
+			}
+			if oid != nil {
+				regs.I[oid.Idx] = row
+				regs.Null[oid.Null] = false
+			}
+			for _, set := range sets {
+				set(regs, row)
+			}
+			if err := consume(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
+}
+
+func (s *slowInput) CompileUnnest(ds *plugin.Dataset, spec plugin.UnnestSpec) (plugin.UnnestFunc, error) {
+	return nil, plugin.ErrUnsupported
+}
+
+func (s *slowInput) ReadRows(ds *plugin.Dataset) ([]types.Value, error) {
+	out := make([]types.Value, 0, s.rows)
+	for row := int64(0); row < s.rows; row++ {
+		out = append(out, types.RecordValue([]string{"id"}, []types.Value{types.IntValue(row)}))
+	}
+	return out, nil
+}
+
+// PartitionScan implements plugin.Partitioner so queries parallelize.
+func (s *slowInput) PartitionScan(ds *plugin.Dataset, parts int) ([]plugin.Morsel, error) {
+	return plugin.SplitRows(s.rows, parts), nil
+}
+
+// waitGoroutines waits for the goroutine count to settle back to the
+// baseline (small slack for runtime helpers), retrying because worker
+// teardown is asynchronous after cancellation.
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d goroutines, baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestCancelMidParallelQuery(t *testing.T) {
+	e := New(Config{Parallelism: 4})
+	slow := newSlowInput(1<<40, 50*time.Microsecond)
+	e.RegisterPlugin(slow)
+	if err := e.Register("slow", "slow://t", "slow", nil, plugin.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.QuerySQLContext(ctx, "SELECT COUNT(*) FROM slow")
+		done <- err
+	}()
+	time.Sleep(30 * time.Millisecond) // let workers get going
+	cancelStart := time.Now()
+	cancel()
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+		// The scan polls every record, so cancellation should land fast;
+		// allow generous slack for -race and loaded CI machines.
+		if latency := time.Since(cancelStart); latency > 500*time.Millisecond {
+			t.Errorf("cancellation took %v", latency)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("query did not return after cancellation")
+	}
+	waitGoroutines(t, before)
+
+	if got := e.Metrics().QueriesCancelled; got != 1 {
+		t.Errorf("QueriesCancelled = %d, want 1", got)
+	}
+	// The shared engine must answer the next query correctly.
+	e.Mem().PutFile("mem://t.csv", []byte("a\n1\n2\n3\n"))
+	if err := e.Register("t", "mem://t.csv", "csv", nil, plugin.Options{Header: true}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.QuerySQL("SELECT COUNT(*) FROM t")
+	if err != nil {
+		t.Fatalf("follow-up query failed: %v", err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("follow-up query returned %d rows", len(res.Rows))
+	}
+}
+
+func TestTimeoutDuringCompile(t *testing.T) {
+	e := New(Config{QueryTimeout: time.Nanosecond})
+	e.Mem().PutFile("mem://t.csv", []byte("a\n1\n"))
+	if err := e.Register("t", "mem://t.csv", "csv", nil, plugin.Options{Header: true}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := e.QuerySQL("SELECT a FROM t")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+	if got := e.Metrics().QueriesTimedOut; got != 1 {
+		t.Errorf("QueriesTimedOut = %d, want 1", got)
+	}
+}
+
+func TestMemBudgetRejectionLeavesCacheConsistent(t *testing.T) {
+	e := New(Config{CacheEnabled: true, QueryMemBudget: 4 << 10, Parallelism: 2})
+	var data []byte
+	data = append(data, "a,b\n"...)
+	for i := 0; i < 5000; i++ {
+		data = append(data, fmt.Sprintf("%d,%d\n", i, i%7)...)
+	}
+	e.Mem().PutFile("mem://big.csv", data)
+	if err := e.Register("big", "mem://big.csv", "csv", nil, plugin.Options{Header: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	// 5000 distinct groups blow the 4 KiB budget mid-aggregation.
+	_, err := e.QuerySQL("SELECT a, COUNT(*) FROM big GROUP BY a")
+	if !errors.Is(err, exec.ErrMemBudget) {
+		t.Fatalf("want exec.ErrMemBudget, got %v", err)
+	}
+	if got := e.Metrics().QueriesMemRejected; got != 1 {
+		t.Errorf("QueriesMemRejected = %d, want 1", got)
+	}
+	// The aborted run must not have registered partial cache blocks.
+	if s := e.Caches().Snapshot(); s.Blocks != 0 {
+		t.Errorf("aborted query registered %d cache blocks", s.Blocks)
+	}
+
+	// A modest query on the same engine succeeds within the budget and
+	// the cache manager keeps working (blocks may now materialize).
+	res, err := e.QuerySQL("SELECT b, COUNT(*) FROM big GROUP BY b")
+	if err != nil {
+		t.Fatalf("follow-up query failed: %v", err)
+	}
+	if len(res.Rows) != 7 {
+		t.Fatalf("follow-up query returned %d rows, want 7", len(res.Rows))
+	}
+}
+
+func TestPanicWorkerDoesNotWedgeSiblings(t *testing.T) {
+	e := New(Config{Parallelism: 4})
+	slow := newSlowInput(1<<20, 0)
+	slow.panicRow.Store(1 << 19) // inside a later worker's morsel
+	e.RegisterPlugin(slow)
+	if err := e.Register("slow", "slow://t", "slow", nil, plugin.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.QuerySQLContext(context.Background(), "SELECT COUNT(*) FROM slow")
+		done <- err
+	}()
+	var err error
+	select {
+	case err = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("query wedged after worker panic")
+	}
+	var pe *exec.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *exec.PanicError, got %v", err)
+	}
+	if pe.Fingerprint == "" {
+		t.Error("panic error carries no plan fingerprint")
+	}
+	if want := "SELECT COUNT(*) FROM slow"; !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not name the query", err)
+	}
+	waitGoroutines(t, before)
+	if got := e.Metrics().QueriesPanicked; got != 1 {
+		t.Errorf("QueriesPanicked = %d, want 1", got)
+	}
+
+	// Subsequent queries on the shared engine succeed.
+	slow.panicRow.Store(-1)
+	res, err := e.QuerySQL("SELECT COUNT(*) FROM slow")
+	if err != nil {
+		t.Fatalf("follow-up query failed: %v", err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("follow-up query returned %d rows", len(res.Rows))
+	}
+}

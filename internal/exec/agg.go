@@ -284,6 +284,8 @@ func (p *reducePartial) result() (*Result, error) {
 func (c *Compiler) compileReducePartial(red *algebra.Reduce) (func(r *vbuf.Regs) error, *reducePartial, error) {
 	st := &reducePartial{names: red.Names, rowsCell: c.rootRowsCell(red)}
 	var pred evalBool
+	gauge := c.mem
+	var pending int64
 
 	// Collection yield: one bag/list aggregate produces the result rows.
 	if len(red.Aggs) == 1 && (red.Aggs[0].Kind == expr.AggBag || red.Aggs[0].Kind == expr.AggList) {
@@ -313,6 +315,15 @@ func (c *Compiler) compileReducePartial(red *algebra.Reduce) (func(r *vbuf.Regs)
 					v = types.NullValue()
 				}
 				st.rows = append(st.rows, v)
+				if gauge != nil {
+					if pending += 64; pending >= memQuantum {
+						err := gauge.charge(pending)
+						pending = 0
+						if err != nil {
+							return err
+						}
+					}
+				}
 				return nil
 			}, nil
 		})
@@ -499,6 +510,11 @@ func (p *nestPartial) result() (*Result, error) {
 func (c *Compiler) compileNestPartial(n *algebra.Nest) (func(r *vbuf.Regs) error, *nestPartial, error) {
 	var pred evalBool
 	protoAccs := make([]*accumulator, len(n.Aggs))
+	gauge := c.mem
+	var pending int64
+	// Estimated footprint of one new group: map/order bookkeeping plus the
+	// per-group accumulator states.
+	groupBytes := int64(96 + len(n.GroupBy)*48 + len(n.Aggs)*96)
 	st := &nestPartial{
 		rowsCell: c.rootRowsCell(n),
 		outNames: append(append([]string{}, n.GroupNames...), n.AggNames...),
@@ -552,6 +568,15 @@ func (c *Compiler) compileNestPartial(n *algebra.Nest) (func(r *vbuf.Regs) error
 					accs = st.freshAccs()
 					st.intGroups[k] = accs
 					st.intOrder = append(st.intOrder, k)
+					if gauge != nil {
+						if pending += groupBytes; pending >= memQuantum {
+							err := gauge.charge(pending)
+							pending = 0
+							if err != nil {
+								return err
+							}
+						}
+					}
 				}
 				for _, acc := range accs {
 					acc.fold(r)
@@ -615,6 +640,15 @@ func (c *Compiler) compileNestPartial(n *algebra.Nest) (func(r *vbuf.Regs) error
 				g = &group{hash: h, keyVals: keyVals, accs: st.freshAccs()}
 				st.groups[h] = append(st.groups[h], g)
 				st.order = append(st.order, g)
+				if gauge != nil {
+					if pending += groupBytes; pending >= memQuantum {
+						err := gauge.charge(pending)
+						pending = 0
+						if err != nil {
+							return err
+						}
+					}
+				}
 			}
 			for _, acc := range g.accs {
 				acc.fold(r)

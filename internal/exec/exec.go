@@ -34,6 +34,11 @@ type Env struct {
 	// Metrics, when set, receives cumulative engine-level counters
 	// (workers launched, morsels scanned, active-worker gauge).
 	Metrics *obs.Metrics
+	// MemBudget, when positive, bounds the estimated bytes a query may pin
+	// in pipeline-breaker state (hash-join build sides, aggregation tables,
+	// collected rows, ORDER BY buffers). Exceeding it fails the query with
+	// ErrMemBudget instead of risking the process.
+	MemBudget int64
 }
 
 // Kont is the consume continuation of the push model: called once per
@@ -89,6 +94,13 @@ type Compiler struct {
 	// into the generated closures (see profile.go). All pipeline clones of a
 	// parallel program share one progProf; each clone writes its own cells.
 	prof *progProf
+
+	// cancel is the program's cooperative cancellation token, threaded into
+	// every scan driver. All pipeline clones share one token.
+	cancel *plugin.Cancel
+	// mem is the query's memory accountant (shared across clones); nil when
+	// no budget is configured, which compiles all accounting out.
+	mem *memGauge
 }
 
 func (c *Compiler) note(format string, args ...any) {
@@ -367,7 +379,7 @@ func (c *Compiler) compileScan(s *algebra.Scan, consume Kont) (func(r *vbuf.Regs
 		// builders can exist here: population only attaches to
 		// plug-in-extracted fields.)
 		c.note("scan %s: fully served from cache (%d fields)", s.Dataset, len(cachedFields))
-		drv := cachepg.CompileScan(rows, rawLoaders, &b.oidSlot, morsel, scanProf)
+		drv := cachepg.CompileScan(rows, rawLoaders, &b.oidSlot, morsel, scanProf, c.cancel)
 		run := func(r *vbuf.Regs) error {
 			return drv(r, func() error { return consume(r) })
 		}
@@ -404,7 +416,7 @@ func (c *Compiler) compileScan(s *algebra.Scan, consume Kont) (func(r *vbuf.Regs
 		}
 	}
 
-	spec := plugin.ScanSpec{Fields: pluginFields, OIDSlot: &b.oidSlot, Morsel: morsel, Prof: scanProf}
+	spec := plugin.ScanSpec{Fields: pluginFields, OIDSlot: &b.oidSlot, Morsel: morsel, Prof: scanProf, Cancel: c.cancel}
 	pluginRun, err := in.CompileScan(ds, spec)
 	if err != nil {
 		return nil, err

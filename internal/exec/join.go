@@ -36,19 +36,27 @@ type matCol struct {
 	nulls  []bool
 }
 
-func (mc *matCol) append(r *vbuf.Regs) {
+// append materializes the current tuple's value and returns its estimated
+// in-memory cost in bytes — the unit the memory accountant charges.
+func (mc *matCol) append(r *vbuf.Regs) int64 {
 	mc.nulls = append(mc.nulls, r.Null[mc.slot.Null])
 	switch mc.slot.Class {
 	case vbuf.ClassInt:
 		mc.ints = append(mc.ints, r.I[mc.slot.Idx])
+		return 9
 	case vbuf.ClassFloat:
 		mc.floats = append(mc.floats, r.F[mc.slot.Idx])
+		return 9
 	case vbuf.ClassBool:
 		mc.bools = append(mc.bools, r.B[mc.slot.Idx])
+		return 2
 	case vbuf.ClassString:
-		mc.strs = append(mc.strs, r.S[mc.slot.Idx])
+		s := r.S[mc.slot.Idx]
+		mc.strs = append(mc.strs, s)
+		return int64(len(s)) + 17
 	default:
 		mc.vals = append(mc.vals, r.V[mc.slot.Idx])
+		return 49
 	}
 }
 
@@ -334,7 +342,14 @@ func (c *Compiler) compileJoin(j *algebra.Join, consume Kont) (func(r *vbuf.Regs
 	}
 
 	// Install the materializing consume into the already-compiled build
-	// pipeline.
+	// pipeline. With a memory budget, each materialized row's estimated
+	// bytes accumulate locally and flush to the shared gauge per quantum.
+	gauge := c.mem
+	keyRowBytes := int64(16 + len(keysR)*8)
+	if !allInt {
+		keyRowBytes = int64(16 + len(keysR)*48)
+	}
+	var pending int64
 	materialize := func(r *vbuf.Regs) error {
 		h := uint64(14695981039346656037)
 		if allInt {
@@ -357,8 +372,22 @@ func (c *Compiler) compileJoin(j *algebra.Join, consume Kont) (func(r *vbuf.Regs
 			}
 		}
 		jt.hashes = append(jt.hashes, h)
+		if gauge == nil {
+			for _, col := range jt.cols {
+				col.append(r)
+			}
+			return nil
+		}
+		nb := keyRowBytes
 		for _, col := range jt.cols {
-			col.append(r)
+			nb += col.append(r)
+		}
+		if pending += nb; pending >= memQuantum {
+			err := gauge.charge(pending)
+			pending = 0
+			if err != nil {
+				return err
+			}
 		}
 		return nil
 	}
@@ -503,6 +532,14 @@ func (c *Compiler) compileJoin(j *algebra.Join, consume Kont) (func(r *vbuf.Regs
 			radix = RadixBitsOverride
 		}
 		jt.build(radix)
+		if gauge != nil {
+			// Flush the materialize residue and charge the hash table itself.
+			n := pending + int64(len(jt.heads)+len(jt.next))*4
+			pending = 0
+			if err := gauge.charge(n); err != nil {
+				return err
+			}
+		}
 		if statsStore != nil {
 			profileMaterializedSide(statsStore, jt, datasetOf)
 		}
@@ -642,9 +679,21 @@ func (c *Compiler) compileNestedLoopJoin(j *algebra.Join, consume Kont) (func(r 
 	// Establish right bindings.
 	rightBindings := j.Right.Bindings()
 	var cols []*matCol
+	gauge := c.mem
+	var pending int64
 	buildProbe := func(r *vbuf.Regs) error {
+		var nb int64
 		for _, col := range cols {
-			col.append(r)
+			nb += col.append(r)
+		}
+		if gauge != nil {
+			if pending += nb; pending >= memQuantum {
+				err := gauge.charge(pending)
+				pending = 0
+				if err != nil {
+					return err
+				}
+			}
 		}
 		return nil
 	}

@@ -194,6 +194,14 @@ func CompileParallel(plan algebra.Node, env *Env, workers int) (*Program, error)
 
 	sh := newSharedRun(len(morsels))
 	units := make([]*workerUnit, len(morsels))
+	// All clones share one cancellation token and one memory gauge: a signal
+	// from any worker (or the context) stops every sibling's scan driver, and
+	// charges from all clones count against the same budget.
+	cancel := &plugin.Cancel{}
+	var gauge *memGauge
+	if env.MemBudget > 0 {
+		gauge = &memGauge{budget: env.MemBudget}
+	}
 	// All pipeline clones share one profiling state; each writes the cells
 	// indexed by its worker ID.
 	var prof *progProf
@@ -211,6 +219,8 @@ func CompileParallel(plan algebra.Node, env *Env, workers int) (*Program, error)
 			shared:    sh,
 			workerID:  i,
 			prof:      prof,
+			cancel:    cancel,
+			mem:       gauge,
 		}
 		algebra.Walk(plan, func(n algebra.Node) bool {
 			for name, t := range n.Bindings() {
@@ -245,6 +255,7 @@ func CompileParallel(plan algebra.Node, env *Env, workers int) (*Program, error)
 
 	caches := env.Caches
 	met := env.Metrics
+	fingerprint := plan.Fingerprint()
 	run := func(_ *vbuf.Regs) (*Result, error) {
 		sh.reset()
 		if met != nil {
@@ -263,10 +274,23 @@ func CompileParallel(plan algebra.Node, env *Env, workers int) (*Program, error)
 			wg.Add(1)
 			go func(i int, u *workerUnit) {
 				defer wg.Done()
+				// Per-worker panic barrier: a panicking goroutine would kill
+				// the whole process before the query-boundary recover could
+				// see it, so each clone converts its own panics — and signals
+				// the shared token so sibling scans abort instead of running
+				// their morsels to completion.
+				defer func() {
+					if rec := recover(); rec != nil {
+						errs[i] = newPanicError(fingerprint, rec)
+						cancel.Signal(errs[i])
+					}
+				}()
 				t0 := time.Now()
 				u.state.reset()
 				regs := vbuf.NewRegs(&u.alloc)
-				errs[i] = u.run(regs)
+				if errs[i] = u.run(regs); errs[i] != nil {
+					cancel.Signal(errs[i])
+				}
 				if spans != nil {
 					spans[i] = obs.Span{
 						Name:  fmt.Sprintf("worker %d (rows %d..%d)", i, morsels[i].Start, morsels[i].End),
@@ -280,10 +304,23 @@ func CompileParallel(plan algebra.Node, env *Env, workers int) (*Program, error)
 		if prof != nil {
 			prof.workerSpans = spans
 		}
+		// Prefer a panic over the derived errors siblings return after the
+		// token fires, so the caller sees the root cause.
+		var firstErr error
 		for _, e := range errs {
-			if e != nil {
-				return nil, e
+			if e == nil {
+				continue
 			}
+			if _, isPanic := e.(*PanicError); isPanic {
+				firstErr = e
+				break
+			}
+			if firstErr == nil {
+				firstErr = e
+			}
+		}
+		if firstErr != nil {
+			return nil, firstErr
 		}
 		// Pipeline breaker: merge the thread-local partials in worker
 		// (= morsel, = scan) order.
@@ -300,7 +337,11 @@ func CompileParallel(plan algebra.Node, env *Env, workers int) (*Program, error)
 		caches.AddBuildNanos(int64(time.Since(tC)))
 		return merged.result()
 	}
-	p := &Program{alloc: units[0].alloc, run: run, Explain: explain, Workers: len(units), Morsels: len(morsels)}
+	p := &Program{
+		alloc: units[0].alloc, run: run, Explain: explain,
+		Workers: len(units), Morsels: len(morsels),
+		Fingerprint: fingerprint, cancel: cancel, mem: gauge,
+	}
 	p.attachProf(prof)
 	return p, nil
 }

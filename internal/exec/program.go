@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -9,6 +10,7 @@ import (
 	"proteus/internal/algebra"
 	"proteus/internal/expr"
 	"proteus/internal/obs"
+	"proteus/internal/plugin"
 	"proteus/internal/types"
 	"proteus/internal/vbuf"
 )
@@ -48,12 +50,59 @@ type Program struct {
 	// Workers and Morsels describe the parallel shape chosen at compile time
 	// (both 1 for serial programs).
 	Workers, Morsels int
+	// Fingerprint is the structural fingerprint of the compiled plan,
+	// carried into PanicError so failures name the specialized program.
+	Fingerprint string
+
+	// cancel is the cooperative cancellation token every scan driver of
+	// this program (and all its pipeline clones) polls.
+	cancel *plugin.Cancel
+	// mem is the per-query memory accountant; nil when Env.MemBudget is
+	// unset, in which case every charge site compiles the accounting out.
+	mem *memGauge
 }
 
 // Run executes the program against a fresh register file.
-func (p *Program) Run() (*Result, error) {
+func (p *Program) Run() (*Result, error) { return p.RunContext(context.Background()) }
+
+// RunContext executes the program under ctx: when ctx is cancelled or its
+// deadline passes, the scan drivers abort at the next poll boundary and
+// the run returns ctx's cause. RunContext is also the query-boundary panic
+// barrier — a panic inside the compiled pipeline (or its post-processing)
+// surfaces as a *PanicError instead of unwinding into the caller.
+func (p *Program) RunContext(ctx context.Context) (res *Result, err error) {
+	if ctx.Err() != nil {
+		return nil, context.Cause(ctx)
+	}
+	if p.mem != nil {
+		p.mem.reset()
+	}
+	if p.cancel != nil {
+		gen := p.cancel.Arm()
+		if ctx.Done() != nil {
+			stop := context.AfterFunc(ctx, func() {
+				p.cancel.SignalAt(gen, context.Cause(ctx))
+			})
+			defer stop()
+		}
+	}
+	defer func() {
+		if rec := recover(); rec != nil {
+			res, err = nil, newPanicError(p.Fingerprint, rec)
+		}
+	}()
 	regs := vbuf.NewRegs(&p.alloc)
 	return p.run(regs)
+}
+
+// ChargeMem charges n estimated bytes against the query's memory budget
+// (no-op without one). The engine uses it for post-pipeline buffers such
+// as ORDER BY input.
+func (p *Program) ChargeMem(n int64) error {
+	if p.mem == nil {
+		return nil
+	}
+	return p.mem.charge(n)
 }
 
 // Profile returns the last run's operator-profile tree, or nil when the
@@ -124,6 +173,10 @@ func Compile(plan algebra.Node, env *Env) (*Program, error) {
 		env:      env,
 		bindings: map[string]*binding{},
 		envTypes: expr.Env{},
+		cancel:   &plugin.Cancel{},
+	}
+	if env.MemBudget > 0 {
+		c.mem = &memGauge{budget: env.MemBudget}
 	}
 	if env.Profile != nil {
 		c.prof = newProgProf(plan, env.Profile, 1)
@@ -155,7 +208,10 @@ func Compile(plan algebra.Node, env *Env) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Program{alloc: c.alloc, run: run, Explain: c.explain, Workers: 1, Morsels: 1}
+	p := &Program{
+		alloc: c.alloc, run: run, Explain: c.explain, Workers: 1, Morsels: 1,
+		Fingerprint: plan.Fingerprint(), cancel: c.cancel, mem: c.mem,
+	}
 	p.attachProf(c.prof)
 	return p, nil
 }
@@ -214,6 +270,8 @@ func (c *Compiler) compileBarePartial(plan algebra.Node) (func(r *vbuf.Regs) err
 	}
 	sort.Strings(names)
 	st := &barePartial{names: names}
+	gauge := c.mem
+	var pending int64
 	evs := make([]evalVal, len(names))
 	run, err := c.compileChildThen(plan, func() (Kont, error) {
 		for i, name := range names {
@@ -233,6 +291,15 @@ func (c *Compiler) compileBarePartial(plan algebra.Node) (func(r *vbuf.Regs) err
 				vals[i] = v
 			}
 			st.rows = append(st.rows, types.RecordValue(names, vals))
+			if gauge != nil {
+				if pending += 48 + int64(len(vals))*56; pending >= memQuantum {
+					err := gauge.charge(pending)
+					pending = 0
+					if err != nil {
+						return err
+					}
+				}
+			}
 			return nil
 		}, nil
 	})

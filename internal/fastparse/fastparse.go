@@ -4,13 +4,22 @@
 // strconv would require matters.
 package fastparse
 
-import "strconv"
+import (
+	"math"
+	"strconv"
+)
 
 // Int parses a decimal integer. Parsing stops at the first non-digit, so
 // the caller controls the slice bounds; machine-generated data never hits
-// the early stop.
+// the early stop. Slices long enough to overflow int64 take the checked
+// IntErr path and saturate like strconv; short slices — the overwhelmingly
+// common shape in scan loops — keep the guard-free tight loop.
 func Int(b []byte) int64 {
-	var n int64
+	if len(b) > 18 { // 19+ digits can exceed int64; IntErr re-checks exactly
+		v, _ := IntErr(b)
+		return v
+	}
+	var v int64
 	neg := false
 	i := 0
 	if i < len(b) && (b[i] == '-' || b[i] == '+') {
@@ -22,12 +31,57 @@ func Int(b []byte) int64 {
 		if c < '0' || c > '9' {
 			break
 		}
-		n = n*10 + int64(c-'0')
+		v = v*10 + int64(c-'0')
 	}
 	if neg {
-		return -n
+		return -v
 	}
-	return n
+	return v
+}
+
+// IntErr parses a decimal integer and reports overflow. Values that exceed
+// int64 are re-parsed through strconv.ParseInt so the saturated value and
+// error shape match the standard library exactly.
+func IntErr(b []byte) (int64, error) {
+	var un uint64
+	neg := false
+	i := 0
+	if i < len(b) && (b[i] == '-' || b[i] == '+') {
+		neg = b[i] == '-'
+		i++
+	}
+	limit := uint64(math.MaxInt64)
+	if neg {
+		limit++ // -2^63 is representable
+	}
+	for ; i < len(b); i++ {
+		c := b[i]
+		if c < '0' || c > '9' {
+			break
+		}
+		if un > (math.MaxUint64-9)/10 {
+			return intFallback(b, i)
+		}
+		un = un*10 + uint64(c-'0')
+		if un > limit {
+			return intFallback(b, i)
+		}
+	}
+	if neg {
+		return -int64(un), nil // two's complement handles MinInt64
+	}
+	return int64(un), nil
+}
+
+// intFallback finishes an overflowing parse: it consumes the remaining
+// digit run starting at i and delegates to strconv.ParseInt, which returns
+// the saturated boundary value together with ErrRange.
+func intFallback(b []byte, i int) (int64, error) {
+	for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+		i++
+	}
+	v, err := strconv.ParseInt(string(b[:i]), 10, 64)
+	return v, err
 }
 
 // Float parses a float without allocating for the common fixed-point shape

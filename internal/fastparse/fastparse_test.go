@@ -1,6 +1,8 @@
 package fastparse
 
 import (
+	"errors"
+	"math/big"
 	"strconv"
 	"testing"
 	"testing/quick"
@@ -22,6 +24,84 @@ func TestIntMatchesStrconvProperty(t *testing.T) {
 	f := func(v int64) bool {
 		s := strconv.FormatInt(v, 10)
 		return Int([]byte(s)) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntBoundaries(t *testing.T) {
+	// ±2^63±1 and other values straddling the int64 range: IntErr must
+	// agree with strconv.ParseInt on both the value and the error class.
+	cases := []string{
+		"9223372036854775807",  // MaxInt64
+		"9223372036854775808",  // MaxInt64+1 (overflow)
+		"9223372036854775806",  // MaxInt64-1
+		"-9223372036854775808", // MinInt64
+		"-9223372036854775809", // MinInt64-1 (overflow)
+		"-9223372036854775807", // MinInt64+1
+		"+9223372036854775807",
+		"18446744073709551615", // MaxUint64
+		"18446744073709551616", // MaxUint64+1 (past the pre-multiply guard)
+		"99999999999999999999999999999999999999",
+		"-99999999999999999999999999999999999999",
+		"000000000000000000000000000000000000001", // long but tiny
+	}
+	for _, s := range cases {
+		want, wantErr := strconv.ParseInt(s, 10, 64)
+		got, gotErr := IntErr([]byte(s))
+		if got != want {
+			t.Errorf("IntErr(%q) = %d, want %d", s, got, want)
+		}
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Errorf("IntErr(%q) err = %v, strconv err = %v", s, gotErr, wantErr)
+		}
+		if wantErr != nil {
+			var ne *strconv.NumError
+			if !errors.As(gotErr, &ne) || ne.Err != strconv.ErrRange {
+				t.Errorf("IntErr(%q) err = %v, want ErrRange", s, gotErr)
+			}
+		}
+		// Int saturates like strconv on overflow.
+		if v := Int([]byte(s)); v != want {
+			t.Errorf("Int(%q) = %d, want %d", s, v, want)
+		}
+	}
+}
+
+func TestIntErrStopsAtNonDigit(t *testing.T) {
+	// The stop-at-first-non-digit contract holds even when the digit run
+	// before the stop overflows.
+	v, err := IntErr([]byte("12x34"))
+	if v != 12 || err != nil {
+		t.Errorf("IntErr(12x34) = %d, %v", v, err)
+	}
+	v, err = IntErr([]byte("99999999999999999999.5"))
+	if err == nil {
+		t.Error("overflowing prefix should report ErrRange")
+	}
+	if v != 9223372036854775807 {
+		t.Errorf("saturated value = %d", v)
+	}
+}
+
+func TestIntBoundaryProperty(t *testing.T) {
+	// Perturb values near the int64 boundaries through big-integer string
+	// arithmetic and compare against strconv.
+	f := func(delta uint8) bool {
+		for _, base := range []*big.Int{
+			big.NewInt(0).SetUint64(1 << 63),                    // 2^63
+			big.NewInt(0).Neg(big.NewInt(0).SetUint64(1 << 63)), // -2^63
+		} {
+			d := big.NewInt(int64(delta%16) - 8)
+			s := big.NewInt(0).Add(base, d).String()
+			want, wantErr := strconv.ParseInt(s, 10, 64)
+			got, gotErr := IntErr([]byte(s))
+			if got != want || (gotErr == nil) != (wantErr == nil) {
+				return false
+			}
+		}
+		return true
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)

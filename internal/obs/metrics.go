@@ -16,6 +16,13 @@ type Metrics struct {
 	Errors  atomic.Int64 // queries that returned an error
 	RowsOut atomic.Int64 // total result rows produced
 
+	// Robustness outcomes (subsets of Errors, classified at the query
+	// boundary; see DESIGN.md, Robustness).
+	QueriesCancelled   atomic.Int64 // aborted by caller cancellation
+	QueriesTimedOut    atomic.Int64 // aborted by Config.QueryTimeout
+	QueriesMemRejected atomic.Int64 // aborted by Config.QueryMemBudget
+	QueriesPanicked    atomic.Int64 // runtime panic converted to an error
+
 	// Per-phase cumulative wall time.
 	ParseNanos    atomic.Int64
 	CalculusNanos atomic.Int64
@@ -70,6 +77,11 @@ type Snapshot struct {
 	Errors  int64 `json:"errors"`
 	RowsOut int64 `json:"rows_out"`
 
+	QueriesCancelled   int64 `json:"queries_cancelled"`
+	QueriesTimedOut    int64 `json:"queries_timed_out"`
+	QueriesMemRejected int64 `json:"queries_mem_rejected"`
+	QueriesPanicked    int64 `json:"queries_panicked"`
+
 	ParseNanos    int64 `json:"parse_nanos"`
 	CalculusNanos int64 `json:"calculus_nanos"`
 	OptimizeNanos int64 `json:"optimize_nanos"`
@@ -96,23 +108,27 @@ type Snapshot struct {
 // cache counters.
 func (m *Metrics) Snapshot(cache CacheCounters) Snapshot {
 	return Snapshot{
-		Queries:          m.Queries.Load(),
-		Errors:           m.Errors.Load(),
-		RowsOut:          m.RowsOut.Load(),
-		ParseNanos:       m.ParseNanos.Load(),
-		CalculusNanos:    m.CalculusNanos.Load(),
-		OptimizeNanos:    m.OptimizeNanos.Load(),
-		CompileNanos:     m.CompileNanos.Load(),
-		ExecuteNanos:     m.ExecuteNanos.Load(),
-		ParallelQueries:  m.ParallelQueries.Load(),
-		WorkersLaunched:  m.WorkersLaunched.Load(),
-		MorselsScanned:   m.MorselsScanned.Load(),
-		ActiveQueries:    m.ActiveQueries.Load(),
-		ActiveWorkers:    m.ActiveWorkers.Load(),
-		ScanBytesRead:    m.ScanBytesRead.Load(),
-		ScanFieldsParsed: m.ScanFieldsParsed.Load(),
-		ScanIndexHits:    m.ScanIndexHits.Load(),
-		Cache:            cache,
+		Queries:            m.Queries.Load(),
+		Errors:             m.Errors.Load(),
+		RowsOut:            m.RowsOut.Load(),
+		QueriesCancelled:   m.QueriesCancelled.Load(),
+		QueriesTimedOut:    m.QueriesTimedOut.Load(),
+		QueriesMemRejected: m.QueriesMemRejected.Load(),
+		QueriesPanicked:    m.QueriesPanicked.Load(),
+		ParseNanos:         m.ParseNanos.Load(),
+		CalculusNanos:      m.CalculusNanos.Load(),
+		OptimizeNanos:      m.OptimizeNanos.Load(),
+		CompileNanos:       m.CompileNanos.Load(),
+		ExecuteNanos:       m.ExecuteNanos.Load(),
+		ParallelQueries:    m.ParallelQueries.Load(),
+		WorkersLaunched:    m.WorkersLaunched.Load(),
+		MorselsScanned:     m.MorselsScanned.Load(),
+		ActiveQueries:      m.ActiveQueries.Load(),
+		ActiveWorkers:      m.ActiveWorkers.Load(),
+		ScanBytesRead:      m.ScanBytesRead.Load(),
+		ScanFieldsParsed:   m.ScanFieldsParsed.Load(),
+		ScanIndexHits:      m.ScanIndexHits.Load(),
+		Cache:              cache,
 	}
 }
 
@@ -137,6 +153,10 @@ func (s Snapshot) Prometheus() string {
 	counter("proteus_queries_total", "Completed queries.", fmt.Sprint(s.Queries))
 	counter("proteus_query_errors_total", "Queries that returned an error.", fmt.Sprint(s.Errors))
 	counter("proteus_rows_out_total", "Result rows produced.", fmt.Sprint(s.RowsOut))
+	counter("proteus_queries_cancelled_total", "Queries aborted by caller cancellation.", fmt.Sprint(s.QueriesCancelled))
+	counter("proteus_queries_timed_out_total", "Queries aborted by the configured timeout.", fmt.Sprint(s.QueriesTimedOut))
+	counter("proteus_queries_mem_rejected_total", "Queries aborted by the memory budget.", fmt.Sprint(s.QueriesMemRejected))
+	counter("proteus_queries_panicked_total", "Queries whose panic was converted to an error.", fmt.Sprint(s.QueriesPanicked))
 
 	b.WriteString("# HELP proteus_phase_seconds_total Cumulative wall time per query life-cycle phase.\n")
 	b.WriteString("# TYPE proteus_phase_seconds_total counter\n")

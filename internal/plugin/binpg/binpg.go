@@ -252,17 +252,29 @@ func (p *Plugin) CompileScan(ds *plugin.Dataset, spec plugin.ScanSpec) (plugin.R
 	}
 	lo, hi := morselBounds(spec.Morsel, st.rows)
 	oid := spec.OIDSlot
+	cc := spec.Cancel
+	// The cancellation poll is amortized at stride granularity: the inner
+	// loop carries no per-row check at all.
 	run := plugin.RunFunc(func(regs *vbuf.Regs, consume func() error) error {
-		for row := lo; row < hi; row++ {
-			if oid != nil {
-				regs.I[oid.Idx] = row
-				regs.Null[oid.Null] = false
+		for blk := lo; blk < hi; blk += plugin.CancelStride {
+			if cc.Cancelled() {
+				return cc.Err()
 			}
-			for _, ld := range loaders {
-				ld(regs, row)
+			blkEnd := blk + plugin.CancelStride
+			if blkEnd > hi {
+				blkEnd = hi
 			}
-			if err := consume(); err != nil {
-				return err
+			for row := blk; row < blkEnd; row++ {
+				if oid != nil {
+					regs.I[oid.Idx] = row
+					regs.Null[oid.Null] = false
+				}
+				for _, ld := range loaders {
+					ld(regs, row)
+				}
+				if err := consume(); err != nil {
+					return err
+				}
 			}
 		}
 		return nil

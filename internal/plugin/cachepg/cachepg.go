@@ -91,7 +91,8 @@ func CompileLoader(b *cache.Block, slot vbuf.Slot) (Loader, error) {
 // non-nil morsel restricts the driver to [Start, End); prof, when set,
 // receives the block access counters once per invocation (every read is an
 // "index hit" — the cache block is a positional index by construction).
-func CompileScan(rows int64, loaders []Loader, oid *vbuf.Slot, morsel *plugin.Morsel, prof *plugin.ScanProf) plugin.RunFunc {
+// The driver polls cc between batches of plugin.CancelStride rows.
+func CompileScan(rows int64, loaders []Loader, oid *vbuf.Slot, morsel *plugin.Morsel, prof *plugin.ScanProf, cc *plugin.Cancel) plugin.RunFunc {
 	lo, hi := int64(0), rows
 	if morsel != nil {
 		if lo = morsel.Start; lo < 0 {
@@ -102,16 +103,25 @@ func CompileScan(rows int64, loaders []Loader, oid *vbuf.Slot, morsel *plugin.Mo
 		}
 	}
 	run := plugin.RunFunc(func(regs *vbuf.Regs, consume func() error) error {
-		for row := lo; row < hi; row++ {
-			if oid != nil {
-				regs.I[oid.Idx] = row
-				regs.Null[oid.Null] = false
+		for blk := lo; blk < hi; blk += plugin.CancelStride {
+			if cc.Cancelled() {
+				return cc.Err()
 			}
-			for _, ld := range loaders {
-				ld(regs, row)
+			blkEnd := blk + plugin.CancelStride
+			if blkEnd > hi {
+				blkEnd = hi
 			}
-			if err := consume(); err != nil {
-				return err
+			for row := blk; row < blkEnd; row++ {
+				if oid != nil {
+					regs.I[oid.Idx] = row
+					regs.Null[oid.Null] = false
+				}
+				for _, ld := range loaders {
+					ld(regs, row)
+				}
+				if err := consume(); err != nil {
+					return err
+				}
 			}
 		}
 		return nil

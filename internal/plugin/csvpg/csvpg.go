@@ -6,8 +6,12 @@
 // drops the index entirely and computes field positions arithmetically —
 // the paper's "deterministic" CSV fast path.
 //
-// The dialect is deliberately the simple machine-generated one the paper
-// evaluates: single-byte delimiter, '\n' row terminator, no quoting.
+// The dialect is the machine-generated one the paper evaluates — single-byte
+// delimiter, '\n' or "\r\n" row terminators — extended with RFC-4180 quoting:
+// a field starting with '"' may contain the delimiter, newlines, and doubled
+// quotes ("" = one literal quote). Files that never use quotes keep the exact
+// unquoted fast path; a bare quote mid-field is rejected at Open with the row
+// number rather than silently misparsed.
 package csvpg
 
 import (
@@ -54,6 +58,12 @@ type state struct {
 	fixed    bool
 	rowLen   int32
 	fieldOff []int32 // per-field offset within a row
+
+	// Dialect features observed during the indexing pass. Scan compilation
+	// keys on them so clean LF-terminated unquoted files — the common
+	// machine-generated case — pay nothing for the RFC-4180 support.
+	hasQuotes bool // at least one quoted field anywhere in the file
+	hasCR     bool // at least one "\r\n" row terminator
 }
 
 func (p *Plugin) state(ds *plugin.Dataset) (*state, error) {
@@ -84,11 +94,15 @@ func (p *Plugin) Open(env *plugin.Env, ds *plugin.Dataset) error {
 	pos := 0
 	var header []string
 	if ds.Opts.Header {
-		nl := bytes.IndexByte(data, '\n')
-		if nl < 0 {
+		nl := recordEnd(data, 0)
+		if nl >= len(data) {
 			return fmt.Errorf("csvpg: %s: missing header row", ds.Name)
 		}
-		for _, h := range bytes.Split(data[:nl], []byte{st.delim}) {
+		line := data[:nl]
+		if len(line) > 0 && line[len(line)-1] == '\r' {
+			line = line[:len(line)-1]
+		}
+		for _, h := range splitRecord(line, st.delim) {
 			header = append(header, string(bytes.TrimSpace(h)))
 		}
 		pos = nl + 1
@@ -96,12 +110,12 @@ func (p *Plugin) Open(env *plugin.Env, ds *plugin.Dataset) error {
 
 	// Determine the column count from the first data row.
 	first := pos
-	firstEnd := bytes.IndexByte(data[first:], '\n')
-	if firstEnd < 0 {
-		firstEnd = len(data) - first
+	firstRow := data[first:recordEnd(data, first)]
+	if len(firstRow) > 0 && firstRow[len(firstRow)-1] == '\r' {
+		firstRow = firstRow[:len(firstRow)-1]
 	}
-	nCols := 1 + bytes.Count(data[first:first+firstEnd], []byte{st.delim})
-	if firstEnd == 0 && first >= len(data) {
+	nCols := len(splitRecord(firstRow, st.delim))
+	if len(firstRow) == 0 && first >= len(data) {
 		nCols = 0
 	}
 
@@ -113,7 +127,7 @@ func (p *Plugin) Open(env *plugin.Env, ds *plugin.Dataset) error {
 				ds.Name, len(st.schema.Fields), nCols)
 		}
 	} else {
-		st.schema = inferSchema(data[first:first+firstEnd], st.delim, header)
+		st.schema = inferSchema(firstRow, st.delim, header)
 	}
 
 	st.nSampled = (len(st.schema.Fields) - 1) / st.stride
@@ -134,28 +148,62 @@ func (p *Plugin) Open(env *plugin.Env, ds *plugin.Dataset) error {
 	for pos < len(data) {
 		rowStart := pos
 		st.rowStarts = append(st.rowStarts, int32(rowStart))
-		// Walk the row once, recording every field offset.
+		// Walk the row once, recording every field offset. Quoted fields are
+		// skipped atomically, so delimiters and newlines inside quotes are
+		// data, not structure.
 		f := 0
 		fieldOffs[0] = 0
-		for i := pos; i < len(data); i++ {
+		i := pos
+		atFieldStart := true
+		terminated := false
+		for i < len(data) {
 			c := data[i]
+			if c == '"' {
+				if !atFieldStart {
+					return fmt.Errorf("csvpg: %s row %d: bare quote inside unquoted field %d (quote the whole field per RFC 4180)",
+						ds.Name, row+1, f)
+				}
+				st.hasQuotes = true
+				end, err := scanQuoted(data, i)
+				if err != nil {
+					return fmt.Errorf("csvpg: %s row %d: %v", ds.Name, row+1, err)
+				}
+				i = end
+				if i < len(data) && data[i] != st.delim && data[i] != '\n' && data[i] != '\r' {
+					return fmt.Errorf("csvpg: %s row %d: data after closing quote in field %d",
+						ds.Name, row+1, f)
+				}
+				atFieldStart = false
+				continue
+			}
 			if c == st.delim {
 				f++
 				if f < len(fieldOffs) {
 					fieldOffs[f] = int32(i + 1 - rowStart)
 				}
+				atFieldStart = true
+				i++
 				continue
 			}
 			if c == '\n' {
 				pos = i + 1
-				goto rowDone
+				terminated = true
+				break
 			}
+			if c == '\r' && i+1 < len(data) && data[i+1] == '\n' {
+				st.hasCR = true
+				pos = i + 2
+				terminated = true
+				break
+			}
+			atFieldStart = false
+			i++
 		}
-		pos = len(data)
-	rowDone:
-		rowEnd := pos
-		if rowEnd > rowStart && pos <= len(data) && pos > 0 && data[pos-1] == '\n' {
-			rowEnd = pos - 1
+		rowEnd := len(data)
+		if terminated {
+			rowEnd = i // before the '\n' or "\r\n"
+		} else {
+			pos = len(data)
 		}
 		for k := 1; k <= st.nSampled; k++ {
 			st.fieldPos = append(st.fieldPos, int32(rowStart)+fieldOffs[k*st.stride])
@@ -174,6 +222,11 @@ func (p *Plugin) Open(env *plugin.Env, ds *plugin.Dataset) error {
 		row++
 	}
 	st.rows = row
+	if st.hasQuotes {
+		// Quoted fields vary in decoded width even at fixed byte offsets;
+		// keep the positional index and take the quote-aware scan path.
+		st.fixed = false
+	}
 	if st.fixed && fixedTemplate != nil {
 		st.fieldOff = fixedTemplate
 		st.fieldPos = nil // deterministic: the index is redundant
@@ -184,6 +237,111 @@ func (p *Plugin) Open(env *plugin.Env, ds *plugin.Dataset) error {
 		ds.Schema = st.schema
 	}
 	return nil
+}
+
+// scanQuoted advances past the RFC-4180 quoted field whose opening quote is
+// at pos, returning the position just past the closing quote. Doubled quotes
+// ("") inside are literal-quote escapes; delimiters and newlines are data.
+func scanQuoted(data []byte, pos int) (int, error) {
+	for i := pos + 1; i < len(data); {
+		if data[i] != '"' {
+			i++
+			continue
+		}
+		if i+1 < len(data) && data[i+1] == '"' {
+			i += 2
+			continue
+		}
+		return i + 1, nil
+	}
+	return 0, fmt.Errorf("unterminated quoted field")
+}
+
+// dequote decodes a raw quoted field (surrounding quotes included):
+// it strips the quotes and collapses doubled-quote escapes, allocating
+// only when an escape is actually present.
+func dequote(b []byte) []byte {
+	b = b[1 : len(b)-1]
+	if !bytes.Contains(b, []byte(`""`)) {
+		return b
+	}
+	out := make([]byte, 0, len(b))
+	for i := 0; i < len(b); i++ {
+		out = append(out, b[i])
+		if b[i] == '"' && i+1 < len(b) && b[i+1] == '"' {
+			i++
+		}
+	}
+	return out
+}
+
+// recordEnd returns the index of the '\n' terminating the record starting at
+// pos (or len(data)), treating newlines inside quoted fields as data.
+func recordEnd(data []byte, pos int) int {
+	for i := pos; i < len(data); {
+		switch data[i] {
+		case '"':
+			end, err := scanQuoted(data, i)
+			if err != nil {
+				return len(data)
+			}
+			i = end
+		case '\n':
+			return i
+		default:
+			i++
+		}
+	}
+	return len(data)
+}
+
+// splitRecord splits one record (terminator already stripped) into decoded
+// fields, honoring RFC-4180 quoting. Unquoted fields take the same zero-copy
+// IndexByte path the unquoted dialect always used.
+func splitRecord(row []byte, delim byte) [][]byte {
+	var out [][]byte
+	pos := 0
+	for {
+		if pos < len(row) && row[pos] == '"' {
+			if end, err := scanQuoted(row, pos); err == nil {
+				out = append(out, dequote(row[pos:end]))
+				if end >= len(row) {
+					return out
+				}
+				if row[end] == delim {
+					pos = end + 1
+					continue
+				}
+				// Data after a closing quote: Open rejects such rows, so this
+				// only serves schema probes of malformed input — take the rest
+				// of the row verbatim.
+			}
+		}
+		nd := bytes.IndexByte(row[pos:], delim)
+		if nd < 0 {
+			out = append(out, row[pos:])
+			return out
+		}
+		out = append(out, row[pos:pos+nd])
+		pos += nd + 1
+	}
+}
+
+// rowBytes returns one record's bytes with its "\n" or "\r\n" terminator
+// stripped.
+func (st *state) rowBytes(row int64) []byte {
+	start := int(st.rowStarts[row])
+	end := len(st.data)
+	if row+1 < st.rows {
+		end = int(st.rowStarts[row+1])
+	}
+	if end > start && st.data[end-1] == '\n' {
+		end--
+		if end > start && st.data[end-1] == '\r' {
+			end--
+		}
+	}
+	return st.data[start:end]
 }
 
 func equalOffsets(a, b []int32) bool {
@@ -210,7 +368,7 @@ func numericColumns(schema *types.RecordType) []int {
 
 // sampleRow contributes one row's numeric fields to the statistics table.
 func sampleRow(row []byte, delim byte, numericCols []int, schema *types.RecordType, tbl *stats.Table) {
-	parts := bytes.Split(row, []byte{delim})
+	parts := splitRecord(row, delim)
 	for _, col := range numericCols {
 		if col >= len(parts) {
 			continue
@@ -243,7 +401,7 @@ func (p *Plugin) Cardinality(ds *plugin.Dataset) int64 {
 // inferSchema types each column of the first data row: int, then float,
 // else string. Columns are named by the header, or col0, col1, ….
 func inferSchema(row []byte, delim byte, header []string) *types.RecordType {
-	parts := bytes.Split(row, []byte{delim})
+	parts := splitRecord(row, delim)
 	fields := make([]types.Field, len(parts))
 	for i, part := range parts {
 		name := fmt.Sprintf("col%d", i)

@@ -1,0 +1,128 @@
+// RFC-4180 dialect tests: CRLF line endings and quoted fields (including
+// escaped quotes and delimiters inside quotes). These exercise the
+// quote-aware indexing pass plus both scan paths (structural-index jumps
+// and the decode cold path).
+package csvpg
+
+import (
+	"strings"
+	"testing"
+
+	"proteus/internal/plugin"
+	"proteus/internal/stats"
+	"proteus/internal/storage"
+	"proteus/internal/types"
+)
+
+var pairSchema = types.NewRecordType(
+	types.Field{Name: "id", Type: types.Int},
+	types.Field{Name: "name", Type: types.String},
+)
+
+func TestCRLFLineEndings(t *testing.T) {
+	p, ds, _ := openCSV(t, "1,alpha\r\n22,beta\r\n333,gamma\r\n", pairSchema, plugin.Options{})
+	rows := scanAll(t, p, ds, "id", "name")
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	// The carriage return must not leak into the last column.
+	for i, want := range []string{"alpha", "beta", "gamma"} {
+		if got := rows[i][1].S; got != want {
+			t.Errorf("row %d name = %q, want %q", i, got, want)
+		}
+	}
+	if rows[2][0].AsInt() != 333 {
+		t.Errorf("row 2 id = %d, want 333", rows[2][0].AsInt())
+	}
+}
+
+func TestCRLFHeaderRow(t *testing.T) {
+	p, ds, _ := openCSV(t, "id,name\r\n7,seven\r\n", nil, plugin.Options{Header: true})
+	schema := p.Schema(ds)
+	if got := schema.Fields[1].Name; got != "name" {
+		t.Fatalf("second header column = %q, want %q (CR leaked?)", got, "name")
+	}
+	rows := scanAll(t, p, ds, "id", "name")
+	if len(rows) != 1 || rows[0][1].S != "seven" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestQuotedFieldWithDelimiter(t *testing.T) {
+	data := "1,\"alpha,beta\"\n2,\"x\"\n3,plain\n"
+	p, ds, _ := openCSV(t, data, pairSchema, plugin.Options{})
+	rows := scanAll(t, p, ds, "id", "name")
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for i, want := range []string{"alpha,beta", "x", "plain"} {
+		if got := rows[i][1].S; got != want {
+			t.Errorf("row %d name = %q, want %q", i, got, want)
+		}
+	}
+	// Ints after a quoted column must still parse.
+	if rows[1][0].AsInt() != 2 || rows[2][0].AsInt() != 3 {
+		t.Errorf("ids = %v, %v", rows[1][0], rows[2][0])
+	}
+}
+
+func TestQuotedDoubledQuote(t *testing.T) {
+	data := "1,\"say \"\"hi\"\"\"\n2,\"\"\n"
+	p, ds, _ := openCSV(t, data, pairSchema, plugin.Options{})
+	rows := scanAll(t, p, ds, "id", "name")
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	if got := rows[0][1].S; got != `say "hi"` {
+		t.Errorf("row 0 name = %q, want %q", got, `say "hi"`)
+	}
+	if got := rows[1][1].S; got != "" {
+		t.Errorf("row 1 name = %q, want empty", got)
+	}
+}
+
+func TestQuotedCRLFCombined(t *testing.T) {
+	data := "1,\"a,b\"\r\n2,tail\r\n"
+	p, ds, _ := openCSV(t, data, pairSchema, plugin.Options{})
+	rows := scanAll(t, p, ds, "id", "name")
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	if rows[0][1].S != "a,b" || rows[1][1].S != "tail" {
+		t.Errorf("names = %q, %q", rows[0][1].S, rows[1][1].S)
+	}
+}
+
+func TestBareQuoteMidFieldError(t *testing.T) {
+	mem := storage.NewManager(0)
+	mem.PutFile("mem://bad.csv", []byte("1,alpha\n2,mid\"quote\n"))
+	env := &plugin.Env{Mem: mem, Stats: stats.NewStore(), SampleEvery: 1}
+	ds := &plugin.Dataset{Name: "bad", Path: "mem://bad.csv", Format: "csv", Schema: pairSchema}
+	err := New().Open(env, ds)
+	if err == nil {
+		t.Fatal("mid-field quote accepted")
+	}
+	if !strings.Contains(err.Error(), "row 2") {
+		t.Errorf("error %q does not name row 2", err)
+	}
+}
+
+func TestReadRowsWithQuotes(t *testing.T) {
+	data := "1,\"a,b\"\r\n2,\"say \"\"hi\"\"\"\r\n"
+	p, ds, _ := openCSV(t, data, pairSchema, plugin.Options{})
+	vals, err := p.ReadRows(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 2 {
+		t.Fatalf("rows = %d, want 2", len(vals))
+	}
+	name, _ := vals[0].Field("name")
+	if name.S != "a,b" {
+		t.Errorf("row 0 name = %q, want %q", name.S, "a,b")
+	}
+	name, _ = vals[1].Field("name")
+	if name.S != `say "hi"` {
+		t.Errorf("row 1 name = %q, want %q", name.S, `say "hi"`)
+	}
+}

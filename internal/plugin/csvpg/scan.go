@@ -58,6 +58,13 @@ func (p *Plugin) CompileScan(ds *plugin.Dataset, spec plugin.ScanSpec) (plugin.R
 	data := st.data
 	delim := st.delim
 	oid := spec.OIDSlot
+	cc := spec.Cancel
+	// Clean LF-terminated files keep the exact historical field scan; CRLF
+	// files get the variant that stops the last column before the '\r'.
+	fe := fieldEnd
+	if st.hasCR {
+		fe = fieldEndCR
+	}
 	lo, hi := int64(0), st.rows
 	if spec.Morsel != nil {
 		lo, hi = spec.Morsel.Start, spec.Morsel.End
@@ -114,20 +121,29 @@ func (p *Plugin) CompileScan(ds *plugin.Dataset, spec plugin.ScanSpec) (plugin.R
 			base0 = st.rowStarts[0]
 		}
 		return spec.Prof.WrapRun(wrapWhole(func(regs *vbuf.Regs, consume func() error) error {
-			for row := lo; row < hi; row++ {
-				base := base0 + int32(row)*rowLen
-				if oid != nil {
-					regs.I[oid.Idx] = row
-					regs.Null[oid.Null] = false
+			for blk := lo; blk < hi; blk += plugin.CancelStride {
+				if cc.Cancelled() {
+					return cc.Err()
 				}
-				for i := range extracts {
-					e := &extracts[i]
-					start := base + offs[e.col]
-					end := fieldEnd(data, int(start), delim)
-					e.parse(regs, data[start:end])
+				blkEnd := blk + plugin.CancelStride
+				if blkEnd > hi {
+					blkEnd = hi
 				}
-				if err := consume(); err != nil {
-					return err
+				for row := blk; row < blkEnd; row++ {
+					base := base0 + int32(row)*rowLen
+					if oid != nil {
+						regs.I[oid.Idx] = row
+						regs.Null[oid.Null] = false
+					}
+					for i := range extracts {
+						e := &extracts[i]
+						start := base + offs[e.col]
+						end := fe(data, int(start), delim)
+						e.parse(regs, data[start:end])
+					}
+					if err := consume(); err != nil {
+						return err
+					}
 				}
 			}
 			return nil
@@ -166,39 +182,97 @@ func (p *Plugin) CompileScan(ds *plugin.Dataset, spec plugin.ScanSpec) (plugin.R
 		}
 		byteSpan = end - int64(rowStarts[lo])
 	}
+	if st.hasQuotes {
+		// Quote-aware indexed path: field navigation skips quoted sections
+		// atomically and quoted fields are dequoted before parsing. Files
+		// without quotes never reach this loop.
+		name := ds.Name
+		return spec.Prof.WrapRun(wrapWhole(func(regs *vbuf.Regs, consume func() error) error {
+			for blk := lo; blk < hi; blk += plugin.CancelStride {
+				if cc.Cancelled() {
+					return cc.Err()
+				}
+				blkEnd := blk + plugin.CancelStride
+				if blkEnd > hi {
+					blkEnd = hi
+				}
+				for row := blk; row < blkEnd; row++ {
+					if oid != nil {
+						regs.I[oid.Idx] = row
+						regs.Null[oid.Null] = false
+					}
+					curField := 0
+					curPos := int(rowStarts[row])
+					for i := range extracts {
+						e := &extracts[i]
+						if k := e.col / stride; k > 0 && k*stride > curField {
+							if k > nSampled {
+								k = nSampled
+							}
+							curField = k * stride
+							curPos = int(fieldPos[row*int64(nSampled)+int64(k-1)])
+						}
+						for curField < e.col {
+							np, ok := skipField(data, curPos, delim)
+							if !ok {
+								return fmt.Errorf("csvpg: %s row %d: missing column %d", name, row, e.col)
+							}
+							curPos = np
+							curField++
+						}
+						e.parse(regs, fieldRaw(data, curPos, delim))
+					}
+					if err := consume(); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}), byteSpan, nRows*fieldsPerRow, nRows*jumpsPerRow), nil
+	}
+
 	return spec.Prof.WrapRun(wrapWhole(func(regs *vbuf.Regs, consume func() error) error {
-		for row := lo; row < hi; row++ {
-			if oid != nil {
-				regs.I[oid.Idx] = row
-				regs.Null[oid.Null] = false
+		for blk := lo; blk < hi; blk += plugin.CancelStride {
+			if cc.Cancelled() {
+				return cc.Err()
 			}
-			// cursor tracks (field index, byte position) within the row so
-			// ascending extractions continue from where the last one ended.
-			curField := 0
-			curPos := int(rowStarts[row])
-			for i := range extracts {
-				e := &extracts[i]
-				// Jump via the structural index when it gets us closer.
-				if k := e.col / stride; k > 0 && k*stride > curField {
-					if k > nSampled {
-						k = nSampled
-					}
-					curField = k * stride
-					curPos = int(fieldPos[row*int64(nSampled)+int64(k-1)])
-				}
-				for curField < e.col {
-					nd := bytes.IndexByte(data[curPos:], delim)
-					if nd < 0 {
-						return fmt.Errorf("csvpg: %s row %d: missing column %d", ds.Name, row, e.col)
-					}
-					curPos += nd + 1
-					curField++
-				}
-				end := fieldEnd(data, curPos, delim)
-				e.parse(regs, data[curPos:end])
+			blkEnd := blk + plugin.CancelStride
+			if blkEnd > hi {
+				blkEnd = hi
 			}
-			if err := consume(); err != nil {
-				return err
+			for row := blk; row < blkEnd; row++ {
+				if oid != nil {
+					regs.I[oid.Idx] = row
+					regs.Null[oid.Null] = false
+				}
+				// cursor tracks (field index, byte position) within the row so
+				// ascending extractions continue from where the last one ended.
+				curField := 0
+				curPos := int(rowStarts[row])
+				for i := range extracts {
+					e := &extracts[i]
+					// Jump via the structural index when it gets us closer.
+					if k := e.col / stride; k > 0 && k*stride > curField {
+						if k > nSampled {
+							k = nSampled
+						}
+						curField = k * stride
+						curPos = int(fieldPos[row*int64(nSampled)+int64(k-1)])
+					}
+					for curField < e.col {
+						nd := bytes.IndexByte(data[curPos:], delim)
+						if nd < 0 {
+							return fmt.Errorf("csvpg: %s row %d: missing column %d", ds.Name, row, e.col)
+						}
+						curPos += nd + 1
+						curField++
+					}
+					end := fe(data, curPos, delim)
+					e.parse(regs, data[curPos:end])
+				}
+				if err := consume(); err != nil {
+					return err
+				}
 			}
 		}
 		return nil
@@ -227,6 +301,53 @@ func fieldEnd(data []byte, pos int, delim byte) int {
 		}
 	}
 	return len(data)
+}
+
+// fieldEndCR is fieldEnd for CRLF-terminated files: the '\r' of a "\r\n"
+// pair terminates the last field instead of leaking into its bytes.
+func fieldEndCR(data []byte, pos int, delim byte) int {
+	for i := pos; i < len(data); i++ {
+		c := data[i]
+		if c == delim || c == '\n' {
+			return i
+		}
+		if c == '\r' && i+1 < len(data) && data[i+1] == '\n' {
+			return i
+		}
+	}
+	return len(data)
+}
+
+// skipField advances past the field starting at pos and its trailing
+// delimiter, honoring quoting; ok is false when the row ends first.
+func skipField(data []byte, pos int, delim byte) (int, bool) {
+	if pos < len(data) && data[pos] == '"' {
+		end, err := scanQuoted(data, pos)
+		if err != nil {
+			return 0, false
+		}
+		pos = end
+	} else {
+		for pos < len(data) && data[pos] != delim && data[pos] != '\n' {
+			pos++
+		}
+	}
+	if pos < len(data) && data[pos] == delim {
+		return pos + 1, true
+	}
+	return 0, false
+}
+
+// fieldRaw returns the decoded bytes of the field starting at pos: quoted
+// fields are dequoted; unquoted fields span to the next delimiter or row
+// terminator.
+func fieldRaw(data []byte, pos int, delim byte) []byte {
+	if pos < len(data) && data[pos] == '"' {
+		if end, err := scanQuoted(data, pos); err == nil {
+			return dequote(data[pos:end])
+		}
+	}
+	return data[pos:fieldEndCR(data, pos, delim)]
 }
 
 // parserFor returns a type-specialized field parser writing into slot.
@@ -282,14 +403,7 @@ func (p *Plugin) CompileUnnest(ds *plugin.Dataset, spec plugin.UnnestSpec) (plug
 
 // decodeRow boxes one row into a record value.
 func (st *state) decodeRow(row int64, names []string) (types.Value, error) {
-	start := int(st.rowStarts[row])
-	end := len(st.data)
-	if row+1 < st.rows {
-		end = int(st.rowStarts[row+1]) - 1
-	} else if end > start && st.data[end-1] == '\n' {
-		end--
-	}
-	parts := bytes.Split(st.data[start:end], []byte{st.delim})
+	parts := splitRecord(st.rowBytes(row), st.delim)
 	vals := make([]types.Value, len(st.schema.Fields))
 	for i, f := range st.schema.Fields {
 		if i >= len(parts) {

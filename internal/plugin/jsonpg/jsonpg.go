@@ -279,17 +279,29 @@ func (p *Plugin) CompileScan(ds *plugin.Dataset, spec plugin.ScanSpec) (plugin.R
 		}
 	}
 	oid := spec.OIDSlot
+	cc := spec.Cancel
+	// The cancellation poll is amortized at stride granularity: the inner
+	// loop carries no per-object check at all.
 	run := plugin.RunFunc(func(regs *vbuf.Regs, consume func() error) error {
-		for obj := lo; obj < hi; obj++ {
-			if oid != nil {
-				regs.I[oid.Idx] = obj
-				regs.Null[oid.Null] = false
+		for base := lo; base < hi; base += plugin.CancelStride {
+			if cc.Cancelled() {
+				return cc.Err()
 			}
-			for _, ex := range extracts {
-				ex(regs, obj)
+			end := base + plugin.CancelStride
+			if end > hi {
+				end = hi
 			}
-			if err := consume(); err != nil {
-				return err
+			for obj := base; obj < end; obj++ {
+				if oid != nil {
+					regs.I[oid.Idx] = obj
+					regs.Null[oid.Null] = false
+				}
+				for _, ex := range extracts {
+					ex(regs, obj)
+				}
+				if err := consume(); err != nil {
+					return err
+				}
 			}
 		}
 		return nil

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"unicode/utf16"
+	"unicode/utf8"
 
 	"proteus/internal/fastparse"
 )
@@ -160,9 +162,23 @@ func unescape(b []byte) string {
 			sb.WriteByte('"')
 		case 'u':
 			if i+4 < len(b) {
-				if r, err := strconv.ParseUint(string(b[i+1:i+5]), 16, 32); err == nil {
-					sb.WriteRune(rune(r))
+				if u1, err := strconv.ParseUint(string(b[i+1:i+5]), 16, 32); err == nil {
 					i += 4
+					r := rune(u1)
+					// Surrogate pair: a high surrogate immediately followed
+					// by a \uXXXX low surrogate decodes to one code point
+					// outside the BMP (e.g. emoji).
+					if utf16.IsSurrogate(r) && i+6 < len(b) && b[i+1] == '\\' && b[i+2] == 'u' {
+						if u2, err2 := strconv.ParseUint(string(b[i+3:i+7]), 16, 32); err2 == nil {
+							if dec := utf16.DecodeRune(r, rune(u2)); dec != utf8.RuneError {
+								sb.WriteRune(dec)
+								i += 6
+								continue
+							}
+						}
+					}
+					// Lone surrogates encode as U+FFFD via WriteRune.
+					sb.WriteRune(r)
 					continue
 				}
 			}

@@ -13,6 +13,31 @@ func TestUnescape(t *testing.T) {
 		`é`:            "é",
 		`slash\/ok`:    "slash/ok",
 		`cr\r`:         "cr\r",
+		`bs\b ff\f`:    "bs\b ff\f",
+	}
+	for in, want := range cases {
+		if got := unescape([]byte(in)); got != want {
+			t.Errorf("unescape(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestUnescapeSurrogatePairs(t *testing.T) {
+	cases := map[string]string{
+		// U+1F600 GRINNING FACE as a UTF-16 surrogate pair.
+		`\uD83D\uDE00`:     "\U0001F600",
+		`x\uD83D\uDE00y`:   "x\U0001F600y",
+		`pair\uD83D\uDC4D`: "pair\U0001F44D",
+		// Lone surrogates decode to the replacement character.
+		`\uD83D`:      "\uFFFD",
+		`\uD83DA`:     "\uFFFDA",
+		`\uDE00alone`: "\uFFFDalone",
+		// A high surrogate followed by a non-surrogate escape does not
+		// combine; each escape decodes on its own.
+		`\uD83D\u0041`: "\uFFFDA",
+		// BMP escapes are unaffected.
+		`\u00e9`: "\u00e9",
+		`\u4e2d`: "\u4e2d",
 	}
 	for in, want := range cases {
 		if got := unescape([]byte(in)); got != want {

@@ -28,12 +28,85 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"proteus/internal/stats"
 	"proteus/internal/storage"
 	"proteus/internal/types"
 	"proteus/internal/vbuf"
 )
+
+// Cancel is the cooperative cancellation token shared by every pipeline
+// clone of one compiled program. Scan drivers poll Cancelled at an
+// amortized stride (see CancelStride) and abort with Err when it fires.
+//
+// The token outlives a single run: a Program may be executed repeatedly,
+// and each run Arms a new generation. SignalAt ignores signals addressed
+// to an earlier generation, so a stale context.AfterFunc from a previous
+// run can never cancel a later one. All methods are nil-safe so compiled
+// closures can poll unconditionally.
+type Cancel struct {
+	fired atomic.Bool
+
+	mu  sync.Mutex
+	gen uint64
+	err error
+}
+
+// CancelStride is the row-granularity at which scan drivers poll the
+// token: rows whose ordinal is a multiple of the stride pay one atomic
+// load; all others pay a single mask-and-compare.
+const CancelStride = 1024
+
+// Arm starts a new run generation, clearing any previous signal, and
+// returns the generation to hand to SignalAt.
+func (c *Cancel) Arm() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen++
+	c.err = nil
+	c.fired.Store(false)
+	return c.gen
+}
+
+// SignalAt fires the token if gen is still the current generation and no
+// earlier signal won. Later signals for the same generation are ignored.
+func (c *Cancel) SignalAt(gen uint64, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen != c.gen || c.fired.Load() {
+		return
+	}
+	c.err = err
+	c.fired.Store(true)
+}
+
+// Signal fires the token for the current generation. Workers use it to
+// abort their siblings when one pipeline clone fails.
+func (c *Cancel) Signal(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.fired.Load() {
+		return
+	}
+	c.err = err
+	c.fired.Store(true)
+}
+
+// Cancelled reports whether the token has fired. Nil-safe and cheap (one
+// atomic load), so drivers poll it directly.
+func (c *Cancel) Cancelled() bool { return c != nil && c.fired.Load() }
+
+// Err returns the signalled error, or nil if the token has not fired.
+func (c *Cancel) Err() error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
 
 // Env carries the engine services a plug-in may use.
 type Env struct {
@@ -109,6 +182,10 @@ type ScanSpec struct {
 	// (per morsel), never per record: counts are derived arithmetically
 	// from the compiled field list and the scanned range.
 	Prof *ScanProf
+	// Cancel, when non-nil, is the query's cooperative cancellation token.
+	// Drivers poll it between batches of CancelStride records and return
+	// its Err when it fires. A nil token never fires.
+	Cancel *Cancel
 }
 
 // ScanProf accumulates a scan plug-in's access counters across the driver

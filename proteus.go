@@ -26,6 +26,7 @@
 package proteus
 
 import (
+	"context"
 	"net/http"
 	"strings"
 	"time"
@@ -73,6 +74,17 @@ type Config struct {
 	//	    if q.Total > 100*time.Millisecond { log.Printf("slow: %s", q.Query) }
 	//	}
 	OnQueryDone func(QueryProfile)
+	// QueryTimeout bounds each query's wall time across the whole life-cycle
+	// (0 = no timeout). Expired queries fail with context.DeadlineExceeded.
+	QueryTimeout time.Duration
+	// QueryMemBudget caps the bytes one query may pin in operator state —
+	// hash-join build sides, aggregation tables, ORDER BY buffers (0 =
+	// unlimited). Exceeding it fails that query gracefully; the DB, its
+	// caches, and other queries are unaffected.
+	QueryMemBudget int64
+	// MaxConcurrentQueries gates admission: queries beyond the limit wait
+	// for a slot or for their context to be cancelled (0 = unlimited).
+	MaxConcurrentQueries int
 }
 
 // DB is a Proteus engine instance: a catalog of registered datasets plus
@@ -125,6 +137,10 @@ func Open(cfg Config) *DB {
 		Observability: cfg.Observability,
 		ProfileRing:   cfg.ProfileRing,
 		OnQueryDone:   cfg.OnQueryDone,
+
+		QueryTimeout:         cfg.QueryTimeout,
+		QueryMemBudget:       cfg.QueryMemBudget,
+		MaxConcurrentQueries: cfg.MaxConcurrentQueries,
 	})}
 }
 
@@ -192,6 +208,26 @@ func (db *DB) Query(sql string) (*Result, error) { return db.eng.QuerySQL(sql) }
 //
 // Yield monoids: bag, list, sum, max, min, avg, count.
 func (db *DB) QueryComprehension(comp string) (*Result, error) { return db.eng.QueryComp(comp) }
+
+// QueryContext runs a query (SQL or comprehension, detected by the leading
+// `for`) under the caller's context. Cancellation is cooperative: compiled
+// scan loops poll between strides, pipeline phases check between vectors,
+// and the life-cycle checks between phases — a cancelled query returns
+// context.Canceled (or the cause) within milliseconds, and the DB stays
+// fully usable.
+func (db *DB) QueryContext(ctx context.Context, query string) (*Result, error) {
+	if IsComprehension(query) {
+		return db.eng.QueryCompContext(ctx, query)
+	}
+	return db.eng.QuerySQLContext(ctx, query)
+}
+
+// ExecContext runs a query for its side effects (cache population,
+// statistics), discarding the result rows.
+func (db *DB) ExecContext(ctx context.Context, query string) error {
+	_, err := db.QueryContext(ctx, query)
+	return err
+}
 
 // IsComprehension reports whether a query string is in the monoid
 // comprehension language (it starts with the `for` keyword) rather than

@@ -49,7 +49,21 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-query wall-time limit (0 = none)")
 	memBudget := flag.Int64("mem-budget", 0, "per-query operator-state byte budget (0 = unlimited)")
 	maxQueries := flag.Int("max-queries", 0, "maximum concurrent queries (0 = unlimited)")
+	vectorized := flag.String("vectorized", "auto", "execution mode for eligible segments: auto, on, or off")
+	planCache := flag.Int("plan-cache", 0, "compiled-plan cache entries (0 = default 64, negative disables)")
 	flag.Parse()
+
+	var vecMode proteus.VecMode
+	switch *vectorized {
+	case "auto":
+		vecMode = proteus.VectorizedAuto
+	case "on":
+		vecMode = proteus.VectorizedOn
+	case "off":
+		vecMode = proteus.VectorizedOff
+	default:
+		fatalf("bad -vectorized value %q, want auto, on, or off", *vectorized)
+	}
 
 	db := proteus.Open(proteus.Config{
 		CacheEnabled:  *caching,
@@ -59,6 +73,9 @@ func main() {
 		QueryTimeout:         *timeout,
 		QueryMemBudget:       *memBudget,
 		MaxConcurrentQueries: *maxQueries,
+
+		Vectorized:    vecMode,
+		PlanCacheSize: *planCache,
 	})
 
 	// Ctrl-C cancels the running query, not the REPL: the handler below

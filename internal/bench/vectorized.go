@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"proteus/internal/engine"
+	"proteus/internal/exec"
+	"proteus/internal/plugin"
+	"proteus/internal/types"
+)
+
+// Vectorized-vs-tuple microbenchmark (the PR's tentpole figure): identical
+// prepared programs compiled in both execution modes over cache-resident
+// data, so the comparison isolates kernel dispatch — per-tuple closure
+// chains against block-at-a-time loops — from I/O and parsing.
+
+// VecBenchRows is sized so the working set is cache-block resident but the
+// scan spans a few hundred batches.
+const VecBenchRows = 200_000
+
+// VecSysTuple and VecSysVectorized name the two modes in reports.
+const (
+	VecSysTuple      = "tuple(VecOff)"
+	VecSysVectorized = "vectorized(VecOn)"
+)
+
+// VecQueries are the cache-resident scan→filter→aggregate shapes the
+// vectorized path targets.
+var VecQueries = []struct {
+	Name string
+	SQL  string
+}{
+	{"filter_sum_int", "SELECT SUM(val) FROM t WHERE val < 500"},
+	{"filter_agg_mix", "SELECT COUNT(*), SUM(val), MAX(score) FROM t WHERE id >= 10000 AND val < 900"},
+	{"group_by_int", "SELECT grp, COUNT(*) AS n, SUM(val) AS s FROM t GROUP BY grp"},
+	{"select_project", "SELECT id, score FROM t WHERE val = 3"},
+}
+
+// NewVecEngine builds an engine over a synthetic CSV table and warms the
+// adaptive cache on every benchmark query (two runs each: the first
+// materializes blocks, the second recompiles cache-aware), returning it
+// ready for steady-state timing.
+func NewVecEngine(mode exec.VecMode) (*engine.Engine, error) {
+	e := engine.New(engine.Config{
+		CacheEnabled: true,
+		Parallelism:  1,
+		Vectorized:   mode,
+		// Plan caching off: each warm-up run must recompile against the
+		// current cache contents, and timing uses prepared programs.
+		PlanCacheSize: -1,
+	})
+	var sb strings.Builder
+	for i := 0; i < VecBenchRows; i++ {
+		fmt.Fprintf(&sb, "%d,%d,%d,%g\n", i, (i*2654435761)%1000, i%97, float64(i%1024)*0.5)
+	}
+	e.Mem().PutFile("mem://vbench.csv", []byte(sb.String()))
+	schema := types.NewRecordType(
+		types.Field{Name: "id", Type: types.Int},
+		types.Field{Name: "val", Type: types.Int},
+		types.Field{Name: "grp", Type: types.Int},
+		types.Field{Name: "score", Type: types.Float},
+	)
+	if err := e.Register("t", "mem://vbench.csv", "csv", schema, plugin.Options{}); err != nil {
+		return nil, fmt.Errorf("bench: registering vbench: %w", err)
+	}
+	for _, q := range VecQueries {
+		for i := 0; i < 2; i++ {
+			if _, err := e.QuerySQL(q.SQL); err != nil {
+				return nil, fmt.Errorf("bench: warming %q: %w", q.SQL, err)
+			}
+		}
+	}
+	return e, nil
+}
+
+// FigVec measures every query in both modes (median of iters steady-state
+// runs each) and reports one Row per (query, mode).
+func FigVec(iters int) ([]Row, error) {
+	if iters < 1 {
+		iters = 1
+	}
+	var rows []Row
+	for _, m := range []struct {
+		system string
+		mode   exec.VecMode
+	}{
+		{VecSysTuple, exec.VecOff},
+		{VecSysVectorized, exec.VecOn},
+	} {
+		e, err := NewVecEngine(m.mode)
+		if err != nil {
+			return nil, err
+		}
+		for _, q := range VecQueries {
+			prep, err := e.PrepareSQL(q.SQL)
+			if err != nil {
+				return nil, fmt.Errorf("bench: preparing %q: %w", q.SQL, err)
+			}
+			times := make([]float64, 0, iters)
+			for i := 0; i < iters; i++ {
+				sec, err := timeIt(func() error {
+					_, err := prep.Program.Run()
+					return err
+				})
+				if err != nil {
+					return nil, fmt.Errorf("bench: running %q: %w", q.SQL, err)
+				}
+				times = append(times, sec)
+			}
+			sort.Float64s(times)
+			rows = append(rows, Row{
+				Exp: "vec", Query: q.Name, System: m.system,
+				Seconds: times[(len(times)-1)/2],
+			})
+		}
+	}
+	return rows, nil
+}
+
+// PrintVec renders the vectorized figure as a per-query speedup table.
+func PrintVec(w interface{ Write([]byte) (int, error) }, rows []Row) {
+	fmt.Fprintln(w, "== vec: vectorized vs tuple execution, cache-resident (seconds) ==")
+	fmt.Fprintf(w, "%-18s%14s%14s%10s\n", "query", "tuple", "vectorized", "speedup")
+	for _, q := range VecQueries {
+		var tup, vec float64
+		for _, r := range rows {
+			if r.Query != q.Name {
+				continue
+			}
+			switch r.System {
+			case VecSysTuple:
+				tup = r.Seconds
+			case VecSysVectorized:
+				vec = r.Seconds
+			}
+		}
+		if vec > 0 {
+			fmt.Fprintf(w, "%-18s%14.6f%14.6f%9.2fx\n", q.Name, tup, vec, tup/vec)
+		}
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"testing"
+
+	"proteus/internal/exec"
+)
+
+// BenchmarkVectorizedVsTuple times identical prepared programs compiled in
+// tuple-at-a-time and vectorized mode over cache-resident data. Compare the
+// <query>/tuple and <query>/vectorized lines; benchrunner's `vec`
+// experiment records the same comparison in BENCH_PR4.json.
+func BenchmarkVectorizedVsTuple(b *testing.B) {
+	modes := []struct {
+		name string
+		mode exec.VecMode
+	}{
+		{"tuple", exec.VecOff},
+		{"vectorized", exec.VecOn},
+	}
+	for _, m := range modes {
+		e, err := NewVecEngine(m.mode)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, q := range VecQueries {
+			prep, err := e.PrepareSQL(q.SQL)
+			if err != nil {
+				b.Fatalf("prepare %q: %v", q.SQL, err)
+			}
+			b.Run(q.Name+"/"+m.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := prep.Program.Run(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestVectorizedBenchQueriesAgree pins the benchmark's correctness: both
+// modes must produce identical results on the bench fixture, otherwise the
+// timing comparison is meaningless.
+func TestVectorizedBenchQueriesAgree(t *testing.T) {
+	on, err := NewVecEngine(exec.VecOn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := NewVecEngine(exec.VecOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range VecQueries {
+		rOn, err := on.QuerySQL(q.SQL)
+		if err != nil {
+			t.Fatalf("%s vectorized: %v", q.Name, err)
+		}
+		rOff, err := off.QuerySQL(q.SQL)
+		if err != nil {
+			t.Fatalf("%s tuple: %v", q.Name, err)
+		}
+		if len(rOn.Rows) != len(rOff.Rows) {
+			t.Fatalf("%s: %d vs %d rows", q.Name, len(rOn.Rows), len(rOff.Rows))
+		}
+		for i := range rOn.Rows {
+			if rOn.Rows[i].String() != rOff.Rows[i].String() {
+				t.Errorf("%s row %d: vectorized %s, tuple %s", q.Name, i, rOn.Rows[i], rOff.Rows[i])
+				break
+			}
+		}
+	}
+}

@@ -40,15 +40,28 @@ type Block struct {
 	FormatBias float64
 
 	lastUsed int64
+
+	// bytesMemo caches Bytes() for Complete blocks, which are immutable, so
+	// eviction passes stop re-walking every cached string (O(total cached
+	// bytes) per pass before). Stored as size+1 so zero means "unset" even
+	// for empty blocks; the atomic makes concurrent first computations safe
+	// (they all store the same value).
+	bytesMemo atomic.Int64
 }
 
-// Bytes reports the block's memory footprint. It is a pure computation:
-// completed blocks are shared read-only between concurrent compilations, so
-// memoizing the size in place would race.
+// Bytes reports the block's memory footprint. The result is memoized once
+// the block is Complete (immutable from that point); incomplete builder
+// blocks are still walked every call.
 func (b *Block) Bytes() int64 {
+	if memo := b.bytesMemo.Load(); memo != 0 {
+		return memo - 1
+	}
 	n := int64(len(b.Ints))*8 + int64(len(b.Floats))*8 + int64(len(b.Bools)) + int64(len(b.Nulls))
 	for _, s := range b.Strs {
 		n += int64(len(s)) + 16
+	}
+	if b.Complete {
+		b.bytesMemo.Store(n + 1)
 	}
 	return n
 }
@@ -121,6 +134,12 @@ type Manager struct {
 	// Counters for observability and tests; atomics so hot compile paths
 	// and concurrent snapshot readers never race.
 	hits, misses, evictions atomic.Int64
+
+	// epoch advances whenever the set of usable blocks changes (register,
+	// drop, eviction, enable toggle). Compiled-plan caches key on it so a
+	// plan compiled before a block existed is not served after the block
+	// would have rewritten the scan.
+	epoch atomic.Uint64
 	// buildNanos accumulates wall time spent materializing and registering
 	// cache blocks (builder Finish/Concat/Register), credited once per scan
 	// run by the executor.
@@ -142,7 +161,19 @@ func NewManager(mem *storage.Manager, enabled bool) *Manager {
 func (m *Manager) Enabled() bool { return m != nil && m.enabled.Load() }
 
 // SetEnabled toggles adaptive caching (experiments flip it per run).
-func (m *Manager) SetEnabled(on bool) { m.enabled.Store(on) }
+func (m *Manager) SetEnabled(on bool) {
+	m.enabled.Store(on)
+	m.epoch.Add(1)
+}
+
+// Epoch returns the current cache-content generation. A nil manager (cache
+// disabled at construction) is permanently at epoch 0.
+func (m *Manager) Epoch() uint64 {
+	if m == nil {
+		return 0
+	}
+	return m.epoch.Load()
+}
 
 func blockKey(dataset, key string) string { return dataset + "\x00" + key }
 
@@ -212,6 +243,7 @@ func (m *Manager) Register(b *Block) bool {
 	m.clock++
 	b.lastUsed = m.clock
 	m.blocks[k] = b
+	m.epoch.Add(1)
 	return true
 }
 
@@ -237,6 +269,7 @@ func (m *Manager) reserve(size int64) bool {
 		m.mem.ArenaRelease(b.Bytes())
 		delete(m.blocks, c.key)
 		m.evictions.Add(1)
+		m.epoch.Add(1)
 		if m.mem.ArenaReserve(size) {
 			return true
 		}
@@ -259,6 +292,7 @@ func (m *Manager) Drop(dataset string) {
 		_ = j
 		delete(m.joins, k)
 	}
+	m.epoch.Add(1)
 }
 
 // LookupJoinSide returns a previously materialized hash-join build side

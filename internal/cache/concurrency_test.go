@@ -81,13 +81,33 @@ func TestConcatBlocks(t *testing.T) {
 	}
 }
 
-// TestBlockBytesPure verifies Bytes does not mutate the block (it used to
-// memoize, which raced once completed blocks were shared across workers).
-func TestBlockBytesPure(t *testing.T) {
+// TestBlockBytesMemo verifies the memoization contract: a growing (incomplete)
+// builder block recomputes its footprint on every call, while a Complete
+// block — immutable by contract — memoizes it via an atomic, so sharing the
+// block across workers stays race-free.
+func TestBlockBytesMemo(t *testing.T) {
 	b := intBlock("ds", "col", 8, 14)
+	b.Complete = false
 	n1 := b.Bytes()
 	b.Ints = append(b.Ints, 99)
-	if n2 := b.Bytes(); n2 <= n1 {
+	b.Rows++
+	n2 := b.Bytes()
+	if n2 <= n1 {
 		t.Errorf("Bytes after growth = %d, want > %d", n2, n1)
 	}
+	b.Complete = true
+	if got := b.Bytes(); got != n2 {
+		t.Errorf("Bytes after Complete = %d, want %d", got, n2)
+	}
+	var wg sync.WaitGroup
+	for range 4 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if got := b.Bytes(); got != n2 {
+				t.Errorf("concurrent Bytes = %d, want %d", got, n2)
+			}
+		}()
+	}
+	wg.Wait()
 }

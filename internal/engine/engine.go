@@ -73,6 +73,15 @@ type Config struct {
 	// MaxConcurrentQueries gates admission: queries beyond the limit wait
 	// until a slot frees or their context is cancelled (0 = unlimited).
 	MaxConcurrentQueries int
+	// Vectorized selects the execution mode for eligible pipeline segments
+	// (scan→filter chains over scalar columns feeding an aggregate):
+	// exec.VecAuto (default) vectorizes when the input is large enough to
+	// amortize batch setup, exec.VecOn forces batch kernels wherever
+	// eligible, exec.VecOff forces the tuple-at-a-time path everywhere.
+	Vectorized exec.VecMode
+	// PlanCacheSize bounds the compiled-plan cache in entries (0 = default
+	// 64; negative disables plan caching entirely).
+	PlanCacheSize int
 }
 
 // Engine is a Proteus instance: a catalog plus the managers every query
@@ -86,6 +95,15 @@ type Engine struct {
 	env         *plugin.Env
 	datasets    map[string]*plugin.Dataset
 	parallelism int
+	vectorize   exec.VecMode
+
+	// Compiled-plan cache: plainQuery consults it before re-running the
+	// life-cycle. planEpoch advances on every catalog mutation (register,
+	// drop, plug-in registration) so cached programs compiled against a
+	// stale catalog are invalidated; cache-content changes are tracked
+	// separately through the cache manager's own epoch.
+	plans     *planCache
+	planEpoch atomic.Uint64
 
 	// Robustness knobs (see Config).
 	timeout   time.Duration
@@ -134,6 +152,14 @@ func New(cfg Config) *Engine {
 	if cfg.MaxConcurrentQueries > 0 {
 		admit = make(chan struct{}, cfg.MaxConcurrentQueries)
 	}
+	planCap := cfg.PlanCacheSize
+	if planCap == 0 {
+		planCap = 64
+	}
+	var plans *planCache
+	if planCap > 0 {
+		plans = newPlanCache(planCap)
+	}
 	return &Engine{
 		mem:         mem,
 		stats:       st,
@@ -142,6 +168,8 @@ func New(cfg Config) *Engine {
 		env:         &plugin.Env{Mem: mem, Stats: st, SampleEvery: cfg.SampleEvery},
 		datasets:    map[string]*plugin.Dataset{},
 		parallelism: par,
+		vectorize:   cfg.Vectorized,
+		plans:       plans,
 		timeout:     cfg.QueryTimeout,
 		memBudget:   cfg.QueryMemBudget,
 		admit:       admit,
@@ -163,7 +191,7 @@ func (e *Engine) compileProg(plan algebra.Node) (*exec.Program, error) {
 // per-operator profiling when spec is non-nil (observed queries and EXPLAIN
 // ANALYZE), wiring the engine's cumulative metrics into the run.
 func (e *Engine) compileProgWith(plan algebra.Node, spec *exec.ProfileSpec) (*exec.Program, error) {
-	env := &exec.Env{Catalog: e, Caches: e.caches, Stats: e.stats, MemBudget: e.memBudget}
+	env := &exec.Env{Catalog: e, Caches: e.caches, Stats: e.stats, MemBudget: e.memBudget, Vectorize: e.vectorize}
 	if spec != nil {
 		env.Profile = spec
 		env.Metrics = e.metrics
@@ -182,7 +210,10 @@ func (e *Engine) Caches() *cache.Manager { return e.caches }
 func (e *Engine) Stats() *stats.Store { return e.stats }
 
 // RegisterPlugin adds a custom input plug-in (§5.2 "Adding More Inputs").
-func (e *Engine) RegisterPlugin(in plugin.Input) { e.registry.Register(in) }
+func (e *Engine) RegisterPlugin(in plugin.Input) {
+	e.registry.Register(in)
+	e.planEpoch.Add(1)
+}
 
 // Register adds a dataset to the catalog and opens it through its format's
 // plug-in (building structural indexes and gathering cold statistics).
@@ -198,6 +229,7 @@ func (e *Engine) Register(name, path, format string, schema *types.RecordType, o
 	e.mu.Lock()
 	e.datasets[name] = ds
 	e.mu.Unlock()
+	e.planEpoch.Add(1)
 	return nil
 }
 
@@ -212,6 +244,7 @@ func (e *Engine) Drop(name string) {
 		e.caches.Drop(name)
 		e.mem.Release(ds.Path)
 	}
+	e.planEpoch.Add(1)
 }
 
 // Dataset implements exec.Catalog.
@@ -463,8 +496,42 @@ func (e *Engine) runQuery(ctx context.Context, lang, query string) (*exec.Result
 }
 
 // plainQuery is the untraced life-cycle: parse → prepare → run, all under
-// the caller's context.
+// the caller's context. With plan caching enabled, a repeated statement
+// skips straight to its previously compiled program.
 func (e *Engine) plainQuery(ctx context.Context, lang, query string) (*exec.Result, error) {
+	if e.plans == nil {
+		p, err := e.parseAndPrepare(ctx, lang, query)
+		if err != nil {
+			return nil, err
+		}
+		return p.Program.RunContext(ctx)
+	}
+	// Both epochs are captured before prepare on purpose: a run that itself
+	// registers cache blocks stores its entry stamped with the pre-run cache
+	// epoch, so the next identical query misses and recompiles into a
+	// cache-aware plan instead of replaying the cold path forever.
+	key := planKey(lang, query)
+	catalogEpoch := e.planEpoch.Load()
+	cacheEpoch := e.caches.Epoch()
+	if en := e.plans.lookup(key, catalogEpoch, cacheEpoch); en != nil {
+		e.metrics.PlanCacheHits.Add(1)
+		res, err := en.prepared.Program.RunContext(ctx)
+		en.release()
+		return res, err
+	}
+	e.metrics.PlanCacheMisses.Add(1)
+	p, err := e.parseAndPrepare(ctx, lang, query)
+	if err != nil {
+		return nil, err
+	}
+	en := e.plans.store(key, p, catalogEpoch, cacheEpoch)
+	res, err := p.Program.RunContext(ctx)
+	en.release()
+	return res, err
+}
+
+// parseAndPrepare runs the front half of the life-cycle untraced.
+func (e *Engine) parseAndPrepare(ctx context.Context, lang, query string) (*Prepared, error) {
 	var (
 		c   *calculus.Comprehension
 		err error
@@ -477,11 +544,7 @@ func (e *Engine) plainQuery(ctx context.Context, lang, query string) (*exec.Resu
 	if err != nil {
 		return nil, err
 	}
-	p, err := e.prepare(ctx, c, nil)
-	if err != nil {
-		return nil, err
-	}
-	return p.Program.RunContext(ctx)
+	return e.prepare(ctx, c, nil)
 }
 
 // acquire takes an admission slot, waiting until one frees or the context

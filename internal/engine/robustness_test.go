@@ -71,9 +71,11 @@ func (s *slowInput) CompileScan(ds *plugin.Dataset, spec plugin.ScanSpec) (plugi
 	}
 	oid := spec.OIDSlot
 	cc := spec.Cancel
-	panicRow := s.panicRow.Load()
 	perRow := s.perRow
 	return func(regs *vbuf.Regs, consume func() error) error {
+		// Loaded per run, not per compile: the plan cache may reuse this
+		// compiled scan across queries after the test re-arms panicRow.
+		panicRow := s.panicRow.Load()
 		for row := lo; row < hi; row++ {
 			if cc.Cancelled() {
 				return cc.Err()

@@ -280,8 +280,15 @@ func (p *reducePartial) result() (*Result, error) {
 }
 
 // compileReducePartial compiles the Reduce pipeline into a driver plus the
-// mergeable partial state it folds into.
-func (c *Compiler) compileReducePartial(red *algebra.Reduce) (func(r *vbuf.Regs) error, *reducePartial, error) {
+// mergeable partial state it folds into. A vectorizable pipeline compiles
+// into batch kernels instead (vagg.go); both states implement partialState,
+// and all parallel clones of a plan make the same choice.
+func (c *Compiler) compileReducePartial(red *algebra.Reduce) (func(r *vbuf.Regs) error, partialState, error) {
+	if run, vst, ok, err := c.tryVecReduce(red); err != nil {
+		return nil, nil, err
+	} else if ok {
+		return run, vst, nil
+	}
 	st := &reducePartial{names: red.Names, rowsCell: c.rootRowsCell(red)}
 	var pred evalBool
 	gauge := c.mem
@@ -506,8 +513,14 @@ func (p *nestPartial) result() (*Result, error) {
 
 // compileNestPartial compiles the Nest pipeline (radix-hash grouping with
 // per-group accumulators, §5.1) into a driver plus its mergeable state.
-// Single integer group-by keys take a specialized path.
-func (c *Compiler) compileNestPartial(n *algebra.Nest) (func(r *vbuf.Regs) error, *nestPartial, error) {
+// Single integer group-by keys take a specialized path — vectorized when
+// the pipeline below allows it (vagg.go), tuple-at-a-time otherwise.
+func (c *Compiler) compileNestPartial(n *algebra.Nest) (func(r *vbuf.Regs) error, partialState, error) {
+	if run, vst, ok, err := c.tryVecNest(n); err != nil {
+		return nil, nil, err
+	} else if ok {
+		return run, vst, nil
+	}
 	var pred evalBool
 	protoAccs := make([]*accumulator, len(n.Aggs))
 	gauge := c.mem

@@ -20,6 +20,20 @@ type Catalog interface {
 	Dataset(name string) (*plugin.Dataset, plugin.Input, error)
 }
 
+// VecMode selects the execution style for batch-capable pipeline segments
+// (a driving scan plus the consecutive filters above it).
+type VecMode int
+
+const (
+	// VecAuto vectorizes capable segments over datasets large enough to
+	// amortize the batch machinery (the default).
+	VecAuto VecMode = iota
+	// VecOn vectorizes every capable segment regardless of dataset size.
+	VecOn
+	// VecOff compiles the pure tuple-at-a-time engine.
+	VecOff
+)
+
 // Env carries the services a compilation needs.
 type Env struct {
 	Catalog Catalog
@@ -39,6 +53,9 @@ type Env struct {
 	// collected rows, ORDER BY buffers). Exceeding it fails the query with
 	// ErrMemBudget instead of risking the process.
 	MemBudget int64
+	// Vectorize selects tuple-at-a-time vs. block-at-a-time compilation for
+	// batch-capable pipeline segments (see vector.go).
+	Vectorize VecMode
 }
 
 // Kont is the consume continuation of the push model: called once per
@@ -213,6 +230,15 @@ func (c *Compiler) isPluginUnnest(plan algebra.Node, root string) bool {
 // compileNode dispatches on the operator kind, compiling the subtree into a
 // driver that calls consume per produced tuple.
 func (c *Compiler) compileNode(n algebra.Node, consume Kont) (func(r *vbuf.Regs) error, error) {
+	// Vectorized interception happens before any profiling wrapper: a
+	// batch-capable Select chain compiles into one segment whose kernels
+	// count rows per batch themselves (see vector.go), so wrapping the top
+	// Select here would double-count it.
+	if sel, ok := n.(*algebra.Select); ok {
+		if run, handled, err := c.tryVecSelectChain(sel, consume); handled {
+			return run, err
+		}
+	}
 	// Profiling: Join and Unnest count emitted rows through a consume
 	// wrapper; Scan and Select fuse the counter into their own closures so
 	// the densest paths pay no extra call layer. Timed (EXPLAIN ANALYZE)
@@ -278,11 +304,45 @@ func (c *Compiler) compileChildThen(child algebra.Node, mk func() (Kont, error))
 	return run, nil
 }
 
-// compileScan emits the scan driver for a dataset: the plug-in's generated
-// access code, the cache-block fast path when every needed field is cached,
-// the mixed path when some are, and the cache-population side-effect wiring
-// (§5.2 + §6).
-func (c *Compiler) compileScan(s *algebra.Scan, consume Kont) (func(r *vbuf.Regs) error, error) {
+// cachedField is one needed path served from a complete cache block.
+type cachedField struct {
+	block *cache.Block
+	slot  vbuf.Slot
+}
+
+// buildReq is one cache block to populate as a scan side effect.
+type buildReq struct {
+	key  string
+	kind types.Kind
+	slot vbuf.Slot
+}
+
+// scanInfo is the resolved state of one scan: the binding with its slot
+// assignments, and the classification of every needed path into plug-in
+// extraction, cache service, or cache population. The tuple and vectorized
+// scan compilers share this analysis, so mode selection never changes slot
+// layout or cache policy.
+type scanInfo struct {
+	s        *algebra.Scan
+	ds       *plugin.Dataset
+	in       plugin.Input
+	b        *binding
+	bias     float64
+	rows     int64
+	morsel   *plugin.Morsel
+	oc       *opCounters
+	scanProf *plugin.ScanProf
+
+	pluginFields []plugin.FieldReq
+	cachedFields []cachedField
+	buildReqs    []buildReq
+}
+
+// analyzeScan installs the scan's binding, allocates a slot per needed path,
+// and decides each path's source (§5.2 + §6). It has compilation side
+// effects (slots, binding registration, cache-builder dedup), so callers
+// commit to compiling the scan once they call it.
+func (c *Compiler) analyzeScan(s *algebra.Scan) (*scanInfo, error) {
 	ds, in, err := c.env.Catalog.Dataset(s.Dataset)
 	if err != nil {
 		return nil, err
@@ -295,24 +355,18 @@ func (c *Compiler) compileScan(s *algebra.Scan, consume Kont) (func(r *vbuf.Regs
 	c.envTypes[s.Binding] = schema
 
 	caches := c.env.Caches
-	bias := in.FieldCost()
-	rows := in.Cardinality(ds)
-	oc := c.opCtr(s)
-
-	// Resolve each needed path to a slot, deciding its source: cache block,
-	// plug-in extraction, or whole-record boxing.
-	var pluginFields []plugin.FieldReq
-	type cachedField struct {
-		block *cache.Block
-		slot  vbuf.Slot
+	si := &scanInfo{
+		s:    s,
+		ds:   ds,
+		in:   in,
+		b:    b,
+		bias: in.FieldCost(),
+		rows: in.Cardinality(ds),
+		oc:   c.opCtr(s),
 	}
-	var cachedFields []cachedField
-	type buildReq struct {
-		key  string
-		kind types.Kind
-		slot vbuf.Slot
+	if si.oc != nil {
+		si.scanProf = &si.oc.scan
 	}
-	var buildReqs []buildReq
 
 	paths := sortedKeys(c.needs[s.Binding])
 	for _, p := range paths {
@@ -328,22 +382,22 @@ func (c *Compiler) compileScan(s *algebra.Scan, consume Kont) (func(r *vbuf.Regs
 		b.slots[p] = slot
 		if p == "" {
 			// Whole-record reference: box via the plug-in.
-			pluginFields = append(pluginFields, plugin.FieldReq{Path: nil, Slot: slot, Type: t})
+			si.pluginFields = append(si.pluginFields, plugin.FieldReq{Path: nil, Slot: slot, Type: t})
 			continue
 		}
-		if blk, ok := caches.Lookup(s.Dataset, p); ok && blk.Rows == rows {
-			cachedFields = append(cachedFields, cachedField{block: blk, slot: slot})
+		if blk, ok := caches.Lookup(s.Dataset, p); ok && blk.Rows == si.rows {
+			si.cachedFields = append(si.cachedFields, cachedField{block: blk, slot: slot})
 			c.note("scan %s: field %s served from cache", s.Dataset, p)
 			continue
 		}
-		pluginFields = append(pluginFields, plugin.FieldReq{Path: splitPath(p), Slot: slot, Type: t})
-		if caches.ShouldCache(bias, t.Kind()) && !caches.Has(s.Dataset, p) {
+		si.pluginFields = append(si.pluginFields, plugin.FieldReq{Path: splitPath(p), Slot: slot, Type: t})
+		if caches.ShouldCache(si.bias, t.Kind()) && !caches.Has(s.Dataset, p) {
 			if c.cacheBuilding == nil {
 				c.cacheBuilding = map[string]bool{}
 			}
 			if bk := s.Dataset + "\x00" + p; !c.cacheBuilding[bk] {
 				c.cacheBuilding[bk] = true
-				buildReqs = append(buildReqs, buildReq{key: p, kind: t.Kind(), slot: slot})
+				si.buildReqs = append(si.buildReqs, buildReq{key: p, kind: t.Kind(), slot: slot})
 				c.note("scan %s: populating cache for field %s", s.Dataset, p)
 			}
 		}
@@ -352,15 +406,55 @@ func (c *Compiler) compileScan(s *algebra.Scan, consume Kont) (func(r *vbuf.Regs
 	// Morsel restriction: only the driving scan of a parallel compilation is
 	// range-partitioned; every other scan runs in full in each worker (or
 	// once, for shared join build sides).
-	var morsel *plugin.Morsel
 	if c.driveScan != nil && s == c.driveScan {
-		morsel = c.morsel
+		si.morsel = c.morsel
+	}
+	return si, nil
+}
+
+// finishScanBuilders hands off the cache blocks built during one scan pass.
+// Under parallelism a morselized scan only produced a fragment — stash it
+// for the coordinator to concatenate and register once all workers finish —
+// and a full (non-driving) scan registers through the shared run so exactly
+// one worker's block wins.
+func (c *Compiler) finishScanBuilders(si *scanInfo, builders []*cachepg.Builder) {
+	if len(builders) == 0 {
+		return
+	}
+	caches := c.env.Caches
+	t0 := time.Now()
+	for _, bd := range builders {
+		blk := bd.Finish()
+		switch {
+		case c.shared != nil && si.morsel != nil:
+			c.shared.addFrag(c.workerID, blk)
+		case c.shared != nil:
+			c.shared.registerOnce(caches, blk)
+		default:
+			caches.Register(blk)
+		}
+	}
+	d := int64(time.Since(t0))
+	caches.AddBuildNanos(d)
+	if si.oc != nil {
+		si.oc.cacheBuildNanos += d
+	}
+}
+
+// compileScan emits the scan driver for a dataset: the plug-in's generated
+// access code, the cache-block fast path when every needed field is cached,
+// the mixed path when some are, and the cache-population side-effect wiring
+// (§5.2 + §6).
+func (c *Compiler) compileScan(s *algebra.Scan, consume Kont) (func(r *vbuf.Regs) error, error) {
+	si, err := c.analyzeScan(s)
+	if err != nil {
+		return nil, err
 	}
 
 	// Cache loaders read by row ordinal — the OID the scan produces.
-	oid := b.oidSlot
+	oid := si.b.oidSlot
 	var rawLoaders []cachepg.Loader
-	for _, cf := range cachedFields {
+	for _, cf := range si.cachedFields {
 		ld, err := cachepg.CompileLoader(cf.block, cf.slot)
 		if err != nil {
 			return nil, err
@@ -368,22 +462,17 @@ func (c *Compiler) compileScan(s *algebra.Scan, consume Kont) (func(r *vbuf.Regs
 		rawLoaders = append(rawLoaders, ld)
 	}
 
-	var scanProf *plugin.ScanProf
-	if oc != nil {
-		scanProf = &oc.scan
-	}
-
-	if len(pluginFields) == 0 && len(cachedFields) > 0 {
+	if len(si.pluginFields) == 0 && len(si.cachedFields) > 0 {
 		// Full cache hit: never touch the original dataset — the cache
 		// plug-in drives the loop straight off the binary blocks. (No
 		// builders can exist here: population only attaches to
 		// plug-in-extracted fields.)
-		c.note("scan %s: fully served from cache (%d fields)", s.Dataset, len(cachedFields))
-		drv := cachepg.CompileScan(rows, rawLoaders, &b.oidSlot, morsel, scanProf, c.cancel)
+		c.note("scan %s: fully served from cache (%d fields)", s.Dataset, len(si.cachedFields))
+		drv := cachepg.CompileScan(si.rows, rawLoaders, &si.b.oidSlot, si.morsel, si.scanProf, c.cancel)
 		run := func(r *vbuf.Regs) error {
 			return drv(r, func() error { return consume(r) })
 		}
-		return c.profScanRun(s, run, morselRows(morsel, rows)), nil
+		return c.profScanRun(s, run, morselRows(si.morsel, si.rows)), nil
 	}
 
 	inner := consume
@@ -402,9 +491,9 @@ func (c *Compiler) compileScan(s *algebra.Scan, consume Kont) (func(r *vbuf.Regs
 	// Cache population wraps the consume *before* any filtering above, so
 	// the block covers every record (the cache is a full column).
 	var builders []*cachepg.Builder
-	if len(buildReqs) > 0 {
-		for _, br := range buildReqs {
-			builders = append(builders, cachepg.NewBuilder(s.Dataset, br.key, br.kind, bias, br.slot, rows))
+	if len(si.buildReqs) > 0 {
+		for _, br := range si.buildReqs {
+			builders = append(builders, cachepg.NewBuilder(s.Dataset, br.key, br.kind, si.bias, br.slot, si.rows))
 		}
 		next := inner
 		bds := builders
@@ -416,48 +505,22 @@ func (c *Compiler) compileScan(s *algebra.Scan, consume Kont) (func(r *vbuf.Regs
 		}
 	}
 
-	spec := plugin.ScanSpec{Fields: pluginFields, OIDSlot: &b.oidSlot, Morsel: morsel, Prof: scanProf, Cancel: c.cancel}
-	pluginRun, err := in.CompileScan(ds, spec)
+	spec := plugin.ScanSpec{Fields: si.pluginFields, OIDSlot: &si.b.oidSlot, Morsel: si.morsel, Prof: si.scanProf, Cancel: c.cancel}
+	pluginRun, err := si.in.CompileScan(si.ds, spec)
 	if err != nil {
 		return nil, err
 	}
-	shared, workerID := c.shared, c.workerID
 	run := func(r *vbuf.Regs) error {
 		for _, bd := range builders {
 			bd.Reset()
 		}
-		err := pluginRun(r, func() error { return inner(r) })
-		if err != nil {
+		if err := pluginRun(r, func() error { return inner(r) }); err != nil {
 			return err
 		}
-		if len(builders) == 0 {
-			return nil
-		}
-		// Scan completed: hand off any caches built as a side-effect. Under
-		// parallelism a morselized scan only produced a fragment — stash it
-		// for the coordinator to concatenate and register once all workers
-		// finish — and a full (non-driving) scan registers through the shared
-		// run so exactly one worker's block wins.
-		t0 := time.Now()
-		for _, bd := range builders {
-			blk := bd.Finish()
-			switch {
-			case shared != nil && morsel != nil:
-				shared.addFrag(workerID, blk)
-			case shared != nil:
-				shared.registerOnce(caches, blk)
-			default:
-				caches.Register(blk)
-			}
-		}
-		d := int64(time.Since(t0))
-		caches.AddBuildNanos(d)
-		if oc != nil {
-			oc.cacheBuildNanos += d
-		}
+		c.finishScanBuilders(si, builders)
 		return nil
 	}
-	return c.profScanRun(s, run, morselRows(morsel, rows)), nil
+	return c.profScanRun(s, run, morselRows(si.morsel, si.rows)), nil
 }
 
 // morselRows returns the number of records a scan driver will emit: the

@@ -327,7 +327,7 @@ func (c *Compiler) compileBare(plan algebra.Node) (func(r *vbuf.Regs) (*Result, 
 
 // helpers -------------------------------------------------------------------
 
-func sortedKeys(set map[string]bool) []string {
+func sortedKeys[V any](set map[string]V) []string {
 	out := make([]string, 0, len(set))
 	for k := range set {
 		out = append(out, k)

@@ -1,0 +1,411 @@
+// Vectorized pipeline segments (the block-at-a-time half of the hybrid
+// engine). A segment is a driving scan plus the consecutive Selects above
+// it; when every expression in the segment is batch-capable the compiler
+// emits column kernels over vbuf.Batch instead of per-tuple closures, and
+// bridges back to the tuple engine at the segment's top (vecAdapter) unless
+// the root aggregation itself vectorizes (vagg.go). Mode selection is per
+// segment and fully static: a plan can mix vectorized and tuple segments.
+package exec
+
+import (
+	"errors"
+	"time"
+
+	"proteus/internal/algebra"
+	"proteus/internal/expr"
+	"proteus/internal/plugin"
+	"proteus/internal/plugin/cachepg"
+	"proteus/internal/types"
+	"proteus/internal/vbuf"
+)
+
+// vecChain is a maximal Scan→Select* pipeline prefix, selects bottom-up.
+type vecChain struct {
+	scan    *algebra.Scan
+	selects []*algebra.Select
+}
+
+// vecChainOf unwinds Selects down to a Scan; nil when anything else (a join,
+// an unnest) sits in between — those operators stay tuple-at-a-time.
+func vecChainOf(n algebra.Node) *vecChain {
+	var sels []*algebra.Select
+	for {
+		switch x := n.(type) {
+		case *algebra.Select:
+			sels = append(sels, x)
+			n = x.Child
+		case *algebra.Scan:
+			for i, j := 0, len(sels)-1; i < j; i, j = i+1, j-1 {
+				sels[i], sels[j] = sels[j], sels[i]
+			}
+			return &vecChain{scan: x, selects: sels}
+		default:
+			return nil
+		}
+	}
+}
+
+// vecEligible decides — before any slot is allocated, so the tuple path can
+// still be taken with zero side effects — whether a chain can vectorize:
+// every field the query needs from the scan's binding must be a scalar, and
+// every Select predicate must compile to column kernels. Under VecAuto,
+// datasets smaller than two batches stay on the tuple path (the batch
+// machinery would not amortize), and so do plug-ins without a native batch
+// producer: transposing a tuple scan into batches costs about what the
+// column kernels save, so auto mode never gambles on it. VecOn still forces
+// the transposing fallback, which the equivalence tests rely on.
+func (c *Compiler) vecEligible(ch *vecChain) (*types.RecordType, bool) {
+	if c.env.Vectorize == VecOff {
+		return nil, false
+	}
+	s := ch.scan
+	ds, in, err := c.env.Catalog.Dataset(s.Dataset)
+	if err != nil {
+		return nil, false
+	}
+	if c.env.Vectorize == VecAuto {
+		if in.Cardinality(ds) < 2*vbuf.BatchSize {
+			return nil, false
+		}
+		if _, ok := in.(plugin.BatchScanner); !ok {
+			return nil, false
+		}
+	}
+	schema := in.Schema(ds)
+	for p := range c.needs[s.Binding] {
+		if p == "" {
+			return nil, false // whole-record boxing cannot be columnized
+		}
+		t, err := typeOfPath(schema, splitPath(p))
+		if err != nil || !t.Kind().IsScalar() {
+			return nil, false
+		}
+	}
+	for _, sel := range ch.selects {
+		if k, ok := c.canVecExpr(sel.Pred, schema, s.Binding); !ok || k != types.KindBool {
+			return nil, false
+		}
+	}
+	return schema, true
+}
+
+// canVecExpr statically checks that an expression compiles to column
+// kernels over the given scan binding, returning its result kind. It
+// mirrors the vectorized compilers' coverage exactly so a positive answer
+// guarantees compilation succeeds.
+func (c *Compiler) canVecExpr(e expr.Expr, schema *types.RecordType, bind string) (types.Kind, bool) {
+	if root, path, ok := expr.PathOf(e); ok {
+		if root != bind || len(path) == 0 {
+			return 0, false
+		}
+		t, err := typeOfPath(schema, path)
+		if err != nil || !t.Kind().IsScalar() {
+			return 0, false
+		}
+		return t.Kind(), true
+	}
+	numeric := func(k types.Kind) bool { return k == types.KindInt || k == types.KindFloat }
+	switch x := e.(type) {
+	case *expr.Const:
+		k := types.TypeOf(x.V).Kind()
+		return k, k.IsScalar()
+	case *expr.Neg:
+		k, ok := c.canVecExpr(x.E, schema, bind)
+		return k, ok && numeric(k)
+	case *expr.Not:
+		k, ok := c.canVecExpr(x.E, schema, bind)
+		return types.KindBool, ok && k == types.KindBool
+	case *expr.Like:
+		k, ok := c.canVecExpr(x.E, schema, bind)
+		return types.KindBool, ok && k == types.KindString
+	case *expr.BinOp:
+		lk, lok := c.canVecExpr(x.L, schema, bind)
+		rk, rok := c.canVecExpr(x.R, schema, bind)
+		if !lok || !rok {
+			return 0, false
+		}
+		switch {
+		case x.Op.IsArith():
+			if !numeric(lk) || !numeric(rk) {
+				return 0, false
+			}
+			switch x.Op {
+			case expr.OpDiv:
+				return types.KindFloat, true
+			case expr.OpMod:
+				return types.KindInt, lk == types.KindInt && rk == types.KindInt
+			}
+			if lk == types.KindFloat || rk == types.KindFloat {
+				return types.KindFloat, true
+			}
+			return types.KindInt, true
+		case x.Op.IsComparison():
+			switch {
+			case numeric(lk) && numeric(rk),
+				lk == types.KindString && rk == types.KindString:
+				return types.KindBool, true
+			}
+			return 0, false // boxed comparisons stay tuple-at-a-time
+		case x.Op.IsLogic():
+			return types.KindBool, lk == types.KindBool && rk == types.KindBool
+		}
+	}
+	return 0, false
+}
+
+// vecSeg is one compiled vectorized segment: the batch, its producer, the
+// cache overlay and population hooks, and the filter cascade.
+type vecSeg struct {
+	si       *scanInfo
+	batch    *vbuf.Batch
+	producer plugin.BatchRunFunc
+	overlay  []cachepg.BatchLoader // cached fields merged into plug-in batches
+	builders []*cachepg.Builder
+	filters  []vecFilter
+	selCells []*opCounters // one per filter; nil entries when unprofiled
+}
+
+// compileVecSeg compiles an eligible chain into a segment. Must only be
+// called after vecEligible said yes: analyzeScan commits slot allocations
+// and cache-builder claims, so there is no falling back afterwards.
+func (c *Compiler) compileVecSeg(ch *vecChain) (*vecSeg, error) {
+	si, err := c.analyzeScan(ch.scan)
+	if err != nil {
+		return nil, err
+	}
+	seg := &vecSeg{si: si, batch: vbuf.NewBatch(&c.alloc)}
+
+	producerTag := "native"
+	if len(si.pluginFields) == 0 && len(si.cachedFields) > 0 {
+		// Full cache hit: batches alias the cache blocks' arrays directly.
+		var loaders []cachepg.BatchLoader
+		for _, cf := range si.cachedFields {
+			ld, err := cachepg.CompileBatchLoader(cf.block, cf.slot)
+			if err != nil {
+				return nil, err
+			}
+			loaders = append(loaders, ld)
+		}
+		seg.producer = cachepg.CompileBatchScan(si.rows, loaders, &si.b.oidSlot, si.morsel, si.scanProf, c.cancel)
+		producerTag = "cache"
+	} else {
+		spec := plugin.ScanSpec{Fields: si.pluginFields, OIDSlot: &si.b.oidSlot, Morsel: si.morsel, Prof: si.scanProf, Cancel: c.cancel}
+		seg.producer, err = c.compileBatchProducer(si, spec, &producerTag)
+		if err != nil {
+			return nil, err
+		}
+		// Cached fields not produced by the plug-in overlay onto each batch
+		// as zero-copy block windows [Base, Base+N).
+		for _, cf := range si.cachedFields {
+			ld, err := cachepg.CompileBatchLoader(cf.block, cf.slot)
+			if err != nil {
+				return nil, err
+			}
+			seg.overlay = append(seg.overlay, ld)
+		}
+	}
+
+	for _, br := range si.buildReqs {
+		seg.builders = append(seg.builders, cachepg.NewBuilder(si.s.Dataset, br.key, br.kind, si.bias, br.slot, si.rows))
+	}
+
+	for _, sel := range ch.selects {
+		f, err := c.compileVecFilter(sel.Pred)
+		if err != nil {
+			return nil, err
+		}
+		seg.filters = append(seg.filters, f)
+		seg.selCells = append(seg.selCells, c.opCtr(sel))
+	}
+	c.note("scan %s: vectorized segment (%s producer, %d filters)", ch.scan.Dataset, producerTag, len(seg.filters))
+	return seg, nil
+}
+
+// compileBatchProducer asks the plug-in for a native batch scan and falls
+// back to transposing its tuple scan when the format (or this particular
+// field list) cannot produce columns directly.
+func (c *Compiler) compileBatchProducer(si *scanInfo, spec plugin.ScanSpec, tag *string) (plugin.BatchRunFunc, error) {
+	if bs, ok := si.in.(plugin.BatchScanner); ok {
+		run, err := bs.CompileBatchScan(si.ds, spec)
+		if err == nil {
+			return run, nil
+		}
+		if !errors.Is(err, plugin.ErrUnsupported) {
+			return nil, err
+		}
+	}
+	tuple, err := si.in.CompileScan(si.ds, spec)
+	if err != nil {
+		return nil, err
+	}
+	*tag = "transposed"
+	return plugin.BatchFromTuples(tuple, spec), nil
+}
+
+// compileVecDriver assembles the segment's run function: per batch it
+// overlays cached columns, feeds cache population, runs the filter cascade
+// with per-operator accounting, and hands the surviving selection to
+// terminate (the adapter or a vectorized aggregation).
+//
+// Profiling replicates the tuple path's shape. Untimed mode pays only
+// counter increments: rows-out per filter, batches everywhere, and the
+// scan's rows arithmetically in the outer wrapper. Timed (EXPLAIN ANALYZE)
+// mode also records, per batch, the time spent above the scan and above
+// each filter, so self-time derivation in profile.go works unchanged.
+func (c *Compiler) compileVecDriver(seg *vecSeg, terminate func(b *vbuf.Batch, r *vbuf.Regs) error) func(r *vbuf.Regs) error {
+	si := seg.si
+	batch := seg.batch
+	overlay := seg.overlay
+	builders := seg.builders
+	filters := seg.filters
+	selCells := seg.selCells
+	scanCell := c.opCtr(si.s)
+	timing := c.prof != nil && c.prof.timing
+	var tAfter []time.Time
+	if timing {
+		tAfter = make([]time.Time, len(filters))
+	}
+
+	run := func(r *vbuf.Regs) error {
+		for _, bd := range builders {
+			bd.Reset()
+		}
+		consume := func() error {
+			for _, ld := range overlay {
+				ld(batch, batch.Base, batch.Base+int64(batch.N))
+			}
+			for _, bd := range builders {
+				bd.AppendBatch(batch)
+			}
+			var t0 time.Time
+			if timing {
+				t0 = time.Now()
+				scanCell.rows += int64(batch.N)
+			}
+			if scanCell != nil {
+				scanCell.batches++
+			}
+			for i, f := range filters {
+				f(batch)
+				if cell := selCells[i]; cell != nil {
+					cell.rows += int64(len(batch.Sel))
+					cell.batches++
+				}
+				if timing {
+					tAfter[i] = time.Now()
+				}
+			}
+			err := terminate(batch, r)
+			if timing {
+				end := time.Now()
+				scanCell.nanos += int64(end.Sub(t0))
+				for i, cell := range selCells {
+					if cell != nil {
+						cell.nanos += int64(end.Sub(tAfter[i]))
+					}
+				}
+			}
+			return err
+		}
+		if err := seg.producer(r, batch, consume); err != nil {
+			return err
+		}
+		c.finishScanBuilders(si, builders)
+		return nil
+	}
+	return c.vecProfRun(si.s, run, morselRows(si.morsel, si.rows))
+}
+
+// vecProfRun is profScanRun for vectorized drivers: driver wall time and
+// the arithmetic rows-out count, but no per-invocation batch increment —
+// the driver counts real batches itself.
+func (c *Compiler) vecProfRun(s *algebra.Scan, run func(r *vbuf.Regs) error, rows int64) func(r *vbuf.Regs) error {
+	oc := c.opCtr(s)
+	if oc == nil {
+		return run
+	}
+	countRows := !c.prof.timing
+	return func(r *vbuf.Regs) error {
+		t0 := time.Now()
+		err := run(r)
+		oc.driverNanos += int64(time.Since(t0))
+		if err == nil && countRows {
+			oc.rows += rows
+		}
+		return err
+	}
+}
+
+// tryVecSelectChain intercepts a Select whose subtree is a vectorizable
+// chain and compiles it as one segment that re-materializes surviving rows
+// into the register file for the tuple operators above (handled=false means
+// the caller proceeds tuple-at-a-time with no state disturbed).
+func (c *Compiler) tryVecSelectChain(sel *algebra.Select, consume Kont) (func(r *vbuf.Regs) error, bool, error) {
+	ch := vecChainOf(sel)
+	if ch == nil {
+		return nil, false, nil
+	}
+	if _, ok := c.vecEligible(ch); !ok {
+		return nil, false, nil
+	}
+	seg, err := c.compileVecSeg(ch)
+	if err != nil {
+		return nil, true, err
+	}
+	return c.compileVecDriver(seg, c.vecAdapter(seg.si, consume)), true, nil
+}
+
+// vecAdapter is the batch→tuple boundary: it scatters each selected row's
+// columns back into the register file and calls the tuple continuation once
+// per row. One writer closure per extracted slot, compiled once.
+func (c *Compiler) vecAdapter(si *scanInfo, consume Kont) func(b *vbuf.Batch, r *vbuf.Regs) error {
+	type writer func(b *vbuf.Batch, r *vbuf.Regs, j int32)
+	var writers []writer
+	add := func(s vbuf.Slot) {
+		switch s.Class {
+		case vbuf.ClassInt:
+			writers = append(writers, func(b *vbuf.Batch, r *vbuf.Regs, j int32) {
+				r.I[s.Idx] = b.I[s.Idx][j]
+				nc := b.Null[s.Null]
+				r.Null[s.Null] = nc != nil && nc[j]
+			})
+		case vbuf.ClassFloat:
+			writers = append(writers, func(b *vbuf.Batch, r *vbuf.Regs, j int32) {
+				r.F[s.Idx] = b.F[s.Idx][j]
+				nc := b.Null[s.Null]
+				r.Null[s.Null] = nc != nil && nc[j]
+			})
+		case vbuf.ClassBool:
+			writers = append(writers, func(b *vbuf.Batch, r *vbuf.Regs, j int32) {
+				r.B[s.Idx] = b.B[s.Idx][j]
+				nc := b.Null[s.Null]
+				r.Null[s.Null] = nc != nil && nc[j]
+			})
+		case vbuf.ClassString:
+			writers = append(writers, func(b *vbuf.Batch, r *vbuf.Regs, j int32) {
+				r.S[s.Idx] = b.S[s.Idx][j]
+				nc := b.Null[s.Null]
+				r.Null[s.Null] = nc != nil && nc[j]
+			})
+		}
+	}
+	for _, p := range sortedKeys(si.b.slots) {
+		add(si.b.slots[p])
+	}
+	oid := si.b.oidSlot
+	writers = append(writers, func(b *vbuf.Batch, r *vbuf.Regs, j int32) {
+		r.I[oid.Idx] = b.I[oid.Idx][j]
+		r.Null[oid.Null] = false
+	})
+	return func(b *vbuf.Batch, r *vbuf.Regs) error {
+		for _, j := range b.Sel {
+			for _, w := range writers {
+				w(b, r, j)
+			}
+			if err := consume(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}

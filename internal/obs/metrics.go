@@ -41,6 +41,10 @@ type Metrics struct {
 	ScanBytesRead    atomic.Int64
 	ScanFieldsParsed atomic.Int64
 	ScanIndexHits    atomic.Int64
+
+	// Compiled-plan cache outcomes (engine-level, one per query).
+	PlanCacheHits   atomic.Int64
+	PlanCacheMisses atomic.Int64
 }
 
 // AddPhase accumulates one phase duration by name.
@@ -98,6 +102,9 @@ type Snapshot struct {
 	ScanFieldsParsed int64 `json:"scan_fields_parsed"`
 	ScanIndexHits    int64 `json:"scan_index_hits"`
 
+	PlanCacheHits   int64 `json:"plan_cache_hits"`
+	PlanCacheMisses int64 `json:"plan_cache_misses"`
+
 	Cache CacheCounters `json:"cache"`
 
 	Datasets         int `json:"datasets"`
@@ -128,6 +135,8 @@ func (m *Metrics) Snapshot(cache CacheCounters) Snapshot {
 		ScanBytesRead:      m.ScanBytesRead.Load(),
 		ScanFieldsParsed:   m.ScanFieldsParsed.Load(),
 		ScanIndexHits:      m.ScanIndexHits.Load(),
+		PlanCacheHits:      m.PlanCacheHits.Load(),
+		PlanCacheMisses:    m.PlanCacheMisses.Load(),
 		Cache:              cache,
 	}
 }
@@ -183,6 +192,9 @@ func (s Snapshot) Prometheus() string {
 	counter("proteus_scan_bytes_read_total", "Bytes read by scan plug-ins.", fmt.Sprint(s.ScanBytesRead))
 	counter("proteus_scan_fields_parsed_total", "Fields parsed by scan plug-ins.", fmt.Sprint(s.ScanFieldsParsed))
 	counter("proteus_scan_index_hits_total", "Structural-index lookups served.", fmt.Sprint(s.ScanIndexHits))
+
+	counter("proteus_plan_cache_hits_total", "Queries served from the compiled-plan cache.", fmt.Sprint(s.PlanCacheHits))
+	counter("proteus_plan_cache_misses_total", "Queries compiled fresh (plan-cache misses).", fmt.Sprint(s.PlanCacheMisses))
 
 	gauge("proteus_cache_blocks", "Materialized cache blocks.", int64(s.Cache.Blocks))
 	gauge("proteus_cache_join_sides", "Materialized hash-join build sides.", int64(s.Cache.JoinSides))

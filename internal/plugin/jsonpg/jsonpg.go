@@ -140,6 +140,24 @@ func (st *state) compileLookup() lookupFn {
 	}
 }
 
+// CompileBatchScan implements plugin.BatchScanner. JSON extraction is
+// inherently record-at-a-time (each object is navigated individually), so
+// the batch driver transposes the tuple scan's registers into columns via
+// the generic adapter; the downstream kernels still run vectorized.
+// Whole-object boxing cannot be columnized.
+func (p *Plugin) CompileBatchScan(ds *plugin.Dataset, spec plugin.ScanSpec) (plugin.BatchRunFunc, error) {
+	for _, req := range spec.Fields {
+		if req.Slot.Class == vbuf.ClassValue {
+			return nil, plugin.ErrUnsupported
+		}
+	}
+	run, err := p.CompileScan(ds, spec)
+	if err != nil {
+		return nil, err
+	}
+	return plugin.BatchFromTuples(run, spec), nil
+}
+
 // CompileScan implements plugin.Input: per requested field the generated
 // code resolves the Level-1 entry via the specialized lookup and converts
 // the raw bytes with a parser chosen at compile time from the field's type.

@@ -224,6 +224,104 @@ func (p *ScanProf) WrapRun(run RunFunc, bytes, fields, indexHits int64) RunFunc 
 // requested slots for each record, and calls consume once per record.
 type RunFunc func(regs *vbuf.Regs, consume func() error) error
 
+// BatchRunFunc drives a vectorized scan: it fills the requested slots'
+// *columns* of b for up to vbuf.BatchSize records at a time, resets the
+// selection vector, and calls consume once per batch. regs is passed along
+// for producers that internally reuse tuple extraction (BatchFromTuples);
+// columnar producers ignore it. Drivers poll the cancellation token once
+// per batch — the same granularity as the tuple path's CancelStride.
+type BatchRunFunc func(regs *vbuf.Regs, b *vbuf.Batch, consume func() error) error
+
+// BatchScanner is the optional vectorized-scan capability of an input
+// plug-in: CompileBatchScan returns a driver that produces column batches
+// instead of tuples. Plug-ins may return ErrUnsupported for field lists
+// they cannot vectorize (nested paths, whole-record boxing); the executor
+// then falls back to BatchFromTuples over the tuple scan, or to the tuple
+// path entirely.
+type BatchScanner interface {
+	CompileBatchScan(ds *Dataset, spec ScanSpec) (BatchRunFunc, error)
+}
+
+// BatchFromTuples lifts a tuple scan driver into a batch driver: it runs
+// the tuple scan and transposes each record's scalar slots (and OID) into
+// batch columns, flushing a batch every vbuf.BatchSize records and at EOF.
+// This is the generic producer for formats whose extraction is inherently
+// record-at-a-time (JSON); the downstream kernels still win by running
+// vectorized. Every spec.Fields slot must be scalar (no ClassValue).
+func BatchFromTuples(run RunFunc, spec ScanSpec) BatchRunFunc {
+	fields := append([]FieldReq(nil), spec.Fields...)
+	oid := spec.OIDSlot
+	return func(regs *vbuf.Regs, b *vbuf.Batch, consume func() error) error {
+		// Materialize every column (and null column) once up front so the
+		// per-record copy loop below touches pre-sized arrays only.
+		type colCopy func(j int)
+		copies := make([]colCopy, 0, len(fields)+1)
+		for _, f := range fields {
+			slot := f.Slot
+			nulls := b.Nulls(slot.Null)
+			switch slot.Class {
+			case vbuf.ClassInt:
+				col := b.Ints(slot.Idx)
+				copies = append(copies, func(j int) {
+					col[j] = regs.I[slot.Idx]
+					nulls[j] = regs.Null[slot.Null]
+				})
+			case vbuf.ClassFloat:
+				col := b.Floats(slot.Idx)
+				copies = append(copies, func(j int) {
+					col[j] = regs.F[slot.Idx]
+					nulls[j] = regs.Null[slot.Null]
+				})
+			case vbuf.ClassBool:
+				col := b.Bools(slot.Idx)
+				copies = append(copies, func(j int) {
+					col[j] = regs.B[slot.Idx]
+					nulls[j] = regs.Null[slot.Null]
+				})
+			case vbuf.ClassString:
+				col := b.Strs(slot.Idx)
+				copies = append(copies, func(j int) {
+					col[j] = regs.S[slot.Idx]
+					nulls[j] = regs.Null[slot.Null]
+				})
+			default:
+				copies = append(copies, func(j int) { nulls[j] = true })
+			}
+		}
+		if oid != nil {
+			col := b.Ints(oid.Idx)
+			b.Null[oid.Null] = nil
+			copies = append(copies, func(j int) { col[j] = regs.I[oid.Idx] })
+		}
+		n := 0
+		flush := func() error {
+			if n == 0 {
+				return nil
+			}
+			b.ResetSel(n)
+			if oid != nil {
+				b.Base = b.I[oid.Idx][0]
+			}
+			n = 0
+			return consume()
+		}
+		err := run(regs, func() error {
+			for _, cp := range copies {
+				cp(n)
+			}
+			n++
+			if n == vbuf.BatchSize {
+				return flush()
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		return flush()
+	}
+}
+
 // UnnestSpec describes iteration over a nested collection field of the
 // *current* record (identified by the OID previously placed in OIDSlot).
 type UnnestSpec struct {

@@ -85,3 +85,77 @@ func TestRegsSizedToAlloc(t *testing.T) {
 		t.Errorf("regs sizes: I=%d S=%d F=%d Null=%d", len(r.I), len(r.S), len(r.F), len(r.Null))
 	}
 }
+
+func TestBatchLazyColumns(t *testing.T) {
+	var a Alloc
+	i0, f0, s0 := a.Int(), a.Float(), a.String()
+	b := NewBatch(&a)
+	if b.I[i0.Idx] != nil || b.F[f0.Idx] != nil || b.S[s0.Idx] != nil {
+		t.Fatal("columns allocated eagerly")
+	}
+	ints := b.Ints(i0.Idx)
+	if len(ints) != BatchSize {
+		t.Fatalf("int column len = %d, want %d", len(ints), BatchSize)
+	}
+	// Second call returns the same backing array.
+	ints[3] = 42
+	if again := b.Ints(i0.Idx); again[3] != 42 {
+		t.Error("Ints reallocated on second call")
+	}
+	if b.F[f0.Idx] != nil {
+		t.Error("untouched float column was allocated")
+	}
+	if nulls := b.Nulls(i0.Null); len(nulls) != BatchSize {
+		t.Errorf("null column len = %d", len(nulls))
+	}
+}
+
+func TestBatchSelectionDiscipline(t *testing.T) {
+	var a Alloc
+	s := a.Int()
+	b := NewBatch(&a)
+	col := b.Ints(s.Idx)
+	for i := 0; i < 10; i++ {
+		col[i] = int64(i)
+	}
+	b.ResetSel(10)
+	if b.N != 10 || len(b.Sel) != 10 || b.Sel[0] != 0 || b.Sel[9] != 9 {
+		t.Fatalf("identity selection wrong: N=%d Sel=%v", b.N, b.Sel)
+	}
+
+	// First filter (keep evens) writes survivors into the scratch buffer,
+	// leaving the shared identity array untouched.
+	out := b.SelScratch()
+	n := 0
+	for _, j := range b.Sel {
+		if col[j]%2 == 0 {
+			out[n] = j
+			n++
+		}
+	}
+	b.Sel = out[:n]
+	if want := []int32{0, 2, 4, 6, 8}; len(b.Sel) != len(want) {
+		t.Fatalf("Sel = %v, want %v", b.Sel, want)
+	}
+
+	// Second filter compacts Sel in place (write index never passes read).
+	m := 0
+	for _, j := range b.Sel {
+		if col[j] >= 4 {
+			b.Sel[m] = j
+			m++
+		}
+	}
+	b.Sel = b.Sel[:m]
+	if len(b.Sel) != 3 || b.Sel[0] != 4 || b.Sel[2] != 8 {
+		t.Fatalf("in-place compaction: Sel = %v", b.Sel)
+	}
+
+	// ResetSel restores the pristine identity prefix for the next batch.
+	b.ResetSel(6)
+	for i, j := range b.Sel {
+		if int32(i) != j {
+			t.Fatalf("identity corrupted at %d: %v", i, b.Sel)
+		}
+	}
+}

@@ -85,7 +85,30 @@ type Config struct {
 	// MaxConcurrentQueries gates admission: queries beyond the limit wait
 	// for a slot or for their context to be cancelled (0 = unlimited).
 	MaxConcurrentQueries int
+	// Vectorized selects the execution mode for eligible pipeline segments
+	// (scan→filter chains over scalar columns feeding aggregates or
+	// projections). VectorizedAuto (the default) uses batch kernels when
+	// the input is large enough to amortize their setup; VectorizedOn and
+	// VectorizedOff force one mode everywhere. Results are identical in
+	// every mode — this knob trades compilation simplicity for throughput.
+	Vectorized VecMode
+	// PlanCacheSize bounds the compiled-plan cache in entries (0 = default
+	// 64; negative disables plan caching). Repeated query texts skip the
+	// parse→optimize→compile tail; entries are invalidated automatically
+	// when the catalog or the adaptive cache contents change.
+	PlanCacheSize int
 }
+
+// VecMode selects tuple-at-a-time vs. vectorized execution (see
+// Config.Vectorized).
+type VecMode = exec.VecMode
+
+// Vectorized execution modes.
+const (
+	VectorizedAuto = exec.VecAuto
+	VectorizedOn   = exec.VecOn
+	VectorizedOff  = exec.VecOff
+)
 
 // DB is a Proteus engine instance: a catalog of registered datasets plus
 // the managers (memory, caching, statistics) queries compile against.
@@ -141,6 +164,9 @@ func Open(cfg Config) *DB {
 		QueryTimeout:         cfg.QueryTimeout,
 		QueryMemBudget:       cfg.QueryMemBudget,
 		MaxConcurrentQueries: cfg.MaxConcurrentQueries,
+
+		Vectorized:    cfg.Vectorized,
+		PlanCacheSize: cfg.PlanCacheSize,
 	})}
 }
 

@@ -1,0 +1,55 @@
+// Command qcheck runs the differential + metamorphic query fuzzing harness
+// (internal/qcheck) standalone: random universes and queries from a seed,
+// executed across the full engine-config matrix and cross-checked against
+// the Volcano oracle. It exits 1 when any divergence is found, so it can
+// gate CI.
+//
+//	qcheck                                # default budget, seed 1
+//	qcheck -seed 42 -universes 20 -queries 100
+//	qcheck -useed 1234567 -case 17        # replay one reported case
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"proteus/internal/qcheck"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "master seed; each universe derives its own seed from it")
+	universes := flag.Int("universes", 0, "universes to generate (0 = harness default)")
+	queries := flag.Int("queries", 0, "query cases per universe (0 = harness default)")
+	useed := flag.Int64("useed", 0, "replay a single universe by its derived seed (as printed in a divergence)")
+	caseIdx := flag.Int("case", -1, "with -useed: replay only this case index (-1 = all)")
+	maxDiv := flag.Int("maxdiv", 0, "max divergences to report (0 = harness default)")
+	noShrink := flag.Bool("noshrink", false, "skip divergence minimization")
+	verbose := flag.Bool("v", false, "log divergences as they are found")
+	flag.Parse()
+
+	opts := qcheck.Options{
+		Seed:           *seed,
+		Universes:      *universes,
+		Queries:        *queries,
+		UniverseSeed:   *useed,
+		Case:           *caseIdx,
+		MaxDivergences: *maxDiv,
+		NoShrink:       *noShrink,
+	}
+	if *verbose {
+		opts.Log = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	rep, err := qcheck.Run(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qcheck: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Println(qcheck.FormatReport(rep))
+	if len(rep.Divergences) > 0 {
+		os.Exit(1)
+	}
+}

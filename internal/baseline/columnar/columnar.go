@@ -272,6 +272,8 @@ func neededPaths(plan algebra.Node) map[string]map[string]bool {
 			addExpr(x.E)
 		case *expr.Neg:
 			addExpr(x.E)
+		case *expr.IsNull:
+			addExpr(x.E)
 		case *expr.Like:
 			addExpr(x.E)
 		case *expr.RecordCtor:

@@ -67,6 +67,8 @@ func ResolveColumns(c *Comprehension, cat Catalog) error {
 			return &expr.Not{E: rewrite(x.E)}
 		case *expr.Neg:
 			return &expr.Neg{E: rewrite(x.E)}
+		case *expr.IsNull:
+			return &expr.IsNull{E: rewrite(x.E)}
 		case *expr.Like:
 			return &expr.Like{E: rewrite(x.E), Needle: x.Needle}
 		case *expr.RecordCtor:

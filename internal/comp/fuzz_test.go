@@ -1,0 +1,29 @@
+package comp
+
+import "testing"
+
+// FuzzParse asserts the comprehension parser is total: any input yields a
+// comprehension or an error, never a panic. Inputs are capped so the
+// recursive-descent depth stays bounded.
+func FuzzParse(f *testing.F) {
+	for _, s := range []string{
+		"",
+		"for { a <- t } yield bag (a.x)",
+		"for { a <- t, u <- a.items, (a.k = 1) } yield bag (a.x, u.p)",
+		"for { a <- t, (a.v < 3.5) } yield sum a.v",
+		"for { a <- t } yield count",
+		"for { a <- t", "for { } yield", "yield bag", "for { a <- } yield count",
+		"for { a <- t } yield bag (((", "\x00\xff for",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<12 {
+			return
+		}
+		c, err := Parse(src)
+		if err == nil && c == nil {
+			t.Fatalf("Parse(%q): nil comprehension without error", src)
+		}
+	})
+}

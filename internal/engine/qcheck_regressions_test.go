@@ -1,0 +1,194 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"proteus/internal/exec"
+	"proteus/internal/plugin"
+	"proteus/internal/types"
+)
+
+// Regressions pinned from qcheck harness findings. Each test encodes a
+// divergence the differential fuzzer surfaced (or a semantics hole it
+// forced closed) as a minimal deterministic case.
+
+// newNullKeyEngine loads a JSON table whose single int group key is NULL on
+// some rows — the shape that used to take the single-int-key aggregation
+// fast paths straight past the NULL rows, silently dropping their group.
+func newNullKeyEngine(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	e := New(cfg)
+	data := `{"k": 1, "v": 10}
+{"k": null, "v": 5}
+{"k": 1, "v": 2}
+{"k": null, "v": 3}
+{"k": 2, "v": 7}
+`
+	e.Mem().PutFile("mem://nk.json", []byte(data))
+	schema := types.NewRecordType(
+		types.Field{Name: "k", Type: types.Int},
+		types.Field{Name: "v", Type: types.Int},
+	)
+	if err := e.Register("nk", "mem://nk.json", "json", schema, plugin.Options{}); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	return e
+}
+
+func checkNullKeyGroups(t *testing.T, e *Engine) {
+	t.Helper()
+	res, err := e.QuerySQL("SELECT nk.k AS g, SUM(nk.v) AS s FROM nk AS nk GROUP BY nk.k")
+	if err != nil {
+		t.Fatalf("group-by: %v", err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d groups, want 3 (NULL, 1, 2): %v", len(res.Rows), res.Rows)
+	}
+	// The NULL-keyed group is emitted first, then int keys ascending.
+	wantSums := map[string]int64{"null": 8, "1": 12, "2": 7}
+	for i, row := range res.Rows {
+		g, _ := row.Field("g")
+		s, _ := row.Field("s")
+		key := "null"
+		if !g.IsNull() {
+			key = fmt.Sprintf("%d", g.AsInt())
+		}
+		if i == 0 && key != "null" {
+			t.Errorf("row 0 key = %s, want the NULL group first", key)
+		}
+		want, ok := wantSums[key]
+		if !ok {
+			t.Errorf("unexpected group key %s", key)
+			continue
+		}
+		if s.AsInt() != want {
+			t.Errorf("group %s sum = %d, want %d", key, s.AsInt(), want)
+		}
+		delete(wantSums, key)
+	}
+	for k := range wantSums {
+		t.Errorf("group %s missing from result", k)
+	}
+}
+
+func TestGroupByNullKeyTuplePath(t *testing.T) {
+	checkNullKeyGroups(t, newNullKeyEngine(t, Config{Parallelism: 1, Vectorized: exec.VecOff}))
+}
+
+func TestGroupByNullKeyVectorizedPath(t *testing.T) {
+	checkNullKeyGroups(t, newNullKeyEngine(t, Config{Parallelism: 1, Vectorized: exec.VecOn}))
+}
+
+func TestGroupByNullKeyParallel(t *testing.T) {
+	checkNullKeyGroups(t, newNullKeyEngine(t, Config{Parallelism: 4, Vectorized: exec.VecAuto}))
+}
+
+// TestUnnestEmptyJSONDataset: unnesting a schema-declared collection of an
+// empty JSON dataset used to fail with "has no field to unnest" (the
+// structural index only learns fields from data); it must return zero rows.
+func TestUnnestEmptyJSONDataset(t *testing.T) {
+	e := New(Config{})
+	e.Mem().PutFile("mem://empty.json", []byte("[]"))
+	elem := types.NewRecordType(
+		types.Field{Name: "p", Type: types.Int},
+	)
+	schema := types.NewRecordType(
+		types.Field{Name: "k", Type: types.Int},
+		types.Field{Name: "items", Type: types.NewListType(elem)},
+	)
+	if err := e.Register("empty", "mem://empty.json", "json", schema, plugin.Options{}); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	res, err := e.QueryComp("for { a <- empty, u <- a.items } yield bag (a.k, u.p)")
+	if err != nil {
+		t.Fatalf("unnest over empty dataset: %v", err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatalf("got %d rows, want 0", len(res.Rows))
+	}
+}
+
+// TestIsNullPredicate covers the IS [NOT] NULL predicate end-to-end on the
+// tuple and vectorized paths, including its defining property: it never
+// yields NULL itself, even over a NULL operand.
+func TestIsNullPredicate(t *testing.T) {
+	for _, vec := range []exec.VecMode{exec.VecOff, exec.VecOn} {
+		e := newNullKeyEngine(t, Config{Parallelism: 1, Vectorized: vec})
+		res, err := e.QuerySQL("SELECT COUNT(*) AS n FROM nk AS nk WHERE nk.k IS NULL")
+		if err != nil {
+			t.Fatalf("vec=%v IS NULL: %v", vec, err)
+		}
+		if got := res.Scalar().AsInt(); got != 2 {
+			t.Errorf("vec=%v: %d rows with k IS NULL, want 2", vec, got)
+		}
+		res, err = e.QuerySQL("SELECT COUNT(*) AS n FROM nk AS nk WHERE nk.k IS NOT NULL")
+		if err != nil {
+			t.Fatalf("vec=%v IS NOT NULL: %v", vec, err)
+		}
+		if got := res.Scalar().AsInt(); got != 3 {
+			t.Errorf("vec=%v: %d rows with k IS NOT NULL, want 3", vec, got)
+		}
+		// (k = 1) IS NULL is true exactly on the NULL-k rows: the comparison
+		// yields NULL there, and IS NULL maps that to valid true.
+		res, err = e.QuerySQL("SELECT COUNT(*) AS n FROM nk AS nk WHERE (nk.k = 1) IS NULL")
+		if err != nil {
+			t.Fatalf("vec=%v (k=1) IS NULL: %v", vec, err)
+		}
+		if got := res.Scalar().AsInt(); got != 2 {
+			t.Errorf("vec=%v: %d rows with (k=1) IS NULL, want 2", vec, got)
+		}
+	}
+}
+
+// TestPlanCacheEpochUnderConcurrentChurn races queries against catalog
+// mutations (Register/Drop bump the plan-cache epoch) and verifies every
+// successful query still computes the right answer — a stale cached program
+// surviving an epoch bump would read the wrong catalog state. Run with
+// -race in CI (the qcheck-smoke job does).
+func TestPlanCacheEpochUnderConcurrentChurn(t *testing.T) {
+	e := newTestEngine(t, Config{PlanCacheSize: 8, CacheEnabled: true})
+	const workers = 4
+	const iters = 60
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*iters)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				res, err := e.QuerySQL("SELECT SUM(val) FROM nums WHERE id < 4")
+				if err != nil {
+					errs <- fmt.Errorf("worker %d iter %d: %v", w, i, err)
+					return
+				}
+				if got := res.Scalar().AsInt(); got != 60 {
+					errs <- fmt.Errorf("worker %d iter %d: sum = %d, want 60", w, i, got)
+					return
+				}
+			}
+		}(w)
+	}
+	// Mutator: churn an unrelated dataset, bumping the epoch continuously.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sch := types.NewRecordType(types.Field{Name: "x", Type: types.Int})
+		for i := 0; i < iters; i++ {
+			// Drop releases the backing file, so re-put it every round.
+			e.Mem().PutFile("mem://churn.csv", []byte("1\n2\n"))
+			if err := e.Register("churn", "mem://churn.csv", "csv", sch, plugin.Options{}); err != nil {
+				errs <- fmt.Errorf("register churn: %v", err)
+				return
+			}
+			e.Drop("churn")
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -406,10 +406,12 @@ type nestPartial struct {
 	outNames  []string
 	freshAccs func() []*accumulator
 
-	// Fast path: single integer key.
+	// Fast path: single integer key. NULL keys form their own group
+	// (intNull), matching the general path and the Volcano baseline.
 	singleInt bool
 	intGroups map[int64][]*accumulator
 	intOrder  []int64
+	intNull   []*accumulator
 
 	// General path: composite/boxed keys hashed by canonical value hash.
 	groups map[uint64][]*group
@@ -424,6 +426,7 @@ func (p *nestPartial) reset() {
 	if p.singleInt {
 		p.intGroups = map[int64][]*accumulator{}
 		p.intOrder = nil
+		p.intNull = nil
 		return
 	}
 	p.groups = map[uint64][]*group{}
@@ -445,6 +448,15 @@ func (p *nestPartial) merge(o partialState) error {
 			}
 			for i, acc := range accs {
 				acc.absorb(other.intGroups[k][i].partial())
+			}
+		}
+		if other.intNull != nil {
+			if p.intNull == nil {
+				p.intNull = other.intNull
+			} else {
+				for i, acc := range p.intNull {
+					acc.absorb(other.intNull[i].partial())
+				}
 			}
 		}
 		return nil
@@ -481,14 +493,26 @@ func sameKeys(a, b []types.Value) bool {
 func (p *nestPartial) result() (*Result, error) {
 	if p.rowsCell != nil {
 		if p.singleInt {
-			*p.rowsCell = int64(len(p.intOrder))
+			n := int64(len(p.intOrder))
+			if p.intNull != nil {
+				n++
+			}
+			*p.rowsCell = n
 		} else {
 			*p.rowsCell = int64(len(p.order))
 		}
 	}
 	if p.singleInt {
 		sort.Slice(p.intOrder, func(i, j int) bool { return p.intOrder[i] < p.intOrder[j] })
-		rows := make([]types.Value, 0, len(p.intOrder))
+		rows := make([]types.Value, 0, len(p.intOrder)+1)
+		if p.intNull != nil {
+			vals := make([]types.Value, 0, len(p.outNames))
+			vals = append(vals, types.NullValue())
+			for _, acc := range p.intNull {
+				vals = append(vals, acc.result())
+			}
+			rows = append(rows, types.RecordValue(p.outNames, vals))
+		}
 		for _, k := range p.intOrder {
 			vals := make([]types.Value, 0, len(p.outNames))
 			vals = append(vals, types.IntValue(k))
@@ -574,6 +598,22 @@ func (c *Compiler) compileNestPartial(n *algebra.Nest) (func(r *vbuf.Regs) error
 				}
 				k, ok := keyEval(r)
 				if !ok {
+					// NULL key: its own group, like the general path.
+					if st.intNull == nil {
+						st.intNull = st.freshAccs()
+						if gauge != nil {
+							if pending += groupBytes; pending >= memQuantum {
+								err := gauge.charge(pending)
+								pending = 0
+								if err != nil {
+									return err
+								}
+							}
+						}
+					}
+					for _, acc := range st.intNull {
+						acc.fold(r)
+					}
 					return nil
 				}
 				accs, exists := st.intGroups[k]

@@ -157,6 +157,8 @@ func (c *Compiler) analyze(plan algebra.Node) {
 			addExpr(x.E)
 		case *expr.Neg:
 			addExpr(x.E)
+		case *expr.IsNull:
+			addExpr(x.E)
 		case *expr.Like:
 			addExpr(x.E)
 		case *expr.RecordCtor:

@@ -327,6 +327,15 @@ func (c *Compiler) compileBool(e expr.Expr) (evalBool, error) {
 			v, ok := sub(r)
 			return !v, ok
 		}, nil
+	case *expr.IsNull:
+		sub, err := c.compileVal(x.E)
+		if err != nil {
+			return nil, err
+		}
+		return func(r *vbuf.Regs) (bool, bool) {
+			_, ok := sub(r)
+			return !ok, true
+		}, nil
 	case *expr.Like:
 		sub, err := c.compileStr(x.E)
 		if err != nil {

@@ -472,7 +472,10 @@ type vecNestPartial struct {
 	makers   []*vecNestAgg
 	groups   map[int64][]vecGroupState
 	order    []int64
-	rowsCell *int64
+	// nullGroup holds the NULL-key group's states (nil = no NULL keys
+	// seen), matching the tuple paths and the Volcano baseline.
+	nullGroup []vecGroupState
+	rowsCell  *int64
 }
 
 func (p *vecNestPartial) freshStates() []vecGroupState {
@@ -486,6 +489,7 @@ func (p *vecNestPartial) freshStates() []vecGroupState {
 func (p *vecNestPartial) reset() {
 	p.groups = map[int64][]vecGroupState{}
 	p.order = nil
+	p.nullGroup = nil
 }
 
 func (p *vecNestPartial) merge(o partialState) error {
@@ -504,15 +508,36 @@ func (p *vecNestPartial) merge(o partialState) error {
 			st.absorb(other.groups[k][i].partial())
 		}
 	}
+	if other.nullGroup != nil {
+		if p.nullGroup == nil {
+			p.nullGroup = other.nullGroup
+		} else {
+			for i, st := range p.nullGroup {
+				st.absorb(other.nullGroup[i].partial())
+			}
+		}
+	}
 	return nil
 }
 
 func (p *vecNestPartial) result() (*Result, error) {
 	if p.rowsCell != nil {
-		*p.rowsCell = int64(len(p.order))
+		n := int64(len(p.order))
+		if p.nullGroup != nil {
+			n++
+		}
+		*p.rowsCell = n
 	}
 	sort.Slice(p.order, func(i, j int) bool { return p.order[i] < p.order[j] })
-	rows := make([]types.Value, 0, len(p.order))
+	rows := make([]types.Value, 0, len(p.order)+1)
+	if p.nullGroup != nil {
+		vals := make([]types.Value, 0, len(p.outNames))
+		vals = append(vals, types.NullValue())
+		for _, st := range p.nullGroup {
+			vals = append(vals, st.result())
+		}
+		rows = append(rows, types.RecordValue(p.outNames, vals))
+	}
 	for _, k := range p.order {
 		vals := make([]types.Value, 0, len(p.outNames))
 		vals = append(vals, types.IntValue(k))
@@ -597,7 +622,23 @@ func (c *Compiler) tryVecNest(n *algebra.Nest) (func(r *vbuf.Regs) error, *vecNe
 		}
 		for _, j := range b.Sel {
 			if kn != nil && kn[j] {
-				continue // NULL keys drop, like the tuple fast path
+				// NULL key: its own group, like the tuple paths.
+				if st.nullGroup == nil {
+					st.nullGroup = st.freshStates()
+					if gauge != nil {
+						if pending += groupBytes; pending >= memQuantum {
+							err := gauge.charge(pending)
+							pending = 0
+							if err != nil {
+								return err
+							}
+						}
+					}
+				}
+				for _, s := range st.nullGroup {
+					s.foldIdx(j)
+				}
+				continue
 			}
 			k := kv[j]
 			states, exists := st.groups[k]

@@ -118,6 +118,9 @@ func (c *Compiler) canVecExpr(e expr.Expr, schema *types.RecordType, bind string
 	case *expr.Like:
 		k, ok := c.canVecExpr(x.E, schema, bind)
 		return types.KindBool, ok && k == types.KindString
+	case *expr.IsNull:
+		_, ok := c.canVecExpr(x.E, schema, bind)
+		return types.KindBool, ok
 	case *expr.BinOp:
 		lk, lok := c.canVecExpr(x.L, schema, bind)
 		rk, rok := c.canVecExpr(x.R, schema, bind)

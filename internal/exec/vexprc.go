@@ -321,6 +321,23 @@ func (c *Compiler) compileVecBool(e expr.Expr) (vecBool, error) {
 			}
 			return out, nn
 		}, nil
+	case *expr.IsNull:
+		nulls, err := c.compileVecNulls(x.E)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]bool, vbuf.BatchSize)
+		return func(b *vbuf.Batch) ([]bool, []bool) {
+			nn := nulls(b)
+			if nn == nil {
+				for i := range b.N {
+					out[i] = false
+				}
+				return out, nil
+			}
+			copy(out[:b.N], nn[:b.N])
+			return out, nil
+		}, nil
 	case *expr.BinOp:
 		switch {
 		case x.Op.IsLogic():
@@ -383,6 +400,43 @@ func (c *Compiler) compileVecBool(e expr.Expr) (vecBool, error) {
 		return nil, fmt.Errorf("exec: operator %s does not yield a bool", x.Op)
 	}
 	return nil, fmt.Errorf("exec: cannot vectorize %T as bool", e)
+}
+
+// compileVecNulls compiles a scalar expression down to just its null
+// column (IS NULL only needs validity, not values). The value column is
+// still computed — kernels are monolithic — but stays unread.
+func (c *Compiler) compileVecNulls(e expr.Expr) (func(b *vbuf.Batch) []bool, error) {
+	t, err := c.typeOf(e)
+	if err != nil {
+		return nil, err
+	}
+	switch t.Kind() {
+	case types.KindInt:
+		sub, err := c.compileVecInt(e)
+		if err != nil {
+			return nil, err
+		}
+		return func(b *vbuf.Batch) []bool { _, nn := sub(b); return nn }, nil
+	case types.KindFloat:
+		sub, err := c.compileVecFloat(e)
+		if err != nil {
+			return nil, err
+		}
+		return func(b *vbuf.Batch) []bool { _, nn := sub(b); return nn }, nil
+	case types.KindBool:
+		sub, err := c.compileVecBool(e)
+		if err != nil {
+			return nil, err
+		}
+		return func(b *vbuf.Batch) []bool { _, nn := sub(b); return nn }, nil
+	case types.KindString:
+		sub, err := c.compileVecStr(e)
+		if err != nil {
+			return nil, err
+		}
+		return func(b *vbuf.Batch) []bool { _, nn := sub(b); return nn }, nil
+	}
+	return nil, fmt.Errorf("exec: cannot vectorize IS NULL over %s", t)
 }
 
 // compileVecComparison specializes a comparison on the operands' static

@@ -42,9 +42,14 @@ func Eval(e Expr, env ValueEnv) (types.Value, error) {
 	case *BinOp:
 		return evalBinOp(x, env)
 	case *Not:
+		// NOT(NULL) stays NULL, mirroring the compiled closures which pass
+		// the validity bit through unchanged.
 		v, err := Eval(x.E, env)
 		if err != nil {
 			return types.Value{}, err
+		}
+		if v.IsNull() {
+			return types.NullValue(), nil
 		}
 		return types.BoolValue(!v.Bool()), nil
 	case *Neg:
@@ -52,14 +57,26 @@ func Eval(e Expr, env ValueEnv) (types.Value, error) {
 		if err != nil {
 			return types.Value{}, err
 		}
+		if v.IsNull() {
+			return types.NullValue(), nil
+		}
 		if v.Kind == types.KindInt {
 			return types.IntValue(-v.I), nil
 		}
 		return types.FloatValue(-v.AsFloat()), nil
+	case *IsNull:
+		v, err := Eval(x.E, env)
+		if err != nil {
+			return types.Value{}, err
+		}
+		return types.BoolValue(v.IsNull()), nil
 	case *Like:
 		v, err := Eval(x.E, env)
 		if err != nil {
 			return types.Value{}, err
+		}
+		if v.IsNull() {
+			return types.NullValue(), nil
 		}
 		return types.BoolValue(strings.Contains(v.S, x.Needle)), nil
 	case *RecordCtor:
@@ -77,23 +94,32 @@ func Eval(e Expr, env ValueEnv) (types.Value, error) {
 }
 
 func evalBinOp(x *BinOp, env ValueEnv) (types.Value, error) {
-	// Short-circuit boolean connectives.
+	// Boolean connectives mirror the compiled closures (exec/exprc.go)
+	// exactly: AND — a NULL left operand yields NULL, a false left operand
+	// yields false, otherwise the right operand's result is returned
+	// verbatim; OR — a valid true left operand yields true, otherwise the
+	// right operand's result is returned verbatim (so NULL OR false is
+	// false, matching the compiled engine's "predicate not satisfied"
+	// treatment of NULL rather than strict three-valued logic).
 	if x.Op.IsLogic() {
 		l, err := Eval(x.L, env)
 		if err != nil {
 			return types.Value{}, err
 		}
-		if x.Op == OpAnd && !l.Bool() {
-			return types.BoolValue(false), nil
+		if x.Op == OpAnd {
+			if l.IsNull() {
+				return types.NullValue(), nil
+			}
+			if !l.Bool() {
+				return types.BoolValue(false), nil
+			}
+			return Eval(x.R, env)
 		}
-		if x.Op == OpOr && l.Bool() {
+		// OpOr.
+		if !l.IsNull() && l.Bool() {
 			return types.BoolValue(true), nil
 		}
-		r, err := Eval(x.R, env)
-		if err != nil {
-			return types.Value{}, err
-		}
-		return types.BoolValue(r.Bool()), nil
+		return Eval(x.R, env)
 	}
 	l, err := Eval(x.L, env)
 	if err != nil {
@@ -104,6 +130,10 @@ func evalBinOp(x *BinOp, env ValueEnv) (types.Value, error) {
 		return types.Value{}, err
 	}
 	if x.Op.IsComparison() {
+		// Comparing anything with NULL is NULL, as in the compiled engine.
+		if l.IsNull() || r.IsNull() {
+			return types.NullValue(), nil
+		}
 		c := types.Compare(l, r)
 		switch x.Op {
 		case OpEq:
@@ -193,6 +223,8 @@ func Fold(e Expr) Expr {
 		return &Not{E: Fold(x.E)}
 	case *Neg:
 		return &Neg{E: Fold(x.E)}
+	case *IsNull:
+		return &IsNull{E: Fold(x.E)}
 	case *Like:
 		return &Like{E: Fold(x.E), Needle: x.Needle}
 	case *FieldAcc:

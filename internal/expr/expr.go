@@ -129,6 +129,14 @@ type Neg struct{ E Expr }
 // String implements Expr.
 func (n *Neg) String() string { return "-(" + n.E.String() + ")" }
 
+// IsNull tests whether an expression evaluates to NULL. Unlike every other
+// predicate it never yields NULL itself: the result is always a valid
+// boolean. SQL's IS NOT NULL parses as Not(IsNull).
+type IsNull struct{ E Expr }
+
+// String implements Expr.
+func (i *IsNull) String() string { return "(" + i.E.String() + " IS NULL)" }
+
 // Like tests substring containment on strings (a simplified LIKE '%s%').
 type Like struct {
 	E      Expr
@@ -226,6 +234,8 @@ func Walk(e Expr, fn func(Expr) bool) {
 	case *Not:
 		Walk(x.E, fn)
 	case *Neg:
+		Walk(x.E, fn)
+	case *IsNull:
 		Walk(x.E, fn)
 	case *Like:
 		Walk(x.E, fn)
@@ -380,6 +390,11 @@ func InferType(e Expr, env Env) (types.Type, error) {
 			return nil, fmt.Errorf("negation requires a numeric operand, got %s", t)
 		}
 		return t, nil
+	case *IsNull:
+		if _, err := InferType(x.E, env); err != nil {
+			return nil, err
+		}
+		return types.Bool, nil
 	case *Like:
 		t, err := InferType(x.E, env)
 		if err != nil {

@@ -102,9 +102,13 @@ func Float(b []byte) float64 {
 		}
 		intPart = intPart*10 + int64(c-'0')
 	}
+	if i-start > 18 { // 19+ digits overflow the int64 accumulator
+		return floatSlow(b)
+	}
 	f := float64(intPart)
 	if i < len(b) && b[i] == '.' {
 		i++
+		fracStart := i
 		var frac int64
 		scale := 1.0
 		for ; i < len(b); i++ {
@@ -114,6 +118,9 @@ func Float(b []byte) float64 {
 			}
 			frac = frac*10 + int64(c-'0')
 			scale *= 10
+		}
+		if i-fracStart > 18 {
+			return floatSlow(b)
 		}
 		f += float64(frac) / scale
 	}
@@ -129,4 +136,32 @@ func Float(b []byte) float64 {
 		return -f
 	}
 	return f
+}
+
+// floatSlow handles digit runs long enough to overflow the fast path's
+// int64 accumulators: it strconv-parses the consumed prefix (or the whole
+// slice when an exponent follows, mirroring the fast path), keeping the
+// saturated value on range errors.
+func floatSlow(b []byte) float64 {
+	i := 0
+	if i < len(b) && (b[i] == '-' || b[i] == '+') {
+		i++
+	}
+	digits := func() {
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			i++
+		}
+	}
+	digits()
+	if i < len(b) && b[i] == '.' {
+		i++
+		digits()
+	}
+	if i < len(b) && (b[i] == 'e' || b[i] == 'E') {
+		if v, err := strconv.ParseFloat(string(b), 64); err == nil {
+			return v
+		}
+	}
+	v, _ := strconv.ParseFloat(string(b[:i]), 64)
+	return v
 }

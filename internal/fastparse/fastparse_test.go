@@ -169,3 +169,23 @@ func pad2(v int64) string {
 	}
 	return s
 }
+
+// Digit runs past 18 digits overflow the fast path's int64 accumulators;
+// they must take the strconv fallback (found by FuzzFloat).
+func TestFloatLongDigitRuns(t *testing.T) {
+	cases := []string{
+		"0.99999999999999999999",
+		"12345678901234567890.5",
+		"-0.000000000000000000001",
+		"99999999999999999999999999999999999999",
+	}
+	for _, s := range cases {
+		want, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("strconv rejects %q: %v", s, err)
+		}
+		if got := Float([]byte(s)); got != want {
+			t.Errorf("Float(%q) = %g, want %g", s, got, want)
+		}
+	}
+}

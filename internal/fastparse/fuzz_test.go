@@ -1,0 +1,129 @@
+package fastparse
+
+import (
+	"math"
+	"strconv"
+	"testing"
+)
+
+// numPrefix returns the sign+digit-run prefix Int/IntErr consume.
+func numPrefix(b []byte) (prefix string, hasDigits bool) {
+	i := 0
+	if i < len(b) && (b[i] == '-' || b[i] == '+') {
+		i++
+	}
+	j := i
+	for j < len(b) && b[j] >= '0' && b[j] <= '9' {
+		j++
+	}
+	return string(b[:j]), j > i
+}
+
+// FuzzInt checks Int and IntErr against strconv.ParseInt on the consumed
+// prefix, including saturation at the int64 boundaries.
+func FuzzInt(f *testing.F) {
+	for _, s := range []string{
+		"", "0", "-0", "+7", "42", "-9223372036854775808", "9223372036854775807",
+		"-9223372036854775809", "9223372036854775808", "18446744073709551616",
+		"99999999999999999999999999999999999999", "12x34", "-", "+", "007",
+		"1e5", " 1", "\x0012",
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		v, err := IntErr(b)
+		fast := Int(b)
+		prefix, hasDigits := numPrefix(b)
+		if !hasDigits {
+			if v != 0 || err != nil || fast != 0 {
+				t.Fatalf("Int(%q): digit-free input gave v=%d err=%v fast=%d", b, v, err, fast)
+			}
+			return
+		}
+		want, werr := strconv.ParseInt(prefix, 10, 64)
+		if v != want {
+			t.Errorf("IntErr(%q) = %d, strconv(%q) = %d", b, v, prefix, want)
+		}
+		if (err != nil) != (werr != nil) {
+			t.Errorf("IntErr(%q) err = %v, strconv err = %v", b, err, werr)
+		}
+		if fast != want {
+			t.Errorf("Int(%q) = %d, strconv(%q) = %d", b, fast, prefix, want)
+		}
+	})
+}
+
+// floatShape reports whether the whole input is a plain decimal float
+// (sign, digits, optional fraction, optional exponent) — the shapes where
+// Float promises agreement with strconv. Hex floats, NaN/Inf spellings,
+// and trailing garbage are excluded: Float's contract there is only
+// "consume the numeric prefix, never panic".
+func floatShape(b []byte) bool {
+	i := 0
+	if i < len(b) && (b[i] == '-' || b[i] == '+') {
+		i++
+	}
+	digits := func() bool {
+		start := i
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			i++
+		}
+		return i > start
+	}
+	if !digits() {
+		return false
+	}
+	if i < len(b) && b[i] == '.' {
+		i++
+		digits()
+	}
+	if i < len(b) && (b[i] == 'e' || b[i] == 'E') {
+		i++
+		if i < len(b) && (b[i] == '-' || b[i] == '+') {
+			i++
+		}
+		if !digits() {
+			return false
+		}
+	}
+	return i == len(b)
+}
+
+// FuzzFloat checks Float against strconv.ParseFloat on plain decimal
+// inputs. The fast fixed-point path accumulates with at most a few ulps of
+// error, so the comparison uses a relative tolerance; exponent forms
+// delegate to strconv and must match exactly.
+func FuzzFloat(f *testing.F) {
+	for _, s := range []string{
+		"", "0", "-0", "3.25", "-511.75", "1e10", "-2.5E-3", "0.1",
+		"0.99999999999999999999", "12345678901234567890.5", "1.", ".5",
+		"1e400", "1e-400", "nan", "0x1p4", "9007199254740993",
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		got := Float(b) // must not panic on anything
+		if !floatShape(b) {
+			return
+		}
+		want, err := strconv.ParseFloat(string(b), 64)
+		if err != nil { // range overflow/underflow: saturation is fine
+			return
+		}
+		hasExp := false
+		for _, c := range b {
+			if c == 'e' || c == 'E' {
+				hasExp = true
+			}
+		}
+		if hasExp {
+			if got != want {
+				t.Errorf("Float(%q) = %g, strconv = %g", b, got, want)
+			}
+			return
+		}
+		if diff := math.Abs(got - want); diff > 1e-12*math.Max(1, math.Abs(want)) {
+			t.Errorf("Float(%q) = %g, strconv = %g (diff %g)", b, got, want, diff)
+		}
+	})
+}

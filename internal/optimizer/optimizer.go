@@ -312,6 +312,8 @@ func pushProjections(n algebra.Node) algebra.Node {
 			addExpr(x.E)
 		case *expr.Neg:
 			addExpr(x.E)
+		case *expr.IsNull:
+			addExpr(x.E)
 		case *expr.Like:
 			addExpr(x.E)
 		case *expr.RecordCtor:

@@ -303,19 +303,18 @@ func splitRecord(row []byte, delim byte) [][]byte {
 	pos := 0
 	for {
 		if pos < len(row) && row[pos] == '"' {
-			if end, err := scanQuoted(row, pos); err == nil {
+			if end, err := scanQuoted(row, pos); err == nil && (end >= len(row) || row[end] == delim) {
 				out = append(out, dequote(row[pos:end]))
 				if end >= len(row) {
 					return out
 				}
-				if row[end] == delim {
-					pos = end + 1
-					continue
-				}
-				// Data after a closing quote: Open rejects such rows, so this
-				// only serves schema probes of malformed input — take the rest
-				// of the row verbatim.
+				pos = end + 1
+				continue
 			}
+			// Unterminated quote or data after the closing quote: Open rejects
+			// such rows, so this only serves schema probes of malformed input —
+			// take the rest of the row verbatim (not in addition to the quoted
+			// prefix, which would duplicate bytes).
 		}
 		nd := bytes.IndexByte(row[pos:], delim)
 		if nd < 0 {

@@ -258,3 +258,13 @@ func TestParseIntFloatProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// A malformed row with data after a closing quote must decode to at most
+// the row's own bytes — the recovery path once emitted the dequoted prefix
+// AND the whole row verbatim (found by FuzzSplitRecordNoPanic).
+func TestSplitRecordMalformedTrailingData(t *testing.T) {
+	fields := splitRecord([]byte(`"0"0`), '>')
+	if len(fields) != 1 || string(fields[0]) != `"0"0` {
+		t.Fatalf("splitRecord(%q) = %q, want the whole row as one verbatim field", `"0"0`, fields)
+	}
+}

@@ -1,0 +1,92 @@
+package csvpg
+
+import (
+	"bytes"
+	"testing"
+)
+
+// encodeField quotes a raw field per RFC 4180 exactly like a writer would:
+// fields containing the delimiter, a quote, or a newline are wrapped in
+// quotes with inner quotes doubled.
+func encodeField(field []byte, delim byte) []byte {
+	// Byte-wise scan: ContainsAny would decode non-ASCII delimiters as runes.
+	needsQuote := false
+	for _, c := range field {
+		if c == delim || c == '"' || c == '\n' || c == '\r' {
+			needsQuote = true
+			break
+		}
+	}
+	if !needsQuote {
+		return field
+	}
+	out := []byte{'"'}
+	for _, c := range field {
+		if c == '"' {
+			out = append(out, '"')
+		}
+		out = append(out, c)
+	}
+	return append(out, '"')
+}
+
+// FuzzSplitRecordRoundTrip encodes two arbitrary raw fields as an RFC-4180
+// record and checks that splitRecord decodes exactly the original fields —
+// quoted delimiters, embedded newlines, doubled quotes, and all — and that
+// recordEnd does not stop inside the quoted region.
+func FuzzSplitRecordRoundTrip(f *testing.F) {
+	f.Add([]byte("plain"), []byte("with,comma"), byte(','))
+	f.Add([]byte(`say "hi"`), []byte("line\nbreak"), byte(','))
+	f.Add([]byte("crlf\r\ninside"), []byte(""), byte('|'))
+	f.Add([]byte(`""`), []byte(`"`), byte(';'))
+	f.Add([]byte("\x00nul"), []byte("ütf✓"), byte(','))
+	f.Fuzz(func(t *testing.T, a, b []byte, delim byte) {
+		switch delim {
+		case '"', '\n', '\r':
+			return // not a usable CSV delimiter
+		}
+		row := append(append(append([]byte(nil), encodeField(a, delim)...), delim), encodeField(b, delim)...)
+
+		fields := splitRecord(row, delim)
+		if len(fields) != 2 {
+			t.Fatalf("splitRecord(%q, %q) = %d fields, want 2", row, delim, len(fields))
+		}
+		if !bytes.Equal(fields[0], a) || !bytes.Equal(fields[1], b) {
+			t.Fatalf("splitRecord(%q, %q) = %q, want [%q %q]", row, delim, fields, a, b)
+		}
+
+		// A terminated record must end exactly at its terminator, newlines
+		// inside quoted fields notwithstanding.
+		data := append(append([]byte(nil), row...), '\n')
+		if end := recordEnd(data, 0); end != len(row) {
+			t.Fatalf("recordEnd(%q) = %d, want %d", data, end, len(row))
+		}
+	})
+}
+
+// FuzzSplitRecordNoPanic feeds raw (possibly malformed) bytes through the
+// record scanners: they must never panic or return out-of-bounds slices,
+// whatever the quoting damage.
+func FuzzSplitRecordNoPanic(f *testing.F) {
+	f.Add([]byte(`"unterminated`), byte(','))
+	f.Add([]byte(`a,"b"x,c`), byte(','))
+	f.Add([]byte("\"\"\""), byte('|'))
+	f.Add([]byte{}, byte(','))
+	f.Add([]byte(`"0"0`), byte('>')) // once double-emitted the quoted prefix
+	f.Fuzz(func(t *testing.T, row []byte, delim byte) {
+		if delim == '"' || delim == '\n' || delim == '\r' {
+			return
+		}
+		fields := splitRecord(row, delim)
+		total := 0
+		for _, fd := range fields {
+			total += len(fd)
+		}
+		if total > len(row) {
+			t.Fatalf("splitRecord(%q) decoded %d bytes from a %d-byte row", row, total, len(row))
+		}
+		if end := recordEnd(row, 0); end < 0 || end > len(row) {
+			t.Fatalf("recordEnd(%q) = %d out of range", row, end)
+		}
+	})
+}

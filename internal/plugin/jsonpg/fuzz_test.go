@@ -1,0 +1,60 @@
+package jsonpg
+
+import (
+	"encoding/json"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzUnescape treats the input as the escaped body of a JSON string and
+// checks unescape differentially against encoding/json wherever the body is
+// a valid JSON string with valid UTF-8 raw bytes. (encoding/json coerces
+// invalid raw UTF-8 to U+FFFD while unescape preserves file bytes, so
+// those inputs only assert panic-freedom.)
+func FuzzUnescape(f *testing.F) {
+	for _, s := range []string{
+		"", "plain", `tab\there`, `quote\"and\\slash\/`,
+		`Aé世界`, `𝄞`, // surrogate pair (𝄞)
+		`\ud800 lone high`, `\udc00 lone low`, `\u12`, `\uZZZZ`, `trailing\`,
+		`\b\f\n\r\t`, "direct ütf ✓ 🎉",
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		got := unescape(body) // must never panic
+		if !utf8.Valid(body) {
+			return
+		}
+		quoted := append(append([]byte{'"'}, body...), '"')
+		var want string
+		if err := json.Unmarshal(quoted, &want); err != nil {
+			return // not a valid JSON string body; lenient decode is fine
+		}
+		if got != want {
+			t.Errorf("unescape(%q) = %q, encoding/json = %q", body, got, want)
+		}
+	})
+}
+
+// FuzzParseValue throws raw bytes at the boxed JSON value parser: it must
+// return a value or an error, never panic or loop, and on success the
+// reported end position must stay within bounds.
+func FuzzParseValue(f *testing.F) {
+	for _, s := range []string{
+		"", "{", "[", `{"k": [1, 2.5, "s", null, true]}`, `[[[[`,
+		`{"a"`, `{"a":}`, `"unterminated`, "12e999", "-", "nul", "truex",
+		` { "nested" : { "deep" : [ { } ] } } `, "\xff\xfe",
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, end, err := parseValue(data, 0)
+		if err != nil {
+			return
+		}
+		if end < 0 || end > len(data) {
+			t.Fatalf("parseValue(%q) end = %d out of range", data, end)
+		}
+		_ = v
+	})
+}

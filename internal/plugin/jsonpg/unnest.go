@@ -22,6 +22,13 @@ func (p *Plugin) CompileUnnest(ds *plugin.Dataset, spec plugin.UnnestSpec) (plug
 	path := plugin.FieldPathString(spec.Path)
 	fidInt, known := st.fieldIDs[path]
 	if !known {
+		// The structural index only knows fields that appear in the data. A
+		// schema-declared collection that no object materialized (most
+		// commonly: an empty dataset) unnests to zero elements per row, the
+		// same as a per-row absent collection below — not an error.
+		if len(spec.Path) > 0 && st.schema.Index(spec.Path[0]) >= 0 {
+			return func(regs *vbuf.Regs, consume func() error) error { return nil }, nil
+		}
 		return nil, fmt.Errorf("jsonpg: dataset %q has no field %q to unnest", ds.Name, path)
 	}
 	fid := int32(fidInt)

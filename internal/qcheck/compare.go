@@ -1,0 +1,184 @@
+// Result normalization and comparison.
+//
+// Rows are compared through a kind-tagged canonical encoding (so int 1,
+// float 1.0, bool true, and string "1" never collide, and −0.0 folds into
+// 0.0). Two comparison tiers apply:
+//
+//   - engine vs. engine: exact ordered equality — every execution mode is
+//     required to produce byte-identical output in identical order;
+//   - oracle vs. engine: multiset equality, tightened to ORDER BY
+//     key-sequence equality when the query is ordered (ties may break
+//     differently between a stable sort over different underlying orders),
+//     and loosened under LIMIT-without-ORDER BY to "right count + sub-
+//     multiset of the unlimited oracle result" (any prefix is acceptable).
+package qcheck
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"proteus/internal/types"
+)
+
+func encodeValue(b *strings.Builder, v types.Value) {
+	switch v.Kind {
+	case types.KindNull:
+		b.WriteString("N")
+	case types.KindInt:
+		b.WriteString("I")
+		b.WriteString(strconv.FormatInt(v.I, 10))
+	case types.KindFloat:
+		f := v.F
+		if f == 0 {
+			f = 0 // fold −0.0
+		}
+		b.WriteString("F")
+		b.WriteString(strconv.FormatFloat(f, 'g', -1, 64))
+	case types.KindBool:
+		if v.Bool() {
+			b.WriteString("B1")
+		} else {
+			b.WriteString("B0")
+		}
+	case types.KindString:
+		b.WriteString("S")
+		b.WriteString(strconv.Itoa(len(v.S)))
+		b.WriteString(":")
+		b.WriteString(v.S)
+	case types.KindRecord:
+		b.WriteString("R{")
+		for i, n := range v.Rec.Names {
+			if i > 0 {
+				b.WriteString(";")
+			}
+			b.WriteString(n)
+			b.WriteString("=")
+			encodeValue(b, v.Rec.Values[i])
+		}
+		b.WriteString("}")
+	case types.KindList, types.KindBag:
+		b.WriteString("L[")
+		for i, e := range v.Elems {
+			if i > 0 {
+				b.WriteString(";")
+			}
+			encodeValue(b, e)
+		}
+		b.WriteString("]")
+	default:
+		fmt.Fprintf(b, "?%d", v.Kind)
+	}
+}
+
+func encodeRow(v types.Value) string {
+	var b strings.Builder
+	encodeValue(&b, v)
+	return b.String()
+}
+
+func encodeRows(rows []types.Value) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = encodeRow(r)
+	}
+	return out
+}
+
+func clip(s string, n int) string {
+	if len(s) > n {
+		return s[:n] + "…"
+	}
+	return s
+}
+
+// compareExact requires identical columns, row order, and row content.
+func compareExact(want, got *resultSet) string {
+	if len(want.Rows) != len(got.Rows) {
+		return fmt.Sprintf("row count %d vs %d", len(want.Rows), len(got.Rows))
+	}
+	for i := range want.Rows {
+		a, b := encodeRow(want.Rows[i]), encodeRow(got.Rows[i])
+		if a != b {
+			return fmt.Sprintf("row %d: %s vs %s", i, clip(a, 200), clip(b, 200))
+		}
+	}
+	return ""
+}
+
+// compareMultiset requires equal row multisets regardless of order.
+func compareMultiset(want, got []types.Value) string {
+	if len(want) != len(got) {
+		return fmt.Sprintf("row count %d vs %d", len(want), len(got))
+	}
+	a, b := encodeRows(want), encodeRows(got)
+	sort.Strings(a)
+	sort.Strings(b)
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Sprintf("multiset differs at sorted position %d: %s vs %s",
+				i, clip(a[i], 200), clip(b[i], 200))
+		}
+	}
+	return ""
+}
+
+// subMultiset reports "" when every row of sub (with multiplicity) appears
+// in super.
+func subMultiset(sub, super []types.Value) string {
+	counts := map[string]int{}
+	for _, r := range super {
+		counts[encodeRow(r)]++
+	}
+	for _, r := range sub {
+		k := encodeRow(r)
+		if counts[k] == 0 {
+			return fmt.Sprintf("row not in oracle result: %s", clip(k, 200))
+		}
+		counts[k]--
+	}
+	return ""
+}
+
+// compareKeySeq requires identical ORDER BY key sequences.
+func compareKeySeq(want, got []types.Value, orderBy []string) string {
+	if len(want) != len(got) {
+		return fmt.Sprintf("row count %d vs %d", len(want), len(got))
+	}
+	for i := range want {
+		a, b := orderKeyOf(want[i], orderBy), orderKeyOf(got[i], orderBy)
+		if a != b {
+			return fmt.Sprintf("ORDER BY key differs at row %d: %s vs %s",
+				i, clip(a, 120), clip(b, 120))
+		}
+	}
+	return ""
+}
+
+// oracleResult pairs the oracle's limited output with its pre-LIMIT rows.
+type oracleResult struct {
+	res *resultSet
+	all []types.Value // post-sort, pre-LIMIT
+}
+
+// compareOracle checks an engine result against the oracle under the tier
+// rules described in the package comment.
+func compareOracle(o *oracleResult, got *resultSet, orderBy []string, limit int) string {
+	switch {
+	case limit > 0 && len(orderBy) > 0:
+		return compareKeySeq(o.res.Rows, got.Rows, orderBy)
+	case limit > 0:
+		if len(got.Rows) != len(o.res.Rows) {
+			return fmt.Sprintf("row count %d vs %d (limit %d)", len(o.res.Rows), len(got.Rows), limit)
+		}
+		return subMultiset(got.Rows, o.all)
+	case len(orderBy) > 0:
+		if d := compareKeySeq(o.res.Rows, got.Rows, orderBy); d != "" {
+			return d
+		}
+		return compareMultiset(o.res.Rows, got.Rows)
+	default:
+		return compareMultiset(o.res.Rows, got.Rows)
+	}
+}

@@ -1,0 +1,122 @@
+// The engine configuration matrix. One query is executed under every
+// config and each result is compared (a) exactly against the base config
+// (every mode must agree byte-for-byte, in order) and (b) against the
+// Volcano oracle under the looser tier rules. Warm configs run each query
+// twice on a shared engine so the second execution hits the byte cache /
+// plan cache; the concurrent config races two executions of the same query
+// on one engine under the race detector in CI.
+package qcheck
+
+import (
+	"fmt"
+	"sync"
+
+	"proteus/internal/engine"
+	"proteus/internal/exec"
+)
+
+type engConfig struct {
+	name       string
+	cfg        engine.Config
+	warm       bool // execute twice, check both runs
+	concurrent bool // execute twice concurrently, check both runs
+}
+
+// configMatrix is the cross-product slice the harness runs. base MUST be
+// first: it is the reference every other config is compared against, with
+// serial tuple-at-a-time execution and every cache disabled.
+func configMatrix() []engConfig {
+	off := func(par int, vec exec.VecMode) engine.Config {
+		return engine.Config{Parallelism: par, Vectorized: vec, PlanCacheSize: -1}
+	}
+	return []engConfig{
+		{name: "base", cfg: off(1, exec.VecOff)},
+		{name: "vec-on", cfg: off(1, exec.VecOn)},
+		{name: "vec-auto", cfg: off(1, exec.VecAuto)},
+		{name: "par4", cfg: off(4, exec.VecOff)},
+		{name: "par4-vec", cfg: off(4, exec.VecOn)},
+		{name: "cache", cfg: engine.Config{Parallelism: 1, Vectorized: exec.VecOff,
+			CacheEnabled: true, PlanCacheSize: -1}, warm: true},
+		{name: "plancache", cfg: engine.Config{Parallelism: 1, Vectorized: exec.VecAuto,
+			PlanCacheSize: 64}, warm: true},
+		{name: "kitchen", cfg: engine.Config{Parallelism: 4, Vectorized: exec.VecAuto,
+			CacheEnabled: true, PlanCacheSize: 64}, warm: true},
+		{name: "concurrent", cfg: engine.Config{Parallelism: 2, Vectorized: exec.VecAuto,
+			CacheEnabled: true, PlanCacheSize: 64}, concurrent: true},
+	}
+}
+
+// buildEngine registers every universe table on a fresh engine with the
+// given config.
+func buildEngine(cfg engine.Config, u *universe) (*engine.Engine, error) {
+	e := engine.New(cfg)
+	for _, t := range u.Tables {
+		path := fmt.Sprintf("mem://qcheck/%s.%s", t.Name, t.Format)
+		e.Mem().PutFile(path, t.Data)
+		schema := t.Schema
+		if t.Format == "bin" {
+			schema = nil // self-describing
+		}
+		if err := e.Register(t.Name, path, t.Format, schema, t.Opts); err != nil {
+			return nil, fmt.Errorf("register %s: %w", t.Name, err)
+		}
+	}
+	return e, nil
+}
+
+func runEngineQuery(e *engine.Engine, lang, text string) (*resultSet, error) {
+	var (
+		res *exec.Result
+		err error
+	)
+	if lang == "comp" {
+		res, err = e.QueryComp(text)
+	} else {
+		res, err = e.QuerySQL(text)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &resultSet{Cols: res.Cols, Rows: res.Rows}, nil
+}
+
+// runConfig executes the query under one config on a prebuilt engine and
+// returns every observed result (two for warm/concurrent configs).
+func runConfig(e *engine.Engine, c engConfig, lang, text string) ([]*resultSet, error) {
+	switch {
+	case c.concurrent:
+		results := make([]*resultSet, 2)
+		errs := make([]error, 2)
+		var wg sync.WaitGroup
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				results[i], errs[i] = runEngineQuery(e, lang, text)
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		return results, nil
+	case c.warm:
+		cold, err := runEngineQuery(e, lang, text)
+		if err != nil {
+			return nil, err
+		}
+		warm, err := runEngineQuery(e, lang, text)
+		if err != nil {
+			return nil, err
+		}
+		return []*resultSet{cold, warm}, nil
+	default:
+		res, err := runEngineQuery(e, lang, text)
+		if err != nil {
+			return nil, err
+		}
+		return []*resultSet{res}, nil
+	}
+}

@@ -1,0 +1,285 @@
+// Random universe generation: schemas, datasets, and their truth rows.
+//
+// Every choice flows from a single int64 seed through math/rand, so a
+// universe is reproducible from its seed alone. Data is designed so that
+// every execution mode must produce bit-identical answers:
+//
+//   - floats are dyadic rationals (i + j/4, |i| ≤ 512): they round-trip
+//     exactly through decimal serialization and their partial sums are
+//     exact, so parallel merge order cannot change aggregate results;
+//   - ints stay within ±10^10 so int→float promotions (AVG) are exact;
+//   - key columns (join/group candidates) draw from small domains to force
+//     collisions, and are never floats (−0.0 vs 0.0 hash apart but compare
+//     equal, a trap this harness sidesteps by construction);
+//   - strings mix ASCII, RFC-4180 triggers (delimiters, quotes, CR/LF),
+//     and multi-byte unicode including surrogate-pair escapes, but never
+//     NUL (the Volcano group-key separator) or single quotes (the SQL
+//     lexer has no escape syntax).
+//
+// CSV and binary tables are never nullable (the formats cannot represent
+// NULL); JSON tables are, per column, with varying probability.
+package qcheck
+
+import (
+	"fmt"
+	"math/rand"
+
+	"proteus/internal/plugin"
+	"proteus/internal/types"
+)
+
+// mix derives a child seed from a parent seed and an index (splitmix64
+// finalizer), keeping every component independently reproducible.
+func mix(seed, idx int64) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(idx+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z & 0x7fffffffffffffff)
+}
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// qColumn is one generated column.
+type qColumn struct {
+	Name     string
+	Kind     types.Kind
+	Key      bool    // small domain; safe as join/group key
+	NullProb float64 // JSON tables only
+}
+
+// nestedCol is the optional nested list-of-records column of a JSON table.
+type nestedCol struct {
+	Name string // field name in the record
+	// Elements are records {p: int, q: string}.
+}
+
+// qTable is one generated dataset: schema, truth rows, and the serialized
+// file image the engines parse.
+type qTable struct {
+	Name   string
+	Format string // "csv", "json", "bin"
+	Cols   []qColumn
+	Nested *nestedCol
+	Opts   plugin.Options
+	CRLF   bool // CSV: terminate rows with \r\n
+	Array  bool // JSON: one top-level array instead of NDJSON
+	Rows   []types.Value
+	Schema *types.RecordType
+	Data   []byte
+}
+
+// universe is a set of tables sharing one seed.
+type universe struct {
+	Seed   int64
+	Tables []*qTable
+}
+
+func (u *universe) table(name string) *qTable {
+	for _, t := range u.Tables {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+var keyStrings = []string{"ash", "birch", "cedar", "oak", "pine", "elm"}
+
+var valueStrings = []string{
+	"", "plain", "word list", "comma,inside", `quote "double" here`,
+	"line\nbreak", "crlf\r\nrow", "pipe|field", "trailing space ",
+	"héllo wörld", "naïve café", "日本語テキスト", "πρόταση", "emoji 🙂 data",
+	"mixed Ωmega √2", "tab\tsep", "'single'",
+}
+
+// genString draws a value string; csvSafe excludes nothing extra (the CSV
+// writer quotes), but literals used in predicates must come from
+// likeNeedles instead.
+func genString(r *rand.Rand) string {
+	return valueStrings[r.Intn(len(valueStrings))]
+}
+
+// likeNeedles are predicate-literal-safe substrings (no quotes, ASCII).
+var likeNeedles = []string{"a", "e", "in", "or", "data", "x", "li", "o"}
+
+// genInt draws an int value: biased small, with occasional large-but-safe
+// magnitudes (|v| ≤ 10^10 keeps float promotion exact).
+func genInt(r *rand.Rand) int64 {
+	switch r.Intn(10) {
+	case 0:
+		return 0
+	case 1:
+		return int64(1e10) * int64(1-2*r.Intn(2))
+	case 2:
+		return int64(r.Intn(2000001) - 1000000)
+	default:
+		return int64(r.Intn(51) - 25)
+	}
+}
+
+// genFloat draws a dyadic rational i + j/4 with |i| ≤ 512 (never −0.0).
+func genFloat(r *rand.Rand) float64 {
+	i := r.Intn(1025) - 512
+	j := r.Intn(4)
+	f := float64(i) + float64(j)/4
+	if f == 0 {
+		return 0 // normalize: never emit −0.0
+	}
+	return f
+}
+
+// genValue draws a value of the column's kind (never NULL; the caller rolls
+// nullability separately).
+func genValue(r *rand.Rand, c qColumn) types.Value {
+	if c.Key {
+		switch c.Kind {
+		case types.KindInt:
+			return types.IntValue(int64(r.Intn(8)))
+		case types.KindString:
+			return types.StringValue(keyStrings[r.Intn(len(keyStrings))])
+		case types.KindBool:
+			return types.BoolValue(r.Intn(2) == 0)
+		}
+	}
+	switch c.Kind {
+	case types.KindInt:
+		return types.IntValue(genInt(r))
+	case types.KindFloat:
+		return types.FloatValue(genFloat(r))
+	case types.KindBool:
+		return types.BoolValue(r.Intn(2) == 0)
+	case types.KindString:
+		return types.StringValue(genString(r))
+	}
+	panic("qcheck: unreachable column kind")
+}
+
+func kindType(k types.Kind) types.Type {
+	switch k {
+	case types.KindInt:
+		return types.Int
+	case types.KindFloat:
+		return types.Float
+	case types.KindBool:
+		return types.Bool
+	case types.KindString:
+		return types.String
+	}
+	panic("qcheck: unreachable kind")
+}
+
+var nestedElemType = &types.RecordType{Fields: []types.Field{
+	{Name: "p", Type: types.Int},
+	{Name: "q", Type: types.String},
+}}
+
+// genUniverse builds 2–3 tables with schemas, rows, and serialized images.
+func genUniverse(seed int64) (*universe, error) {
+	r := newRand(seed)
+	u := &universe{Seed: seed}
+	nTables := 2 + r.Intn(2)
+	formats := []string{"csv", "json", "bin"}
+	// Guarantee format variety: shuffle, then round-robin.
+	r.Shuffle(len(formats), func(i, j int) { formats[i], formats[j] = formats[j], formats[i] })
+	for ti := 0; ti < nTables; ti++ {
+		t := genTable(r, fmt.Sprintf("t%d", ti), formats[ti%len(formats)])
+		if err := serializeTable(t); err != nil {
+			return nil, fmt.Errorf("qcheck: universe %d table %s: %w", seed, t.Name, err)
+		}
+		u.Tables = append(u.Tables, t)
+	}
+	return u, nil
+}
+
+func genTable(r *rand.Rand, name, format string) *qTable {
+	t := &qTable{Name: name, Format: format}
+	nullable := format == "json"
+
+	// Key columns: 1–2 int keys, optionally a string key.
+	nIntKeys := 1 + r.Intn(2)
+	for i := 0; i < nIntKeys; i++ {
+		c := qColumn{Name: fmt.Sprintf("k%d", i), Kind: types.KindInt, Key: true}
+		if nullable && r.Intn(4) == 0 {
+			c.NullProb = 0.15
+		}
+		t.Cols = append(t.Cols, c)
+	}
+	if r.Intn(2) == 0 {
+		t.Cols = append(t.Cols, qColumn{Name: "ks", Kind: types.KindString, Key: true})
+	}
+	// Value columns: 1–3 of random kinds.
+	kinds := []types.Kind{types.KindInt, types.KindFloat, types.KindBool, types.KindString}
+	nVals := 1 + r.Intn(3)
+	for i := 0; i < nVals; i++ {
+		c := qColumn{Name: fmt.Sprintf("v%d", i), Kind: kinds[r.Intn(len(kinds))]}
+		if nullable {
+			c.NullProb = []float64{0, 0.2, 0.5}[r.Intn(3)]
+		}
+		t.Cols = append(t.Cols, c)
+	}
+	if format == "json" && r.Intn(2) == 0 {
+		t.Nested = &nestedCol{Name: "items"}
+	}
+
+	// Format quirks.
+	switch format {
+	case "csv":
+		if r.Intn(3) == 0 {
+			t.Opts.Delimiter = '|'
+		}
+		t.CRLF = r.Intn(3) == 0
+	case "json":
+		t.Array = r.Intn(2) == 0
+	case "bin":
+		t.Opts.Columnar = r.Intn(2) == 0
+	}
+
+	// Schema (explicit for csv/json; bin files are self-describing but the
+	// schema is still recorded for query generation).
+	fields := make([]types.Field, 0, len(t.Cols)+1)
+	for _, c := range t.Cols {
+		fields = append(fields, types.Field{Name: c.Name, Type: kindType(c.Kind)})
+	}
+	if t.Nested != nil {
+		fields = append(fields, types.Field{Name: t.Nested.Name, Type: types.NewListType(nestedElemType)})
+	}
+	t.Schema = &types.RecordType{Fields: fields}
+
+	// Rows: occasionally empty or single-row, else 2–40.
+	var n int
+	switch r.Intn(10) {
+	case 0:
+		n = 0
+	case 1:
+		n = 1
+	default:
+		n = 2 + r.Intn(39)
+	}
+	names := t.Schema.Names()
+	for i := 0; i < n; i++ {
+		vals := make([]types.Value, 0, len(names))
+		for _, c := range t.Cols {
+			if c.NullProb > 0 && r.Float64() < c.NullProb {
+				vals = append(vals, types.NullValue())
+				continue
+			}
+			vals = append(vals, genValue(r, c))
+		}
+		if t.Nested != nil {
+			m := r.Intn(4)
+			elems := make([]types.Value, 0, m)
+			for j := 0; j < m; j++ {
+				elems = append(elems, types.RecordValue(
+					[]string{"p", "q"},
+					[]types.Value{
+						types.IntValue(int64(r.Intn(10))),
+						types.StringValue(keyStrings[r.Intn(len(keyStrings))]),
+					}))
+			}
+			vals = append(vals, types.ListValue(elems...))
+		}
+		t.Rows = append(t.Rows, types.RecordValue(names, vals))
+	}
+	return t
+}

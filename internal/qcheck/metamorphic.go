@@ -1,0 +1,136 @@
+// Metamorphic oracles: properties that must hold between a query and
+// derived variants of itself, checked on the base configuration. These
+// catch bugs the differential tier cannot — anything the Volcano
+// interpreter and the compiled engine get wrong the same way.
+package qcheck
+
+import (
+	"fmt"
+
+	"proteus/internal/expr"
+	"proteus/internal/types"
+)
+
+// runMetamorphic applies every eligible metamorphic check to the case.
+func runMetamorphic(rep *Report, spec *querySpec, base *engineRunner,
+	baseRes *resultSet, seed int64, report func(cfg, kind, detail string, shrinkCfg *engConfig)) {
+
+	if spec.mode == modeProject && spec.limit == 0 && len(spec.orderBy) == 0 {
+		checkTLP(rep, spec, base, baseRes, seed, report)
+		checkCount(rep, spec, base, baseRes, report)
+	}
+	if spec.limit > 0 && len(spec.orderBy) > 0 {
+		checkLimitPrefix(rep, spec, base, baseRes, report)
+	}
+}
+
+// checkTLP verifies ternary-logic partitioning: for any predicate p, the
+// rows of Q equal the union of Q restricted to p, to NOT p, and to
+// (p) IS NULL. Under the engine's null semantics these three branches are
+// exhaustive and mutually exclusive for every row.
+func checkTLP(rep *Report, spec *querySpec, base *engineRunner, baseRes *resultSet,
+	seed int64, report func(cfg, kind, detail string, shrinkCfg *engConfig)) {
+
+	r := newRand(seed)
+	p := genPred(r, spec.scope, 1)
+
+	var union []types.Value
+	for i, variant := range []expr.Expr{
+		p,
+		&expr.Not{E: p},
+		&expr.IsNull{E: p},
+	} {
+		qv := spec.clone()
+		qv.where = append(append([]expr.Expr(nil), spec.where...), variant)
+		res, err := runEngineQuery(base.eng, qv.lang, qv.render())
+		rep.Comparisons++
+		if err != nil {
+			report("base", "metamorphic:tlp", fmt.Sprintf(
+				"partition %d rejected (%v): %s", i, err, qv.render()), nil)
+			return
+		}
+		union = append(union, res.Rows...)
+	}
+	if d := compareMultiset(baseRes.Rows, union); d != "" {
+		report("base", "metamorphic:tlp", fmt.Sprintf(
+			"partition union differs from whole (partition pred %s): %s", renderExpr(p), d), nil)
+	}
+}
+
+// checkCount verifies that COUNT(*) with the same sources and filters
+// equals the projected row count.
+func checkCount(rep *Report, spec *querySpec, base *engineRunner, baseRes *resultSet,
+	report func(cfg, kind, detail string, shrinkCfg *engConfig)) {
+
+	qc := spec.clone()
+	qc.mode = modeAgg
+	qc.items = nil
+	qc.aggs = []aggSpec{{kind: expr.AggCount, alias: "z0"}}
+	qc.orderBy = nil
+	qc.limit = 0
+	res, err := runEngineQuery(base.eng, qc.lang, qc.render())
+	rep.Comparisons++
+	if err != nil {
+		report("base", "metamorphic:count", fmt.Sprintf("COUNT variant rejected (%v): %s", err, qc.render()), nil)
+		return
+	}
+	n, ok := scalarInt(res)
+	if !ok {
+		report("base", "metamorphic:count", fmt.Sprintf("COUNT variant returned non-scalar result (%d rows)", len(res.Rows)), nil)
+		return
+	}
+	if n != int64(len(baseRes.Rows)) {
+		report("base", "metamorphic:count", fmt.Sprintf(
+			"COUNT(*) = %d but projection returned %d rows (%s)", n, len(baseRes.Rows), qc.render()), nil)
+	}
+}
+
+// scalarInt extracts the single integer of a 1×1 result.
+func scalarInt(res *resultSet) (int64, bool) {
+	if len(res.Rows) != 1 {
+		return 0, false
+	}
+	v := res.Rows[0]
+	if v.Kind == types.KindRecord && len(v.Rec.Values) == 1 {
+		v = v.Rec.Values[0]
+	}
+	if v.Kind != types.KindInt {
+		return 0, false
+	}
+	return v.I, true
+}
+
+// checkLimitPrefix verifies that under ORDER BY, LIMIT k is a key-prefix of
+// LIMIT k+7 (ties may reorder rows with equal keys, so only the ORDER BY
+// key sequence is compared).
+func checkLimitPrefix(rep *Report, spec *querySpec, base *engineRunner, baseRes *resultSet,
+	report func(cfg, kind, detail string, shrinkCfg *engConfig)) {
+
+	ql := spec.clone()
+	ql.limit = spec.limit + 7
+	res, err := runEngineQuery(base.eng, ql.lang, ql.render())
+	rep.Comparisons++
+	if err != nil {
+		report("base", "metamorphic:limit", fmt.Sprintf("larger-LIMIT variant rejected (%v)", err), nil)
+		return
+	}
+	if len(baseRes.Rows) > len(res.Rows) {
+		report("base", "metamorphic:limit", fmt.Sprintf(
+			"LIMIT %d returned %d rows but LIMIT %d returned %d",
+			spec.limit, len(baseRes.Rows), ql.limit, len(res.Rows)), nil)
+		return
+	}
+	var cols []string
+	for _, o := range spec.orderBy {
+		cols = append(cols, o.col)
+	}
+	for i := range baseRes.Rows {
+		a, b := orderKeyOf(baseRes.Rows[i], cols), orderKeyOf(res.Rows[i], cols)
+		if a != b {
+			report("base", "metamorphic:limit", fmt.Sprintf(
+				"LIMIT %d row %d key %s is not a prefix of LIMIT %d (key %s)",
+				spec.limit, i, clip(a, 120), ql.limit, clip(b, 120)), nil)
+			return
+		}
+	}
+}

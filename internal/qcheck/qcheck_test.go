@@ -1,0 +1,81 @@
+package qcheck
+
+import (
+	"flag"
+	"testing"
+)
+
+// Repro workflow: a divergence report prints a one-line command such as
+//
+//	go test ./internal/qcheck -run 'TestQCheck$' -qcheck.useed=123 -qcheck.case=7
+//
+// which regenerates exactly that universe and query. -qcheck.seed rotates
+// the whole run (CI's scheduled job passes a changing seed); -qcheck.noshrink
+// skips minimization when a raw failure is wanted quickly.
+var (
+	flagSeed      = flag.Int64("qcheck.seed", 20260805, "master seed for the qcheck run")
+	flagUniverses = flag.Int("qcheck.universes", 0, "number of universes (0 = default)")
+	flagQueries   = flag.Int("qcheck.queries", 0, "queries per universe (0 = default)")
+	flagUSeed     = flag.Int64("qcheck.useed", 0, "replay a single universe by derived seed")
+	flagCase      = flag.Int("qcheck.case", -1, "replay a single case index (with -qcheck.useed)")
+	flagNoShrink  = flag.Bool("qcheck.noshrink", false, "skip divergence minimization")
+)
+
+func optsFromFlags(t *testing.T) Options {
+	return Options{
+		Seed:         *flagSeed,
+		Universes:    *flagUniverses,
+		Queries:      *flagQueries,
+		UniverseSeed: *flagUSeed,
+		Case:         *flagCase,
+		NoShrink:     *flagNoShrink,
+		Log:          t.Logf,
+	}
+}
+
+// TestQCheck is the smoke-level differential run: with defaults it
+// cross-checks 12×44 = 528 generated queries against the Volcano oracle
+// and across the 9-config engine matrix.
+func TestQCheck(t *testing.T) {
+	opts := optsFromFlags(t)
+	if testing.Short() {
+		opts.Universes, opts.Queries = 4, 16
+	}
+	rep, err := Run(opts)
+	if err != nil {
+		t.Fatalf("qcheck run failed: %v", err)
+	}
+	t.Log(FormatReport(rep))
+	if rep.Executed == 0 {
+		t.Fatalf("qcheck executed no queries (all %d cases rejected?)", rep.Cases)
+	}
+	// The generator is valid-by-construction; a high rejection rate means it
+	// has drifted from the engine's grammar and coverage is silently lost.
+	if rep.Rejected*10 > rep.Cases {
+		t.Errorf("qcheck rejected %d/%d cases (>10%%): generator drift", rep.Rejected, rep.Cases)
+	}
+	for _, d := range rep.Divergences {
+		t.Errorf("%s", d.String())
+	}
+}
+
+// TestQCheckDeterministic replays the same seed twice and requires
+// identical outcome digests: every divergence must be reproducible from
+// its printed seed alone.
+func TestQCheckDeterministic(t *testing.T) {
+	opts := Options{Seed: 7, Universes: 2, Queries: 10, NoShrink: true, Log: t.Logf}
+	a, err := Run(opts)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	b, err := Run(opts)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if a.Digest != b.Digest {
+		t.Fatalf("same seed produced different digests: %x vs %x", a.Digest, b.Digest)
+	}
+	if a.Cases != b.Cases || a.Executed != b.Executed || a.Rejected != b.Rejected {
+		t.Fatalf("same seed produced different counts: %+v vs %+v", a, b)
+	}
+}

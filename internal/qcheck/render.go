@@ -1,0 +1,181 @@
+// Rendering of querySpecs into SQL and comprehension source text. The
+// harness always round-trips through text: both the engines and the
+// Volcano oracle parse the rendered string, so the front-end parsers are
+// inside the differential loop too.
+package qcheck
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"proteus/internal/expr"
+	"proteus/internal/types"
+)
+
+// renderExpr emits fully parenthesized expression text that parses back to
+// an equivalent tree in both front-ends. NOT(IsNull) renders as IS NOT NULL.
+func renderExpr(e expr.Expr) string {
+	switch x := e.(type) {
+	case *expr.Const:
+		switch x.V.Kind {
+		case types.KindInt:
+			return strconv.FormatInt(x.V.I, 10)
+		case types.KindFloat:
+			s := formatFloat(x.V.F)
+			if !strings.Contains(s, ".") {
+				s += ".0"
+			}
+			return s
+		case types.KindBool:
+			if x.V.Bool() {
+				return "TRUE"
+			}
+			return "FALSE"
+		case types.KindString:
+			return "'" + x.V.S + "'" // generated literals never contain '
+		}
+	case *expr.Ref:
+		return x.Name
+	case *expr.FieldAcc:
+		return renderExpr(x.Base) + "." + x.Name
+	case *expr.Neg:
+		return "(0 - " + renderExpr(x.E) + ")"
+	case *expr.Not:
+		if in, ok := x.E.(*expr.IsNull); ok {
+			return "(" + renderExpr(in.E) + " IS NOT NULL)"
+		}
+		return "(NOT " + renderExpr(x.E) + ")"
+	case *expr.IsNull:
+		return "(" + renderExpr(x.E) + " IS NULL)"
+	case *expr.Like:
+		return "(" + renderExpr(x.E) + " LIKE '%" + x.Needle + "%')"
+	case *expr.BinOp:
+		op := map[expr.BinKind]string{
+			expr.OpAdd: "+", expr.OpSub: "-", expr.OpMul: "*",
+			expr.OpDiv: "/", expr.OpMod: "%",
+			expr.OpEq: "=", expr.OpNe: "<>", expr.OpLt: "<",
+			expr.OpLe: "<=", expr.OpGt: ">", expr.OpGe: ">=",
+			expr.OpAnd: "AND", expr.OpOr: "OR",
+		}[x.Op]
+		return "(" + renderExpr(x.L) + " " + op + " " + renderExpr(x.R) + ")"
+	}
+	panic(fmt.Sprintf("qcheck: unrenderable expr %T", e))
+}
+
+func renderAgg(a aggSpec) string {
+	if a.kind == expr.AggCount {
+		return "COUNT(*)"
+	}
+	name := map[expr.AggKind]string{
+		expr.AggSum: "SUM", expr.AggMin: "MIN", expr.AggMax: "MAX", expr.AggAvg: "AVG",
+	}[a.kind]
+	return name + "(" + renderExpr(a.arg) + ")"
+}
+
+// render emits the query text in the spec's language.
+func (q *querySpec) render() string {
+	if q.lang == "comp" {
+		return q.renderComp()
+	}
+	return q.renderSQL()
+}
+
+func (q *querySpec) renderSQL() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	var cols []string
+	switch q.mode {
+	case modeProject:
+		for _, it := range q.items {
+			cols = append(cols, renderExpr(it.e)+" AS "+it.alias)
+		}
+	case modeAgg:
+		for _, a := range q.aggs {
+			cols = append(cols, renderAgg(a)+" AS "+a.alias)
+		}
+	case modeGroup:
+		for _, it := range q.items {
+			cols = append(cols, renderExpr(it.e)+" AS "+it.alias)
+		}
+		for _, a := range q.aggs {
+			cols = append(cols, renderAgg(a)+" AS "+a.alias)
+		}
+	}
+	b.WriteString(strings.Join(cols, ", "))
+	b.WriteString(" FROM " + q.tables[0] + " AS " + q.aliases[0])
+	if len(q.tables) == 2 {
+		b.WriteString(" JOIN " + q.tables[1] + " AS " + q.aliases[1] +
+			" ON " + renderExpr(q.joinPred))
+	}
+	if len(q.where) > 0 {
+		var parts []string
+		for _, w := range q.where {
+			parts = append(parts, renderExpr(w))
+		}
+		b.WriteString(" WHERE " + strings.Join(parts, " AND "))
+	}
+	if q.mode == modeGroup {
+		var ks []string
+		for _, k := range q.keys {
+			ks = append(ks, renderExpr(k))
+		}
+		b.WriteString(" GROUP BY " + strings.Join(ks, ", "))
+	}
+	if len(q.orderBy) > 0 {
+		var os []string
+		for _, o := range q.orderBy {
+			dir := " ASC"
+			if o.desc {
+				dir = " DESC"
+			}
+			os = append(os, o.col+dir)
+		}
+		b.WriteString(" ORDER BY " + strings.Join(os, ", "))
+	}
+	if q.limit > 0 {
+		b.WriteString(" LIMIT " + strconv.Itoa(q.limit))
+	}
+	return b.String()
+}
+
+func (q *querySpec) renderComp() string {
+	var quals []string
+	for i, t := range q.tables {
+		quals = append(quals, q.aliases[i]+" <- "+t)
+	}
+	if q.unnest != "" {
+		quals = append(quals, "u <- "+q.aliases[0]+"."+q.unnest)
+	}
+	if q.joinPred != nil {
+		quals = append(quals, renderExpr(q.joinPred))
+	}
+	for _, w := range q.where {
+		quals = append(quals, renderExpr(w))
+	}
+	var b strings.Builder
+	b.WriteString("for { " + strings.Join(quals, ", ") + " } yield ")
+	if q.mode == modeAgg {
+		a := q.aggs[0]
+		switch a.kind {
+		case expr.AggCount:
+			b.WriteString("count")
+		case expr.AggSum:
+			b.WriteString("sum " + renderExpr(a.arg))
+		case expr.AggMin:
+			b.WriteString("min " + renderExpr(a.arg))
+		case expr.AggMax:
+			b.WriteString("max " + renderExpr(a.arg))
+		case expr.AggAvg:
+			b.WriteString("avg " + renderExpr(a.arg))
+		}
+		return b.String()
+	}
+	// Projection: bag of a record (names derive from path tails).
+	var parts []string
+	for _, it := range q.items {
+		parts = append(parts, renderExpr(it.e))
+	}
+	b.WriteString("bag (" + strings.Join(parts, ", ") + ")")
+	return b.String()
+}

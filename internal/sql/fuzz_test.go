@@ -1,0 +1,29 @@
+package sql
+
+import "testing"
+
+// FuzzParse asserts the SQL parser is total: any input — truncated clauses,
+// unbalanced parens, stray operators, binary garbage — yields a
+// comprehension or an error, never a panic. Inputs are capped so the
+// recursive-descent depth stays bounded.
+func FuzzParse(f *testing.F) {
+	for _, s := range []string{
+		"",
+		"SELECT COUNT(*) FROM t",
+		"SELECT a.x AS x FROM t AS a JOIN u AS b ON (a.k = b.k) WHERE (a.x IS NOT NULL) AND (a.y LIKE '%z%') GROUP BY a.x ORDER BY x DESC LIMIT 3",
+		"SELECT SUM(a.v + 1) AS s, AVG(a.v) AS m FROM t AS a",
+		"SELECT FROM WHERE", "SELECT (((", "SELECT * FROM t WHERE x = 'unterminated",
+		"select 1 limit", "SELECT a FROM t ORDER BY", "\x00\xff SELECT",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<12 {
+			return
+		}
+		c, err := Parse(src)
+		if err == nil && c == nil {
+			t.Fatalf("Parse(%q): nil comprehension without error", src)
+		}
+	})
+}

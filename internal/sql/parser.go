@@ -401,6 +401,23 @@ func (p *parser) parseComparison() (expr.Expr, error) {
 	if err != nil {
 		return nil, err
 	}
+	if p.atKeyword("IS") {
+		p.next()
+		neg := false
+		if p.atKeyword("NOT") {
+			p.next()
+			neg = true
+		}
+		if !p.atKeyword("NULL") {
+			return nil, p.errf("expected NULL after IS, found %q", p.cur().text)
+		}
+		p.next()
+		var out expr.Expr = &expr.IsNull{E: l}
+		if neg {
+			out = &expr.Not{E: out}
+		}
+		return out, nil
+	}
 	if p.atKeyword("LIKE") {
 		p.next()
 		pat, err := p.expect(tokString, "")

@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig5..fig14, figpar, vec, tab3, or all")
+	exp := flag.String("exp", "all", "experiment: fig5..fig14, figpar, vec, idx, tab3, or all")
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor for fig5–fig13")
 	spam := flag.Int("spam", 10000, "spam scale (JSON objects) for fig14/tab3")
 	raw := flag.Bool("raw", false, "also print machine-readable rows")
@@ -114,6 +114,16 @@ func main() {
 			fatal(fmt.Errorf("vec: %w", err))
 		}
 		bench.PrintVec(os.Stdout, rows)
+		allRows = append(allRows, rows...)
+	}
+
+	if want("idx") {
+		fmt.Println("bitmap index vs compare-kernel sweep ...")
+		rows, err := bench.FigIdx(*iters)
+		if err != nil {
+			fatal(fmt.Errorf("idx: %w", err))
+		}
+		bench.PrintIdx(os.Stdout, rows)
 		allRows = append(allRows, rows...)
 	}
 

@@ -50,6 +50,7 @@ func main() {
 	memBudget := flag.Int64("mem-budget", 0, "per-query operator-state byte budget (0 = unlimited)")
 	maxQueries := flag.Int("max-queries", 0, "maximum concurrent queries (0 = unlimited)")
 	vectorized := flag.String("vectorized", "auto", "execution mode for eligible segments: auto, on, or off")
+	indexes := flag.String("indexes", "auto", "bitmap indexes over cached columns: auto, on, or off")
 	planCache := flag.Int("plan-cache", 0, "compiled-plan cache entries (0 = default 64, negative disables)")
 	flag.Parse()
 
@@ -65,8 +66,21 @@ func main() {
 		fatalf("bad -vectorized value %q, want auto, on, or off", *vectorized)
 	}
 
+	var idxMode proteus.IndexMode
+	switch *indexes {
+	case "auto":
+		idxMode = proteus.IndexesAuto
+	case "on":
+		idxMode = proteus.IndexesOn
+	case "off":
+		idxMode = proteus.IndexesOff
+	default:
+		fatalf("bad -indexes value %q, want auto, on, or off", *indexes)
+	}
+
 	db := proteus.Open(proteus.Config{
 		CacheEnabled:  *caching,
+		Indexes:       idxMode,
 		Parallelism:   *par,
 		Observability: *obsOn,
 
@@ -138,6 +152,8 @@ func main() {
 			fmt.Printf("blocks=%d join_sides=%d bytes=%d hits=%d misses=%d evictions=%d build_time=%v\n",
 				s.Blocks, s.JoinSides, s.Bytes, s.Hits, s.Misses, s.Evictions,
 				time.Duration(s.BuildNanos).Round(time.Microsecond))
+			fmt.Printf("indexes=%d index_bytes=%d index_builds=%d index_hits=%d zone_skips=%d\n",
+				s.Indexes, s.IndexBytes, s.IndexBuilds, s.IndexHits, s.ZoneSkips)
 		case line == ".metrics":
 			out, err := json.MarshalIndent(db.Metrics(), "", "  ")
 			if err != nil {

@@ -34,6 +34,21 @@ type Scan struct {
 	// the optimizer pushes projections down by filling this in so the input
 	// plug-in extracts only what is required. Empty means all fields.
 	Fields []string
+	// Pushed lists the sargable conjuncts (field-vs-constant comparisons)
+	// from the Select chain directly above this scan, recorded by the
+	// optimizer. They are advisory: the Selects still evaluate the
+	// predicates, and the executor uses Pushed for zone-map window skipping
+	// and bitmap-index access paths over cached columns.
+	Pushed []PushedPred
+}
+
+// PushedPred is one sargable conjunct <path> <op> <const> on a scan's
+// binding. The constant is always on the right (the optimizer flips the
+// operator when the source had it on the left).
+type PushedPred struct {
+	Path string // dotted field path on the scan's binding
+	Op   expr.BinKind
+	V    types.Value
 }
 
 // Children implements Node.

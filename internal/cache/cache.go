@@ -39,6 +39,15 @@ type Block struct {
 	// eviction policy keeps high-bias blocks longer.
 	FormatBias float64
 
+	// Zones holds the per-1024-row min/max/null-count zone maps, built by
+	// Manager.Register before the block becomes visible (so readers never
+	// race a mutation).
+	Zones *ZoneMaps
+
+	// idx is the optional bitmap index, published after the block itself
+	// (adaptive: only once the index-selection policy marks the column hot).
+	idx atomic.Pointer[Index]
+
 	lastUsed int64
 
 	// bytesMemo caches Bytes() for Complete blocks, which are immutable, so
@@ -60,11 +69,15 @@ func (b *Block) Bytes() int64 {
 	for _, s := range b.Strs {
 		n += int64(len(s)) + 16
 	}
+	n += b.Zones.bytes()
 	if b.Complete {
 		b.bytesMemo.Store(n + 1)
 	}
 	return n
 }
+
+// Index returns the block's bitmap index, or nil if none has been built.
+func (b *Block) Index() *Index { return b.idx.Load() }
 
 // ConcatBlocks merges per-morsel partial blocks — listed in row order, all
 // for the same (dataset, key, kind) — into one block covering their union.
@@ -72,18 +85,31 @@ func (b *Block) Bytes() int64 {
 // fragment for its morsel, and the coordinator concatenates and registers
 // the full column exactly once when the scan finishes (§6 under
 // parallelism: blocks are only ever registered complete).
+//
+// Every fragment must agree on (Dataset, Key, Kind) and be internally
+// consistent (typed column length == Rows, Nulls nil or the same length);
+// otherwise the merge would silently misalign columns, so ConcatBlocks
+// returns nil instead. The result is Complete only if every fragment is.
 func ConcatBlocks(parts []*Block) *Block {
 	if len(parts) == 0 {
 		return nil
 	}
+	first := parts[0]
 	out := &Block{
-		Dataset:    parts[0].Dataset,
-		Key:        parts[0].Key,
-		Kind:       parts[0].Kind,
-		FormatBias: parts[0].FormatBias,
+		Dataset:    first.Dataset,
+		Key:        first.Key,
+		Kind:       first.Kind,
+		FormatBias: first.FormatBias,
+		Complete:   true,
 	}
 	hasNulls := false
 	for _, p := range parts {
+		if p == nil || p.Dataset != first.Dataset || p.Key != first.Key || p.Kind != first.Kind {
+			return nil
+		}
+		if !fragmentConsistent(p) {
+			return nil
+		}
 		if p.Nulls != nil {
 			hasNulls = true
 		}
@@ -101,8 +127,41 @@ func ConcatBlocks(parts []*Block) *Block {
 			}
 		}
 		out.Rows += p.Rows
+		if !p.Complete {
+			out.Complete = false
+		}
 	}
 	return out
+}
+
+// fragmentConsistent checks that a fragment's column lengths agree with its
+// Rows count: exactly the typed column for its Kind is populated (length ==
+// Rows) and Nulls, when present, covers every row.
+func fragmentConsistent(p *Block) bool {
+	lens := [4]int{len(p.Ints), len(p.Floats), len(p.Bools), len(p.Strs)}
+	var want int
+	switch p.Kind {
+	case types.KindInt:
+		want = 0
+	case types.KindFloat:
+		want = 1
+	case types.KindBool:
+		want = 2
+	case types.KindString:
+		want = 3
+	default:
+		return false
+	}
+	for i, n := range lens {
+		if i == want {
+			if int64(n) != p.Rows {
+				return false
+			}
+		} else if n != 0 {
+			return false
+		}
+	}
+	return p.Nulls == nil || int64(len(p.Nulls)) == p.Rows
 }
 
 // JoinSide is an opaque materialized hash-join build side registered for
@@ -129,11 +188,21 @@ type Manager struct {
 	joins  map[string]*JoinSide
 
 	// Policy knobs (§6 "Cache Policies").
-	CacheStrings bool // default false: verbose strings pollute the cache
+	CacheStrings bool      // default false: verbose strings pollute the cache
+	Indexes      IndexMode // bitmap-index policy: adaptive, forced on, or off
+
+	// cands tracks columns that pushed-down predicates target, keyed like
+	// blocks; the index-selection policy promotes hot ones to bitmap
+	// indexes. Guarded by mu.
+	cands map[string]*indexCand
 
 	// Counters for observability and tests; atomics so hot compile paths
 	// and concurrent snapshot readers never race.
 	hits, misses, evictions atomic.Int64
+
+	// Index observability: windows skipped via zone maps, batches served by
+	// a bitmap index, and indexes built.
+	zoneSkips, idxHits, idxBuilds atomic.Int64
 
 	// epoch advances whenever the set of usable blocks changes (register,
 	// drop, eviction, enable toggle). Compiled-plan caches key on it so a
@@ -152,6 +221,7 @@ func NewManager(mem *storage.Manager, enabled bool) *Manager {
 		mem:    mem,
 		blocks: map[string]*Block{},
 		joins:  map[string]*JoinSide{},
+		cands:  map[string]*indexCand{},
 	}
 	m.enabled.Store(enabled)
 	return m
@@ -230,11 +300,14 @@ func (m *Manager) Register(b *Block) bool {
 	if !m.Enabled() || !b.Complete {
 		return false
 	}
+	if b.Zones == nil {
+		b.Zones = BuildZones(b) // before Bytes() so zone memory is accounted
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	k := blockKey(b.Dataset, b.Key)
 	if old, ok := m.blocks[k]; ok {
-		m.mem.ArenaRelease(old.Bytes())
+		m.releaseLocked(old)
 		delete(m.blocks, k)
 	}
 	if !m.reserve(b.Bytes()) {
@@ -248,25 +321,33 @@ func (m *Manager) Register(b *Block) bool {
 }
 
 // reserve makes room for size bytes, evicting in biased-LRU order:
-// cheaper-to-rebuild (low FormatBias) and older blocks go first.
-// The caller holds m.mu.
+// cheaper-to-rebuild (low FormatBias) and older blocks go first. The
+// comparison is lexicographic on (FormatBias, lastUsed) — a single float
+// score of the form bias*1e9+lastUsed loses lastUsed precision once the
+// clock grows past float64's 53-bit mantissa and lets a large clock bleed
+// across bias classes. The caller holds m.mu.
 func (m *Manager) reserve(size int64) bool {
 	if m.mem.ArenaReserve(size) {
 		return true
 	}
 	type cand struct {
-		key   string
-		score float64
+		key      string
+		bias     float64
+		lastUsed int64
 	}
 	var cands []cand
 	for k, b := range m.blocks {
-		// Lower score evicts first: recency dominated by format bias.
-		cands = append(cands, cand{k, b.FormatBias*1e9 + float64(b.lastUsed)})
+		cands = append(cands, cand{k, b.FormatBias, b.lastUsed})
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].score < cands[j].score })
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].bias != cands[j].bias {
+			return cands[i].bias < cands[j].bias
+		}
+		return cands[i].lastUsed < cands[j].lastUsed
+	})
 	for _, c := range cands {
 		b := m.blocks[c.key]
-		m.mem.ArenaRelease(b.Bytes())
+		m.releaseLocked(b)
 		delete(m.blocks, c.key)
 		m.evictions.Add(1)
 		m.epoch.Add(1)
@@ -277,6 +358,15 @@ func (m *Manager) reserve(size int64) bool {
 	return m.mem.ArenaReserve(size)
 }
 
+// releaseLocked returns a block's arena bytes, including any bitmap index
+// accounted when the index was built. The caller holds m.mu.
+func (m *Manager) releaseLocked(b *Block) {
+	m.mem.ArenaRelease(b.Bytes())
+	if ix := b.Index(); ix != nil {
+		m.mem.ArenaRelease(ix.Bytes())
+	}
+}
+
 // Drop invalidates every cache derived from a dataset (the paper's
 // drop-and-rebuild answer to updates).
 func (m *Manager) Drop(dataset string) {
@@ -284,8 +374,13 @@ func (m *Manager) Drop(dataset string) {
 	defer m.mu.Unlock()
 	for k, b := range m.blocks {
 		if b.Dataset == dataset {
-			m.mem.ArenaRelease(b.Bytes())
+			m.releaseLocked(b)
 			delete(m.blocks, k)
+		}
+	}
+	for k, c := range m.cands {
+		if c.dataset == dataset {
+			delete(m.cands, k)
 		}
 	}
 	for k, j := range m.joins {
@@ -344,15 +439,34 @@ type Stats struct {
 	Misses     int64
 	Evictions  int64
 	BuildNanos int64
+
+	// Columnar-index state (v2): built bitmap indexes and their footprint,
+	// zone-map window skips, batches served from an index, and builds.
+	Indexes     int
+	IndexBytes  int64
+	ZoneSkips   int64
+	IndexHits   int64
+	IndexBuilds int64
 }
 
 // Snapshot returns current cache statistics.
 func (m *Manager) Snapshot() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	s := Stats{Blocks: len(m.blocks), JoinSides: len(m.joins), Hits: m.hits.Load(), Misses: m.misses.Load(), Evictions: m.evictions.Load(), BuildNanos: m.buildNanos.Load()}
+	s := Stats{
+		Blocks: len(m.blocks), JoinSides: len(m.joins),
+		Hits: m.hits.Load(), Misses: m.misses.Load(), Evictions: m.evictions.Load(),
+		BuildNanos:  m.buildNanos.Load(),
+		ZoneSkips:   m.zoneSkips.Load(),
+		IndexHits:   m.idxHits.Load(),
+		IndexBuilds: m.idxBuilds.Load(),
+	}
 	for _, b := range m.blocks {
 		s.Bytes += b.Bytes()
+		if ix := b.Index(); ix != nil {
+			s.Indexes++
+			s.IndexBytes += ix.Bytes()
+		}
 	}
 	return s
 }

@@ -178,8 +178,9 @@ func TestBytesForDataset(t *testing.T) {
 	m.Register(intBlock("ds", "a", 10, 14))
 	m.Register(intBlock("ds", "b", 20, 14))
 	m.Register(intBlock("other", "a", 5, 14))
-	if got := m.BytesForDataset("ds"); got != 240 {
-		t.Errorf("bytes = %d, want 240", got)
+	// 80 + 160 column bytes, plus one 21-byte single-zone map per block.
+	if got := m.BytesForDataset("ds"); got != 282 {
+		t.Errorf("bytes = %d, want 282", got)
 	}
 }
 

@@ -1,0 +1,405 @@
+package cache
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"proteus/internal/storage"
+	"proteus/internal/types"
+)
+
+// zoned builds an int block spanning several zones: row i holds i, except
+// rows listed in nulls.
+func zonedIntBlock(n int, nulls ...int) *Block {
+	b := &Block{Dataset: "d", Key: "k", Kind: types.KindInt, Complete: true, Rows: int64(n)}
+	b.Ints = make([]int64, n)
+	b.Nulls = make([]bool, n)
+	for i := 0; i < n; i++ {
+		b.Ints[i] = int64(i)
+	}
+	for _, i := range nulls {
+		b.Nulls[i] = true
+	}
+	return b
+}
+
+func TestZoneMapsBoundaries(t *testing.T) {
+	b := zonedIntBlock(3 * ZoneSize)
+	z := BuildZones(b)
+	if z == nil || len(z.IMin) != 3 {
+		t.Fatalf("want 3 zones, got %+v", z)
+	}
+	// Zone 1 covers [1024, 2047]. Exact min/max must match (inclusive).
+	w := func(p Pred) bool { return z.CanMatchWindow(ZoneSize, 2*ZoneSize, p) }
+	cases := []struct {
+		op   CmpOp
+		k    int64
+		want bool
+	}{
+		{CmpEq, 1024, true}, {CmpEq, 2047, true}, {CmpEq, 1023, false}, {CmpEq, 2048, false},
+		{CmpLt, 1024, false}, {CmpLt, 1025, true},
+		{CmpLe, 1023, false}, {CmpLe, 1024, true},
+		{CmpGt, 2047, false}, {CmpGt, 2046, true},
+		{CmpGe, 2048, false}, {CmpGe, 2047, true},
+		{CmpNe, 1500, true},
+	}
+	for _, c := range cases {
+		if got := w(Pred{Op: c.op, Kind: types.KindInt, I: c.k}); got != c.want {
+			t.Errorf("op %d k=%d: CanMatchWindow = %v, want %v", c.op, c.k, got, c.want)
+		}
+	}
+	// A constant zone matches Eq on its value and nothing else via Ne.
+	cb := &Block{Kind: types.KindInt, Rows: 4, Ints: []int64{9, 9, 9, 9}}
+	cz := BuildZones(cb)
+	if !cz.CanMatchWindow(0, 4, Pred{Op: CmpEq, Kind: types.KindInt, I: 9}) {
+		t.Error("constant zone should match its own value")
+	}
+	if cz.CanMatchWindow(0, 4, Pred{Op: CmpNe, Kind: types.KindInt, I: 9}) {
+		t.Error("constant zone cannot satisfy Ne of its only value")
+	}
+}
+
+func TestZoneMapsAllNullAndNaN(t *testing.T) {
+	// All-null zone: comparisons never match NULL, so every op skips.
+	b := &Block{Kind: types.KindInt, Rows: 3, Ints: []int64{0, 0, 0}, Nulls: []bool{true, true, true}}
+	z := BuildZones(b)
+	for _, op := range []CmpOp{CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe} {
+		if z.CanMatchWindow(0, 3, Pred{Op: op, Kind: types.KindInt, I: 0}) {
+			t.Errorf("all-null zone matched op %d", op)
+		}
+	}
+	if z.NullCnt[0] != 3 {
+		t.Errorf("null count = %d, want 3", z.NullCnt[0])
+	}
+	// NaN poisons a float zone's range: it must stay conservative (match).
+	fb := &Block{Kind: types.KindFloat, Rows: 3, Floats: []float64{1, math.NaN(), 3}}
+	fz := BuildZones(fb)
+	if !fz.CanMatchWindow(0, 3, Pred{Op: CmpGt, Kind: types.KindFloat, F: 100}) {
+		t.Error("NaN-poisoned zone must not be skipped")
+	}
+}
+
+func TestZoneMapsCrossKind(t *testing.T) {
+	b := zonedIntBlock(10)
+	z := BuildZones(b)
+	// Float constant against an int zone [0,9].
+	if z.CanMatchWindow(0, 10, Pred{Op: CmpGt, Kind: types.KindFloat, F: 9.5}) {
+		t.Error("x > 9.5 cannot match [0,9]")
+	}
+	if !z.CanMatchWindow(0, 10, Pred{Op: CmpGt, Kind: types.KindFloat, F: 8.5}) {
+		t.Error("x > 8.5 matches 9")
+	}
+	if z.CanMatchWindow(0, 10, Pred{Op: CmpEq, Kind: types.KindFloat, F: 10.5}) {
+		t.Error("x = 10.5 is outside [0,9]")
+	}
+	// In-range fractional equality stays conservative (range test only).
+	if !z.CanMatchWindow(0, 10, Pred{Op: CmpEq, Kind: types.KindFloat, F: 4.5}) {
+		t.Error("range-based zone maps cannot prune in-range constants")
+	}
+	// Beyond float64's exact-integer range an int zone must not prune
+	// against float constants: the conversion rounds.
+	big := &Block{Kind: types.KindInt, Rows: 2, Ints: []int64{1 << 53, 1<<53 + 3}}
+	bz := BuildZones(big)
+	if !bz.CanMatchWindow(0, 2, Pred{Op: CmpEq, Kind: types.KindFloat, F: float64(uint64(1)<<53) + 1}) {
+		t.Error("zones past 2^53 must stay conservative")
+	}
+}
+
+func TestBitmapFillSel(t *testing.T) {
+	bm := NewBitmap(200)
+	want := []int64{0, 5, 63, 64, 65, 127, 128, 199}
+	for _, i := range want {
+		bm.Set(i)
+	}
+	if bm.Count() != int64(len(want)) {
+		t.Fatalf("count = %d, want %d", bm.Count(), len(want))
+	}
+	out := bm.FillSel(0, 200, make([]int32, 1024))
+	if len(out) != len(want) {
+		t.Fatalf("fill = %v", out)
+	}
+	for i, r := range out {
+		if int64(r) != want[i] {
+			t.Fatalf("fill[%d] = %d, want %d", i, r, want[i])
+		}
+	}
+	// Window [64, 192): offsets are window-relative, tail clamped to n.
+	out = bm.FillSel(64, 128, out)
+	if len(out) != 4 || out[0] != 0 || out[1] != 1 || out[2] != 63 || out[3] != 64 {
+		t.Fatalf("windowed fill = %v", out)
+	}
+	// Clamp past the bitmap's end.
+	out = bm.FillSel(192, 100, out)
+	if len(out) != 1 || out[0] != 7 {
+		t.Fatalf("clamped fill = %v", out)
+	}
+}
+
+func TestBuildIndexAndLookupInt(t *testing.T) {
+	b := &Block{Dataset: "d", Key: "k", Kind: types.KindInt, Complete: true, Rows: 8,
+		Ints:  []int64{5, 3, 5, 7, 3, 5, 2, 7},
+		Nulls: []bool{false, false, false, false, false, false, false, true}}
+	ix := BuildIndexFor(b)
+	if ix == nil {
+		t.Fatal("no index built")
+	}
+	if ix.Keys() != 4 || ix.Rows() != 8 {
+		t.Fatalf("keys=%d rows=%d", ix.Keys(), ix.Rows())
+	}
+	check := func(op CmpOp, k int64, want ...int64) {
+		t.Helper()
+		bm, ok := ix.Lookup(op, Pred{Op: op, Kind: types.KindInt, I: k})
+		if !ok {
+			t.Fatalf("lookup op %d k=%d refused", op, k)
+		}
+		var got []int64
+		for i := int64(0); i < 8; i++ {
+			if bm.Get(i) {
+				got = append(got, i)
+			}
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("op %d k=%d rows = %v, want %v", op, k, got, want)
+		}
+	}
+	check(CmpEq, 5, 0, 2, 5)
+	check(CmpEq, 7, 3) // row 7 is NULL, never matches
+	check(CmpEq, 4)    // absent key
+	check(CmpNe, 5, 1, 3, 4, 6)
+	check(CmpLt, 5, 1, 4, 6)
+	check(CmpLe, 3, 1, 4, 6)
+	check(CmpGt, 5, 3)
+	check(CmpGe, 7, 3)
+	// Float lookups on an int index must refuse (fallback to kernels).
+	if _, ok := ix.Lookup(CmpEq, Pred{Op: CmpEq, Kind: types.KindFloat, F: 5}); ok {
+		t.Error("cross-kind lookup must refuse")
+	}
+}
+
+func TestBuildIndexDictString(t *testing.T) {
+	b := &Block{Dataset: "d", Key: "k", Kind: types.KindString, Complete: true, Rows: 6,
+		Strs:  []string{"red", "blue", "red", "green", "blue", "red"},
+		Nulls: []bool{false, false, false, false, true, false}}
+	ix := BuildIndexFor(b)
+	if ix == nil {
+		t.Fatal("no string index built")
+	}
+	bm, ok := ix.Lookup(CmpEq, Pred{Op: CmpEq, Kind: types.KindString, S: "red"})
+	if !ok || !bm.Get(0) || bm.Get(1) || !bm.Get(2) || !bm.Get(5) {
+		t.Fatalf("red lookup wrong: ok=%v", ok)
+	}
+	// Ne must exclude NULL rows: row 4 is a null "blue" slot.
+	bm, ok = ix.Lookup(CmpNe, Pred{Op: CmpNe, Kind: types.KindString, S: "red"})
+	if !ok || !bm.Get(1) || !bm.Get(3) || bm.Get(4) || bm.Get(0) {
+		t.Fatal("ne lookup wrong")
+	}
+	// Missing needle: Eq matches nothing, Ne matches every non-null row.
+	bm, ok = ix.Lookup(CmpEq, Pred{Op: CmpEq, Kind: types.KindString, S: "mauve"})
+	if !ok || bm.Count() != 0 {
+		t.Fatal("missing-key Eq should be empty")
+	}
+	bm, ok = ix.Lookup(CmpNe, Pred{Op: CmpNe, Kind: types.KindString, S: "mauve"})
+	if !ok || bm.Count() != 5 {
+		t.Fatalf("missing-key Ne = %d, want 5", bm.Count())
+	}
+	// Range ops have no meaning over appearance-ordered codes.
+	if _, ok := ix.Lookup(CmpLt, Pred{Op: CmpLt, Kind: types.KindString, S: "red"}); ok {
+		t.Error("string range lookup must refuse")
+	}
+}
+
+func TestBuildIndexRefusals(t *testing.T) {
+	fb := &Block{Kind: types.KindFloat, Rows: 2, Floats: []float64{1, 2}}
+	if BuildIndexFor(fb) != nil {
+		t.Error("float columns must not be indexed")
+	}
+	wide := &Block{Kind: types.KindInt, Rows: maxIndexKeys + 1}
+	for i := 0; i <= maxIndexKeys; i++ {
+		wide.Ints = append(wide.Ints, int64(i))
+	}
+	if BuildIndexFor(wide) != nil {
+		t.Error("too-distinct columns must not be indexed")
+	}
+}
+
+// TestConcatBlocksValidation pins the fragment-merge contract: mismatched
+// datasets, keys, kinds, or inconsistent column/null lengths reject the
+// merge, and Complete propagates only when every fragment is complete.
+func TestConcatBlocksValidation(t *testing.T) {
+	frag := func(key string, kind types.Kind, rows int) *Block {
+		b := &Block{Dataset: "ds", Key: key, Kind: kind, Complete: true, Rows: int64(rows)}
+		switch kind {
+		case types.KindInt:
+			b.Ints = make([]int64, rows)
+		case types.KindFloat:
+			b.Floats = make([]float64, rows)
+		}
+		return b
+	}
+	if ConcatBlocks(nil) != nil {
+		t.Error("empty concat must be nil")
+	}
+	ok := ConcatBlocks([]*Block{frag("a", types.KindInt, 2), frag("a", types.KindInt, 3)})
+	if ok == nil || ok.Rows != 5 || !ok.Complete || len(ok.Ints) != 5 {
+		t.Fatalf("valid concat = %+v", ok)
+	}
+	if ok.Nulls != nil {
+		t.Error("all-dense fragments must concat dense")
+	}
+
+	if ConcatBlocks([]*Block{frag("a", types.KindInt, 2), nil}) != nil {
+		t.Error("nil fragment must reject")
+	}
+	if ConcatBlocks([]*Block{frag("a", types.KindInt, 2), frag("b", types.KindInt, 2)}) != nil {
+		t.Error("key mismatch must reject")
+	}
+	if ConcatBlocks([]*Block{frag("a", types.KindInt, 2), frag("a", types.KindFloat, 2)}) != nil {
+		t.Error("kind mismatch must reject")
+	}
+	other := frag("a", types.KindInt, 2)
+	other.Dataset = "other"
+	if ConcatBlocks([]*Block{frag("a", types.KindInt, 2), other}) != nil {
+		t.Error("dataset mismatch must reject")
+	}
+	short := frag("a", types.KindInt, 3)
+	short.Ints = short.Ints[:2] // typed column shorter than Rows
+	if ConcatBlocks([]*Block{frag("a", types.KindInt, 2), short}) != nil {
+		t.Error("length-inconsistent fragment must reject")
+	}
+	crossed := frag("a", types.KindInt, 2)
+	crossed.Floats = []float64{1} // foreign typed column populated
+	if ConcatBlocks([]*Block{frag("a", types.KindInt, 2), crossed}) != nil {
+		t.Error("cross-typed fragment must reject")
+	}
+	badNulls := frag("a", types.KindInt, 2)
+	badNulls.Nulls = []bool{true} // nulls shorter than Rows
+	if ConcatBlocks([]*Block{frag("a", types.KindInt, 2), badNulls}) != nil {
+		t.Error("short null column must reject")
+	}
+
+	partial := frag("a", types.KindInt, 2)
+	partial.Complete = false
+	got := ConcatBlocks([]*Block{frag("a", types.KindInt, 2), partial})
+	if got == nil || got.Complete {
+		t.Error("any incomplete fragment must clear Complete")
+	}
+	// Sparse + dense fragments: the merged null column covers both.
+	sparse := frag("a", types.KindInt, 2)
+	sparse.Nulls = []bool{false, true}
+	got = ConcatBlocks([]*Block{frag("a", types.KindInt, 2), sparse})
+	if got == nil || len(got.Nulls) != 4 || got.Nulls[2] || !got.Nulls[3] {
+		t.Fatalf("sparse concat nulls = %+v", got)
+	}
+}
+
+// TestEvictionOrderLargeClock is the regression for the float eviction
+// score: with lastUsed values past float64's 53-bit mantissa, the old
+// bias*1e9+lastUsed score collapsed recency within a bias class (and let a
+// huge clock bleed across classes). The lexicographic comparison must evict
+// strictly LRU-within-cheapest-bias regardless of clock magnitude.
+func TestEvictionOrderLargeClock(t *testing.T) {
+	// Each 20-row int block is 160 column bytes + 21 zone-map bytes = 181;
+	// the arena holds exactly two.
+	mem := storage.NewManager(2 * 181)
+	m := NewManager(mem, true)
+	m.clock = 1 << 53 // past float64 integer precision
+	old := intBlock("d", "old", 20, 1)
+	mid := intBlock("d", "mid", 20, 1)
+	josn := intBlock("d", "json", 20, 14) // expensive format, oldest of all
+	m.Register(old)
+	m.Register(josn)
+	// Registering "mid" must evict "old" (cheapest bias, least recent),
+	// not "json" (expensive bias) — even though their lastUsed values
+	// differ by 1, which a float64 bias*1e9+lastUsed score cannot see at
+	// this clock magnitude.
+	m.Register(mid)
+	if _, ok := m.blocks["d\x00old"]; ok {
+		t.Error("old should have been evicted")
+	}
+	if _, ok := m.blocks["d\x00json"]; !ok {
+		t.Error("json (expensive bias) must survive")
+	}
+	if _, ok := m.blocks["d\x00mid"]; !ok {
+		t.Error("mid must be registered")
+	}
+	// Recency within a bias class at huge clock: touch "json" then force
+	// another eviction round — "mid" (cheap) goes before "json".
+	if _, ok := m.Lookup("d", "json"); !ok {
+		t.Fatal("lookup json")
+	}
+	m.Register(intBlock("d", "new", 20, 1))
+	if _, ok := m.blocks["d\x00mid"]; ok {
+		t.Error("mid should have been evicted on the second round")
+	}
+	if _, ok := m.blocks["d\x00json"]; !ok {
+		t.Error("json must still survive")
+	}
+}
+
+// TestIndexPolicy pins NotePredicate/CreditScan promotion: IndexOn builds
+// immediately, IndexAuto needs hotScanThreshold scans on a selective
+// predicate, IndexOff never builds, and unselective predicates never promote.
+func TestIndexPolicy(t *testing.T) {
+	mk := func(mode IndexMode) *Manager {
+		m := NewManager(storage.NewManager(0), true)
+		m.Indexes = mode
+		m.Register(intBlock("d", "k", 10, 1))
+		return m
+	}
+	m := mk(IndexOn)
+	m.NotePredicate("d", "k", 0.9) // forced mode ignores selectivity
+	if b, _ := m.Lookup("d", "k"); b.Index() == nil {
+		t.Fatal("IndexOn must build on first predicate")
+	}
+	if s := m.Snapshot(); s.IndexBuilds != 1 || s.Indexes != 1 || s.IndexBytes <= 0 {
+		t.Fatalf("accounting after forced build: %+v", s)
+	}
+
+	m = mk(IndexAuto)
+	m.NotePredicate("d", "k", 0.1)
+	for i := 0; i < hotScanThreshold-1; i++ {
+		m.CreditScan("d", "k")
+		if b, _ := m.Lookup("d", "k"); b.Index() != nil {
+			t.Fatalf("promoted after only %d scans", i+1)
+		}
+	}
+	m.CreditScan("d", "k")
+	if b, _ := m.Lookup("d", "k"); b.Index() == nil {
+		t.Fatal("auto policy must promote at the hot-scan threshold")
+	}
+
+	m = mk(IndexAuto)
+	m.NotePredicate("d", "k", 0.9) // unselective: never promote
+	for i := 0; i < 10*hotScanThreshold; i++ {
+		m.CreditScan("d", "k")
+	}
+	if b, _ := m.Lookup("d", "k"); b.Index() != nil {
+		t.Fatal("unselective predicates must not promote")
+	}
+
+	m = mk(IndexOff)
+	m.NotePredicate("d", "k", 0.01)
+	for i := 0; i < 10*hotScanThreshold; i++ {
+		m.CreditScan("d", "k")
+	}
+	if b, _ := m.Lookup("d", "k"); b.Index() != nil {
+		t.Fatal("IndexOff must never build")
+	}
+}
+
+// TestIndexEvictionAccounting checks an evicted block releases its index
+// bytes along with its column bytes.
+func TestIndexEvictionAccounting(t *testing.T) {
+	m := NewManager(storage.NewManager(0), true)
+	m.Indexes = IndexOn
+	m.Register(intBlock("d", "k", 10, 1))
+	m.NotePredicate("d", "k", 0.1)
+	if got := m.Snapshot().IndexBytes; got <= 0 {
+		t.Fatalf("index bytes = %d", got)
+	}
+	m.Drop("d")
+	if used := m.mem.ArenaUsed(); used != 0 {
+		t.Fatalf("arena after drop = %d, want 0", used)
+	}
+}

@@ -40,6 +40,13 @@ type Config struct {
 	CacheBudget int64
 	// CacheStrings overrides the default don't-cache-strings policy.
 	CacheStrings bool
+	// Indexes selects the bitmap-index policy for cached columns:
+	// cache.IndexAuto (default) builds indexes on columns that repeated
+	// selective predicates mark as hot, cache.IndexOn indexes every
+	// predicate-touched cached column immediately, cache.IndexOff disables
+	// bitmap indexes (zone maps are always built — they are 21 bytes per
+	// 1024 rows).
+	Indexes cache.IndexMode
 	// SampleEvery is the statistics sampling stride during cold access
 	// (default 64; negative disables cold-access statistics gathering).
 	SampleEvery int
@@ -133,6 +140,7 @@ func New(cfg Config) *Engine {
 	st := stats.NewStore()
 	cm := cache.NewManager(mem, cfg.CacheEnabled)
 	cm.CacheStrings = cfg.CacheStrings
+	cm.Indexes = cfg.Indexes
 	reg := plugin.NewRegistry()
 	reg.Register(csvpg.New())
 	reg.Register(jsonpg.New())

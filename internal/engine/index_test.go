@@ -1,0 +1,142 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"proteus/internal/cache"
+	"proteus/internal/exec"
+	"proteus/internal/plugin"
+	"proteus/internal/types"
+)
+
+// newIdxEngine registers one wide CSV dataset (3000 rows: several zone
+// windows) so zone maps and bitmap indexes have room to act.
+func newIdxEngine(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	e := New(cfg)
+	var sb strings.Builder
+	for i := 0; i < 3000; i++ {
+		// grp cycles 0..9; band is constant 7 for the first zone and 99
+		// afterwards, so a band=7 predicate can skip 2 of 3 zones.
+		band := 7
+		if i >= 1024 {
+			band = 99
+		}
+		fmt.Fprintf(&sb, "%d,%d,%d,%s\n", i, i%10, band, []string{"red", "green", "blue"}[i%3])
+	}
+	e.Mem().PutFile("mem://idx.csv", []byte(sb.String()))
+	schema := types.NewRecordType(
+		types.Field{Name: "id", Type: types.Int},
+		types.Field{Name: "grp", Type: types.Int},
+		types.Field{Name: "band", Type: types.Int},
+		types.Field{Name: "color", Type: types.String},
+	)
+	if err := e.Register("idx", "mem://idx.csv", "csv", schema, plugin.Options{}); err != nil {
+		t.Fatalf("register csv: %v", err)
+	}
+	return e
+}
+
+// TestIndexedFilterEquivalence runs the same filter queries repeatedly under
+// forced-on and forced-off index policies and requires identical results —
+// the index is an access path, never a semantics change.
+func TestIndexedFilterEquivalence(t *testing.T) {
+	queries := []string{
+		"SELECT COUNT(*) FROM idx WHERE grp = 3",
+		"SELECT COUNT(*), SUM(id) FROM idx WHERE grp <= 2",
+		"SELECT COUNT(*) FROM idx WHERE band = 7",
+		"SELECT COUNT(*) FROM idx WHERE grp != 4",
+		"SELECT SUM(grp) FROM idx WHERE id > 2900",
+		"SELECT COUNT(*) FROM idx WHERE grp = 3 AND band = 99",
+	}
+	mk := func(mode cache.IndexMode) *Engine {
+		return newIdxEngine(t, Config{
+			CacheEnabled: true, CacheStrings: true, Indexes: mode,
+			Vectorized: exec.VecOn, Parallelism: 1,
+		})
+	}
+	on, off := mk(cache.IndexOn), mk(cache.IndexOff)
+	for _, q := range queries {
+		// Three runs: cold (populates caches), warm (builds/uses indexes),
+		// and a third from the plan cache after any epoch bump.
+		for run := 0; run < 3; run++ {
+			rOn, err := on.QuerySQL(q)
+			if err != nil {
+				t.Fatalf("indexes on, %q run %d: %v", q, run, err)
+			}
+			rOff, err := off.QuerySQL(q)
+			if err != nil {
+				t.Fatalf("indexes off, %q run %d: %v", q, run, err)
+			}
+			if got, want := fmt.Sprint(rOn.Rows), fmt.Sprint(rOff.Rows); got != want {
+				t.Fatalf("%q run %d: indexed %s != unindexed %s", q, run, got, want)
+			}
+		}
+	}
+	cs := on.Caches().Snapshot()
+	if cs.IndexBuilds == 0 || cs.Indexes == 0 {
+		t.Fatalf("forced-on engine built no indexes: %+v", cs)
+	}
+	if cs.IndexHits == 0 {
+		t.Fatalf("forced-on engine recorded no index hits: %+v", cs)
+	}
+	if cs.IndexBytes <= 0 {
+		t.Fatalf("index bytes not accounted: %+v", cs)
+	}
+	coff := off.Caches().Snapshot()
+	if coff.IndexBuilds != 0 || coff.Indexes != 0 || coff.IndexHits != 0 {
+		t.Fatalf("forced-off engine touched indexes: %+v", coff)
+	}
+}
+
+// TestZoneMapSkips checks that a predicate outside most zones' ranges skips
+// windows on the fully-cached scan, and that the skip counter surfaces
+// through the metrics snapshot.
+func TestZoneMapSkips(t *testing.T) {
+	e := newIdxEngine(t, Config{
+		CacheEnabled: true, Indexes: cache.IndexOff, Parallelism: 1,
+	})
+	q := "SELECT COUNT(*) FROM idx WHERE band = 7"
+	var want int64
+	for run := 0; run < 3; run++ {
+		res, err := e.QuerySQL(q)
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		if got := res.Scalar().AsInt(); run == 0 {
+			want = got
+		} else if got != want {
+			t.Fatalf("run %d: count = %d, want %d", run, got, want)
+		}
+	}
+	if want != 1024 {
+		t.Fatalf("band=7 count = %d, want 1024", want)
+	}
+	if skips := e.Metrics().Cache.ZoneSkips; skips == 0 {
+		t.Fatalf("warm runs over band=7 should skip zones, got %d", skips)
+	}
+}
+
+// TestAdaptiveIndexPromotion drives the auto policy past the hot-scan
+// threshold and checks an index appears without being forced.
+func TestAdaptiveIndexPromotion(t *testing.T) {
+	e := newIdxEngine(t, Config{
+		CacheEnabled: true, Indexes: cache.IndexAuto,
+		Vectorized: exec.VecOn, Parallelism: 1,
+	})
+	q := "SELECT COUNT(*) FROM idx WHERE grp = 3"
+	for run := 0; run < 6; run++ {
+		if _, err := e.QuerySQL(q); err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+	}
+	cs := e.Caches().Snapshot()
+	if cs.IndexBuilds == 0 {
+		t.Fatalf("auto policy never promoted grp to an index: %+v", cs)
+	}
+	if cs.IndexHits == 0 {
+		t.Fatalf("promoted index never served a filter: %+v", cs)
+	}
+}

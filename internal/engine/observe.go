@@ -182,6 +182,12 @@ func (e *Engine) Metrics() obs.Snapshot {
 		Misses:     cs.Misses,
 		Evictions:  cs.Evictions,
 		BuildNanos: cs.BuildNanos,
+
+		Indexes:     cs.Indexes,
+		IndexBytes:  cs.IndexBytes,
+		IndexBuilds: cs.IndexBuilds,
+		IndexHits:   cs.IndexHits,
+		ZoneSkips:   cs.ZoneSkips,
 	})
 	e.mu.Lock()
 	snap.Datasets = len(e.datasets)

@@ -308,6 +308,7 @@ func (c *Compiler) compileChildThen(child algebra.Node, mk func() (Kont, error))
 
 // cachedField is one needed path served from a complete cache block.
 type cachedField struct {
+	path  string
 	block *cache.Block
 	slot  vbuf.Slot
 }
@@ -338,6 +339,16 @@ type scanInfo struct {
 	pluginFields []plugin.FieldReq
 	cachedFields []cachedField
 	buildReqs    []buildReq
+
+	// zoneSkip (nil when no pushed predicate maps onto a cached column's
+	// zone maps) reports whether a window of row ordinals can be skipped
+	// wholesale. It is only safe to consult on the full-cache-hit drivers,
+	// where no builders observe the row stream.
+	zoneSkip func(lo, hi int64) bool
+	// credit (nil likewise) notifies the cache manager at run time that the
+	// scan's pushed predicates touched their columns again — the adaptive
+	// index-selection signal.
+	credit func()
 }
 
 // analyzeScan installs the scan's binding, allocates a slot per needed path,
@@ -388,7 +399,7 @@ func (c *Compiler) analyzeScan(s *algebra.Scan) (*scanInfo, error) {
 			continue
 		}
 		if blk, ok := caches.Lookup(s.Dataset, p); ok && blk.Rows == si.rows {
-			si.cachedFields = append(si.cachedFields, cachedField{block: blk, slot: slot})
+			si.cachedFields = append(si.cachedFields, cachedField{path: p, block: blk, slot: slot})
 			c.note("scan %s: field %s served from cache", s.Dataset, p)
 			continue
 		}
@@ -411,6 +422,7 @@ func (c *Compiler) analyzeScan(s *algebra.Scan) (*scanInfo, error) {
 	if c.driveScan != nil && s == c.driveScan {
 		si.morsel = c.morsel
 	}
+	c.setupIndexHints(si)
 	return si, nil
 }
 
@@ -470,8 +482,12 @@ func (c *Compiler) compileScan(s *algebra.Scan, consume Kont) (func(r *vbuf.Regs
 		// builders can exist here: population only attaches to
 		// plug-in-extracted fields.)
 		c.note("scan %s: fully served from cache (%d fields)", s.Dataset, len(si.cachedFields))
-		drv := cachepg.CompileScan(si.rows, rawLoaders, &si.b.oidSlot, si.morsel, si.scanProf, c.cancel)
+		drv := cachepg.CompileScan(si.rows, rawLoaders, &si.b.oidSlot, si.morsel, si.scanProf, c.cancel, si.zoneSkip)
+		credit := si.credit
 		run := func(r *vbuf.Regs) error {
+			if credit != nil {
+				credit()
+			}
 			return drv(r, func() error { return consume(r) })
 		}
 		return c.profScanRun(s, run, morselRows(si.morsel, si.rows)), nil
@@ -512,7 +528,11 @@ func (c *Compiler) compileScan(s *algebra.Scan, consume Kont) (func(r *vbuf.Regs
 	if err != nil {
 		return nil, err
 	}
+	credit := si.credit
 	run := func(r *vbuf.Regs) error {
+		if credit != nil {
+			credit()
+		}
 		for _, bd := range builders {
 			bd.Reset()
 		}

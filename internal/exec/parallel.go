@@ -131,9 +131,12 @@ func (sh *sharedRun) finishCaches(m *cache.Manager, totalRows int64) {
 		if !complete || rows != totalRows {
 			continue
 		}
-		blk := cache.ConcatBlocks(parts)
-		blk.Complete = true
-		m.Register(blk)
+		// ConcatBlocks validates the fragments and propagates Complete (all
+		// builder fragments are finished, so the union is complete); nil means
+		// the fragments were inconsistent and must not be registered.
+		if blk := cache.ConcatBlocks(parts); blk != nil {
+			m.Register(blk)
+		}
 	}
 }
 

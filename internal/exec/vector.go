@@ -189,7 +189,9 @@ func (c *Compiler) compileVecSeg(ch *vecChain) (*vecSeg, error) {
 			}
 			loaders = append(loaders, ld)
 		}
-		seg.producer = cachepg.CompileBatchScan(si.rows, loaders, &si.b.oidSlot, si.morsel, si.scanProf, c.cancel)
+		// Zone-map window skipping is safe here: no builders exist on this
+		// path, so nothing downstream needs to observe the skipped rows.
+		seg.producer = cachepg.CompileBatchScan(si.rows, loaders, &si.b.oidSlot, si.morsel, si.scanProf, c.cancel, si.zoneSkip)
 		producerTag = "cache"
 	} else {
 		spec := plugin.ScanSpec{Fields: si.pluginFields, OIDSlot: &si.b.oidSlot, Morsel: si.morsel, Prof: si.scanProf, Cancel: c.cancel}
@@ -213,7 +215,7 @@ func (c *Compiler) compileVecSeg(ch *vecChain) (*vecSeg, error) {
 	}
 
 	for _, sel := range ch.selects {
-		f, err := c.compileVecFilter(sel.Pred)
+		f, err := c.compileSegFilter(si, sel.Pred)
 		if err != nil {
 			return nil, err
 		}
@@ -269,7 +271,11 @@ func (c *Compiler) compileVecDriver(seg *vecSeg, terminate func(b *vbuf.Batch, r
 		tAfter = make([]time.Time, len(filters))
 	}
 
+	credit := si.credit
 	run := func(r *vbuf.Regs) error {
+		if credit != nil {
+			credit()
+		}
 		for _, bd := range builders {
 			bd.Reset()
 		}

@@ -72,6 +72,13 @@ type CacheCounters struct {
 	Misses     int64 `json:"misses"`
 	Evictions  int64 `json:"evictions"`
 	BuildNanos int64 `json:"build_nanos"`
+
+	// Columnar cache v2: bitmap indexes and zone maps.
+	Indexes     int   `json:"indexes"`      // blocks carrying a bitmap index
+	IndexBytes  int64 `json:"index_bytes"`  // bytes held by bitmap indexes
+	IndexBuilds int64 `json:"index_builds"` // indexes built (incl. rebuilt)
+	IndexHits   int64 `json:"index_hits"`   // filters answered from an index
+	ZoneSkips   int64 `json:"zone_skips"`   // scan windows skipped by zone maps
 }
 
 // Snapshot is a point-in-time copy of every engine metric, JSON-ready for
@@ -203,6 +210,12 @@ func (s Snapshot) Prometheus() string {
 	counter("proteus_cache_misses_total", "Cache lookup misses.", fmt.Sprint(s.Cache.Misses))
 	counter("proteus_cache_evictions_total", "Cache blocks evicted.", fmt.Sprint(s.Cache.Evictions))
 	counter("proteus_cache_build_seconds_total", "Wall time materializing and registering cache blocks.", seconds(s.Cache.BuildNanos))
+
+	gauge("proteus_cache_indexes", "Cache blocks carrying a bitmap index.", int64(s.Cache.Indexes))
+	gauge("proteus_cache_index_bytes", "Bytes held by cache bitmap indexes.", s.Cache.IndexBytes)
+	counter("proteus_cache_index_builds_total", "Bitmap indexes built over cache blocks.", fmt.Sprint(s.Cache.IndexBuilds))
+	counter("proteus_cache_index_hits_total", "Filters answered from a cache bitmap index.", fmt.Sprint(s.Cache.IndexHits))
+	counter("proteus_cache_zone_skips_total", "Scan windows skipped by cache zone maps.", fmt.Sprint(s.Cache.ZoneSkips))
 
 	gauge("proteus_datasets", "Registered datasets.", int64(s.Datasets))
 	gauge("proteus_profiles_retained", "Query profiles held in the ring.", int64(s.ProfilesRetained))

@@ -38,7 +38,93 @@ func Optimize(plan algebra.Node, env *Env) algebra.Node {
 		plan = chooseBuildSides(plan, env)
 	}
 	plan = pushProjections(plan)
+	plan = annotatePushdown(plan)
 	return plan
+}
+
+// annotatePushdown records, per Scan, the sargable conjuncts (field path
+// vs. constant comparisons) of the Select chain sitting directly above it.
+// The Selects stay in the plan and still evaluate the predicates — the
+// annotation is advisory metadata the executor uses to consult cached
+// blocks' zone maps (window skipping) and bitmap indexes. Because every
+// recorded conjunct comes from a Select that dominates the scan through a
+// pure Select chain, a row provably failing one of them can be skipped at
+// the source without changing any result.
+func annotatePushdown(n algebra.Node) algebra.Node {
+	algebra.Walk(n, func(node algebra.Node) bool {
+		if s, ok := node.(*algebra.Scan); ok {
+			s.Pushed = s.Pushed[:0]
+		}
+		return true
+	})
+	var visit func(node algebra.Node, underSelect bool)
+	visit = func(node algebra.Node, underSelect bool) {
+		if sel, ok := node.(*algebra.Select); ok {
+			if !underSelect { // chain top: walk the whole Select chain once
+				var conjs []expr.Expr
+				cur := algebra.Node(sel)
+				for {
+					s2, ok := cur.(*algebra.Select)
+					if !ok {
+						break
+					}
+					conjs = append(conjs, expr.SplitConjuncts(s2.Pred)...)
+					cur = s2.Child
+				}
+				if scan, ok := cur.(*algebra.Scan); ok {
+					for _, cj := range conjs {
+						if pp, ok := sargable(cj, scan.Binding); ok {
+							scan.Pushed = append(scan.Pushed, pp)
+						}
+					}
+				}
+			}
+			visit(sel.Child, true)
+			return
+		}
+		for _, k := range node.Children() {
+			visit(k, false)
+		}
+	}
+	visit(n, false)
+	return n
+}
+
+// sargable recognizes conjuncts of the form <path> <cmp> <const> (either
+// side order) on the given binding, normalizing the constant to the right.
+func sargable(e expr.Expr, binding string) (algebra.PushedPred, bool) {
+	b, ok := e.(*expr.BinOp)
+	if !ok {
+		return algebra.PushedPred{}, false
+	}
+	switch b.Op {
+	case expr.OpEq, expr.OpNe, expr.OpLt, expr.OpLe, expr.OpGt, expr.OpGe:
+	default:
+		return algebra.PushedPred{}, false
+	}
+	col, k, op := b.L, b.R, b.Op
+	if _, isConst := col.(*expr.Const); isConst {
+		col, k = k, col
+		switch op {
+		case expr.OpLt:
+			op = expr.OpGt
+		case expr.OpLe:
+			op = expr.OpGe
+		case expr.OpGt:
+			op = expr.OpLt
+		case expr.OpGe:
+			op = expr.OpLe
+		}
+	}
+	c, ok := k.(*expr.Const)
+	if !ok || c.V.IsNull() {
+		return algebra.PushedPred{}, false
+	}
+	root, path, ok := expr.PathOf(col)
+	if !ok || root != binding || len(path) == 0 {
+		return algebra.PushedPred{}, false
+	}
+	return algebra.PushedPred{Path: joinPath(path), Op: op, V: c.V}, true
 }
 
 // rebuild reconstructs a node with new children (children slice order

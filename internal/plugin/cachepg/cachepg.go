@@ -91,8 +91,11 @@ func CompileLoader(b *cache.Block, slot vbuf.Slot) (Loader, error) {
 // non-nil morsel restricts the driver to [Start, End); prof, when set,
 // receives the block access counters once per invocation (every read is an
 // "index hit" — the cache block is a positional index by construction).
-// The driver polls cc between batches of plugin.CancelStride rows.
-func CompileScan(rows int64, loaders []Loader, oid *vbuf.Slot, morsel *plugin.Morsel, prof *plugin.ScanProf, cc *plugin.Cancel) plugin.RunFunc {
+// The driver polls cc between batches of plugin.CancelStride rows. A
+// non-nil skip callback (built from the blocks' zone maps and the scan's
+// pushed-down predicates) lets the driver drop whole stride windows whose
+// value ranges cannot satisfy the query.
+func CompileScan(rows int64, loaders []Loader, oid *vbuf.Slot, morsel *plugin.Morsel, prof *plugin.ScanProf, cc *plugin.Cancel, skip func(lo, hi int64) bool) plugin.RunFunc {
 	lo, hi := int64(0), rows
 	if morsel != nil {
 		if lo = morsel.Start; lo < 0 {
@@ -110,6 +113,9 @@ func CompileScan(rows int64, loaders []Loader, oid *vbuf.Slot, morsel *plugin.Mo
 			blkEnd := blk + plugin.CancelStride
 			if blkEnd > hi {
 				blkEnd = hi
+			}
+			if skip != nil && skip(blk, blkEnd) {
+				continue
 			}
 			for row := blk; row < blkEnd; row++ {
 				if oid != nil {
@@ -196,8 +202,11 @@ func CompileBatchLoader(blk *cache.Block, slot vbuf.Slot) (BatchLoader, error) {
 // each batch is a window of vbuf.BatchSize rows whose columns alias the
 // blocks' typed arrays — the cheapest batch producer in the system. The
 // driver polls cc once per batch (same granularity as the tuple driver's
-// CancelStride, since vbuf.BatchSize == plugin.CancelStride).
-func CompileBatchScan(rows int64, loaders []BatchLoader, oid *vbuf.Slot, morsel *plugin.Morsel, prof *plugin.ScanProf, cc *plugin.Cancel) plugin.BatchRunFunc {
+// CancelStride, since vbuf.BatchSize == plugin.CancelStride). A non-nil
+// skip callback drops whole batch windows the blocks' zone maps prove
+// cannot satisfy the scan's pushed-down predicates — one batch is exactly
+// one zone (vbuf.BatchSize == cache.ZoneSize).
+func CompileBatchScan(rows int64, loaders []BatchLoader, oid *vbuf.Slot, morsel *plugin.Morsel, prof *plugin.ScanProf, cc *plugin.Cancel, skip func(lo, hi int64) bool) plugin.BatchRunFunc {
 	lo, hi := int64(0), rows
 	if morsel != nil {
 		if lo = morsel.Start; lo < 0 {
@@ -215,6 +224,9 @@ func CompileBatchScan(rows int64, loaders []BatchLoader, oid *vbuf.Slot, morsel 
 			blkEnd := blk + vbuf.BatchSize
 			if blkEnd > hi {
 				blkEnd = hi
+			}
+			if skip != nil && skip(blk, blkEnd) {
+				continue
 			}
 			for _, ld := range loaders {
 				ld(b, blk, blkEnd)

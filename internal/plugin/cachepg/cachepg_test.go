@@ -126,7 +126,7 @@ func TestCompileScanDrivesAllRows(t *testing.T) {
 		t.Fatal(err)
 	}
 	var prof plugin.ScanProf
-	run := CompileScan(3, []Loader{ld}, &oid, nil, &prof, nil)
+	run := CompileScan(3, []Loader{ld}, &oid, nil, &prof, nil, nil)
 	regs := vbuf.NewRegs(&a)
 	var sum, oidSum int64
 	if err := run(regs, func() error {
@@ -152,7 +152,7 @@ func TestCompileScanMorsel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	run := CompileScan(5, []Loader{ld}, nil, &plugin.Morsel{Start: 1, End: 4}, nil, nil)
+	run := CompileScan(5, []Loader{ld}, nil, &plugin.Morsel{Start: 1, End: 4}, nil, nil, nil)
 	regs := vbuf.NewRegs(&a)
 	var got []int64
 	if err := run(regs, func() error {

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sync"
 
+	"proteus/internal/cache"
 	"proteus/internal/engine"
 	"proteus/internal/exec"
 )
@@ -43,6 +44,18 @@ func configMatrix() []engConfig {
 			CacheEnabled: true, PlanCacheSize: 64}, warm: true},
 		{name: "concurrent", cfg: engine.Config{Parallelism: 2, Vectorized: exec.VecAuto,
 			CacheEnabled: true, PlanCacheSize: 64}, concurrent: true},
+		// Index configs: identical except for the bitmap-index policy, both
+		// warm (the second run recompiles against freshly built indexes via
+		// the cache-epoch bump) with string caching on so dictionary-string
+		// equality exercises the dictionary path. Differential comparison
+		// against base — and against each other through it — is exactly the
+		// indexed-vs-unindexed cross-check.
+		{name: "idx-on", cfg: engine.Config{Parallelism: 1, Vectorized: exec.VecOn,
+			CacheEnabled: true, CacheStrings: true, Indexes: cache.IndexOn,
+			PlanCacheSize: 64}, warm: true},
+		{name: "idx-off", cfg: engine.Config{Parallelism: 1, Vectorized: exec.VecOn,
+			CacheEnabled: true, CacheStrings: true, Indexes: cache.IndexOff,
+			PlanCacheSize: 64}, warm: true},
 	}
 }
 

@@ -45,7 +45,8 @@ type qColumn struct {
 	Name     string
 	Kind     types.Kind
 	Key      bool    // small domain; safe as join/group key
-	NullProb float64 // JSON tables only
+	NullProb float64 // JSON tables only; 1.0 makes the column all-NULL
+	Const    bool    // every row holds the same value (degenerate zone maps)
 }
 
 // nestedCol is the optional nested list-of-records column of a JSON table.
@@ -132,6 +133,20 @@ func genFloat(r *rand.Rand) float64 {
 // genValue draws a value of the column's kind (never NULL; the caller rolls
 // nullability separately).
 func genValue(r *rand.Rand, c qColumn) types.Value {
+	if c.Const {
+		// Constant columns collapse the zone map to a single-point range and
+		// the bitmap index to one key — both degenerate paths worth fuzzing.
+		switch c.Kind {
+		case types.KindInt:
+			return types.IntValue(42)
+		case types.KindFloat:
+			return types.FloatValue(2.5)
+		case types.KindBool:
+			return types.BoolValue(true)
+		case types.KindString:
+			return types.StringValue("cedar")
+		}
+	}
 	if c.Key {
 		switch c.Kind {
 		case types.KindInt:
@@ -214,7 +229,12 @@ func genTable(r *rand.Rand, name, format string) *qTable {
 	for i := 0; i < nVals; i++ {
 		c := qColumn{Name: fmt.Sprintf("v%d", i), Kind: kinds[r.Intn(len(kinds))]}
 		if nullable {
-			c.NullProb = []float64{0, 0.2, 0.5}[r.Intn(3)]
+			// 1.0 yields an all-NULL column: its zone maps carry no range and
+			// must skip every comparison without losing IS NULL rows.
+			c.NullProb = []float64{0, 0.2, 0.5, 1}[r.Intn(4)]
+		}
+		if c.NullProb == 0 && r.Intn(8) == 0 {
+			c.Const = true
 		}
 		t.Cols = append(t.Cols, c)
 	}

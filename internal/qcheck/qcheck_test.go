@@ -35,7 +35,7 @@ func optsFromFlags(t *testing.T) Options {
 
 // TestQCheck is the smoke-level differential run: with defaults it
 // cross-checks 12×44 = 528 generated queries against the Volcano oracle
-// and across the 9-config engine matrix.
+// and across the full engine config matrix.
 func TestQCheck(t *testing.T) {
 	opts := optsFromFlags(t)
 	if testing.Short() {

@@ -133,6 +133,14 @@ func genQuery(seed int64, u *universe) *querySpec {
 	for i, n := 0, r.Intn(4); i < n; i++ {
 		q.where = append(q.where, genPred(r, scope, 2))
 	}
+	// Half the time add a predicate aimed exactly at a column's observed
+	// min or max — the zone-map boundary, where an off-by-one in the skip
+	// test silently loses the edge rows.
+	if r.Intn(2) == 0 {
+		if bp := genBoundaryPred(r, t0, "a"); bp != nil {
+			q.where = append(q.where, bp)
+		}
+	}
 
 	// Shape.
 	switch {
@@ -295,6 +303,48 @@ func genNumExpr(r *rand.Rand, scope []colRef, depth int) expr.Expr {
 }
 
 var cmpOps = []expr.BinKind{expr.OpEq, expr.OpNe, expr.OpLt, expr.OpLe, expr.OpGt, expr.OpGe}
+
+// genBoundaryPred builds a comparison whose constant is exactly a numeric
+// column's minimum or maximum over the table's truth rows. These predicates
+// sit on the zone-map boundary: Eq/Le at the min (or Eq/Ge at the max) must
+// keep the window, Lt at the min (Gt at the max) must be free to skip it —
+// both with the edge rows intact.
+func genBoundaryPred(r *rand.Rand, t *qTable, alias string) expr.Expr {
+	var cands []qColumn
+	for _, c := range t.Cols {
+		if c.Kind == types.KindInt || c.Kind == types.KindFloat {
+			cands = append(cands, c)
+		}
+	}
+	if len(cands) == 0 || len(t.Rows) == 0 {
+		return nil
+	}
+	c := cands[r.Intn(len(cands))]
+	var lo, hi types.Value
+	found := false
+	for _, row := range t.Rows {
+		v, ok := row.Field(c.Name)
+		if !ok || v.IsNull() {
+			continue
+		}
+		if !found || v.AsFloat() < lo.AsFloat() {
+			lo = v
+		}
+		if !found || v.AsFloat() > hi.AsFloat() {
+			hi = v
+		}
+		found = true
+	}
+	if !found {
+		return nil // all-NULL column: no boundary to aim at
+	}
+	bound := lo
+	if r.Intn(2) == 0 {
+		bound = hi
+	}
+	op := cmpOps[r.Intn(len(cmpOps))]
+	return &expr.BinOp{Op: op, L: fa(alias, c.Name), R: &expr.Const{V: bound}}
+}
 
 // genPred builds a boolean predicate over the scope.
 func genPred(r *rand.Rand, scope []colRef, depth int) expr.Expr {

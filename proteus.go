@@ -51,6 +51,13 @@ type Config struct {
 	// CacheStrings opts in to caching string fields (off by default: the
 	// paper's policy avoids polluting caches with verbose strings).
 	CacheStrings bool
+	// Indexes selects the bitmap-index policy for cached columns.
+	// IndexesAuto (the default) builds a bitmap index on a cached column once
+	// repeated selective predicates mark it hot; IndexesOn indexes every
+	// predicate-touched cached column immediately; IndexesOff disables
+	// bitmap indexes. Zone maps are always built — they cost 21 bytes per
+	// 1024 rows. Results are identical in every mode.
+	Indexes IndexMode
 	// SampleEvery sets the statistics sampling stride during cold dataset
 	// access (default 64).
 	SampleEvery int
@@ -110,6 +117,17 @@ const (
 	VectorizedOff  = exec.VecOff
 )
 
+// IndexMode selects the cached-column bitmap-index policy (see
+// Config.Indexes).
+type IndexMode = cache.IndexMode
+
+// Bitmap-index policies.
+const (
+	IndexesAuto = cache.IndexAuto
+	IndexesOn   = cache.IndexOn
+	IndexesOff  = cache.IndexOff
+)
+
 // DB is a Proteus engine instance: a catalog of registered datasets plus
 // the managers (memory, caching, statistics) queries compile against.
 type DB struct {
@@ -155,6 +173,7 @@ func Open(cfg Config) *DB {
 		CacheEnabled:  cfg.CacheEnabled,
 		CacheBudget:   cfg.CacheBudget,
 		CacheStrings:  cfg.CacheStrings,
+		Indexes:       cfg.Indexes,
 		SampleEvery:   cfg.SampleEvery,
 		Parallelism:   cfg.Parallelism,
 		Observability: cfg.Observability,

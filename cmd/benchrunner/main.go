@@ -21,12 +21,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig5..fig14, figpar, vec, idx, tab3, or all")
+	exp := flag.String("exp", "all", "experiment: fig5..fig14, figpar, vec, idx, obs, tab3, or all")
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor for fig5–fig13")
 	spam := flag.Int("spam", 10000, "spam scale (JSON objects) for fig14/tab3")
 	raw := flag.Bool("raw", false, "also print machine-readable rows")
 	jsonOut := flag.String("json", "BENCH_PR2.json", "write a machine-readable report to this path (empty disables)")
 	iters := flag.Int("iters", 5, "runs per query for phase-split and overhead medians")
+	obsBudget := flag.Float64("obs-budget", 0, "fail (exit 1) if the obs experiment's overhead ratio exceeds this (0 = report only)")
 	flag.Parse()
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
@@ -127,6 +128,19 @@ func main() {
 		allRows = append(allRows, rows...)
 	}
 
+	if want("obs") {
+		// Standalone observability-overhead experiment: the full v2 stack
+		// (profiles, histograms, slow log at 1ns threshold, plan feedback)
+		// vs. a bare engine. CI runs this with -obs-budget 1.05.
+		fmt.Println("observability v2 overhead sweep ...")
+		ratio, err := bench.ObsOverheadV2(*sf, *iters)
+		if err != nil {
+			fatal(fmt.Errorf("obs: %w", err))
+		}
+		obsOverhead = ratio
+		fmt.Printf("observability v2 overhead: %.3fx (budget < 1.05x)\n\n", ratio)
+	}
+
 	if want("fig14") || want("tab3") {
 		fmt.Printf("running spam workload (%d JSON objects) ...\n", *spam)
 		rep, err := bench.RunSpam(*spam)
@@ -145,6 +159,11 @@ func main() {
 			fatal(fmt.Errorf("writing %s: %w", *jsonOut, err))
 		}
 		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+	// The budget gate runs last so the JSON artifact is written even on a
+	// failing run (CI keeps the evidence).
+	if *obsBudget > 0 && obsOverhead > *obsBudget {
+		fatal(fmt.Errorf("obs: overhead ratio %.3f exceeds budget %.2f", obsOverhead, *obsBudget))
 	}
 }
 

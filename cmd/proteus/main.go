@@ -10,9 +10,14 @@
 // "for" are parsed as comprehensions. Dot commands: ".explain <query>"
 // prints the plan, ".explain analyze <query>" runs the query with full
 // per-operator instrumentation, ".profile" shows the most recent query
-// profile, ".metrics" dumps cumulative engine metrics, and ".caches" prints
-// cache statistics. The -obs flag records a profile for every query and
-// -metrics ADDR serves /metrics, /debug/vars, and /debug/pprof over HTTP.
+// profile, ".trace [id] [file]" exports a profile as Chrome trace-event
+// JSON (Perfetto-loadable), ".slow" prints the slow-query log, ".plans"
+// prints per-plan runtime feedback, ".metrics" dumps cumulative engine
+// metrics, and ".caches" prints cache statistics. The -obs flag records a
+// profile for every query, -slow-query sets the slow-log threshold
+// (-slow-log appends JSONL records to a file), -trace-morsels samples
+// per-morsel trace events, and -metrics ADDR serves /metrics, /debug/vars,
+// /debug/trace, /debug/slow, /debug/plans, and /debug/pprof over HTTP.
 package main
 
 import (
@@ -24,6 +29,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"time"
 
@@ -46,6 +52,10 @@ func main() {
 	par := flag.Int("par", 0, "morsel-parallel workers per query (0 = GOMAXPROCS, 1 = serial)")
 	obsOn := flag.Bool("obs", false, "record a profile for every query (.profile shows the latest)")
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /debug/vars, /debug/pprof on this address (e.g. localhost:6060)")
+	profileRing := flag.Int("profile-ring", 0, "retained recent-query profiles (0 = default 32)")
+	slowQuery := flag.Duration("slow-query", 0, "slow-query log threshold; queries at or above it are recorded (.slow, /debug/slow; 0 = off)")
+	slowLog := flag.String("slow-log", "", "append slow-query records as JSON lines to this file")
+	traceMorsels := flag.Int("trace-morsels", 0, "record per-morsel trace events on every Nth observed query (0 = off)")
 	timeout := flag.Duration("timeout", 0, "per-query wall-time limit (0 = none)")
 	memBudget := flag.Int64("mem-budget", 0, "per-query operator-state byte budget (0 = unlimited)")
 	maxQueries := flag.Int("max-queries", 0, "maximum concurrent queries (0 = unlimited)")
@@ -78,11 +88,28 @@ func main() {
 		fatalf("bad -indexes value %q, want auto, on, or off", *indexes)
 	}
 
-	db := proteus.Open(proteus.Config{
-		CacheEnabled:  *caching,
-		Indexes:       idxMode,
-		Parallelism:   *par,
-		Observability: *obsOn,
+	var slowSink *os.File
+	if *slowLog != "" {
+		var err error
+		slowSink, err = os.OpenFile(*slowLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatalf("opening -slow-log file: %v", err)
+		}
+		defer slowSink.Close()
+		if *slowQuery == 0 {
+			fatalf("-slow-log requires -slow-query to set the threshold")
+		}
+	}
+
+	cfg := proteus.Config{
+		CacheEnabled:    *caching,
+		Indexes:         idxMode,
+		Parallelism:     *par,
+		Observability:   *obsOn,
+		ProfileRingSize: *profileRing,
+
+		SlowQueryThreshold: *slowQuery,
+		TraceMorsels:       *traceMorsels,
 
 		QueryTimeout:         *timeout,
 		QueryMemBudget:       *memBudget,
@@ -90,7 +117,11 @@ func main() {
 
 		Vectorized:    vecMode,
 		PlanCacheSize: *planCache,
-	})
+	}
+	if slowSink != nil {
+		cfg.SlowQueryWriter = slowSink
+	}
+	db := proteus.Open(cfg)
 
 	// Ctrl-C cancels the running query, not the REPL: the handler below
 	// forwards the signal to the active query's context. A second Ctrl-C
@@ -134,7 +165,7 @@ func main() {
 		runQuery(db, *query, sigc)
 		return
 	}
-	fmt.Println("proteus> enter queries (SQL or 'for {...} yield ...'); .explain [analyze] <query>, .profile, .metrics, .caches, .quit")
+	fmt.Println("proteus> enter queries (SQL or 'for {...} yield ...'); .explain [analyze] <query>, .profile, .trace [id] [file], .slow, .plans, .metrics, .caches, .quit")
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -168,6 +199,36 @@ func main() {
 				continue
 			}
 			fmt.Print(proteus.RenderProfile(profs[0]))
+		case line == ".trace" || strings.HasPrefix(line, ".trace "):
+			traceCmd(db, strings.TrimSpace(strings.TrimPrefix(line, ".trace")))
+		case line == ".slow":
+			slow := db.SlowQueries()
+			if len(slow) == 0 {
+				fmt.Println("no slow queries recorded (run with -slow-query <threshold>)")
+				continue
+			}
+			for _, s := range slow {
+				fmt.Print(proteus.RenderSlowQuery(s))
+			}
+		case line == ".plans":
+			plans := db.PlanFeedback()
+			if len(plans) == 0 {
+				fmt.Println("no plan feedback recorded yet")
+				continue
+			}
+			for _, p := range plans {
+				fmt.Printf("%s  execs=%d errs=%d rows=%d mean=%v stddev=%v\n",
+					p.Fingerprint, p.Executions, p.Errors, p.Rows,
+					time.Duration(p.MeanNanos).Round(time.Microsecond),
+					time.Duration(p.StddevNanos).Round(time.Microsecond))
+				fmt.Printf("    %s\n", p.Query)
+				if p.Tuple.Runs > 0 {
+					fmt.Printf("    tuple: runs=%d rows/s=%.0f\n", p.Tuple.Runs, p.Tuple.RowsPerSec())
+				}
+				if p.Vectorized.Runs > 0 {
+					fmt.Printf("    vectorized: runs=%d rows/s=%.0f\n", p.Vectorized.Runs, p.Vectorized.RowsPerSec())
+				}
+			}
 		case strings.HasPrefix(line, ".explain analyze "):
 			out, err := db.ExplainAnalyze(strings.TrimPrefix(line, ".explain analyze "))
 			if err != nil {
@@ -187,6 +248,37 @@ func main() {
 			runQuery(db, line, sigc)
 		}
 	}
+}
+
+// traceCmd implements ".trace [id] [file]": export a retained profile as
+// Chrome trace-event JSON, to stdout or to a file for loading in Perfetto.
+func traceCmd(db *proteus.DB, rest string) {
+	var id int64
+	var file string
+	if rest != "" {
+		fields := strings.Fields(rest)
+		if n, err := strconv.ParseInt(fields[0], 10, 64); err == nil {
+			id = n
+			fields = fields[1:]
+		}
+		if len(fields) > 0 {
+			file = fields[0]
+		}
+	}
+	data, ok := db.TraceJSON(id)
+	if !ok {
+		fmt.Println("no matching profile (run with -obs, or use .explain analyze <query>)")
+		return
+	}
+	if file == "" {
+		fmt.Println(string(data))
+		return
+	}
+	if err := os.WriteFile(file, data, 0o644); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("wrote %d bytes to %s (load in ui.perfetto.dev or chrome://tracing)\n", len(data), file)
 }
 
 func runQuery(db *proteus.DB, q string, sigc <-chan os.Signal) {

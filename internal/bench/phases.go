@@ -2,7 +2,9 @@ package bench
 
 import (
 	"fmt"
+	"io"
 	"sort"
+	"time"
 
 	"proteus/internal/engine"
 	"proteus/internal/obs"
@@ -72,12 +74,37 @@ func PhaseSplit(f *TPCHFixture, iters int) ([]PhaseRow, error) {
 // ratio of median query time with Config.Observability on vs. off over the
 // same generated dataset (1.0 = free; the budget is < 1.05, see DESIGN.md).
 func ObsOverhead(sf float64, iters int) (float64, error) {
+	return obsOverheadWith(sf, iters, engine.Config{Observability: true, PlanFeedbackSize: -1})
+}
+
+// ObsOverheadV2 measures the overhead of the full observability-v2 stack:
+// per-query profiles, latency histograms, a slow-query log with a 1ns
+// threshold (every query is logged, the worst case), and the per-plan
+// feedback store — against the same engine with observability off. Morsel
+// event sampling stays at its default (off) because it is opt-in.
+func ObsOverheadV2(sf float64, iters int) (float64, error) {
+	return obsOverheadWith(sf, iters, engine.Config{
+		Observability:      true,
+		SlowQueryThreshold: time.Nanosecond,
+		SlowQueryWriter:    io.Discard,
+	})
+}
+
+// obsOverheadWith is the shared harness: median query time under obsCfg
+// divided by median query time with all observability off.
+func obsOverheadWith(sf float64, iters int, obsCfg engine.Config) (float64, error) {
 	if iters < 3 {
 		iters = 3
 	}
 	t := GenTPCH(sf)
 	build := func(obsOn bool) (*engine.Engine, error) {
-		e := engine.New(engine.Config{Observability: obsOn})
+		// The baseline engine turns every observability feature off,
+		// including the default-enabled plan feedback store.
+		cfg := engine.Config{PlanFeedbackSize: -1}
+		if obsOn {
+			cfg = obsCfg
+		}
+		e := engine.New(cfg)
 		e.Mem().PutFile("mem://lineitem.json", t.LineitemJSON)
 		if err := e.Register("lineitem_json", "mem://lineitem.json", "json", nil, plugin.Options{}); err != nil {
 			return nil, err

@@ -9,6 +9,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sort"
 	"sync"
@@ -61,13 +62,32 @@ type Config struct {
 	// metrics and EXPLAIN ANALYZE work regardless of this flag; it controls
 	// only whether ordinary queries record profiles into the ring.
 	Observability bool
-	// ProfileRing bounds how many recent query profiles are retained
+	// ProfileRingSize bounds how many recent query profiles are retained
 	// (default 32; values below 1 retain only the most recent profile).
-	ProfileRing int
+	ProfileRingSize int
 	// OnQueryDone, when set, is invoked synchronously with every finished
 	// query's profile — the structured slow-query-log hook. It runs on the
 	// query's goroutine; keep it cheap or hand off.
 	OnQueryDone func(obs.QueryProfile)
+	// SlowQueryThreshold, when positive, records every query whose
+	// end-to-end time reaches it into the slow-query log (surfaced at
+	// /debug/slow and Engine.SlowQueries). Setting it forces the observed
+	// life-cycle even when Observability is off, so slow queries always
+	// carry their full profile. 0 disables the log.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLogSize bounds the retained slow-query records (default 128).
+	SlowQueryLogSize int
+	// SlowQueryWriter, when set, additionally receives every slow-query
+	// record as one JSON line (the production log sink).
+	SlowQueryWriter io.Writer
+	// TraceMorsels samples per-morsel event spans into observed query
+	// profiles for trace export: every Nth observed query records one span
+	// per scan-driver invocation (0 = off, the default — EXPLAIN ANALYZE
+	// runs always record events).
+	TraceMorsels int
+	// PlanFeedbackSize bounds the per-plan-fingerprint feedback store in
+	// tracked plans (0 = default 256; negative disables the store).
+	PlanFeedbackSize int
 	// QueryTimeout bounds each query's wall time, covering the whole
 	// life-cycle from parse through execute (0 = no timeout). Expired
 	// queries return context.DeadlineExceeded.
@@ -125,6 +145,14 @@ type Engine struct {
 	profiles   *obs.Ring
 	onDone     func(obs.QueryProfile)
 	queryID    atomic.Int64
+
+	// Observability v2 state. slowlog is nil unless SlowQueryThreshold is
+	// set; feedback is nil when PlanFeedbackSize is negative; traceMorsels
+	// samples morsel events on every Nth observed query via obsSeq.
+	slowlog      *obs.SlowLog
+	feedback     *obs.PlanFeedback
+	traceMorsels int
+	obsSeq       atomic.Int64
 }
 
 // New creates an engine with the standard plug-ins registered (CSV, JSON,
@@ -149,12 +177,24 @@ func New(cfg Config) *Engine {
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
-	ringSize := cfg.ProfileRing
+	ringSize := cfg.ProfileRingSize
 	if ringSize == 0 {
 		ringSize = 32
 	}
 	if ringSize < 0 {
 		ringSize = 0
+	}
+	var slowlog *obs.SlowLog
+	if cfg.SlowQueryThreshold > 0 {
+		logSize := cfg.SlowQueryLogSize
+		if logSize == 0 {
+			logSize = 128
+		}
+		slowlog = obs.NewSlowLog(cfg.SlowQueryThreshold, logSize, cfg.SlowQueryWriter)
+	}
+	var feedback *obs.PlanFeedback
+	if cfg.PlanFeedbackSize >= 0 {
+		feedback = obs.NewPlanFeedback(cfg.PlanFeedbackSize)
 	}
 	var admit chan struct{}
 	if cfg.MaxConcurrentQueries > 0 {
@@ -169,22 +209,25 @@ func New(cfg Config) *Engine {
 		plans = newPlanCache(planCap)
 	}
 	return &Engine{
-		mem:         mem,
-		stats:       st,
-		caches:      cm,
-		registry:    reg,
-		env:         &plugin.Env{Mem: mem, Stats: st, SampleEvery: cfg.SampleEvery},
-		datasets:    map[string]*plugin.Dataset{},
-		parallelism: par,
-		vectorize:   cfg.Vectorized,
-		plans:       plans,
-		timeout:     cfg.QueryTimeout,
-		memBudget:   cfg.QueryMemBudget,
-		admit:       admit,
-		obsEnabled:  cfg.Observability,
-		metrics:     &obs.Metrics{},
-		profiles:    obs.NewRing(ringSize),
-		onDone:      cfg.OnQueryDone,
+		mem:          mem,
+		stats:        st,
+		caches:       cm,
+		registry:     reg,
+		env:          &plugin.Env{Mem: mem, Stats: st, SampleEvery: cfg.SampleEvery},
+		datasets:     map[string]*plugin.Dataset{},
+		parallelism:  par,
+		vectorize:    cfg.Vectorized,
+		plans:        plans,
+		timeout:      cfg.QueryTimeout,
+		memBudget:    cfg.QueryMemBudget,
+		admit:        admit,
+		obsEnabled:   cfg.Observability,
+		metrics:      &obs.Metrics{},
+		profiles:     obs.NewRing(ringSize),
+		onDone:       cfg.OnQueryDone,
+		slowlog:      slowlog,
+		feedback:     feedback,
+		traceMorsels: cfg.TraceMorsels,
 	}
 }
 
@@ -492,7 +535,11 @@ func (e *Engine) runQuery(ctx context.Context, lang, query string) (*exec.Result
 		res *exec.Result
 		err error
 	)
-	if e.obsEnabled {
+	// The slow-query log needs the full profile of every query that might
+	// cross its threshold, so a configured log forces the observed path even
+	// when Observability is off (profiles still only enter the ring and
+	// metrics through flushProfile, as before).
+	if e.obsEnabled || e.slowlog != nil {
 		res, _, err = e.observedQuery(ctx, lang, query, false)
 	} else {
 		res, err = e.plainQuery(ctx, lang, query)
@@ -512,7 +559,7 @@ func (e *Engine) plainQuery(ctx context.Context, lang, query string) (*exec.Resu
 		if err != nil {
 			return nil, err
 		}
-		return p.Program.RunContext(ctx)
+		return e.runPlain(ctx, query, p.Program)
 	}
 	// Both epochs are captured before prepare on purpose: a run that itself
 	// registers cache blocks stores its entry stamped with the pre-run cache
@@ -523,7 +570,7 @@ func (e *Engine) plainQuery(ctx context.Context, lang, query string) (*exec.Resu
 	cacheEpoch := e.caches.Epoch()
 	if en := e.plans.lookup(key, catalogEpoch, cacheEpoch); en != nil {
 		e.metrics.PlanCacheHits.Add(1)
-		res, err := en.prepared.Program.RunContext(ctx)
+		res, err := e.runPlain(ctx, query, en.prepared.Program)
 		en.release()
 		return res, err
 	}
@@ -533,8 +580,26 @@ func (e *Engine) plainQuery(ctx context.Context, lang, query string) (*exec.Resu
 		return nil, err
 	}
 	en := e.plans.store(key, p, catalogEpoch, cacheEpoch)
-	res, err := p.Program.RunContext(ctx)
+	res, err := e.runPlain(ctx, query, p.Program)
 	en.release()
+	return res, err
+}
+
+// runPlain executes a prepared program on the untraced path, feeding the
+// per-plan feedback store with the one measurement this path affords: total
+// execute time and result cardinality. A nil store compiles to two clock
+// reads and a nil check.
+func (e *Engine) runPlain(ctx context.Context, query string, prog *exec.Program) (*exec.Result, error) {
+	if e.feedback == nil {
+		return prog.RunContext(ctx)
+	}
+	t0 := time.Now()
+	res, err := prog.RunContext(ctx)
+	var rows int64
+	if res != nil {
+		rows = int64(len(res.Rows))
+	}
+	e.feedback.Observe(prog.Fingerprint, query, time.Since(t0), rows, prog.Vectorized, err != nil)
 	return res, err
 }
 

@@ -74,8 +74,17 @@ func (e *Engine) observedQuery(ctx context.Context, lang, query string, timed bo
 	defer e.metrics.ActiveQueries.Add(-1)
 	t0 := time.Now()
 
+	// Morsel-event sampling: timed (EXPLAIN ANALYZE) runs always record
+	// per-morsel spans; ordinary observed queries record them on every Nth
+	// query when Config.TraceMorsels is set, so the default path pays none
+	// of the event cost.
+	events := timed
+	if !events && e.traceMorsels > 0 {
+		events = e.obsSeq.Add(1)%int64(e.traceMorsels) == 0
+	}
 	tr := &tracer{spec: &exec.ProfileSpec{
 		Timing:    timed,
+		Events:    events,
 		Estimates: map[algebra.Node]float64{},
 	}}
 
@@ -100,11 +109,24 @@ func (e *Engine) observedQuery(ctx context.Context, lang, query string, timed bo
 		}
 		qp.Workers = p.Program.Workers
 		qp.Morsels = p.Program.Morsels
+		qp.Fingerprint = p.Program.Fingerprint
+		qp.Vectorized = p.Program.Vectorized
 		endExec := tr.phase(obs.PhaseExecute)
 		res, err := p.Program.RunContext(ctx)
 		endExec()
-		tr.attachWorkers(p.Program.WorkerSpans())
+		if ws := p.Program.WorkerSpans(); len(ws) > 0 {
+			tr.attachWorkers(ws)
+		} else if ms := p.Program.MorselSpans(); len(ms) > 0 {
+			// Serial run with sampled morsel events: wrap them in one
+			// synthetic worker span so trace export renders them on a row.
+			span := obs.Span{Name: "worker 0 (serial)", Start: ms[0].Start, Children: ms}
+			last := ms[len(ms)-1]
+			span.Dur = last.Start.Add(last.Dur).Sub(span.Start)
+			tr.attachWorkers([]obs.Span{span})
+		}
 		qp.Root = p.Program.Profile()
+		qp.Attr.CacheHits = p.Program.CompileCacheHits()
+		qp.Attr.MemPeakBytes = p.Program.MemPeak()
 		return res, err
 	}()
 
@@ -138,7 +160,19 @@ func (e *Engine) flushProfile(qp *obs.QueryProfile) {
 		m.ScanBytesRead.Add(op.ExtraValue("bytes_read"))
 		m.ScanFieldsParsed.Add(op.ExtraValue("fields_parsed"))
 		m.ScanIndexHits.Add(op.ExtraValue("index_hits"))
+		// Per-query attribution (observability v2): the same walk fills the
+		// profile's own counters from the operator tree's extras.
+		qp.Attr.BytesRead += op.ExtraValue("bytes_read")
+		qp.Attr.FieldsParsed += op.ExtraValue("fields_parsed")
+		qp.Attr.ScanIndexHits += op.ExtraValue("index_hits")
+		qp.Attr.ZoneSkips += op.ExtraValue("zone_skips")
+		qp.Attr.BitmapHits += op.ExtraValue("bitmap_hits")
 	})
+	m.ObserveLatency(qp)
+	if e.slowlog.Offer(qp) {
+		m.SlowQueries.Add(1)
+	}
+	e.feedback.ObserveProfile(qp)
 	e.profiles.Add(qp)
 	if e.onDone != nil {
 		e.onDone(*qp)
@@ -193,15 +227,45 @@ func (e *Engine) Metrics() obs.Snapshot {
 	snap.Datasets = len(e.datasets)
 	e.mu.Unlock()
 	snap.ProfilesRetained = e.profiles.Len()
+	snap.PlanStatsTracked = e.feedback.Len()
 	return snap
 }
 
 // RecentProfiles returns the retained query profiles, newest first.
 func (e *Engine) RecentProfiles() []*obs.QueryProfile { return e.profiles.Snapshot() }
 
+// SlowQueries returns the retained slow-query log records, newest first
+// (nil when no SlowQueryThreshold is configured).
+func (e *Engine) SlowQueries() []*obs.SlowQuery { return e.slowlog.Snapshot() }
+
+// PlanFeedback returns the per-plan feedback store's tracked stats,
+// most-executed first (nil when the store is disabled).
+func (e *Engine) PlanFeedback() []obs.PlanStats { return e.feedback.Snapshot() }
+
+// PlanFeedbackFor returns one plan's feedback stats by fingerprint.
+func (e *Engine) PlanFeedbackFor(fp string) (obs.PlanStats, bool) { return e.feedback.Lookup(fp) }
+
+// TraceJSON renders a retained profile as Chrome trace-event JSON (loadable
+// in Perfetto). id ≤ 0 selects the newest profile; ok=false when the ring
+// holds no matching profile.
+func (e *Engine) TraceJSON(id int64) ([]byte, bool) {
+	for _, p := range e.profiles.Snapshot() {
+		if id <= 0 || p.ID == id {
+			data, err := obs.TraceJSON(p)
+			if err != nil {
+				return nil, false
+			}
+			return data, true
+		}
+	}
+	return nil, false
+}
+
 // MetricsHandler returns the opt-in HTTP surface: /metrics (Prometheus
-// text), /debug/vars (expvar-style JSON), /debug/queries (recent profiles),
+// text, incl. latency histograms), /debug/vars (expvar-style JSON),
+// /debug/queries (recent profiles), /debug/trace (Chrome trace-event
+// export), /debug/slow (slow-query log), /debug/plans (per-plan feedback),
 // and /debug/pprof/*.
 func (e *Engine) MetricsHandler() http.Handler {
-	return obs.Handler(e.Metrics, e.profiles)
+	return obs.Handler(e.Metrics, e.profiles, e.slowlog, e.feedback)
 }

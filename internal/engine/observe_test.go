@@ -194,8 +194,8 @@ func TestMetricsAndProfileRing(t *testing.T) {
 	hookCount := 0
 	var hooked obs.QueryProfile
 	e := newTestEngine(t, Config{
-		Observability: true,
-		ProfileRing:   2,
+		Observability:   true,
+		ProfileRingSize: 2,
 		OnQueryDone: func(q obs.QueryProfile) {
 			hookCount++
 			hooked = q

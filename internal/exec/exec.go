@@ -118,6 +118,10 @@ type Compiler struct {
 	// mem is the query's memory accountant (shared across clones); nil when
 	// no budget is configured, which compiles all accounting out.
 	mem *memGauge
+
+	// vectorized records that at least one pipeline segment compiled to
+	// batch kernels (surfaced as Program.Vectorized for the feedback store).
+	vectorized bool
 }
 
 func (c *Compiler) note(format string, args ...any) {
@@ -401,6 +405,12 @@ func (c *Compiler) analyzeScan(s *algebra.Scan) (*scanInfo, error) {
 		if blk, ok := caches.Lookup(s.Dataset, p); ok && blk.Rows == si.rows {
 			si.cachedFields = append(si.cachedFields, cachedField{path: p, block: blk, slot: slot})
 			c.note("scan %s: field %s served from cache", s.Dataset, p)
+			// Per-query attribution: a compile-time fact, counted once per
+			// logical scan (clone 0 under parallelism, where every clone
+			// resolves the same blocks).
+			if c.prof != nil && (c.shared == nil || c.workerID == 0) {
+				c.prof.cacheHits++
+			}
 			continue
 		}
 		si.pluginFields = append(si.pluginFields, plugin.FieldReq{Path: splitPath(p), Slot: slot, Type: t})

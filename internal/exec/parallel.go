@@ -212,6 +212,7 @@ func CompileParallel(plan algebra.Node, env *Env, workers int) (*Program, error)
 		prof = newProgProf(plan, env.Profile, len(morsels))
 	}
 	var explain []string
+	var vectorized bool
 	for i := range morsels {
 		c := &Compiler{
 			env:       env,
@@ -249,6 +250,7 @@ func CompileParallel(plan algebra.Node, env *Env, workers int) (*Program, error)
 			return nil, err
 		}
 		units[i] = &workerUnit{alloc: c.alloc, run: run, state: st}
+		vectorized = vectorized || c.vectorized
 		if i == 0 {
 			explain = c.explain
 		}
@@ -305,6 +307,13 @@ func CompileParallel(plan algebra.Node, env *Env, workers int) (*Program, error)
 		}
 		wg.Wait()
 		if prof != nil {
+			// When morsel events were sampled, hang each worker's event spans
+			// under its execute span for trace export.
+			if prof.events {
+				for i := range spans {
+					spans[i].Children = prof.eventsOf(i)
+				}
+			}
 			prof.workerSpans = spans
 		}
 		// Prefer a panic over the derived errors siblings return after the
@@ -344,6 +353,7 @@ func CompileParallel(plan algebra.Node, env *Env, workers int) (*Program, error)
 		alloc: units[0].alloc, run: run, Explain: explain,
 		Workers: len(units), Morsels: len(morsels),
 		Fingerprint: fingerprint, cancel: cancel, mem: gauge,
+		Vectorized: vectorized,
 	}
 	p.attachProf(prof)
 	return p, nil

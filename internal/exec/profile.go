@@ -10,6 +10,7 @@
 package exec
 
 import (
+	"sort"
 	"time"
 
 	"proteus/internal/algebra"
@@ -25,6 +26,11 @@ type ProfileSpec struct {
 	// of the pipeline above it (EXPLAIN ANALYZE). Untimed profiled runs pay
 	// only row/batch counters.
 	Timing bool
+	// Events additionally records one span per scan-driver invocation (per
+	// morsel) for trace export. Costs one time.Now() pair plus an append per
+	// morsel — cheap, but off by default and sampled by the engine
+	// (Config.TraceMorsels).
+	Events bool
 	// Estimates maps plan nodes (by identity) to the optimizer's
 	// cardinality estimates, surfaced next to actuals in the profile.
 	Estimates map[algebra.Node]float64
@@ -39,7 +45,11 @@ type opCounters struct {
 	nanos           int64 // wall time spent in the pipeline above (timed runs)
 	driverNanos     int64 // scan only: total time inside the scan driver
 	cacheBuildNanos int64 // scan only: materializing cache blocks
+	zoneSkips       int64 // scan windows this query skipped via zone maps
+	idxHits         int64 // batches this query answered from a bitmap index
 	scan            plugin.ScanProf
+	// events holds this worker's per-morsel spans (ProfileSpec.Events only).
+	events []obs.Span
 }
 
 type opNode struct{ per []opCounters }
@@ -49,10 +59,16 @@ type opNode struct{ per []opCounters }
 // time and shared by every pipeline clone of a parallel program.
 type progProf struct {
 	timing    bool
+	events    bool
 	workers   int
 	plan      algebra.Node
 	estimates map[algebra.Node]float64
 	byNode    map[algebra.Node]*opNode
+
+	// cacheHits counts scan fields served from materialized cache blocks.
+	// It is a compile-time fact (analyzeScan binds the block before any run),
+	// so it is set once and survives resetRun.
+	cacheHits int64
 
 	// Last-run state, written by the program's run wrapper and the
 	// parallel coordinator (never concurrently with readers).
@@ -63,6 +79,7 @@ type progProf struct {
 func newProgProf(plan algebra.Node, spec *ProfileSpec, workers int) *progProf {
 	return &progProf{
 		timing:    spec.Timing,
+		events:    spec.Events,
 		workers:   workers,
 		plan:      plan,
 		estimates: spec.Estimates,
@@ -114,6 +131,8 @@ func (p *progProf) buildOp(n algebra.Node) (*obs.OpProfile, int64) {
 			agg.nanos += c.nanos
 			agg.driverNanos += c.driverNanos
 			agg.cacheBuildNanos += c.cacheBuildNanos
+			agg.zoneSkips += c.zoneSkips
+			agg.idxHits += c.idxHits
 			agg.scan.Add(c.scan)
 		}
 	}
@@ -146,7 +165,26 @@ func (p *progProf) buildOp(n algebra.Node) (*obs.OpProfile, int64) {
 	if agg.cacheBuildNanos > 0 {
 		op.Extra = append(op.Extra, obs.Counter{Name: "cache_build_nanos", Value: agg.cacheBuildNanos})
 	}
+	if agg.zoneSkips > 0 {
+		op.Extra = append(op.Extra, obs.Counter{Name: "zone_skips", Value: agg.zoneSkips})
+	}
+	if agg.idxHits > 0 {
+		op.Extra = append(op.Extra, obs.Counter{Name: "bitmap_hits", Value: agg.idxHits})
+	}
 	return op, agg.nanos
+}
+
+// eventsOf collects one worker's per-morsel spans across all operators,
+// ordered by start time. Only meaningful after a run with events enabled.
+func (p *progProf) eventsOf(worker int) []obs.Span {
+	var out []obs.Span
+	for _, on := range p.byNode {
+		if worker < len(on.per) {
+			out = append(out, on.per[worker].events...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
 }
 
 // Compiler-side instrumentation helpers ------------------------------------
@@ -214,11 +252,17 @@ func (c *Compiler) profScanRun(s *algebra.Scan, run func(r *vbuf.Regs) error, ro
 		return run
 	}
 	countRows := !c.prof.timing
+	events := c.prof.events
+	name := "morsel " + s.Dataset
 	return func(r *vbuf.Regs) error {
 		oc.batches++
 		t0 := time.Now()
 		err := run(r)
-		oc.driverNanos += int64(time.Since(t0))
+		d := time.Since(t0)
+		oc.driverNanos += int64(d)
+		if events {
+			oc.events = append(oc.events, obs.Span{Name: name, Start: t0, Dur: d})
+		}
 		if err == nil && countRows {
 			oc.rows += rows
 		}

@@ -53,6 +53,9 @@ type Program struct {
 	// Fingerprint is the structural fingerprint of the compiled plan,
 	// carried into PanicError so failures name the specialized program.
 	Fingerprint string
+	// Vectorized reports whether any pipeline segment compiled to batch
+	// kernels (a compile-time fact; feeds the per-plan feedback store).
+	Vectorized bool
 
 	// cancel is the cooperative cancellation token every scan driver of
 	// this program (and all its pipeline clones) polls.
@@ -133,6 +136,35 @@ func (p *Program) WorkerSpans() []obs.Span {
 	return p.prof.workerSpans
 }
 
+// MorselSpans returns the last run's per-morsel event spans for serial
+// programs compiled with ProfileSpec.Events (parallel programs attach them
+// under WorkerSpans instead). Nil otherwise.
+func (p *Program) MorselSpans() []obs.Span {
+	if p.prof == nil || !p.prof.events || p.prof.workers != 1 {
+		return nil
+	}
+	return p.prof.eventsOf(0)
+}
+
+// CompileCacheHits reports how many scan fields this program serves from
+// materialized cache blocks — a compile-time fact, constant across runs.
+func (p *Program) CompileCacheHits() int64 {
+	if p.prof == nil {
+		return 0
+	}
+	return p.prof.cacheHits
+}
+
+// MemPeak returns the memory accountant's high-water mark after the last
+// run (0 without a budget). The gauge only accumulates during a run, so its
+// final reading is the peak.
+func (p *Program) MemPeak() int64 {
+	if p.mem == nil {
+		return 0
+	}
+	return p.mem.used.Load()
+}
+
 // attachProf installs profiling state on the program: the run is wrapped so
 // every execution starts from zeroed counters and records total pipeline
 // wall time.
@@ -211,6 +243,7 @@ func Compile(plan algebra.Node, env *Env) (*Program, error) {
 	p := &Program{
 		alloc: c.alloc, run: run, Explain: c.explain, Workers: 1, Morsels: 1,
 		Fingerprint: plan.Fingerprint(), cancel: c.cancel, mem: c.mem,
+		Vectorized: c.vectorized,
 	}
 	p.attachProf(c.prof)
 	return p, nil

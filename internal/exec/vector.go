@@ -13,6 +13,7 @@ import (
 
 	"proteus/internal/algebra"
 	"proteus/internal/expr"
+	"proteus/internal/obs"
 	"proteus/internal/plugin"
 	"proteus/internal/plugin/cachepg"
 	"proteus/internal/types"
@@ -223,6 +224,7 @@ func (c *Compiler) compileVecSeg(ch *vecChain) (*vecSeg, error) {
 		seg.selCells = append(seg.selCells, c.opCtr(sel))
 	}
 	c.note("scan %s: vectorized segment (%s producer, %d filters)", ch.scan.Dataset, producerTag, len(seg.filters))
+	c.vectorized = true
 	return seg, nil
 }
 
@@ -334,10 +336,16 @@ func (c *Compiler) vecProfRun(s *algebra.Scan, run func(r *vbuf.Regs) error, row
 		return run
 	}
 	countRows := !c.prof.timing
+	events := c.prof.events
+	name := "morsel " + s.Dataset
 	return func(r *vbuf.Regs) error {
 		t0 := time.Now()
 		err := run(r)
-		oc.driverNanos += int64(time.Since(t0))
+		d := time.Since(t0)
+		oc.driverNanos += int64(d)
+		if events {
+			oc.events = append(oc.events, obs.Span{Name: name, Start: t0, Dur: d})
+		}
 		if err == nil && countRows {
 			oc.rows += rows
 		}

@@ -157,16 +157,28 @@ func (c *Compiler) setupIndexHints(si *scanInfo) {
 	}
 
 	if len(checks) > 0 {
+		// Per-query attribution: skips land on this worker's private counter
+		// cell alongside the manager's cumulative count.
+		var skips *int64
+		if oc := c.opCtr(si.s); oc != nil {
+			skips = &oc.zoneSkips
+		}
 		si.zoneSkip = func(lo, hi int64) bool {
 			for _, ck := range checks {
 				// The bitmap is exact where the zone range is conservative, so
 				// try it first; either test failing empties the window.
 				if ck.bm != nil && !ck.bm.AnyRange(lo, hi) {
 					caches.CountZoneSkips(1)
+					if skips != nil {
+						*skips++
+					}
 					return true
 				}
 				if ck.z != nil && !ck.z.CanMatchWindow(lo, hi, ck.p) {
 					caches.CountZoneSkips(1)
+					if skips != nil {
+						*skips++
+					}
 					return true
 				}
 			}
@@ -256,8 +268,17 @@ func (c *Compiler) tryBitmapFilter(si *scanInfo, e expr.Expr) (vecFilter, bool) 
 	}
 	caches := c.env.Caches
 	c.note("scan %s: filter %s served by bitmap index on %s", si.s.Dataset, e, pk)
+	// Per-query attribution: hits land on this worker's private counter cell
+	// alongside the manager's cumulative count.
+	var hits *int64
+	if oc := c.opCtr(si.s); oc != nil {
+		hits = &oc.idxHits
+	}
 	return func(b *vbuf.Batch) {
 		caches.CountIndexHit()
+		if hits != nil {
+			*hits++
+		}
 		if b.FullSel() {
 			// Whole batch still selected: emit the bitmap window directly.
 			b.Sel = bm.FillSel(b.Base, b.N, b.SelScratch())

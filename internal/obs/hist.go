@@ -1,0 +1,118 @@
+// Log-bucketed latency histograms (observability v2).
+//
+// The bucket boundaries are fixed at compile time — powers of two in
+// microseconds, 1µs .. 2^26µs (~67s), plus a +Inf overflow bucket — so two
+// histograms merge by plain addition and recording is a single atomic add on
+// a precomputed index: no locks, no allocation, HDR-style constant relative
+// error (≤2x per bucket). Fixed boundaries also make the Prometheus
+// histogram exposition (`*_bucket{le=...}`) trivially cumulative.
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// HistBuckets is the number of histogram buckets, including the +Inf
+// overflow bucket. Bucket i (i < HistBuckets-1) counts observations with
+// duration ≤ 2^i microseconds.
+const HistBuckets = 28
+
+// BucketBound returns bucket i's inclusive upper bound in seconds
+// (+Inf for the overflow bucket).
+func BucketBound(i int) float64 {
+	if i >= HistBuckets-1 {
+		return math.Inf(1)
+	}
+	return float64(uint64(1)<<uint(i)) / 1e6
+}
+
+// bucketOf maps a duration to its bucket: the smallest i with
+// d ≤ 2^i microseconds, clamped to the overflow bucket.
+func bucketOf(d time.Duration) int {
+	if d < 0 {
+		d = 0
+	}
+	us := uint64(d / time.Microsecond)
+	if us <= 1 {
+		return 0
+	}
+	b := bits.Len64(us - 1)
+	if b > HistBuckets-1 {
+		return HistBuckets - 1
+	}
+	return b
+}
+
+// Histogram is a concurrency-safe log-bucketed latency histogram. The zero
+// value is ready to use.
+type Histogram struct {
+	counts [HistBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+}
+
+// Observe records one duration: two atomic adds plus one on the bucket.
+func (h *Histogram) Observe(d time.Duration) {
+	h.counts[bucketOf(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+}
+
+// Merge folds another histogram's counts into this one. Both may be
+// observed concurrently; the merge is per-bucket atomic (each bucket is
+// transferred exactly, though the aggregate is not a point-in-time cut).
+func (h *Histogram) Merge(o *Histogram) {
+	for i := range o.counts {
+		if n := o.counts[i].Load(); n != 0 {
+			h.counts[i].Add(n)
+		}
+	}
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+}
+
+// Snapshot copies the histogram's state for rendering.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.counts {
+		s.Buckets[i] = h.counts[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.SumSeconds = float64(h.sum.Load()) / 1e9
+	return s
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram.
+type HistSnapshot struct {
+	Buckets    [HistBuckets]int64
+	Count      int64
+	SumSeconds float64
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) in seconds: the upper
+// boundary of the bucket containing the q·count-th observation, i.e. an
+// over-estimate by at most 2x. Returns 0 for an empty histogram;
+// observations in the overflow bucket report the last finite boundary.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i < HistBuckets; i++ {
+		cum += s.Buckets[i]
+		if cum >= rank {
+			if i == HistBuckets-1 {
+				return BucketBound(HistBuckets - 2)
+			}
+			return BucketBound(i)
+		}
+	}
+	return BucketBound(HistBuckets - 2)
+}

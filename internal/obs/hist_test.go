@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketOfBoundaries(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{time.Nanosecond, 0},
+		{time.Microsecond, 0},               // ≤ 2^0 µs
+		{2 * time.Microsecond, 1},           // ≤ 2^1 µs
+		{3 * time.Microsecond, 2},           // 3 > 2, ≤ 4
+		{1024 * time.Microsecond, 10},       // exactly 2^10 µs
+		{1025 * time.Microsecond, 11},       // just past a boundary
+		{time.Hour, HistBuckets - 1},        // overflow
+		{-time.Second, 0},                   // clamped
+		{67 * time.Second, HistBuckets - 2}, // just inside the last finite bound (2^26µs ≈ 67.1s)
+		{68 * time.Second, HistBuckets - 1}, // past it → overflow
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.d); got != c.want {
+			t.Errorf("bucketOf(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	if !math.IsInf(BucketBound(HistBuckets-1), 1) {
+		t.Error("overflow bucket bound must be +Inf")
+	}
+	if got := BucketBound(10); got != 1024e-6 {
+		t.Errorf("BucketBound(10) = %g, want 1024µs in seconds", got)
+	}
+}
+
+// TestHistogramConcurrentObserveAndMerge races many observers against a
+// merging reader; run under -race in CI. Totals must balance exactly once
+// everything quiets down.
+func TestHistogramConcurrentObserveAndMerge(t *testing.T) {
+	var parts [4]Histogram
+	const perPart = 500
+	var wg sync.WaitGroup
+	for p := range parts {
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(p, g int) {
+				defer wg.Done()
+				for i := 0; i < perPart/4; i++ {
+					parts[p].Observe(time.Duration(g*i+1) * time.Microsecond)
+				}
+			}(p, g)
+		}
+	}
+	wg.Wait()
+	var merged Histogram
+	for p := range parts {
+		merged.Merge(&parts[p])
+	}
+	s := merged.Snapshot()
+	if want := int64(len(parts) * perPart); s.Count != want {
+		t.Fatalf("merged count = %d, want %d", s.Count, want)
+	}
+	var bucketTotal int64
+	for _, n := range s.Buckets {
+		bucketTotal += n
+	}
+	if bucketTotal != s.Count {
+		t.Errorf("bucket total %d != count %d", bucketTotal, s.Count)
+	}
+	if s.SumSeconds <= 0 {
+		t.Errorf("sum = %g, want > 0", s.SumSeconds)
+	}
+}
+
+func TestQuantileUpperBound(t *testing.T) {
+	var h Histogram
+	// 90 fast (≤ 1µs) + 10 slow (~1ms) observations: p50 must be in the
+	// fast bucket, p99 in the ~1ms bucket.
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Millisecond)
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); got != BucketBound(0) {
+		t.Errorf("p50 = %g, want %g", got, BucketBound(0))
+	}
+	p99 := s.Quantile(0.99)
+	if p99 < 1e-3 || p99 > 2e-3 {
+		t.Errorf("p99 = %g, want within [1ms, 2ms] (≤2x bucket error)", p99)
+	}
+	if (HistSnapshot{}).Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile must be 0")
+	}
+}

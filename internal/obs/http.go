@@ -4,38 +4,78 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 )
 
 // Handler serves the engine's observability surface on its own mux (so the
 // caller decides the listener — the engine never opens ports on its own):
 //
-//	/metrics       Prometheus text exposition format
-//	/debug/vars    expvar-style JSON snapshot
-//	/debug/queries recent query profiles (JSON, newest first)
-//	/debug/pprof/  the standard net/http/pprof handlers
+//	/metrics        Prometheus text exposition format (incl. histograms)
+//	/debug/vars     expvar-style JSON snapshot (incl. latency quantiles)
+//	/debug/queries  recent query profiles (JSON, newest first)
+//	/debug/trace    Chrome trace-event JSON for one profile (?id=N; the
+//	                newest profile when id is omitted) — load in Perfetto
+//	/debug/slow     slow-query log records (JSON, newest first)
+//	/debug/plans    per-plan feedback store (JSON, most-executed first)
+//	/debug/pprof/   the standard net/http/pprof handlers
 //
-// snapshot is called per request; profiles may be nil.
-func Handler(snapshot func() Snapshot, profiles *Ring) http.Handler {
+// snapshot is called per request; profiles, slow, and plans may be nil.
+func Handler(snapshot func() Snapshot, profiles *Ring, slow *SlowLog, plans *PlanFeedback) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_, _ = w.Write([]byte(snapshot().Prometheus()))
 	})
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(snapshot())
+		writeJSON(w, snapshot())
 	})
 	mux.HandleFunc("/debug/queries", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		var ps []*QueryProfile
 		if profiles != nil {
 			ps = profiles.Snapshot()
 		}
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(ps)
+		writeJSON(w, ps)
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		var ps []*QueryProfile
+		if profiles != nil {
+			ps = profiles.Snapshot()
+		}
+		var target *QueryProfile
+		if idStr := r.URL.Query().Get("id"); idStr != "" {
+			id, err := strconv.ParseInt(idStr, 10, 64)
+			if err != nil {
+				http.Error(w, "bad id: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			for _, p := range ps {
+				if p.ID == id {
+					target = p
+					break
+				}
+			}
+		} else if len(ps) > 0 {
+			target = ps[0] // newest
+		}
+		if target == nil {
+			http.Error(w, "no such profile (the ring retains only recent queries)", http.StatusNotFound)
+			return
+		}
+		data, err := TraceJSON(target)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Header().Set("Content-Disposition",
+			`attachment; filename="proteus-query-`+strconv.FormatInt(target.ID, 10)+`.trace.json"`)
+		_, _ = w.Write(data)
+	})
+	mux.HandleFunc("/debug/slow", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, slow.Snapshot())
+	})
+	mux.HandleFunc("/debug/plans", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, plans.Snapshot())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -43,4 +83,12 @@ func Handler(snapshot func() Snapshot, profiles *Ring) http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// writeJSON renders v as indented JSON with the standard header.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
 }

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync/atomic"
@@ -45,6 +46,25 @@ type Metrics struct {
 	// Compiled-plan cache outcomes (engine-level, one per query).
 	PlanCacheHits   atomic.Int64
 	PlanCacheMisses atomic.Int64
+
+	// SlowQueries counts queries recorded by the slow-query log.
+	SlowQueries atomic.Int64
+
+	// Latency histograms (observability v2): one per life-cycle phase plus
+	// end-to-end, fed once per observed query.
+	PhaseLatency [5]Histogram
+	TotalLatency Histogram
+}
+
+// ObserveLatency folds one profile's phase and total durations into the
+// latency histograms.
+func (m *Metrics) ObserveLatency(q *QueryProfile) {
+	for _, s := range q.Phases {
+		if i := PhaseIndex(s.Name); i >= 0 {
+			m.PhaseLatency[i].Observe(s.Dur)
+		}
+	}
+	m.TotalLatency.Observe(q.Total)
 }
 
 // AddPhase accumulates one phase duration by name.
@@ -112,10 +132,43 @@ type Snapshot struct {
 	PlanCacheHits   int64 `json:"plan_cache_hits"`
 	PlanCacheMisses int64 `json:"plan_cache_misses"`
 
+	SlowQueries int64 `json:"slow_queries"`
+
 	Cache CacheCounters `json:"cache"`
 
 	Datasets         int `json:"datasets"`
 	ProfilesRetained int `json:"profiles_retained"`
+	PlanStatsTracked int `json:"plan_stats_tracked"`
+
+	// Latency carries one histogram summary per life-cycle phase plus the
+	// end-to-end "total" row, in that order.
+	Latency []LatencySummary `json:"latency"`
+}
+
+// LatencySummary is one latency histogram's snapshot plus its estimated
+// quantiles (upper bucket boundaries, over-estimates by at most 2x).
+type LatencySummary struct {
+	Phase      string             `json:"phase"`
+	Count      int64              `json:"count"`
+	SumSeconds float64            `json:"sum_seconds"`
+	P50        float64            `json:"p50_seconds"`
+	P95        float64            `json:"p95_seconds"`
+	P99        float64            `json:"p99_seconds"`
+	Buckets    [HistBuckets]int64 `json:"buckets"`
+}
+
+// summarize renders one histogram into its summary row.
+func summarize(phase string, h *Histogram) LatencySummary {
+	s := h.Snapshot()
+	return LatencySummary{
+		Phase:      phase,
+		Count:      s.Count,
+		SumSeconds: s.SumSeconds,
+		P50:        s.Quantile(0.50),
+		P95:        s.Quantile(0.95),
+		P99:        s.Quantile(0.99),
+		Buckets:    s.Buckets,
+	}
 }
 
 // Snapshot captures the current counter values plus externally supplied
@@ -144,24 +197,57 @@ func (m *Metrics) Snapshot(cache CacheCounters) Snapshot {
 		ScanIndexHits:      m.ScanIndexHits.Load(),
 		PlanCacheHits:      m.PlanCacheHits.Load(),
 		PlanCacheMisses:    m.PlanCacheMisses.Load(),
+		SlowQueries:        m.SlowQueries.Load(),
 		Cache:              cache,
+		Latency:            m.latencySummaries(),
 	}
+}
+
+// latencySummaries snapshots every latency histogram, phases first, the
+// end-to-end "total" row last.
+func (m *Metrics) latencySummaries() []LatencySummary {
+	out := make([]LatencySummary, 0, len(Phases)+1)
+	for i, name := range Phases {
+		out = append(out, summarize(name, &m.PhaseLatency[i]))
+	}
+	return append(out, summarize("total", &m.TotalLatency))
 }
 
 // seconds renders nanoseconds as fractional seconds for Prometheus.
 func seconds(nanos int64) string { return fmt.Sprintf("%g", float64(nanos)/1e9) }
+
+// escapeHelp escapes HELP text per the Prometheus text exposition format:
+// backslash and line feed only.
+func escapeHelp(s string) string {
+	return strings.NewReplacer(`\`, `\\`, "\n", `\n`).Replace(s)
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote, and line feed. (Go's %q is close but over-escapes and
+// differs on control characters, so the spec's replacer is spelled out.)
+func escapeLabel(s string) string {
+	return strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(s)
+}
+
+// promBound renders a histogram bucket boundary for the le label.
+func promBound(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return fmt.Sprintf("%g", v)
+}
 
 // Prometheus renders the snapshot in the Prometheus text exposition format
 // (hand-rolled: the repo takes no client-library dependency).
 func (s Snapshot) Prometheus() string {
 	var b strings.Builder
 	counter := func(name, help, value string) {
-		b.WriteString("# HELP " + name + " " + help + "\n")
+		b.WriteString("# HELP " + name + " " + escapeHelp(help) + "\n")
 		b.WriteString("# TYPE " + name + " counter\n")
 		b.WriteString(name + " " + value + "\n")
 	}
 	gauge := func(name, help string, v int64) {
-		b.WriteString("# HELP " + name + " " + help + "\n")
+		b.WriteString("# HELP " + name + " " + escapeHelp(help) + "\n")
 		b.WriteString("# TYPE " + name + " gauge\n")
 		fmt.Fprintf(&b, "%s %d\n", name, v)
 	}
@@ -187,7 +273,7 @@ func (s Snapshot) Prometheus() string {
 		{PhaseExecute, s.ExecuteNanos},
 	}
 	for _, p := range phases {
-		fmt.Fprintf(&b, "proteus_phase_seconds_total{phase=%q} %s\n", p.name, seconds(p.nanos))
+		fmt.Fprintf(&b, "proteus_phase_seconds_total{phase=\"%s\"} %s\n", escapeLabel(p.name), seconds(p.nanos))
 	}
 
 	counter("proteus_parallel_queries_total", "Queries that ran with more than one worker.", fmt.Sprint(s.ParallelQueries))
@@ -202,6 +288,26 @@ func (s Snapshot) Prometheus() string {
 
 	counter("proteus_plan_cache_hits_total", "Queries served from the compiled-plan cache.", fmt.Sprint(s.PlanCacheHits))
 	counter("proteus_plan_cache_misses_total", "Queries compiled fresh (plan-cache misses).", fmt.Sprint(s.PlanCacheMisses))
+
+	counter("proteus_slow_queries_total", "Queries recorded by the slow-query log.", fmt.Sprint(s.SlowQueries))
+
+	// Latency histograms: one family, phase-labeled, cumulative le buckets.
+	if len(s.Latency) > 0 {
+		const histName = "proteus_query_duration_seconds"
+		b.WriteString("# HELP " + histName + " Query latency by life-cycle phase (phase=\"total\" is end-to-end).\n")
+		b.WriteString("# TYPE " + histName + " histogram\n")
+		for _, l := range s.Latency {
+			phase := escapeLabel(l.Phase)
+			var cum int64
+			for i, n := range l.Buckets {
+				cum += n
+				fmt.Fprintf(&b, "%s_bucket{phase=\"%s\",le=\"%s\"} %d\n",
+					histName, phase, promBound(BucketBound(i)), cum)
+			}
+			fmt.Fprintf(&b, "%s_sum{phase=\"%s\"} %g\n", histName, phase, l.SumSeconds)
+			fmt.Fprintf(&b, "%s_count{phase=\"%s\"} %d\n", histName, phase, l.Count)
+		}
+	}
 
 	gauge("proteus_cache_blocks", "Materialized cache blocks.", int64(s.Cache.Blocks))
 	gauge("proteus_cache_join_sides", "Materialized hash-join build sides.", int64(s.Cache.JoinSides))
@@ -219,6 +325,7 @@ func (s Snapshot) Prometheus() string {
 
 	gauge("proteus_datasets", "Registered datasets.", int64(s.Datasets))
 	gauge("proteus_profiles_retained", "Query profiles held in the ring.", int64(s.ProfilesRetained))
+	gauge("proteus_plan_stats_tracked", "Plan fingerprints tracked by the feedback store.", int64(s.PlanStatsTracked))
 	return b.String()
 }
 

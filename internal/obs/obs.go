@@ -33,6 +33,16 @@ const (
 // Phases lists the life-cycle phase names in execution order.
 var Phases = []string{PhaseParse, PhaseCalculus, PhaseOptimize, PhaseCompile, PhaseExecute}
 
+// PhaseIndex returns a phase name's position in Phases (-1 when unknown).
+func PhaseIndex(name string) int {
+	for i, p := range Phases {
+		if p == name {
+			return i
+		}
+	}
+	return -1
+}
+
 // Span is one timed region of a query's life-cycle. Start is wall-clock for
 // display; Dur is measured monotonically.
 type Span struct {
@@ -90,6 +100,31 @@ func (p *OpProfile) ExtraValue(name string) int64 {
 	return 0
 }
 
+// QueryAttr is one query's resource attribution: what this execution — as
+// opposed to the engine's cumulative counters — read, skipped, and pinned.
+// Scan counters aggregate the operator tree; cache counters are scoped to
+// the run (compile-time block hits, run-time zone skips and bitmap hits);
+// MemPeakBytes is the memory accountant's high-water mark (0 when no
+// budget was configured).
+type QueryAttr struct {
+	BytesRead     int64 `json:"bytes_read"`
+	FieldsParsed  int64 `json:"fields_parsed"`
+	ScanIndexHits int64 `json:"scan_index_hits"`
+	CacheHits     int64 `json:"cache_hits"`
+	ZoneSkips     int64 `json:"zone_skips"`
+	BitmapHits    int64 `json:"bitmap_hits"`
+	MemPeakBytes  int64 `json:"mem_peak_bytes"`
+}
+
+// Misestimate is one operator's estimated-vs-actual cardinality gap.
+type Misestimate struct {
+	Op      string  `json:"op"`
+	EstRows float64 `json:"est_rows"`
+	Rows    int64   `json:"rows"`
+	// Factor is the symmetric error ratio, ≥ 1 (2 = off by 2x either way).
+	Factor float64 `json:"factor"`
+}
+
 // QueryProfile is the complete observability record of one query execution.
 type QueryProfile struct {
 	ID    int64     `json:"id"`
@@ -112,6 +147,41 @@ type QueryProfile struct {
 	// Timed reports whether per-operator wall timing was on (EXPLAIN
 	// ANALYZE); untimed profiles carry counters only.
 	Timed bool `json:"timed"`
+	// Fingerprint is the compiled plan's structural fingerprint — the
+	// feedback-store key (empty when compilation failed).
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Vectorized reports whether any pipeline segment ran batch kernels.
+	Vectorized bool `json:"vectorized,omitempty"`
+	// Attr is this query's resource attribution (observability v2).
+	Attr QueryAttr `json:"attr"`
+}
+
+// WorstMisestimate returns the operator whose optimizer estimate is
+// furthest from its actual cardinality (symmetric ratio, both sides
+// clamped to ≥1 so empty results don't divide by zero), or nil when no
+// operator carries an estimate.
+func (q *QueryProfile) WorstMisestimate() *Misestimate {
+	var worst *Misestimate
+	q.Root.Each(func(op *OpProfile) {
+		if op.EstRows <= 0 {
+			return
+		}
+		est, act := op.EstRows, float64(op.Rows)
+		if est < 1 {
+			est = 1
+		}
+		if act < 1 {
+			act = 1
+		}
+		factor := act / est
+		if factor < 1 {
+			factor = 1 / factor
+		}
+		if worst == nil || factor > worst.Factor {
+			worst = &Misestimate{Op: op.Op, EstRows: op.EstRows, Rows: op.Rows, Factor: factor}
+		}
+	})
+	return worst
 }
 
 // Phase returns the duration of the named phase span (0 when absent).

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"regexp"
 	"strings"
 	"testing"
 	"time"
@@ -61,43 +62,96 @@ func TestOpProfileEachAndExtra(t *testing.T) {
 	}
 }
 
-func TestPrometheusExpositionShape(t *testing.T) {
+// metricNameRe is the text-format metric name grammar.
+var metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// baseFamily strips the histogram sample suffixes so _bucket/_sum/_count
+// samples resolve to their family's TYPE declaration.
+func baseFamily(name string, histograms map[string]bool) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok && histograms[base] {
+			return base
+		}
+	}
+	return name
+}
+
+// TestPrometheusExpositionGrammar validates the full /metrics output against
+// the text exposition format: metric name charset, exactly one TYPE line per
+// family (histogram samples resolve through their suffixes), and parseable
+// sample lines.
+func TestPrometheusExpositionGrammar(t *testing.T) {
 	var m Metrics
 	m.Queries.Add(7)
 	m.AddPhase(PhaseExecute, int64(1500*time.Millisecond))
+	m.TotalLatency.Observe(3 * time.Millisecond)
+	m.PhaseLatency[PhaseIndex(PhaseExecute)].Observe(2 * time.Millisecond)
 	out := m.Snapshot(CacheCounters{Hits: 3, Misses: 1}).Prometheus()
 	for _, want := range []string{
 		"proteus_queries_total 7",
 		`proteus_phase_seconds_total{phase="execute"} 1.5`,
 		"proteus_cache_hits_total 3",
 		"proteus_cache_misses_total 1",
+		"# TYPE proteus_query_duration_seconds histogram",
+		`proteus_query_duration_seconds_bucket{phase="total",le="+Inf"} 1`,
+		`proteus_query_duration_seconds_sum{phase="total"}`,
+		`proteus_query_duration_seconds_count{phase="total"} 1`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q:\n%s", want, out)
 		}
 	}
-	// Every metric line is name/value; every metric has HELP and TYPE.
-	typed := map[string]bool{}
+	typed := map[string]bool{}     // family → TYPE seen
+	histogram := map[string]bool{} // family → declared histogram
 	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
 		if strings.HasPrefix(line, "# TYPE ") {
-			typed[strings.Fields(line)[2]] = true
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Errorf("malformed TYPE line %q", line)
+				continue
+			}
+			name, kind := f[2], f[3]
+			if typed[name] {
+				t.Errorf("duplicate TYPE line for %q", name)
+			}
+			typed[name] = true
+			if kind == "histogram" {
+				histogram[name] = true
+			}
 			continue
 		}
 		if strings.HasPrefix(line, "#") {
 			continue
 		}
-		parts := strings.Fields(line)
-		if len(parts) != 2 {
+		name := line
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if j := strings.IndexByte(line, '}'); j < i {
+				t.Errorf("malformed label braces in %q", line)
+			}
+			name = name[:i]
+		} else if parts := strings.Fields(line); len(parts) != 2 {
 			t.Errorf("malformed line %q", line)
 			continue
+		} else {
+			name = parts[0]
 		}
-		name := parts[0]
-		if i := strings.IndexByte(name, '{'); i >= 0 {
-			name = name[:i]
+		if !metricNameRe.MatchString(name) {
+			t.Errorf("metric name %q violates the name grammar", name)
 		}
-		if !typed[name] {
+		if !typed[baseFamily(name, histogram)] {
 			t.Errorf("metric %q has no preceding TYPE", name)
 		}
+	}
+}
+
+// TestPrometheusEscaping checks HELP and label-value escaping per the text
+// exposition format.
+func TestPrometheusEscaping(t *testing.T) {
+	if got := escapeHelp(`back\slash` + "\nnewline"); got != `back\\slash\nnewline` {
+		t.Errorf("escapeHelp = %q", got)
+	}
+	if got := escapeLabel(`a"b\c` + "\n"); got != `a\"b\\c\n` {
+		t.Errorf("escapeLabel = %q", got)
 	}
 }
 

@@ -1,0 +1,179 @@
+// The slow-query log (observability v2): a threshold-triggered structured
+// record of every query whose end-to-end time met Config.SlowQueryThreshold.
+// Entries are retained in a bounded ring for `/debug/slow` and the `.slow`
+// REPL command, and optionally appended as JSON lines to a caller-supplied
+// writer (the production tail -f surface).
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SlowQuery is one slow-log record. Durations are nanoseconds (the profile's
+// native unit) with an end-to-end seconds mirror for human grep-ability.
+type SlowQuery struct {
+	Time         time.Time        `json:"time"`
+	ID           int64            `json:"id"`
+	Lang         string           `json:"lang"`
+	Query        string           `json:"query"`
+	Fingerprint  string           `json:"fingerprint,omitempty"`
+	TotalNanos   int64            `json:"total_nanos"`
+	TotalSeconds float64          `json:"total_seconds"`
+	PhaseNanos   map[string]int64 `json:"phase_nanos"`
+	Workers      int              `json:"workers"`
+	Morsels      int              `json:"morsels"`
+	Rows         int64            `json:"rows"`
+	Vectorized   bool             `json:"vectorized"`
+	Err          string           `json:"err,omitempty"`
+	// Misestimate is the worst estimated-vs-actual cardinality gap in the
+	// operator tree (nil when no operator carried an estimate).
+	Misestimate *Misestimate `json:"misestimate,omitempty"`
+	// Attr is the query's resource attribution: bytes read, per-query cache
+	// and index service, and the memory-accountant high-water mark.
+	Attr QueryAttr `json:"attr"`
+}
+
+// newSlowQuery builds the record from a sealed profile.
+func newSlowQuery(q *QueryProfile) *SlowQuery {
+	phases := make(map[string]int64, len(q.Phases))
+	for _, s := range q.Phases {
+		phases[s.Name] = int64(s.Dur)
+	}
+	return &SlowQuery{
+		Time:         q.Start,
+		ID:           q.ID,
+		Lang:         q.Lang,
+		Query:        q.Query,
+		Fingerprint:  q.Fingerprint,
+		TotalNanos:   int64(q.Total),
+		TotalSeconds: q.Total.Seconds(),
+		PhaseNanos:   phases,
+		Workers:      q.Workers,
+		Morsels:      q.Morsels,
+		Rows:         q.Rows,
+		Vectorized:   q.Vectorized,
+		Err:          q.Err,
+		Misestimate:  q.WorstMisestimate(),
+		Attr:         q.Attr,
+	}
+}
+
+// SlowLog retains the most recent slow queries and optionally streams them
+// as JSON lines. All methods are concurrency-safe.
+type SlowLog struct {
+	threshold time.Duration
+
+	mu   sync.Mutex
+	buf  []*SlowQuery
+	next int
+	full bool
+	w    io.Writer
+	// logged counts every accepted record (including ones the ring has
+	// since evicted); writeErrs counts failed sink writes.
+	logged    int64
+	writeErrs int64
+}
+
+// NewSlowLog returns a slow log recording queries at or above threshold,
+// retaining up to capacity records (capacity < 1 keeps 1). A non-nil w
+// additionally receives each record as one JSON line; writes happen under
+// the log's lock, so the caller need not serialize.
+func NewSlowLog(threshold time.Duration, capacity int, w io.Writer) *SlowLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SlowLog{threshold: threshold, buf: make([]*SlowQuery, capacity), w: w}
+}
+
+// Threshold reports the configured trigger duration.
+func (l *SlowLog) Threshold() time.Duration { return l.threshold }
+
+// Offer records the profile if it crossed the threshold, returning whether
+// it did. A nil log accepts nothing.
+func (l *SlowLog) Offer(q *QueryProfile) bool {
+	if l == nil || q.Total < l.threshold {
+		return false
+	}
+	rec := newSlowQuery(q)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.buf[l.next] = rec
+	l.next++
+	if l.next == len(l.buf) {
+		l.next = 0
+		l.full = true
+	}
+	l.logged++
+	if l.w != nil {
+		line, err := json.Marshal(rec)
+		if err == nil {
+			line = append(line, '\n')
+			_, err = l.w.Write(line)
+		}
+		if err != nil {
+			l.writeErrs++
+		}
+	}
+	return true
+}
+
+// Snapshot returns the retained records, newest first. Nil-safe.
+func (l *SlowLog) Snapshot() []*SlowQuery {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.next
+	if l.full {
+		n = len(l.buf)
+	}
+	out := make([]*SlowQuery, 0, n)
+	for i := 0; i < n; i++ {
+		idx := (l.next - 1 - i + len(l.buf)) % len(l.buf)
+		out = append(out, l.buf[idx])
+	}
+	return out
+}
+
+// Logged reports the total number of accepted records. Nil-safe.
+func (l *SlowLog) Logged() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.logged
+}
+
+// RenderSlowQuery formats one record as the `.slow` REPL block.
+func RenderSlowQuery(s *SlowQuery) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%s] query %d (%s): %s\n",
+		s.Time.Format(time.RFC3339), s.ID, s.Lang, strings.TrimSpace(s.Query))
+	fmt.Fprintf(&b, "  total %v", time.Duration(s.TotalNanos).Round(time.Microsecond))
+	for _, name := range Phases {
+		if d, ok := s.PhaseNanos[name]; ok {
+			fmt.Fprintf(&b, "  %s %v", name, time.Duration(d).Round(time.Microsecond))
+		}
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "  rows=%d workers=%d vectorized=%v plan=%s\n",
+		s.Rows, s.Workers, s.Vectorized, s.Fingerprint)
+	a := s.Attr
+	fmt.Fprintf(&b, "  bytes_read=%d cache_hits=%d zone_skips=%d bitmap_hits=%d mem_peak=%d\n",
+		a.BytesRead, a.CacheHits, a.ZoneSkips, a.BitmapHits, a.MemPeakBytes)
+	if m := s.Misestimate; m != nil {
+		fmt.Fprintf(&b, "  worst misestimate: %s est=%.0f actual=%d (%.1fx)\n",
+			m.Op, m.EstRows, m.Rows, m.Factor)
+	}
+	if s.Err != "" {
+		fmt.Fprintf(&b, "  error: %s\n", s.Err)
+	}
+	return b.String()
+}

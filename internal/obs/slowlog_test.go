@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func slowProfile(id int64, total time.Duration) *QueryProfile {
+	return &QueryProfile{
+		ID:    id,
+		Lang:  "sql",
+		Query: "SELECT 1",
+		Start: time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC),
+		Total: total,
+		Rows:  1,
+		Phases: []Span{
+			{Name: PhaseParse, Dur: total / 10},
+			{Name: PhaseExecute, Dur: total / 2},
+		},
+		Fingerprint: "fp-slow",
+		Attr:        QueryAttr{BytesRead: 100, CacheHits: 2, MemPeakBytes: 4096},
+	}
+}
+
+func TestSlowLogThreshold(t *testing.T) {
+	l := NewSlowLog(time.Millisecond, 8, nil)
+	if l.Offer(slowProfile(1, 100*time.Microsecond)) {
+		t.Error("sub-threshold query must be rejected")
+	}
+	if !l.Offer(slowProfile(2, time.Millisecond)) {
+		t.Error("query exactly at the threshold must be accepted")
+	}
+	if !l.Offer(slowProfile(3, time.Second)) {
+		t.Error("over-threshold query must be accepted")
+	}
+	if l.Logged() != 2 {
+		t.Errorf("logged = %d, want 2", l.Logged())
+	}
+	snap := l.Snapshot()
+	if len(snap) != 2 || snap[0].ID != 3 || snap[1].ID != 2 {
+		t.Errorf("snapshot order = %v, want newest first [3 2]", ids(snap))
+	}
+	var nilLog *SlowLog
+	if nilLog.Offer(slowProfile(4, time.Hour)) || nilLog.Snapshot() != nil || nilLog.Logged() != 0 {
+		t.Error("nil slow log must accept nothing")
+	}
+}
+
+func ids(snap []*SlowQuery) []int64 {
+	out := make([]int64, len(snap))
+	for i, s := range snap {
+		out[i] = s.ID
+	}
+	return out
+}
+
+func TestSlowLogRingEviction(t *testing.T) {
+	l := NewSlowLog(0, 3, nil)
+	for i := int64(1); i <= 5; i++ {
+		l.Offer(slowProfile(i, time.Second))
+	}
+	snap := l.Snapshot()
+	if len(snap) != 3 || snap[0].ID != 5 || snap[1].ID != 4 || snap[2].ID != 3 {
+		t.Errorf("snapshot = %v, want [5 4 3]", ids(snap))
+	}
+	if l.Logged() != 5 {
+		t.Errorf("logged = %d, want 5 (evicted records still count)", l.Logged())
+	}
+}
+
+// TestSlowLogJSONLWriter checks the sink receives one parseable JSON object
+// per line with the structured fields the log promises.
+func TestSlowLogJSONLWriter(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewSlowLog(time.Millisecond, 4, &buf)
+	qp := slowProfile(9, 5*time.Millisecond)
+	qp.Workers = 2
+	qp.Root = &OpProfile{Op: "Scan t", Rows: 100, EstRows: 10}
+	l.Offer(qp)
+	l.Offer(slowProfile(10, 2*time.Millisecond))
+
+	sc := bufio.NewScanner(&buf)
+	var lines []SlowQuery
+	for sc.Scan() {
+		var rec SlowQuery
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d is not JSON: %v", len(lines)+1, err)
+		}
+		lines = append(lines, rec)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d JSONL lines, want 2", len(lines))
+	}
+	first := lines[0]
+	if first.ID != 9 || first.Query != "SELECT 1" || first.TotalNanos != int64(5*time.Millisecond) {
+		t.Errorf("first record = %+v", first)
+	}
+	if first.PhaseNanos[PhaseExecute] != int64(2500*time.Microsecond) {
+		t.Errorf("execute phase nanos = %d", first.PhaseNanos[PhaseExecute])
+	}
+	if first.Attr.BytesRead != 100 || first.Attr.CacheHits != 2 || first.Attr.MemPeakBytes != 4096 {
+		t.Errorf("attr = %+v", first.Attr)
+	}
+	if first.Misestimate == nil || first.Misestimate.Op != "Scan t" || first.Misestimate.Factor != 10 {
+		t.Errorf("misestimate = %+v, want Scan t at 10x", first.Misestimate)
+	}
+}
+
+func TestRenderSlowQueryFields(t *testing.T) {
+	qp := slowProfile(9, 5*time.Millisecond)
+	qp.Root = &OpProfile{Op: "Scan t", Rows: 100, EstRows: 10}
+	out := RenderSlowQuery(newSlowQuery(qp))
+	for _, want := range []string{
+		"query 9 (sql): SELECT 1",
+		"total 5ms",
+		"plan=fp-slow",
+		"bytes_read=100",
+		"mem_peak=4096",
+		"worst misestimate: Scan t",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

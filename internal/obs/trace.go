@@ -1,0 +1,99 @@
+// Chrome trace-event export (observability v2): a QueryProfile's span tree
+// serialized in the trace-event JSON array format that Perfetto and
+// chrome://tracing load directly. Life-cycle phases render on one timeline
+// row ("lifecycle", tid 0); under morsel parallelism each worker's execute
+// span — and, when morsel events were sampled, its per-scan-driver morsel
+// slices — renders on its own row (tid 1+worker).
+//
+// Format reference: the "Trace Event Format" document (the JSON array form;
+// every event carries ph/ts/pid/tid, durations are "X" complete events with
+// ts+dur in microseconds).
+package obs
+
+import (
+	"encoding/json"
+	"strconv"
+	"time"
+)
+
+// TraceEvent is one Chrome trace event (the subset this exporter emits).
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds since profile start
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int64          `json:"pid"`
+	Tid  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// micros converts a wall-clock offset into trace microseconds.
+func micros(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+// TraceEvents flattens a profile into its trace events. The profile's Start
+// is the trace's time zero; the query's ID is its pid, so multiple exported
+// queries can be concatenated into one trace without colliding.
+func TraceEvents(q *QueryProfile) []TraceEvent {
+	pid := q.ID
+	meta := func(name string, tid int64, value string) TraceEvent {
+		return TraceEvent{Name: name, Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"name": value}}
+	}
+	evs := []TraceEvent{
+		meta("process_name", 0, "proteus query "+strconv.FormatInt(q.ID, 10)+" ("+q.Lang+")"),
+		meta("thread_name", 0, "lifecycle"),
+	}
+	evs = append(evs, TraceEvent{
+		Name: "query", Cat: "query", Ph: "X",
+		Ts: 0, Dur: micros(q.Total), Pid: pid, Tid: 0,
+		Args: map[string]any{
+			"query": q.Query, "rows": q.Rows,
+			"workers": q.Workers, "morsels": q.Morsels,
+		},
+	})
+	namedThreads := map[int64]bool{}
+	for _, ph := range q.Phases {
+		evs = append(evs, TraceEvent{
+			Name: ph.Name, Cat: "phase", Ph: "X",
+			Ts: micros(ph.Start.Sub(q.Start)), Dur: micros(ph.Dur),
+			Pid: pid, Tid: 0,
+		})
+		// The execute phase's children are per-worker spans; their own
+		// children are sampled per-morsel scan-driver slices. Both render on
+		// the worker's thread row.
+		for wi, ws := range ph.Children {
+			tid := int64(wi + 1)
+			if !namedThreads[tid] {
+				namedThreads[tid] = true
+				evs = append(evs, meta("thread_name", tid, ws.Name))
+			}
+			evs = append(evs, TraceEvent{
+				Name: ws.Name, Cat: "worker", Ph: "X",
+				Ts: micros(ws.Start.Sub(q.Start)), Dur: micros(ws.Dur),
+				Pid: pid, Tid: tid,
+			})
+			for _, ms := range ws.Children {
+				evs = append(evs, TraceEvent{
+					Name: ms.Name, Cat: "morsel", Ph: "X",
+					Ts: micros(ms.Start.Sub(q.Start)), Dur: micros(ms.Dur),
+					Pid: pid, Tid: tid,
+				})
+			}
+		}
+	}
+	if q.Err != "" {
+		evs = append(evs, TraceEvent{
+			Name: "error: " + q.Err, Cat: "error", Ph: "i",
+			Ts: micros(q.Total), Pid: pid, Tid: 0,
+			Args: map[string]any{"s": "p"},
+		})
+	}
+	return evs
+}
+
+// TraceJSON renders a profile as a Chrome trace-event JSON array, loadable
+// by Perfetto (ui.perfetto.dev) and chrome://tracing.
+func TraceJSON(q *QueryProfile) ([]byte, error) {
+	return json.Marshal(TraceEvents(q))
+}

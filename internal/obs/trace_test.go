@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// traceFixture is a parallel query's profile: two workers under the execute
+// phase, one with sampled morsel events, plus an error instant.
+func traceFixture() *QueryProfile {
+	start := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	return &QueryProfile{
+		ID:      7,
+		Lang:    "sql",
+		Query:   "SELECT COUNT(*) FROM t",
+		Start:   start,
+		Total:   10 * time.Millisecond,
+		Workers: 2,
+		Morsels: 4,
+		Rows:    1,
+		Phases: []Span{
+			{Name: PhaseParse, Start: start, Dur: time.Millisecond},
+			{Name: PhaseExecute, Start: start.Add(2 * time.Millisecond), Dur: 8 * time.Millisecond,
+				Children: []Span{
+					{Name: "worker 0 (rows 0..9)", Start: start.Add(2 * time.Millisecond), Dur: 7 * time.Millisecond,
+						Children: []Span{
+							{Name: "morsel t", Start: start.Add(3 * time.Millisecond), Dur: 2 * time.Millisecond},
+						}},
+					{Name: "worker 1 (rows 10..19)", Start: start.Add(2 * time.Millisecond), Dur: 6 * time.Millisecond},
+				}},
+		},
+	}
+}
+
+func TestTraceEventsShape(t *testing.T) {
+	evs := TraceEvents(traceFixture())
+	byName := map[string]TraceEvent{}
+	counts := map[string]int{}
+	for _, e := range evs {
+		byName[e.Name] = e
+		counts[e.Ph]++
+		if e.Pid != 7 {
+			t.Errorf("event %q pid = %d, want 7 (the query ID)", e.Name, e.Pid)
+		}
+		if e.Ph == "X" && e.Ts < 0 {
+			t.Errorf("event %q ts = %g, want >= 0", e.Name, e.Ts)
+		}
+	}
+	if counts["M"] < 4 {
+		t.Errorf("got %d metadata events, want >= 4 (process + 3 thread names)", counts["M"])
+	}
+
+	q := byName["query"]
+	if q.Ph != "X" || q.Ts != 0 || q.Dur != 10000 || q.Tid != 0 {
+		t.Errorf("query event = %+v, want X at ts=0 dur=10000 tid=0", q)
+	}
+	if q.Args["workers"] != 2 || q.Args["rows"] != int64(1) {
+		t.Errorf("query args = %v", q.Args)
+	}
+
+	exec := byName[PhaseExecute]
+	if exec.Ts != 2000 || exec.Dur != 8000 || exec.Tid != 0 || exec.Cat != "phase" {
+		t.Errorf("execute phase event = %+v", exec)
+	}
+	w0 := byName["worker 0 (rows 0..9)"]
+	w1 := byName["worker 1 (rows 10..19)"]
+	if w0.Tid != 1 || w1.Tid != 2 {
+		t.Errorf("worker tids = %d, %d, want 1, 2", w0.Tid, w1.Tid)
+	}
+	m := byName["morsel t"]
+	if m.Tid != w0.Tid || m.Cat != "morsel" || m.Ts != 3000 || m.Dur != 2000 {
+		t.Errorf("morsel event = %+v, want on tid %d at ts=3000 dur=2000", m, w0.Tid)
+	}
+}
+
+func TestTraceEventsError(t *testing.T) {
+	qp := traceFixture()
+	qp.Err = "boom"
+	evs := TraceEvents(qp)
+	last := evs[len(evs)-1]
+	if last.Ph != "i" || last.Cat != "error" || last.Name != "error: boom" {
+		t.Errorf("error instant = %+v", last)
+	}
+}
+
+// TestTraceJSONRoundTrip checks the export is the JSON *array* form with the
+// required per-event keys — the contract Perfetto/chrome://tracing loads.
+func TestTraceJSONRoundTrip(t *testing.T) {
+	data, err := TraceJSON(traceFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[0] != '[' {
+		t.Fatalf("trace JSON must be the array form, got %q...", data[:1])
+	}
+	var raw []map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	sawCompleteWithDur := false
+	for i, e := range raw {
+		for _, key := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := e[key]; !ok {
+				t.Errorf("event %d missing required key %q: %v", i, key, e)
+			}
+		}
+		if e["ph"] == "X" {
+			if d, ok := e["dur"].(float64); ok && d > 0 {
+				sawCompleteWithDur = true
+			}
+		}
+	}
+	if !sawCompleteWithDur {
+		t.Error("no complete (X) event carried a positive dur")
+	}
+}

@@ -9,7 +9,9 @@ package qcheck
 
 import (
 	"fmt"
+	"io"
 	"sync"
+	"time"
 
 	"proteus/internal/cache"
 	"proteus/internal/engine"
@@ -56,6 +58,15 @@ func configMatrix() []engConfig {
 		{name: "idx-off", cfg: engine.Config{Parallelism: 1, Vectorized: exec.VecOn,
 			CacheEnabled: true, CacheStrings: true, Indexes: cache.IndexOff,
 			PlanCacheSize: 64}, warm: true},
+		// Observability must never change results: full v2 stack on —
+		// per-query profiles, a zero-ish slow-log threshold so every query
+		// takes the slow-log path, and morsel-event recording on every
+		// observed query. Warm, so the second run also exercises the
+		// profile ring + feedback store with populated caches.
+		{name: "obs", cfg: engine.Config{Parallelism: 2, Vectorized: exec.VecAuto,
+			CacheEnabled: true, Observability: true,
+			SlowQueryThreshold: time.Nanosecond, SlowQueryWriter: io.Discard,
+			TraceMorsels: 1, PlanCacheSize: 64}, warm: true},
 	}
 }
 

@@ -27,6 +27,7 @@ package proteus
 
 import (
 	"context"
+	"io"
 	"net/http"
 	"strings"
 	"time"
@@ -72,15 +73,38 @@ type Config struct {
 	// per-query tracing. Overhead is a few percent (counters are updated
 	// per batch/morsel, never per tuple; see DESIGN.md, Observability).
 	Observability bool
-	// ProfileRing bounds the retained recent-query profiles (default 32).
-	ProfileRing int
+	// ProfileRingSize bounds the retained recent-query profiles (default 32).
+	ProfileRingSize int
 	// OnQueryDone, when set, receives every finished query's profile
-	// synchronously — the structured slow-query-log hook:
+	// synchronously — the programmable per-query hook:
 	//
 	//	cfg.OnQueryDone = func(q proteus.QueryProfile) {
 	//	    if q.Total > 100*time.Millisecond { log.Printf("slow: %s", q.Query) }
 	//	}
+	//
+	// For the built-in structured slow-query log, see SlowQueryThreshold.
 	OnQueryDone func(QueryProfile)
+	// SlowQueryThreshold, when positive, records every query whose
+	// end-to-end time reaches it into the structured slow-query log
+	// (db.SlowQueries(), /debug/slow): query text, plan fingerprint,
+	// per-phase breakdown, worst cardinality misestimate, per-query cache
+	// and index attribution, and the memory high-water mark. Setting it
+	// forces full profiling per query even when Observability is off.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLogSize bounds the retained slow-query records (default 128).
+	SlowQueryLogSize int
+	// SlowQueryWriter, when set, additionally receives every slow-query
+	// record as one JSON line (point it at a log file).
+	SlowQueryWriter io.Writer
+	// TraceMorsels samples per-morsel event spans into observed query
+	// profiles for Chrome trace export (/debug/trace, db.TraceJSON): every
+	// Nth observed query records one span per scan-driver invocation
+	// (0 = off, the default; EXPLAIN ANALYZE runs always record them).
+	TraceMorsels int
+	// PlanFeedbackSize bounds the per-plan-fingerprint runtime feedback
+	// store (db.PlanFeedback(), /debug/plans) in tracked plans (0 = default
+	// 256; negative disables the store).
+	PlanFeedbackSize int
 	// QueryTimeout bounds each query's wall time across the whole life-cycle
 	// (0 = no timeout). Expired queries fail with context.DeadlineExceeded.
 	QueryTimeout time.Duration
@@ -143,8 +167,17 @@ type Result = exec.Result
 type QueryProfile = obs.QueryProfile
 
 // MetricsSnapshot is a point-in-time copy of the engine's cumulative
-// counters.
+// counters, including per-phase latency summaries with p50/p95/p99.
 type MetricsSnapshot = obs.Snapshot
+
+// SlowQuery is one structured slow-query-log record (see
+// Config.SlowQueryThreshold).
+type SlowQuery = obs.SlowQuery
+
+// PlanStats is one plan fingerprint's accumulated runtime feedback:
+// executions, mean/stddev of total time, per-phase means, and observed
+// tuple-vs-vectorized throughput.
+type PlanStats = obs.PlanStats
 
 // Value is the engine's datum representation (nested records, collections,
 // scalars).
@@ -170,15 +203,21 @@ func ListOf(elem types.Type) types.Type { return types.NewListType(elem) }
 // Open creates a DB with the standard CSV, JSON, and binary plug-ins.
 func Open(cfg Config) *DB {
 	return &DB{eng: engine.New(engine.Config{
-		CacheEnabled:  cfg.CacheEnabled,
-		CacheBudget:   cfg.CacheBudget,
-		CacheStrings:  cfg.CacheStrings,
-		Indexes:       cfg.Indexes,
-		SampleEvery:   cfg.SampleEvery,
-		Parallelism:   cfg.Parallelism,
-		Observability: cfg.Observability,
-		ProfileRing:   cfg.ProfileRing,
-		OnQueryDone:   cfg.OnQueryDone,
+		CacheEnabled:    cfg.CacheEnabled,
+		CacheBudget:     cfg.CacheBudget,
+		CacheStrings:    cfg.CacheStrings,
+		Indexes:         cfg.Indexes,
+		SampleEvery:     cfg.SampleEvery,
+		Parallelism:     cfg.Parallelism,
+		Observability:   cfg.Observability,
+		ProfileRingSize: cfg.ProfileRingSize,
+		OnQueryDone:     cfg.OnQueryDone,
+
+		SlowQueryThreshold: cfg.SlowQueryThreshold,
+		SlowQueryLogSize:   cfg.SlowQueryLogSize,
+		SlowQueryWriter:    cfg.SlowQueryWriter,
+		TraceMorsels:       cfg.TraceMorsels,
+		PlanFeedbackSize:   cfg.PlanFeedbackSize,
 
 		QueryTimeout:         cfg.QueryTimeout,
 		QueryMemBudget:       cfg.QueryMemBudget,
@@ -331,6 +370,11 @@ func (db *DB) ExplainAnalyzeProfile(query string) (*Result, *QueryProfile, error
 // estimated cardinalities.
 func RenderProfile(q *QueryProfile) string { return obs.RenderProfile(q) }
 
+// RenderSlowQuery renders one slow-query log record as human-readable text:
+// the per-phase breakdown, worst cardinality misestimate, and per-query
+// cache/index attribution.
+func RenderSlowQuery(s *SlowQuery) string { return obs.RenderSlowQuery(s) }
+
 // Metrics snapshots the engine's cumulative counters: queries, per-phase
 // wall time, parallelism, scan plug-in totals, and cache activity.
 func (db *DB) Metrics() MetricsSnapshot { return db.eng.Metrics() }
@@ -339,12 +383,27 @@ func (db *DB) Metrics() MetricsSnapshot { return db.eng.Metrics() }
 // Config.Observability, or EXPLAIN ANALYZE runs, to populate the ring).
 func (db *DB) RecentProfiles() []*QueryProfile { return db.eng.RecentProfiles() }
 
+// SlowQueries returns the retained slow-query log records, newest first
+// (nil unless Config.SlowQueryThreshold is set).
+func (db *DB) SlowQueries() []*SlowQuery { return db.eng.SlowQueries() }
+
+// PlanFeedback returns the per-plan runtime feedback store's tracked
+// stats, most-executed first.
+func (db *DB) PlanFeedback() []PlanStats { return db.eng.PlanFeedback() }
+
+// TraceJSON renders a retained query profile (id ≤ 0: the newest) as
+// Chrome trace-event JSON, loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. ok is false when the ring holds no matching profile.
+func (db *DB) TraceJSON(id int64) (data []byte, ok bool) { return db.eng.TraceJSON(id) }
+
 // MetricsHandler returns the opt-in HTTP observability surface:
 //
 //	go http.ListenAndServe("localhost:6060", db.MetricsHandler())
 //
-// Routes: /metrics (Prometheus text), /debug/vars (expvar-style JSON),
-// /debug/queries (recent profiles as JSON), /debug/pprof/* (Go profiler).
+// Routes: /metrics (Prometheus text, incl. latency histograms),
+// /debug/vars (expvar-style JSON), /debug/queries (recent profiles as
+// JSON), /debug/trace?id=N (Chrome trace-event export), /debug/slow
+// (slow-query log), /debug/plans (per-plan feedback), /debug/pprof/*.
 func (db *DB) MetricsHandler() http.Handler { return db.eng.MetricsHandler() }
 
 // CacheStats reports the adaptive cache state.

@@ -26,6 +26,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -129,12 +130,28 @@ func main() {
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt)
 	if *metricsAddr != "" {
+		// Bind synchronously so a bad address (in use, unresolvable) fails
+		// startup instead of printing "serving metrics" and then losing the
+		// error to stderr from a goroutine.
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fatalf("metrics listener: %v", err)
+		}
+		metricsSrv := &http.Server{
+			Handler:           db.MetricsHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
 		go func() {
-			if err := http.ListenAndServe(*metricsAddr, db.MetricsHandler()); err != nil {
+			if err := metricsSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "metrics listener:", err)
 			}
 		}()
-		fmt.Printf("serving metrics on http://%s/metrics\n", *metricsAddr)
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = metricsSrv.Shutdown(ctx)
+		}()
+		fmt.Printf("serving metrics on http://%s/metrics\n", ln.Addr())
 	}
 	register := func(list pairs, kind string) {
 		for _, spec := range list {

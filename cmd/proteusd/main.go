@@ -1,0 +1,160 @@
+// Command proteusd serves a Proteus engine over HTTP: register datasets
+// with flags, then point clients at the query service.
+//
+// Usage:
+//
+//	proteusd -addr localhost:8080 \
+//	         -csv sales=data/sales.csv -json events=data/events.json \
+//	         -max-queries 8 -mem-budget 268435456 \
+//	         -tenant-max-queries 2 -tenant-mem-quota 536870912
+//
+//	curl -N -H 'X-Proteus-Tenant: acme' -d '{"query":"SELECT * FROM sales"}' \
+//	     http://localhost:8080/v1/query
+//
+// Results stream back as NDJSON (a {"cols":...} header line, one JSON
+// document per row, a {"rows":...} trailer); disconnecting mid-stream
+// cancels the query. POST /v1/prepare returns a handle executable via
+// {"handle":"p-1"}. /metrics serves Prometheus text including per-tenant
+// counters, and /debug/* exposes the engine observability surface
+// (recent query profiles, traces, the slow-query log, pprof).
+//
+// SIGINT/SIGTERM drains gracefully: /healthz flips to 503, new queries are
+// refused, in-flight streams finish (bounded by -drain-timeout), then the
+// process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"proteus"
+	"proteus/internal/server"
+)
+
+type pairs []string
+
+func (p *pairs) String() string     { return strings.Join(*p, ",") }
+func (p *pairs) Set(v string) error { *p = append(*p, v); return nil }
+
+func main() {
+	var csvs, jsons, bins pairs
+	flag.Var(&csvs, "csv", "register CSV dataset: name=path (repeatable)")
+	flag.Var(&jsons, "json", "register JSON dataset: name=path (repeatable)")
+	flag.Var(&bins, "bin", "register binary dataset: name=path (repeatable)")
+	addr := flag.String("addr", "localhost:8080", "listen address for the query service")
+	header := flag.Bool("header", false, "CSV files start with a header row")
+	caching := flag.Bool("cache", true, "enable adaptive caching")
+	par := flag.Int("par", 0, "morsel-parallel workers per query (0 = GOMAXPROCS, 1 = serial)")
+	timeout := flag.Duration("timeout", 0, "per-query wall-time limit, started after admission (0 = none)")
+	memBudget := flag.Int64("mem-budget", 0, "per-query operator-state byte budget (0 = unlimited)")
+	maxQueries := flag.Int("max-queries", 0, "engine-wide maximum concurrent queries (0 = unlimited)")
+	tenantMax := flag.Int("tenant-max-queries", 0, "per-tenant concurrent-query cap; over-cap requests get 429 (0 = none)")
+	tenantMem := flag.Int64("tenant-mem-quota", 0, "per-tenant reserved-memory quota in bytes, in units of -mem-budget (0 = none)")
+	slowQuery := flag.Duration("slow-query", 0, "slow-query log threshold (0 = off)")
+	chunkRows := flag.Int("chunk-rows", 0, "NDJSON flush granularity in rows (0 = default)")
+	maxPrepared := flag.Int("max-prepared", 0, "prepared-statement handles retained, LRU-evicted (0 = default 256)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight queries")
+	flag.Parse()
+
+	if *tenantMem > 0 && *memBudget <= 0 {
+		fatalf("-tenant-mem-quota requires -mem-budget to set the per-query reservation unit")
+	}
+
+	db := proteus.Open(proteus.Config{
+		CacheEnabled:  *caching,
+		Parallelism:   *par,
+		Observability: true, // the service is observable by default: /debug/queries needs profiles
+
+		SlowQueryThreshold: *slowQuery,
+
+		QueryTimeout:         *timeout,
+		QueryMemBudget:       *memBudget,
+		MaxConcurrentQueries: *maxQueries,
+	})
+
+	register := func(list pairs, kind string) {
+		for _, spec := range list {
+			name, path, ok := strings.Cut(spec, "=")
+			if !ok {
+				fatalf("bad -%s value %q, want name=path", kind, spec)
+			}
+			var err error
+			switch kind {
+			case "csv":
+				err = db.RegisterCSV(name, path, nil, proteus.CSVOptions{Header: *header})
+			case "json":
+				err = db.RegisterJSON(name, path)
+			case "bin":
+				err = db.RegisterBinary(name, path)
+			}
+			if err != nil {
+				fatalf("registering %s: %v", name, err)
+			}
+			fmt.Printf("registered %s (%s)\n", name, kind)
+		}
+	}
+	register(csvs, "csv")
+	register(jsons, "json")
+	register(bins, "bin")
+
+	svc := server.New(server.Config{
+		DB:                  db,
+		TenantMaxConcurrent: *tenantMax,
+		TenantMemQuota:      *tenantMem,
+		QueryMemBudget:      *memBudget,
+		MaxPrepared:         *maxPrepared,
+		ChunkRows:           *chunkRows,
+	})
+
+	// Bind synchronously so a bad -addr is a startup error, not a line on
+	// stderr after the "serving" banner.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatalf("listen %s: %v", *addr, err)
+	}
+	httpSrv := &http.Server{
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	fmt.Printf("proteusd serving on http://%s (POST /v1/query, /v1/prepare, /healthz, /metrics, /debug/)\n", ln.Addr())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("received %s, draining (up to %v)...\n", sig, *drainTimeout)
+	case err := <-serveErr:
+		fatalf("serve: %v", err)
+	}
+
+	// Drain order matters: stop admitting first (healthz 503, queries 503),
+	// then let the HTTP server wait for in-flight streams, then drain the
+	// engine itself so no query survives the process's intent to exit.
+	svc.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "http shutdown:", err)
+	}
+	if err := svc.Close(ctx); err != nil && !errors.Is(err, proteus.ErrClosed) {
+		fmt.Fprintln(os.Stderr, "engine drain:", err)
+		os.Exit(1)
+	}
+	fmt.Println("drained; bye")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

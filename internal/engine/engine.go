@@ -137,6 +137,14 @@ type Engine struct {
 	memBudget int64
 	admit     chan struct{} // nil = unlimited concurrency
 
+	// Drain state (see Close): lcMu guards closed and inflight; drained is
+	// closed exactly once, when the engine is closed and the last in-flight
+	// query has finished.
+	lcMu     sync.Mutex
+	closed   bool
+	inflight int
+	drained  chan struct{}
+
 	// Observability state. metrics and profiles are always allocated so
 	// Metrics() and the HTTP handler work even when per-query profiling is
 	// off; obsEnabled only gates whether ordinary queries trace themselves.
@@ -210,6 +218,7 @@ func New(cfg Config) *Engine {
 	}
 	return &Engine{
 		mem:          mem,
+		drained:      make(chan struct{}),
 		stats:        st,
 		caches:       cm,
 		registry:     reg,
@@ -518,19 +527,36 @@ func (e *Engine) QueryCompContext(ctx context.Context, query string) (*exec.Resu
 	return e.runQuery(ctx, LangComp, query)
 }
 
-// runQuery is the single entry point for executing queries: it applies the
-// configured timeout, gates admission, dispatches to the observed or plain
-// life-cycle, and classifies the outcome into the robustness metrics.
+// runQuery is the single entry point for executing queries: it rejects
+// queries on a closed engine, gates admission, applies the configured
+// timeout, dispatches to the observed or plain life-cycle, and classifies
+// the outcome into the robustness metrics.
 func (e *Engine) runQuery(ctx context.Context, lang, query string) (*exec.Result, error) {
+	if err := e.beginQuery(); err != nil {
+		return nil, err
+	}
+	defer e.endQuery()
+	// Admission precedes the execution timeout on purpose: QueryTimeout
+	// bounds execution, not queueing, so a query that spends its life in the
+	// admission queue under load must not arrive at the scan already expired.
+	// The wait itself stays bounded by the caller's context (and is measured
+	// into the admission_wait histogram).
+	if e.admit != nil {
+		e.metrics.AdmissionQueued.Add(1)
+		t0 := time.Now()
+		err := e.acquire(ctx)
+		e.metrics.AdmissionQueued.Add(-1)
+		e.metrics.AdmissionWait.Observe(time.Since(t0))
+		if err != nil {
+			return nil, e.finishQuery(query, err)
+		}
+		defer e.release()
+	}
 	if e.timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, e.timeout)
 		defer cancel()
 	}
-	if err := e.acquire(ctx); err != nil {
-		return nil, e.finishQuery(query, err)
-	}
-	defer e.release()
 	var (
 		res *exec.Result
 		err error
@@ -618,6 +644,74 @@ func (e *Engine) parseAndPrepare(ctx context.Context, lang, query string) (*Prep
 		return nil, err
 	}
 	return e.prepare(ctx, c, nil)
+}
+
+// ErrClosed is returned for queries submitted after Close: the engine is
+// draining (or drained) and admits no new work.
+var ErrClosed = errors.New("engine: closed")
+
+// beginQuery registers one in-flight query, refusing when the engine is
+// closed. Every runQuery holds a begin/end pair for its whole life-cycle —
+// including the admission wait — so Close can drain precisely.
+func (e *Engine) beginQuery() error {
+	e.lcMu.Lock()
+	defer e.lcMu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	e.inflight++
+	return nil
+}
+
+// endQuery retires one in-flight query and, when the engine is closed and
+// this was the last one, releases Close waiters.
+func (e *Engine) endQuery() {
+	e.lcMu.Lock()
+	e.inflight--
+	if e.closed && e.inflight == 0 {
+		close(e.drained)
+	}
+	e.lcMu.Unlock()
+}
+
+// Close drains the engine: new queries are rejected with ErrClosed
+// immediately, while queries already in flight (including ones queued at
+// the admission gate) run to completion. Close returns once the engine is
+// idle, or with ctx's cause when the deadline passes first — in-flight
+// queries are NOT cancelled on timeout; callers wanting a hard stop should
+// run queries under their own cancellable contexts. Close is idempotent:
+// later calls just wait for the same drain.
+func (e *Engine) Close(ctx context.Context) error {
+	e.lcMu.Lock()
+	if !e.closed {
+		e.closed = true
+		if e.inflight == 0 {
+			close(e.drained)
+		}
+	}
+	e.lcMu.Unlock()
+	select {
+	case <-e.drained:
+		return nil
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	}
+}
+
+// queryTagKey carries the caller's correlation tag through a query context.
+type queryTagKey struct{}
+
+// WithQueryTag attaches a correlation tag (e.g. an HTTP request ID) to the
+// context; observed queries copy it into their QueryProfile and from there
+// into the slow-query log, correlating service requests with profiles.
+func WithQueryTag(ctx context.Context, tag string) context.Context {
+	return context.WithValue(ctx, queryTagKey{}, tag)
+}
+
+// QueryTag returns the context's correlation tag ("" when absent).
+func QueryTag(ctx context.Context) string {
+	tag, _ := ctx.Value(queryTagKey{}).(string)
+	return tag
 }
 
 // acquire takes an admission slot, waiting until one frees or the context

@@ -1,0 +1,248 @@
+// Life-cycle tests: graceful drain (Close), refusal after close, and the
+// admission-before-timeout ordering that keeps queue wait from eating a
+// query's execution budget.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"proteus/internal/plugin"
+	"proteus/internal/types"
+	"proteus/internal/vbuf"
+)
+
+// gateInput is a test plug-in whose scan blocks until release is closed,
+// deliberately ignoring the cancellation token: it simulates a query that
+// holds its admission slot past its own deadline, which is exactly the
+// regime where timeout-vs-admission ordering matters.
+type gateInput struct {
+	rows    int64
+	entered chan struct{} // closed when the first scan starts
+	release chan struct{} // scans block until this closes
+	once    sync.Once
+}
+
+func newGateInput(rows int64) *gateInput {
+	return &gateInput{rows: rows, entered: make(chan struct{}), release: make(chan struct{})}
+}
+
+func (g *gateInput) Format() string { return "gate" }
+
+func (g *gateInput) Open(env *plugin.Env, ds *plugin.Dataset) error {
+	ds.Schema = &types.RecordType{Fields: []types.Field{{Name: "id", Type: types.Int}}}
+	return nil
+}
+
+func (g *gateInput) Schema(ds *plugin.Dataset) *types.RecordType { return ds.Schema }
+func (g *gateInput) Cardinality(ds *plugin.Dataset) int64        { return g.rows }
+func (g *gateInput) FieldCost() float64                          { return 1 }
+
+func (g *gateInput) CompileScan(ds *plugin.Dataset, spec plugin.ScanSpec) (plugin.RunFunc, error) {
+	var sets []func(regs *vbuf.Regs, row int64)
+	for _, req := range spec.Fields {
+		slot := req.Slot
+		switch {
+		case len(req.Path) == 0:
+			sets = append(sets, func(regs *vbuf.Regs, row int64) {
+				regs.V[slot.Idx] = types.RecordValue([]string{"id"}, []types.Value{types.IntValue(row)})
+				regs.Null[slot.Null] = false
+			})
+		case len(req.Path) == 1 && req.Path[0] == "id":
+			sets = append(sets, func(regs *vbuf.Regs, row int64) {
+				regs.I[slot.Idx] = row
+				regs.Null[slot.Null] = false
+			})
+		default:
+			return nil, fmt.Errorf("gateInput: unknown field %v", req.Path)
+		}
+	}
+	oid := spec.OIDSlot
+	return func(regs *vbuf.Regs, consume func() error) error {
+		g.once.Do(func() { close(g.entered) })
+		<-g.release
+		for row := int64(0); row < g.rows; row++ {
+			if oid != nil {
+				regs.I[oid.Idx] = row
+				regs.Null[oid.Null] = false
+			}
+			for _, set := range sets {
+				set(regs, row)
+			}
+			if err := consume(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
+}
+
+func (g *gateInput) CompileUnnest(ds *plugin.Dataset, spec plugin.UnnestSpec) (plugin.UnnestFunc, error) {
+	return nil, plugin.ErrUnsupported
+}
+
+func (g *gateInput) ReadRows(ds *plugin.Dataset) ([]types.Value, error) {
+	out := make([]types.Value, 0, g.rows)
+	for row := int64(0); row < g.rows; row++ {
+		out = append(out, types.RecordValue([]string{"id"}, []types.Value{types.IntValue(row)}))
+	}
+	return out, nil
+}
+
+// registerFast registers a small in-memory CSV dataset named t.
+func registerFast(t *testing.T, e *Engine) {
+	t.Helper()
+	e.Mem().PutFile("mem://t.csv", []byte("a\n1\n2\n3\n"))
+	if err := e.Register("t", "mem://t.csv", "csv", nil, plugin.Options{Header: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdmissionWaitOutsideTimeout pins the ordering fix: a query's
+// execution timeout starts after admission, so time spent queued behind
+// another tenant's query does not consume its budget. The blocker ignores
+// cancellation and holds the only slot for 3x the query timeout; under the
+// old submit-time deadline the queued query would return DeadlineExceeded
+// from acquire, under the fixed ordering it runs to completion.
+func TestAdmissionWaitOutsideTimeout(t *testing.T) {
+	e := New(Config{MaxConcurrentQueries: 1, QueryTimeout: 150 * time.Millisecond, Parallelism: 1})
+	gate := newGateInput(1)
+	e.RegisterPlugin(gate)
+	if err := e.Register("gate", "gate://t", "gate", nil, plugin.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	registerFast(t, e)
+
+	blockerDone := make(chan struct{})
+	go func() {
+		defer close(blockerDone)
+		// Holds the slot well past its own deadline (the scan ignores the
+		// cancel token until released); its error is irrelevant here.
+		_, _ = e.QuerySQL("SELECT COUNT(*) FROM gate")
+	}()
+	<-gate.entered
+
+	queuedDone := make(chan error, 1)
+	go func() {
+		_, err := e.QuerySQL("SELECT COUNT(*) FROM t")
+		queuedDone <- err
+	}()
+	// Hold the slot for 3x the query timeout while the second query waits.
+	time.Sleep(450 * time.Millisecond)
+	select {
+	case err := <-queuedDone:
+		t.Fatalf("queued query finished while the slot was held: %v", err)
+	default:
+	}
+	close(gate.release)
+	<-blockerDone
+	if err := <-queuedDone; err != nil {
+		t.Fatalf("queued query failed after a long admission wait: %v", err)
+	}
+
+	m := e.Metrics()
+	if m.AdmissionWait.Count < 2 {
+		t.Errorf("AdmissionWait.Count = %d, want >= 2", m.AdmissionWait.Count)
+	}
+	if m.AdmissionWait.SumSeconds < 0.4 {
+		t.Errorf("AdmissionWait.SumSeconds = %v, want >= 0.4 (the queued wait)", m.AdmissionWait.SumSeconds)
+	}
+	if m.AdmissionQueued != 0 {
+		t.Errorf("AdmissionQueued = %d after both queries finished, want 0", m.AdmissionQueued)
+	}
+}
+
+// TestCloseDrainsInflight checks the drain protocol: Close refuses new
+// queries immediately, waits for the in-flight one, and is idempotent.
+func TestCloseDrainsInflight(t *testing.T) {
+	e := New(Config{Parallelism: 1})
+	gate := newGateInput(4)
+	e.RegisterPlugin(gate)
+	if err := e.Register("gate", "gate://t", "gate", nil, plugin.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	registerFast(t, e)
+
+	inflight := make(chan error, 1)
+	go func() {
+		_, err := e.QuerySQL("SELECT COUNT(*) FROM gate")
+		inflight <- err
+	}()
+	<-gate.entered
+
+	closed := make(chan error, 1)
+	go func() { closed <- e.Close(context.Background()) }()
+	// Close must block while the query runs...
+	select {
+	case err := <-closed:
+		t.Fatalf("Close returned %v with a query in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	// ...and new queries must already be refused.
+	if _, err := e.QuerySQL("SELECT COUNT(*) FROM t"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("query during drain: err = %v, want ErrClosed", err)
+	}
+	close(gate.release)
+	if err := <-inflight; err != nil {
+		t.Fatalf("in-flight query failed during drain: %v", err)
+	}
+	if err := <-closed; err != nil {
+		t.Fatalf("Close = %v", err)
+	}
+	// Idempotent, and still closed.
+	if err := e.Close(context.Background()); err != nil {
+		t.Fatalf("second Close = %v", err)
+	}
+	if _, err := e.QuerySQL("SELECT COUNT(*) FROM t"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("query after Close: err = %v, want ErrClosed", err)
+	}
+}
+
+// TestCloseDeadline: Close gives up with the context's cause when an
+// in-flight query outlives the deadline.
+func TestCloseDeadline(t *testing.T) {
+	e := New(Config{Parallelism: 1})
+	gate := newGateInput(1)
+	e.RegisterPlugin(gate)
+	if err := e.Register("gate", "gate://t", "gate", nil, plugin.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = e.QuerySQL("SELECT COUNT(*) FROM gate")
+	}()
+	<-gate.entered
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := e.Close(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Close = %v, want DeadlineExceeded", err)
+	}
+	close(gate.release)
+	<-done
+}
+
+// TestQueryTagFlowsToProfile: a tag attached via WithQueryTag lands on the
+// query's profile for request-ID correlation.
+func TestQueryTagFlowsToProfile(t *testing.T) {
+	e := New(Config{Observability: true})
+	registerFast(t, e)
+	ctx := WithQueryTag(context.Background(), "req-99")
+	if _, err := e.QuerySQLContext(ctx, "SELECT COUNT(*) FROM t"); err != nil {
+		t.Fatal(err)
+	}
+	profs := e.RecentProfiles()
+	if len(profs) == 0 || profs[0].Tag != "req-99" {
+		t.Fatalf("profiles = %d, tag = %q; want tag req-99", len(profs), func() string {
+			if len(profs) > 0 {
+				return profs[0].Tag
+			}
+			return ""
+		}())
+	}
+}

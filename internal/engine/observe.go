@@ -65,6 +65,7 @@ func (e *Engine) observedQuery(ctx context.Context, lang, query string, timed bo
 		ID:      e.queryID.Add(1),
 		Lang:    lang,
 		Query:   query,
+		Tag:     QueryTag(ctx),
 		Start:   time.Now(),
 		Workers: 1,
 		Morsels: 1,

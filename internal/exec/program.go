@@ -23,6 +23,40 @@ type Result struct {
 	Rows []types.Value
 }
 
+// DefaultStreamChunk is the StreamChunks granularity used when the caller
+// passes chunkRows <= 0: large enough to amortize flush syscalls, small
+// enough that a disconnected consumer is noticed quickly.
+const DefaultStreamChunk = 256
+
+// StreamChunks is the row-streaming hook of the query service: it feeds the
+// materialized rows to emit in chunks of at most chunkRows (<= 0 uses
+// DefaultStreamChunk), checking ctx between chunks so a cancelled consumer
+// — a disconnected HTTP client, a shut-down server — stops the stream at
+// the next chunk boundary with ctx's cause. An emit error (the write side
+// of a broken connection) aborts the stream and is returned as-is. Rows are
+// handed out as sub-slices of the result; emit must not retain them past
+// its return if the caller reuses the Result.
+func (r *Result) StreamChunks(ctx context.Context, chunkRows int, emit func(rows []types.Value) error) error {
+	if chunkRows <= 0 {
+		chunkRows = DefaultStreamChunk
+	}
+	rows := r.Rows
+	for len(rows) > 0 {
+		if ctx.Err() != nil {
+			return context.Cause(ctx)
+		}
+		n := chunkRows
+		if n > len(rows) {
+			n = len(rows)
+		}
+		if err := emit(rows[:n]); err != nil {
+			return err
+		}
+		rows = rows[n:]
+	}
+	return nil
+}
+
 // Scalar returns the single value of a 1×1 result (the common aggregate
 // case), or a zero Value if the shape differs.
 func (r *Result) Scalar() types.Value {

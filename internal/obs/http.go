@@ -20,6 +20,8 @@ import (
 //	/debug/pprof/   the standard net/http/pprof handlers
 //
 // snapshot is called per request; profiles, slow, and plans may be nil.
+// Errors are always JSON objects of the form {"error": "..."} so service
+// clients can parse every response uniformly.
 func Handler(snapshot func() Snapshot, profiles *Ring, slow *SlowLog, plans *PlanFeedback) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -45,7 +47,7 @@ func Handler(snapshot func() Snapshot, profiles *Ring, slow *SlowLog, plans *Pla
 		if idStr := r.URL.Query().Get("id"); idStr != "" {
 			id, err := strconv.ParseInt(idStr, 10, 64)
 			if err != nil {
-				http.Error(w, "bad id: "+err.Error(), http.StatusBadRequest)
+				WriteJSONError(w, http.StatusBadRequest, "bad id: "+err.Error())
 				return
 			}
 			for _, p := range ps {
@@ -58,12 +60,13 @@ func Handler(snapshot func() Snapshot, profiles *Ring, slow *SlowLog, plans *Pla
 			target = ps[0] // newest
 		}
 		if target == nil {
-			http.Error(w, "no such profile (the ring retains only recent queries)", http.StatusNotFound)
+			WriteJSONError(w, http.StatusNotFound,
+				"no such profile (the ring retains only recent queries)")
 			return
 		}
 		data, err := TraceJSON(target)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			WriteJSONError(w, http.StatusInternalServerError, err.Error())
 			return
 		}
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
@@ -85,10 +88,27 @@ func Handler(snapshot func() Snapshot, profiles *Ring, slow *SlowLog, plans *Pla
 	return mux
 }
 
-// writeJSON renders v as indented JSON with the standard header.
+// writeJSON renders v as indented JSON. The document is encoded before the
+// first write so an encode failure becomes a proper 500 instead of a 200
+// with truncated output.
 func writeJSON(w http.ResponseWriter, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		WriteJSONError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(append(data, '\n'))
+}
+
+// WriteJSONError writes a {"error": msg} body with the given status. Shared
+// with the query service so every HTTP surface reports errors in one shape.
+func WriteJSONError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	data, _ := json.Marshal(struct {
+		Error string `json:"error"`
+	}{msg})
+	_, _ = w.Write(append(data, '\n'))
 }

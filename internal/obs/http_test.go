@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testHandler builds a Handler over the given stores; any of profiles,
+// slow, plans may be nil — the nil-safe paths are exactly what these tests
+// exercise.
+func testHandler(profiles *Ring, slow *SlowLog, plans *PlanFeedback) http.Handler {
+	var m Metrics
+	return Handler(func() Snapshot { return m.Snapshot(CacheCounters{}) }, profiles, slow, plans)
+}
+
+// get issues one request and returns the recorder.
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, path, nil))
+	return w
+}
+
+// wantJSON asserts the response is a JSON document with the given status
+// and decodes it into out (pass nil to only check well-formedness).
+func wantJSON(t *testing.T, w *httptest.ResponseRecorder, status int, out any) {
+	t.Helper()
+	if w.Code != status {
+		t.Fatalf("status = %d, want %d (body %q)", w.Code, status, w.Body.String())
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("Content-Type = %q, want JSON", ct)
+	}
+	if out == nil {
+		out = new(any)
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), out); err != nil {
+		t.Fatalf("body is not valid JSON: %v\n%s", err, w.Body.String())
+	}
+}
+
+// TestHandlerNilStores hits every endpoint with nil Ring, SlowLog, and
+// PlanFeedback: each must answer with valid JSON (or Prometheus text), not
+// panic on the nil-safe snapshot paths.
+func TestHandlerNilStores(t *testing.T) {
+	h := testHandler(nil, nil, nil)
+
+	if w := get(t, h, "/metrics"); w.Code != http.StatusOK ||
+		!strings.Contains(w.Body.String(), "proteus_queries_total") {
+		t.Fatalf("/metrics: status %d body %q", w.Code, w.Body.String())
+	}
+	wantJSON(t, get(t, h, "/debug/vars"), http.StatusOK, nil)
+	wantJSON(t, get(t, h, "/debug/queries"), http.StatusOK, nil)
+	wantJSON(t, get(t, h, "/debug/slow"), http.StatusOK, nil)
+	wantJSON(t, get(t, h, "/debug/plans"), http.StatusOK, nil)
+}
+
+// TestHandlerTraceErrors pins the /debug/trace error contract: malformed id
+// → 400 with a JSON error body; unknown or absent profile → 404 with a JSON
+// error body (not 200, not an empty document).
+func TestHandlerTraceErrors(t *testing.T) {
+	h := testHandler(nil, nil, nil)
+
+	var e struct {
+		Error string `json:"error"`
+	}
+	wantJSON(t, get(t, h, "/debug/trace?id=banana"), http.StatusBadRequest, &e)
+	if !strings.Contains(e.Error, "bad id") {
+		t.Fatalf("400 error = %q, want mention of bad id", e.Error)
+	}
+	wantJSON(t, get(t, h, "/debug/trace"), http.StatusNotFound, &e)
+	if e.Error == "" {
+		t.Fatal("404 body carries no error message")
+	}
+
+	// A populated ring still 404s for an id it does not retain.
+	ring := NewRing(4)
+	ring.Add(&QueryProfile{ID: 7, Query: "SELECT 1", Start: time.Now(),
+		Phases: []Span{{Name: PhaseExecute, Start: time.Now(), Dur: time.Millisecond}}})
+	h = testHandler(ring, nil, nil)
+	wantJSON(t, get(t, h, "/debug/trace?id=999"), http.StatusNotFound, &e)
+
+	// ... and serves trace JSON for one it does.
+	w := get(t, h, "/debug/trace?id=7")
+	if w.Code != http.StatusOK {
+		t.Fatalf("trace for retained profile: status %d body %q", w.Code, w.Body.String())
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &events); err != nil || len(events) == 0 {
+		t.Fatalf("trace body: err=%v events=%d", err, len(events))
+	}
+}
+
+// TestHandlerPopulatedStores round-trips each JSON endpoint with real data
+// so a profile's tag and a slow record survive the HTTP surface.
+func TestHandlerPopulatedStores(t *testing.T) {
+	ring := NewRing(4)
+	ring.Add(&QueryProfile{ID: 1, Query: "SELECT 1", Tag: "req-42", Start: time.Now()})
+	slow := NewSlowLog(time.Nanosecond, 4, nil)
+	slow.Offer(&QueryProfile{ID: 2, Query: "SELECT 2", Tag: "req-43",
+		Start: time.Now(), Total: time.Second})
+	plans := NewPlanFeedback(4)
+	h := testHandler(ring, slow, plans)
+
+	var profiles []struct {
+		Tag string `json:"tag"`
+	}
+	wantJSON(t, get(t, h, "/debug/queries"), http.StatusOK, &profiles)
+	if len(profiles) != 1 || profiles[0].Tag != "req-42" {
+		t.Fatalf("profiles = %+v, want one with tag req-42", profiles)
+	}
+	var slowRecs []struct {
+		Tag string `json:"tag"`
+	}
+	wantJSON(t, get(t, h, "/debug/slow"), http.StatusOK, &slowRecs)
+	if len(slowRecs) != 1 || slowRecs[0].Tag != "req-43" {
+		t.Fatalf("slow = %+v, want one with tag req-43", slowRecs)
+	}
+}
+
+// TestWriteJSONError pins the shared error-body shape.
+func TestWriteJSONError(t *testing.T) {
+	w := httptest.NewRecorder()
+	WriteJSONError(w, http.StatusTeapot, `broken "quote"`)
+	var e struct {
+		Error string `json:"error"`
+	}
+	wantJSON(t, w, http.StatusTeapot, &e)
+	if e.Error != `broken "quote"` {
+		t.Fatalf("error = %q", e.Error)
+	}
+}

@@ -50,6 +50,13 @@ type Metrics struct {
 	// SlowQueries counts queries recorded by the slow-query log.
 	SlowQueries atomic.Int64
 
+	// Admission gate instrumentation: AdmissionQueued is a gauge of queries
+	// currently waiting for (or taking) an admission slot; AdmissionWait
+	// records how long each gated query waited before admission — time that,
+	// since the service refactor, no longer counts against QueryTimeout.
+	AdmissionQueued atomic.Int64
+	AdmissionWait   Histogram
+
 	// Latency histograms (observability v2): one per life-cycle phase plus
 	// end-to-end, fed once per observed query.
 	PhaseLatency [5]Histogram
@@ -134,6 +141,11 @@ type Snapshot struct {
 
 	SlowQueries int64 `json:"slow_queries"`
 
+	// AdmissionQueued is the queue-depth gauge of the admission gate;
+	// AdmissionWait summarizes how long gated queries waited for a slot.
+	AdmissionQueued int64          `json:"admission_queued"`
+	AdmissionWait   LatencySummary `json:"admission_wait"`
+
 	Cache CacheCounters `json:"cache"`
 
 	Datasets         int `json:"datasets"`
@@ -198,6 +210,8 @@ func (m *Metrics) Snapshot(cache CacheCounters) Snapshot {
 		PlanCacheHits:      m.PlanCacheHits.Load(),
 		PlanCacheMisses:    m.PlanCacheMisses.Load(),
 		SlowQueries:        m.SlowQueries.Load(),
+		AdmissionQueued:    m.AdmissionQueued.Load(),
+		AdmissionWait:      summarize("admission_wait", &m.AdmissionWait),
 		Cache:              cache,
 		Latency:            m.latencySummaries(),
 	}
@@ -290,6 +304,20 @@ func (s Snapshot) Prometheus() string {
 	counter("proteus_plan_cache_misses_total", "Queries compiled fresh (plan-cache misses).", fmt.Sprint(s.PlanCacheMisses))
 
 	counter("proteus_slow_queries_total", "Queries recorded by the slow-query log.", fmt.Sprint(s.SlowQueries))
+
+	gauge("proteus_admission_queued", "Queries waiting for an admission slot.", s.AdmissionQueued)
+	{
+		const histName = "proteus_admission_wait_seconds"
+		b.WriteString("# HELP " + histName + " Time gated queries spent waiting for an admission slot.\n")
+		b.WriteString("# TYPE " + histName + " histogram\n")
+		var cum int64
+		for i, n := range s.AdmissionWait.Buckets {
+			cum += n
+			fmt.Fprintf(&b, "%s_bucket{le=\"%s\"} %d\n", histName, promBound(BucketBound(i)), cum)
+		}
+		fmt.Fprintf(&b, "%s_sum %g\n", histName, s.AdmissionWait.SumSeconds)
+		fmt.Fprintf(&b, "%s_count %d\n", histName, s.AdmissionWait.Count)
+	}
 
 	// Latency histograms: one family, phase-labeled, cumulative le buckets.
 	if len(s.Latency) > 0 {

@@ -152,6 +152,10 @@ type QueryProfile struct {
 	Fingerprint string `json:"fingerprint,omitempty"`
 	// Vectorized reports whether any pipeline segment ran batch kernels.
 	Vectorized bool `json:"vectorized,omitempty"`
+	// Tag is the caller-supplied correlation key (the query service puts
+	// its request ID here), carried into the slow-query log so one request
+	// can be traced from access log to profile to slow record.
+	Tag string `json:"tag,omitempty"`
 	// Attr is this query's resource attribution (observability v2).
 	Attr QueryAttr `json:"attr"`
 }

@@ -21,6 +21,7 @@ type SlowQuery struct {
 	ID           int64            `json:"id"`
 	Lang         string           `json:"lang"`
 	Query        string           `json:"query"`
+	Tag          string           `json:"tag,omitempty"`
 	Fingerprint  string           `json:"fingerprint,omitempty"`
 	TotalNanos   int64            `json:"total_nanos"`
 	TotalSeconds float64          `json:"total_seconds"`
@@ -49,6 +50,7 @@ func newSlowQuery(q *QueryProfile) *SlowQuery {
 		ID:           q.ID,
 		Lang:         q.Lang,
 		Query:        q.Query,
+		Tag:          q.Tag,
 		Fingerprint:  q.Fingerprint,
 		TotalNanos:   int64(q.Total),
 		TotalSeconds: q.Total.Seconds(),
@@ -156,6 +158,9 @@ func RenderSlowQuery(s *SlowQuery) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "[%s] query %d (%s): %s\n",
 		s.Time.Format(time.RFC3339), s.ID, s.Lang, strings.TrimSpace(s.Query))
+	if s.Tag != "" {
+		fmt.Fprintf(&b, "  tag %s\n", s.Tag)
+	}
 	fmt.Fprintf(&b, "  total %v", time.Duration(s.TotalNanos).Round(time.Microsecond))
 	for _, name := range Phases {
 		if d, ok := s.PhaseNanos[name]; ok {

@@ -1,0 +1,99 @@
+// NDJSON row rendering: one appended JSON document per result row, with no
+// per-row allocation beyond the shared buffer. Records become objects,
+// collections arrays; non-finite floats — which JSON cannot carry — become
+// null, matching what a round-trip through encoding/json would reject.
+package server
+
+import (
+	"strconv"
+	"unicode/utf8"
+
+	"proteus/internal/types"
+)
+
+// appendValueJSON appends v's JSON encoding to dst and returns the extended
+// buffer.
+func appendValueJSON(dst []byte, v types.Value) []byte {
+	switch v.Kind {
+	case types.KindNull:
+		return append(dst, "null"...)
+	case types.KindBool:
+		if v.I != 0 {
+			return append(dst, "true"...)
+		}
+		return append(dst, "false"...)
+	case types.KindInt:
+		return strconv.AppendInt(dst, v.I, 10)
+	case types.KindFloat:
+		f := v.F
+		if f != f || f > 1.797693134862315708e308 || f < -1.797693134862315708e308 {
+			return append(dst, "null"...) // NaN / ±Inf
+		}
+		return strconv.AppendFloat(dst, f, 'g', -1, 64)
+	case types.KindString:
+		return appendJSONString(dst, v.S)
+	case types.KindRecord:
+		dst = append(dst, '{')
+		if v.Rec != nil {
+			for i, name := range v.Rec.Names {
+				if i > 0 {
+					dst = append(dst, ',')
+				}
+				dst = appendJSONString(dst, name)
+				dst = append(dst, ':')
+				dst = appendValueJSON(dst, v.Rec.Values[i])
+			}
+		}
+		return append(dst, '}')
+	case types.KindList, types.KindBag:
+		dst = append(dst, '[')
+		for i, e := range v.Elems {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = appendValueJSON(dst, e)
+		}
+		return append(dst, ']')
+	default:
+		return append(dst, "null"...)
+	}
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string literal: quotes, backslashes,
+// and control characters escaped, invalid UTF-8 replaced with U+FFFD (the
+// same policy encoding/json applies).
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c < utf8.RuneSelf {
+			switch {
+			case c == '"' || c == '\\':
+				dst = append(dst, '\\', c)
+			case c == '\n':
+				dst = append(dst, '\\', 'n')
+			case c == '\r':
+				dst = append(dst, '\\', 'r')
+			case c == '\t':
+				dst = append(dst, '\\', 't')
+			case c < 0x20:
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+			default:
+				dst = append(dst, c)
+			}
+			i++
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			dst = append(dst, "�"...)
+			i++
+			continue
+		}
+		dst = append(dst, s[i:i+size]...)
+		i += size
+	}
+	return append(dst, '"')
+}

@@ -1,0 +1,174 @@
+// Per-tenant admission and memory quotas. The engine's global gates
+// (Config.MaxConcurrentQueries, Config.QueryMemBudget) protect the process;
+// the tenant set layers fairness on top: no single tenant key — taken from
+// the X-Proteus-Tenant request header — can occupy more than its share of
+// concurrent-query tokens or reserved operator-state memory, so a noisy
+// tenant is rejected with 429 while every other tenant's traffic proceeds.
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultTenant is the tenant key used when a request carries no
+// X-Proteus-Tenant header.
+const DefaultTenant = "default"
+
+// tenant is one tenant's admission state and counters. active is guarded by
+// the owning set's mutex (admission is a check-then-increment); the
+// counters are atomics updated outside the lock.
+type tenant struct {
+	name   string
+	active int
+
+	queries   atomic.Int64 // completed queries (including failures)
+	rows      atomic.Int64 // result rows streamed
+	rejected  atomic.Int64 // admissions refused by a quota
+	cancelled atomic.Int64 // queries aborted by client disconnect/cancel
+	errors    atomic.Int64 // queries that returned an error
+}
+
+// quotaError is an admission refusal; the server maps it to 429.
+type quotaError struct {
+	tenant string
+	reason string
+}
+
+func (e *quotaError) Error() string {
+	return fmt.Sprintf("tenant %q over %s quota", e.tenant, e.reason)
+}
+
+// tenantSet is the registry of tenants and their shared quota policy.
+// maxConcurrent caps each tenant's in-flight queries (0 = unlimited).
+// memQuota caps the operator-state bytes a tenant may have reserved at
+// once: every admitted query reserves memPerQuery (the engine's per-query
+// memory budget — the most it can pin), so the check is a token count, not
+// runtime tracking. With no per-query budget there is nothing to reserve
+// and the memory quota is inert.
+type tenantSet struct {
+	mu            sync.Mutex
+	tenants       map[string]*tenant
+	maxConcurrent int
+	memQuota      int64
+	memPerQuery   int64
+}
+
+func newTenantSet(maxConcurrent int, memQuota, memPerQuery int64) *tenantSet {
+	return &tenantSet{
+		tenants:       map[string]*tenant{},
+		maxConcurrent: maxConcurrent,
+		memQuota:      memQuota,
+		memPerQuery:   memPerQuery,
+	}
+}
+
+// admit reserves one concurrency token (and memPerQuery reserved bytes) for
+// the named tenant, or returns a *quotaError without reserving anything.
+// Rejection is immediate rather than queued: a service under per-tenant
+// pressure should shed that tenant's load with 429 + Retry-After, not grow
+// an unbounded queue.
+func (ts *tenantSet) admit(name string) (*tenant, error) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	t := ts.tenants[name]
+	if t == nil {
+		t = &tenant{name: name}
+		ts.tenants[name] = t
+	}
+	if ts.maxConcurrent > 0 && t.active >= ts.maxConcurrent {
+		t.rejected.Add(1)
+		return nil, &quotaError{tenant: name, reason: "concurrent-query"}
+	}
+	if ts.memQuota > 0 && ts.memPerQuery > 0 &&
+		int64(t.active+1)*ts.memPerQuery > ts.memQuota {
+		t.rejected.Add(1)
+		return nil, &quotaError{tenant: name, reason: "memory"}
+	}
+	t.active++
+	return t, nil
+}
+
+// release returns the tokens taken by admit.
+func (ts *tenantSet) release(t *tenant) {
+	ts.mu.Lock()
+	t.active--
+	ts.mu.Unlock()
+}
+
+// snapshotRow is one tenant's counters at a point in time.
+type snapshotRow struct {
+	Name      string `json:"tenant"`
+	Active    int    `json:"active"`
+	Queries   int64  `json:"queries"`
+	Rows      int64  `json:"rows"`
+	Rejected  int64  `json:"rejected"`
+	Cancelled int64  `json:"cancelled"`
+	Errors    int64  `json:"errors"`
+}
+
+// snapshot copies every tenant's counters, sorted by name.
+func (ts *tenantSet) snapshot() []snapshotRow {
+	ts.mu.Lock()
+	rows := make([]snapshotRow, 0, len(ts.tenants))
+	for _, t := range ts.tenants {
+		rows = append(rows, snapshotRow{
+			Name:      t.name,
+			Active:    t.active,
+			Queries:   t.queries.Load(),
+			Rows:      t.rows.Load(),
+			Rejected:  t.rejected.Load(),
+			Cancelled: t.cancelled.Load(),
+			Errors:    t.errors.Load(),
+		})
+	}
+	ts.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	return rows
+}
+
+// escapeLabel escapes a Prometheus label value (backslash, quote, newline).
+func escapeLabel(s string) string {
+	return strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(s)
+}
+
+// prometheus renders the per-tenant counter families in the text exposition
+// format, appended after the engine's own /metrics output.
+func (ts *tenantSet) prometheus() string {
+	rows := ts.snapshot()
+	if len(rows) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	family := func(name, typ, help string, value func(snapshotRow) int64) {
+		b.WriteString("# HELP " + name + " " + help + "\n")
+		b.WriteString("# TYPE " + name + " " + typ + "\n")
+		for _, r := range rows {
+			fmt.Fprintf(&b, "%s{tenant=\"%s\"} %d\n", name, escapeLabel(r.Name), value(r))
+		}
+	}
+	family("proteus_tenant_active_queries", "gauge", "Queries currently in flight per tenant.",
+		func(r snapshotRow) int64 { return int64(r.Active) })
+	family("proteus_tenant_queries_total", "counter", "Completed queries per tenant (including failures).",
+		func(r snapshotRow) int64 { return r.Queries })
+	family("proteus_tenant_rows_total", "counter", "Result rows streamed per tenant.",
+		func(r snapshotRow) int64 { return r.Rows })
+	family("proteus_tenant_rejected_total", "counter", "Admissions refused by a per-tenant quota.",
+		func(r snapshotRow) int64 { return r.Rejected })
+	family("proteus_tenant_cancelled_total", "counter", "Queries aborted by client disconnect or cancellation, per tenant.",
+		func(r snapshotRow) int64 { return r.Cancelled })
+	family("proteus_tenant_errors_total", "counter", "Queries that returned an error, per tenant.",
+		func(r snapshotRow) int64 { return r.Errors })
+	if ts.memQuota > 0 && ts.memPerQuery > 0 {
+		b.WriteString("# HELP proteus_tenant_mem_reserved_bytes Operator-state bytes reserved by in-flight queries per tenant.\n")
+		b.WriteString("# TYPE proteus_tenant_mem_reserved_bytes gauge\n")
+		for _, r := range rows {
+			fmt.Fprintf(&b, "proteus_tenant_mem_reserved_bytes{tenant=\"%s\"} %d\n",
+				escapeLabel(r.Name), int64(r.Active)*ts.memPerQuery)
+		}
+	}
+	return b.String()
+}

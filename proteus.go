@@ -313,6 +313,26 @@ func (db *DB) ExecContext(ctx context.Context, query string) error {
 	return err
 }
 
+// ErrClosed is returned for queries submitted after Close.
+var ErrClosed = engine.ErrClosed
+
+// Close drains the DB: new queries are rejected with ErrClosed immediately,
+// queries already in flight run to completion, and Close returns once the
+// engine is idle — or with ctx's cause when the deadline passes first
+// (in-flight queries are not cancelled by the deadline; run them under
+// cancellable contexts for a hard stop). Close is idempotent. The query
+// service calls this during graceful shutdown, after the HTTP listener has
+// stopped accepting work.
+func (db *DB) Close(ctx context.Context) error { return db.eng.Close(ctx) }
+
+// WithQueryTag attaches a correlation tag (e.g. an HTTP request ID) to a
+// query context. Observed queries copy the tag into their QueryProfile and
+// slow-query-log record, so one service request can be traced from access
+// log to profile (/debug/queries) to slow record (/debug/slow).
+func WithQueryTag(ctx context.Context, tag string) context.Context {
+	return engine.WithQueryTag(ctx, tag)
+}
+
 // IsComprehension reports whether a query string is in the monoid
 // comprehension language (it starts with the `for` keyword) rather than
 // SQL. Query front doors use it to route mixed input.

@@ -21,19 +21,21 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig5..fig14, figpar, vec, idx, obs, tab3, or all")
+	exp := flag.String("exp", "all", "experiment: fig5..fig14, figpar, vec, vec2, idx, obs, tab3, or all")
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor for fig5–fig13")
 	spam := flag.Int("spam", 10000, "spam scale (JSON objects) for fig14/tab3")
 	raw := flag.Bool("raw", false, "also print machine-readable rows")
 	jsonOut := flag.String("json", "BENCH_PR2.json", "write a machine-readable report to this path (empty disables)")
 	iters := flag.Int("iters", 5, "runs per query for phase-split and overhead medians")
 	obsBudget := flag.Float64("obs-budget", 0, "fail (exit 1) if the obs experiment's overhead ratio exceeds this (0 = report only)")
+	vec2Tolerance := flag.Float64("vec2-tolerance", 0, "fail (exit 1) if vec2 adaptive mode exceeds this multiple of the best static mode on any query (0 = report only)")
 	flag.Parse()
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 	var allRows []bench.Row
 	var phaseRows []bench.PhaseRow
 	obsOverhead := 0.0
+	var vec2Rows []bench.Row
 
 	tpchFigs := []struct {
 		name  string
@@ -118,6 +120,17 @@ func main() {
 		allRows = append(allRows, rows...)
 	}
 
+	if want("vec2") {
+		fmt.Println("vectorized joins / ORDER BY / string predicates + adaptive mode sweep ...")
+		rows, err := bench.FigVec2(*iters)
+		if err != nil {
+			fatal(fmt.Errorf("vec2: %w", err))
+		}
+		bench.PrintVec2(os.Stdout, rows)
+		allRows = append(allRows, rows...)
+		vec2Rows = rows
+	}
+
 	if want("idx") {
 		fmt.Println("bitmap index vs compare-kernel sweep ...")
 		rows, err := bench.FigIdx(*iters)
@@ -160,10 +173,15 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *jsonOut)
 	}
-	// The budget gate runs last so the JSON artifact is written even on a
+	// The budget gates run last so the JSON artifact is written even on a
 	// failing run (CI keeps the evidence).
 	if *obsBudget > 0 && obsOverhead > *obsBudget {
 		fatal(fmt.Errorf("obs: overhead ratio %.3f exceeds budget %.2f", obsOverhead, *obsBudget))
+	}
+	if *vec2Tolerance > 0 && len(vec2Rows) > 0 {
+		if err := bench.Vec2Gate(vec2Rows, *vec2Tolerance); err != nil {
+			fatal(err)
+		}
 	}
 }
 

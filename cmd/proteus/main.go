@@ -245,6 +245,13 @@ func main() {
 				if p.Vectorized.Runs > 0 {
 					fmt.Printf("    vectorized: runs=%d rows/s=%.0f\n", p.Vectorized.Runs, p.Vectorized.RowsPerSec())
 				}
+				if p.Mode != "" {
+					ineligible := ""
+					if p.VecIneligible {
+						ineligible = ", vec-ineligible"
+					}
+					fmt.Printf("    mode: %s (%s%s)\n", p.Mode, p.ModeSource, ineligible)
+				}
 			}
 		case strings.HasPrefix(line, ".explain analyze "):
 			out, err := db.ExplainAnalyze(strings.TrimPrefix(line, ".explain analyze "))

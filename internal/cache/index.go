@@ -544,6 +544,30 @@ func (ix *Index) Lookup(op CmpOp, p Pred) (*Bitmap, bool) {
 	return nil, false
 }
 
+// Dict returns the string dictionary of a string-column index (nil for
+// non-string indexes). The execution layer uses it to evaluate string
+// predicates on dictionary codes instead of row values.
+func (ix *Index) Dict() *Dict { return ix.dict }
+
+// MatchStrings evaluates pred once per distinct dictionary string and ORs
+// the matching codes' bitmaps: a string predicate over N rows costs
+// Dict.Len() predicate calls plus word-wise ORs. The result never contains
+// a NULL row. ok is false for non-string indexes.
+func (ix *Index) MatchStrings(pred func(string) bool) (*Bitmap, bool) {
+	if ix.Kind != types.KindString || ix.dict == nil {
+		return nil, false
+	}
+	out := NewBitmap(ix.rows)
+	// String-index keys are exactly the dictionary codes 0..Len-1 (every
+	// code occurs in the column), so bitmaps[code] is the code's bitmap.
+	for code, s := range ix.dict.strs {
+		if pred(s) {
+			out.Or(ix.bitmaps[code])
+		}
+	}
+	return out, true
+}
+
 func (ix *Index) lookupKey(op CmpOp, k int64) (*Bitmap, bool) {
 	pos := sort.Search(len(ix.keys), func(i int) bool { return ix.keys[i] >= k })
 	exact := pos < len(ix.keys) && ix.keys[pos] == k

@@ -70,7 +70,7 @@ func ResolveColumns(c *Comprehension, cat Catalog) error {
 		case *expr.IsNull:
 			return &expr.IsNull{E: rewrite(x.E)}
 		case *expr.Like:
-			return &expr.Like{E: rewrite(x.E), Needle: x.Needle}
+			return &expr.Like{E: rewrite(x.E), Needle: x.Needle, Prefix: x.Prefix}
 		case *expr.RecordCtor:
 			subs := make([]expr.Expr, len(x.Exprs))
 			for i, sub := range x.Exprs {

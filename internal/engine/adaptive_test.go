@@ -1,0 +1,270 @@
+package engine
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"proteus/internal/exec"
+	"proteus/internal/plugin"
+	"proteus/internal/types"
+)
+
+// TestAdaptiveModeMeasuredWinner seeds the feedback store with measurements
+// for both modes and asserts the compiler picks the observed rows/sec
+// winner — in both directions.
+func TestAdaptiveModeMeasuredWinner(t *testing.T) {
+	q := "SELECT SUM(val) FROM big WHERE id < 2000"
+
+	// Vectorized measured 10x faster: auto must compile the batch path.
+	e := newVecEngine(t, Config{Parallelism: 1}) // Vectorized defaults to auto
+	p, err := e.PrepareSQL(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := p.Program.Fingerprint
+	e.feedback.Observe(fp, q, 10*time.Millisecond, 1, false, false)
+	e.feedback.Observe(fp, q, time.Millisecond, 1, true, false)
+	p, err = e.PrepareSQL(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := p.Explain(); !strings.Contains(out, "mode: vectorized (measured)") {
+		t.Errorf("EXPLAIN does not report the measured vectorized decision:\n%s", out)
+	}
+	if !p.Program.Vectorized {
+		t.Error("measured vectorized winner compiled tuple-at-a-time")
+	}
+
+	// Tuple measured 10x faster on a fresh store: auto must flip back.
+	e2 := newVecEngine(t, Config{Parallelism: 1})
+	e2.feedback.Observe(fp, q, time.Millisecond, 1, false, false)
+	e2.feedback.Observe(fp, q, 10*time.Millisecond, 1, true, false)
+	p, err = e2.PrepareSQL(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := p.Explain(); !strings.Contains(out, "mode: tuple (measured)") {
+		t.Errorf("EXPLAIN does not report the measured tuple decision:\n%s", out)
+	}
+	if p.Program.Vectorized {
+		t.Error("measured tuple winner still compiled vectorized")
+	}
+}
+
+// TestAdaptiveModeExplores: a plan warm in one mode but unmeasured in the
+// other gets one forced run of the unmeasured mode.
+func TestAdaptiveModeExplores(t *testing.T) {
+	q := "SELECT SUM(val) FROM big WHERE id < 1500"
+	e := newVecEngine(t, Config{Parallelism: 1})
+	p, err := e.PrepareSQL(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := p.Program.Fingerprint
+	e.feedback.Observe(fp, q, time.Millisecond, 1, false, false)
+	e.feedback.Observe(fp, q, time.Millisecond, 1, false, false)
+	p, err = e.PrepareSQL(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := p.Explain(); !strings.Contains(out, "mode: vectorized (explore)") {
+		t.Errorf("EXPLAIN does not report the exploratory decision:\n%s", out)
+	}
+	if !p.Program.Vectorized {
+		t.Error("explore asked for vectorization but compiled tuple-at-a-time")
+	}
+}
+
+// TestAdaptiveModeExploreIneligible: exploring a plan that cannot vectorize
+// marks it vec-ineligible so auto mode stops re-exploring it.
+func TestAdaptiveModeExploreIneligible(t *testing.T) {
+	// A whole-record yield needs the full record (path ""), which no batch
+	// kernel produces — the plan is structurally vec-ineligible.
+	q := "for { n <- big } yield bag n"
+	e := newVecEngine(t, Config{Parallelism: 1})
+	p, err := e.PrepareComp(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := p.Program.Fingerprint
+	e.feedback.Observe(fp, q, time.Millisecond, 100, false, false)
+	e.feedback.Observe(fp, q, time.Millisecond, 100, false, false)
+
+	p, err = e.PrepareComp(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := p.Explain(); !strings.Contains(out, "mode: tuple (explore)") {
+		t.Errorf("EXPLAIN does not report the failed exploration:\n%s", out)
+	}
+	if p.Program.Vectorized {
+		t.Error("whole-record yield compiled vectorized")
+	}
+	ps, ok := e.feedback.Lookup(fp)
+	if !ok || !ps.VecIneligible {
+		t.Fatalf("plan not marked vec-ineligible after failed explore: %+v", ps)
+	}
+
+	// The next compile must fall back to the heuristic, not explore again.
+	p, err = e.PrepareComp(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := p.Explain(); !strings.Contains(out, "mode: tuple (heuristic)") {
+		t.Errorf("vec-ineligible plan explored again:\n%s", out)
+	}
+}
+
+// TestAdaptiveModeConvergesThroughRuns drives a real query through the full
+// decision ladder — heuristic, explore, measured — with nothing seeded, and
+// checks the decision counters surface in the metrics snapshot.
+func TestAdaptiveModeConvergesThroughRuns(t *testing.T) {
+	e := newVecEngine(t, Config{Parallelism: 1, PlanCacheSize: -1})
+	q := "SELECT SUM(val) FROM big WHERE id < 2500"
+	for i := 0; i < 4; i++ {
+		if _, err := e.QuerySQL(q); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	snap := e.feedback.Snapshot()
+	if len(snap) == 0 {
+		t.Fatal("feedback store is empty after four runs")
+	}
+	ps := snap[0]
+	if ps.Tuple.Runs == 0 || ps.Vectorized.Runs == 0 {
+		t.Fatalf("four auto runs did not measure both modes: tuple=%d vectorized=%d",
+			ps.Tuple.Runs, ps.Vectorized.Runs)
+	}
+	if ps.ModeSource != "measured" {
+		t.Errorf("final decision source = %q, want measured (stats %+v)", ps.ModeSource, ps)
+	}
+	found := false
+	for _, d := range e.Metrics().ModeDecisions {
+		if d.Source == "measured" && d.Count > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no measured decision in metrics: %+v", e.Metrics().ModeDecisions)
+	}
+}
+
+// Robustness mid-batch in the new vectorized operators.
+
+func TestVectorizedJoinCancelMidProbe(t *testing.T) {
+	e := New(Config{Parallelism: 1, Vectorized: exec.VecOn})
+	slow := newSlowInput(1<<20, 50*time.Microsecond)
+	e.RegisterPlugin(slow)
+	slowSchema := types.NewRecordType(types.Field{Name: "id", Type: types.Int})
+	if err := e.Register("slow", "slow://t", "slow", slowSchema, plugin.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Small CSV build side; the slow table drives the vectorized probe.
+	e.Mem().PutFile("mem://dim.csv", []byte("1\n2\n3\n4\n5\n"))
+	if err := e.Register("dim", "mem://dim.csv", "csv", slowSchema, plugin.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.QuerySQLContext(ctx, "SELECT COUNT(*) FROM slow a JOIN dim b ON a.id = b.id")
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // mid-probe, inside a batch
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), context.Canceled.Error()) {
+			t.Fatalf("cancelled vectorized join returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("vectorized join ignored cancellation")
+	}
+}
+
+func TestVectorizedJoinTimeoutMidProbe(t *testing.T) {
+	e := New(Config{Parallelism: 1, Vectorized: exec.VecOn, QueryTimeout: 30 * time.Millisecond})
+	slow := newSlowInput(1<<20, 50*time.Microsecond)
+	e.RegisterPlugin(slow)
+	slowSchema := types.NewRecordType(types.Field{Name: "id", Type: types.Int})
+	if err := e.Register("slow", "slow://t", "slow", slowSchema, plugin.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	e.Mem().PutFile("mem://dim.csv", []byte("1\n2\n3\n"))
+	if err := e.Register("dim", "mem://dim.csv", "csv", slowSchema, plugin.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := e.QuerySQL("SELECT COUNT(*) FROM slow a JOIN dim b ON a.id = b.id")
+	if err == nil || !strings.Contains(err.Error(), context.DeadlineExceeded.Error()) {
+		t.Fatalf("timed-out vectorized join returned %v", err)
+	}
+}
+
+func TestVectorizedJoinMemBudget(t *testing.T) {
+	// 3000 build rows at >= 24 bytes of charged key state blow a 32 KiB
+	// budget from inside the vectorized build terminate.
+	e := newVecEngine(t, Config{Parallelism: 1, Vectorized: exec.VecOn, QueryMemBudget: 32 << 10})
+	_, err := e.QuerySQL("SELECT COUNT(*) FROM big a JOIN bigbin b ON a.id = b.id")
+	if err == nil {
+		t.Fatal("vectorized join under tiny budget succeeded")
+	}
+	if !strings.Contains(err.Error(), exec.ErrMemBudget.Error()) {
+		t.Fatalf("want mem-budget error, got %v", err)
+	}
+	// The engine stays usable within budget.
+	if _, err := e.QuerySQL("SELECT COUNT(*) FROM big WHERE val < 50"); err != nil {
+		t.Fatalf("follow-up query: %v", err)
+	}
+}
+
+func TestVectorizedSortMemBudget(t *testing.T) {
+	// 3000 collected rows charge 64 bytes each — the columnar collect must
+	// fail the same way the row-wise sort buffer would.
+	e := newVecEngine(t, Config{Parallelism: 1, Vectorized: exec.VecOn, QueryMemBudget: 64 << 10})
+	_, err := e.QuerySQL("SELECT id, val FROM big ORDER BY val")
+	if err == nil {
+		t.Fatal("vectorized ORDER BY under tiny budget succeeded")
+	}
+	if !strings.Contains(err.Error(), exec.ErrMemBudget.Error()) {
+		t.Fatalf("want mem-budget error, got %v", err)
+	}
+	// A bounded sort on the same engine succeeds.
+	res, err := e.QuerySQL("SELECT id, val FROM big WHERE id < 200 ORDER BY val")
+	if err != nil {
+		t.Fatalf("bounded ORDER BY: %v", err)
+	}
+	if len(res.Rows) != 200 {
+		t.Fatalf("bounded ORDER BY returned %d rows, want 200", len(res.Rows))
+	}
+}
+
+// TestSortedProgramSkipsEngineSort: when the columnar collect absorbed the
+// ORDER BY, the program reports Sorted and still emits exactly the limited,
+// ordered rows.
+func TestSortedProgramSkipsEngineSort(t *testing.T) {
+	e := newVecEngine(t, Config{Parallelism: 1, Vectorized: exec.VecOn})
+	p, err := e.PrepareSQL("SELECT id, name FROM big WHERE val < 50 ORDER BY id DESC LIMIT 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Program.Sorted {
+		t.Fatalf("columnar collect did not absorb the ORDER BY:\n%s", p.Explain())
+	}
+	res, err := p.Program.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("got %d rows, want 5", len(res.Rows))
+	}
+	prev := int64(1 << 62)
+	for _, row := range res.Rows {
+		v, _ := row.Field("id")
+		if v.AsInt() > prev {
+			t.Fatalf("rows not descending: %v", res.Rows)
+		}
+		prev = v.AsInt()
+	}
+}

@@ -131,9 +131,28 @@ var vecEquivalenceQueries = []vecQuery{
 	// front end.
 	{"comp", "for { n <- big, n.val > 42 } yield sum n.id", true},
 	{"comp", "for { n <- big, n.id < 2500, n.score < 8.0 } yield count", true},
-	// Joins stay tuple-at-a-time; the probe side's scan→filter prefix may
-	// still vectorize, so equivalence must hold across the boundary.
+	// Joins: vectorized build and probe on the int fast path and the boxed
+	// (string, multi-key) path, with projections through the probe-side
+	// scatter and ORDER BY over join output.
 	{"sql", "SELECT COUNT(*) FROM big a JOIN bigbin b ON a.id = b.id WHERE a.val < 45", true},
+	{"sql", "SELECT a.id AS id, a.name AS n, b.val AS bv FROM big a JOIN bigbin b ON a.id = b.id WHERE b.score > 5.0 ORDER BY id", true},
+	{"sql", "SELECT COUNT(*) FROM big a JOIN bigbin b ON a.name = b.name WHERE a.id < 40 AND b.id < 200", true},
+	{"sql", "SELECT COUNT(*) FROM big a JOIN bigbin b ON a.id = b.id AND a.name = b.name", true},
+	{"sql", "SELECT a.id AS id, b.name AS bn FROM big a JOIN bigbin b ON a.id = b.id WHERE a.name = 'gamma' AND b.id < 600 ORDER BY id DESC LIMIT 20", true},
+	// Vectorized ORDER BY: columnar index sort with limits, string and
+	// descending keys, heavy ties (stability must match the row-wise sort),
+	// and nulls (which sort first).
+	{"sql", "SELECT id, val, name FROM big WHERE val < 50 ORDER BY name, id DESC LIMIT 100", true},
+	{"sql", "SELECT id, score FROM bigbin WHERE id < 2000 ORDER BY score DESC, id LIMIT 17", true},
+	{"sql", "SELECT val, id FROM big WHERE id < 1200 ORDER BY val", true},
+	{"sql", "SELECT id, v FROM jdocs WHERE id < 600 ORDER BY v, id", true},
+	// String predicates: vectorized eq/ne/prefix-LIKE/contains, including
+	// the dictionary-code path once caching materializes string columns.
+	{"sql", "SELECT COUNT(*) FROM big WHERE name = 'gamma'", true},
+	{"sql", "SELECT COUNT(*) FROM big WHERE name <> 'alpha' AND name <> 'zeta'", true},
+	{"sql", "SELECT COUNT(*) FROM big WHERE name LIKE 'ga%'", true},
+	{"sql", "SELECT COUNT(*) FROM bigbin WHERE name LIKE 'delt%' OR name LIKE 'ze%'", true},
+	{"sql", "SELECT id, name FROM bigbin WHERE name = 'beta' AND id < 500 ORDER BY id", true},
 }
 
 // rowStrings renders result rows for comparison.

@@ -289,6 +289,11 @@ func (c *Compiler) compileReducePartial(red *algebra.Reduce) (func(r *vbuf.Regs)
 	} else if ok {
 		return run, vst, nil
 	}
+	if run, vst, ok, err := c.tryVecCollect(red); err != nil {
+		return nil, nil, err
+	} else if ok {
+		return run, vst, nil
+	}
 	st := &reducePartial{names: red.Names, rowsCell: c.rootRowsCell(red)}
 	var pred evalBool
 	gauge := c.mem

@@ -56,6 +56,10 @@ type Env struct {
 	// Vectorize selects tuple-at-a-time vs. block-at-a-time compilation for
 	// batch-capable pipeline segments (see vector.go).
 	Vectorize VecMode
+	// Sort, when set, is the caller's ORDER BY / LIMIT request. An eligible
+	// plan absorbs it into the pipeline (columnar index sort, vsort.go) and
+	// reports that via Program.Sorted; otherwise the caller post-sorts.
+	Sort *SortSpec
 }
 
 // Kont is the consume continuation of the push model: called once per
@@ -122,6 +126,9 @@ type Compiler struct {
 	// vectorized records that at least one pipeline segment compiled to
 	// batch kernels (surfaced as Program.Vectorized for the feedback store).
 	vectorized bool
+	// sorted records that the plan absorbed Env.Sort into the pipeline
+	// (surfaced as Program.Sorted so the caller skips its own sort).
+	sorted bool
 }
 
 func (c *Compiler) note(format string, args ...any) {

@@ -341,13 +341,13 @@ func (c *Compiler) compileBool(e expr.Expr) (evalBool, error) {
 		if err != nil {
 			return nil, err
 		}
-		needle := x.Needle
+		like := x
 		return func(r *vbuf.Regs) (bool, bool) {
 			v, ok := sub(r)
 			if !ok {
 				return false, false
 			}
-			return strings.Contains(v, needle), true
+			return like.Match(v), true
 		}, nil
 	case *expr.BinOp:
 		switch {
@@ -632,8 +632,12 @@ func (c *Compiler) compileVal(e expr.Expr) (evalVal, error) {
 			subs[i] = ev
 		}
 		names := x.Names
+		// RecordValue retains the slice, so rows are carved from a chunked
+		// arena instead of allocated one by one — the dominant allocation on
+		// the batch→tuple boundary of join-heavy SELECT lists.
+		arena := &tupleArena{width: len(subs)}
 		return func(r *vbuf.Regs) (types.Value, bool) {
-			vals := make([]types.Value, len(subs))
+			vals := arena.next()
 			for i, ev := range subs {
 				v, ok := ev(r)
 				if !ok {

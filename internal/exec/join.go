@@ -225,14 +225,32 @@ func (c *Compiler) compileJoin(j *algebra.Join, consume Kont) (func(r *vbuf.Regs
 		return c.compileNestedLoopJoin(j, consume)
 	}
 
+	// Batch-at-a-time sides: when an input is a vectorizable Scan→Select*
+	// chain and every key compiles to a column kernel, that side builds or
+	// probes batch-at-a-time (vjoin.go). The checks have no side effects, so
+	// either side can independently stay tuple-at-a-time.
+	chBuild := c.vecJoinSide(j.Right, keysR)
+	chProbe := c.vecJoinSide(j.Left, keysL)
+
 	// Compile the right (build) subtree first — post-order DFS — so its
 	// bindings and slots exist before key/payload compilation. The consume
 	// is installed later (it needs the key/payload evaluators), through an
 	// indirection so the subtree is compiled exactly once.
 	var buildConsume Kont = func(r *vbuf.Regs) error { return nil }
-	buildRun, err := c.compileNode(j.Right, func(r *vbuf.Regs) error { return buildConsume(r) })
-	if err != nil {
-		return nil, err
+	var buildBatch func(b *vbuf.Batch, r *vbuf.Regs) error
+	var buildRun func(r *vbuf.Regs) error
+	if chBuild != nil {
+		seg, err := c.compileVecSeg(chBuild)
+		if err != nil {
+			return nil, err
+		}
+		buildRun = c.compileVecDriver(seg, func(b *vbuf.Batch, r *vbuf.Regs) error { return buildBatch(b, r) })
+	} else {
+		run, err := c.compileNode(j.Right, func(r *vbuf.Regs) error { return buildConsume(r) })
+		if err != nil {
+			return nil, err
+		}
+		buildRun = run
 	}
 	rightBindings := j.Right.Bindings()
 
@@ -314,24 +332,6 @@ func (c *Compiler) compileJoin(j *algebra.Join, consume Kont) (func(r *vbuf.Regs
 		}
 	}
 
-	buildKeyInt := make([]evalInt, 0, len(keysR))
-	buildKeyVal := make([]evalVal, 0, len(keysR))
-	for i := range keysR {
-		if allInt {
-			bk, err := c.compileInt(keysR[i])
-			if err != nil {
-				return nil, err
-			}
-			buildKeyInt = append(buildKeyInt, bk)
-		} else {
-			bk, err := c.compileVal(keysR[i])
-			if err != nil {
-				return nil, err
-			}
-			buildKeyVal = append(buildKeyVal, bk)
-		}
-	}
-
 	if jt == nil {
 		jt = &joinTable{cols: cols}
 		if allInt {
@@ -350,74 +350,121 @@ func (c *Compiler) compileJoin(j *algebra.Join, consume Kont) (func(r *vbuf.Regs
 		keyRowBytes = int64(16 + len(keysR)*48)
 	}
 	var pending int64
-	materialize := func(r *vbuf.Regs) error {
-		h := uint64(14695981039346656037)
+	// The parallel once-build path swaps jt for a fresh table per run, so
+	// every materialize/probe closure reads it through this getter (or, for
+	// the tuple closures below, captures the variable directly).
+	jtOf := func() *joinTable { return jt }
+	if chBuild != nil {
 		if allInt {
-			for i, bk := range buildKeyInt {
-				v, ok := bk(r)
-				if !ok {
-					return nil // null keys never match
+			kerns := make([]vecInt, len(keysR))
+			for i := range keysR {
+				kv, err := c.compileVecInt(keysR[i])
+				if err != nil {
+					return nil, err
 				}
-				jt.intKeys[i] = append(jt.intKeys[i], v)
-				h = hashMix(h, hashInt(v))
+				kerns[i] = kv
 			}
+			buildBatch = vecBuildIntTerminate(jtOf, kerns, keyRowBytes, gauge, &pending)
 		} else {
-			for i, bk := range buildKeyVal {
-				v, ok := bk(r)
-				if !ok {
-					return nil
+			kcs, err := c.compileVecKeyCols(keysR)
+			if err != nil {
+				return nil, err
+			}
+			buildBatch = vecBuildValTerminate(jtOf, kcs, keyRowBytes, gauge, &pending)
+		}
+		c.note("join: vectorized build over %s", chBuild.scan.Dataset)
+	} else {
+		buildKeyInt := make([]evalInt, 0, len(keysR))
+		buildKeyVal := make([]evalVal, 0, len(keysR))
+		for i := range keysR {
+			if allInt {
+				bk, err := c.compileInt(keysR[i])
+				if err != nil {
+					return nil, err
 				}
-				jt.valKeys[i] = append(jt.valKeys[i], v)
-				h = hashMix(h, v.Hash())
+				buildKeyInt = append(buildKeyInt, bk)
+			} else {
+				bk, err := c.compileVal(keysR[i])
+				if err != nil {
+					return nil, err
+				}
+				buildKeyVal = append(buildKeyVal, bk)
 			}
 		}
-		jt.hashes = append(jt.hashes, h)
-		if gauge == nil {
+		// Validate every key before appending any: a null in a later key must
+		// not leave earlier key columns misaligned with the hash array.
+		buildIK := make([]int64, len(keysR))
+		buildVK := make([]types.Value, len(keysR))
+		buildConsume = func(r *vbuf.Regs) error {
+			h := hashSeed
+			if allInt {
+				for i, bk := range buildKeyInt {
+					v, ok := bk(r)
+					if !ok {
+						return nil // null keys never match
+					}
+					buildIK[i] = v
+					h = hashMix(h, hashInt(v))
+				}
+				for i, v := range buildIK {
+					jt.intKeys[i] = append(jt.intKeys[i], v)
+				}
+			} else {
+				for i, bk := range buildKeyVal {
+					v, ok := bk(r)
+					if !ok {
+						return nil
+					}
+					buildVK[i] = v
+					h = hashMix(h, v.Hash())
+				}
+				for i, v := range buildVK {
+					jt.valKeys[i] = append(jt.valKeys[i], v)
+				}
+			}
+			jt.hashes = append(jt.hashes, h)
+			if gauge == nil {
+				for _, col := range jt.cols {
+					col.append(r)
+				}
+				return nil
+			}
+			nb := keyRowBytes
 			for _, col := range jt.cols {
-				col.append(r)
+				nb += col.append(r)
+			}
+			if pending += nb; pending >= memQuantum {
+				err := gauge.charge(pending)
+				pending = 0
+				if err != nil {
+					return err
+				}
 			}
 			return nil
 		}
-		nb := keyRowBytes
-		for _, col := range jt.cols {
-			nb += col.append(r)
-		}
-		if pending += nb; pending >= memQuantum {
-			err := gauge.charge(pending)
-			pending = 0
-			if err != nil {
-				return err
-			}
-		}
-		return nil
 	}
-	buildConsume = materialize
 
 	// Probe-side pipeline: compile the left subtree first (its bindings
 	// must exist before probe keys and the residual predicate compile).
 	var probeKont Kont
-	probeRun, err := c.compileNode(j.Left, func(r *vbuf.Regs) error { return probeKont(r) })
-	if err != nil {
-		return nil, err
+	var probeBatch func(b *vbuf.Batch, r *vbuf.Regs) error
+	var probeRun func(r *vbuf.Regs) error
+	var segProbe *vecSeg
+	if chProbe != nil {
+		seg, err := c.compileVecSeg(chProbe)
+		if err != nil {
+			return nil, err
+		}
+		segProbe = seg
+		probeRun = c.compileVecDriver(seg, func(b *vbuf.Batch, r *vbuf.Regs) error { return probeBatch(b, r) })
+	} else {
+		run, err := c.compileNode(j.Left, func(r *vbuf.Regs) error { return probeKont(r) })
+		if err != nil {
+			return nil, err
+		}
+		probeRun = run
 	}
 
-	probeKeyInt := make([]evalInt, 0, len(keysL))
-	probeKeyVal := make([]evalVal, 0, len(keysL))
-	for i := range keysL {
-		if allInt {
-			pk, err := c.compileInt(keysL[i])
-			if err != nil {
-				return nil, err
-			}
-			probeKeyInt = append(probeKeyInt, pk)
-		} else {
-			pk, err := c.compileVal(keysL[i])
-			if err != nil {
-				return nil, err
-			}
-			probeKeyVal = append(probeKeyVal, pk)
-		}
-	}
 	var residualPred evalBool
 	if len(residual) > 0 {
 		rp, err := c.compileBool(expr.Conjoin(residual))
@@ -432,81 +479,126 @@ func (c *Compiler) compileJoin(j *algebra.Join, consume Kont) (func(r *vbuf.Regs
 	for i, col := range cols {
 		rightSlots[i] = col.slot
 	}
-	probe := func(r *vbuf.Regs) error {
-		h := uint64(14695981039346656037)
-		var ik [4]int64
-		var vk [4]types.Value
-		nk := len(probeKeyInt) + len(probeKeyVal)
-		valid := true
+	if chProbe != nil {
+		spec := vecProbeSpec{
+			jtOf:       jtOf,
+			scatter:    c.vecRowScatter(segProbe.si),
+			rightSlots: rightSlots,
+			residual:   residualPred,
+			outer:      outer,
+			consume:    consume,
+		}
 		if allInt {
-			for i, pk := range probeKeyInt {
-				v, ok := pk(r)
-				if !ok {
-					valid = false
-					break
+			kerns := make([]vecInt, len(keysL))
+			for i := range keysL {
+				kv, err := c.compileVecInt(keysL[i])
+				if err != nil {
+					return nil, err
 				}
-				ik[i] = v
-				h = hashMix(h, hashInt(v))
+				kerns[i] = kv
 			}
+			probeBatch = vecProbeIntTerminate(spec, kerns)
 		} else {
-			for i, pk := range probeKeyVal {
-				v, ok := pk(r)
-				if !ok {
-					valid = false
-					break
+			kcs, err := c.compileVecKeyCols(keysL)
+			if err != nil {
+				return nil, err
+			}
+			probeBatch = vecProbeValTerminate(spec, kcs)
+		}
+		c.note("join: vectorized probe over %s (%d keys)", chProbe.scan.Dataset, len(keysL))
+	} else {
+		probeKeyInt := make([]evalInt, 0, len(keysL))
+		probeKeyVal := make([]evalVal, 0, len(keysL))
+		for i := range keysL {
+			if allInt {
+				pk, err := c.compileInt(keysL[i])
+				if err != nil {
+					return nil, err
 				}
-				vk[i] = v
-				h = hashMix(h, v.Hash())
+				probeKeyInt = append(probeKeyInt, pk)
+			} else {
+				pk, err := c.compileVal(keysL[i])
+				if err != nil {
+					return nil, err
+				}
+				probeKeyVal = append(probeKeyVal, pk)
 			}
 		}
-		matched := false
-		if valid {
-			for row := jt.heads[h&jt.mask]; row >= 0; row = jt.next[row] {
-				if jt.hashes[row] != h {
-					continue
-				}
-				equal := true
-				if allInt {
-					for i := 0; i < nk; i++ {
-						if jt.intKeys[i][row] != ik[i] {
-							equal = false
-							break
-						}
+		ik := make([]int64, len(keysL))
+		vk := make([]types.Value, len(keysL))
+		probeKont = func(r *vbuf.Regs) error {
+			h := hashSeed
+			nk := len(probeKeyInt) + len(probeKeyVal)
+			valid := true
+			if allInt {
+				for i, pk := range probeKeyInt {
+					v, ok := pk(r)
+					if !ok {
+						valid = false
+						break
 					}
-				} else {
-					for i := 0; i < nk; i++ {
-						if types.Compare(jt.valKeys[i][row], vk[i]) != 0 {
-							equal = false
-							break
-						}
+					ik[i] = v
+					h = hashMix(h, hashInt(v))
+				}
+			} else {
+				for i, pk := range probeKeyVal {
+					v, ok := pk(r)
+					if !ok {
+						valid = false
+						break
 					}
+					vk[i] = v
+					h = hashMix(h, v.Hash())
 				}
-				if !equal {
-					continue
-				}
-				for _, col := range jt.cols {
-					col.restore(r, row)
-				}
-				if residualPred != nil {
-					if v, ok := residualPred(r); !ok || !v {
+			}
+			matched := false
+			if valid {
+				for row := jt.heads[h&jt.mask]; row >= 0; row = jt.next[row] {
+					if jt.hashes[row] != h {
 						continue
 					}
-				}
-				matched = true
-				if err := consume(r); err != nil {
-					return err
+					equal := true
+					if allInt {
+						for i := 0; i < nk; i++ {
+							if jt.intKeys[i][row] != ik[i] {
+								equal = false
+								break
+							}
+						}
+					} else {
+						for i := 0; i < nk; i++ {
+							if types.Compare(jt.valKeys[i][row], vk[i]) != 0 {
+								equal = false
+								break
+							}
+						}
+					}
+					if !equal {
+						continue
+					}
+					for _, col := range jt.cols {
+						col.restore(r, row)
+					}
+					if residualPred != nil {
+						if v, ok := residualPred(r); !ok || !v {
+							continue
+						}
+					}
+					matched = true
+					if err := consume(r); err != nil {
+						return err
+					}
 				}
 			}
-		}
-		if outer && !matched {
-			for _, s := range rightSlots {
-				r.Null[s.Null] = true
+			if outer && !matched {
+				for _, s := range rightSlots {
+					r.Null[s.Null] = true
+				}
+				return consume(r)
 			}
-			return consume(r)
+			return nil
 		}
-		return nil
 	}
-	probeKont = probe
 
 	// Blocking-operator statistics (§5.2): once the build side is
 	// materialized, profile its numeric columns into the metadata store.

@@ -212,7 +212,7 @@ func CompileParallel(plan algebra.Node, env *Env, workers int) (*Program, error)
 		prof = newProgProf(plan, env.Profile, len(morsels))
 	}
 	var explain []string
-	var vectorized bool
+	var vectorized, sorted bool
 	for i := range morsels {
 		c := &Compiler{
 			env:       env,
@@ -251,6 +251,7 @@ func CompileParallel(plan algebra.Node, env *Env, workers int) (*Program, error)
 		}
 		units[i] = &workerUnit{alloc: c.alloc, run: run, state: st}
 		vectorized = vectorized || c.vectorized
+		sorted = sorted || c.sorted
 		if i == 0 {
 			explain = c.explain
 		}
@@ -353,7 +354,7 @@ func CompileParallel(plan algebra.Node, env *Env, workers int) (*Program, error)
 		alloc: units[0].alloc, run: run, Explain: explain,
 		Workers: len(units), Morsels: len(morsels),
 		Fingerprint: fingerprint, cancel: cancel, mem: gauge,
-		Vectorized: vectorized,
+		Vectorized: vectorized, Sorted: sorted,
 	}
 	p.attachProf(prof)
 	return p, nil

@@ -90,6 +90,10 @@ type Program struct {
 	// Vectorized reports whether any pipeline segment compiled to batch
 	// kernels (a compile-time fact; feeds the per-plan feedback store).
 	Vectorized bool
+	// Sorted reports that the program absorbed Env.Sort — ORDER BY and
+	// LIMIT already ran inside the pipeline (columnar index sort), so the
+	// caller must not sort the result again.
+	Sorted bool
 
 	// cancel is the cooperative cancellation token every scan driver of
 	// this program (and all its pipeline clones) polls.
@@ -277,7 +281,7 @@ func Compile(plan algebra.Node, env *Env) (*Program, error) {
 	p := &Program{
 		alloc: c.alloc, run: run, Explain: c.explain, Workers: 1, Morsels: 1,
 		Fingerprint: plan.Fingerprint(), cancel: c.cancel, mem: c.mem,
-		Vectorized: c.vectorized,
+		Vectorized: c.vectorized, Sorted: c.sorted,
 	}
 	p.attachProf(c.prof)
 	return p, nil
@@ -297,6 +301,32 @@ type partialState interface {
 	merge(o partialState) error
 	// result materializes the final rows.
 	result() (*Result, error)
+}
+
+// tupleArena carves row-sized []types.Value slices out of a chunked backing
+// array: one allocation per arenaChunkRows emitted tuples instead of one per
+// row. Handed-out slices are full (len == cap) sub-slices that the arena
+// never touches again, so consumers may retain them (types.RecordValue does)
+// without aliasing a neighbor. Each compiled closure owns its arena and runs
+// on one goroutine at a time (worker clones compile their own), so no
+// locking is needed.
+type tupleArena struct {
+	width int
+	buf   []types.Value
+}
+
+const arenaChunkRows = 256
+
+func (a *tupleArena) next() []types.Value {
+	if a.width == 0 {
+		return nil
+	}
+	if len(a.buf) < a.width {
+		a.buf = make([]types.Value, a.width*arenaChunkRows)
+	}
+	out := a.buf[:a.width:a.width]
+	a.buf = a.buf[a.width:]
+	return out
 }
 
 // barePartial is the mergeable state of a bare (no Reduce/Nest root) plan.
@@ -348,8 +378,9 @@ func (c *Compiler) compileBarePartial(plan algebra.Node) (func(r *vbuf.Regs) err
 			}
 			evs[i] = ev
 		}
+		arena := &tupleArena{width: len(evs)}
 		return func(r *vbuf.Regs) error {
-			vals := make([]types.Value, len(evs))
+			vals := arena.next()
 			for i, ev := range evs {
 				v, ok := ev(r)
 				if !ok {

@@ -376,6 +376,23 @@ func (c *Compiler) tryVecSelectChain(sel *algebra.Select, consume Kont) (func(r 
 // columns back into the register file and calls the tuple continuation once
 // per row. One writer closure per extracted slot, compiled once.
 func (c *Compiler) vecAdapter(si *scanInfo, consume Kont) func(b *vbuf.Batch, r *vbuf.Regs) error {
+	scatter := c.vecRowScatter(si)
+	return func(b *vbuf.Batch, r *vbuf.Regs) error {
+		for _, j := range b.Sel {
+			scatter(b, r, j)
+			if err := consume(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// vecRowScatter compiles the per-lane register scatter of a segment's
+// binding: one writer closure per extracted slot plus the OID, applied to a
+// single selected lane. The adapter runs it for every selected row; the
+// vectorized join probe only for lanes with a candidate match.
+func (c *Compiler) vecRowScatter(si *scanInfo) func(b *vbuf.Batch, r *vbuf.Regs, j int32) {
 	type writer func(b *vbuf.Batch, r *vbuf.Regs, j int32)
 	var writers []writer
 	add := func(s vbuf.Slot) {
@@ -414,15 +431,9 @@ func (c *Compiler) vecAdapter(si *scanInfo, consume Kont) func(b *vbuf.Batch, r 
 		r.I[oid.Idx] = b.I[oid.Idx][j]
 		r.Null[oid.Null] = false
 	})
-	return func(b *vbuf.Batch, r *vbuf.Regs) error {
-		for _, j := range b.Sel {
-			for _, w := range writers {
-				w(b, r, j)
-			}
-			if err := consume(r); err != nil {
-				return err
-			}
+	return func(b *vbuf.Batch, r *vbuf.Regs, j int32) {
+		for _, w := range writers {
+			w(b, r, j)
 		}
-		return nil
 	}
 }

@@ -312,8 +312,18 @@ func (c *Compiler) compileVecBool(e expr.Expr) (vecBool, error) {
 		if err != nil {
 			return nil, err
 		}
-		needle := x.Needle
 		out := make([]bool, vbuf.BatchSize)
+		if x.Prefix {
+			needle := x.Needle
+			return func(b *vbuf.Batch) ([]bool, []bool) {
+				v, nn := sub(b)
+				for i := range b.N {
+					out[i] = strings.HasPrefix(v[i], needle)
+				}
+				return out, nn
+			}, nil
+		}
+		needle := x.Needle
 		return func(b *vbuf.Batch) ([]bool, []bool) {
 			v, nn := sub(b)
 			for i := range b.N {
@@ -579,6 +589,13 @@ func (c *Compiler) compileVecFilter(e expr.Expr) (vecFilter, error) {
 			}
 		}
 	}
+	if like, ok := e.(*expr.Like); ok {
+		ev, err := c.compileVecStr(like.E)
+		if err != nil {
+			return nil, err
+		}
+		return likeFilter(like, ev), nil
+	}
 	ev, err := c.compileVecBool(e)
 	if err != nil {
 		return nil, err
@@ -778,6 +795,55 @@ func ordConstFilter[T cmp.Ordered](op expr.BinKind, col func(b *vbuf.Batch) ([]T
 		}, nil
 	}
 	return nil, fmt.Errorf("exec: %s is not a comparison", op)
+}
+
+// likeFilter compacts the selection vector through a LIKE predicate without
+// materializing a bool column: contains or prefix match directly on the
+// string column, skipping nulls (NULL LIKE anything is not true).
+func likeFilter(like *expr.Like, ev vecStr) vecFilter {
+	needle := like.Needle
+	if like.Prefix {
+		return func(b *vbuf.Batch) {
+			v, nn := ev(b)
+			out, n := b.SelScratch(), 0
+			if nn == nil {
+				for _, j := range b.Sel {
+					if strings.HasPrefix(v[j], needle) {
+						out[n] = j
+						n++
+					}
+				}
+			} else {
+				for _, j := range b.Sel {
+					if !nn[j] && strings.HasPrefix(v[j], needle) {
+						out[n] = j
+						n++
+					}
+				}
+			}
+			b.Sel = out[:n]
+		}
+	}
+	return func(b *vbuf.Batch) {
+		v, nn := ev(b)
+		out, n := b.SelScratch(), 0
+		if nn == nil {
+			for _, j := range b.Sel {
+				if strings.Contains(v[j], needle) {
+					out[n] = j
+					n++
+				}
+			}
+		} else {
+			for _, j := range b.Sel {
+				if !nn[j] && strings.Contains(v[j], needle) {
+					out[n] = j
+					n++
+				}
+			}
+		}
+		b.Sel = out[:n]
+	}
 }
 
 // boolFilter selects the valid-true rows of an arbitrary bool kernel.

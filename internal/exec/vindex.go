@@ -216,58 +216,32 @@ func (c *Compiler) compileSegFilter(si *scanInfo, e expr.Expr) (vecFilter, error
 	if f, ok := c.tryBitmapFilter(si, e); ok {
 		return f, nil
 	}
+	if f, ok := c.tryDictFilter(si, e); ok {
+		return f, nil
+	}
 	return c.compileVecFilter(e)
 }
 
-// tryBitmapFilter recognizes a column-vs-constant comparison whose column is
-// served from a cache block carrying a bitmap index, and compiles it down to
-// a selection-vector gather over the precomputed result bitmap: the lookup
-// (bitmap OR/AND-NOT over sorted keys) happens once at compile time, and the
-// per-batch kernel allocates nothing. Mixed int/float comparisons and
-// operators the index cannot answer fall back to the compare kernels.
-func (c *Compiler) tryBitmapFilter(si *scanInfo, e expr.Expr) (vecFilter, bool) {
-	x, ok := e.(*expr.BinOp)
-	if !ok || !x.Op.IsComparison() {
-		return nil, false
-	}
-	op, col, k := x.Op, x.L, x.R
-	if _, isConst := x.L.(*expr.Const); isConst {
-		col, k = x.R, x.L
-		op = flipCmp(op)
-	}
-	kc, isConst := k.(*expr.Const)
-	if !isConst {
-		return nil, false
-	}
+// indexedBlockFor resolves a column expression to the scan's cached block
+// carrying a bitmap index, or nil when the column is not indexed.
+func (c *Compiler) indexedBlockFor(si *scanInfo, col expr.Expr) (*cache.Block, string) {
 	root, path, ok := expr.PathOf(col)
 	if !ok || root != si.s.Binding || len(path) == 0 {
-		return nil, false
+		return nil, ""
 	}
 	pk := pathKey(path)
-	var blk *cache.Block
 	for i := range si.cachedFields {
-		if si.cachedFields[i].path == pk {
-			blk = si.cachedFields[i].block
-			break
+		if si.cachedFields[i].path == pk && si.cachedFields[i].block.Index() != nil {
+			return si.cachedFields[i].block, pk
 		}
 	}
-	if blk == nil {
-		return nil, false
-	}
-	ix := blk.Index()
-	if ix == nil {
-		return nil, false
-	}
-	p, ok := lowerPred(op, kc.V)
-	if !ok {
-		return nil, false
-	}
-	bm, ok := ix.Lookup(p.Op, p)
-	if !ok {
-		return nil, false
-	}
+	return nil, ""
+}
+
+// bitmapGather compiles a precomputed result bitmap into the zero-alloc
+// selection-vector kernel shared by the bitmap and dictionary filter paths.
+func (c *Compiler) bitmapGather(si *scanInfo, bm *cache.Bitmap) vecFilter {
 	caches := c.env.Caches
-	c.note("scan %s: filter %s served by bitmap index on %s", si.s.Dataset, e, pk)
 	// Per-query attribution: hits land on this worker's private counter cell
 	// alongside the manager's cumulative count.
 	var hits *int64
@@ -293,5 +267,64 @@ func (c *Compiler) tryBitmapFilter(si *scanInfo, e expr.Expr) (vecFilter, bool) 
 			}
 		}
 		b.Sel = out[:n]
-	}, true
+	}
+}
+
+// tryBitmapFilter recognizes a column-vs-constant comparison whose column is
+// served from a cache block carrying a bitmap index, and compiles it down to
+// a selection-vector gather over the precomputed result bitmap: the lookup
+// (bitmap OR/AND-NOT over sorted keys) happens once at compile time, and the
+// per-batch kernel allocates nothing. Mixed int/float comparisons and
+// operators the index cannot answer fall back to the compare kernels.
+func (c *Compiler) tryBitmapFilter(si *scanInfo, e expr.Expr) (vecFilter, bool) {
+	x, ok := e.(*expr.BinOp)
+	if !ok || !x.Op.IsComparison() {
+		return nil, false
+	}
+	op, col, k := x.Op, x.L, x.R
+	if _, isConst := x.L.(*expr.Const); isConst {
+		col, k = x.R, x.L
+		op = flipCmp(op)
+	}
+	kc, isConst := k.(*expr.Const)
+	if !isConst {
+		return nil, false
+	}
+	blk, pk := c.indexedBlockFor(si, col)
+	if blk == nil {
+		return nil, false
+	}
+	p, ok := lowerPred(op, kc.V)
+	if !ok {
+		return nil, false
+	}
+	bm, ok := blk.Index().Lookup(p.Op, p)
+	if !ok {
+		return nil, false
+	}
+	c.note("scan %s: filter %s served by bitmap index on %s", si.s.Dataset, e, pk)
+	return c.bitmapGather(si, bm), true
+}
+
+// tryDictFilter serves a LIKE predicate over a dictionary-encoded indexed
+// string column by evaluating the pattern once per distinct dictionary
+// entry and ORing the matching codes' bitmaps: the per-row work collapses
+// to the same zero-alloc bitmap gather the equality path uses, with
+// Dict.Len() substring tests paid once at compile time.
+func (c *Compiler) tryDictFilter(si *scanInfo, e expr.Expr) (vecFilter, bool) {
+	like, ok := e.(*expr.Like)
+	if !ok {
+		return nil, false
+	}
+	blk, pk := c.indexedBlockFor(si, like.E)
+	if blk == nil {
+		return nil, false
+	}
+	bm, ok := blk.Index().MatchStrings(like.Match)
+	if !ok {
+		return nil, false
+	}
+	c.note("scan %s: filter %s served by dictionary index on %s (%d distinct)",
+		si.s.Dataset, e, pk, blk.Index().Dict().Len())
+	return c.bitmapGather(si, bm), true
 }

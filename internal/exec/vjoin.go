@@ -1,0 +1,415 @@
+// Batch-at-a-time hash join (the vectorized half of join.go). When a join
+// input is a vectorizable Scan→Select* chain, the build side hashes its key
+// columns batch-at-a-time and gathers surviving lanes straight from batch
+// columns into the materialized table, and the probe side hashes up to 1024
+// keys per call and scatters a lane into the register file only when it has
+// a candidate match (or the join is outer). Both halves produce bit-for-bit
+// the same joinTable layout and hashes as the tuple path, so cached build
+// sides and the parallel once-built shared side are interchangeable between
+// modes.
+package exec
+
+import (
+	"proteus/internal/algebra"
+	"proteus/internal/expr"
+	"proteus/internal/types"
+	"proteus/internal/vbuf"
+)
+
+// hashSeed is the FNV offset basis both join paths start key hashing from.
+const hashSeed = uint64(14695981039346656037)
+
+// appendBatch materializes one selected lane of a batch — the batch-side
+// twin of append, returning the same byte estimates so memory accounting is
+// identical in both modes. Only scalar slots reach this (vec-eligible
+// chains cannot carry boxed columns).
+func (mc *matCol) appendBatch(b *vbuf.Batch, j int32) int64 {
+	nc := b.Null[mc.slot.Null]
+	mc.nulls = append(mc.nulls, nc != nil && nc[j])
+	switch mc.slot.Class {
+	case vbuf.ClassInt:
+		mc.ints = append(mc.ints, b.I[mc.slot.Idx][j])
+		return 9
+	case vbuf.ClassFloat:
+		mc.floats = append(mc.floats, b.F[mc.slot.Idx][j])
+		return 9
+	case vbuf.ClassBool:
+		mc.bools = append(mc.bools, b.B[mc.slot.Idx][j])
+		return 2
+	default: // ClassString
+		s := b.S[mc.slot.Idx][j]
+		mc.strs = append(mc.strs, s)
+		return int64(len(s)) + 17
+	}
+}
+
+// vecJoinSide decides — with no side effects, so the tuple path stays open —
+// whether one join input can run batch-at-a-time: the input must be a
+// vec-eligible chain and every key expression must compile to a column
+// kernel. A nil result means the caller compiles that side tuple-at-a-time.
+func (c *Compiler) vecJoinSide(n algebra.Node, keys []expr.Expr) *vecChain {
+	ch := vecChainOf(n)
+	if ch == nil {
+		return nil
+	}
+	schema, ok := c.vecEligible(ch)
+	if !ok {
+		return nil
+	}
+	for _, k := range keys {
+		if kk, ok := c.canVecExpr(k, schema, ch.scan.Binding); !ok || !kk.IsScalar() {
+			return nil
+		}
+	}
+	return ch
+}
+
+// vecKeyCol is one join-key column evaluated batch-at-a-time on the general
+// (boxed-key) path: load runs the typed kernel once per batch, get boxes a
+// single lane (ok=false for NULL — null keys never match).
+type vecKeyCol struct {
+	load func(b *vbuf.Batch)
+	get  func(j int32) (types.Value, bool)
+}
+
+// compileVecKeyCols compiles each key expression to its typed kernel plus a
+// per-lane boxing reader. The boxed values hash and compare exactly like
+// the tuple path's evalVal results, keeping table layouts interchangeable.
+func (c *Compiler) compileVecKeyCols(keys []expr.Expr) ([]*vecKeyCol, error) {
+	out := make([]*vecKeyCol, len(keys))
+	for i, k := range keys {
+		t, err := c.typeOf(k)
+		if err != nil {
+			return nil, err
+		}
+		kc := &vecKeyCol{}
+		switch t.Kind() {
+		case types.KindInt:
+			ev, err := c.compileVecInt(k)
+			if err != nil {
+				return nil, err
+			}
+			var col []int64
+			var nn []bool
+			kc.load = func(b *vbuf.Batch) { col, nn = ev(b) }
+			kc.get = func(j int32) (types.Value, bool) {
+				if nn != nil && nn[j] {
+					return types.Value{}, false
+				}
+				return types.IntValue(col[j]), true
+			}
+		case types.KindFloat:
+			ev, err := c.compileVecFloat(k)
+			if err != nil {
+				return nil, err
+			}
+			var col []float64
+			var nn []bool
+			kc.load = func(b *vbuf.Batch) { col, nn = ev(b) }
+			kc.get = func(j int32) (types.Value, bool) {
+				if nn != nil && nn[j] {
+					return types.Value{}, false
+				}
+				return types.FloatValue(col[j]), true
+			}
+		case types.KindString:
+			ev, err := c.compileVecStr(k)
+			if err != nil {
+				return nil, err
+			}
+			var col []string
+			var nn []bool
+			kc.load = func(b *vbuf.Batch) { col, nn = ev(b) }
+			kc.get = func(j int32) (types.Value, bool) {
+				if nn != nil && nn[j] {
+					return types.Value{}, false
+				}
+				return types.StringValue(col[j]), true
+			}
+		case types.KindBool:
+			ev, err := c.compileVecBool(k)
+			if err != nil {
+				return nil, err
+			}
+			var col []bool
+			var nn []bool
+			kc.load = func(b *vbuf.Batch) { col, nn = ev(b) }
+			kc.get = func(j int32) (types.Value, bool) {
+				if nn != nil && nn[j] {
+					return types.Value{}, false
+				}
+				return types.BoolValue(col[j]), true
+			}
+		default:
+			return nil, errVecKeyKind(t.Kind())
+		}
+		out[i] = kc
+	}
+	return out, nil
+}
+
+type errVecKeyKind types.Kind
+
+func (e errVecKeyKind) Error() string { return "exec: join key kind is not batch-capable" }
+
+// vecBuildIntTerminate materializes batches into the table on the
+// all-integer fast path: key kernels run once per batch, then surviving
+// lanes append keys, hash, and payload columns. jt is read through a getter
+// because the parallel once-build path swaps in a fresh table per run.
+func vecBuildIntTerminate(jtOf func() *joinTable, kerns []vecInt, keyRowBytes int64, gauge *memGauge, pending *int64) func(b *vbuf.Batch, r *vbuf.Regs) error {
+	keyCols := make([][]int64, len(kerns))
+	keyNulls := make([][]bool, len(kerns))
+	return func(b *vbuf.Batch, r *vbuf.Regs) error {
+		jt := jtOf()
+		for i, kv := range kerns {
+			keyCols[i], keyNulls[i] = kv(b)
+		}
+		for _, j := range b.Sel {
+			h := hashSeed
+			valid := true
+			for i := range kerns {
+				if nn := keyNulls[i]; nn != nil && nn[j] {
+					valid = false
+					break
+				}
+				h = hashMix(h, hashInt(keyCols[i][j]))
+			}
+			if !valid {
+				continue // null keys never match
+			}
+			for i := range kerns {
+				jt.intKeys[i] = append(jt.intKeys[i], keyCols[i][j])
+			}
+			jt.hashes = append(jt.hashes, h)
+			if gauge == nil {
+				for _, col := range jt.cols {
+					col.appendBatch(b, j)
+				}
+				continue
+			}
+			nb := keyRowBytes
+			for _, col := range jt.cols {
+				nb += col.appendBatch(b, j)
+			}
+			if *pending += nb; *pending >= memQuantum {
+				err := gauge.charge(*pending)
+				*pending = 0
+				if err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// vecBuildValTerminate is the general-key build terminate: typed kernels
+// plus per-lane boxing, hashed with Value.Hash like the tuple path.
+func vecBuildValTerminate(jtOf func() *joinTable, keys []*vecKeyCol, keyRowBytes int64, gauge *memGauge, pending *int64) func(b *vbuf.Batch, r *vbuf.Regs) error {
+	vk := make([]types.Value, len(keys))
+	return func(b *vbuf.Batch, r *vbuf.Regs) error {
+		jt := jtOf()
+		for _, kc := range keys {
+			kc.load(b)
+		}
+		for _, j := range b.Sel {
+			h := hashSeed
+			valid := true
+			for i, kc := range keys {
+				v, ok := kc.get(j)
+				if !ok {
+					valid = false
+					break
+				}
+				vk[i] = v
+				h = hashMix(h, v.Hash())
+			}
+			if !valid {
+				continue
+			}
+			for i := range keys {
+				jt.valKeys[i] = append(jt.valKeys[i], vk[i])
+			}
+			jt.hashes = append(jt.hashes, h)
+			if gauge == nil {
+				for _, col := range jt.cols {
+					col.appendBatch(b, j)
+				}
+				continue
+			}
+			nb := keyRowBytes
+			for _, col := range jt.cols {
+				nb += col.appendBatch(b, j)
+			}
+			if *pending += nb; *pending >= memQuantum {
+				err := gauge.charge(*pending)
+				*pending = 0
+				if err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// vecProbeSpec carries the probe terminate's compiled dependencies.
+type vecProbeSpec struct {
+	jtOf       func() *joinTable
+	scatter    func(b *vbuf.Batch, r *vbuf.Regs, j int32)
+	rightSlots []vbuf.Slot
+	residual   evalBool
+	outer      bool
+	consume    Kont
+}
+
+// vecProbeIntTerminate probes up to BatchSize keys per call on the
+// all-integer fast path. Phase 1 evaluates and hashes the key columns for
+// the whole batch; phase 2 walks each selected lane's bucket chain,
+// scattering the lane into the register file lazily — only matches (and
+// outer-join misses) ever pay the batch→tuple boundary.
+func vecProbeIntTerminate(spec vecProbeSpec, kerns []vecInt) func(b *vbuf.Batch, r *vbuf.Regs) error {
+	keyCols := make([][]int64, len(kerns))
+	keyNulls := make([][]bool, len(kerns))
+	var hashes [vbuf.BatchSize]uint64
+	var valids [vbuf.BatchSize]bool
+	return func(b *vbuf.Batch, r *vbuf.Regs) error {
+		jt := spec.jtOf()
+		for i, kv := range kerns {
+			keyCols[i], keyNulls[i] = kv(b)
+		}
+		for _, j := range b.Sel {
+			h := hashSeed
+			valid := true
+			for i := range kerns {
+				if nn := keyNulls[i]; nn != nil && nn[j] {
+					valid = false
+					break
+				}
+				h = hashMix(h, hashInt(keyCols[i][j]))
+			}
+			hashes[j], valids[j] = h, valid
+		}
+		for _, j := range b.Sel {
+			matched, scattered := false, false
+			if valids[j] {
+				h := hashes[j]
+				for row := jt.heads[h&jt.mask]; row >= 0; row = jt.next[row] {
+					if jt.hashes[row] != h {
+						continue
+					}
+					equal := true
+					for i := range kerns {
+						if jt.intKeys[i][row] != keyCols[i][j] {
+							equal = false
+							break
+						}
+					}
+					if !equal {
+						continue
+					}
+					if !scattered {
+						spec.scatter(b, r, j)
+						scattered = true
+					}
+					for _, col := range jt.cols {
+						col.restore(r, row)
+					}
+					if spec.residual != nil {
+						if v, ok := spec.residual(r); !ok || !v {
+							continue
+						}
+					}
+					matched = true
+					if err := spec.consume(r); err != nil {
+						return err
+					}
+				}
+			}
+			if spec.outer && !matched {
+				if !scattered {
+					spec.scatter(b, r, j)
+				}
+				for _, s := range spec.rightSlots {
+					r.Null[s.Null] = true
+				}
+				if err := spec.consume(r); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// vecProbeValTerminate is the general-key probe terminate: batch-evaluated
+// typed kernels, per-lane boxing, Value.Hash/Compare matching the tuple
+// path exactly.
+func vecProbeValTerminate(spec vecProbeSpec, keys []*vecKeyCol) func(b *vbuf.Batch, r *vbuf.Regs) error {
+	vk := make([]types.Value, len(keys))
+	return func(b *vbuf.Batch, r *vbuf.Regs) error {
+		jt := spec.jtOf()
+		for _, kc := range keys {
+			kc.load(b)
+		}
+		for _, j := range b.Sel {
+			h := hashSeed
+			valid := true
+			for i, kc := range keys {
+				v, ok := kc.get(j)
+				if !ok {
+					valid = false
+					break
+				}
+				vk[i] = v
+				h = hashMix(h, v.Hash())
+			}
+			matched, scattered := false, false
+			if valid {
+				for row := jt.heads[h&jt.mask]; row >= 0; row = jt.next[row] {
+					if jt.hashes[row] != h {
+						continue
+					}
+					equal := true
+					for i := range keys {
+						if types.Compare(jt.valKeys[i][row], vk[i]) != 0 {
+							equal = false
+							break
+						}
+					}
+					if !equal {
+						continue
+					}
+					if !scattered {
+						spec.scatter(b, r, j)
+						scattered = true
+					}
+					for _, col := range jt.cols {
+						col.restore(r, row)
+					}
+					if spec.residual != nil {
+						if v, ok := spec.residual(r); !ok || !v {
+							continue
+						}
+					}
+					matched = true
+					if err := spec.consume(r); err != nil {
+						return err
+					}
+				}
+			}
+			if spec.outer && !matched {
+				if !scattered {
+					spec.scatter(b, r, j)
+				}
+				for _, s := range spec.rightSlots {
+					r.Null[s.Null] = true
+				}
+				if err := spec.consume(r); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+}

@@ -2,7 +2,6 @@ package expr
 
 import (
 	"fmt"
-	"strings"
 
 	"proteus/internal/types"
 )
@@ -78,7 +77,7 @@ func Eval(e Expr, env ValueEnv) (types.Value, error) {
 		if v.IsNull() {
 			return types.NullValue(), nil
 		}
-		return types.BoolValue(strings.Contains(v.S, x.Needle)), nil
+		return types.BoolValue(x.Match(v.S)), nil
 	case *RecordCtor:
 		vals := make([]types.Value, len(x.Exprs))
 		for i, sub := range x.Exprs {
@@ -226,7 +225,7 @@ func Fold(e Expr) Expr {
 	case *IsNull:
 		return &IsNull{E: Fold(x.E)}
 	case *Like:
-		return &Like{E: Fold(x.E), Needle: x.Needle}
+		return &Like{E: Fold(x.E), Needle: x.Needle, Prefix: x.Prefix}
 	case *FieldAcc:
 		return &FieldAcc{Base: Fold(x.Base), Name: x.Name}
 	case *RecordCtor:

@@ -138,13 +138,30 @@ type IsNull struct{ E Expr }
 func (i *IsNull) String() string { return "(" + i.E.String() + " IS NULL)" }
 
 // Like tests substring containment on strings (a simplified LIKE '%s%').
+// When Prefix is set the pattern had the shape 'abc%' and the test is
+// prefix-match instead of containment; the zero value keeps the historical
+// contains semantics.
 type Like struct {
 	E      Expr
 	Needle string
+	Prefix bool
+}
+
+// Match applies the LIKE pattern to one non-null string.
+func (l *Like) Match(s string) bool {
+	if l.Prefix {
+		return strings.HasPrefix(s, l.Needle)
+	}
+	return strings.Contains(s, l.Needle)
 }
 
 // String implements Expr.
-func (l *Like) String() string { return l.E.String() + " LIKE %" + l.Needle + "%" }
+func (l *Like) String() string {
+	if l.Prefix {
+		return l.E.String() + " LIKE " + l.Needle + "%"
+	}
+	return l.E.String() + " LIKE %" + l.Needle + "%"
+}
 
 // RecordCtor constructs a record from named sub-expressions.
 type RecordCtor struct {

@@ -19,10 +19,39 @@ type ModeStats struct {
 	Runs  int64 `json:"runs"`
 	Rows  int64 `json:"rows"`
 	Nanos int64 `json:"nanos"`
+	// Ewma is an exponentially-weighted moving average of per-run rows/sec.
+	// A plan's first run often pays a one-time cost (cold columnar cache,
+	// page cache misses) that would skew a lifetime average forever; the
+	// EWMA lets recent steady-state runs dominate the mode decision.
+	Ewma float64 `json:"ewma_rows_per_sec,omitempty"`
 }
 
-// RowsPerSec is the mode's observed throughput (0 when unmeasured).
+// ewmaAlpha weights the newest run in the throughput EWMA. 0.6 forgets a
+// cold first run within two steady-state runs while still damping noise.
+const ewmaAlpha = 0.6
+
+// fold adds one run's totals to the mode's accumulators.
+func (m *ModeStats) fold(total time.Duration, rows int64) {
+	m.Runs++
+	m.Rows += rows
+	m.Nanos += int64(total)
+	if total <= 0 {
+		return
+	}
+	rps := float64(rows) / (float64(total) / 1e9)
+	if m.Runs == 1 {
+		m.Ewma = rps
+		return
+	}
+	m.Ewma = ewmaAlpha*rps + (1-ewmaAlpha)*m.Ewma
+}
+
+// RowsPerSec is the mode's observed throughput (0 when unmeasured): the
+// recency-weighted EWMA when available, else the lifetime average.
 func (m ModeStats) RowsPerSec() float64 {
+	if m.Ewma > 0 {
+		return m.Ewma
+	}
 	if m.Nanos <= 0 {
 		return 0
 	}
@@ -44,8 +73,15 @@ type planStats struct {
 	phaseExecs [5]int64
 	tuple      ModeStats
 	vectorized ModeStats
-	lastUsed   int64 // store tick, for eviction
-	query      string
+	// Last compile-time mode decision for the plan ("tuple"/"vectorized")
+	// and how it was made ("measured"/"explore"/"heuristic"/"config").
+	mode       string
+	modeSource string
+	// vecIneligible records that a forced batch compilation produced no
+	// vectorized segment, so auto mode stops re-exploring the plan.
+	vecIneligible bool
+	lastUsed      int64 // store tick, for eviction
+	query         string
 }
 
 // PlanStats is a point-in-time copy of one plan's feedback record.
@@ -65,6 +101,16 @@ type PlanStats struct {
 	PhaseMeanNanos [5]float64 `json:"phase_mean_nanos"`
 	Tuple          ModeStats  `json:"tuple"`
 	Vectorized     ModeStats  `json:"vectorized"`
+	// Mode and ModeSource describe the last compile-time execution-mode
+	// decision for this plan: which engine it got ("tuple"/"vectorized") and
+	// why ("measured" feedback, one-off "explore", static "heuristic", or
+	// forced by "config"). Empty until the plan is compiled with decision
+	// recording in place.
+	Mode       string `json:"mode,omitempty"`
+	ModeSource string `json:"mode_source,omitempty"`
+	// VecIneligible marks plans a forced batch compile could not vectorize;
+	// auto mode stops exploring them.
+	VecIneligible bool `json:"vec_ineligible,omitempty"`
 }
 
 // PlanFeedback is the bounded feedback store. All methods are
@@ -135,9 +181,7 @@ func (ps *planStats) observe(total time.Duration, rows int64, vectorized, failed
 	if vectorized {
 		m = &ps.vectorized
 	}
-	m.Runs++
-	m.Rows += rows
-	m.Nanos += int64(total)
+	m.fold(total, rows)
 }
 
 // Observe records one execution known only by its totals — the plain
@@ -171,6 +215,30 @@ func (f *PlanFeedback) ObserveProfile(q *QueryProfile) {
 	}
 }
 
+// NoteModeDecision records a compile-time execution-mode decision for the
+// plan: mode is the compiled outcome ("tuple"/"vectorized"), source how the
+// choice was made ("measured"/"explore"/"heuristic"/"config").
+func (f *PlanFeedback) NoteModeDecision(fp, query, mode, source string) {
+	if f == nil || fp == "" {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ps := f.get(fp, query)
+	ps.mode, ps.modeSource = mode, source
+}
+
+// NoteVecIneligible marks a plan whose forced batch compilation produced no
+// vectorized segment, so adaptive mode selection stops exploring it.
+func (f *PlanFeedback) NoteVecIneligible(fp string) {
+	if f == nil || fp == "" {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.get(fp, "").vecIneligible = true
+}
+
 // Lookup returns the stats for one fingerprint (ok=false when untracked).
 func (f *PlanFeedback) Lookup(fp string) (PlanStats, bool) {
 	if f == nil {
@@ -197,6 +265,9 @@ func (ps *planStats) snapshot(fp string) PlanStats {
 		PhaseMeanNanos: ps.phaseMean,
 		Tuple:          ps.tuple,
 		Vectorized:     ps.vectorized,
+		Mode:           ps.mode,
+		ModeSource:     ps.modeSource,
+		VecIneligible:  ps.vecIneligible,
 	}
 	if ps.execs > 1 {
 		out.StddevNanos = math.Sqrt(ps.m2 / float64(ps.execs-1))

@@ -50,6 +50,11 @@ type Metrics struct {
 	// SlowQueries counts queries recorded by the slow-query log.
 	SlowQueries atomic.Int64
 
+	// ModeDecisions counts compile-time execution-mode decisions as a flat
+	// mode × source matrix (see ModeDecisionIndex); rendered as the labeled
+	// proteus_plan_mode_decisions_total family.
+	ModeDecisions [len(ModeDecisionModes) * len(ModeDecisionSources)]atomic.Int64
+
 	// Admission gate instrumentation: AdmissionQueued is a gauge of queries
 	// currently waiting for (or taking) an admission slot; AdmissionWait
 	// records how long each gated query waited before admission — time that,
@@ -61,6 +66,47 @@ type Metrics struct {
 	// end-to-end, fed once per observed query.
 	PhaseLatency [5]Histogram
 	TotalLatency Histogram
+}
+
+// ModeDecisionModes and ModeDecisionSources enumerate the execution-mode
+// decision matrix: which engine a plan compiled to, and why.
+var (
+	ModeDecisionModes   = [...]string{"tuple", "vectorized"}
+	ModeDecisionSources = [...]string{"measured", "explore", "heuristic", "config"}
+)
+
+// ModeDecisionIndex maps a (mode, source) pair onto its ModeDecisions cell
+// (-1 for unknown labels).
+func ModeDecisionIndex(mode, source string) int {
+	mi, si := -1, -1
+	for i, m := range ModeDecisionModes {
+		if m == mode {
+			mi = i
+		}
+	}
+	for i, s := range ModeDecisionSources {
+		if s == source {
+			si = i
+		}
+	}
+	if mi < 0 || si < 0 {
+		return -1
+	}
+	return mi*len(ModeDecisionSources) + si
+}
+
+// CountModeDecision increments one cell of the mode-decision matrix.
+func (m *Metrics) CountModeDecision(mode, source string) {
+	if i := ModeDecisionIndex(mode, source); i >= 0 {
+		m.ModeDecisions[i].Add(1)
+	}
+}
+
+// ModeDecisionCount is one rendered cell of the decision matrix.
+type ModeDecisionCount struct {
+	Mode   string `json:"mode"`
+	Source string `json:"source"`
+	Count  int64  `json:"count"`
 }
 
 // ObserveLatency folds one profile's phase and total durations into the
@@ -141,6 +187,10 @@ type Snapshot struct {
 
 	SlowQueries int64 `json:"slow_queries"`
 
+	// ModeDecisions lists the non-zero cells of the execution-mode decision
+	// matrix (adaptive tuple-vs-vectorized selection).
+	ModeDecisions []ModeDecisionCount `json:"mode_decisions,omitempty"`
+
 	// AdmissionQueued is the queue-depth gauge of the admission gate;
 	// AdmissionWait summarizes how long gated queries waited for a slot.
 	AdmissionQueued int64          `json:"admission_queued"`
@@ -210,11 +260,27 @@ func (m *Metrics) Snapshot(cache CacheCounters) Snapshot {
 		PlanCacheHits:      m.PlanCacheHits.Load(),
 		PlanCacheMisses:    m.PlanCacheMisses.Load(),
 		SlowQueries:        m.SlowQueries.Load(),
+		ModeDecisions:      m.modeDecisionCounts(),
 		AdmissionQueued:    m.AdmissionQueued.Load(),
 		AdmissionWait:      summarize("admission_wait", &m.AdmissionWait),
 		Cache:              cache,
 		Latency:            m.latencySummaries(),
 	}
+}
+
+// modeDecisionCounts renders the non-zero cells of the decision matrix in
+// matrix order (deterministic).
+func (m *Metrics) modeDecisionCounts() []ModeDecisionCount {
+	var out []ModeDecisionCount
+	for mi, mode := range ModeDecisionModes {
+		for si, source := range ModeDecisionSources {
+			n := m.ModeDecisions[mi*len(ModeDecisionSources)+si].Load()
+			if n > 0 {
+				out = append(out, ModeDecisionCount{Mode: mode, Source: source, Count: n})
+			}
+		}
+	}
+	return out
 }
 
 // latencySummaries snapshots every latency histogram, phases first, the
@@ -304,6 +370,15 @@ func (s Snapshot) Prometheus() string {
 	counter("proteus_plan_cache_misses_total", "Queries compiled fresh (plan-cache misses).", fmt.Sprint(s.PlanCacheMisses))
 
 	counter("proteus_slow_queries_total", "Queries recorded by the slow-query log.", fmt.Sprint(s.SlowQueries))
+
+	if len(s.ModeDecisions) > 0 {
+		b.WriteString("# HELP proteus_plan_mode_decisions_total Compile-time execution-mode decisions by mode and source.\n")
+		b.WriteString("# TYPE proteus_plan_mode_decisions_total counter\n")
+		for _, d := range s.ModeDecisions {
+			fmt.Fprintf(&b, "proteus_plan_mode_decisions_total{mode=\"%s\",source=\"%s\"} %d\n",
+				escapeLabel(d.Mode), escapeLabel(d.Source), d.Count)
+		}
+	}
 
 	gauge("proteus_admission_queued", "Queries waiting for an admission slot.", s.AdmissionQueued)
 	{

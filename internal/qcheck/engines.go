@@ -23,6 +23,7 @@ type engConfig struct {
 	cfg        engine.Config
 	warm       bool // execute twice, check both runs
 	concurrent bool // execute twice concurrently, check both runs
+	reps       int  // execute sequentially this many times, check every run
 }
 
 // configMatrix is the cross-product slice the harness runs. base MUST be
@@ -67,6 +68,15 @@ func configMatrix() []engConfig {
 			CacheEnabled: true, Observability: true,
 			SlowQueryThreshold: time.Nanosecond, SlowQueryWriter: io.Discard,
 			TraceMorsels: 1, PlanCacheSize: 64}, warm: true},
+		// Adaptive mode decisions: four sequential runs on one engine warm the
+		// per-plan feedback store through its whole decision ladder — static
+		// heuristic first, then an exploratory run of the unmeasured mode,
+		// then the measured rows/sec winner — and every run must keep
+		// producing the base answer. Plan caching is off so each run actually
+		// recompiles and re-decides; the data cache stays on so later runs
+		// execute against cache-resident columns like production would.
+		{name: "adaptive", cfg: engine.Config{Parallelism: 1, Vectorized: exec.VecAuto,
+			CacheEnabled: true, PlanCacheSize: -1}, reps: 4},
 	}
 }
 
@@ -136,6 +146,16 @@ func runConfig(e *engine.Engine, c engConfig, lang, text string) ([]*resultSet, 
 			return nil, err
 		}
 		return []*resultSet{cold, warm}, nil
+	case c.reps > 1:
+		results := make([]*resultSet, c.reps)
+		for i := range results {
+			res, err := runEngineQuery(e, lang, text)
+			if err != nil {
+				return nil, fmt.Errorf("run %d: %w", i, err)
+			}
+			results[i] = res
+		}
+		return results, nil
 	default:
 		res, err := runEngineQuery(e, lang, text)
 		if err != nil {

@@ -104,6 +104,12 @@ func genString(r *rand.Rand) string {
 // likeNeedles are predicate-literal-safe substrings (no quotes, ASCII).
 var likeNeedles = []string{"a", "e", "in", "or", "data", "x", "li", "o"}
 
+// prefixNeedles are predicate-literal-safe LIKE 'p%' prefixes, aimed at the
+// key-string and value-string domains (plus misses like "zz") so the
+// vectorized prefix kernel and the dictionary-code path see hits, misses,
+// and partial matches.
+var prefixNeedles = []string{"a", "b", "ce", "oa", "pi", "el", "pl", "li", "data", "zz"}
+
 // genInt draws an int value: biased small, with occasional large-but-safe
 // magnitudes (|v| ≤ 10^10 keeps float promotion exact).
 func genInt(r *rand.Rand) int64 {

@@ -251,12 +251,32 @@ func pick(r *rand.Rand, scope []colRef, ok func(colRef) bool) (colRef, bool) {
 }
 
 func genJoinPred(r *rand.Rand, left, right []colRef) expr.Expr {
+	// String-key joins exercise the boxed-key join path (build, probe, and
+	// their vectorized variants); int keys take the specialized int path.
+	if r.Intn(3) == 0 {
+		lk, lok := pick(r, left, func(c colRef) bool { return c.key && c.kind == types.KindString })
+		rk, rok := pick(r, right, func(c colRef) bool { return c.key && c.kind == types.KindString })
+		if lok && rok {
+			return &expr.BinOp{Op: expr.OpEq, L: fa(lk.alias, lk.name), R: fa(rk.alias, rk.name)}
+		}
+	}
 	lk, lok := pick(r, left, func(c colRef) bool { return c.key && c.kind == types.KindInt })
 	rk, rok := pick(r, right, func(c colRef) bool { return c.key && c.kind == types.KindInt })
 	if !lok || !rok {
 		return nil
 	}
-	return &expr.BinOp{Op: expr.OpEq, L: fa(lk.alias, lk.name), R: fa(rk.alias, rk.name)}
+	pred := &expr.BinOp{Op: expr.OpEq, L: fa(lk.alias, lk.name), R: fa(rk.alias, rk.name)}
+	// Occasionally AND a string key pair on top: a multi-key equi-join with
+	// mixed kinds forces the boxed multi-key table.
+	if r.Intn(4) == 0 {
+		ls, lsok := pick(r, left, func(c colRef) bool { return c.key && c.kind == types.KindString })
+		rs, rsok := pick(r, right, func(c colRef) bool { return c.key && c.kind == types.KindString })
+		if lsok && rsok {
+			return &expr.BinOp{Op: expr.OpAnd, L: pred,
+				R: &expr.BinOp{Op: expr.OpEq, L: fa(ls.alias, ls.name), R: fa(rs.alias, rs.name)}}
+		}
+	}
+	return pred
 }
 
 // genNumExpr builds a numeric expression over the scope (or a constant if
@@ -364,8 +384,12 @@ func genPred(r *rand.Rand, scope []colRef, depth int) expr.Expr {
 	switch r.Intn(6) {
 	case 0: // string comparison against a safe literal, or LIKE
 		if c, ok := pick(r, scope, func(c colRef) bool { return c.str }); ok {
-			if r.Intn(2) == 0 {
+			switch r.Intn(3) {
+			case 0:
 				return &expr.Like{E: fa(c.alias, c.name), Needle: likeNeedles[r.Intn(len(likeNeedles))]}
+			case 1:
+				return &expr.Like{E: fa(c.alias, c.name),
+					Needle: prefixNeedles[r.Intn(len(prefixNeedles))], Prefix: true}
 			}
 			lit := keyStrings[r.Intn(len(keyStrings))]
 			op := cmpOps[r.Intn(len(cmpOps))]

@@ -49,6 +49,9 @@ func renderExpr(e expr.Expr) string {
 	case *expr.IsNull:
 		return "(" + renderExpr(x.E) + " IS NULL)"
 	case *expr.Like:
+		if x.Prefix {
+			return "(" + renderExpr(x.E) + " LIKE '" + x.Needle + "%')"
+		}
 		return "(" + renderExpr(x.E) + " LIKE '%" + x.Needle + "%')"
 	case *expr.BinOp:
 		op := map[expr.BinKind]string{

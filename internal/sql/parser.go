@@ -424,7 +424,14 @@ func (p *parser) parseComparison() (expr.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		needle := strings.Trim(pat.text, "%")
+		// 'abc%' is a pure prefix pattern; every other shape (leading %,
+		// interior %, or no wildcard at all) keeps the historical trimmed
+		// containment semantics.
+		text := pat.text
+		if n := strings.TrimSuffix(text, "%"); n != text && n != "" && !strings.Contains(n, "%") {
+			return &expr.Like{E: l, Needle: n, Prefix: true}, nil
+		}
+		needle := strings.Trim(text, "%")
 		return &expr.Like{E: l, Needle: needle}, nil
 	}
 	var op expr.BinKind

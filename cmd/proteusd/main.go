@@ -24,10 +24,13 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -63,10 +66,24 @@ func main() {
 	chunkRows := flag.Int("chunk-rows", 0, "NDJSON flush granularity in rows (0 = default)")
 	maxPrepared := flag.Int("max-prepared", 0, "prepared-statement handles retained, LRU-evicted (0 = default 256)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight queries")
+	workers := flag.String("workers", "", "comma-separated worker base URLs; makes this node a cluster coordinator")
+	join := flag.String("join", "", "coordinator base URL to join as a cluster worker")
+	advertise := flag.String("advertise", "", "base URL advertised to the coordinator on -join (default http://<bound addr>)")
+	fragmentTimeout := flag.Duration("fragment-timeout", 0, "per-fragment scatter deadline on the coordinator (0 = default 30s)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "launch a backup fragment on another worker after this delay (0 = off)")
 	flag.Parse()
 
 	if *tenantMem > 0 && *memBudget <= 0 {
 		fatalf("-tenant-mem-quota requires -mem-budget to set the per-query reservation unit")
+	}
+	if *workers != "" && *join != "" {
+		fatalf("-workers (coordinator) and -join (worker) are mutually exclusive")
+	}
+	var workerURLs []string
+	for _, u := range strings.Split(*workers, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			workerURLs = append(workerURLs, u)
+		}
 	}
 
 	db := proteus.Open(proteus.Config{
@@ -79,6 +96,10 @@ func main() {
 		QueryTimeout:         *timeout,
 		QueryMemBudget:       *memBudget,
 		MaxConcurrentQueries: *maxQueries,
+
+		ClusterWorkers:         workerURLs,
+		ClusterFragmentTimeout: *fragmentTimeout,
+		ClusterHedgeAfter:      *hedgeAfter,
 	})
 
 	register := func(list pairs, kind string) {
@@ -128,6 +149,19 @@ func main() {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 	fmt.Printf("proteusd serving on http://%s (POST /v1/query, /v1/prepare, /healthz, /metrics, /debug/)\n", ln.Addr())
+	if len(workerURLs) > 0 {
+		fmt.Printf("cluster coordinator over %d workers: %s\n", len(workerURLs), strings.Join(workerURLs, ", "))
+	}
+	if *join != "" {
+		self := strings.TrimSpace(*advertise)
+		if self == "" {
+			self = "http://" + ln.Addr().String()
+		}
+		// Join in the background with retries: the coordinator may still be
+		// starting. A worker that never joins still serves /v1/fragment, so
+		// failure is a warning, not fatal.
+		go joinCluster(*join, self)
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -152,6 +186,39 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("drained; bye")
+}
+
+// joinCluster announces this worker's advertised URL to the coordinator's
+// topology endpoint, retrying while the coordinator comes up.
+func joinCluster(coordinator, self string) {
+	body, _ := json.Marshal(struct {
+		URL string `json:"url"`
+	}{self})
+	target := strings.TrimRight(coordinator, "/") + "/v1/cluster/join"
+	var lastErr error
+	for attempt := 0; attempt < 10; attempt++ {
+		if attempt > 0 {
+			time.Sleep(time.Duration(attempt) * 500 * time.Millisecond)
+		}
+		resp, err := http.Post(target, "application/json", bytes.NewReader(body))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode == http.StatusOK {
+			resp.Body.Close()
+			fmt.Printf("joined cluster at %s as %s\n", coordinator, self)
+			return
+		}
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		resp.Body.Close()
+		lastErr = fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(msg)))
+		// 4xx won't get better with retries (not a coordinator, bad URL).
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+			break
+		}
+	}
+	fmt.Fprintf(os.Stderr, "cluster join %s failed: %v\n", coordinator, lastErr)
 }
 
 func fatalf(format string, args ...any) {

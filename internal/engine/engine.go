@@ -18,6 +18,7 @@ import (
 	"proteus/internal/algebra"
 	"proteus/internal/cache"
 	"proteus/internal/calculus"
+	"proteus/internal/cluster"
 	"proteus/internal/comp"
 	"proteus/internal/exec"
 	"proteus/internal/obs"
@@ -108,6 +109,13 @@ type Config struct {
 	// PlanCacheSize bounds the compiled-plan cache in entries (0 = default
 	// 64; negative disables plan caching entirely).
 	PlanCacheSize int
+	// Cluster, when set, makes this engine a scatter/gather coordinator:
+	// eligible plans (partitionable driving scan, ≥ 2 worker morsels) are
+	// distributed across the coordinator's workers and merged through the
+	// same discipline the in-process parallel path uses; ineligible plans
+	// and worker plan-fingerprint divergence fall back to local execution
+	// transparently.
+	Cluster *cluster.Coordinator
 }
 
 // Engine is a Proteus instance: a catalog plus the managers every query
@@ -122,6 +130,7 @@ type Engine struct {
 	datasets    map[string]*plugin.Dataset
 	parallelism int
 	vectorize   exec.VecMode
+	cluster     *cluster.Coordinator
 
 	// Compiled-plan cache: plainQuery consults it before re-running the
 	// life-cycle. planEpoch advances on every catalog mutation (register,
@@ -225,6 +234,7 @@ func New(cfg Config) *Engine {
 		datasets:     map[string]*plugin.Dataset{},
 		parallelism:  par,
 		vectorize:    cfg.Vectorized,
+		cluster:      cfg.Cluster,
 		plans:        plans,
 		timeout:      cfg.QueryTimeout,
 		memBudget:    cfg.QueryMemBudget,
@@ -423,6 +433,10 @@ func (e *Engine) FieldCost(name string) float64 {
 type Prepared struct {
 	Plan    algebra.Node
 	Program *exec.Program
+	// Sort is the statement's ORDER BY / LIMIT (nil when absent). The local
+	// Program already applies it (absorbed or wrapped); the cluster path
+	// re-applies it over the gathered merge, which is always unsorted.
+	Sort *exec.SortSpec
 }
 
 // Explain renders the optimized plan and the compilation decisions.
@@ -514,7 +528,7 @@ func (e *Engine) prepare(ctx context.Context, c *calculus.Comprehension, tr *tra
 			return orderAndLimit(res, orderBy, desc, limit)
 		})
 	}
-	return &Prepared{Plan: plan, Program: prog}, nil
+	return &Prepared{Plan: plan, Program: prog, Sort: sortSpec}, nil
 }
 
 // orderAndLimit validates the ORDER BY columns against the result shape and
@@ -645,7 +659,7 @@ func (e *Engine) plainQuery(ctx context.Context, lang, query string) (*exec.Resu
 		if err != nil {
 			return nil, err
 		}
-		return e.runPlain(ctx, query, p.Program)
+		return e.runPrepared(ctx, lang, query, p)
 	}
 	// Both epochs are captured before prepare on purpose: a run that itself
 	// registers cache blocks stores its entry stamped with the pre-run cache
@@ -656,7 +670,7 @@ func (e *Engine) plainQuery(ctx context.Context, lang, query string) (*exec.Resu
 	cacheEpoch := e.caches.Epoch()
 	if en := e.plans.lookup(key, catalogEpoch, cacheEpoch); en != nil {
 		e.metrics.PlanCacheHits.Add(1)
-		res, err := e.runPlain(ctx, query, en.prepared.Program)
+		res, err := e.runPrepared(ctx, lang, query, en.prepared)
 		en.release()
 		return res, err
 	}
@@ -666,7 +680,7 @@ func (e *Engine) plainQuery(ctx context.Context, lang, query string) (*exec.Resu
 		return nil, err
 	}
 	en := e.plans.store(key, p, catalogEpoch, cacheEpoch)
-	res, err := e.runPlain(ctx, query, p.Program)
+	res, err := e.runPrepared(ctx, lang, query, p)
 	en.release()
 	return res, err
 }

@@ -113,9 +113,26 @@ func (e *Engine) observedQuery(ctx context.Context, lang, query string, timed bo
 		qp.Fingerprint = p.Program.Fingerprint
 		qp.Vectorized = p.Program.Vectorized
 		endExec := tr.phase(obs.PhaseExecute)
-		res, err := p.Program.RunContext(ctx)
+		var (
+			res       *exec.Result
+			fragSpans []obs.Span
+			clustered bool
+		)
+		if e.cluster != nil {
+			res, fragSpans, clustered, err = e.clusterExec(ctx, lang, query, p)
+		}
+		if !clustered {
+			res, err = p.Program.RunContext(ctx)
+		}
 		endExec()
-		if ws := p.Program.WorkerSpans(); len(ws) > 0 {
+		if clustered {
+			// Distributed run: hang per-fragment fan-out spans under the
+			// execute span where per-worker spans would normally go.
+			if res != nil {
+				qp.Fragments = res.Fragments
+			}
+			tr.attachWorkers(fragSpans)
+		} else if ws := p.Program.WorkerSpans(); len(ws) > 0 {
 			tr.attachWorkers(ws)
 		} else if ms := p.Program.MorselSpans(); len(ms) > 0 {
 			// Serial run with sampled morsel events: wrap them in one

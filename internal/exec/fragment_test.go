@@ -1,0 +1,168 @@
+package exec
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"proteus/internal/types"
+)
+
+func TestWireValueRoundTrip(t *testing.T) {
+	vals := []types.Value{
+		types.NullValue(),
+		types.BoolValue(true),
+		types.BoolValue(false),
+		types.IntValue(0),
+		types.IntValue(-9007199254740993), // beyond float53: must survive exactly
+		types.IntValue(math.MaxInt64),
+		types.FloatValue(0.1),
+		types.FloatValue(math.Copysign(0, -1)), // -0.0 bit pattern
+		types.FloatValue(math.NaN()),
+		types.FloatValue(math.Inf(1)),
+		types.FloatValue(math.Inf(-1)),
+		types.StringValue(""),
+		types.StringValue("héllo\nworld"),
+		types.ListValue(types.IntValue(1), types.StringValue("x")),
+		types.BagValue(types.FloatValue(2.5), types.NullValue()),
+		types.RecordValue([]string{"a", "b"}, []types.Value{types.IntValue(7), types.BoolValue(true)}),
+	}
+	for _, v := range vals {
+		w, err := encodeValue(v)
+		if err != nil {
+			t.Fatalf("encode %v: %v", v, err)
+		}
+		got, err := decodeValue(w)
+		if err != nil {
+			t.Fatalf("decode %v: %v", w, err)
+		}
+		if got.Kind != v.Kind {
+			t.Fatalf("kind mismatch: want %v got %v", v.Kind, got.Kind)
+		}
+		switch v.Kind {
+		case types.KindFloat:
+			wantBits := math.Float64bits(v.F)
+			gotBits := math.Float64bits(got.F)
+			// NaN payloads may differ; any NaN-for-NaN is fine.
+			if wantBits != gotBits && !(math.IsNaN(v.F) && math.IsNaN(got.F)) {
+				t.Fatalf("float bits: want %x got %x", wantBits, gotBits)
+			}
+		default:
+			if types.Compare(v, got) != 0 {
+				t.Fatalf("value mismatch: want %v got %v", v, got)
+			}
+		}
+	}
+}
+
+func TestWireValueRejectsMalformed(t *testing.T) {
+	bad := []WireValue{
+		{K: "z"},
+		{K: "f", F: "not-a-float"},
+		{K: "r", Names: []string{"a", "b"}, Vals: []WireValue{{K: "n"}}},
+		{K: "l", Vals: []WireValue{{K: "q"}}},
+	}
+	for _, w := range bad {
+		if _, err := decodeValue(w); err == nil {
+			t.Fatalf("decode %+v: expected error", w)
+		}
+	}
+}
+
+func TestPartialStreamRoundTrip(t *testing.T) {
+	p := &Partial{
+		Shape:       ShapeGroup,
+		Names:       []string{"k", "n"},
+		Fingerprint: "fp123",
+		Groups: []WireGroup{
+			{Keys: []WireValue{{K: "s", S: "a"}}, Aggs: []WireAgg{{Kind: "count", I: 3}}},
+			{Keys: []WireValue{{K: "n"}}, Aggs: []WireAgg{{Kind: "count", I: 1}}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := p.EncodeStream(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodePartialStream(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Shape != p.Shape || got.Fingerprint != p.Fingerprint || len(got.Groups) != 2 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if got.Groups[0].Keys[0].S != "a" || got.Groups[0].Aggs[0].I != 3 {
+		t.Fatalf("group content mismatch: %+v", got.Groups[0])
+	}
+}
+
+func TestPartialStreamAggShape(t *testing.T) {
+	p := &Partial{
+		Shape:   ShapeAgg,
+		Names:   []string{"total"},
+		Aggs:    []WireAgg{{Kind: "avg", F: "12.5", N: 4}},
+		hasAggs: true,
+	}
+	var buf bytes.Buffer
+	if err := p.EncodeStream(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodePartialStream(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !got.hasAggs || len(got.Aggs) != 1 || got.Aggs[0].Kind != "avg" {
+		t.Fatalf("agg round trip mismatch: %+v", got)
+	}
+	// An empty aggregate set must still survive (zero rows folded).
+	p2 := &Partial{Shape: ShapeAgg, Names: []string{"t"}, Aggs: []WireAgg{}, hasAggs: true}
+	buf.Reset()
+	if err := p2.EncodeStream(&buf); err != nil {
+		t.Fatalf("encode empty aggs: %v", err)
+	}
+	if _, err := DecodePartialStream(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("decode empty aggs: %v", err)
+	}
+}
+
+func TestPartialStreamRejectsTruncation(t *testing.T) {
+	p := &Partial{
+		Shape: ShapeBare,
+		Names: []string{"x"},
+		Rows:  []WireValue{{K: "i", I: 1}, {K: "i", I: 2}},
+	}
+	var buf bytes.Buffer
+	if err := p.EncodeStream(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	full := buf.String()
+	lines := strings.SplitAfter(strings.TrimRight(full, "\n"), "\n")
+	// Drop the trailer: a stream that just stops is truncation, not data.
+	noTrailer := strings.Join(lines[:len(lines)-1], "")
+	if _, err := DecodePartialStream(strings.NewReader(noTrailer)); err == nil {
+		t.Fatal("expected truncation error without trailer")
+	}
+	// Cut mid-line too.
+	if _, err := DecodePartialStream(strings.NewReader(full[:len(full)/2])); err == nil {
+		t.Fatal("expected error on mid-line cut")
+	}
+}
+
+func TestPartialStreamRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no head":         "",
+		"bad head json":   "{garbage\n",
+		"unknown shape":   `{"shape":"mystery"}` + "\n" + `{"done":true,"units":0}` + "\n",
+		"in-band error":   `{"shape":"bare","names":["x"]}` + "\n" + `{"error":"boom"}` + "\n",
+		"unit miscount":   `{"shape":"bare","names":["x"]}` + "\n" + `{"row":{"k":"i","i":1}}` + "\n" + `{"done":true,"units":5}` + "\n",
+		"empty unit line": `{"shape":"bare","names":["x"]}` + "\n" + `{}` + "\n" + `{"done":true,"units":1}` + "\n",
+		"double agg set":  `{"shape":"agg","names":["x"]}` + "\n" + `{"aggs":[]}` + "\n" + `{"aggs":[]}` + "\n" + `{"done":true,"units":2}` + "\n",
+		"head-line error": `{"error":"denied"}` + "\n",
+		"bad unit json":   `{"shape":"bare","names":["x"]}` + "\n" + "nope\n" + `{"done":true,"units":1}` + "\n",
+	}
+	for name, stream := range cases {
+		if _, err := DecodePartialStream(strings.NewReader(stream)); err == nil {
+			t.Fatalf("%s: expected decode error", name)
+		}
+	}
+}

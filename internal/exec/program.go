@@ -21,6 +21,10 @@ import (
 type Result struct {
 	Cols []string
 	Rows []types.Value
+	// Fragments counts the remote fragments merged into this result: 0 for
+	// purely local execution, N when a cluster coordinator gathered N
+	// worker partials (internal/cluster).
+	Fragments int
 }
 
 // DefaultStreamChunk is the StreamChunks granularity used when the caller

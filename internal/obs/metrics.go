@@ -50,6 +50,16 @@ type Metrics struct {
 	// SlowQueries counts queries recorded by the slow-query log.
 	SlowQueries atomic.Int64
 
+	// Cluster scatter/gather (internal/cluster). The first six count on the
+	// coordinator; FragmentsServed counts on workers.
+	ClusterQueries         atomic.Int64 // queries executed via scatter/gather
+	ClusterFragments       atomic.Int64 // fragment partials merged into results
+	ClusterRetries         atomic.Int64 // fragment attempts retried on another worker
+	ClusterHedges          atomic.Int64 // hedged (speculative duplicate) fragment attempts
+	ClusterFallbacks       atomic.Int64 // eligible queries that fell back to local execution
+	ClusterErrors          atomic.Int64 // distributed queries that returned an error
+	ClusterFragmentsServed atomic.Int64 // fragment requests this engine served as a worker
+
 	// ModeDecisions counts compile-time execution-mode decisions as a flat
 	// mode × source matrix (see ModeDecisionIndex); rendered as the labeled
 	// proteus_plan_mode_decisions_total family.
@@ -187,6 +197,14 @@ type Snapshot struct {
 
 	SlowQueries int64 `json:"slow_queries"`
 
+	ClusterQueries         int64 `json:"cluster_queries"`
+	ClusterFragments       int64 `json:"cluster_fragments"`
+	ClusterRetries         int64 `json:"cluster_retries"`
+	ClusterHedges          int64 `json:"cluster_hedges"`
+	ClusterFallbacks       int64 `json:"cluster_fallbacks"`
+	ClusterErrors          int64 `json:"cluster_errors"`
+	ClusterFragmentsServed int64 `json:"cluster_fragments_served"`
+
 	// ModeDecisions lists the non-zero cells of the execution-mode decision
 	// matrix (adaptive tuple-vs-vectorized selection).
 	ModeDecisions []ModeDecisionCount `json:"mode_decisions,omitempty"`
@@ -260,11 +278,20 @@ func (m *Metrics) Snapshot(cache CacheCounters) Snapshot {
 		PlanCacheHits:      m.PlanCacheHits.Load(),
 		PlanCacheMisses:    m.PlanCacheMisses.Load(),
 		SlowQueries:        m.SlowQueries.Load(),
-		ModeDecisions:      m.modeDecisionCounts(),
-		AdmissionQueued:    m.AdmissionQueued.Load(),
-		AdmissionWait:      summarize("admission_wait", &m.AdmissionWait),
-		Cache:              cache,
-		Latency:            m.latencySummaries(),
+		ClusterQueries:     m.ClusterQueries.Load(),
+		ClusterFragments:   m.ClusterFragments.Load(),
+		ClusterRetries:     m.ClusterRetries.Load(),
+		ClusterHedges:      m.ClusterHedges.Load(),
+		ClusterFallbacks:   m.ClusterFallbacks.Load(),
+		ClusterErrors:      m.ClusterErrors.Load(),
+
+		ClusterFragmentsServed: m.ClusterFragmentsServed.Load(),
+
+		ModeDecisions:   m.modeDecisionCounts(),
+		AdmissionQueued: m.AdmissionQueued.Load(),
+		AdmissionWait:   summarize("admission_wait", &m.AdmissionWait),
+		Cache:           cache,
+		Latency:         m.latencySummaries(),
 	}
 }
 
@@ -370,6 +397,14 @@ func (s Snapshot) Prometheus() string {
 	counter("proteus_plan_cache_misses_total", "Queries compiled fresh (plan-cache misses).", fmt.Sprint(s.PlanCacheMisses))
 
 	counter("proteus_slow_queries_total", "Queries recorded by the slow-query log.", fmt.Sprint(s.SlowQueries))
+
+	counter("proteus_cluster_queries_total", "Queries executed via cluster scatter/gather.", fmt.Sprint(s.ClusterQueries))
+	counter("proteus_cluster_fragments_total", "Fragment partials merged into distributed results.", fmt.Sprint(s.ClusterFragments))
+	counter("proteus_cluster_retries_total", "Fragment attempts retried on another worker.", fmt.Sprint(s.ClusterRetries))
+	counter("proteus_cluster_hedges_total", "Hedged (speculative duplicate) fragment attempts.", fmt.Sprint(s.ClusterHedges))
+	counter("proteus_cluster_fallbacks_total", "Cluster-eligible queries that fell back to local execution.", fmt.Sprint(s.ClusterFallbacks))
+	counter("proteus_cluster_errors_total", "Distributed queries that returned an error.", fmt.Sprint(s.ClusterErrors))
+	counter("proteus_cluster_fragments_served_total", "Fragment requests this engine served as a cluster worker.", fmt.Sprint(s.ClusterFragmentsServed))
 
 	if len(s.ModeDecisions) > 0 {
 		b.WriteString("# HELP proteus_plan_mode_decisions_total Compile-time execution-mode decisions by mode and source.\n")

@@ -139,6 +139,9 @@ type QueryProfile struct {
 	// Workers and Morsels describe the parallel shape (1/1 for serial).
 	Workers int `json:"workers"`
 	Morsels int `json:"morsels"`
+	// Fragments is the number of remote worker partials gathered when the
+	// query ran distributed (0 for local execution).
+	Fragments int `json:"fragments,omitempty"`
 	// Rows is the result cardinality; Err the failure, if any.
 	Rows int64  `json:"rows"`
 	Err  string `json:"err,omitempty"`

@@ -1,0 +1,78 @@
+package qcheck
+
+import (
+	"testing"
+
+	"proteus/internal/engine"
+	"proteus/internal/exec"
+)
+
+// TestClusterEquivalence is the distributed-vs-local differential check on
+// fixed seeds, sized for CI's -race job: for each universe it runs every
+// generated query twice on a coordinator engine scattering over three
+// in-process worker query services (the real HTTP fragment protocol) and
+// on a plain serial engine, requiring byte-identical results where the
+// output order is deterministic and oracle-equivalent results elsewhere.
+// The second run exercises repeated scatter over warm worker engines.
+func TestClusterEquivalence(t *testing.T) {
+	seeds := []int64{101, 202, 303}
+	queriesPer := 24
+	if testing.Short() {
+		seeds = seeds[:1]
+		queriesPer = 10
+	}
+	localCfg := engine.Config{Parallelism: 1, Vectorized: exec.VecOff, PlanCacheSize: -1}
+	for _, seed := range seeds {
+		u, err := genUniverse(seed)
+		if err != nil {
+			t.Fatalf("universe %d: %v", seed, err)
+		}
+		local, err := buildEngine(localCfg, u)
+		if err != nil {
+			t.Fatalf("universe %d: build local engine: %v", seed, err)
+		}
+		dist, err := buildRunner(engConfig{name: "cluster", cfg: localCfg, workers: 3}, u)
+		if err != nil {
+			t.Fatalf("universe %d: build cluster: %v", seed, err)
+		}
+		for q := 0; q < queriesPer; q++ {
+			spec := genQuery(mix(seed, int64(q)), u)
+			text := spec.render()
+			for run := 0; run < 2; run++ {
+				rLoc, errLoc := runEngineQuery(local, spec.lang, text)
+				rDist, errDist := runEngineQuery(dist.eng, spec.lang, text)
+				if (errLoc == nil) != (errDist == nil) {
+					t.Fatalf("useed=%d case=%d run=%d: local err=%v, distributed err=%v\n  query: %s",
+						seed, q, run, errLoc, errDist, text)
+				}
+				if errLoc != nil {
+					break // consistent rejection; nothing to compare
+				}
+				if spec.exactOrder() {
+					if d := compareExact(rLoc, rDist); d != "" {
+						t.Fatalf("useed=%d case=%d run=%d: distributed diverges from local: %s\n  query: %s",
+							seed, q, run, d, text)
+					}
+					continue
+				}
+				// Implementation-defined output order: hold the distributed
+				// result to the same oracle rules the config matrix uses.
+				oracle, c, oerr := runOracle(u, spec.lang, text)
+				if oerr != nil {
+					t.Fatalf("useed=%d case=%d: engines accept but oracle rejects: %v\n  query: %s",
+						seed, q, oerr, text)
+				}
+				if d := compareOracle(oracle, rDist, c.OrderBy, c.Limit); d != "" {
+					t.Fatalf("useed=%d case=%d run=%d: distributed diverges from oracle: %s\n  query: %s",
+						seed, q, run, d, text)
+				}
+			}
+		}
+		// The check is vacuous if every plan fell back to local execution:
+		// require that this universe actually scattered some queries.
+		if got := dist.eng.Metrics().ClusterQueries; got == 0 {
+			t.Errorf("useed=%d: no query executed distributed (all fell back to local)", seed)
+		}
+		dist.close()
+	}
+}

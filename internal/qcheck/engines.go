@@ -10,12 +10,16 @@ package qcheck
 import (
 	"fmt"
 	"io"
+	"net/http/httptest"
 	"sync"
 	"time"
 
+	"proteus"
 	"proteus/internal/cache"
+	"proteus/internal/cluster"
 	"proteus/internal/engine"
 	"proteus/internal/exec"
+	"proteus/internal/server"
 )
 
 type engConfig struct {
@@ -24,6 +28,7 @@ type engConfig struct {
 	warm       bool // execute twice, check both runs
 	concurrent bool // execute twice concurrently, check both runs
 	reps       int  // execute sequentially this many times, check every run
+	workers    int  // >0: distributed config — scatter over this many in-process worker services
 }
 
 // configMatrix is the cross-product slice the harness runs. base MUST be
@@ -77,6 +82,14 @@ func configMatrix() []engConfig {
 		// execute against cache-resident columns like production would.
 		{name: "adaptive", cfg: engine.Config{Parallelism: 1, Vectorized: exec.VecAuto,
 			CacheEnabled: true, PlanCacheSize: -1}, reps: 4},
+		// Distributed execution must never change results: a scatter/gather
+		// coordinator over three in-process worker query services speaking the
+		// real HTTP fragment protocol (httptest servers around internal/server).
+		// Plans that cannot be distributed — no partitionable driving scan,
+		// fewer than two morsels — fall back to local execution inside the same
+		// config. Two sequential runs exercise repeated scatter over warm
+		// worker engines.
+		{name: "cluster", cfg: off(1, exec.VecOff), workers: 3, reps: 2},
 	}
 }
 
@@ -84,6 +97,15 @@ func configMatrix() []engConfig {
 // given config.
 func buildEngine(cfg engine.Config, u *universe) (*engine.Engine, error) {
 	e := engine.New(cfg)
+	if err := registerTables(e, u); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// registerTables registers every universe table on an engine — the same
+// catalog on every node, so coordinator and worker plans agree.
+func registerTables(e *engine.Engine, u *universe) error {
 	for _, t := range u.Tables {
 		path := fmt.Sprintf("mem://qcheck/%s.%s", t.Name, t.Format)
 		e.Mem().PutFile(path, t.Data)
@@ -92,10 +114,51 @@ func buildEngine(cfg engine.Config, u *universe) (*engine.Engine, error) {
 			schema = nil // self-describing
 		}
 		if err := e.Register(t.Name, path, t.Format, schema, t.Opts); err != nil {
-			return nil, fmt.Errorf("register %s: %w", t.Name, err)
+			return fmt.Errorf("register %s: %w", t.Name, err)
 		}
 	}
-	return e, nil
+	return nil
+}
+
+// buildRunner builds one config's runner: a plain engine or — for
+// distributed configs — a coordinator engine scattering over c.workers
+// in-process worker query services. The runner's close func (nil for plain
+// configs) tears the worker services down.
+func buildRunner(c engConfig, u *universe) (*engineRunner, error) {
+	if c.workers == 0 {
+		e, err := buildEngine(c.cfg, u)
+		if err != nil {
+			return nil, err
+		}
+		return &engineRunner{cfg: c, eng: e}, nil
+	}
+	var closers []func()
+	closeAll := func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}
+	urls := make([]string, 0, c.workers)
+	for i := 0; i < c.workers; i++ {
+		// Workers register the identical universe so their locally re-planned
+		// fragments carry the coordinator's plan fingerprint.
+		db := proteus.Open(proteus.Config{Parallelism: 1, PlanCacheSize: -1})
+		if err := registerTables(db.Engine(), u); err != nil {
+			closeAll()
+			return nil, fmt.Errorf("cluster worker %d: %w", i, err)
+		}
+		ts := httptest.NewServer(server.New(server.Config{DB: db}).Handler())
+		closers = append(closers, ts.Close)
+		urls = append(urls, ts.URL)
+	}
+	cfg := c.cfg
+	cfg.Cluster = cluster.New(cluster.Config{Workers: urls})
+	e, err := buildEngine(cfg, u)
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	return &engineRunner{cfg: c, eng: e, close: closeAll}, nil
 }
 
 func runEngineQuery(e *engine.Engine, lang, text string) (*resultSet, error) {

@@ -128,12 +128,19 @@ func runUniverse(rep *Report, useed int64, opts Options, h interface{ Write([]by
 	}
 	cfgs := configMatrix()
 	engines := make([]*engineRunner, len(cfgs))
+	defer func() {
+		for _, er := range engines {
+			if er != nil && er.close != nil {
+				er.close()
+			}
+		}
+	}()
 	for i, c := range cfgs {
-		e, err := buildEngine(c.cfg, u)
+		r, err := buildRunner(c, u)
 		if err != nil {
 			return fmt.Errorf("qcheck: build %s engine for universe %d: %w", c.name, useed, err)
 		}
-		engines[i] = &engineRunner{cfg: c, eng: e}
+		engines[i] = r
 	}
 	for q := 0; q < opts.Queries; q++ {
 		if opts.Case >= 0 && q != opts.Case {
@@ -145,10 +152,12 @@ func runUniverse(rep *Report, useed int64, opts Options, h interface{ Write([]by
 	return nil
 }
 
-// engineRunner pairs a config with its long-lived engine for one universe.
+// engineRunner pairs a config with its long-lived engine for one universe,
+// plus the teardown for any in-process cluster workers behind it.
 type engineRunner struct {
-	cfg engConfig
-	eng *engine.Engine
+	cfg   engConfig
+	eng   *engine.Engine
+	close func() // nil for plain configs
 }
 
 func runCase(rep *Report, u *universe, useed int64, caseIdx int,

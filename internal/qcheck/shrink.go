@@ -56,11 +56,14 @@ func checkDiverges(u *universe, spec *querySpec, cfg engConfig, budget *int) boo
 		if cfg.name == "base" {
 			return false
 		}
-		cfgEng, err := buildEngine(cfg.cfg, u)
+		r, err := buildRunner(cfg, u)
 		if err != nil {
 			return false
 		}
-		_, cerr := runConfig(cfgEng, cfg, spec.lang, text)
+		_, cerr := runConfig(r.eng, cfg, spec.lang, text)
+		if r.close != nil {
+			r.close()
+		}
 		return cerr == nil
 	}
 	if d := compareOracle(oracle, base, c.OrderBy, c.Limit); d != "" {
@@ -69,11 +72,14 @@ func checkDiverges(u *universe, spec *querySpec, cfg engConfig, budget *int) boo
 	if cfg.name == "base" {
 		return false
 	}
-	cfgEng, err := buildEngine(cfg.cfg, u)
+	r, err := buildRunner(cfg, u)
 	if err != nil {
 		return false
 	}
-	results, cerr := runConfig(cfgEng, cfg, spec.lang, text)
+	if r.close != nil {
+		defer r.close()
+	}
+	results, cerr := runConfig(r.eng, cfg, spec.lang, text)
 	if cerr != nil {
 		return true
 	}

@@ -1,0 +1,171 @@
+// Cluster surface tests: the fragment endpoint's role in a distributed
+// query, the fragments count in the streaming trailer and /debug/queries,
+// and the topology endpoints (/v1/cluster, /v1/cluster/join).
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"proteus"
+	"proteus/internal/plugin"
+)
+
+const clusterCSV = "a,b\n1,x\n2,y\n3,z\n"
+
+// newClusterNode builds one query service over a fresh DB with the shared
+// test table; workers pass no ClusterWorkers, the coordinator passes the
+// worker URLs.
+func newClusterNode(t *testing.T, workers ...string) (*httptest.Server, *proteus.DB) {
+	t.Helper()
+	db := proteus.Open(proteus.Config{
+		Observability:  true,
+		Parallelism:    1,
+		ClusterWorkers: workers,
+	})
+	eng := db.Engine()
+	eng.Mem().PutFile("mem://t.csv", []byte(clusterCSV))
+	if err := eng.Register("t", "mem://t.csv", "csv", nil, plugin.Options{Header: true}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(Config{DB: db}).Handler())
+	t.Cleanup(ts.Close)
+	return ts, db
+}
+
+func getJSON(t *testing.T, url string, into any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestServerClusterQuery runs a distributed query end to end through the
+// service: two worker services execute fragments, and the streaming trailer
+// and /debug/queries report how many were merged.
+func TestServerClusterQuery(t *testing.T) {
+	w1, _ := newClusterNode(t)
+	w2, _ := newClusterNode(t)
+	coord, _ := newClusterNode(t, w1.URL, w2.URL)
+
+	resp := postQuery(t, coord, `{"query":"SELECT a, b FROM t ORDER BY a"}`, nil)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	lines := ndjson(t, resp.Body)
+	if len(lines) != 5 { // head + 3 rows + trailer
+		t.Fatalf("got %d NDJSON lines, want 5: %v", len(lines), lines)
+	}
+	trailer := lines[len(lines)-1]
+	if rows, _ := trailer["rows"].(float64); rows != 3 {
+		t.Fatalf("trailer = %v, want rows 3", trailer)
+	}
+	if frags, _ := trailer["fragments"].(float64); frags != 2 {
+		t.Fatalf("trailer = %v, want fragments 2", trailer)
+	}
+	if lines[1]["a"] != float64(1) || lines[1]["b"] != "x" {
+		t.Fatalf("first row = %v", lines[1])
+	}
+
+	// The fragment count also lands in the retained profile.
+	var profiles []map[string]any
+	if code := getJSON(t, coord.URL+"/debug/queries", &profiles); code != http.StatusOK {
+		t.Fatalf("/debug/queries status = %d", code)
+	}
+	found := false
+	for _, p := range profiles {
+		if f, _ := p["fragments"].(float64); f == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("/debug/queries has no profile with fragments=2: %v", profiles)
+	}
+
+	// Each worker served at least one fragment (visible on its /metrics).
+	for _, w := range []*httptest.Server{w1, w2} {
+		resp, err := http.Get(w.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(body), "proteus_server_fragments_started_total 1") {
+			t.Errorf("worker %s /metrics missing fragment counter", w.URL)
+		}
+	}
+}
+
+// TestServerClusterTopology pins the discovery endpoints: role reporting on
+// both node kinds, idempotent join, and rejection of bad join requests.
+func TestServerClusterTopology(t *testing.T) {
+	w1, _ := newClusterNode(t)
+	coord, _ := newClusterNode(t, w1.URL)
+
+	var info struct {
+		Role    string   `json:"role"`
+		Workers []string `json:"workers"`
+	}
+	if code := getJSON(t, coord.URL+"/v1/cluster", &info); code != http.StatusOK {
+		t.Fatalf("coordinator /v1/cluster status = %d", code)
+	}
+	if info.Role != "coordinator" || len(info.Workers) != 1 {
+		t.Fatalf("coordinator info = %+v", info)
+	}
+	if code := getJSON(t, w1.URL+"/v1/cluster", &info); code != http.StatusOK || info.Role != "worker" {
+		t.Fatalf("worker info = %+v (status %d)", info, code)
+	}
+
+	w2, _ := newClusterNode(t)
+	join := func(url string) (int, map[string]any) {
+		resp, err := http.Post(coord.URL+"/v1/cluster/join", "application/json",
+			strings.NewReader(`{"url":"`+url+`"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		json.NewDecoder(resp.Body).Decode(&out)
+		return resp.StatusCode, out
+	}
+	code, out := join(w2.URL)
+	if code != http.StatusOK || out["added"] != true {
+		t.Fatalf("join = %d %v", code, out)
+	}
+	code, out = join(w2.URL) // idempotent: already present, still 200
+	if code != http.StatusOK || out["added"] != false {
+		t.Fatalf("re-join = %d %v", code, out)
+	}
+	if ws, _ := out["workers"].([]any); len(ws) != 2 {
+		t.Fatalf("topology after join = %v", out)
+	}
+	if code, _ := join("not a url"); code != http.StatusBadRequest {
+		t.Fatalf("bad join url status = %d", code)
+	}
+	// A worker node is not a coordinator: joining it is a 409.
+	resp, err := http.Post(w1.URL+"/v1/cluster/join", "application/json",
+		strings.NewReader(`{"url":"`+w2.URL+`"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("join on worker status = %d, want 409", resp.StatusCode)
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"proteus"
+	"proteus/internal/cluster"
 	"proteus/internal/exec"
 	"proteus/internal/obs"
 	"proteus/internal/types"
@@ -65,6 +66,12 @@ type Config struct {
 	ChunkRows int
 	// RequestMaxBytes bounds a request body (default 1 MiB).
 	RequestMaxBytes int64
+	// Cluster, when set, marks this node a scatter/gather coordinator and
+	// enables the topology endpoints (GET /v1/cluster, POST
+	// /v1/cluster/join). It should be the same Coordinator the engine was
+	// configured with. Worker nodes leave it nil; every node serves
+	// POST /v1/fragment regardless.
+	Cluster *cluster.Coordinator
 }
 
 // Server is one query service instance. Create with New, expose with
@@ -74,6 +81,7 @@ type Server struct {
 	mux       *http.ServeMux
 	tenants   *tenantSet
 	prepared  *preparedSet
+	cluster   *cluster.Coordinator
 	chunkRows int
 	maxBytes  int64
 	started   time.Time
@@ -82,8 +90,9 @@ type Server struct {
 	reqSeq   atomic.Int64
 
 	// Service-level counters, appended to /metrics.
-	queriesStarted atomic.Int64
-	streamsActive  atomic.Int64
+	queriesStarted   atomic.Int64
+	streamsActive    atomic.Int64
+	fragmentsStarted atomic.Int64
 }
 
 // New builds a Server over cfg.DB.
@@ -100,12 +109,21 @@ func New(cfg Config) *Server {
 		db:        cfg.DB,
 		tenants:   newTenantSet(cfg.TenantMaxConcurrent, cfg.TenantMemQuota, cfg.QueryMemBudget),
 		prepared:  newPreparedSet(maxPrepared),
+		cluster:   cfg.Cluster,
 		chunkRows: cfg.ChunkRows,
 		maxBytes:  maxBytes,
 		started:   time.Now(),
 	}
+	if s.cluster == nil && cfg.DB != nil {
+		// A DB opened with ClusterWorkers already owns a coordinator; serve
+		// its topology endpoints without asking callers to wire it twice.
+		s.cluster = cfg.DB.Engine().Cluster()
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/fragment", s.handleFragment)
+	mux.HandleFunc("GET /v1/cluster", s.handleClusterInfo)
+	mux.HandleFunc("POST /v1/cluster/join", s.handleClusterJoin)
 	mux.HandleFunc("POST /v1/prepare", s.handlePrepare)
 	mux.HandleFunc("GET /v1/prepare", s.handleListPrepared)
 	mux.HandleFunc("DELETE /v1/prepare", s.handleDropPrepared)
@@ -338,7 +356,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Rows      int64   `json:"rows"`
 		ElapsedMS float64 `json:"elapsed_ms"`
 		RequestID string  `json:"request_id"`
-	}{streamed, float64(time.Since(start).Microseconds()) / 1e3, reqID})
+		// Fragments is the per-worker attribution of a distributed query:
+		// how many remote fragment partials were merged into this result
+		// (absent for local execution).
+		Fragments int `json:"fragments,omitempty"`
+	}{streamed, float64(time.Since(start).Microseconds()) / 1e3, reqID, res.Fragments})
 	bw.Write(append(trailer, '\n'))
 	bw.Flush()
 }
@@ -420,6 +442,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		s.queriesStarted.Load())
 	fmt.Fprintf(&b, "# HELP proteus_server_streams_active Result streams currently being written.\n# TYPE proteus_server_streams_active gauge\nproteus_server_streams_active %d\n",
 		s.streamsActive.Load())
+	fmt.Fprintf(&b, "# HELP proteus_server_fragments_started_total Cluster fragment requests admitted by the service.\n# TYPE proteus_server_fragments_started_total counter\nproteus_server_fragments_started_total %d\n",
+		s.fragmentsStarted.Load())
 	fmt.Fprintf(&b, "# HELP proteus_server_prepared_statements Registered prepared-statement handles.\n# TYPE proteus_server_prepared_statements gauge\nproteus_server_prepared_statements %d\n",
 		s.prepared.len())
 	draining := int64(0)

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"proteus/internal/cache"
+	"proteus/internal/cluster"
 	"proteus/internal/engine"
 	"proteus/internal/exec"
 	"proteus/internal/obs"
@@ -128,6 +129,22 @@ type Config struct {
 	// parse→optimize→compile tail; entries are invalidated automatically
 	// when the catalog or the adaptive cache contents change.
 	PlanCacheSize int
+	// ClusterWorkers, when non-empty, makes this instance a scatter/gather
+	// coordinator over the listed worker base URLs ("http://host:port",
+	// each a proteusd serving the same datasets): eligible queries are
+	// partitioned into per-worker morsel ranges, executed remotely as
+	// scan→filter→partial-aggregate fragments, and merged locally with the
+	// same discipline in-process parallelism uses — results are identical
+	// to single-node execution. Ineligible plans fall back to local
+	// execution transparently.
+	ClusterWorkers []string
+	// ClusterFragmentTimeout bounds each remote fragment attempt
+	// (0 = 30s default).
+	ClusterFragmentTimeout time.Duration
+	// ClusterHedgeAfter, when positive, launches a fragment's one retry
+	// speculatively on the next worker once the primary has run this long;
+	// the first complete response wins. 0 disables hedging.
+	ClusterHedgeAfter time.Duration
 }
 
 // VecMode selects tuple-at-a-time vs. vectorized execution (see
@@ -202,6 +219,14 @@ func ListOf(elem types.Type) types.Type { return types.NewListType(elem) }
 
 // Open creates a DB with the standard CSV, JSON, and binary plug-ins.
 func Open(cfg Config) *DB {
+	var coord *cluster.Coordinator
+	if len(cfg.ClusterWorkers) > 0 {
+		coord = cluster.New(cluster.Config{
+			Workers:         cfg.ClusterWorkers,
+			FragmentTimeout: cfg.ClusterFragmentTimeout,
+			HedgeAfter:      cfg.ClusterHedgeAfter,
+		})
+	}
 	return &DB{eng: engine.New(engine.Config{
 		CacheEnabled:    cfg.CacheEnabled,
 		CacheBudget:     cfg.CacheBudget,
@@ -225,6 +250,7 @@ func Open(cfg Config) *DB {
 
 		Vectorized:    cfg.Vectorized,
 		PlanCacheSize: cfg.PlanCacheSize,
+		Cluster:       coord,
 	})}
 }
 
